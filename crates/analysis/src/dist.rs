@@ -1,0 +1,297 @@
+//! Continuous distributions with densities, CDFs and sampling.
+//!
+//! The §4.3 model needs more than sampling: the closed forms for `P_f`
+//! and `P_m` integrate densities against CDFs, so this module carries
+//! `pdf`/`cdf` alongside `sample`. Values are in milliseconds.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// A continuous distribution over delays (ms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ContDist {
+    /// A point mass at `c`.
+    Constant {
+        /// The constant value.
+        c: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean (= 1/rate).
+        mean: f64,
+    },
+    /// `shift` plus an exponential of mean `mean`.
+    ShiftedExponential {
+        /// Fixed offset.
+        shift: f64,
+        /// Mean of the exponential part.
+        mean: f64,
+    },
+    /// Normal (untruncated; callers clamp when sampling delays).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+}
+
+impl ContDist {
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ContDist::Constant { c } => c,
+            ContDist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            ContDist::Exponential { mean } => mean,
+            ContDist::ShiftedExponential { shift, mean } => shift + mean,
+            ContDist::Normal { mean, .. } => mean,
+        }
+    }
+
+    /// The density at `x`. Point masses return 0 (use [`ContDist::cdf`]).
+    pub fn pdf(&self, x: f64) -> f64 {
+        match *self {
+            ContDist::Constant { .. } => 0.0,
+            ContDist::Uniform { lo, hi } => {
+                if (lo..=hi).contains(&x) && hi > lo {
+                    1.0 / (hi - lo)
+                } else {
+                    0.0
+                }
+            }
+            ContDist::Exponential { mean } => {
+                if x < 0.0 || mean <= 0.0 {
+                    0.0
+                } else {
+                    (-x / mean).exp() / mean
+                }
+            }
+            ContDist::ShiftedExponential { shift, mean } => {
+                ContDist::Exponential { mean }.pdf(x - shift)
+            }
+            ContDist::Normal { mean, std } => {
+                if std <= 0.0 {
+                    0.0
+                } else {
+                    let z = (x - mean) / std;
+                    (-0.5 * z * z).exp() / (std * (2.0 * PI).sqrt())
+                }
+            }
+        }
+    }
+
+    /// The CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            ContDist::Constant { c } => {
+                if x >= c {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ContDist::Uniform { lo, hi } => {
+                if x < lo {
+                    0.0
+                } else if x >= hi || hi <= lo {
+                    1.0
+                } else {
+                    (x - lo) / (hi - lo)
+                }
+            }
+            ContDist::Exponential { mean } => {
+                if x < 0.0 || mean <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-x / mean).exp()
+                }
+            }
+            ContDist::ShiftedExponential { shift, mean } => {
+                ContDist::Exponential { mean }.cdf(x - shift)
+            }
+            ContDist::Normal { mean, std } => {
+                if std <= 0.0 {
+                    if x >= mean {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.5 * (1.0 + erf((x - mean) / std * FRAC_1_SQRT_2))
+                }
+            }
+        }
+    }
+
+    /// The effective support `(lo, hi)` for numeric integration; tails
+    /// beyond 1e-12 mass are cut.
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            ContDist::Constant { c } => (c, c),
+            ContDist::Uniform { lo, hi } => (lo, hi),
+            ContDist::Exponential { mean } => (0.0, mean * 30.0),
+            ContDist::ShiftedExponential { shift, mean } => (shift, shift + mean * 30.0),
+            ContDist::Normal { mean, std } => (mean - 8.0 * std, mean + 8.0 * std),
+        }
+    }
+
+    /// Draws one sample (delays: clamped at zero by the caller if
+    /// needed).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ContDist::Constant { c } => c,
+            ContDist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+            ContDist::Exponential { mean } => {
+                if mean <= 0.0 {
+                    0.0
+                } else {
+                    -mean * (1.0 - rng.gen::<f64>()).ln()
+                }
+            }
+            ContDist::ShiftedExponential { shift, mean } => {
+                shift + ContDist::Exponential { mean }.sample(rng)
+            }
+            ContDist::Normal { mean, std } => {
+                let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+            }
+        }
+    }
+
+    /// Draws a delay sample clamped at zero.
+    pub fn sample_delay<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.sample(rng).max(0.0)
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_pdf_cdf_consistent() {
+        let d = ContDist::Uniform { lo: 2.0, hi: 6.0 };
+        assert_eq!(d.pdf(4.0), 0.25);
+        assert_eq!(d.pdf(1.0), 0.0);
+        assert_eq!(d.cdf(2.0), 0.0);
+        assert_eq!(d.cdf(4.0), 0.5);
+        assert_eq!(d.cdf(7.0), 1.0);
+        assert_eq!(d.mean(), 4.0);
+    }
+
+    #[test]
+    fn exponential_cdf_matches_formula() {
+        let d = ContDist::Exponential { mean: 5.0 };
+        assert!((d.cdf(5.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert!((d.pdf(0.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_exponential() {
+        let d = ContDist::ShiftedExponential { shift: 3.0, mean: 2.0 };
+        assert_eq!(d.cdf(2.9), 0.0);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(d.sample(&mut r) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        let d = ContDist::Normal { mean: 10.0, std: 2.0 };
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-7);
+        assert!((d.cdf(12.0) + d.cdf(8.0) - 1.0).abs() < 1e-7);
+        // ~68% within 1 sigma
+        let within = d.cdf(12.0) - d.cdf(8.0);
+        assert!((within - 0.6827).abs() < 1e-3, "{within}");
+    }
+
+    #[test]
+    fn constant_is_step() {
+        let d = ContDist::Constant { c: 4.0 };
+        assert_eq!(d.cdf(3.999), 0.0);
+        assert_eq!(d.cdf(4.0), 1.0);
+        assert_eq!(d.sample(&mut rng()), 4.0);
+    }
+
+    #[test]
+    fn sample_means_converge() {
+        let mut r = rng();
+        for d in [
+            ContDist::Uniform { lo: 0.0, hi: 20.0 },
+            ContDist::Exponential { mean: 7.0 },
+            ContDist::Normal { mean: 15.0, std: 3.0 },
+            ContDist::ShiftedExponential { shift: 2.0, mean: 3.0 },
+        ] {
+            let n = 60_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - d.mean()).abs() < 0.15,
+                "{d:?}: sample mean {mean} vs {}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        for d in [
+            ContDist::Uniform { lo: 0.0, hi: 20.0 },
+            ContDist::Exponential { mean: 7.0 },
+            ContDist::Normal { mean: 15.0, std: 3.0 },
+        ] {
+            let (lo, hi) = d.support();
+            let mut prev = -1.0;
+            for i in 0..=100 {
+                let x = lo + (hi - lo) * i as f64 / 100.0;
+                let c = d.cdf(x);
+                assert!(c >= prev - 1e-12, "{d:?} not monotone at {x}");
+                prev = c;
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The §4.3.1 false-alarm probability.
+//!
+//! "Although rare, it is possible for a valid BYE message to arrive
+//! before the RTP packet if, for instance, they take a different route
+//! ... the false alarm probability is given as P_f = Pr{N_sip < N_rtp}."
+//!
+//! The sender emits its last RTP packet and the genuine BYE at (almost)
+//! the same instant; if the BYE wins the race, the IDS sees RTP after a
+//! BYE and raises a false alarm. For i.i.d. continuous delays the paper
+//! notes the integral `∫ F_N(t) f_N(t) dt` evaluates to **½** — the race
+//! is a coin flip — and asymmetric paths move it off ½.
+
+use crate::dist::ContDist;
+use crate::integrate::integrate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Closed-form `P_f = Pr{N_sip < N_rtp}` by numeric integration:
+/// `∫ f_sip(t) · (1 − F_rtp(t)) dt`.
+///
+/// Point-mass (constant) distributions are handled by direct comparison
+/// since they have no density.
+pub fn p_false_numeric(n_sip: &ContDist, n_rtp: &ContDist) -> f64 {
+    match (n_sip, n_rtp) {
+        (ContDist::Constant { c: a }, ContDist::Constant { c: b }) => {
+            if a < b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (ContDist::Constant { c }, other) => 1.0 - other.cdf(*c),
+        (other, ContDist::Constant { c }) => other.cdf(*c),
+        _ => {
+            // Integrate over the *SIP* density's support: the integrand
+            // is f_sip-weighted, so this keeps quadrature panels matched
+            // to where the mass actually is (a narrow uniform would
+            // otherwise vanish between panel sample points).
+            let (lo, hi) = n_sip.support();
+            integrate(
+                &|t| n_sip.pdf(t) * (1.0 - n_rtp.cdf(t)),
+                lo,
+                hi,
+                1e-10,
+            )
+        }
+    }
+}
+
+/// Monte Carlo estimate of the same probability.
+pub fn p_false_monte_carlo(n_sip: &ContDist, n_rtp: &ContDist, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let sip = n_sip.sample_delay(&mut rng);
+        let rtp = n_rtp.sample_delay(&mut rng);
+        if sip < rtp {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_continuous_is_one_half() {
+        // The paper's observation: identical independent delay
+        // distributions give P_f = ½.
+        for d in [
+            ContDist::Uniform { lo: 0.0, hi: 10.0 },
+            ContDist::Exponential { mean: 4.0 },
+            ContDist::Normal { mean: 8.0, std: 2.0 },
+        ] {
+            let p = p_false_numeric(&d, &d);
+            assert!((p - 0.5).abs() < 1e-4, "{d:?}: {p}");
+        }
+    }
+
+    #[test]
+    fn faster_sip_path_lowers_p_false() {
+        // Wait — a *faster* SIP path means the BYE usually wins the race,
+        // i.e. the false alarm becomes MORE likely, not less: check both
+        // directions explicitly.
+        let fast = ContDist::Exponential { mean: 1.0 };
+        let slow = ContDist::Exponential { mean: 10.0 };
+        let p_sip_fast = p_false_numeric(&fast, &slow);
+        let p_sip_slow = p_false_numeric(&slow, &fast);
+        assert!(p_sip_fast > 0.85, "{p_sip_fast}");
+        assert!(p_sip_slow < 0.15, "{p_sip_slow}");
+    }
+
+    #[test]
+    fn exponential_racing_exponential_closed_form() {
+        // Pr{X < Y} = λx/(λx+λy) = my/(mx+my) for means mx, my.
+        let a = ContDist::Exponential { mean: 2.0 };
+        let b = ContDist::Exponential { mean: 6.0 };
+        let expect = 6.0 / (2.0 + 6.0);
+        let p = p_false_numeric(&a, &b);
+        assert!((p - expect).abs() < 1e-4, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn constants_compare_directly() {
+        let fast = ContDist::Constant { c: 1.0 };
+        let slow = ContDist::Constant { c: 2.0 };
+        assert_eq!(p_false_numeric(&fast, &slow), 1.0);
+        assert_eq!(p_false_numeric(&slow, &fast), 0.0);
+        assert_eq!(p_false_numeric(&fast, &fast), 0.0); // ties lose
+    }
+
+    #[test]
+    fn constant_vs_continuous() {
+        let c = ContDist::Constant { c: 4.0 };
+        let e = ContDist::Exponential { mean: 4.0 };
+        // Pr{4 < Exp(4)} = e^{-1}.
+        let p = p_false_numeric(&c, &e);
+        assert!((p - (-1.0f64).exp()).abs() < 1e-9, "{p}");
+        // Pr{Exp(4) < 4} = 1 − e^{-1}.
+        let p = p_false_numeric(&e, &c);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_numeric() {
+        let sip = ContDist::Normal { mean: 5.0, std: 1.0 };
+        let rtp = ContDist::Exponential { mean: 5.0 };
+        let numeric = p_false_numeric(&sip, &rtp);
+        let mc = p_false_monte_carlo(&sip, &rtp, 200_000, 3);
+        assert!((numeric - mc).abs() < 0.01, "numeric={numeric} mc={mc}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # scidive-analysis — the paper's §4.3 performance model
+//!
+//! Closed-form, numeric-integration and Monte Carlo treatments of the
+//! three metrics the paper defines for the IDS:
+//!
+//! * **Detection delay** `D` ([`delay`]) — time from attack to alarm.
+//!   Under the paper's simplest assumptions (uniform `G_sip` over one
+//!   20 ms RTP period, symmetric network delays) `E[D] = 10 ms`.
+//! * **Probability of missed alarm** `P_m` ([`missed`]) — the orphan
+//!   packet fails to arrive inside the finite monitoring window `m`.
+//! * **Probability of false alarm** `P_f` ([`false_alarm`]) — a genuine
+//!   BYE overtakes the last RTP packet; `½` for i.i.d. delays.
+//!
+//! Supporting toolkit: distributions with pdf/cdf ([`dist`]), adaptive
+//! Simpson quadrature ([`integrate`]) and summary statistics
+//! ([`stats`]).
+//!
+//! ```
+//! use scidive_analysis::delay::DelayModel;
+//!
+//! let model = DelayModel::paper_simple();
+//! assert!((model.expected_simple_ms() - 10.0).abs() < 1e-12);
+//!
+//! let est = model.monte_carlo(10_000, 42, 200.0, 0.0);
+//! assert!((est.mean_delay_ms - 10.0).abs() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod delay;
+pub mod dist;
+pub mod false_alarm;
+pub mod integrate;
+pub mod missed;
+pub mod stats;
+
+/// Convenient glob import of the analysis types.
+pub mod prelude {
+    pub use crate::delay::{DelayEstimate, DelayModel};
+    pub use crate::dist::ContDist;
+    pub use crate::false_alarm::{p_false_monte_carlo, p_false_numeric};
+    pub use crate::integrate::integrate;
+    pub use crate::missed::{
+        p_missed_single_mc, p_missed_single_numeric, sweep_p_missed, MissedPoint,
+    };
+    pub use crate::stats::{percentile_sorted, Histogram, Summary};
+}

@@ -1,0 +1,171 @@
+//! The §4.3.1 missed-alarm probability.
+//!
+//! "Since the detection depends on monitoring after a SIP message
+//! arrival and since this monitoring interval is necessarily finite (m),
+//! there is a probability that the IDS system may not detect the
+//! intrusion." The paper's single-packet form is
+//! `P_m = Pr{N_rtp − G_sip + N_sip > m − 20}`; packet loss adds a factor
+//! per subsequent packet. This module offers the single-packet form by
+//! Monte Carlo / numeric integration and the loss-aware multi-packet
+//! form by Monte Carlo (via [`crate::delay::DelayModel`]).
+
+use crate::delay::DelayModel;
+use crate::dist::ContDist;
+use crate::integrate::integrate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Single-packet missed-alarm probability by Monte Carlo:
+/// `Pr{20 + N_rtp − G_sip − N_sip > m}` (the next packet arrives after
+/// the window closes).
+pub fn p_missed_single_mc(model: &DelayModel, m_ms: f64, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut misses = 0usize;
+    for _ in 0..trials {
+        if model.sample_simple(&mut rng) > m_ms {
+            misses += 1;
+        }
+    }
+    misses as f64 / trials as f64
+}
+
+/// Single-packet missed-alarm probability by numeric integration, for
+/// the case of constant network delays and continuous `G_sip`:
+/// `Pr{G_sip < period + n_rtp − n_sip − m}`.
+///
+/// Returns `None` when either network delay is not a constant (use the
+/// Monte Carlo form there).
+pub fn p_missed_single_numeric(model: &DelayModel, m_ms: f64) -> Option<f64> {
+    let (ContDist::Constant { c: n_rtp }, ContDist::Constant { c: n_sip }) =
+        (model.n_rtp, model.n_sip)
+    else {
+        return None;
+    };
+    let threshold = model.period_ms + n_rtp - n_sip - m_ms;
+    let (lo, hi) = model.g_sip.support();
+    if threshold <= lo {
+        return Some(0.0);
+    }
+    if threshold >= hi {
+        return Some(1.0);
+    }
+    Some(integrate(
+        &|g| model.g_sip.pdf(g),
+        lo,
+        threshold,
+        1e-10,
+    ))
+}
+
+/// One point of the `P_m(m)` sweep (the loss-aware multi-packet model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissedPoint {
+    /// The monitoring window m (ms).
+    pub m_ms: f64,
+    /// Packet loss probability used.
+    pub loss: f64,
+    /// Estimated missed-alarm probability.
+    pub p_missed: f64,
+    /// Mean detection delay over detected trials (ms).
+    pub mean_delay_ms: f64,
+}
+
+/// Sweeps `P_m` over monitoring windows and loss rates with the full
+/// multi-packet model.
+pub fn sweep_p_missed(
+    model: &DelayModel,
+    windows_ms: &[f64],
+    losses: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<MissedPoint> {
+    let mut out = Vec::new();
+    for (wi, &m_ms) in windows_ms.iter().enumerate() {
+        for (li, &loss) in losses.iter().enumerate() {
+            let est = model.monte_carlo(
+                trials,
+                seed ^ ((wi as u64) << 32) ^ (li as u64),
+                m_ms,
+                loss,
+            );
+            out.push(MissedPoint {
+                m_ms,
+                loss,
+                p_missed: est.p_missed,
+                mean_delay_ms: est.mean_delay_ms,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_matches_mc_for_constant_delays() {
+        let model = DelayModel::paper_simple(); // constant 0.5ms delays
+        for m in [5.0, 10.0, 15.0, 25.0] {
+            let numeric = p_missed_single_numeric(&model, m).unwrap();
+            let mc = p_missed_single_mc(&model, m, 200_000, 7);
+            assert!(
+                (numeric - mc).abs() < 0.005,
+                "m={m}: numeric={numeric} mc={mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_simple_case_shape() {
+        // With symmetric constant delays, D = 20 − G_sip ~ U(0, 20):
+        // P_m(m) = (20 − m)/20 for 0 ≤ m ≤ 20, 0 beyond.
+        let model = DelayModel::paper_simple();
+        let p10 = p_missed_single_numeric(&model, 10.0).unwrap();
+        assert!((p10 - 0.5).abs() < 1e-6, "{p10}");
+        let p20 = p_missed_single_numeric(&model, 20.0).unwrap();
+        assert!(p20 < 1e-6, "{p20}");
+        let p0 = p_missed_single_numeric(&model, 0.0).unwrap();
+        assert!((p0 - 1.0).abs() < 1e-6, "{p0}");
+    }
+
+    #[test]
+    fn numeric_requires_constant_delays() {
+        let model = DelayModel {
+            n_rtp: ContDist::Exponential { mean: 3.0 },
+            ..DelayModel::default()
+        };
+        assert!(p_missed_single_numeric(&model, 10.0).is_none());
+    }
+
+    #[test]
+    fn p_missed_decreases_with_window() {
+        let model = DelayModel {
+            n_rtp: ContDist::Exponential { mean: 10.0 },
+            n_sip: ContDist::Exponential { mean: 10.0 },
+            ..DelayModel::default()
+        };
+        let points = sweep_p_missed(&model, &[10.0, 30.0, 60.0, 120.0], &[0.0], 20_000, 3);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].p_missed <= pair[0].p_missed + 0.01,
+                "P_m should fall with m: {pair:?}"
+            );
+        }
+        // Multi-packet model: a wide window almost never misses.
+        assert!(points.last().unwrap().p_missed < 0.01);
+    }
+
+    #[test]
+    fn p_missed_increases_with_loss() {
+        let model = DelayModel::paper_simple();
+        let points = sweep_p_missed(&model, &[30.0], &[0.0, 0.1, 0.3, 0.6], 20_000, 5);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].p_missed >= pair[0].p_missed - 0.01,
+                "P_m should rise with loss: {pair:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the analysis toolkit: distribution axioms,
+//! quadrature sanity, probability bounds, statistical identities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scidive_analysis::delay::DelayModel;
+use scidive_analysis::dist::ContDist;
+use scidive_analysis::false_alarm::p_false_numeric;
+use scidive_analysis::integrate::integrate;
+use scidive_analysis::stats::{percentile_sorted, Histogram, Summary};
+
+fn continuous_dist() -> impl Strategy<Value = ContDist> {
+    prop_oneof![
+        (0.0f64..20.0, 0.1f64..20.0).prop_map(|(lo, w)| ContDist::Uniform { lo, hi: lo + w }),
+        (0.1f64..20.0).prop_map(|mean| ContDist::Exponential { mean }),
+        (0.0f64..10.0, 0.1f64..10.0)
+            .prop_map(|(shift, mean)| ContDist::ShiftedExponential { shift, mean }),
+        (0.0f64..20.0, 0.1f64..5.0).prop_map(|(mean, std)| ContDist::Normal { mean, std }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdf_is_monotone_in_unit_range(d in continuous_dist()) {
+        let (lo, hi) = d.support();
+        let mut prev = -1e-12;
+        for i in 0..=64 {
+            let x = lo + (hi - lo) * i as f64 / 64.0;
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c), "{d:?} cdf({x}) = {c}");
+            prop_assert!(c >= prev - 1e-9, "{d:?} not monotone at {x}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn pdf_is_nonnegative_and_integrates_to_one(d in continuous_dist()) {
+        let (lo, hi) = d.support();
+        for i in 0..=32 {
+            let x = lo + (hi - lo) * i as f64 / 32.0;
+            prop_assert!(d.pdf(x) >= 0.0);
+        }
+        let mass = integrate(&|x| d.pdf(x), lo - 1.0, hi + 1.0, 1e-9);
+        prop_assert!((mass - 1.0).abs() < 1e-3, "{d:?} mass = {mass}");
+    }
+
+    #[test]
+    fn sampling_respects_support(d in continuous_dist(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lo, hi) = d.support();
+        for _ in 0..64 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v.is_finite());
+            // Allow generous slack on normal tails beyond support cut.
+            prop_assert!(v >= lo - 1.0 && v <= hi + 1.0, "{d:?}: {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn p_false_is_a_probability_and_complements(
+        a in continuous_dist(),
+        b in continuous_dist(),
+    ) {
+        let p_ab = p_false_numeric(&a, &b);
+        let p_ba = p_false_numeric(&b, &a);
+        prop_assert!((-1e-6..=1.0 + 1e-6).contains(&p_ab), "{p_ab}");
+        prop_assert!((-1e-6..=1.0 + 1e-6).contains(&p_ba), "{p_ba}");
+        // Continuous distributions: ties have measure zero, so the two
+        // race outcomes complement. (Integration tolerance applies.)
+        prop_assert!((p_ab + p_ba - 1.0).abs() < 2e-2, "{a:?} vs {b:?}: {p_ab} + {p_ba}");
+    }
+
+    #[test]
+    fn delay_model_mc_bounds(
+        mean in 0.1f64..10.0,
+        window in 20.0f64..200.0,
+        loss in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let model = DelayModel {
+            n_rtp: ContDist::Exponential { mean },
+            n_sip: ContDist::Exponential { mean },
+            ..DelayModel::paper_simple()
+        };
+        let est = model.monte_carlo(2_000, seed, window, loss);
+        prop_assert!((0.0..=1.0).contains(&est.p_missed));
+        for d in &est.delays {
+            prop_assert!(*d > 0.0 && *d <= window + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    #[test]
+    fn percentile_is_within_range(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = percentile_sorted(&values, q);
+        prop_assert!(p >= values[0] && p <= values[values.len() - 1]);
+    }
+
+    #[test]
+    fn histogram_conserves_counts(
+        values in proptest::collection::vec(-100.0f64..200.0, 0..300),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for v in &values {
+            h.record(*v);
+        }
+        let binned: u64 = h.bins().iter().map(|(_, c)| *c).sum();
+        let (under, over) = h.outliers();
+        prop_assert_eq!(binned + under + over, values.len() as u64);
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+}

@@ -1,0 +1,291 @@
+//! The billing-fraud attack (paper §3.2).
+//!
+//! The attacker exploits a proxy vulnerability with a "carefully crafted
+//! SIP message [that fools] the proxy into believing the call is
+//! initiated by someone else": here, a malformed INVITE (it violates the
+//! mandatory-header discipline) carrying a `P-Billing-Id` header that the
+//! vulnerable proxy trusts as the billable party. The attacker then
+//! completes the call and streams media without ever being charged —
+//! the victim is.
+
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_rtp::source::{MediaSource, FRAME_PERIOD_MS};
+use scidive_sip::header::{CSeq, HeaderName, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{RequestBuilder, SipMessage};
+use scidive_sip::sdp::SessionDescription;
+use scidive_sip::uri::SipUri;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_START: TimerToken = 1;
+const TOK_MEDIA: TimerToken = 2;
+
+/// Configuration of the billing fraudster.
+#[derive(Debug, Clone)]
+pub struct BillingFraudConfig {
+    /// The attacker's address.
+    pub attacker_ip: Ipv4Addr,
+    /// The attacker's RTP port.
+    pub attacker_rtp: u16,
+    /// The vulnerable proxy.
+    pub proxy_ip: Ipv4Addr,
+    /// Who to call (a real, registered user).
+    pub callee_aor: String,
+    /// Who gets the bill.
+    pub victim_aor: String,
+    /// The attacker's own (honest) identity in `From`.
+    pub own_aor: String,
+    /// When to place the fraudulent call.
+    pub start_at: SimDuration,
+    /// Media packets to stream once connected.
+    pub media_packets: u32,
+}
+
+impl BillingFraudConfig {
+    /// A standard fraud run: call bob, bill alice.
+    pub fn new(attacker_ip: Ipv4Addr, proxy_ip: Ipv4Addr, start_at: SimDuration) -> BillingFraudConfig {
+        BillingFraudConfig {
+            attacker_ip,
+            attacker_rtp: 7200,
+            proxy_ip,
+            callee_aor: "bob@lab".to_string(),
+            victim_aor: "alice@lab".to_string(),
+            own_aor: "mallory@lab".to_string(),
+            start_at,
+            media_packets: 100,
+        }
+    }
+}
+
+/// The fraudster node: a minimal rogue UA.
+#[derive(Debug)]
+pub struct BillingFraudster {
+    config: BillingFraudConfig,
+    call_id: String,
+    invite: Option<SipMessage>,
+    remote_media: Option<(Ipv4Addr, u16)>,
+    source: MediaSource,
+    media_sent: u32,
+    /// Whether the call connected (200 received, ACK sent).
+    pub connected: bool,
+    /// When the crafted INVITE left.
+    pub fired_at: Option<SimTime>,
+}
+
+impl BillingFraudster {
+    /// Creates the attacker.
+    pub fn new(config: BillingFraudConfig) -> BillingFraudster {
+        BillingFraudster {
+            call_id: format!("fraud-call@{}", config.attacker_ip),
+            config,
+            invite: None,
+            remote_media: None,
+            source: MediaSource::new(0xF4A0D, 1, 0),
+            media_sent: 0,
+            connected: false,
+            fired_at: None,
+        }
+    }
+
+    fn send_invite(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.fired_at = Some(ctx.now());
+        let callee: SipUri = format!("sip:{}", self.config.callee_aor)
+            .parse()
+            .expect("aor uri");
+        let own: SipUri = format!("sip:{}", self.config.own_aor)
+            .parse()
+            .expect("aor uri");
+        let sdp = SessionDescription::audio_offer(
+            "mallory",
+            self.config.attacker_ip,
+            self.config.attacker_rtp,
+        );
+        let mut b = RequestBuilder::new(Method::Invite, callee.clone());
+        b.from(NameAddr::new(own).with_tag("tag-fraud"))
+            .to(NameAddr::new(callee))
+            .call_id(&self.call_id)
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp(
+                format!("{}:5060", self.config.attacker_ip),
+                "z9hG4bK-fraud-1",
+            ))
+            .contact(NameAddr::new(
+                SipUri::new("mallory", self.config.attacker_ip.to_string()).with_port(5060),
+            ))
+            // The exploit: the vulnerable proxy bills this AOR instead of
+            // the From identity.
+            .header(
+                HeaderName::Extension("P-Billing-Id".to_string()),
+                self.config.victim_aor.clone(),
+            )
+            // The craft: drop a mandatory header so the message is
+            // malformed per RFC 3261 §8.1.1 (paper §3.2 condition 1).
+            .without(&HeaderName::MaxForwards)
+            .body("application/sdp", sdp.to_string());
+        let invite = b.build();
+        ctx.send_udp(5060, self.config.proxy_ip, 5060, invite.to_bytes());
+        self.invite = Some(invite);
+    }
+
+    fn send_ack(&mut self, ctx: &mut NodeCtx<'_>, ok: &SipMessage) {
+        let contact = ok
+            .contact()
+            .map(|c| c.uri)
+            .unwrap_or_else(|_| format!("sip:{}", self.config.callee_aor).parse().expect("uri"));
+        let mut b = RequestBuilder::new(Method::Ack, contact);
+        if let Some(invite) = &self.invite {
+            if let Some(from) = invite.headers.get(&HeaderName::From) {
+                b.header(HeaderName::From, from);
+            }
+        }
+        if let Some(to) = ok.headers.get(&HeaderName::To) {
+            b.header(HeaderName::To, to);
+        }
+        b.call_id(&self.call_id)
+            .cseq(CSeq::new(1, Method::Ack))
+            .via(Via::udp(
+                format!("{}:5060", self.config.attacker_ip),
+                "z9hG4bK-fraud-ack",
+            ));
+        ctx.send_udp(5060, self.config.proxy_ip, 5060, b.build().to_bytes());
+    }
+
+    fn media_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some((ip, port)) = self.remote_media else {
+            return;
+        };
+        if self.media_sent >= self.config.media_packets {
+            return;
+        }
+        let pkt = self.source.next_packet();
+        ctx.send_udp(self.config.attacker_rtp, ip, port, pkt.encode());
+        self.media_sent += 1;
+        ctx.set_timer(SimDuration::from_millis(FRAME_PERIOD_MS), TOK_MEDIA);
+    }
+}
+
+impl Node for BillingFraudster {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(self.config.start_at, TOK_START);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        if pkt.dst != self.config.attacker_ip {
+            return;
+        }
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        if udp.dst_port != 5060 {
+            return;
+        }
+        let Ok(msg) = SipMessage::parse(&udp.payload) else {
+            return;
+        };
+        if self.connected || msg.call_id().map(|c| c != self.call_id).unwrap_or(true) {
+            return;
+        }
+        if msg.status().map(|s| s.is_success()).unwrap_or(false) {
+            self.connected = true;
+            if let Some(sdp) = std::str::from_utf8(&msg.body)
+                .ok()
+                .and_then(|s| s.parse::<SessionDescription>().ok())
+            {
+                self.remote_media = sdp.rtp_target();
+            }
+            self.send_ack(ctx, &msg);
+            ctx.set_timer(SimDuration::from_millis(FRAME_PERIOD_MS), TOK_MEDIA);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        match token {
+            TOK_START if self.fired_at.is_none() => self.send_invite(ctx),
+            TOK_MEDIA => self.media_tick(ctx),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_voip::scenario::TestbedBuilder;
+    use scidive_voip::ua::{ScriptStep, UaAction};
+
+    #[test]
+    fn fraudulent_call_bills_the_victim() {
+        let mut tb = TestbedBuilder::new(71)
+            .with_billing_vuln()
+            .a_script(vec![ScriptStep::new(
+                SimDuration::from_millis(10),
+                UaAction::Register,
+            )])
+            .b_script(vec![ScriptStep::new(
+                SimDuration::from_millis(20),
+                UaAction::Register,
+            )])
+            .build();
+        let ep = tb.endpoints.clone();
+        let cfg = BillingFraudConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(500),
+        );
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(BillingFraudster::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(6));
+
+        let atk = tb.sim.node_as::<BillingFraudster>(attacker).unwrap();
+        assert!(atk.connected, "fraud call should connect");
+        assert!(atk.media_sent > 50, "media_sent={}", atk.media_sent);
+
+        // The accounting system billed alice, who never placed a call.
+        let cdrs = tb.cdrs();
+        assert_eq!(cdrs.len(), 1);
+        assert_eq!(cdrs[0].caller, "alice@lab");
+        assert_eq!(cdrs[0].callee, "bob@lab");
+    }
+
+    #[test]
+    fn patched_proxy_bills_the_real_caller() {
+        let mut tb = TestbedBuilder::new(72)
+            .b_script(vec![ScriptStep::new(
+                SimDuration::from_millis(20),
+                UaAction::Register,
+            )])
+            .build(); // no billing vuln
+        let ep = tb.endpoints.clone();
+        let cfg = BillingFraudConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(500),
+        );
+        tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(BillingFraudster::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(6));
+        let cdrs = tb.cdrs();
+        assert_eq!(cdrs.len(), 1);
+        assert_eq!(cdrs[0].caller, "mallory@lab"); // honest attribution
+    }
+}

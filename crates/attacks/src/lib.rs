@@ -1,0 +1,46 @@
+//! # scidive-attacks — scripted attackers for the SCIDIVE testbed
+//!
+//! One attacker node per scenario in the paper:
+//!
+//! | Module | Paper section | Attack |
+//! |---|---|---|
+//! | [`bye`] | §4.2.1 | Forged BYE tears down A's side of a call |
+//! | [`fake_im`] | §4.2.2 | Instant message impersonating another user |
+//! | [`hijack`] | §4.2.3 | Forged re-INVITE redirects A's media to the attacker |
+//! | [`rtp_flood`] | §4.2.4 | Garbage RTP corrupts the victim's jitter buffer |
+//! | [`register_dos`] | §3.3 | Unauthenticated REGISTER flood at the proxy |
+//! | [`password`] | §3.3 | Digest brute-force against a user account |
+//! | [`billing`] | §3.2 | Crafted INVITE makes the proxy bill someone else |
+//! | [`rtcp_bye`] | extension | Forged RTCP BYE "ends" a stream that keeps flowing |
+//!
+//! All attackers are [`scidive_netsim::node::Node`]s added to a
+//! [`scidive_voip::scenario::Testbed`]; the in-dialog ones sniff the hub
+//! (promiscuously, like the real attack tools would on the paper's
+//! topology) via [`sniff::DialogSniffer`] to harvest Call-IDs, tags and
+//! SDP media targets before striking.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod billing;
+pub mod bye;
+pub mod fake_im;
+pub mod hijack;
+pub mod password;
+pub mod register_dos;
+pub mod rtcp_bye;
+pub mod rtp_flood;
+pub mod sniff;
+
+/// Convenient glob import of all attackers.
+pub mod prelude {
+    pub use crate::billing::{BillingFraudConfig, BillingFraudster};
+    pub use crate::bye::{ByeAttackConfig, ByeAttacker};
+    pub use crate::fake_im::{FakeImAttacker, FakeImConfig};
+    pub use crate::hijack::{HijackConfig, Hijacker};
+    pub use crate::password::{PasswordGuessConfig, PasswordGuesser};
+    pub use crate::register_dos::{RegisterDosConfig, RegisterFlooder};
+    pub use crate::rtcp_bye::{RtcpByeConfig, RtcpByeForger};
+    pub use crate::rtp_flood::{FloodMode, RtpFloodConfig, RtpFlooder};
+    pub use crate::sniff::{DialogSniffer, SniffedDialog};
+}

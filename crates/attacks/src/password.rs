@@ -1,0 +1,245 @@
+//! The password brute-force attack (paper §3.3).
+//!
+//! "If the client keeps sending requests with different values in the
+//! challenge response field, this could be seen as a type of attack that
+//! is trying to break the authentication key by brute force." The
+//! attacker answers each 401 challenge with the digest response for the
+//! next password guess — all inside one registration "session", which is
+//! exactly the state a stateful IDS needs to tell it apart from a benign
+//! one-retry auth handshake.
+
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::auth::{DigestChallenge, DigestCredentials};
+use scidive_sip::header::{CSeq, HeaderName, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{RequestBuilder, SipMessage};
+use scidive_sip::uri::SipUri;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_START: TimerToken = 1;
+
+/// Configuration of the brute-forcer.
+#[derive(Debug, Clone)]
+pub struct PasswordGuessConfig {
+    /// The attacker's address.
+    pub attacker_ip: Ipv4Addr,
+    /// The registrar under attack.
+    pub proxy_ip: Ipv4Addr,
+    /// The account being brute-forced (a real user's AOR).
+    pub target_aor: String,
+    /// The username presented in credentials.
+    pub username: String,
+    /// When to start.
+    pub start_at: SimDuration,
+    /// Guesses to try; the real password may be appended to model a
+    /// successful break-in.
+    pub guesses: Vec<String>,
+}
+
+impl PasswordGuessConfig {
+    /// A standard run of `n` wrong guesses against alice's account.
+    pub fn new(
+        attacker_ip: Ipv4Addr,
+        proxy_ip: Ipv4Addr,
+        start_at: SimDuration,
+        n: usize,
+    ) -> PasswordGuessConfig {
+        PasswordGuessConfig {
+            attacker_ip,
+            proxy_ip,
+            target_aor: "alice@lab".to_string(),
+            username: "alice".to_string(),
+            start_at,
+            guesses: (0..n).map(|i| format!("guess-{i}")).collect(),
+        }
+    }
+}
+
+/// The brute-forcing node.
+#[derive(Debug)]
+pub struct PasswordGuesser {
+    config: PasswordGuessConfig,
+    next_guess: usize,
+    cseq: u32,
+    /// Attempts actually answered with credentials.
+    pub attempts: u32,
+    /// Whether a 200 OK was received (password found).
+    pub broke_in: bool,
+    /// When the first REGISTER left.
+    pub fired_at: Option<SimTime>,
+}
+
+impl PasswordGuesser {
+    /// Creates the attacker.
+    pub fn new(config: PasswordGuessConfig) -> PasswordGuesser {
+        PasswordGuesser {
+            config,
+            next_guess: 0,
+            cseq: 0,
+            attempts: 0,
+            broke_in: false,
+            fired_at: None,
+        }
+    }
+
+    fn send_register(&mut self, ctx: &mut NodeCtx<'_>, creds: Option<DigestCredentials>) {
+        if self.fired_at.is_none() {
+            self.fired_at = Some(ctx.now());
+        }
+        self.cseq += 1;
+        let aor: SipUri = format!("sip:{}", self.config.target_aor)
+            .parse()
+            .expect("aor uri");
+        let registrar = SipUri::host_only(aor.host.clone());
+        let mut b = RequestBuilder::new(Method::Register, registrar);
+        b.from(NameAddr::new(aor.clone()).with_tag("tag-guess"))
+            .to(NameAddr::new(aor))
+            .call_id(format!("guess-reg@{}", self.config.attacker_ip))
+            .cseq(CSeq::new(self.cseq, Method::Register))
+            .via(Via::udp(
+                format!("{}:5060", self.config.attacker_ip),
+                format!("z9hG4bK-guess-{}", self.cseq),
+            ))
+            .expires(3600);
+        if let Some(creds) = creds {
+            b.header(HeaderName::Authorization, creds.to_string());
+        }
+        ctx.send_udp(5060, self.config.proxy_ip, 5060, b.build().to_bytes());
+    }
+}
+
+impl Node for PasswordGuesser {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(self.config.start_at, TOK_START);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        if pkt.dst != self.config.attacker_ip {
+            return;
+        }
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        if udp.dst_port != 5060 {
+            return;
+        }
+        let Ok(msg) = SipMessage::parse(&udp.payload) else {
+            return;
+        };
+        let Some(status) = msg.status() else {
+            return;
+        };
+        if status.is_success() {
+            self.broke_in = true;
+            return;
+        }
+        if status.code() != 401 {
+            return;
+        }
+        // Answer the challenge with the next guess.
+        let Some(challenge) = msg
+            .headers
+            .get(&HeaderName::WwwAuthenticate)
+            .and_then(|v| DigestChallenge::parse(v).ok())
+        else {
+            return;
+        };
+        if self.next_guess >= self.config.guesses.len() {
+            return; // out of guesses
+        }
+        let guess = self.config.guesses[self.next_guess].clone();
+        self.next_guess += 1;
+        self.attempts += 1;
+        let registrar = format!("sip:{}", self.config.target_aor);
+        let uri_part = registrar
+            .split('@')
+            .nth(1)
+            .map(|h| format!("sip:{h}"))
+            .unwrap_or(registrar);
+        let creds = DigestCredentials::answer(
+            &challenge,
+            &self.config.username,
+            &guess,
+            Method::Register,
+            &uri_part,
+        );
+        self.send_register(ctx, Some(creds));
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if token == TOK_START && self.cseq == 0 {
+            self.send_register(ctx, None);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_voip::scenario::TestbedBuilder;
+
+    #[test]
+    fn wrong_guesses_fail_and_are_counted() {
+        let mut tb = TestbedBuilder::new(61)
+            .with_auth(&[("alice", "real-password")])
+            .build();
+        let ep = tb.endpoints.clone();
+        let cfg = PasswordGuessConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(100),
+            10,
+        );
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(PasswordGuesser::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(10));
+        let atk = tb.sim.node_as::<PasswordGuesser>(attacker).unwrap();
+        assert_eq!(atk.attempts, 10);
+        assert!(!atk.broke_in);
+        let stats = tb.proxy_stats();
+        assert_eq!(stats.auth_failures, 10);
+        assert_eq!(stats.registrations, 0);
+    }
+
+    #[test]
+    fn correct_final_guess_breaks_in() {
+        let mut tb = TestbedBuilder::new(62)
+            .with_auth(&[("alice", "s3cret")])
+            .build();
+        let ep = tb.endpoints.clone();
+        let mut cfg = PasswordGuessConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(100),
+            3,
+        );
+        cfg.guesses.push("s3cret".to_string());
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(PasswordGuesser::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(10));
+        let atk = tb.sim.node_as::<PasswordGuesser>(attacker).unwrap();
+        assert!(atk.broke_in);
+        assert_eq!(atk.attempts, 4);
+        assert_eq!(tb.proxy_stats().registrations, 1);
+    }
+}

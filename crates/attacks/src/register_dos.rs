@@ -1,0 +1,175 @@
+//! The REGISTER-flood DoS attack (paper §3.3).
+//!
+//! "An unauthorized user client keeps sending unauthenticated REGISTER
+//! requests to bombard the SIP proxy and ignores the 401 UNAUTHORIZED
+//! reply error message." Each request makes the registrar mint a nonce
+//! and send a challenge, so the flood costs the server work and fills
+//! the signalling channel with request/4xx churn.
+
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::header::{CSeq, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::RequestBuilder;
+use scidive_sip::uri::SipUri;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_FIRE: TimerToken = 1;
+
+/// Configuration of the REGISTER flooder.
+#[derive(Debug, Clone)]
+pub struct RegisterDosConfig {
+    /// The attacker's address.
+    pub attacker_ip: Ipv4Addr,
+    /// The registrar under attack.
+    pub proxy_ip: Ipv4Addr,
+    /// The AOR to (fail to) register; a real user's makes it nastier.
+    pub aor: String,
+    /// When to start.
+    pub start_at: SimDuration,
+    /// REGISTERs to send.
+    pub count: u32,
+    /// Gap between requests.
+    pub interval: SimDuration,
+}
+
+impl RegisterDosConfig {
+    /// A standard flood: 50 unauthenticated REGISTERs, one per 100 ms.
+    pub fn new(attacker_ip: Ipv4Addr, proxy_ip: Ipv4Addr, start_at: SimDuration) -> RegisterDosConfig {
+        RegisterDosConfig {
+            attacker_ip,
+            proxy_ip,
+            aor: "mallory@lab".to_string(),
+            start_at,
+            count: 50,
+            interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// The REGISTER flooder node. It never answers the 401s — it just keeps
+/// re-sending the same unauthenticated request.
+#[derive(Debug)]
+pub struct RegisterFlooder {
+    config: RegisterDosConfig,
+    sent: u32,
+    /// 401 responses seen (and ignored).
+    pub challenges_ignored: u32,
+    /// When the first REGISTER left.
+    pub fired_at: Option<SimTime>,
+}
+
+impl RegisterFlooder {
+    /// Creates the attacker.
+    pub fn new(config: RegisterDosConfig) -> RegisterFlooder {
+        RegisterFlooder {
+            config,
+            sent: 0,
+            challenges_ignored: 0,
+            fired_at: None,
+        }
+    }
+
+    /// REGISTERs sent so far.
+    pub fn sent(&self) -> u32 {
+        self.sent
+    }
+
+    fn fire_one(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.fired_at.is_none() {
+            self.fired_at = Some(ctx.now());
+        }
+        self.sent += 1;
+        let aor: SipUri = format!("sip:{}", self.config.aor).parse().expect("aor uri");
+        let registrar = SipUri::host_only(aor.host.clone());
+        let mut b = RequestBuilder::new(Method::Register, registrar);
+        b.from(NameAddr::new(aor.clone()).with_tag("tag-dos"))
+            .to(NameAddr::new(aor.clone()))
+            .call_id(format!("dos-reg-{}@{}", self.sent, self.config.attacker_ip))
+            .cseq(CSeq::new(self.sent, Method::Register))
+            .via(Via::udp(
+                format!("{}:5060", self.config.attacker_ip),
+                format!("z9hG4bK-dos-{}", self.sent),
+            ))
+            .contact(NameAddr::new(
+                SipUri::new(
+                    aor.user.clone().unwrap_or_default(),
+                    self.config.attacker_ip.to_string(),
+                )
+                .with_port(5060),
+            ))
+            .expires(3600);
+        ctx.send_udp(5060, self.config.proxy_ip, 5060, b.build().to_bytes());
+        if self.sent < self.config.count {
+            ctx.set_timer(self.config.interval, TOK_FIRE);
+        }
+    }
+}
+
+impl Node for RegisterFlooder {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(self.config.start_at, TOK_FIRE);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        // Ignore the 401s — but count them for ground truth.
+        if pkt.dst == self.config.attacker_ip {
+            if let Ok(udp) = pkt.decode_udp() {
+                if udp.dst_port == 5060 && udp.payload.starts_with(b"SIP/2.0 401") {
+                    self.challenges_ignored += 1;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if token == TOK_FIRE {
+            self.fire_one(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_voip::scenario::TestbedBuilder;
+
+    #[test]
+    fn flood_draws_one_challenge_per_register() {
+        let mut tb = TestbedBuilder::new(51)
+            .with_auth(&[("alice", "pw-a"), ("bob", "pw-b")])
+            .build();
+        let ep = tb.endpoints.clone();
+        let mut cfg = RegisterDosConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(100),
+        );
+        cfg.count = 30;
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(RegisterFlooder::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(10));
+        let stats = tb.proxy_stats();
+        assert_eq!(stats.registers, 30);
+        assert_eq!(stats.challenges, 30);
+        assert_eq!(stats.registrations, 0);
+        let atk = tb.sim.node_as::<RegisterFlooder>(attacker).unwrap();
+        assert_eq!(atk.sent(), 30);
+        assert_eq!(atk.challenges_ignored, 30);
+    }
+}

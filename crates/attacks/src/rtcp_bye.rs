@@ -1,0 +1,180 @@
+//! The forged RTCP BYE attack (an extension beyond the paper's four:
+//! the classic RTCP teardown attack on the third protocol of the
+//! paper's SIP→RTP→RTCP chain, §3.1).
+//!
+//! RTCP is as unauthenticated as RTP: an attacker who sniffs a stream's
+//! SSRC can send the receiver a forged RTCP BYE claiming the source has
+//! left. Receivers that trust it tear down playout; either way the
+//! stream *keeps flowing* after its own goodbye — the same
+//! orphan-after-teardown structure as the SIP BYE attack, one protocol
+//! down the stack, and SCIDIVE's `rtcp-bye-anomaly` rule catches it the
+//! same way.
+
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_rtp::packet::RtpPacket;
+use scidive_rtp::rtcp::RtcpPacket;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_FIRE: TimerToken = 1;
+
+/// Configuration of the RTCP BYE forger.
+#[derive(Debug, Clone)]
+pub struct RtcpByeConfig {
+    /// The attacker's address.
+    pub attacker_ip: Ipv4Addr,
+    /// The victim (receiver of the stream being "ended").
+    pub victim_ip: Ipv4Addr,
+    /// The impersonated sender.
+    pub peer_ip: Ipv4Addr,
+    /// Delay after first sniffing the stream.
+    pub delay_after_stream: SimDuration,
+    /// Spoof the IP source as the peer.
+    pub spoof_ip: bool,
+}
+
+impl RtcpByeConfig {
+    /// A standard config.
+    pub fn new(
+        attacker_ip: Ipv4Addr,
+        victim_ip: Ipv4Addr,
+        peer_ip: Ipv4Addr,
+        delay: SimDuration,
+    ) -> RtcpByeConfig {
+        RtcpByeConfig {
+            attacker_ip,
+            victim_ip,
+            peer_ip,
+            delay_after_stream: delay,
+            spoof_ip: true,
+        }
+    }
+}
+
+/// The RTCP BYE forger: sniffs the peer→victim RTP stream to learn the
+/// SSRC and the victim's media port, then forges the goodbye.
+#[derive(Debug)]
+pub struct RtcpByeForger {
+    config: RtcpByeConfig,
+    /// (victim RTP port, stream SSRC) once sniffed.
+    target: Option<(u16, u32)>,
+    fired: bool,
+    /// When the forged BYE left.
+    pub fired_at: Option<SimTime>,
+}
+
+impl RtcpByeForger {
+    /// Creates the attacker.
+    pub fn new(config: RtcpByeConfig) -> RtcpByeForger {
+        RtcpByeForger {
+            config,
+            target: None,
+            fired: false,
+            fired_at: None,
+        }
+    }
+}
+
+impl Node for RtcpByeForger {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        if self.fired || self.target.is_some() {
+            return;
+        }
+        // Sniff the peer→victim media stream.
+        if pkt.src != self.config.peer_ip || pkt.dst != self.config.victim_ip {
+            return;
+        }
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        let Ok(rtp) = RtpPacket::decode(&udp.payload) else {
+            return;
+        };
+        self.target = Some((udp.dst_port, rtp.header.ssrc));
+        ctx.set_timer(self.config.delay_after_stream, TOK_FIRE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if token != TOK_FIRE || self.fired {
+            return;
+        }
+        let Some((rtp_port, ssrc)) = self.target else {
+            return;
+        };
+        self.fired = true;
+        self.fired_at = Some(ctx.now());
+        let bye = RtcpPacket::Bye { ssrcs: vec![ssrc] };
+        let src = if self.config.spoof_ip {
+            self.config.peer_ip
+        } else {
+            self.config.attacker_ip
+        };
+        // RTCP rides on the RTP port + 1.
+        ctx.send(IpPacket::udp(
+            src,
+            rtp_port + 1,
+            self.config.victim_ip,
+            rtp_port + 1,
+            bye.encode(),
+        ));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_voip::scenario::TestbedBuilder;
+
+    #[test]
+    fn forged_rtcp_bye_reaches_victim_while_stream_continues() {
+        let mut tb = TestbedBuilder::new(81)
+            .standard_call(SimDuration::from_millis(500), None)
+            .build();
+        let ep = tb.endpoints.clone();
+        let cfg = RtcpByeConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            ep.b_ip,
+            SimDuration::from_millis(800),
+        );
+        let attacker = tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(RtcpByeForger::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(4));
+        let atk = tb.sim.node_as::<RtcpByeForger>(attacker).unwrap();
+        let fired_at = atk.fired_at.expect("attack fired");
+        // B's stream keeps flowing to A after the forged goodbye.
+        let continuing = tb
+            .sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.time > fired_at
+                    && r.packet.src == ep.b_ip
+                    && r.packet
+                        .decode_udp()
+                        .map(|u| u.dst_port == ep.a_rtp)
+                        .unwrap_or(false)
+            })
+            .count();
+        assert!(continuing > 10, "continuing RTP: {continuing}");
+        // The forged BYE itself is on the wire at the RTCP port.
+        let byes = tb.sim.trace().filter_udp_port(ep.a_rtp + 1).len();
+        assert!(byes >= 1);
+    }
+}

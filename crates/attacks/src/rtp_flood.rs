@@ -1,0 +1,240 @@
+//! The RTP attack (paper §4.2.4, Figure 8).
+//!
+//! The attacker sends RTP-port-addressed garbage at a client in a call:
+//! either packets of pure random bytes ("both the header and the payload
+//! are filled with random bytes") or well-formed RTP whose sequence
+//! numbers jump wildly. Both corrupt the receiver's jitter buffer —
+//! crashing fragile clients (X-Lite) and glitching robust ones
+//! (Windows Messenger) — and both violate the sequence-number discipline
+//! SCIDIVE's rule checks (consecutive delta > 100).
+
+use crate::sniff::DialogSniffer;
+use rand::RngCore;
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_rtp::packet::{RtpHeader, RtpPacket};
+use scidive_sip::msg::SipMessage;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+const TOK_FIRE: TimerToken = 1;
+
+/// What the flood packets look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodMode {
+    /// Pure random bytes — usually not even valid RTP framing.
+    Garbage,
+    /// Valid RTP headers with wildly jumping sequence numbers and the
+    /// victim stream's SSRC (harder to filter).
+    WildSeq,
+}
+
+/// Configuration of the RTP flooder.
+#[derive(Debug, Clone)]
+pub struct RtpFloodConfig {
+    /// The attacker's address.
+    pub attacker_ip: Ipv4Addr,
+    /// The victim client.
+    pub victim_ip: Ipv4Addr,
+    /// Caller AOR of the dialog to disrupt (for sniffing the RTP port).
+    pub caller_aor: String,
+    /// Callee AOR.
+    pub callee_aor: String,
+    /// Packet style.
+    pub mode: FloodMode,
+    /// Packets to send.
+    pub count: u32,
+    /// Gap between packets.
+    pub interval: SimDuration,
+    /// Delay after the call establishes.
+    pub delay_after_established: SimDuration,
+    /// Spoof the source address as the peer's.
+    pub spoof_ip: bool,
+}
+
+impl RtpFloodConfig {
+    /// A standard garbage flood.
+    pub fn new(attacker_ip: Ipv4Addr, victim_ip: Ipv4Addr, delay: SimDuration) -> RtpFloodConfig {
+        RtpFloodConfig {
+            attacker_ip,
+            victim_ip,
+            caller_aor: "alice@lab".to_string(),
+            callee_aor: "bob@lab".to_string(),
+            mode: FloodMode::Garbage,
+            count: 20,
+            interval: SimDuration::from_millis(20),
+            delay_after_established: delay,
+            spoof_ip: false,
+        }
+    }
+}
+
+/// The RTP flooder node.
+#[derive(Debug)]
+pub struct RtpFlooder {
+    config: RtpFloodConfig,
+    sniffer: DialogSniffer,
+    /// The victim's RTP port, once sniffed from SDP.
+    target: Option<(Ipv4Addr, u16)>,
+    sent: u32,
+    wild_seq: u16,
+    victim_ssrc: u32,
+    /// When the first garbage packet left.
+    pub fired_at: Option<SimTime>,
+}
+
+impl RtpFlooder {
+    /// Creates the attacker.
+    pub fn new(config: RtpFloodConfig) -> RtpFlooder {
+        let sniffer = DialogSniffer::new(config.caller_aor.clone(), config.callee_aor.clone());
+        RtpFlooder {
+            config,
+            sniffer,
+            target: None,
+            sent: 0,
+            wild_seq: 0,
+            victim_ssrc: 0,
+            fired_at: None,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u32 {
+        self.sent
+    }
+
+    fn fire_one(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some((ip, port)) = self.target else {
+            return;
+        };
+        if self.fired_at.is_none() {
+            self.fired_at = Some(ctx.now());
+        }
+        let payload: Vec<u8> = match self.config.mode {
+            FloodMode::Garbage => {
+                let mut buf = vec![0u8; 172];
+                ctx.rng().fill_bytes(&mut buf);
+                buf
+            }
+            FloodMode::WildSeq => {
+                // Leap far beyond the legitimate stream.
+                self.wild_seq = self.wild_seq.wrapping_add(7_777);
+                let header = RtpHeader::new(0, self.wild_seq, ctx.rng().next_u32(), self.victim_ssrc);
+                RtpPacket::new(header, vec![0xAAu8; 160]).encode().to_vec()
+            }
+        };
+        let src = if self.config.spoof_ip {
+            self.sniffer
+                .dialog()
+                .callee_rtp
+                .map(|(ip, _)| ip)
+                .unwrap_or(self.config.attacker_ip)
+        } else {
+            self.config.attacker_ip
+        };
+        ctx.send(IpPacket::udp(src, 4444, ip, port, payload));
+        self.sent += 1;
+        if self.sent < self.config.count {
+            ctx.set_timer(self.config.interval, TOK_FIRE);
+        }
+    }
+}
+
+impl Node for RtpFlooder {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        if self.target.is_some() {
+            return;
+        }
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        if udp.dst_port != 5060 && udp.src_port != 5060 {
+            return;
+        }
+        let Ok(msg) = SipMessage::parse(&udp.payload) else {
+            return;
+        };
+        if self.sniffer.observe(&msg) {
+            // The victim's media sink is in whichever SDP the victim sent.
+            let d = self.sniffer.dialog();
+            self.target = [d.caller_rtp, d.callee_rtp]
+                .into_iter()
+                .flatten()
+                .find(|(ip, _)| *ip == self.config.victim_ip);
+            if self.target.is_some() {
+                ctx.set_timer(self.config.delay_after_established, TOK_FIRE);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        if token == TOK_FIRE {
+            self.fire_one(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_netsim::link::LinkParams;
+    use scidive_voip::events::UaEventKind;
+    use scidive_voip::scenario::TestbedBuilder;
+
+    fn run_flood(mode: FloodMode, fragile: bool, seed: u64) -> (bool, u64, Vec<UaEventKind>) {
+        let mut builder = TestbedBuilder::new(seed).standard_call(SimDuration::from_millis(500), None);
+        if fragile {
+            builder = builder.a_fragile(5);
+        }
+        let mut tb = builder.build();
+        let ep = tb.endpoints.clone();
+        let mut cfg = RtpFloodConfig::new(ep.attacker_ip, ep.a_ip, SimDuration::from_millis(1_000));
+        cfg.mode = mode;
+        tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(RtpFlooder::new(cfg)),
+        );
+        tb.run_for(SimDuration::from_secs(5));
+        let ua = tb.ua(tb.a).unwrap();
+        let crashed = ua.is_crashed();
+        let disruptions = ua.buffer_stats().disruptions;
+        let kinds = tb.a_events().iter().map(|e| e.kind.clone()).collect();
+        (crashed, disruptions, kinds)
+    }
+
+    #[test]
+    fn garbage_flood_crashes_fragile_client() {
+        let (crashed, disruptions, kinds) = run_flood(FloodMode::Garbage, true, 41);
+        assert!(crashed, "fragile client should crash (X-Lite behaviour)");
+        assert!(disruptions >= 5, "disruptions={disruptions}");
+        assert!(kinds.iter().any(|k| matches!(k, UaEventKind::Crashed { .. })));
+    }
+
+    #[test]
+    fn garbage_flood_only_glitches_robust_client() {
+        let (crashed, disruptions, kinds) = run_flood(FloodMode::Garbage, false, 42);
+        assert!(!crashed, "robust client glitches (Messenger behaviour)");
+        assert!(disruptions >= 5);
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, UaEventKind::RtpDisruption { .. })));
+        assert!(!kinds.iter().any(|k| matches!(k, UaEventKind::Crashed { .. })));
+    }
+
+    #[test]
+    fn wild_seq_flood_also_disrupts() {
+        let (_, disruptions, _) = run_flood(FloodMode::WildSeq, false, 43);
+        assert!(disruptions >= 5, "disruptions={disruptions}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Passive dialog sniffing.
+//!
+//! On the paper's hub topology the attacker sees every frame. The
+//! signalling is clear-text (§2.2: "Both H.323 and SIP transmit packet
+//! headers and payload in clear text, which allows an attacker to forge
+//! packets that manipulate device and call states"), so an attacker can
+//! harvest everything needed to forge in-dialog requests: Call-ID, both
+//! tags, CSeq, contacts, and the SDP media targets.
+
+use scidive_sip::header::HeaderName;
+use scidive_sip::method::Method;
+use scidive_sip::msg::SipMessage;
+use scidive_sip::sdp::SessionDescription;
+use scidive_sip::uri::SipUri;
+use std::net::Ipv4Addr;
+
+/// Everything sniffed about one dialog between a caller and callee.
+#[derive(Debug, Clone, Default)]
+pub struct SniffedDialog {
+    /// The dialog's Call-ID.
+    pub call_id: String,
+    /// Caller's tag (From of the INVITE).
+    pub caller_tag: Option<String>,
+    /// Callee's tag (To of the 2xx).
+    pub callee_tag: Option<String>,
+    /// Caller's contact URI.
+    pub caller_contact: Option<SipUri>,
+    /// Callee's contact URI.
+    pub callee_contact: Option<SipUri>,
+    /// Where the caller receives RTP (SDP offer).
+    pub caller_rtp: Option<(Ipv4Addr, u16)>,
+    /// Where the callee receives RTP (SDP answer).
+    pub callee_rtp: Option<(Ipv4Addr, u16)>,
+    /// The INVITE's CSeq number.
+    pub invite_cseq: u32,
+    /// Whether a 2xx with a callee tag has been seen.
+    pub established: bool,
+}
+
+/// Sniffs SIP packets for a dialog between two address-of-records.
+#[derive(Debug, Clone)]
+pub struct DialogSniffer {
+    caller_aor: String,
+    callee_aor: String,
+    dialog: SniffedDialog,
+}
+
+impl DialogSniffer {
+    /// Watches for a dialog from `caller_aor` to `callee_aor`.
+    pub fn new(caller_aor: impl Into<String>, callee_aor: impl Into<String>) -> DialogSniffer {
+        DialogSniffer {
+            caller_aor: caller_aor.into(),
+            callee_aor: callee_aor.into(),
+            dialog: SniffedDialog::default(),
+        }
+    }
+
+    /// The sniffed state so far.
+    pub fn dialog(&self) -> &SniffedDialog {
+        &self.dialog
+    }
+
+    /// Whether the dialog is established (forgeable).
+    pub fn is_established(&self) -> bool {
+        self.dialog.established
+    }
+
+    /// Feeds one SIP message seen on the wire. Returns `true` when this
+    /// message completed the picture (dialog newly established).
+    pub fn observe(&mut self, msg: &SipMessage) -> bool {
+        let (Ok(from), Ok(to)) = (msg.from_(), msg.to()) else {
+            return false;
+        };
+        let Ok(call_id) = msg.call_id() else {
+            return false;
+        };
+        let matches_pair =
+            from.uri.aor() == self.caller_aor && to.uri.aor() == self.callee_aor;
+        if !matches_pair {
+            return false;
+        }
+        if msg.method() == Some(Method::Invite) {
+            if self.dialog.call_id.is_empty() {
+                self.dialog.call_id = call_id.to_string();
+                self.dialog.caller_tag = from.tag().map(str::to_string);
+                self.dialog.invite_cseq = msg.cseq().map(|c| c.seq).unwrap_or(1);
+                self.dialog.caller_contact = msg.contact().ok().map(|c| c.uri);
+                if let Some(sdp) = parse_sdp(msg) {
+                    self.dialog.caller_rtp = sdp.rtp_target();
+                }
+            }
+            return false;
+        }
+        // Responses on the same dialog.
+        if msg.is_response()
+            && call_id == self.dialog.call_id
+            && msg.status().map(|s| s.is_success()).unwrap_or(false)
+            && msg.cseq().map(|c| c.method) == Ok(Method::Invite)
+        {
+            self.dialog.callee_tag = to.tag().map(str::to_string);
+            if let Ok(contact) = msg.contact() {
+                self.dialog.callee_contact = Some(contact.uri);
+            }
+            if let Some(sdp) = parse_sdp(msg) {
+                self.dialog.callee_rtp = sdp.rtp_target();
+            }
+            let newly = !self.dialog.established && self.dialog.callee_tag.is_some();
+            self.dialog.established = self.dialog.callee_tag.is_some();
+            return newly;
+        }
+        false
+    }
+}
+
+fn parse_sdp(msg: &SipMessage) -> Option<SessionDescription> {
+    if msg.headers.get(&HeaderName::ContentType)? != "application/sdp" {
+        return None;
+    }
+    std::str::from_utf8(&msg.body).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_sip::header::{CSeq, NameAddr, Via};
+    use scidive_sip::msg::{response_to, RequestBuilder};
+    use scidive_sip::status::StatusCode;
+
+    fn invite() -> SipMessage {
+        let sdp = SessionDescription::audio_offer("alice", Ipv4Addr::new(10, 0, 0, 2), 8000);
+        let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
+        b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("tag-a"))
+            .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+            .call_id("c77")
+            .cseq(CSeq::new(3, Method::Invite))
+            .via(Via::udp("10.0.0.2:5060", "z9hG4bK-a-1"))
+            .contact(NameAddr::new("sip:alice@10.0.0.2:5060".parse().unwrap()))
+            .body("application/sdp", sdp.to_string());
+        b.build()
+    }
+
+    #[test]
+    fn sniffs_full_handshake() {
+        let mut sniffer = DialogSniffer::new("alice@lab", "bob@lab");
+        let inv = invite();
+        assert!(!sniffer.observe(&inv));
+        assert!(!sniffer.is_established());
+
+        let mut ok = response_to(&inv, StatusCode::OK, Some("tag-b"));
+        let answer = SessionDescription::audio_offer("bob", Ipv4Addr::new(10, 0, 0, 3), 9000);
+        ok.headers.set(HeaderName::ContentType, "application/sdp");
+        ok.headers.set(
+            HeaderName::Contact,
+            NameAddr::new("sip:bob@10.0.0.3:5060".parse().unwrap()).to_string(),
+        );
+        ok.body = answer.to_string().into_bytes().into();
+        assert!(sniffer.observe(&ok)); // newly established
+
+        let d = sniffer.dialog();
+        assert_eq!(d.call_id, "c77");
+        assert_eq!(d.caller_tag.as_deref(), Some("tag-a"));
+        assert_eq!(d.callee_tag.as_deref(), Some("tag-b"));
+        assert_eq!(d.invite_cseq, 3);
+        assert_eq!(d.caller_rtp, Some((Ipv4Addr::new(10, 0, 0, 2), 8000)));
+        assert_eq!(d.callee_rtp, Some((Ipv4Addr::new(10, 0, 0, 3), 9000)));
+        assert_eq!(
+            d.callee_contact.as_ref().map(|u| u.to_string()),
+            Some("sip:bob@10.0.0.3:5060".to_string())
+        );
+        // Re-observing the 200 is not "newly established".
+        assert!(!sniffer.observe(&ok));
+    }
+
+    #[test]
+    fn ignores_other_pairs() {
+        let mut sniffer = DialogSniffer::new("carol@lab", "dave@lab");
+        assert!(!sniffer.observe(&invite()));
+        assert!(sniffer.dialog().call_id.is_empty());
+    }
+
+    #[test]
+    fn ignores_non_dialog_messages() {
+        let mut sniffer = DialogSniffer::new("alice@lab", "bob@lab");
+        let mut b = RequestBuilder::new(Method::Options, "sip:bob@lab".parse().unwrap());
+        b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("t"))
+            .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+            .call_id("x")
+            .cseq(CSeq::new(1, Method::Options))
+            .via(Via::udp("10.0.0.2:5060", "z9hG4bK-1"));
+        assert!(!sniffer.observe(&b.build()));
+        assert!(!sniffer.is_established());
+    }
+}

@@ -1,0 +1,28 @@
+//! Micro-benchmark: the §4.3 analytical machinery (Monte Carlo delay
+//! sampling and the P_f integral).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidive_analysis::prelude::*;
+
+fn bench_analysis(c: &mut Criterion) {
+    let model = DelayModel {
+        n_rtp: ContDist::Exponential { mean: 5.0 },
+        n_sip: ContDist::Exponential { mean: 5.0 },
+        ..DelayModel::paper_simple()
+    };
+    c.bench_function("delay-mc-10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            model.monte_carlo(10_000, seed, 200.0, 0.05)
+        })
+    });
+    c.bench_function("p-false-numeric", |b| {
+        let sip = ContDist::Normal { mean: 5.0, std: 1.0 };
+        let rtp = ContDist::Exponential { mean: 5.0 };
+        b.iter(|| p_false_numeric(&sip, &rtp))
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Experiment P1a** — throughput of the IDS pipeline (the paper's
+//! "efficiency of the algorithm for creating events from footprints and
+//! matching events against the rule set").
+//!
+//! A full attack scenario is captured once; the benchmark replays the
+//! capture through a fresh engine, measuring end-to-end frames/second
+//! through Distiller → Trails → Event Generator → Ruleset.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scidive_bench::harness::{run_attack, AttackKind, ScenarioOptions};
+use scidive_core::prelude::*;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+
+fn capture(kind: AttackKind) -> Vec<(SimTime, IpPacket)> {
+    let outcome = run_attack(kind, 1, &ScenarioOptions::default());
+    outcome
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.time, r.packet.clone()))
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    for kind in [AttackKind::Bye, AttackKind::RtpFlood, AttackKind::BillingFraud] {
+        let frames = capture(kind);
+        group.throughput(Throughput::Elements(frames.len() as u64));
+        group.bench_function(format!("replay-{:?}", kind), |b| {
+            b.iter_batched(
+                || Scidive::new(ScidiveConfig::default()),
+                |mut ids| {
+                    ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+                    ids
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_distiller_only(c: &mut Criterion) {
+    let frames = capture(AttackKind::Bye);
+    let mut group = c.benchmark_group("distiller");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("distill-only", |b| {
+        b.iter_batched(
+            || Distiller::new(DistillerConfig::default()),
+            |mut d| {
+                for (t, p) in &frames {
+                    std::hint::black_box(d.distill(*t, p));
+                }
+                d
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_distiller_only);
+criterion_main!(benches);

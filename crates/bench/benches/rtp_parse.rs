@@ -1,0 +1,31 @@
+//! Micro-benchmark: RTP decode and sequence validation (the Distiller's
+//! hot path on the media side — the dominant packet class in VoIP).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scidive_rtp::prelude::*;
+
+fn bench_rtp(c: &mut Criterion) {
+    let mut src = MediaSource::new(0xabc, 0, 0);
+    let wire = src.next_packet().encode();
+    let mut group = c.benchmark_group("rtp");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("decode", |b| {
+        b.iter(|| RtpPacket::decode(std::hint::black_box(&wire)).unwrap())
+    });
+    group.bench_function("encode", |b| {
+        let pkt = RtpPacket::decode(&wire).unwrap();
+        b.iter(|| pkt.encode())
+    });
+    group.bench_function("seq-tracker-update", |b| {
+        let mut tracker = SeqTracker::new(0);
+        let mut seq = 1u16;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            tracker.update(std::hint::black_box(seq))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtp);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Experiment P1b** — rule-engine scaling: alert latency as the
+//! ruleset grows ("the efficiency of the algorithm ... will affect the
+//! detection latency in addition to the structure of the rules").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scidive_bench::harness::{run_attack, AttackKind, ScenarioOptions};
+use scidive_core::event::EventClass;
+use scidive_core::prelude::*;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+
+fn engine_with_extra_rules(extra: usize) -> Scidive {
+    let mut ids = Scidive::new(ScidiveConfig::default());
+    for i in 0..extra {
+        // Distinct sequence rules that never complete (benign classes in
+        // an order attacks do not produce), exercising partial-match
+        // bookkeeping.
+        ids.add_rule(Box::new(SequenceRule::new(
+            format!("synthetic-{i}"),
+            "synthetic partial-match load",
+            vec![
+                EventClass::RtpFlowActive,
+                EventClass::PasswordGuessing,
+                EventClass::AcctMismatch,
+            ],
+            SimDuration::from_secs(60),
+        )));
+    }
+    ids
+}
+
+fn bench_ruleset_scaling(c: &mut Criterion) {
+    let frames: Vec<(SimTime, IpPacket)> =
+        run_attack(AttackKind::Bye, 1, &ScenarioOptions::default())
+            .trace
+            .records()
+            .iter()
+            .map(|r| (r.time, r.packet.clone()))
+            .collect();
+    let mut group = c.benchmark_group("ruleset_scaling");
+    for extra in [0usize, 8, 32, 128] {
+        group.bench_function(format!("extra-rules-{extra}"), |b| {
+            b.iter_batched(
+                || engine_with_extra_rules(extra),
+                |mut ids| {
+                    ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+                    ids
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ruleset_scaling);
+criterion_main!(benches);

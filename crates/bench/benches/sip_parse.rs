@@ -1,0 +1,34 @@
+//! Micro-benchmark: SIP message parse/serialize (the Distiller's hot
+//! path on the signalling side).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scidive_sip::prelude::*;
+
+fn sample_invite() -> Vec<u8> {
+    let sdp = SessionDescription::audio_offer("alice", std::net::Ipv4Addr::new(10, 0, 0, 2), 8000);
+    let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
+    b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("tag-a"))
+        .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+        .call_id("bench-call-1@10.0.0.2")
+        .cseq(CSeq::new(1, Method::Invite))
+        .via(Via::udp("10.0.0.2:5060", "z9hG4bK-bench"))
+        .contact(NameAddr::new("sip:alice@10.0.0.2:5060".parse().unwrap()))
+        .body("application/sdp", sdp.to_string());
+    b.build().to_bytes().to_vec()
+}
+
+fn bench_sip(c: &mut Criterion) {
+    let wire = sample_invite();
+    let msg = SipMessage::parse(&wire).unwrap();
+    let mut group = c.benchmark_group("sip");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("parse-invite", |b| {
+        b.iter(|| SipMessage::parse(std::hint::black_box(&wire)).unwrap())
+    });
+    group.bench_function("serialize-invite", |b| b.iter(|| msg.to_bytes()));
+    group.bench_function("format-violations", |b| b.iter(|| msg.format_violations()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sip);
+criterion_main!(benches);

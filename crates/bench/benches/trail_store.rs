@@ -1,0 +1,74 @@
+//! **Experiment P2** — trail memory and insertion cost: the practicality
+//! of holding per-session state (§3.3's "constrained in practice by the
+//! amount of memory available").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scidive_core::footprint::{Footprint, FootprintBody, PacketMeta};
+use scidive_core::prelude::*;
+use scidive_rtp::packet::RtpHeader;
+use scidive_netsim::time::SimTime;
+use std::net::Ipv4Addr;
+
+fn rtp_footprint(session_port: u16, seq: u16, t: u64) -> Footprint {
+    Footprint {
+        meta: PacketMeta {
+            time: SimTime::from_millis(t),
+            src: Ipv4Addr::new(10, 0, 0, 3),
+            src_port: 9000,
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: session_port,
+        },
+        body: FootprintBody::Rtp {
+            header: RtpHeader::new(0, seq, u32::from(seq) * 160, 0xabc),
+            payload_len: 160,
+        },
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trail_store");
+    for sessions in [1u16, 16, 256] {
+        let footprints: Vec<Footprint> = (0..10_000u32)
+            .map(|i| rtp_footprint(8000 + (i as u16 % sessions), i as u16, u64::from(i)))
+            .collect();
+        group.throughput(Throughput::Elements(footprints.len() as u64));
+        group.bench_function(format!("insert-10k-{sessions}-flows"), |b| {
+            b.iter_batched(
+                || TrailStore::new(TrailStoreConfig::default()),
+                |mut store| {
+                    for fp in &footprints {
+                        std::hint::black_box(store.insert(fp.clone()));
+                    }
+                    store
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // Bounded retention: a capped trail under flood stays at its cap.
+    group.bench_function("insert-flood-capped-256", |b| {
+        let footprints: Vec<Footprint> = (0..10_000u32)
+            .map(|i| rtp_footprint(8000, i as u16, u64::from(i)))
+            .collect();
+        b.iter_batched(
+            || {
+                TrailStore::new(TrailStoreConfig {
+                    max_footprints_per_trail: 256,
+                    ..TrailStoreConfig::default()
+                })
+            },
+            |mut store| {
+                for fp in &footprints {
+                    store.insert(fp.clone());
+                }
+                assert!(store.footprint_count() <= 256);
+                store
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

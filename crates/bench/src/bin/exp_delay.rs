@@ -1,0 +1,140 @@
+//! **Experiment A1 — §4.3.1 detection-delay model.**
+//!
+//! The paper derives `D = 20 + N_rtp − G_sip − N_sip` and concludes that
+//! "under the simplest of assumptions ... the expected detection delay
+//! is 10 milliseconds, which is half of the RTP packet generation
+//! period". This experiment sweeps network-delay distributions and, for
+//! each, compares three estimates of the BYE-attack detection delay:
+//!
+//! 1. the closed form `E[D] = 20 + E[N_rtp] − E[G_sip] − E[N_sip]`,
+//! 2. Monte Carlo on the full multi-packet model, and
+//! 3. the simulator: real forged-BYE attacks against the testbed.
+//!
+//! The simulator measures from attack *generation*, so the model columns
+//! add `E[N_sip]` back (see the module docs of `scidive_analysis::delay`
+//! for the sign discussion and the paper's typo).
+
+use scidive_analysis::delay::DelayModel;
+use scidive_analysis::dist::ContDist;
+use scidive_analysis::stats::Summary;
+use scidive_bench::harness::{run_attack, AttackKind, ScenarioOptions};
+use scidive_bench::report::{f2, save_json, Table};
+use scidive_netsim::dist::DelayDist;
+use scidive_netsim::link::LinkParams;
+use serde::Serialize;
+
+const SEEDS: u64 = 60;
+const MC_TRIALS: usize = 200_000;
+
+/// A delay setting expressed for both the simulator and the model.
+struct Setting {
+    name: &'static str,
+    sim: DelayDist,
+    model: ContDist,
+}
+
+#[derive(Serialize)]
+struct Row {
+    dist: String,
+    closed_form_ms: f64,
+    monte_carlo_ms: f64,
+    simulated_ms: f64,
+    simulated_p95_ms: f64,
+    detected: usize,
+    seeds: usize,
+}
+
+fn main() {
+    let settings = [
+        Setting {
+            name: "constant 0.5 ms",
+            sim: DelayDist::constant_ms(0.5),
+            model: ContDist::Constant { c: 0.5 },
+        },
+        Setting {
+            name: "uniform 0.1–0.8 ms (LAN)",
+            sim: DelayDist::uniform_ms(0.1, 0.8),
+            model: ContDist::Uniform { lo: 0.1, hi: 0.8 },
+        },
+        Setting {
+            name: "exponential mean 2 ms",
+            sim: DelayDist::exponential_ms(2.0),
+            model: ContDist::Exponential { mean: 2.0 },
+        },
+        Setting {
+            name: "exponential mean 5 ms",
+            sim: DelayDist::exponential_ms(5.0),
+            model: ContDist::Exponential { mean: 5.0 },
+        },
+        Setting {
+            name: "normal 5 ± 1 ms",
+            sim: DelayDist::normal_ms(5.0, 1.0),
+            model: ContDist::Normal { mean: 5.0, std: 1.0 },
+        },
+    ];
+
+    println!("# Experiment A1 — §4.3.1 detection delay, model vs. simulator");
+    println!("# BYE attack, {SEEDS} seeds per distribution; model adds E[N_sip] (measured from attack generation)\n");
+
+    let mut table = Table::new(&[
+        "Network delay",
+        "Closed form (ms)",
+        "Monte Carlo (ms)",
+        "Simulated mean (ms)",
+        "Simulated p95 (ms)",
+        "Detected",
+    ]);
+    let mut rows = Vec::new();
+
+    for setting in &settings {
+        let model = DelayModel {
+            period_ms: 20.0,
+            n_rtp: setting.model,
+            n_sip: setting.model,
+            g_sip: ContDist::Uniform { lo: 0.0, hi: 20.0 },
+        };
+        // Both columns measured from SIP *generation*: add E[N_sip].
+        let closed = model.expected_simple_ms() + setting.model.mean();
+        let mc = model.monte_carlo(MC_TRIALS, 424242, 1_000.0, 0.0);
+        let mc_from_gen = mc.mean_delay_ms + setting.model.mean();
+
+        let opts = ScenarioOptions {
+            link: LinkParams::new(setting.sim),
+            monitor_window: scidive_netsim::time::SimDuration::from_millis(1_000),
+            ..ScenarioOptions::default()
+        };
+        let mut delays = Vec::new();
+        let mut detected = 0usize;
+        for seed in 1..=SEEDS {
+            let outcome = run_attack(AttackKind::Bye, seed, &opts);
+            if let Some(d) = outcome.report.outcomes.first().and_then(|o| o.delay()) {
+                delays.push(d.as_millis_f64());
+                detected += 1;
+            }
+        }
+        let summary = Summary::of(&delays).expect("some detections");
+        table.row(&[
+            setting.name.to_string(),
+            f2(closed),
+            f2(mc_from_gen),
+            f2(summary.mean),
+            f2(summary.p95),
+            format!("{detected}/{SEEDS}"),
+        ]);
+        rows.push(Row {
+            dist: setting.name.to_string(),
+            closed_form_ms: closed,
+            monte_carlo_ms: mc_from_gen,
+            simulated_ms: summary.mean,
+            simulated_p95_ms: summary.p95,
+            detected,
+            seeds: SEEDS as usize,
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper's headline (symmetric delays): E[D] = 10 ms — half the 20 ms RTP period.\n\
+         Expect the simulated mean ≈ closed form; heavy-tailed delays push p95 up."
+    );
+    save_json("exp_delay", &rows);
+}

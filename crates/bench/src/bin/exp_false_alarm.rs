@@ -1,0 +1,146 @@
+//! **Experiment A3 — §4.3.1 false-alarm probability `P_f`.**
+//!
+//! "It is possible for a valid BYE message to arrive before the RTP
+//! packet if, for instance, they take a different route ... P_f =
+//! Pr{N_sip < N_rtp}", which is exactly ½ for i.i.d. continuous delays.
+//!
+//! Two parts:
+//!
+//! 1. **Model**: `P_f = Pr{N_sip < N_rtp}` by numeric integration and
+//!    Monte Carlo across delay-distribution pairs — reproducing the ½
+//!    result and its asymmetric variants.
+//! 2. **Simulator**: benign calls where the caller hangs up normally.
+//!    A false alarm needs the genuine BYE to overtake the last
+//!    in-flight RTP packet at the tap; with a well-behaved client that
+//!    stops media before sending BYE, this needs delay variance. We
+//!    sweep the tap's delay spread and report the observed rate
+//!    alongside the model's prediction for the same race (the paper's
+//!    zero-gap assumption is the worst case, so the simulated rate must
+//!    stay below the ½ bound).
+
+use scidive_analysis::dist::ContDist;
+use scidive_analysis::false_alarm::{p_false_monte_carlo, p_false_numeric};
+use scidive_bench::harness::{run_benign, ScenarioOptions};
+use scidive_bench::report::{p3, save_json, Table};
+use scidive_netsim::dist::DelayDist;
+use scidive_netsim::link::LinkParams;
+use serde::Serialize;
+
+const SEEDS: u64 = 200;
+
+#[derive(Serialize)]
+struct ModelRow {
+    n_sip: String,
+    n_rtp: String,
+    numeric: f64,
+    monte_carlo: f64,
+}
+
+#[derive(Serialize)]
+struct SimRow {
+    tap_delay: String,
+    false_alarm_rate: f64,
+    runs: u64,
+}
+
+fn main() {
+    println!("# Experiment A3 — §4.3.1 false-alarm probability P_f\n");
+    println!("## Model: P_f = Pr{{N_sip < N_rtp}} (genuine BYE overtakes the last RTP packet)\n");
+
+    let pairs = [
+        (
+            "exp mean 5",
+            ContDist::Exponential { mean: 5.0 },
+            "exp mean 5",
+            ContDist::Exponential { mean: 5.0 },
+        ),
+        (
+            "uniform 0–10",
+            ContDist::Uniform { lo: 0.0, hi: 10.0 },
+            "uniform 0–10",
+            ContDist::Uniform { lo: 0.0, hi: 10.0 },
+        ),
+        (
+            "normal 5±1",
+            ContDist::Normal { mean: 5.0, std: 1.0 },
+            "normal 5±1",
+            ContDist::Normal { mean: 5.0, std: 1.0 },
+        ),
+        (
+            "exp mean 2 (fast SIP)",
+            ContDist::Exponential { mean: 2.0 },
+            "exp mean 8",
+            ContDist::Exponential { mean: 8.0 },
+        ),
+        (
+            "exp mean 8 (slow SIP)",
+            ContDist::Exponential { mean: 8.0 },
+            "exp mean 2",
+            ContDist::Exponential { mean: 2.0 },
+        ),
+    ];
+    let mut table = Table::new(&["N_sip", "N_rtp", "P_f numeric", "P_f Monte Carlo"]);
+    let mut model_rows = Vec::new();
+    for (sname, sip, rname, rtp) in &pairs {
+        let numeric = p_false_numeric(sip, rtp);
+        let mc = p_false_monte_carlo(sip, rtp, 400_000, 99);
+        table.row(&[
+            sname.to_string(),
+            rname.to_string(),
+            p3(numeric),
+            p3(mc),
+        ]);
+        model_rows.push(ModelRow {
+            n_sip: sname.to_string(),
+            n_rtp: rname.to_string(),
+            numeric,
+            monte_carlo: mc,
+        });
+    }
+    println!("{}", table.render());
+    println!("Paper: for i.i.d. delays ∫F_N·f_N dt = 1/2 — the race is a coin flip;\na faster SIP path makes the false alarm *more* likely (the BYE wins more races).\n");
+
+    println!("## Simulator: benign hangups across tap-delay spreads ({SEEDS} runs each)\n");
+    let sweeps = [
+        ("uniform 0.1–0.8 ms (LAN)", DelayDist::uniform_ms(0.1, 0.8)),
+        ("exponential mean 5 ms", DelayDist::exponential_ms(5.0)),
+        ("exponential mean 15 ms", DelayDist::exponential_ms(15.0)),
+        ("exponential mean 30 ms", DelayDist::exponential_ms(30.0)),
+    ];
+    let mut table = Table::new(&["Tap link delay", "Simulated P_f", "False-alarm runs"]);
+    let mut sim_rows = Vec::new();
+    for (name, dist) in &sweeps {
+        let opts = ScenarioOptions {
+            link: LinkParams::lan(),
+            tap_link: Some(LinkParams::new(*dist)),
+            ..ScenarioOptions::default()
+        };
+        let mut false_runs = 0u64;
+        for seed in 1..=SEEDS {
+            let alarms = run_benign(seed, &opts);
+            if alarms.iter().any(|a| a.rule == "bye-attack") {
+                false_runs += 1;
+            }
+        }
+        let rate = false_runs as f64 / SEEDS as f64;
+        table.row(&[name.to_string(), p3(rate), format!("{false_runs}/{SEEDS}")]);
+        sim_rows.push(SimRow {
+            tap_delay: name.to_string(),
+            false_alarm_rate: rate,
+            runs: SEEDS,
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check: the rate grows with delay variance (more reordering).\n\
+         On a LAN it is ~0 because the client stops media up to one RTP\n\
+         period before its BYE, so the BYE rarely overtakes. Once delays\n\
+         become comparable to the 20 ms RTP period, *several* media packets\n\
+         are in flight at hang-up time and the BYE races all of them — the\n\
+         observed rate can then exceed the paper's single-packet ½ figure."
+    );
+    save_json(
+        "exp_false_alarm",
+        &serde_json::json!({ "model": model_rows, "simulated": sim_rows }),
+    );
+}

@@ -1,0 +1,179 @@
+//! **Experiment S1 — §3.3 stateful detection vs. stateless matching.**
+//!
+//! "Since 4XX responses are not uncommon in a normal session, a
+//! traditional IDS like Snort with a rule to detect multiple 4XX
+//! responses may flag a large number of false alarms. ... If the IDS
+//! does not isolate 4XX error messages from different sessions and
+//! doesn't correlate 4XX error messages with requests, it is likely it
+//! will make false verdicts based on unrelated 4XX error messages."
+//!
+//! Three detectors over identical traffic:
+//!
+//! * **SCIDIVE (stateful)** — per-source request/4xx alternation windows,
+//! * **SCIDIVE (stateless mode)** — the same engine with global,
+//!   session-blind counting,
+//! * **Snort-like baseline** — per-packet prefix signatures with global
+//!   rate thresholds and no reassembly.
+//!
+//! Two workloads: *benign churn* (N clients with digest-auth
+//! registrations, some misconfigured → plenty of 4xx) and the same churn
+//! *plus* a REGISTER-flood attacker.
+
+use scidive_attacks::prelude::*;
+use scidive_bench::report::{save_json, Table};
+use scidive_core::prelude::*;
+use scidive_netsim::link::LinkParams;
+use scidive_netsim::node::{CapturedFrame, Collector, CollectorHandle};
+use scidive_netsim::time::SimDuration;
+use scidive_voip::prelude::*;
+use serde::Serialize;
+
+const SEEDS: u64 = 20;
+const BENIGN_CLIENTS: u8 = 12;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Detector {
+    Stateful,
+    Stateless,
+    SnortLike,
+}
+
+impl Detector {
+    fn name(self) -> &'static str {
+        match self {
+            Detector::Stateful => "SCIDIVE (stateful)",
+            Detector::Stateless => "SCIDIVE (stateless mode)",
+            Detector::SnortLike => "Snort-like baseline",
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    detector: String,
+    workload: String,
+    runs_with_alarm: u64,
+    runs: u64,
+}
+
+/// Builds the churn testbed; returns it plus the tap node.
+fn build_churn(seed: u64, with_attacker: bool) -> (Testbed, CollectorHandle) {
+    let mut tb = TestbedBuilder::new(seed)
+        .with_auth(&[("alice", "pw-a"), ("bob", "pw-b")])
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(30), UaAction::Register)])
+        .build();
+    let ep = tb.endpoints.clone();
+    // Benign clients with stale credentials: each does a REGISTER → 401 →
+    // (failed) authed REGISTER → 401 cycle, i.e. two 4xx per client.
+    for i in 0..BENIGN_CLIENTS {
+        let ip = std::net::Ipv4Addr::new(10, 0, 1, i + 1);
+        let aor: scidive_sip::uri::SipUri = format!("sip:user{i}@lab").parse().unwrap();
+        let cfg = UaConfig::new(aor, ip, 10_000 + u16::from(i) * 2, ep.proxy_ip)
+            .with_password("stale-password");
+        let ua = UserAgent::new(
+            cfg,
+            vec![ScriptStep::new(
+                SimDuration::from_millis(100 + u64::from(i) * 150),
+                UaAction::Register,
+            )],
+        );
+        tb.add_node(&format!("client-{i}"), ip, LinkParams::lan(), Box::new(ua));
+    }
+    if with_attacker {
+        let cfg = RegisterDosConfig::new(ep.attacker_ip, ep.proxy_ip, SimDuration::from_secs(2));
+        tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            LinkParams::lan(),
+            Box::new(RegisterFlooder::new(cfg)),
+        );
+    }
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    (tb, tap)
+}
+
+/// Runs one detector offline over the captured frames; returns whether a
+/// flood alarm fired.
+fn flood_alarm(detector: Detector, frames: &[CapturedFrame], ep: &Endpoints) -> bool {
+    match detector {
+        Detector::Stateful | Detector::Stateless => {
+            let mut config = ScidiveConfig::default();
+            config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+            config.events.stateful = detector == Detector::Stateful;
+            let mut ids = Scidive::new(config);
+            for f in frames {
+                ids.on_frame(f.time, &f.packet);
+            }
+            ids.alerts().iter().any(|a| a.rule == "register-dos")
+        }
+        Detector::SnortLike => {
+            // The same thresholds SCIDIVE uses: 10 hits in 10 s.
+            let mut ids = SnortLike::voip_ruleset(10, SimDuration::from_secs(10));
+            for f in frames {
+                ids.on_frame(f.time, &f.packet);
+            }
+            ids.alerts()
+                .iter()
+                .any(|a| a.rule.starts_with("snort-"))
+        }
+    }
+}
+
+fn main() {
+    println!("# Experiment S1 — §3.3 stateful vs. stateless detection");
+    println!(
+        "# {BENIGN_CLIENTS} benign clients with stale credentials (4xx churn), {SEEDS} seeds per cell\n"
+    );
+
+    let mut table = Table::new(&[
+        "Detector",
+        "Benign churn (false-alarm runs)",
+        "Churn + DoS attacker (detection runs)",
+    ]);
+    let mut rows = Vec::new();
+
+    for detector in [Detector::Stateful, Detector::Stateless, Detector::SnortLike] {
+        let mut benign_alarms = 0u64;
+        let mut attack_detected = 0u64;
+        for seed in 1..=SEEDS {
+            for with_attacker in [false, true] {
+                let (mut tb, tap) = build_churn(seed, with_attacker);
+                tb.run_for(SimDuration::from_secs(12));
+                let frames: Vec<CapturedFrame> = tap.borrow().clone();
+                let fired = flood_alarm(detector, &frames, &tb.endpoints);
+                match (with_attacker, fired) {
+                    (false, true) => benign_alarms += 1,
+                    (true, true) => attack_detected += 1,
+                    _ => {}
+                }
+            }
+        }
+        table.row(&[
+            detector.name().to_string(),
+            format!("{benign_alarms}/{SEEDS}"),
+            format!("{attack_detected}/{SEEDS}"),
+        ]);
+        rows.push(Row {
+            detector: detector.name().to_string(),
+            workload: "benign".to_string(),
+            runs_with_alarm: benign_alarms,
+            runs: SEEDS,
+        });
+        rows.push(Row {
+            detector: detector.name().to_string(),
+            workload: "attack".to_string(),
+            runs_with_alarm: attack_detected,
+            runs: SEEDS,
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (the paper's §3.3 argument): all three catch the flood,\n\
+         but only the stateful detector keeps benign churn at zero false alarms —\n\
+         global 4xx counting cannot isolate sessions/sources."
+    );
+    save_json("exp_stateful_ablation", &rows);
+}

@@ -1,0 +1,392 @@
+//! Scenario runner: testbed + attacker + endpoint IDS in one call.
+
+use scidive_attacks::prelude::*;
+use scidive_core::prelude::*;
+use scidive_netsim::link::LinkParams;
+use scidive_netsim::node::NodeId;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_netsim::trace::Trace;
+use scidive_voip::prelude::*;
+
+/// The attack scenarios the experiments cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// §4.2.1 forged BYE.
+    Bye,
+    /// §4.2.2 fake instant message.
+    FakeIm,
+    /// §4.2.3 forged re-INVITE hijack.
+    Hijack,
+    /// §4.2.4 garbage RTP flood.
+    RtpFlood,
+    /// §3.3 REGISTER-flood DoS.
+    RegisterDos,
+    /// §3.3 digest brute-force.
+    PasswordGuess,
+    /// §3.2 billing fraud.
+    BillingFraud,
+}
+
+impl AttackKind {
+    /// All scenarios in paper order (Table 1 rows first).
+    pub const ALL: [AttackKind; 7] = [
+        AttackKind::Bye,
+        AttackKind::FakeIm,
+        AttackKind::Hijack,
+        AttackKind::RtpFlood,
+        AttackKind::RegisterDos,
+        AttackKind::PasswordGuess,
+        AttackKind::BillingFraud,
+    ];
+
+    /// The paper's name for the attack.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Bye => "BYE attack",
+            AttackKind::FakeIm => "Fake Instant Messaging",
+            AttackKind::Hijack => "Call Hijacking",
+            AttackKind::RtpFlood => "RTP attack",
+            AttackKind::RegisterDos => "REGISTER-flood DoS",
+            AttackKind::PasswordGuess => "Password guessing",
+            AttackKind::BillingFraud => "Billing fraud",
+        }
+    }
+
+    /// Protocols involved, per Table 1.
+    pub fn protocols(self) -> &'static str {
+        match self {
+            AttackKind::Bye => "SIP, RTP",
+            AttackKind::FakeIm => "SIP, IP",
+            AttackKind::Hijack => "SIP, RTP",
+            AttackKind::RtpFlood => "RTP, IP",
+            AttackKind::RegisterDos => "SIP",
+            AttackKind::PasswordGuess => "SIP",
+            AttackKind::BillingFraud => "SIP, RTP, ACCT",
+        }
+    }
+
+    /// Rules that legitimately also fire during this attack (side
+    /// effects, not false alarms): brute-forcing necessarily floods the
+    /// registrar with request/4xx churn, so the DoS rule fires too.
+    pub fn side_effect_rules(self) -> &'static [&'static str] {
+        match self {
+            AttackKind::PasswordGuess => &["register-dos"],
+            _ => &[],
+        }
+    }
+
+    /// The rule expected to catch the attack.
+    pub fn expect_rule(self) -> &'static str {
+        match self {
+            AttackKind::Bye => "bye-attack",
+            AttackKind::FakeIm => "fake-im",
+            AttackKind::Hijack => "call-hijack",
+            AttackKind::RtpFlood => "rtp-attack",
+            AttackKind::RegisterDos => "register-dos",
+            AttackKind::PasswordGuess => "password-guess",
+            AttackKind::BillingFraud => "billing-fraud",
+        }
+    }
+}
+
+/// Knobs for one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOptions {
+    /// Link parameters for every node (incl. the tap, unless overridden).
+    pub link: LinkParams,
+    /// Link override for the IDS tap.
+    pub tap_link: Option<LinkParams>,
+    /// How long the scenario runs.
+    pub duration: SimDuration,
+    /// The IDS monitoring window `m` (§4.3).
+    pub monitor_window: SimDuration,
+    /// Disable stateful tracking in the IDS (ablation).
+    pub stateless_ids: bool,
+    /// Disable cross-protocol correlation in the IDS (ablation).
+    pub no_cross_protocol: bool,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> ScenarioOptions {
+        ScenarioOptions {
+            link: LinkParams::lan(),
+            tap_link: None,
+            duration: SimDuration::from_secs(8),
+            monitor_window: SimDuration::from_millis(200),
+            stateless_ids: false,
+            no_cross_protocol: false,
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// When the attacker actually struck.
+    pub injected_at: Option<SimTime>,
+    /// Everything the IDS raised.
+    pub alerts: Vec<Alert>,
+    /// Scored against the expected rule.
+    pub report: DetectionReport,
+    /// The full wire trace (for ladders).
+    pub trace: Trace,
+    /// Engine pipeline counters.
+    pub stats: PipelineStats,
+}
+
+/// Runs one attack scenario with the endpoint IDS deployed; returns the
+/// scored outcome.
+pub fn run_attack(kind: AttackKind, seed: u64, opts: &ScenarioOptions) -> RunOutcome {
+    let mut builder = TestbedBuilder::new(seed).link(opts.link);
+    // Scenario-specific testbed setup.
+    builder = match kind {
+        AttackKind::Bye | AttackKind::Hijack | AttackKind::RtpFlood => {
+            builder.standard_call(SimDuration::from_millis(500), None)
+        }
+        AttackKind::FakeIm => builder
+            .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+            .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)]),
+        AttackKind::RegisterDos | AttackKind::PasswordGuess => builder
+            .with_auth(&[("alice", "pw-alice"), ("bob", "pw-bob")])
+            .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+            .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)]),
+        AttackKind::BillingFraud => builder
+            .with_billing_vuln()
+            .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+            .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)]),
+    };
+    if kind == AttackKind::RtpFlood {
+        builder = builder.a_fragile(5);
+    }
+    let mut tb = builder.build();
+    let ep = tb.endpoints.clone();
+
+    // The endpoint IDS on the hub tap.
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    config.events.monitor_window = opts.monitor_window;
+    config.events.stateful = !opts.stateless_ids;
+    config.events.cross_protocol = !opts.no_cross_protocol;
+    let ids = tb.add_node(
+        "ids",
+        ep.tap_ip,
+        opts.tap_link.unwrap_or(opts.link),
+        Box::new(IdsNode::new(config)),
+    );
+
+    // The attacker strikes ~1 s after its trigger, with a per-seed
+    // jitter across one RTP period so the strike phase relative to the
+    // media clock is uniform — the model's G_sip ~ U(0, 20 ms).
+    let jitter_us = (seed.wrapping_mul(0x9E3779B97F4A7C15) >> 16) % 20_000;
+    let strike_delay = SimDuration::from_secs(1) + SimDuration::from_micros(jitter_us);
+    let attacker = add_attacker(&mut tb, kind, strike_delay);
+
+    tb.run_for(opts.duration);
+
+    let injected_at = fired_at(&tb, kind, attacker);
+    let alerts = tb
+        .sim
+        .node_as::<IdsNode>(ids)
+        .expect("ids node")
+        .ids()
+        .alerts()
+        .to_vec();
+    let stats = tb.sim.node_as::<IdsNode>(ids).expect("ids node").ids().stats();
+    let ground_truth: Vec<InjectedAttack> = injected_at
+        .into_iter()
+        .map(|t| InjectedAttack::new(kind.expect_rule(), t))
+        .collect();
+    // Score against the expected rule; known side-effect alerts are
+    // removed first so they are not counted as false alarms.
+    let side_effects = kind.side_effect_rules();
+    let scored: Vec<Alert> = alerts
+        .iter()
+        .filter(|a| !side_effects.contains(&a.rule.as_str()))
+        .cloned()
+        .collect();
+    let report = DetectionReport::evaluate(&scored, &ground_truth);
+    RunOutcome {
+        injected_at,
+        alerts,
+        report,
+        trace: tb.sim.trace().clone(),
+        stats,
+    }
+}
+
+fn add_attacker(tb: &mut Testbed, kind: AttackKind, delay: SimDuration) -> NodeId {
+    let ep = tb.endpoints.clone();
+    let link = LinkParams::lan();
+    match kind {
+        AttackKind::Bye => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(ByeAttacker::new(ByeAttackConfig::new(
+                ep.attacker_ip,
+                ep.a_ip,
+                ep.b_ip,
+                delay,
+            ))),
+        ),
+        AttackKind::Hijack => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(Hijacker::new(HijackConfig::new(
+                ep.attacker_ip,
+                ep.a_ip,
+                ep.b_ip,
+                delay,
+            ))),
+        ),
+        AttackKind::FakeIm => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(FakeImAttacker::new(FakeImConfig::new(
+                ep.attacker_ip,
+                ep.a_ip,
+                ep.b_ip,
+                delay,
+            ))),
+        ),
+        AttackKind::RtpFlood => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(RtpFlooder::new(RtpFloodConfig::new(
+                ep.attacker_ip,
+                ep.a_ip,
+                delay,
+            ))),
+        ),
+        AttackKind::RegisterDos => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(RegisterFlooder::new(RegisterDosConfig::new(
+                ep.attacker_ip,
+                ep.proxy_ip,
+                delay,
+            ))),
+        ),
+        AttackKind::PasswordGuess => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(PasswordGuesser::new(PasswordGuessConfig::new(
+                ep.attacker_ip,
+                ep.proxy_ip,
+                delay,
+                10,
+            ))),
+        ),
+        AttackKind::BillingFraud => tb.add_node(
+            "attacker",
+            ep.attacker_ip,
+            link,
+            Box::new(BillingFraudster::new(BillingFraudConfig::new(
+                ep.attacker_ip,
+                ep.proxy_ip,
+                delay,
+            ))),
+        ),
+    }
+}
+
+fn fired_at(tb: &Testbed, kind: AttackKind, attacker: NodeId) -> Option<SimTime> {
+    match kind {
+        AttackKind::Bye => tb.sim.node_as::<ByeAttacker>(attacker)?.fired_at,
+        AttackKind::Hijack => tb.sim.node_as::<Hijacker>(attacker)?.fired_at,
+        AttackKind::FakeIm => tb.sim.node_as::<FakeImAttacker>(attacker)?.fired_at,
+        AttackKind::RtpFlood => tb.sim.node_as::<RtpFlooder>(attacker)?.fired_at,
+        AttackKind::RegisterDos => tb.sim.node_as::<RegisterFlooder>(attacker)?.fired_at,
+        AttackKind::PasswordGuess => tb.sim.node_as::<PasswordGuesser>(attacker)?.fired_at,
+        AttackKind::BillingFraud => tb.sim.node_as::<BillingFraudster>(attacker)?.fired_at,
+    }
+}
+
+/// Runs a benign scenario (call + teardown + IM + auth churn, no
+/// attacker) and returns all critical alerts — each one a false alarm.
+pub fn run_benign(seed: u64, opts: &ScenarioOptions) -> Vec<Alert> {
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(seed)
+        .link(opts.link)
+        .with_auth(&[("alice", "pw-alice"), ("bob", "pw-bob")])
+        .standard_call(
+            SimDuration::from_millis(500),
+            Some(SimDuration::from_secs(4)),
+        )
+        .b_script(vec![ScriptStep::new(
+            SimDuration::from_secs(2),
+            UaAction::SendIm {
+                to: ep.a_aor(),
+                text: "benign chatter".to_string(),
+            },
+        )])
+        .build();
+    let ep = tb.endpoints.clone();
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    config.events.monitor_window = opts.monitor_window;
+    config.events.stateful = !opts.stateless_ids;
+    config.events.cross_protocol = !opts.no_cross_protocol;
+    let ids = tb.add_node(
+        "ids",
+        ep.tap_ip,
+        opts.tap_link.unwrap_or(opts.link),
+        Box::new(IdsNode::new(config)),
+    );
+    tb.run_for(opts.duration);
+    tb.sim
+        .node_as::<IdsNode>(ids)
+        .expect("ids node")
+        .ids()
+        .alerts()
+        .iter()
+        .filter(|a| a.severity == Severity::Critical)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_attack_detected_across_seeds() {
+        let opts = ScenarioOptions::default();
+        for kind in AttackKind::ALL {
+            for seed in [1u64, 2] {
+                let outcome = run_attack(kind, seed, &opts);
+                assert_eq!(
+                    outcome.report.detected_count(),
+                    1,
+                    "{} seed {seed}: alerts={:?}",
+                    kind.name(),
+                    outcome.alerts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benign_run_has_no_false_alarms() {
+        let opts = ScenarioOptions::default();
+        for seed in [1u64, 2, 3] {
+            let alarms = run_benign(seed, &opts);
+            assert!(alarms.is_empty(), "seed {seed}: {alarms:?}");
+        }
+    }
+
+    #[test]
+    fn cross_protocol_ablation_loses_bye_detection() {
+        let opts = ScenarioOptions {
+            no_cross_protocol: true,
+            ..ScenarioOptions::default()
+        };
+        let outcome = run_attack(AttackKind::Bye, 3, &opts);
+        assert_eq!(outcome.report.detected_count(), 0);
+    }
+}

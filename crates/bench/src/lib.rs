@@ -1,0 +1,10 @@
+//! Shared experiment harness for the SCIDIVE reproduction.
+//!
+//! Each `exp_*` binary regenerates one of the paper's evaluation
+//! artifacts (see `DESIGN.md` §5 for the index). The common machinery —
+//! building a testbed with an attacker and an endpoint IDS, scoring
+//! alerts against ground truth, rendering message ladders — lives here.
+
+pub mod harness;
+pub mod ladder;
+pub mod report;

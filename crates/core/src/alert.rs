@@ -1,0 +1,98 @@
+//! Alerts and alert sinks.
+
+use crate::trail::SessionKey;
+use scidive_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How severe an alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational.
+    Info,
+    /// Suspicious but possibly benign.
+    Warning,
+    /// An attack signature matched.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARN",
+            Severity::Critical => "CRIT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An alert raised by a rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The rule that fired.
+    pub rule: String,
+    /// Severity.
+    pub severity: Severity,
+    /// When the triggering event was observed.
+    pub time: SimTime,
+    /// The session involved, if session-scoped.
+    pub session: Option<SessionKey>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Alert {
+    /// Creates an alert.
+    pub fn new(
+        rule: impl Into<String>,
+        severity: Severity,
+        time: SimTime,
+        session: Option<SessionKey>,
+        message: impl Into<String>,
+    ) -> Alert {
+        Alert {
+            rule: rule.into(),
+            severity,
+            time,
+            session,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}: {}", self.time, self.severity, self.rule, self.message)?;
+        if let Some(s) = &self.session {
+            write!(f, " (session {s})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Critical);
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let a = Alert::new(
+            "bye-attack",
+            Severity::Critical,
+            SimTime::from_millis(7),
+            Some(SessionKey::new("c1")),
+            "orphan flow",
+        );
+        let s = a.to_string();
+        assert!(s.contains("bye-attack"));
+        assert!(s.contains("CRIT"));
+        assert!(s.contains("c1"));
+    }
+}

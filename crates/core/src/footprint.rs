@@ -1,0 +1,238 @@
+//! Footprints: protocol-dependent information units (paper §3.1).
+//!
+//! "The Distiller ... translates packets into protocol dependent
+//! information units called Footprints. A Footprint is a protocol
+//! dependent information unit, which, for example, could be composed of
+//! a SIP message or an RTP packet."
+
+use scidive_netsim::time::SimTime;
+use scidive_rtp::packet::RtpHeader;
+use scidive_rtp::rtcp::RtcpPacket;
+use scidive_sip::msg::SipMessage;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Where and when a packet was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketMeta {
+    /// Observation time at the tap.
+    pub time: SimTime,
+    /// IP source.
+    pub src: Ipv4Addr,
+    /// UDP source port (0 if the transport header was unreadable).
+    pub src_port: u16,
+    /// IP destination.
+    pub dst: Ipv4Addr,
+    /// UDP destination port (0 if the transport header was unreadable).
+    pub dst_port: u16,
+}
+
+/// An accounting transaction decoded by the IDS.
+///
+/// The IDS carries its own decoder for the accounting wire line rather
+/// than importing the billing system's types: an IDS must parse what is
+/// on the wire, not share code with the system it watches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcctFootprint {
+    /// `true` for START, `false` for STOP.
+    pub start: bool,
+    /// Billed party (AOR).
+    pub caller: String,
+    /// Called party (AOR).
+    pub callee: String,
+    /// The Call-ID the billing system attached.
+    pub call_id: String,
+}
+
+impl FromStr for AcctFootprint {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<AcctFootprint, ()> {
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        if parts.len() != 5 || parts[0] != "ACCT" {
+            return Err(());
+        }
+        let start = match parts[1] {
+            "START" => true,
+            "STOP" => false,
+            _ => return Err(()),
+        };
+        Ok(AcctFootprint {
+            start,
+            caller: parts[2].to_string(),
+            callee: parts[3].to_string(),
+            call_id: parts[4].to_string(),
+        })
+    }
+}
+
+/// The protocol-dependent payload of a footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FootprintBody {
+    /// A parsed SIP message.
+    Sip(Box<SipMessage>),
+    /// Traffic on a SIP port that failed to parse as SIP.
+    SipMalformed {
+        /// Why parsing failed.
+        reason: String,
+        /// The first bytes, for forensics.
+        prefix: Vec<u8>,
+    },
+    /// An RTP packet (header only; the IDS does not retain media).
+    Rtp {
+        /// The decoded header.
+        header: RtpHeader,
+        /// Payload bytes (not retained).
+        payload_len: usize,
+    },
+    /// An RTCP packet.
+    Rtcp(RtcpPacket),
+    /// An accounting transaction.
+    Acct(AcctFootprint),
+    /// An ICMP message (type/code only).
+    Icmp {
+        /// ICMP type byte.
+        icmp_type: u8,
+    },
+    /// UDP that matched no protocol decoder.
+    UdpOther {
+        /// Payload size.
+        payload_len: usize,
+    },
+    /// A UDP datagram with a broken header or checksum.
+    UdpCorrupt {
+        /// The decode error.
+        reason: String,
+    },
+}
+
+/// A protocol-dependent information unit produced by the Distiller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footprint {
+    /// Packet metadata.
+    pub meta: PacketMeta,
+    /// Decoded content.
+    pub body: FootprintBody,
+}
+
+impl Footprint {
+    /// A short label for display and debugging.
+    pub fn label(&self) -> String {
+        match &self.body {
+            FootprintBody::Sip(msg) => format!("SIP {}", msg.summary()),
+            FootprintBody::SipMalformed { reason, .. } => format!("SIP? ({reason})"),
+            FootprintBody::Rtp { header, .. } => {
+                format!("RTP seq={} ssrc={:#x}", header.seq, header.ssrc)
+            }
+            FootprintBody::Rtcp(_) => "RTCP".to_string(),
+            FootprintBody::Acct(a) => format!(
+                "ACCT {} {}→{}",
+                if a.start { "START" } else { "STOP" },
+                a.caller,
+                a.callee
+            ),
+            FootprintBody::Icmp { icmp_type } => format!("ICMP type={icmp_type}"),
+            FootprintBody::UdpOther { payload_len } => format!("UDP {payload_len}B"),
+            FootprintBody::UdpCorrupt { reason } => format!("UDP corrupt ({reason})"),
+        }
+    }
+
+    /// The protocol this footprint belongs to, for trail grouping.
+    pub fn proto(&self) -> TrailProto {
+        match &self.body {
+            FootprintBody::Sip(_) | FootprintBody::SipMalformed { .. } => TrailProto::Sip,
+            FootprintBody::Rtp { .. } => TrailProto::Rtp,
+            FootprintBody::Rtcp(_) => TrailProto::Rtcp,
+            FootprintBody::Acct(_) => TrailProto::Acct,
+            FootprintBody::Icmp { .. } | FootprintBody::UdpOther { .. }
+            | FootprintBody::UdpCorrupt { .. } => TrailProto::Other,
+        }
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{} -> {}:{} {}",
+            self.meta.time,
+            self.meta.src,
+            self.meta.src_port,
+            self.meta.dst,
+            self.meta.dst_port,
+            self.label()
+        )
+    }
+}
+
+/// The protocol a trail groups (paper: "multiple trails for each
+/// session, one for each protocol").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrailProto {
+    /// Call management protocol (SIP).
+    Sip,
+    /// Media delivery protocol (RTP).
+    Rtp,
+    /// Media control (RTCP).
+    Rtcp,
+    /// Accounting transactions.
+    Acct,
+    /// Anything else (ICMP, unknown UDP).
+    Other,
+}
+
+impl fmt::Display for TrailProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrailProto::Sip => "SIP",
+            TrailProto::Rtp => "RTP",
+            TrailProto::Rtcp => "RTCP",
+            TrailProto::Acct => "ACCT",
+            TrailProto::Other => "OTHER",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acct_line_parses() {
+        let fp: AcctFootprint = "ACCT START alice@lab bob@lab c1".parse().unwrap();
+        assert!(fp.start);
+        assert_eq!(fp.caller, "alice@lab");
+        assert_eq!(fp.call_id, "c1");
+        let stop: AcctFootprint = "ACCT STOP a b c".parse().unwrap();
+        assert!(!stop.start);
+        assert!("ACCT PAUSE a b c".parse::<AcctFootprint>().is_err());
+        assert!("nonsense".parse::<AcctFootprint>().is_err());
+    }
+
+    #[test]
+    fn proto_classification() {
+        let meta = PacketMeta {
+            time: SimTime::ZERO,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 1,
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: 2,
+        };
+        let fp = Footprint {
+            meta,
+            body: FootprintBody::UdpOther { payload_len: 3 },
+        };
+        assert_eq!(fp.proto(), TrailProto::Other);
+        assert!(fp.label().contains("3B"));
+        assert!(fp.to_string().contains("10.0.0.1:1"));
+    }
+
+    #[test]
+    fn trail_proto_display() {
+        assert_eq!(TrailProto::Sip.to_string(), "SIP");
+        assert_eq!(TrailProto::Acct.to_string(), "ACCT");
+    }
+}

@@ -1,0 +1,277 @@
+//! Detection metrics (paper §4.3): detection delay `D`, probability of
+//! false alarm `P_f`, probability of missed alarm `P_m`.
+//!
+//! Harnesses register the ground truth (which attacks were injected,
+//! when, and which rule should catch them); this module scores an alert
+//! stream against it.
+
+use crate::alert::{Alert, Severity};
+use scidive_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One injected attack the IDS is expected to catch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedAttack {
+    /// The rule expected to fire.
+    pub expect_rule: String,
+    /// When the attack was launched.
+    pub injected_at: SimTime,
+}
+
+impl InjectedAttack {
+    /// Creates a ground-truth entry.
+    pub fn new(expect_rule: impl Into<String>, injected_at: SimTime) -> InjectedAttack {
+        InjectedAttack {
+            expect_rule: expect_rule.into(),
+            injected_at,
+        }
+    }
+}
+
+/// The outcome for one injected attack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionOutcome {
+    /// The ground truth.
+    pub attack: InjectedAttack,
+    /// First matching alert time, if any.
+    pub detected_at: Option<SimTime>,
+}
+
+impl DetectionOutcome {
+    /// Whether the attack was detected.
+    pub fn detected(&self) -> bool {
+        self.detected_at.is_some()
+    }
+
+    /// Detection delay `D`, if detected.
+    pub fn delay(&self) -> Option<SimDuration> {
+        self.detected_at
+            .map(|t| t.saturating_since(self.attack.injected_at))
+    }
+}
+
+/// Scored results for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Per-attack outcomes.
+    pub outcomes: Vec<DetectionOutcome>,
+    /// Critical alerts that matched no injected attack.
+    pub false_alarms: Vec<Alert>,
+}
+
+impl DetectionReport {
+    /// Scores `alerts` against `ground_truth`.
+    ///
+    /// An alert counts for an injection when its rule matches and it
+    /// fires at or after the injection time. Warning-level alerts never
+    /// count as false alarms (they are advisories).
+    pub fn evaluate(alerts: &[Alert], ground_truth: &[InjectedAttack]) -> DetectionReport {
+        let mut used = vec![false; alerts.len()];
+        let outcomes = ground_truth
+            .iter()
+            .map(|attack| {
+                let hit = alerts.iter().enumerate().find(|(i, a)| {
+                    !used[*i] && a.rule == attack.expect_rule && a.time >= attack.injected_at
+                });
+                let detected_at = hit.map(|(i, a)| {
+                    used[i] = true;
+                    a.time
+                });
+                DetectionOutcome {
+                    attack: attack.clone(),
+                    detected_at,
+                }
+            })
+            .collect();
+        let false_alarms = alerts
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| !used[*i] && a.severity >= Severity::Critical)
+            .map(|(_, a)| a.clone())
+            .collect();
+        DetectionReport {
+            outcomes,
+            false_alarms,
+        }
+    }
+
+    /// Attacks detected.
+    pub fn detected_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected()).count()
+    }
+
+    /// Attacks missed.
+    pub fn missed_count(&self) -> usize {
+        self.outcomes.len() - self.detected_count()
+    }
+
+    /// Mean detection delay over the detected attacks, in milliseconds.
+    pub fn mean_delay_ms(&self) -> Option<f64> {
+        let delays: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.delay().map(|d| d.as_millis_f64()))
+            .collect();
+        if delays.is_empty() {
+            None
+        } else {
+            Some(delays.iter().sum::<f64>() / delays.len() as f64)
+        }
+    }
+}
+
+/// Aggregates detection/miss/false-alarm counts over many seeded runs
+/// into the rates `P_m` and `P_f` of §4.3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RateAccumulator {
+    /// Attacks injected.
+    pub injected: u64,
+    /// Attacks detected.
+    pub detected: u64,
+    /// Runs scored.
+    pub runs: u64,
+    /// Runs in which at least one false alarm fired.
+    pub runs_with_false_alarm: u64,
+    /// Total false alarms.
+    pub false_alarms: u64,
+    /// Sum of detection delays (ms) over detected attacks.
+    pub delay_sum_ms: f64,
+}
+
+impl RateAccumulator {
+    /// Folds in one run's report.
+    pub fn add(&mut self, report: &DetectionReport) {
+        self.runs += 1;
+        self.injected += report.outcomes.len() as u64;
+        self.detected += report.detected_count() as u64;
+        self.false_alarms += report.false_alarms.len() as u64;
+        if !report.false_alarms.is_empty() {
+            self.runs_with_false_alarm += 1;
+        }
+        for o in &report.outcomes {
+            if let Some(d) = o.delay() {
+                self.delay_sum_ms += d.as_millis_f64();
+            }
+        }
+    }
+
+    /// Probability of missed alarm: misses / injections.
+    pub fn p_missed(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            (self.injected - self.detected) as f64 / self.injected as f64
+        }
+    }
+
+    /// Probability of false alarm: fraction of runs with ≥1 false alarm.
+    pub fn p_false(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.runs_with_false_alarm as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean detection delay in milliseconds.
+    pub fn mean_delay_ms(&self) -> Option<f64> {
+        if self.detected == 0 {
+            None
+        } else {
+            Some(self.delay_sum_ms / self.detected as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trail::SessionKey;
+
+    fn alert(rule: &str, t: u64, sev: Severity) -> Alert {
+        Alert::new(
+            rule,
+            sev,
+            SimTime::from_millis(t),
+            Some(SessionKey::new("c1")),
+            "m",
+        )
+    }
+
+    #[test]
+    fn detection_and_delay() {
+        let alerts = vec![alert("bye-attack", 110, Severity::Critical)];
+        let gt = vec![InjectedAttack::new("bye-attack", SimTime::from_millis(100))];
+        let report = DetectionReport::evaluate(&alerts, &gt);
+        assert_eq!(report.detected_count(), 1);
+        assert_eq!(report.missed_count(), 0);
+        assert!(report.false_alarms.is_empty());
+        assert_eq!(report.mean_delay_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn miss_when_no_matching_rule() {
+        let alerts = vec![alert("rtp-attack", 110, Severity::Critical)];
+        let gt = vec![InjectedAttack::new("bye-attack", SimTime::from_millis(100))];
+        let report = DetectionReport::evaluate(&alerts, &gt);
+        assert_eq!(report.detected_count(), 0);
+        // The unrelated critical alert is a false alarm.
+        assert_eq!(report.false_alarms.len(), 1);
+    }
+
+    #[test]
+    fn alert_before_injection_does_not_count() {
+        let alerts = vec![alert("bye-attack", 50, Severity::Critical)];
+        let gt = vec![InjectedAttack::new("bye-attack", SimTime::from_millis(100))];
+        let report = DetectionReport::evaluate(&alerts, &gt);
+        assert_eq!(report.detected_count(), 0);
+        assert_eq!(report.false_alarms.len(), 1);
+    }
+
+    #[test]
+    fn warnings_are_not_false_alarms() {
+        let alerts = vec![alert("sip-format", 50, Severity::Warning)];
+        let report = DetectionReport::evaluate(&alerts, &[]);
+        assert!(report.false_alarms.is_empty());
+    }
+
+    #[test]
+    fn one_alert_serves_one_injection() {
+        let alerts = vec![alert("bye-attack", 110, Severity::Critical)];
+        let gt = vec![
+            InjectedAttack::new("bye-attack", SimTime::from_millis(100)),
+            InjectedAttack::new("bye-attack", SimTime::from_millis(105)),
+        ];
+        let report = DetectionReport::evaluate(&alerts, &gt);
+        assert_eq!(report.detected_count(), 1);
+        assert_eq!(report.missed_count(), 1);
+    }
+
+    #[test]
+    fn accumulator_rates() {
+        let mut acc = RateAccumulator::default();
+        // Run 1: detected with 10 ms delay.
+        acc.add(&DetectionReport::evaluate(
+            &[alert("bye-attack", 110, Severity::Critical)],
+            &[InjectedAttack::new("bye-attack", SimTime::from_millis(100))],
+        ));
+        // Run 2: missed, plus a false alarm.
+        acc.add(&DetectionReport::evaluate(
+            &[alert("rtp-attack", 10, Severity::Critical)],
+            &[InjectedAttack::new("bye-attack", SimTime::from_millis(100))],
+        ));
+        assert_eq!(acc.injected, 2);
+        assert_eq!(acc.detected, 1);
+        assert!((acc.p_missed() - 0.5).abs() < 1e-12);
+        assert!((acc.p_false() - 0.5).abs() < 1e-12);
+        assert_eq!(acc.mean_delay_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn empty_accumulator_rates() {
+        let acc = RateAccumulator::default();
+        assert_eq!(acc.p_missed(), 0.0);
+        assert_eq!(acc.p_false(), 0.0);
+        assert_eq!(acc.mean_delay_ms(), None);
+    }
+}

@@ -1,0 +1,397 @@
+//! The built-in ruleset: one rule per attack the paper covers.
+//!
+//! Table 1 maps each attack to the protocols involved and whether its
+//! rule is cross-protocol and stateful; the structures here carry those
+//! attributes so experiment harnesses can reproduce the table.
+
+use crate::alert::{Alert, Severity};
+use crate::event::{Event, EventClass, EventKind};
+use crate::rules::combo::CombinationRule;
+use crate::rules::{Rule, RuleCtx};
+use crate::trail::SessionKey;
+use scidive_netsim::time::SimDuration;
+use std::collections::HashSet;
+
+/// A rule that fires on any event of the given classes, once per
+/// session (or globally de-duplicated by message for session-less
+/// events).
+#[derive(Debug)]
+pub struct EventRule {
+    id: &'static str,
+    description: &'static str,
+    classes: &'static [EventClass],
+    severity: Severity,
+    cross_protocol: bool,
+    stateful: bool,
+    fired_sessions: HashSet<SessionKey>,
+    global_fired: u32,
+    /// Maximum global (session-less) firings; 0 = unlimited.
+    global_cap: u32,
+}
+
+impl EventRule {
+    /// Creates a single-event rule.
+    pub fn new(
+        id: &'static str,
+        description: &'static str,
+        classes: &'static [EventClass],
+        severity: Severity,
+        cross_protocol: bool,
+        stateful: bool,
+    ) -> EventRule {
+        EventRule {
+            id,
+            description,
+            classes,
+            severity,
+            cross_protocol,
+            stateful,
+            fired_sessions: HashSet::new(),
+            global_fired: 0,
+            global_cap: 0,
+        }
+    }
+}
+
+impl Rule for EventRule {
+    fn id(&self) -> &str {
+        self.id
+    }
+
+    fn description(&self) -> &str {
+        self.description
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        self.cross_protocol
+    }
+
+    fn is_stateful(&self) -> bool {
+        self.stateful
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+        if !self.classes.contains(&ev.class()) {
+            return Vec::new();
+        }
+        if let Some(session) = &ev.session {
+            if !self.fired_sessions.insert(session.clone()) {
+                return Vec::new();
+            }
+        } else {
+            if self.global_cap != 0 && self.global_fired >= self.global_cap {
+                return Vec::new();
+            }
+            self.global_fired += 1;
+        }
+        vec![Alert::new(
+            self.id,
+            self.severity,
+            ev.time,
+            ev.session.clone(),
+            format!("{}: {}", self.description, describe(&ev.kind)),
+        )]
+    }
+}
+
+fn describe(kind: &EventKind) -> String {
+    match kind {
+        EventKind::OrphanRtpAfterBye { flow, gap } => {
+            format!("RTP flow {flow} continued {gap} after the BYE")
+        }
+        EventKind::OrphanRtpAfterRedirect { flow, gap } => {
+            format!("RTP flow {flow} continued {gap} after the re-INVITE")
+        }
+        EventKind::RtpSeqViolation { flow, delta } => {
+            format!("sequence jumped by {delta} on {flow}")
+        }
+        EventKind::RtpUnknownSource { flow } => {
+            format!("media from unnegotiated source on {flow}")
+        }
+        EventKind::MediaPortGarbage { sink, reason } => {
+            format!("undecodable media at {}:{} ({reason})", sink.0, sink.1)
+        }
+        EventKind::ImSourceMismatch {
+            claimed_aor,
+            src_ip,
+            expected_ip,
+        } => format!("message claims {claimed_aor} but came from {src_ip} (expected {expected_ip})"),
+        EventKind::RegisterFlood { src, count } => {
+            format!("{count} request/4xx alternations from {src}")
+        }
+        EventKind::PasswordGuessing {
+            src,
+            username,
+            distinct_responses,
+        } => format!("{distinct_responses} distinct digest responses for {username} from {src}"),
+        EventKind::SipMalformed { violations, src } => {
+            format!("{} violation(s) from {src}: {}", violations.len(), violations.join("; "))
+        }
+        EventKind::RtpAfterRtcpBye { flow, ssrc, gap } => {
+            format!("SSRC {ssrc:#010x} kept streaming on {flow} {gap} after its RTCP BYE")
+        }
+        EventKind::AcctMismatch {
+            billed,
+            observed_caller,
+            call_id,
+        } => format!(
+            "billing charges {billed} for call {call_id} initiated by {}",
+            observed_caller.as_deref().unwrap_or("<nobody>")
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Which built-in rules to install (ablation knobs).
+#[derive(Debug, Clone)]
+pub struct RuleToggles {
+    /// §4.2.1 BYE attack.
+    pub bye_attack: bool,
+    /// §4.2.3 call hijacking.
+    pub call_hijack: bool,
+    /// §4.2.2 fake instant messaging.
+    pub fake_im: bool,
+    /// §4.2.4 RTP attack.
+    pub rtp_attack: bool,
+    /// §3.3 REGISTER-flood DoS.
+    pub register_dos: bool,
+    /// §3.3 password guessing.
+    pub password_guess: bool,
+    /// §3.2 billing fraud (cross-protocol combination).
+    pub billing_fraud: bool,
+    /// SIP format discipline (warning-level).
+    pub sip_format: bool,
+    /// RTCP BYE vs. continuing media consistency.
+    pub rtcp_bye: bool,
+}
+
+impl Default for RuleToggles {
+    fn default() -> RuleToggles {
+        RuleToggles {
+            bye_attack: true,
+            call_hijack: true,
+            fake_im: true,
+            rtp_attack: true,
+            register_dos: true,
+            password_guess: true,
+            billing_fraud: true,
+            sip_format: true,
+            rtcp_bye: true,
+        }
+    }
+}
+
+/// Builds the built-in ruleset.
+pub fn builtin_ruleset(toggles: &RuleToggles) -> Vec<Box<dyn Rule>> {
+    let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+    if toggles.bye_attack {
+        // The enriched variant: besides matching the event, it performs
+        // the paper's "crude information directly from the Trails"
+        // lookup to name the BYE's claimed originator.
+        rules.push(Box::new(crate::rules::bye_rule::ByeAttackRule::new()));
+    }
+    if toggles.call_hijack {
+        rules.push(Box::new(EventRule::new(
+            "call-hijack",
+            "no RTP should be seen from an endpoint after its re-INVITE moved it",
+            &[EventClass::OrphanRtpAfterRedirect],
+            Severity::Critical,
+            true,
+            true,
+        )));
+    }
+    if toggles.fake_im {
+        rules.push(Box::new(EventRule::new(
+            "fake-im",
+            "instant-message source must match the claimed sender",
+            &[EventClass::ImSourceMismatch],
+            Severity::Critical,
+            true,  // SIP + IP
+            false, // per Table 1: an address check, not session state
+        )));
+    }
+    if toggles.rtp_attack {
+        rules.push(Box::new(EventRule::new(
+            "rtp-attack",
+            "RTP must come from a negotiated source with disciplined sequence numbers",
+            &[
+                EventClass::RtpSeqViolation,
+                EventClass::RtpUnknownSource,
+                EventClass::MediaPortGarbage,
+            ],
+            Severity::Critical,
+            true, // RTP + IP
+            true, // sequence history
+        )));
+    }
+    if toggles.register_dos {
+        rules.push(Box::new(EventRule::new(
+            "register-dos",
+            "repeated unauthenticated requests answered by 4xx",
+            &[EventClass::RegisterFlood],
+            Severity::Critical,
+            false,
+            true,
+        )));
+    }
+    if toggles.password_guess {
+        rules.push(Box::new(EventRule::new(
+            "password-guess",
+            "many distinct digest responses against one account",
+            &[EventClass::PasswordGuessing],
+            Severity::Critical,
+            false,
+            true,
+        )));
+    }
+    if toggles.billing_fraud {
+        rules.push(Box::new(
+            CombinationRule::new(
+                "billing-fraud",
+                "malformed call setup whose billing attribution has no matching SIP initiation",
+                vec![EventClass::SipMalformed, EventClass::AcctMismatch],
+                SimDuration::from_secs(120),
+            )
+            .with_severity(Severity::Critical),
+        ));
+    }
+    if toggles.rtcp_bye {
+        rules.push(Box::new(EventRule::new(
+            "rtcp-bye-anomaly",
+            "a source must stop transmitting after its RTCP BYE",
+            &[EventClass::RtpAfterRtcpBye],
+            Severity::Critical,
+            true, // RTP + RTCP
+            true, // per-SSRC goodbye state
+        )));
+    }
+    if toggles.sip_format {
+        rules.push(Box::new(EventRule::new(
+            "sip-format",
+            "SIP message violates mandatory format",
+            &[EventClass::SipMalformed],
+            Severity::Warning,
+            false,
+            false,
+        )));
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FlowKey;
+    use crate::trail::{TrailStore, TrailStoreConfig};
+    use scidive_netsim::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn orphan_event(session: &str) -> Event {
+        Event {
+            time: SimTime::from_millis(10),
+            session: Some(SessionKey::new(session)),
+            kind: EventKind::OrphanRtpAfterBye {
+                flow: FlowKey {
+                    src: Ipv4Addr::new(10, 0, 0, 3),
+                    dst: Ipv4Addr::new(10, 0, 0, 2),
+                    dst_port: 8000,
+                },
+                gap: SimDuration::from_millis(4),
+            },
+        }
+    }
+
+    #[test]
+    fn default_ruleset_has_all_rules() {
+        let rules = builtin_ruleset(&RuleToggles::default());
+        let ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        for expected in [
+            "bye-attack",
+            "call-hijack",
+            "fake-im",
+            "rtp-attack",
+            "register-dos",
+            "password-guess",
+            "billing-fraud",
+            "sip-format",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn toggles_remove_rules() {
+        let toggles = RuleToggles {
+            bye_attack: false,
+            billing_fraud: false,
+            ..RuleToggles::default()
+        };
+        let ids: Vec<String> = builtin_ruleset(&toggles)
+            .iter()
+            .map(|r| r.id().to_string())
+            .collect();
+        assert!(!ids.contains(&"bye-attack".to_string()));
+        assert!(!ids.contains(&"billing-fraud".to_string()));
+        assert!(ids.contains(&"call-hijack".to_string()));
+    }
+
+    #[test]
+    fn event_rule_fires_once_per_session() {
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::from_millis(10),
+            trails: &store,
+        };
+        let mut rule = EventRule::new(
+            "bye-attack",
+            "test",
+            &[EventClass::OrphanRtpAfterBye],
+            Severity::Critical,
+            true,
+            true,
+        );
+        assert_eq!(rule.on_event(&orphan_event("c1"), &ctx).len(), 1);
+        assert_eq!(rule.on_event(&orphan_event("c1"), &ctx).len(), 0);
+        assert_eq!(rule.on_event(&orphan_event("c2"), &ctx).len(), 1);
+    }
+
+    #[test]
+    fn table1_attributes() {
+        let rules = builtin_ruleset(&RuleToggles::default());
+        let find = |id: &str| {
+            rules
+                .iter()
+                .find(|r| r.id() == id)
+                .unwrap_or_else(|| panic!("missing {id}"))
+        };
+        // Table 1 rows.
+        assert!(find("bye-attack").is_cross_protocol());
+        assert!(find("bye-attack").is_stateful());
+        assert!(find("fake-im").is_cross_protocol());
+        assert!(!find("fake-im").is_stateful());
+        assert!(find("call-hijack").is_cross_protocol());
+        assert!(find("call-hijack").is_stateful());
+        assert!(find("rtp-attack").is_cross_protocol());
+        assert!(find("rtp-attack").is_stateful());
+    }
+
+    #[test]
+    fn alert_messages_are_descriptive() {
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::from_millis(10),
+            trails: &store,
+        };
+        let mut rule = EventRule::new(
+            "bye-attack",
+            "no RTP after BYE",
+            &[EventClass::OrphanRtpAfterBye],
+            Severity::Critical,
+            true,
+            true,
+        );
+        let alerts = rule.on_event(&orphan_event("c1"), &ctx);
+        assert!(alerts[0].message.contains("10.0.0.3"));
+        assert!(alerts[0].message.contains("after the BYE"));
+    }
+}

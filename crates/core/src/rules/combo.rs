@@ -1,0 +1,386 @@
+//! Generic sequence / combination rules over event classes.
+//!
+//! The paper's Ruleset is "triggered by a sequence of Events"; these two
+//! engines give rule authors that declaratively: [`SequenceRule`]
+//! requires its steps in order, [`CombinationRule`] requires them in any
+//! order, both per-session within a time window.
+
+use crate::alert::{Alert, Severity};
+use crate::event::{Event, EventClass};
+use crate::rules::{Rule, RuleCtx};
+use crate::trail::SessionKey;
+use scidive_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A rule requiring events of given classes in order, per session,
+/// within a window.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_core::rules::SequenceRule;
+/// use scidive_core::event::EventClass;
+/// use scidive_netsim::time::SimDuration;
+///
+/// let rule = SequenceRule::new(
+///     "teardown-then-media",
+///     "media after teardown",
+///     vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+///     SimDuration::from_secs(1),
+/// );
+/// assert_eq!(rule.id_str(), "teardown-then-media");
+/// ```
+#[derive(Debug)]
+pub struct SequenceRule {
+    id: String,
+    description: String,
+    steps: Vec<EventClass>,
+    window: SimDuration,
+    severity: Severity,
+    /// session → (next step index, time of first matched step).
+    partial: HashMap<SessionKey, (usize, SimTime)>,
+    fired: HashMap<SessionKey, bool>,
+}
+
+impl SequenceRule {
+    /// Creates a sequence rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        steps: Vec<EventClass>,
+        window: SimDuration,
+    ) -> SequenceRule {
+        assert!(!steps.is_empty(), "sequence rule needs at least one step");
+        SequenceRule {
+            id: id.into(),
+            description: description.into(),
+            steps,
+            window,
+            severity: Severity::Critical,
+            partial: HashMap::new(),
+            fired: HashMap::new(),
+        }
+    }
+
+    /// Sets the severity (builder-style).
+    pub fn with_severity(mut self, severity: Severity) -> SequenceRule {
+        self.severity = severity;
+        self
+    }
+
+    /// The rule id (also available through the [`Rule`] trait).
+    pub fn id_str(&self) -> &str {
+        &self.id
+    }
+}
+
+impl Rule for SequenceRule {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        true // spans whatever protocols its steps come from
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+        let Some(session) = &ev.session else {
+            return Vec::new();
+        };
+        if self.fired.get(session).copied().unwrap_or(false) {
+            return Vec::new();
+        }
+        let (next, started) = self
+            .partial
+            .get(session)
+            .copied()
+            .unwrap_or((0, ev.time));
+        // Window expiry resets progress.
+        let (next, started) = if next > 0 && ev.time.saturating_since(started) > self.window {
+            (0, ev.time)
+        } else {
+            (next, started)
+        };
+        if ev.class() != self.steps[next] {
+            self.partial.insert(session.clone(), (next, started));
+            return Vec::new();
+        }
+        let started = if next == 0 { ev.time } else { started };
+        let next = next + 1;
+        if next == self.steps.len() {
+            self.partial.remove(session);
+            self.fired.insert(session.clone(), true);
+            return vec![Alert::new(
+                self.id.clone(),
+                self.severity,
+                ev.time,
+                Some(session.clone()),
+                format!("{} (sequence complete)", self.description),
+            )];
+        }
+        self.partial.insert(session.clone(), (next, started));
+        Vec::new()
+    }
+}
+
+/// A rule requiring events of all given classes, in any order, per
+/// session, within a window.
+#[derive(Debug)]
+pub struct CombinationRule {
+    id: String,
+    description: String,
+    required: Vec<EventClass>,
+    window: SimDuration,
+    severity: Severity,
+    /// session → (matched mask, earliest match time).
+    partial: HashMap<SessionKey, (u64, SimTime)>,
+    fired: HashMap<SessionKey, bool>,
+}
+
+impl CombinationRule {
+    /// Creates a combination rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `required` is empty or longer than 64 classes.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        required: Vec<EventClass>,
+        window: SimDuration,
+    ) -> CombinationRule {
+        assert!(
+            !required.is_empty() && required.len() <= 64,
+            "combination rule needs 1..=64 classes"
+        );
+        CombinationRule {
+            id: id.into(),
+            description: description.into(),
+            required,
+            window,
+            severity: Severity::Critical,
+            partial: HashMap::new(),
+            fired: HashMap::new(),
+        }
+    }
+
+    /// Sets the severity (builder-style).
+    pub fn with_severity(mut self, severity: Severity) -> CombinationRule {
+        self.severity = severity;
+        self
+    }
+}
+
+impl Rule for CombinationRule {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        true
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+        let Some(session) = &ev.session else {
+            return Vec::new();
+        };
+        if self.fired.get(session).copied().unwrap_or(false) {
+            return Vec::new();
+        }
+        let Some(bit) = self.required.iter().position(|c| *c == ev.class()) else {
+            return Vec::new();
+        };
+        let (mask, started) = self
+            .partial
+            .get(session)
+            .copied()
+            .unwrap_or((0, ev.time));
+        let (mask, started) = if mask != 0 && ev.time.saturating_since(started) > self.window {
+            (0, ev.time)
+        } else {
+            (mask, started)
+        };
+        let mask = mask | (1u64 << bit);
+        let full = (1u64 << self.required.len()) - 1;
+        if mask == full {
+            self.partial.remove(session);
+            self.fired.insert(session.clone(), true);
+            return vec![Alert::new(
+                self.id.clone(),
+                self.severity,
+                ev.time,
+                Some(session.clone()),
+                format!("{} (all conditions met)", self.description),
+            )];
+        }
+        self.partial.insert(session.clone(), (mask, started));
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, FlowKey};
+    use crate::trail::{TrailStore, TrailStoreConfig};
+    use std::net::Ipv4Addr;
+
+    fn ev(t: u64, session: &str, kind: EventKind) -> Event {
+        Event {
+            time: SimTime::from_millis(t),
+            session: Some(SessionKey::new(session)),
+            kind,
+        }
+    }
+
+    fn flow() -> FlowKey {
+        FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, 3),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: 8000,
+        }
+    }
+
+    fn torn() -> EventKind {
+        EventKind::CallTornDown {
+            by_aor: "bob@lab".to_string(),
+            by_media_ip: Some(Ipv4Addr::new(10, 0, 0, 3)),
+        }
+    }
+
+    fn orphan() -> EventKind {
+        EventKind::OrphanRtpAfterBye {
+            flow: flow(),
+            gap: SimDuration::from_millis(5),
+        }
+    }
+
+    fn store() -> TrailStore {
+        TrailStore::new(TrailStoreConfig::default())
+    }
+
+    fn ctx<'a>(t: u64, s: &'a TrailStore) -> RuleCtx<'a> {
+        RuleCtx {
+            now: SimTime::from_millis(t),
+            trails: s,
+        }
+    }
+
+    #[test]
+    fn sequence_fires_in_order_once() {
+        let s = store();
+        let mut rule = SequenceRule::new(
+            "seq",
+            "teardown then orphan",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(1),
+        );
+        assert!(rule.on_event(&ev(1, "c1", torn()), &ctx(1, &s)).is_empty());
+        let alerts = rule.on_event(&ev(2, "c1", orphan()), &ctx(2, &s));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "seq");
+        // Does not re-fire for the same session.
+        assert!(rule.on_event(&ev(3, "c1", orphan()), &ctx(3, &s)).is_empty());
+    }
+
+    #[test]
+    fn sequence_requires_order() {
+        let s = store();
+        let mut rule = SequenceRule::new(
+            "seq",
+            "x",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(1),
+        );
+        // Orphan first: no progress.
+        assert!(rule.on_event(&ev(1, "c1", orphan()), &ctx(1, &s)).is_empty());
+        assert!(rule.on_event(&ev(2, "c1", torn()), &ctx(2, &s)).is_empty());
+        // Now the orphan completes it.
+        assert_eq!(rule.on_event(&ev(3, "c1", orphan()), &ctx(3, &s)).len(), 1);
+    }
+
+    #[test]
+    fn sequence_window_expires() {
+        let s = store();
+        let mut rule = SequenceRule::new(
+            "seq",
+            "x",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_millis(10),
+        );
+        rule.on_event(&ev(1, "c1", torn()), &ctx(1, &s));
+        // Too late: resets; the orphan is step 1, not step 2.
+        assert!(rule.on_event(&ev(100, "c1", orphan()), &ctx(100, &s)).is_empty());
+    }
+
+    #[test]
+    fn sequence_sessions_are_independent() {
+        let s = store();
+        let mut rule = SequenceRule::new(
+            "seq",
+            "x",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(1),
+        );
+        rule.on_event(&ev(1, "c1", torn()), &ctx(1, &s));
+        // c2's orphan must not complete c1's sequence.
+        assert!(rule.on_event(&ev(2, "c2", orphan()), &ctx(2, &s)).is_empty());
+        assert_eq!(rule.on_event(&ev(3, "c1", orphan()), &ctx(3, &s)).len(), 1);
+    }
+
+    #[test]
+    fn combination_any_order() {
+        let s = store();
+        let mut rule = CombinationRule::new(
+            "combo",
+            "both things",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(1),
+        );
+        assert!(rule.on_event(&ev(1, "c1", orphan()), &ctx(1, &s)).is_empty());
+        assert_eq!(rule.on_event(&ev(2, "c1", torn()), &ctx(2, &s)).len(), 1);
+    }
+
+    #[test]
+    fn combination_ignores_unrelated_events() {
+        let s = store();
+        let mut rule = CombinationRule::new(
+            "combo",
+            "x",
+            vec![EventClass::CallTornDown],
+            SimDuration::from_secs(1),
+        );
+        let unrelated = ev(
+            1,
+            "c1",
+            EventKind::RtpFlowActive { flow: flow() },
+        );
+        assert!(rule.on_event(&unrelated, &ctx(1, &s)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_sequence_panics() {
+        SequenceRule::new("x", "y", vec![], SimDuration::ZERO);
+    }
+}

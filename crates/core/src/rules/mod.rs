@@ -1,0 +1,52 @@
+//! The Ruleset and rule-matching engine (paper §3.1).
+//!
+//! "Ruleset is triggered by a sequence of Events. ... The matching in
+//! the Ruleset is based on Events that can potentially encapsulate
+//! information from multiple packets and can bear state information.
+//! Besides the information that Events provide, the Ruleset can also
+//! perform the matching based on crude information directly from the
+//! Trails."
+
+mod builtin;
+mod bye_rule;
+mod combo;
+mod spec;
+
+pub use builtin::{builtin_ruleset, RuleToggles};
+pub use bye_rule::{ByeAttackRule, ByeOrigin};
+pub use combo::{CombinationRule, SequenceRule};
+pub use spec::{parse_ruleset, SpecError};
+
+use crate::alert::Alert;
+use crate::event::Event;
+use crate::trail::TrailStore;
+use scidive_netsim::time::SimTime;
+
+/// Context a rule sees while matching: the current time plus read access
+/// to the trails (the paper's "crude information" escape hatch).
+pub struct RuleCtx<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// The trail store.
+    pub trails: &'a TrailStore,
+}
+
+/// A detection rule.
+pub trait Rule {
+    /// Stable rule identifier (kebab-case).
+    fn id(&self) -> &str;
+
+    /// One-line description.
+    fn description(&self) -> &str;
+
+    /// Whether the rule correlates more than one protocol (Table 1's
+    /// "Cross-protocol?" column).
+    fn is_cross_protocol(&self) -> bool;
+
+    /// Whether the rule relies on state spanning multiple packets
+    /// (Table 1's "Stateful?" column).
+    fn is_stateful(&self) -> bool;
+
+    /// Feeds one event; returns any alerts raised.
+    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>) -> Vec<Alert>;
+}

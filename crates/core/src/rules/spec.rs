@@ -1,0 +1,469 @@
+//! A small text format for operator-defined rules.
+//!
+//! The paper positions SCIDIVE as configurable — it "can, without
+//! substantial system customization, be extended for detecting new
+//! classes of attacks", with accuracy "a function of the input rule
+//! base". This module lets operators feed that rule base as text, one
+//! rule per block:
+//!
+//! ```text
+//! # Detect teardown followed by orphan media within half a second.
+//! rule my-bye severity critical window 500ms {
+//!     sequence CallTornDown, OrphanRtpAfterBye
+//! }
+//!
+//! # The billing-fraud combination, any order.
+//! rule my-fraud severity critical window 120s {
+//!     all-of SipMalformed, AcctMismatch
+//! }
+//!
+//! # A single-event advisory.
+//! rule my-format severity warning {
+//!     any-of SipMalformed
+//! }
+//! ```
+//!
+//! Bodies name [`EventClass`]es; `sequence` requires order, `all-of`
+//! any order within the window, `any-of` fires on the first match.
+
+use crate::alert::{Alert, Severity};
+use crate::event::{Event, EventClass};
+use crate::rules::combo::{CombinationRule, SequenceRule};
+use crate::rules::{Rule, RuleCtx};
+use crate::trail::SessionKey;
+use scidive_netsim::time::SimDuration;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Error parsing a rule specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule spec error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A single-shot rule matching any of its classes (used for `any-of`
+/// bodies; fires once per session per rule).
+#[derive(Debug)]
+struct AnyOfRule {
+    id: String,
+    classes: Vec<EventClass>,
+    severity: Severity,
+    fired: HashSet<SessionKey>,
+    global_fired: bool,
+}
+
+impl Rule for AnyOfRule {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn description(&self) -> &str {
+        "operator-defined any-of rule"
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        true
+    }
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+        if !self.classes.contains(&ev.class()) {
+            return Vec::new();
+        }
+        match &ev.session {
+            Some(session) => {
+                if !self.fired.insert(session.clone()) {
+                    return Vec::new();
+                }
+            }
+            None => {
+                if self.global_fired {
+                    return Vec::new();
+                }
+                self.global_fired = true;
+            }
+        }
+        vec![Alert::new(
+            self.id.clone(),
+            self.severity,
+            ev.time,
+            ev.session.clone(),
+            format!("operator rule matched event {}", ev.class().name()),
+        )]
+    }
+}
+
+/// Parses a rule specification into ready-to-install rules.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the offending line for any syntax
+/// problem, unknown event class, duplicate rule id, or empty body.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_core::rules::parse_ruleset;
+///
+/// let rules = parse_ruleset(
+///     "rule demo severity critical window 1s {\n\
+///      \tsequence CallTornDown, OrphanRtpAfterBye\n\
+///      }\n",
+/// )?;
+/// assert_eq!(rules.len(), 1);
+/// assert_eq!(rules[0].id(), "demo");
+/// # Ok::<(), scidive_core::rules::SpecError>(())
+/// ```
+pub fn parse_ruleset(input: &str) -> Result<Vec<Box<dyn Rule>>, SpecError> {
+    let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+    let mut seen_ids: HashSet<String> = HashSet::new();
+    let mut header: Option<(usize, RuleHeader)> = None;
+    let mut body: Option<(usize, String)> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match (&mut header, &mut body) {
+            (None, _) => {
+                // Expect `rule <id> ... {`
+                let without_brace = line.strip_suffix('{').ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "expected `rule <id> [severity <s>] [window <dur>] {`".to_string(),
+                })?;
+                let h = parse_header(without_brace.trim(), line_no)?;
+                if !seen_ids.insert(h.id.clone()) {
+                    return Err(SpecError {
+                        line: line_no,
+                        message: format!("duplicate rule id `{}`", h.id),
+                    });
+                }
+                header = Some((line_no, h));
+            }
+            (Some(_), None) if line == "}" => {
+                return Err(SpecError {
+                    line: line_no,
+                    message: "rule body is empty".to_string(),
+                });
+            }
+            (Some(_), None) => {
+                body = Some((line_no, line.to_string()));
+            }
+            (Some((_, h)), Some((body_line, b))) => {
+                if line != "}" {
+                    return Err(SpecError {
+                        line: line_no,
+                        message: "expected `}` (one body line per rule)".to_string(),
+                    });
+                }
+                rules.push(build_rule(h.clone(), b, *body_line)?);
+                header = None;
+                body = None;
+            }
+        }
+    }
+    if let Some((line, h)) = header {
+        return Err(SpecError {
+            line,
+            message: format!("rule `{}` is not closed with `}}`", h.id),
+        });
+    }
+    Ok(rules)
+}
+
+#[derive(Debug, Clone)]
+struct RuleHeader {
+    id: String,
+    severity: Severity,
+    window: SimDuration,
+}
+
+fn parse_header(text: &str, line: usize) -> Result<RuleHeader, SpecError> {
+    let mut tokens = text.split_whitespace();
+    if tokens.next() != Some("rule") {
+        return Err(SpecError {
+            line,
+            message: "rule block must start with `rule`".to_string(),
+        });
+    }
+    let id = tokens
+        .next()
+        .ok_or_else(|| SpecError {
+            line,
+            message: "missing rule id".to_string(),
+        })?
+        .to_string();
+    let mut severity = Severity::Critical;
+    let mut window = SimDuration::from_secs(60);
+    while let Some(key) = tokens.next() {
+        let value = tokens.next().ok_or_else(|| SpecError {
+            line,
+            message: format!("`{key}` needs a value"),
+        })?;
+        match key {
+            "severity" => {
+                severity = match value.to_ascii_lowercase().as_str() {
+                    "info" => Severity::Info,
+                    "warning" | "warn" => Severity::Warning,
+                    "critical" | "crit" => Severity::Critical,
+                    other => {
+                        return Err(SpecError {
+                            line,
+                            message: format!("unknown severity `{other}`"),
+                        })
+                    }
+                };
+            }
+            "window" => {
+                window = parse_duration(value).ok_or_else(|| SpecError {
+                    line,
+                    message: format!("bad duration `{value}` (use e.g. 500ms, 2s)"),
+                })?;
+            }
+            other => {
+                return Err(SpecError {
+                    line,
+                    message: format!("unknown header key `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(RuleHeader {
+        id,
+        severity,
+        window,
+    })
+}
+
+fn parse_duration(text: &str) -> Option<SimDuration> {
+    if let Some(ms) = text.strip_suffix("ms") {
+        return ms.parse::<u64>().ok().map(SimDuration::from_millis);
+    }
+    if let Some(s) = text.strip_suffix('s') {
+        return s.parse::<u64>().ok().map(SimDuration::from_secs);
+    }
+    None
+}
+
+fn build_rule(
+    header: RuleHeader,
+    body: &str,
+    line: usize,
+) -> Result<Box<dyn Rule>, SpecError> {
+    let (kind, rest) = body.split_once(' ').ok_or_else(|| SpecError {
+        line,
+        message: "body must be `<sequence|all-of|any-of> Class[, Class...]`".to_string(),
+    })?;
+    let classes: Vec<EventClass> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|name| {
+            EventClass::parse_name(name).ok_or_else(|| SpecError {
+                line,
+                message: format!(
+                    "unknown event class `{name}` (one of: {})",
+                    EventClass::ALL
+                        .iter()
+                        .map(|c| c.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if classes.is_empty() {
+        return Err(SpecError {
+            line,
+            message: "no event classes listed".to_string(),
+        });
+    }
+    let description = format!("operator-defined rule `{}`", header.id);
+    Ok(match kind {
+        "sequence" => Box::new(
+            SequenceRule::new(header.id, description, classes, header.window)
+                .with_severity(header.severity),
+        ),
+        "all-of" => Box::new(
+            CombinationRule::new(header.id, description, classes, header.window)
+                .with_severity(header.severity),
+        ),
+        "any-of" => Box::new(AnyOfRule {
+            id: header.id,
+            classes,
+            severity: header.severity,
+            fired: HashSet::new(),
+            global_fired: false,
+        }),
+        other => {
+            return Err(SpecError {
+                line,
+                message: format!("unknown body kind `{other}` (sequence | all-of | any-of)"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, FlowKey};
+    use crate::trail::{TrailStore, TrailStoreConfig};
+    use scidive_netsim::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    const SPEC: &str = "\
+# demo ruleset
+rule demo-seq severity critical window 500ms {
+    sequence CallTornDown, OrphanRtpAfterBye
+}
+
+rule demo-combo severity warning window 2s {
+    all-of SipMalformed, AcctMismatch
+}
+
+rule demo-any {
+    any-of RtpSeqViolation, MediaPortGarbage
+}
+";
+
+    #[test]
+    fn parses_all_three_kinds() {
+        let rules = parse_ruleset(SPEC).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].id(), "demo-seq");
+        assert_eq!(rules[1].id(), "demo-combo");
+        assert_eq!(rules[2].id(), "demo-any");
+    }
+
+    #[test]
+    fn parsed_sequence_rule_fires() {
+        let mut rules = parse_ruleset(SPEC).unwrap();
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::from_millis(5),
+            trails: &store,
+        };
+        let session = Some(SessionKey::new("c1"));
+        let torn = Event {
+            time: SimTime::from_millis(1),
+            session: session.clone(),
+            kind: EventKind::CallTornDown {
+                by_aor: "bob@lab".to_string(),
+                by_media_ip: None,
+            },
+        };
+        let orphan = Event {
+            time: SimTime::from_millis(2),
+            session,
+            kind: EventKind::OrphanRtpAfterBye {
+                flow: FlowKey {
+                    src: Ipv4Addr::new(10, 0, 0, 3),
+                    dst: Ipv4Addr::new(10, 0, 0, 2),
+                    dst_port: 8000,
+                },
+                gap: SimDuration::from_millis(1),
+            },
+        };
+        assert!(rules[0].on_event(&torn, &ctx).is_empty());
+        let alerts = rules[0].on_event(&orphan, &ctx);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "demo-seq");
+        assert_eq!(alerts[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn any_of_fires_once_per_session() {
+        let mut rules = parse_ruleset(SPEC).unwrap();
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::from_millis(5),
+            trails: &store,
+        };
+        let ev = Event {
+            time: SimTime::from_millis(1),
+            session: Some(SessionKey::new("c9")),
+            kind: EventKind::RtpSeqViolation {
+                flow: FlowKey {
+                    src: Ipv4Addr::new(10, 0, 0, 3),
+                    dst: Ipv4Addr::new(10, 0, 0, 2),
+                    dst_port: 8000,
+                },
+                delta: 7000,
+            },
+        };
+        assert_eq!(rules[2].on_event(&ev, &ctx).len(), 1);
+        assert!(rules[2].on_event(&ev, &ctx).is_empty());
+    }
+
+    fn expect_err(input: &str) -> SpecError {
+        match parse_ruleset(input) {
+            Ok(_) => panic!("spec unexpectedly parsed: {input}"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn error_reporting_names_the_line() {
+        let err = expect_err("rule broken {\n    sequence NotAClass\n}\n");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("NotAClass"));
+        assert!(err.message.contains("CallTornDown")); // lists valid names
+
+        let err = expect_err("nonsense\n");
+        assert_eq!(err.line, 1);
+
+        let err = expect_err("rule a {\n}\n");
+        assert!(err.message.contains("empty"));
+
+        let err = expect_err("rule a {\n    any-of SipMalformed\n");
+        assert!(err.message.contains("not closed"));
+
+        let err = expect_err("rule a severity nope {\n    any-of SipMalformed\n}\n");
+        assert!(err.message.contains("severity"));
+
+        let err = expect_err("rule a window 5h {\n    any-of SipMalformed\n}\n");
+        assert!(err.message.contains("duration"));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let spec = "rule a {\n any-of SipMalformed\n}\nrule a {\n any-of SipMalformed\n}\n";
+        let err = expect_err(spec);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let rules = parse_ruleset("# nothing here\n\n# still nothing\n").unwrap();
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn class_name_roundtrip() {
+        for c in EventClass::ALL {
+            assert_eq!(EventClass::parse_name(c.name()), Some(c));
+            assert_eq!(
+                EventClass::parse_name(&c.name().to_ascii_lowercase()),
+                Some(c)
+            );
+        }
+        assert_eq!(EventClass::parse_name("NotAClass"), None);
+    }
+}

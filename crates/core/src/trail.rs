@@ -1,0 +1,445 @@
+//! Trails and the trail store (paper §3.1, §3.2).
+//!
+//! "Footprints that belong to the same session are typically grouped
+//! into a Trail. ... cross-protocol detection is achieved through
+//! keeping multiple trails for each session, one for each protocol."
+//!
+//! Session keying: SIP footprints key by Call-ID; accounting
+//! transactions carry the Call-ID directly; RTP/RTCP flows are linked to
+//! the SIP session whose SDP announced their destination — the media
+//! correlation index maintained here is the heart of cross-protocol
+//! grouping.
+
+use crate::footprint::{Footprint, FootprintBody, TrailProto};
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::sdp::SessionDescription;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Identifies a logical session (usually a SIP Call-ID).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionKey(pub String);
+
+impl SessionKey {
+    /// Creates a key.
+    pub fn new(id: impl Into<String>) -> SessionKey {
+        SessionKey(id.into())
+    }
+}
+
+impl fmt::Display for SessionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifies one trail: a session × protocol pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrailKey {
+    /// The owning session.
+    pub session: SessionKey,
+    /// The protocol this trail collects.
+    pub proto: TrailProto,
+}
+
+/// One trail: the time-ordered footprints of a session on one protocol.
+#[derive(Debug, Clone)]
+pub struct Trail {
+    key: TrailKey,
+    footprints: VecDeque<Arc<Footprint>>,
+    created: SimTime,
+    last_active: SimTime,
+    /// Footprints evicted due to the per-trail cap.
+    evicted: u64,
+}
+
+impl Trail {
+    fn new(key: TrailKey, now: SimTime) -> Trail {
+        Trail {
+            key,
+            footprints: VecDeque::new(),
+            created: now,
+            last_active: now,
+            evicted: 0,
+        }
+    }
+
+    /// The trail's key.
+    pub fn key(&self) -> &TrailKey {
+        &self.key
+    }
+
+    /// Footprints currently retained, oldest first.
+    pub fn footprints(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = &Arc<Footprint>> + ExactSizeIterator {
+        self.footprints.iter()
+    }
+
+    /// Number of retained footprints.
+    pub fn len(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// Whether the trail holds no footprints.
+    pub fn is_empty(&self) -> bool {
+        self.footprints.is_empty()
+    }
+
+    /// When the trail was created.
+    pub fn created(&self) -> SimTime {
+        self.created
+    }
+
+    /// Last insertion time.
+    pub fn last_active(&self) -> SimTime {
+        self.last_active
+    }
+
+    /// Footprints dropped to honour the retention cap.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+/// Trail store configuration: the memory bounds that make stateful
+/// detection "applicable in high throughput systems" (paper §3.3).
+#[derive(Debug, Clone)]
+pub struct TrailStoreConfig {
+    /// Maximum footprints retained per trail.
+    pub max_footprints_per_trail: usize,
+    /// Trails idle longer than this are dropped on the next insert.
+    pub idle_timeout: SimDuration,
+}
+
+impl Default for TrailStoreConfig {
+    fn default() -> TrailStoreConfig {
+        TrailStoreConfig {
+            max_footprints_per_trail: 4096,
+            idle_timeout: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// Counters for the trail store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrailStats {
+    /// Footprints inserted.
+    pub inserted: u64,
+    /// Footprints evicted by the per-trail cap.
+    pub evicted: u64,
+    /// Whole trails expired by the idle timeout.
+    pub expired_trails: u64,
+}
+
+/// The trail store: all live trails plus the cross-protocol correlation
+/// indices.
+#[derive(Debug, Default)]
+pub struct TrailStore {
+    config: TrailStoreConfig,
+    trails: HashMap<TrailKey, Trail>,
+    /// (media sink addr, port) → owning session, learned from SDP.
+    media_index: HashMap<(Ipv4Addr, u16), SessionKey>,
+    stats: TrailStats,
+}
+
+impl TrailStore {
+    /// Creates a store.
+    pub fn new(config: TrailStoreConfig) -> TrailStore {
+        TrailStore {
+            config,
+            trails: HashMap::new(),
+            media_index: HashMap::new(),
+            stats: TrailStats::default(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> TrailStats {
+        self.stats
+    }
+
+    /// Number of live trails.
+    pub fn trail_count(&self) -> usize {
+        self.trails.len()
+    }
+
+    /// Total retained footprints across all trails.
+    pub fn footprint_count(&self) -> usize {
+        self.trails.values().map(Trail::len).sum()
+    }
+
+    /// The session owning a media sink, if announced by any SDP seen.
+    pub fn session_for_media(&self, addr: Ipv4Addr, port: u16) -> Option<&SessionKey> {
+        self.media_index.get(&(addr, port))
+    }
+
+    /// A trail by key, for the "crude information directly from the
+    /// Trails" access path the paper describes for rules.
+    pub fn trail(&self, key: &TrailKey) -> Option<&Trail> {
+        self.trails.get(key)
+    }
+
+    /// All trails of one session.
+    pub fn session_trails(&self, session: &SessionKey) -> Vec<&Trail> {
+        let mut trails: Vec<&Trail> = self
+            .trails
+            .values()
+            .filter(|t| &t.key.session == session)
+            .collect();
+        trails.sort_by_key(|t| t.key.proto);
+        trails
+    }
+
+    /// Inserts a footprint, assigning it to a session trail. Returns the
+    /// shared footprint and the trail key it landed in.
+    pub fn insert(&mut self, fp: Footprint) -> (Arc<Footprint>, TrailKey) {
+        self.expire(fp.meta.time);
+        let session = self.session_of(&fp);
+        self.learn_media(&fp, &session);
+        let key = TrailKey {
+            session,
+            proto: fp.proto(),
+        };
+        let now = fp.meta.time;
+        let fp = Arc::new(fp);
+        let trail = self
+            .trails
+            .entry(key.clone())
+            .or_insert_with(|| Trail::new(key.clone(), now));
+        trail.footprints.push_back(fp.clone());
+        trail.last_active = now;
+        self.stats.inserted += 1;
+        if trail.footprints.len() > self.config.max_footprints_per_trail {
+            trail.footprints.pop_front();
+            trail.evicted += 1;
+            self.stats.evicted += 1;
+        }
+        (fp, key)
+    }
+
+    /// Derives the session a footprint belongs to.
+    fn session_of(&self, fp: &Footprint) -> SessionKey {
+        match &fp.body {
+            FootprintBody::Sip(msg) => match msg.call_id() {
+                Ok(id) => SessionKey::new(id),
+                Err(_) => SessionKey::new(format!("sip-anon-{}", fp.meta.src)),
+            },
+            FootprintBody::SipMalformed { .. } => {
+                SessionKey::new(format!("sip-malformed-{}", fp.meta.src))
+            }
+            FootprintBody::Acct(acct) => SessionKey::new(&acct.call_id),
+            FootprintBody::Rtp { .. } | FootprintBody::Rtcp(_) => {
+                // RTCP rides on port+1; map it onto the RTP sink's port.
+                let port = match &fp.body {
+                    FootprintBody::Rtcp(_) => fp.meta.dst_port.saturating_sub(1),
+                    _ => fp.meta.dst_port,
+                };
+                match self.media_index.get(&(fp.meta.dst, port)) {
+                    Some(session) => session.clone(),
+                    None => SessionKey::new(format!("flow-{}:{}", fp.meta.dst, fp.meta.dst_port)),
+                }
+            }
+            FootprintBody::Icmp { .. }
+            | FootprintBody::UdpOther { .. }
+            | FootprintBody::UdpCorrupt { .. } => {
+                // Garbage aimed at a known media sink belongs to that
+                // session (that is how the RTP attack is correlated).
+                match self.media_index.get(&(fp.meta.dst, fp.meta.dst_port)) {
+                    Some(session) => session.clone(),
+                    None => SessionKey::new(format!("other-{}", fp.meta.dst)),
+                }
+            }
+        }
+    }
+
+    /// Learns media sinks from SDP bodies in SIP messages.
+    fn learn_media(&mut self, fp: &Footprint, session: &SessionKey) {
+        let FootprintBody::Sip(msg) = &fp.body else {
+            return;
+        };
+        if msg.content_type() != Some("application/sdp") {
+            return;
+        }
+        let Ok(text) = std::str::from_utf8(&msg.body) else {
+            return;
+        };
+        let Ok(sdp) = text.parse::<SessionDescription>() else {
+            return;
+        };
+        if let Some((addr, port)) = sdp.rtp_target() {
+            self.media_index.insert((addr, port), session.clone());
+            // RTCP companion port.
+            self.media_index.insert((addr, port + 1), session.clone());
+        }
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let timeout = self.config.idle_timeout;
+        let before = self.trails.len();
+        self.trails
+            .retain(|_, t| now.saturating_since(t.last_active) < timeout);
+        self.stats.expired_trails += (before - self.trails.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::PacketMeta;
+    use scidive_rtp::packet::RtpHeader;
+    use scidive_sip::header::{CSeq, NameAddr, Via};
+    use scidive_sip::method::Method;
+    use scidive_sip::msg::RequestBuilder;
+
+    fn meta(t: u64, src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> PacketMeta {
+        PacketMeta {
+            time: SimTime::from_millis(t),
+            src: src.into(),
+            src_port: sport,
+            dst: dst.into(),
+            dst_port: dport,
+        }
+    }
+
+    fn invite_with_sdp(call_id: &str, media_ip: [u8; 4], port: u16) -> Footprint {
+        let sdp = SessionDescription::audio_offer("alice", media_ip.into(), port);
+        let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
+        b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("a"))
+            .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+            .call_id(call_id)
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.2:5060", "z9hG4bK-t"))
+            .body("application/sdp", sdp.to_string());
+        Footprint {
+            meta: meta(0, [10, 0, 0, 2], 5060, [10, 0, 0, 1], 5060),
+            body: FootprintBody::Sip(Box::new(b.build())),
+        }
+    }
+
+    fn rtp_to(dst: [u8; 4], port: u16, t: u64) -> Footprint {
+        Footprint {
+            meta: meta(t, [10, 0, 0, 3], 9000, dst, port),
+            body: FootprintBody::Rtp {
+                header: RtpHeader::new(0, 1, 0, 7),
+                payload_len: 160,
+            },
+        }
+    }
+
+    #[test]
+    fn sip_groups_by_call_id() {
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        let (_, k1) = store.insert(invite_with_sdp("c1", [10, 0, 0, 2], 8000));
+        let (_, k2) = store.insert(invite_with_sdp("c1", [10, 0, 0, 2], 8000));
+        let (_, k3) = store.insert(invite_with_sdp("c2", [10, 0, 0, 2], 8100));
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_eq!(store.trail(&k1).unwrap().len(), 2);
+        assert_eq!(store.trail_count(), 2);
+    }
+
+    #[test]
+    fn rtp_correlates_to_sip_session_via_sdp() {
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        store.insert(invite_with_sdp("c1", [10, 0, 0, 2], 8000));
+        let (_, key) = store.insert(rtp_to([10, 0, 0, 2], 8000, 100));
+        assert_eq!(key.session, SessionKey::new("c1"));
+        assert_eq!(key.proto, TrailProto::Rtp);
+        // The session now has two trails: SIP + RTP.
+        let trails = store.session_trails(&SessionKey::new("c1"));
+        assert_eq!(trails.len(), 2);
+        assert_eq!(trails[0].key().proto, TrailProto::Sip);
+        assert_eq!(trails[1].key().proto, TrailProto::Rtp);
+    }
+
+    #[test]
+    fn unknown_rtp_gets_synthetic_flow_session() {
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        let (_, key) = store.insert(rtp_to([10, 0, 0, 9], 1234, 0));
+        assert_eq!(key.session, SessionKey::new("flow-10.0.0.9:1234"));
+    }
+
+    #[test]
+    fn acct_joins_session_by_call_id() {
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        store.insert(invite_with_sdp("c1", [10, 0, 0, 2], 8000));
+        let acct = Footprint {
+            meta: meta(50, [10, 0, 0, 1], 2427, [10, 0, 0, 4], 2427),
+            body: FootprintBody::Acct(
+                "ACCT START alice@lab bob@lab c1".parse().unwrap(),
+            ),
+        };
+        let (_, key) = store.insert(acct);
+        assert_eq!(key.session, SessionKey::new("c1"));
+        assert_eq!(key.proto, TrailProto::Acct);
+        assert_eq!(store.session_trails(&SessionKey::new("c1")).len(), 2);
+    }
+
+    #[test]
+    fn garbage_to_media_sink_joins_session() {
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        store.insert(invite_with_sdp("c1", [10, 0, 0, 2], 8000));
+        let garbage = Footprint {
+            meta: meta(60, [10, 0, 0, 66], 4444, [10, 0, 0, 2], 8000),
+            body: FootprintBody::UdpOther { payload_len: 172 },
+        };
+        let (_, key) = store.insert(garbage);
+        assert_eq!(key.session, SessionKey::new("c1"));
+        assert_eq!(key.proto, TrailProto::Other);
+    }
+
+    #[test]
+    fn per_trail_cap_evicts_oldest() {
+        let mut store = TrailStore::new(TrailStoreConfig {
+            max_footprints_per_trail: 3,
+            ..TrailStoreConfig::default()
+        });
+        for t in 0..5 {
+            store.insert(rtp_to([10, 0, 0, 9], 1234, t));
+        }
+        let key = TrailKey {
+            session: SessionKey::new("flow-10.0.0.9:1234"),
+            proto: TrailProto::Rtp,
+        };
+        let trail = store.trail(&key).unwrap();
+        assert_eq!(trail.len(), 3);
+        assert_eq!(trail.evicted(), 2);
+        assert_eq!(store.stats().evicted, 2);
+        // Oldest retained is t=2.
+        assert_eq!(
+            trail.footprints().next().unwrap().meta.time,
+            SimTime::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn idle_trails_expire() {
+        let mut store = TrailStore::new(TrailStoreConfig {
+            idle_timeout: SimDuration::from_secs(10),
+            ..TrailStoreConfig::default()
+        });
+        store.insert(rtp_to([10, 0, 0, 9], 1234, 0));
+        assert_eq!(store.trail_count(), 1);
+        // A much later insert triggers expiry of the idle trail.
+        store.insert(rtp_to([10, 0, 0, 9], 5678, 60_000));
+        assert_eq!(store.trail_count(), 1);
+        assert_eq!(store.stats().expired_trails, 1);
+    }
+
+    #[test]
+    fn rtcp_maps_to_rtp_session() {
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        store.insert(invite_with_sdp("c1", [10, 0, 0, 2], 8000));
+        let rtcp = Footprint {
+            meta: meta(70, [10, 0, 0, 3], 9001, [10, 0, 0, 2], 8001),
+            body: FootprintBody::Rtcp(scidive_rtp::rtcp::RtcpPacket::Bye { ssrcs: vec![1] }),
+        };
+        let (_, key) = store.insert(rtcp);
+        assert_eq!(key.session, SessionKey::new("c1"));
+        assert_eq!(key.proto, TrailProto::Rtcp);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the IDS core: the Distiller is total over
+//! arbitrary bytes, trail accounting balances, and metric identities
+//! hold.
+
+use proptest::prelude::*;
+use scidive_core::alert::{Alert, Severity};
+use scidive_core::distill::{Distiller, DistillerConfig};
+use scidive_core::engine::{Scidive, ScidiveConfig};
+use scidive_core::footprint::{Footprint, FootprintBody, PacketMeta};
+use scidive_core::metrics::{DetectionReport, InjectedAttack};
+use scidive_core::trail::{TrailStore, TrailStoreConfig};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+use scidive_rtp::packet::RtpHeader;
+use std::net::Ipv4Addr;
+
+fn ip() -> impl Strategy<Value = Ipv4Addr> {
+    (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Ipv4Addr::new(10, a, 0, b))
+}
+
+proptest! {
+    #[test]
+    fn distiller_is_total_over_arbitrary_udp(
+        src in ip(), dst in ip(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut d = Distiller::new(DistillerConfig::default());
+        let pkt = IpPacket::udp(src, sport, dst, dport, payload);
+        let fps = d.distill(SimTime::ZERO, &pkt);
+        // Unfragmented input: exactly one footprint, meta preserved.
+        prop_assert_eq!(fps.len(), 1);
+        prop_assert_eq!(fps[0].meta.src, src);
+        prop_assert_eq!(fps[0].meta.dst, dst);
+        prop_assert_eq!(fps[0].meta.src_port, sport);
+        prop_assert_eq!(fps[0].meta.dst_port, dport);
+    }
+
+    #[test]
+    fn engine_never_panics_on_arbitrary_frames(
+        frames in proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..128)),
+            0..40,
+        ),
+    ) {
+        let mut ids = Scidive::new(ScidiveConfig::default());
+        for (i, (sport, dport, payload)) in frames.iter().enumerate() {
+            let pkt = IpPacket::udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                *sport,
+                Ipv4Addr::new(10, 0, 0, 2),
+                *dport,
+                payload.clone(),
+            );
+            ids.on_frame(SimTime::from_millis(i as u64), &pkt);
+        }
+        let stats = ids.stats();
+        prop_assert_eq!(stats.frames, frames.len() as u64);
+        prop_assert!(stats.footprints <= stats.frames);
+        prop_assert_eq!(stats.alerts as usize, ids.alerts().len());
+    }
+
+    #[test]
+    fn trail_store_accounting_balances(
+        inserts in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u16>()), 1..300),
+        cap in 1usize..64,
+    ) {
+        let mut store = TrailStore::new(TrailStoreConfig {
+            max_footprints_per_trail: cap,
+            ..TrailStoreConfig::default()
+        });
+        for (i, (port, seq, _)) in inserts.iter().enumerate() {
+            let fp = Footprint {
+                meta: PacketMeta {
+                    time: SimTime::from_millis(i as u64),
+                    src: Ipv4Addr::new(10, 0, 0, 3),
+                    src_port: 9000,
+                    dst: Ipv4Addr::new(10, 0, 0, 2),
+                    dst_port: *port,
+                    },
+                body: FootprintBody::Rtp {
+                    header: RtpHeader::new(0, *seq, 0, 1),
+                    payload_len: 160,
+                },
+            };
+            store.insert(fp);
+        }
+        let stats = store.stats();
+        prop_assert_eq!(stats.inserted, inserts.len() as u64);
+        // retained + evicted == inserted (no idle expiry at these times).
+        prop_assert_eq!(
+            store.footprint_count() as u64 + stats.evicted,
+            stats.inserted
+        );
+        // Every trail honours the cap.
+        for port in inserts.iter().map(|(p, _, _)| *p) {
+            let key = scidive_core::trail::TrailKey {
+                session: scidive_core::trail::SessionKey::new(
+                    format!("flow-10.0.0.2:{port}"),
+                ),
+                proto: scidive_core::footprint::TrailProto::Rtp,
+            };
+            if let Some(trail) = store.trail(&key) {
+                prop_assert!(trail.len() <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn detection_report_identity(
+        n_attacks in 0usize..6,
+        n_alerts in 0usize..6,
+        offsets in proptest::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let attacks: Vec<InjectedAttack> = (0..n_attacks)
+            .map(|i| InjectedAttack::new(
+                "bye-attack",
+                SimTime::from_millis(*offsets.get(i).unwrap_or(&0) % 1000),
+            ))
+            .collect();
+        let alerts: Vec<Alert> = (0..n_alerts)
+            .map(|i| Alert::new(
+                "bye-attack",
+                Severity::Critical,
+                SimTime::from_millis(*offsets.get(i + n_attacks).unwrap_or(&0) % 1000),
+                None,
+                "x",
+            ))
+            .collect();
+        let report = DetectionReport::evaluate(&alerts, &attacks);
+        // Identities: detected + missed = injected; every alert is either
+        // credited to an attack or a false alarm.
+        prop_assert_eq!(report.detected_count() + report.missed_count(), n_attacks);
+        prop_assert_eq!(
+            report.detected_count() + report.false_alarms.len(),
+            n_alerts.max(report.detected_count())
+        );
+        // Delays are never negative.
+        for o in &report.outcomes {
+            if let Some(d) = o.delay() {
+                prop_assert!(d.as_micros() < u64::MAX);
+            }
+        }
+    }
+}

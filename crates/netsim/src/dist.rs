@@ -1,0 +1,266 @@
+//! Delay distributions for links.
+//!
+//! These are the network-delay random variables (`N_sip`, `N_rtp`) of the
+//! paper's §4.3 performance model. Sampling is hand-written from inverse
+//! CDFs / Box–Muller so that the simulator depends only on a uniform
+//! source, keeping the dependency set minimal and the draws reproducible.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A distribution over one-way packet delays.
+///
+/// All parameters are in milliseconds. Samples are clamped to be
+/// non-negative and rounded to the microsecond.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_netsim::dist::DelayDist;
+/// use scidive_netsim::rng::SimRng;
+///
+/// let d = DelayDist::uniform_ms(1.0, 5.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let s = d.sample(&mut rng);
+/// assert!(s.as_millis_f64() >= 1.0 && s.as_millis_f64() <= 5.0);
+/// assert!((d.mean_ms() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayDist {
+    /// Every packet takes exactly `ms` milliseconds.
+    Constant {
+        /// The fixed delay in milliseconds.
+        ms: f64,
+    },
+    /// Uniform on `[lo_ms, hi_ms]`.
+    Uniform {
+        /// Lower bound in milliseconds.
+        lo_ms: f64,
+        /// Upper bound in milliseconds.
+        hi_ms: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean delay in milliseconds.
+        mean_ms: f64,
+    },
+    /// A fixed propagation delay plus an exponential queueing component.
+    ShiftedExponential {
+        /// Fixed propagation delay in milliseconds.
+        shift_ms: f64,
+        /// Mean of the exponential queueing component in milliseconds.
+        mean_ms: f64,
+    },
+    /// Normal, truncated at zero by resampling clamp.
+    Normal {
+        /// Mean delay in milliseconds.
+        mean_ms: f64,
+        /// Standard deviation in milliseconds.
+        std_ms: f64,
+    },
+}
+
+impl DelayDist {
+    /// Zero-delay distribution (useful in tests).
+    pub const fn zero() -> DelayDist {
+        DelayDist::Constant { ms: 0.0 }
+    }
+
+    /// Constant delay of `ms` milliseconds.
+    pub const fn constant_ms(ms: f64) -> DelayDist {
+        DelayDist::Constant { ms }
+    }
+
+    /// Uniform delay on `[lo_ms, hi_ms]`.
+    pub const fn uniform_ms(lo_ms: f64, hi_ms: f64) -> DelayDist {
+        DelayDist::Uniform { lo_ms, hi_ms }
+    }
+
+    /// Exponential delay with mean `mean_ms`.
+    pub const fn exponential_ms(mean_ms: f64) -> DelayDist {
+        DelayDist::Exponential { mean_ms }
+    }
+
+    /// `shift_ms` propagation plus exponential queueing of mean `mean_ms`.
+    pub const fn shifted_exponential_ms(shift_ms: f64, mean_ms: f64) -> DelayDist {
+        DelayDist::ShiftedExponential { shift_ms, mean_ms }
+    }
+
+    /// Normal delay, clamped at zero.
+    pub const fn normal_ms(mean_ms: f64, std_ms: f64) -> DelayDist {
+        DelayDist::Normal { mean_ms, std_ms }
+    }
+
+    /// Draws one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis_f64(self.sample_ms(rng))
+    }
+
+    /// Draws one delay in fractional milliseconds (clamped at zero).
+    pub fn sample_ms(&self, rng: &mut SimRng) -> f64 {
+        let v = match *self {
+            DelayDist::Constant { ms } => ms,
+            DelayDist::Uniform { lo_ms, hi_ms } => {
+                if hi_ms <= lo_ms {
+                    lo_ms
+                } else {
+                    lo_ms + rng.unit() * (hi_ms - lo_ms)
+                }
+            }
+            DelayDist::Exponential { mean_ms } => sample_exponential(rng, mean_ms),
+            DelayDist::ShiftedExponential { shift_ms, mean_ms } => {
+                shift_ms + sample_exponential(rng, mean_ms)
+            }
+            DelayDist::Normal { mean_ms, std_ms } => {
+                mean_ms + std_ms * sample_standard_normal(rng)
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// The (untruncated) mean delay in milliseconds.
+    ///
+    /// For `Normal`, this is the mean of the untruncated distribution; the
+    /// clamp at zero biases the true mean slightly upward when
+    /// `mean_ms < 3 * std_ms`.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            DelayDist::Constant { ms } => ms,
+            DelayDist::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
+            DelayDist::Exponential { mean_ms } => mean_ms,
+            DelayDist::ShiftedExponential { shift_ms, mean_ms } => shift_ms + mean_ms,
+            DelayDist::Normal { mean_ms, .. } => mean_ms,
+        }
+    }
+}
+
+impl Default for DelayDist {
+    fn default() -> DelayDist {
+        DelayDist::zero()
+    }
+}
+
+impl fmt::Display for DelayDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DelayDist::Constant { ms } => write!(f, "const({ms}ms)"),
+            DelayDist::Uniform { lo_ms, hi_ms } => write!(f, "uniform({lo_ms}..{hi_ms}ms)"),
+            DelayDist::Exponential { mean_ms } => write!(f, "exp(mean={mean_ms}ms)"),
+            DelayDist::ShiftedExponential { shift_ms, mean_ms } => {
+                write!(f, "shiftexp({shift_ms}+exp({mean_ms})ms)")
+            }
+            DelayDist::Normal { mean_ms, std_ms } => write!(f, "normal({mean_ms}±{std_ms}ms)"),
+        }
+    }
+}
+
+/// Inverse-CDF exponential sample with the given mean.
+fn sample_exponential(rng: &mut SimRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    // 1 - U is in (0, 1], so ln never sees zero.
+    -mean * (1.0 - rng.unit()).ln()
+}
+
+/// Box–Muller standard normal sample.
+fn sample_standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = (1.0 - rng.unit()).max(f64::MIN_POSITIVE);
+    let u2 = rng.unit();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: DelayDist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| d.sample_ms(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from(1);
+        let d = DelayDist::constant_ms(4.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample_ms(&mut rng), 4.5);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_mean_matches() {
+        let d = DelayDist::uniform_ms(2.0, 8.0);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..1_000 {
+            let v = d.sample_ms(&mut rng);
+            assert!((2.0..=8.0).contains(&v));
+        }
+        let m = mean_of(d, 20_000, 3);
+        assert!((m - 5.0).abs() < 0.1, "mean={m}");
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lo() {
+        let d = DelayDist::uniform_ms(3.0, 3.0);
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(d.sample_ms(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = DelayDist::exponential_ms(7.0);
+        let m = mean_of(d, 50_000, 4);
+        assert!((m - 7.0).abs() < 0.2, "mean={m}");
+    }
+
+    #[test]
+    fn shifted_exponential_never_below_shift() {
+        let d = DelayDist::shifted_exponential_ms(5.0, 2.0);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1_000 {
+            assert!(d.sample_ms(&mut rng) >= 5.0);
+        }
+        let m = mean_of(d, 50_000, 6);
+        assert!((m - 7.0).abs() < 0.2, "mean={m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = DelayDist::normal_ms(20.0, 2.0);
+        let m = mean_of(d, 50_000, 7);
+        assert!((m - 20.0).abs() < 0.2, "mean={m}");
+        let mut rng = SimRng::seed_from(8);
+        let within = (0..10_000)
+            .filter(|_| (d.sample_ms(&mut rng) - 20.0).abs() < 4.0)
+            .count();
+        // ~95% within 2 sigma
+        assert!(within > 9_200, "within={within}");
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let d = DelayDist::normal_ms(0.5, 3.0);
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..5_000 {
+            assert!(d.sample_ms(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_ms_accessors() {
+        assert_eq!(DelayDist::constant_ms(3.0).mean_ms(), 3.0);
+        assert_eq!(DelayDist::uniform_ms(1.0, 3.0).mean_ms(), 2.0);
+        assert_eq!(DelayDist::exponential_ms(4.0).mean_ms(), 4.0);
+        assert_eq!(DelayDist::shifted_exponential_ms(1.0, 2.0).mean_ms(), 3.0);
+        assert_eq!(DelayDist::normal_ms(5.0, 1.0).mean_ms(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DelayDist::constant_ms(1.0).to_string(), "const(1ms)");
+        assert_eq!(DelayDist::exponential_ms(2.0).to_string(), "exp(mean=2ms)");
+    }
+}

@@ -1,0 +1,314 @@
+//! IP fragmentation and reassembly.
+//!
+//! The paper's Distiller "is responsible for doing IP fragmentation,
+//! reassembly, decoding protocols" (§3.1): an attack pattern split across
+//! fragments defeats a per-packet matcher. The simulator can fragment large
+//! datagrams at a configurable MTU, and [`Reassembler`] restores them —
+//! it is used both by receiving nodes and by the IDS Distiller.
+
+use crate::packet::{FragInfo, IpPacket};
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Splits a packet into fragments no larger than `mtu` payload bytes.
+///
+/// Offsets of non-final fragments are kept multiples of 8 as in real IPv4,
+/// so `mtu` is rounded down to a multiple of 8 (minimum 8). Unfragmented
+/// packets whose payload already fits are returned unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_netsim::frag::fragment;
+/// use scidive_netsim::packet::IpPacket;
+/// use std::net::Ipv4Addr;
+///
+/// let pkt = IpPacket::udp(
+///     Ipv4Addr::new(10, 0, 0, 1), 5060,
+///     Ipv4Addr::new(10, 0, 0, 2), 5060,
+///     vec![0u8; 1000],
+/// ).with_id(42);
+/// let frags = fragment(&pkt, 256);
+/// assert!(frags.len() > 1);
+/// assert!(frags.iter().all(|f| f.payload.len() <= 256));
+/// ```
+pub fn fragment(pkt: &IpPacket, mtu: usize) -> Vec<IpPacket> {
+    let mtu = (mtu / 8).max(1) * 8;
+    if pkt.payload.len() <= mtu {
+        return vec![pkt.clone()];
+    }
+    let mut out = Vec::new();
+    let total = pkt.payload.len();
+    let mut offset = 0usize;
+    while offset < total {
+        let end = (offset + mtu).min(total);
+        out.push(IpPacket {
+            frag: FragInfo {
+                offset: offset as u16,
+                more: end < total,
+            },
+            payload: pkt.payload.slice(offset..end),
+            ..pkt.clone()
+        });
+        offset = end;
+    }
+    out
+}
+
+/// Key identifying one in-flight fragmented datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FragKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    id: u16,
+    proto: u8,
+}
+
+#[derive(Debug)]
+struct Partial {
+    first_seen: SimTime,
+    /// (offset, bytes) pieces received so far.
+    pieces: Vec<(u16, Bytes)>,
+    /// Total length, known once the final fragment arrives.
+    total_len: Option<usize>,
+    template: IpPacket,
+}
+
+impl Partial {
+    fn try_assemble(&self) -> Option<Bytes> {
+        let total = self.total_len?;
+        let mut buf = vec![0u8; total];
+        let mut covered = vec![false; total];
+        for (off, piece) in &self.pieces {
+            let start = *off as usize;
+            let end = start + piece.len();
+            if end > total {
+                return None;
+            }
+            buf[start..end].copy_from_slice(piece);
+            for c in &mut covered[start..end] {
+                *c = true;
+            }
+        }
+        if covered.iter().all(|&c| c) {
+            Some(Bytes::from(buf))
+        } else {
+            None
+        }
+    }
+}
+
+/// Reassembles IP fragments back into whole packets.
+///
+/// Incomplete datagrams are dropped after `timeout` of inactivity,
+/// bounding memory under a fragment-flood.
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<FragKey, Partial>,
+    timeout: SimDuration,
+    /// Count of datagrams that timed out incomplete.
+    expired: u64,
+}
+
+impl Default for Reassembler {
+    fn default() -> Reassembler {
+        Reassembler::new(SimDuration::from_secs(30))
+    }
+}
+
+impl Reassembler {
+    /// Creates a reassembler with the given incomplete-datagram timeout.
+    pub fn new(timeout: SimDuration) -> Reassembler {
+        Reassembler {
+            partials: HashMap::new(),
+            timeout,
+            expired: 0,
+        }
+    }
+
+    /// Offers a packet. Whole packets pass through unchanged; fragments
+    /// are buffered and the reassembled packet is returned once complete.
+    pub fn offer(&mut self, now: SimTime, pkt: IpPacket) -> Option<IpPacket> {
+        self.expire(now);
+        if !pkt.frag.is_fragment() {
+            return Some(pkt);
+        }
+        let key = FragKey {
+            src: pkt.src,
+            dst: pkt.dst,
+            id: pkt.id,
+            proto: pkt.proto.number(),
+        };
+        let entry = self.partials.entry(key).or_insert_with(|| Partial {
+            first_seen: now,
+            pieces: Vec::new(),
+            total_len: None,
+            template: IpPacket {
+                frag: FragInfo::UNFRAGMENTED,
+                payload: Bytes::new(),
+                ..pkt.clone()
+            },
+        });
+        if !pkt.frag.more {
+            entry.total_len = Some(pkt.frag.offset as usize + pkt.payload.len());
+        }
+        entry.pieces.push((pkt.frag.offset, pkt.payload));
+        if let Some(payload) = entry.try_assemble() {
+            let template = self.partials.remove(&key).expect("entry exists").template;
+            return Some(IpPacket { payload, ..template });
+        }
+        None
+    }
+
+    /// Number of datagrams dropped for timing out incomplete.
+    pub fn expired_count(&self) -> u64 {
+        self.expired
+    }
+
+    /// Number of datagrams currently awaiting more fragments.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let timeout = self.timeout;
+        let before = self.partials.len();
+        self.partials
+            .retain(|_, p| now.saturating_since(p.first_seen) < timeout);
+        self.expired += (before - self.partials.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn big_packet(len: usize, id: u16) -> IpPacket {
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        IpPacket::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            5060,
+            Ipv4Addr::new(10, 0, 0, 2),
+            5060,
+            payload,
+        )
+        .with_id(id)
+    }
+
+    #[test]
+    fn small_packet_not_fragmented() {
+        let pkt = big_packet(100, 1);
+        let frags = fragment(&pkt, 1500);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], pkt);
+    }
+
+    #[test]
+    fn fragments_cover_payload_exactly() {
+        let pkt = big_packet(1000, 2);
+        let frags = fragment(&pkt, 300);
+        // mtu rounds down to 296
+        assert_eq!(frags.len(), 4);
+        let mut total = 0;
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(f.frag.offset as usize, total);
+            assert_eq!(f.frag.more, i + 1 < frags.len());
+            total += f.payload.len();
+        }
+        assert_eq!(total, pkt.payload.len());
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let pkt = big_packet(900, 3);
+        let mut r = Reassembler::default();
+        let mut out = None;
+        for f in fragment(&pkt, 256) {
+            out = r.offer(SimTime::ZERO, f);
+        }
+        let whole = out.expect("reassembled");
+        assert_eq!(whole.payload, pkt.payload);
+        assert!(!whole.frag.is_fragment());
+        assert_eq!(whole.decode_udp().unwrap().dst_port, 5060);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let pkt = big_packet(900, 4);
+        let mut frags = fragment(&pkt, 256);
+        frags.reverse();
+        let mut r = Reassembler::default();
+        let mut out = None;
+        for f in frags {
+            assert!(out.is_none());
+            out = r.offer(SimTime::ZERO, f);
+        }
+        assert_eq!(out.expect("reassembled").payload, pkt.payload);
+    }
+
+    #[test]
+    fn interleaved_datagrams_do_not_mix() {
+        let p1 = big_packet(600, 10);
+        let p2 = big_packet(600, 11);
+        let f1 = fragment(&p1, 256);
+        let f2 = fragment(&p2, 256);
+        let mut r = Reassembler::default();
+        let mut done = Vec::new();
+        for (a, b) in f1.into_iter().zip(f2) {
+            if let Some(p) = r.offer(SimTime::ZERO, a) {
+                done.push(p);
+            }
+            if let Some(p) = r.offer(SimTime::ZERO, b) {
+                done.push(p);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|p| p.id == 10 && p.payload == p1.payload));
+        assert!(done.iter().any(|p| p.id == 11 && p.payload == p2.payload));
+    }
+
+    #[test]
+    fn missing_fragment_never_completes() {
+        let pkt = big_packet(900, 5);
+        let mut frags = fragment(&pkt, 256);
+        frags.remove(1);
+        let mut r = Reassembler::default();
+        for f in frags {
+            assert!(r.offer(SimTime::ZERO, f).is_none());
+        }
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn incomplete_datagram_expires() {
+        let pkt = big_packet(900, 6);
+        let frags = fragment(&pkt, 256);
+        let mut r = Reassembler::new(SimDuration::from_secs(5));
+        r.offer(SimTime::ZERO, frags[0].clone());
+        assert_eq!(r.pending(), 1);
+        // A later unrelated packet triggers expiry.
+        let small = big_packet(50, 7);
+        r.offer(SimTime::from_secs(10), small);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.expired_count(), 1);
+        // Late fragment restarts a fresh partial rather than completing.
+        assert!(r.offer(SimTime::from_secs(10), frags[1].clone()).is_none());
+    }
+
+    #[test]
+    fn duplicate_fragments_are_harmless() {
+        let pkt = big_packet(600, 8);
+        let frags = fragment(&pkt, 256);
+        let mut r = Reassembler::default();
+        r.offer(SimTime::ZERO, frags[0].clone());
+        r.offer(SimTime::ZERO, frags[0].clone());
+        let mut out = None;
+        for f in &frags[1..] {
+            out = r.offer(SimTime::ZERO, f.clone());
+        }
+        assert_eq!(out.expect("reassembled").payload, pkt.payload);
+    }
+}

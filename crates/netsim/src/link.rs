@@ -1,0 +1,80 @@
+//! Per-attachment link characteristics.
+
+use crate::dist::DelayDist;
+use serde::{Deserialize, Serialize};
+
+/// Delay and loss parameters for one node's attachment to the hub segment.
+///
+/// On the paper's Fig-4 topology every host hangs off one hub; the path a
+/// packet takes from sender to a given receiver is modelled by the
+/// *receiver's* link: delay is sampled per delivery and the packet is
+/// dropped with probability `loss`.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_netsim::link::LinkParams;
+/// use scidive_netsim::dist::DelayDist;
+///
+/// let lan = LinkParams::new(DelayDist::uniform_ms(0.2, 1.0)).with_loss(0.001);
+/// assert!((lan.loss - 0.001).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way delivery delay distribution.
+    pub delay: DelayDist,
+    /// Independent per-packet drop probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// A link with the given delay distribution and no loss.
+    pub fn new(delay: DelayDist) -> LinkParams {
+        LinkParams { delay, loss: 0.0 }
+    }
+
+    /// An ideal link: zero delay, zero loss.
+    pub fn ideal() -> LinkParams {
+        LinkParams::new(DelayDist::zero())
+    }
+
+    /// A typical LAN link: sub-millisecond uniform delay, no loss.
+    pub fn lan() -> LinkParams {
+        LinkParams::new(DelayDist::uniform_ms(0.1, 0.8))
+    }
+
+    /// Sets the loss probability (builder-style), clamped to `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> LinkParams {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> LinkParams {
+        LinkParams::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_has_zero_delay_and_loss() {
+        let l = LinkParams::ideal();
+        assert_eq!(l.delay, DelayDist::zero());
+        assert_eq!(l.loss, 0.0);
+    }
+
+    #[test]
+    fn loss_is_clamped() {
+        assert_eq!(LinkParams::ideal().with_loss(2.0).loss, 1.0);
+        assert_eq!(LinkParams::ideal().with_loss(-1.0).loss, 0.0);
+    }
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(LinkParams::default(), LinkParams::lan());
+    }
+}

@@ -1,0 +1,239 @@
+//! The [`Node`] actor trait and its execution context.
+//!
+//! Simulation actors (user agents, proxies, attackers, IDS taps) implement
+//! [`Node`]. The simulator calls back into the node on packet delivery and
+//! timer expiry; the node acts on the world exclusively through
+//! [`NodeCtx`], which buffers its actions so no aliasing of simulator
+//! state is possible.
+
+use crate::packet::IpPacket;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+/// Identifies a node within one simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index in creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An opaque timer token chosen by the node when scheduling.
+pub type TimerToken = u64;
+
+/// A simulation actor attached to the network segment.
+///
+/// Implementations must also provide `as_any`/`as_any_mut` so harnesses
+/// can downcast a node back to its concrete type after a run to inspect
+/// its state (calls completed, alerts raised, ...).
+pub trait Node: 'static {
+    /// Called once when the simulation starts (before any packet flows).
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet addressed to this node (or any packet, for
+    /// promiscuous nodes) is delivered.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket);
+
+    /// Called when a timer set via [`NodeCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+        let _ = (ctx, token);
+    }
+
+    /// Upcast for state inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for state inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// An action a node asks the simulator to perform.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send(IpPacket),
+    Timer(SimDuration, TimerToken),
+}
+
+/// Execution context passed to node callbacks.
+///
+/// Provides the node's identity, the current virtual time, a
+/// deterministic per-node random stream, and buffered actions.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) id: NodeId,
+    pub(crate) ip: Ipv4Addr,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) actions: &'a mut Vec<Action>,
+}
+
+impl NodeCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's configured IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The node's private random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Transmits a packet onto the segment.
+    ///
+    /// The source address in `pkt` is sent as-is — spoofing is possible,
+    /// exactly as on a real shared Ethernet segment.
+    pub fn send(&mut self, pkt: IpPacket) {
+        self.actions.push(Action::Send(pkt));
+    }
+
+    /// Convenience: build and transmit a UDP packet from this node's IP.
+    pub fn send_udp(
+        &mut self,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: impl Into<Bytes>,
+    ) {
+        let pkt = IpPacket::udp(self.ip, src_port, dst, dst_port, payload);
+        self.send(pkt);
+    }
+
+    /// Schedules `on_timer(token)` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.actions.push(Action::Timer(delay, token));
+    }
+}
+
+/// A passive node that records every packet it receives.
+///
+/// Attach it promiscuously to model the paper's hub tap; harnesses can
+/// drain the captured frames after (or during) a run via the shared
+/// handle returned by [`Collector::handle`].
+#[derive(Debug, Default)]
+pub struct Collector {
+    frames: std::rc::Rc<std::cell::RefCell<Vec<CapturedFrame>>>,
+}
+
+/// One frame captured by a [`Collector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedFrame {
+    /// Delivery time at the collector.
+    pub time: SimTime,
+    /// The packet as seen on the wire.
+    pub packet: IpPacket,
+}
+
+/// Shared handle to a [`Collector`]'s capture buffer.
+pub type CollectorHandle = std::rc::Rc<std::cell::RefCell<Vec<CapturedFrame>>>;
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// A shared handle that observes frames as they are captured.
+    pub fn handle(&self) -> CollectorHandle {
+        self.frames.clone()
+    }
+}
+
+impl Node for Collector {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        self.frames.borrow_mut().push(CapturedFrame {
+            time: ctx.now(),
+            packet: pkt,
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_actions() {
+        let mut rng = SimRng::seed_from(1);
+        let mut actions = Vec::new();
+        let mut ctx = NodeCtx {
+            now: SimTime::from_millis(5),
+            id: NodeId(3),
+            ip: Ipv4Addr::new(10, 0, 0, 7),
+            rng: &mut rng,
+            actions: &mut actions,
+        };
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        assert_eq!(ctx.id().index(), 3);
+        ctx.send_udp(100, Ipv4Addr::new(10, 0, 0, 8), 200, b"hi".as_ref());
+        ctx.set_timer(SimDuration::from_millis(20), 42);
+        assert_eq!(actions.len(), 2);
+        match &actions[0] {
+            Action::Send(pkt) => {
+                assert_eq!(pkt.src, Ipv4Addr::new(10, 0, 0, 7));
+                let udp = pkt.decode_udp().unwrap();
+                assert_eq!(udp.src_port, 100);
+                assert_eq!(udp.dst_port, 200);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        match &actions[1] {
+            Action::Timer(d, tok) => {
+                assert_eq!(*d, SimDuration::from_millis(20));
+                assert_eq!(*tok, 42);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collector_records_frames() {
+        let mut collector = Collector::new();
+        let handle = collector.handle();
+        let mut rng = SimRng::seed_from(1);
+        let mut actions = Vec::new();
+        let mut ctx = NodeCtx {
+            now: SimTime::from_millis(1),
+            id: NodeId(0),
+            ip: Ipv4Addr::new(10, 0, 0, 250),
+            rng: &mut rng,
+            actions: &mut actions,
+        };
+        let pkt = IpPacket::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2,
+            b"x".as_ref(),
+        );
+        collector.on_packet(&mut ctx, pkt.clone());
+        let frames = handle.borrow();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].packet, pkt);
+        assert_eq!(frames[0].time, SimTime::from_millis(1));
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every source of randomness in a simulation is derived from one master
+//! seed. Components obtain their own independent stream with
+//! [`SimRng::fork`], keyed by a label, so that adding a new component (or a
+//! new draw inside one component) does not perturb the streams of the
+//! others. This is what makes whole-simulation runs reproducible from a
+//! single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream for one simulation component.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_netsim::rng::SimRng;
+/// use rand::RngCore;
+///
+/// let mut root = SimRng::seed_from(42);
+/// let mut a = root.fork("link-a");
+/// let mut b = root.fork("link-b");
+/// // Forked streams are independent but reproducible.
+/// let x = a.next_u64();
+/// let mut root2 = SimRng::seed_from(42);
+/// assert_eq!(root2.fork("link-a").next_u64(), x);
+/// assert_ne!(b.next_u64(), x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates the root stream from a master seed.
+    pub fn seed_from(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream keyed by `label`.
+    ///
+    /// The child depends only on this stream's seed and the label, not on
+    /// how many values have been drawn, so the set of forks is stable as
+    /// code evolves.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let child_seed = splitmix(self.seed ^ fnv1a(label.as_bytes()));
+        SimRng::seed_from(child_seed)
+    }
+
+    /// Derives an independent child stream keyed by an index.
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        let child_seed = splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index));
+        SimRng::seed_from(child_seed)
+    }
+
+    /// Draws a uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Draws a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// 64-bit FNV-1a hash, used only for stable label → seed derivation.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer; scrambles seeds so related labels diverge.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_label_stable() {
+        let root = SimRng::seed_from(99);
+        let mut f1 = root.fork("alpha");
+        let mut f2 = SimRng::seed_from(99).fork("alpha");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn forks_with_different_labels_diverge() {
+        let root = SimRng::seed_from(99);
+        let mut f1 = root.fork("alpha");
+        let mut f2 = root.fork("beta");
+        let same = (0..8).all(|_| f1.next_u64() == f2.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn indexed_forks_diverge() {
+        let root = SimRng::seed_from(1);
+        let mut a = root.fork_indexed("node", 0);
+        let mut b = root.fork_indexed("node", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches_p() {
+        let mut r = SimRng::seed_from(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Transmission traces: a pcap-like record of everything on the wire.
+//!
+//! The simulator records every transmitted frame. Traces back the offline
+//! IDS mode (replay a capture through the Distiller), power the ladder
+//! diagrams that reproduce the paper's Figures 1 and 5–8, and can be
+//! saved/loaded as JSON for regression fixtures.
+
+use crate::node::NodeId;
+use crate::packet::IpPacket;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One transmitted frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Transmission time.
+    pub time: SimTime,
+    /// Sending node, if the frame came from a modelled node.
+    #[serde(skip)]
+    pub from: Option<NodeId>,
+    /// Sending node's name, or `"<injected>"`.
+    pub from_name: String,
+    /// The frame.
+    pub packet: IpPacket,
+}
+
+/// An append-only list of [`TraceRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in transmission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records whose UDP source or destination port matches `port`.
+    pub fn filter_udp_port(&self, port: u16) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.packet
+                    .decode_udp()
+                    .map(|u| u.src_port == port || u.dst_port == port)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Renders a textual message ladder.
+    ///
+    /// `label` maps each record to an arrow annotation; records for which
+    /// it returns `None` are omitted. This lets higher layers (which know
+    /// SIP/RTP) decide how to describe frames, while the ladder layout
+    /// stays here.
+    pub fn render_ladder<F>(&self, mut label: F) -> String
+    where
+        F: FnMut(&TraceRecord) -> Option<String>,
+    {
+        let mut out = String::new();
+        for rec in &self.records {
+            if let Some(text) = label(rec) {
+                let _ = writeln!(
+                    out,
+                    "{:>12}  {:<12} {} -> {:<15}  {}",
+                    rec.time.to_string(),
+                    rec.from_name,
+                    rec.packet.src,
+                    rec.packet.dst.to_string(),
+                    text
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` error.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Trace {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn rec(t: u64, src_port: u16, dst_port: u16) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_millis(t),
+            from: None,
+            from_name: "a".to_string(),
+            packet: IpPacket::udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                src_port,
+                Ipv4Addr::new(10, 0, 0, 2),
+                dst_port,
+                b"payload".as_ref(),
+            ),
+        }
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(rec(1, 100, 5060));
+        t.push(rec(2, 5060, 100));
+        assert_eq!(t.len(), 2);
+        let times: Vec<_> = (&t).into_iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![SimTime::from_millis(1), SimTime::from_millis(2)]);
+    }
+
+    #[test]
+    fn filter_by_udp_port() {
+        let t: Trace = vec![rec(1, 100, 5060), rec(2, 200, 9000), rec(3, 5060, 300)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.filter_udp_port(5060).len(), 2);
+        assert_eq!(t.filter_udp_port(9000).len(), 1);
+        assert_eq!(t.filter_udp_port(1).len(), 0);
+    }
+
+    #[test]
+    fn ladder_rendering_includes_only_labeled() {
+        let t: Trace = vec![rec(1, 100, 5060), rec(2, 200, 9000)]
+            .into_iter()
+            .collect();
+        let ladder = t.render_ladder(|r| {
+            let udp = r.packet.decode_udp().ok()?;
+            (udp.dst_port == 5060).then(|| "INVITE".to_string())
+        });
+        assert!(ladder.contains("INVITE"));
+        assert_eq!(ladder.lines().count(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t: Trace = vec![rec(1, 100, 5060), rec(2, 200, 9000)]
+            .into_iter()
+            .collect();
+        let json = t.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records()[0].packet, t.records()[0].packet);
+        assert_eq!(back.records()[1].time, t.records()[1].time);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new();
+        t.extend(vec![rec(1, 1, 2), rec(2, 3, 4)]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,337 @@
+//! A receiver-side jitter buffer with an explicit corruption model.
+//!
+//! The paper's RTP attack (§4.2.4) works because "garbage packets will
+//! corrupt the jitter buffer in the IP Phone client ... this attack could
+//! result in intermittent voice conversation or in crashing the client"
+//! (X-Lite crashed; Windows Messenger glitched). This buffer makes that
+//! observable: undecodable or wildly out-of-sequence packets count as
+//! *disruptions*, and the owning user agent decides — by its fragility —
+//! whether enough disruptions mean glitching or a crash.
+
+use crate::packet::RtpPacket;
+use crate::seq::{SeqTracker, SeqVerdict};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What happened to an inserted packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertOutcome {
+    /// Queued for playout.
+    Queued,
+    /// Dropped: duplicate of a queued/played packet.
+    Duplicate,
+    /// Dropped: arrived after its playout point.
+    Late,
+    /// Counted as a disruption: sequence number far outside the window.
+    Disruptive,
+    /// Counted as a disruption: buffer overflowed and was reset.
+    Overflow,
+}
+
+/// Statistics kept by the buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Packets queued successfully.
+    pub queued: u64,
+    /// Packets played out.
+    pub played: u64,
+    /// Playout attempts that found no packet (gap → audible glitch).
+    pub underruns: u64,
+    /// Duplicates dropped.
+    pub duplicates: u64,
+    /// Late packets dropped.
+    pub late: u64,
+    /// Disruptions: wild sequence numbers, undecodable payloads,
+    /// overflow resets — the corruption events of the paper's attack.
+    pub disruptions: u64,
+}
+
+/// A sequence-ordered jitter buffer.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_rtp::buffer::JitterBuffer;
+/// use scidive_rtp::packet::{RtpHeader, RtpPacket};
+///
+/// let mut jb = JitterBuffer::new(32, 2);
+/// for seq in 0..4u16 {
+///     jb.insert(RtpPacket::new(RtpHeader::new(0, seq, seq as u32 * 160, 1), vec![0; 160]));
+/// }
+/// assert!(jb.pop_ready().is_some()); // depth reached, playout starts
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JitterBuffer {
+    capacity: usize,
+    /// Packets to accumulate before playout begins.
+    prefill: usize,
+    queue: BTreeMap<u64, RtpPacket>,
+    tracker: Option<SeqTracker>,
+    next_playout: Option<u64>,
+    stats: BufferStats,
+    started: bool,
+}
+
+impl JitterBuffer {
+    /// Creates a buffer holding at most `capacity` packets, starting
+    /// playout after `prefill` packets are queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `prefill > capacity`.
+    pub fn new(capacity: usize, prefill: usize) -> JitterBuffer {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(prefill <= capacity, "prefill cannot exceed capacity");
+        JitterBuffer {
+            capacity,
+            prefill,
+            queue: BTreeMap::new(),
+            tracker: None,
+            next_playout: None,
+            stats: BufferStats::default(),
+            started: false,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Packets currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Records a payload that failed to decode as RTP at all (the
+    /// garbage-bytes case): pure disruption, nothing queued.
+    pub fn record_undecodable(&mut self) {
+        self.stats.disruptions += 1;
+    }
+
+    /// Offers a decoded packet to the buffer.
+    pub fn insert(&mut self, pkt: RtpPacket) -> InsertOutcome {
+        let tracker = match &mut self.tracker {
+            Some(t) => t,
+            None => {
+                self.tracker = Some(SeqTracker::new(pkt.header.seq));
+                let ext = pkt.header.seq as u64;
+                self.queue.insert(ext, pkt);
+                self.stats.queued += 1;
+                return InsertOutcome::Queued;
+            }
+        };
+        match tracker.update(pkt.header.seq) {
+            SeqVerdict::Duplicate => {
+                self.stats.duplicates += 1;
+                InsertOutcome::Duplicate
+            }
+            SeqVerdict::BigJump { .. } => {
+                self.stats.disruptions += 1;
+                InsertOutcome::Disruptive
+            }
+            SeqVerdict::Probation | SeqVerdict::Valid => {
+                let ext = extended(tracker, pkt.header.seq);
+                if let Some(next) = self.next_playout {
+                    if ext < next {
+                        self.stats.late += 1;
+                        return InsertOutcome::Late;
+                    }
+                }
+                if self.queue.contains_key(&ext) {
+                    self.stats.duplicates += 1;
+                    return InsertOutcome::Duplicate;
+                }
+                if self.queue.len() >= self.capacity {
+                    // Overflow: drop everything, count the corruption.
+                    self.queue.clear();
+                    self.started = false;
+                    self.next_playout = None;
+                    self.stats.disruptions += 1;
+                    self.stats.queued += 1;
+                    self.queue.insert(ext, pkt);
+                    return InsertOutcome::Overflow;
+                }
+                self.queue.insert(ext, pkt);
+                self.stats.queued += 1;
+                InsertOutcome::Queued
+            }
+        }
+    }
+
+    /// Pulls the next packet due for playout, if playout has started
+    /// (prefill reached). A missing expected packet counts an underrun
+    /// and advances the playout point.
+    pub fn pop_ready(&mut self) -> Option<RtpPacket> {
+        if !self.started {
+            if self.queue.len() < self.prefill.max(1) {
+                return None;
+            }
+            self.started = true;
+            self.next_playout = self.queue.keys().next().copied();
+        }
+        let next = self.next_playout?;
+        match self.queue.remove(&next) {
+            Some(pkt) => {
+                self.next_playout = Some(next + 1);
+                self.stats.played += 1;
+                Some(pkt)
+            }
+            None => {
+                // Gap at the playout point.
+                if let Some(&first) = self.queue.keys().next() {
+                    self.stats.underruns += 1;
+                    self.next_playout = Some(first);
+                    self.pop_ready()
+                } else {
+                    self.stats.underruns += 1;
+                    None
+                }
+            }
+        }
+    }
+}
+
+fn extended(tracker: &SeqTracker, seq: u16) -> u64 {
+    // Reconstruct the extended sequence for a possibly-reordered packet:
+    // take the tracker's cycle count, adjusting when the packet is from
+    // the previous cycle (seq near the top while max is near the bottom).
+    let cycles = tracker.cycles() as u64;
+    let max = (tracker.extended_highest() & 0xffff) as u16;
+    let delta = crate::seq::seq_delta(max, seq);
+    let candidate_cycle = if delta > 0 && seq < max {
+        cycles + 1 // this packet caused/will cause a wrap (already counted)
+    } else if delta < 0 && seq > max {
+        cycles.saturating_sub(1)
+    } else {
+        cycles
+    };
+    candidate_cycle << 16 | seq as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RtpHeader;
+
+    fn pkt(seq: u16) -> RtpPacket {
+        RtpPacket::new(RtpHeader::new(0, seq, seq as u32 * 160, 42), vec![seq as u8; 4])
+    }
+
+    #[test]
+    fn in_order_playout() {
+        let mut jb = JitterBuffer::new(16, 2);
+        assert_eq!(jb.insert(pkt(5)), InsertOutcome::Queued);
+        assert!(jb.pop_ready().is_none()); // prefill not reached
+        assert_eq!(jb.insert(pkt(6)), InsertOutcome::Queued);
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 5);
+        assert_eq!(jb.insert(pkt(7)), InsertOutcome::Queued);
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 6);
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 7);
+        assert!(jb.pop_ready().is_none());
+        let s = jb.stats();
+        assert_eq!(s.queued, 3);
+        assert_eq!(s.played, 3);
+    }
+
+    #[test]
+    fn reordered_packets_play_in_order() {
+        let mut jb = JitterBuffer::new(16, 3);
+        jb.insert(pkt(10));
+        jb.insert(pkt(12));
+        jb.insert(pkt(11));
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 10);
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 11);
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 12);
+    }
+
+    #[test]
+    fn gap_counts_underrun_and_skips() {
+        let mut jb = JitterBuffer::new(16, 2);
+        jb.insert(pkt(1));
+        jb.insert(pkt(2));
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 1);
+        // 3 never arrives; 4 does.
+        jb.insert(pkt(4));
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 2);
+        let p = jb.pop_ready().unwrap();
+        assert_eq!(p.header.seq, 4);
+        assert_eq!(jb.stats().underruns, 1);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut jb = JitterBuffer::new(16, 1);
+        jb.insert(pkt(1));
+        jb.insert(pkt(2));
+        assert_eq!(jb.insert(pkt(2)), InsertOutcome::Duplicate);
+        assert_eq!(jb.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn late_packet_dropped() {
+        let mut jb = JitterBuffer::new(16, 1);
+        jb.insert(pkt(10));
+        jb.insert(pkt(11));
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 10);
+        assert_eq!(jb.pop_ready().unwrap().header.seq, 11);
+        assert_eq!(jb.insert(pkt(9)), InsertOutcome::Late);
+        assert_eq!(jb.stats().late, 1);
+    }
+
+    #[test]
+    fn attack_seq_jump_is_disruption_not_queued() {
+        let mut jb = JitterBuffer::new(16, 2);
+        jb.insert(pkt(100));
+        jb.insert(pkt(101));
+        // Attacker injects seq 40000.
+        assert_eq!(jb.insert(pkt(40_000)), InsertOutcome::Disruptive);
+        assert_eq!(jb.stats().disruptions, 1);
+        // Legit stream continues unharmed.
+        assert_eq!(jb.insert(pkt(102)), InsertOutcome::Queued);
+    }
+
+    #[test]
+    fn undecodable_counts_disruption() {
+        let mut jb = JitterBuffer::new(16, 2);
+        jb.record_undecodable();
+        jb.record_undecodable();
+        assert_eq!(jb.stats().disruptions, 2);
+    }
+
+    #[test]
+    fn overflow_resets_and_counts() {
+        let mut jb = JitterBuffer::new(4, 1);
+        // Insert 1,3,5,7 — pop_ready not called, so queue fills.
+        for seq in [1u16, 3, 5, 7] {
+            jb.insert(pkt(seq));
+        }
+        assert_eq!(jb.depth(), 4);
+        assert_eq!(jb.insert(pkt(9)), InsertOutcome::Overflow);
+        assert_eq!(jb.depth(), 1);
+        assert_eq!(jb.stats().disruptions, 1);
+    }
+
+    #[test]
+    fn wraparound_playout_order() {
+        let mut jb = JitterBuffer::new(16, 2);
+        jb.insert(pkt(65_534));
+        jb.insert(pkt(65_535));
+        jb.insert(pkt(0));
+        jb.insert(pkt(1));
+        let seqs: Vec<u16> = std::iter::from_fn(|| jb.pop_ready().map(|p| p.header.seq)).collect();
+        assert_eq!(seqs, vec![65_534, 65_535, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        JitterBuffer::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill cannot exceed capacity")]
+    fn prefill_over_capacity_panics() {
+        JitterBuffer::new(2, 3);
+    }
+}

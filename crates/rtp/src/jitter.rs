@@ -1,0 +1,136 @@
+//! Interarrival jitter estimation (RFC 3550 §6.4.1 / §A.8).
+//!
+//! The paper notes the RTP attack "leads to degradation in QoS (jitter)";
+//! this estimator is what both the receiving UA (for its RTCP reports)
+//! and the IDS (as a QoS-degradation signal) run.
+
+use serde::{Deserialize, Serialize};
+
+/// Running interarrival-jitter estimator.
+///
+/// Arrival times and RTP timestamps are both expressed in timestamp
+/// units (e.g. 1/8000 s for PCMU); the caller converts wall-clock arrival
+/// to units via the clock rate.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_rtp::jitter::JitterEstimator;
+///
+/// let mut j = JitterEstimator::new();
+/// // Perfectly paced stream: zero jitter.
+/// for i in 0..10u32 {
+///     j.observe(i * 160, i * 160);
+/// }
+/// assert_eq!(j.jitter(), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JitterEstimator {
+    prev_transit: Option<i64>,
+    jitter: f64,
+    observations: u64,
+}
+
+impl JitterEstimator {
+    /// Creates a zeroed estimator.
+    pub fn new() -> JitterEstimator {
+        JitterEstimator::default()
+    }
+
+    /// Feeds one packet: its arrival time and its RTP timestamp, both in
+    /// timestamp units. Returns the updated jitter estimate.
+    pub fn observe(&mut self, arrival_units: u32, rtp_timestamp: u32) -> f64 {
+        let transit = arrival_units as i64 - rtp_timestamp as i64;
+        if let Some(prev) = self.prev_transit {
+            let d = (transit - prev).abs() as f64;
+            self.jitter += (d - self.jitter) / 16.0;
+        }
+        self.prev_transit = Some(transit);
+        self.observations += 1;
+        self.jitter
+    }
+
+    /// Current jitter estimate in timestamp units.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Jitter in milliseconds given the media clock rate in Hz.
+    pub fn jitter_ms(&self, clock_rate: u32) -> f64 {
+        if clock_rate == 0 {
+            return 0.0;
+        }
+        self.jitter * 1_000.0 / clock_rate as f64
+    }
+
+    /// Packets observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_zero_jitter() {
+        let mut j = JitterEstimator::new();
+        for i in 0..100u32 {
+            j.observe(1000 + i * 160, i * 160);
+        }
+        assert_eq!(j.jitter(), 0.0);
+        assert_eq!(j.observations(), 100);
+    }
+
+    #[test]
+    fn single_displaced_packet_decays() {
+        let mut j = JitterEstimator::new();
+        for i in 0..10u32 {
+            j.observe(i * 160, i * 160);
+        }
+        // One packet arrives 80 units (10 ms at 8 kHz) late.
+        let spike = j.observe(10 * 160 + 80, 10 * 160);
+        assert!(spike > 0.0);
+        // Estimate decays as stream settles (subsequent transit constant
+        // except for one more change back).
+        let mut last = j.observe(11 * 160, 11 * 160);
+        for i in 12..100u32 {
+            last = j.observe(i * 160, i * 160);
+        }
+        assert!(last < spike / 4.0, "spike={spike} last={last}");
+    }
+
+    #[test]
+    fn noisy_stream_has_positive_jitter() {
+        let mut j = JitterEstimator::new();
+        for i in 0..50u32 {
+            let wobble = if i % 2 == 0 { 0 } else { 40 };
+            j.observe(i * 160 + wobble, i * 160);
+        }
+        // Alternating ±40 transit → jitter approaches 40 * (asymptote < 40).
+        assert!(j.jitter() > 10.0);
+        assert!(j.jitter() <= 40.0);
+    }
+
+    #[test]
+    fn jitter_ms_conversion() {
+        let mut j = JitterEstimator::new();
+        j.observe(0, 0);
+        j.observe(160 + 16, 160); // 16 units late = 2 ms at 8 kHz
+        assert!((j.jitter_ms(8000) - j.jitter() / 8.0).abs() < 1e-9);
+        assert_eq!(j.jitter_ms(0), 0.0);
+    }
+
+    #[test]
+    fn garbage_timestamps_blow_up_jitter() {
+        // The paper's RTP attack: random bytes → wild timestamps.
+        let mut j = JitterEstimator::new();
+        for i in 0..10u32 {
+            j.observe(i * 160, i * 160);
+        }
+        let baseline = j.jitter();
+        j.observe(10 * 160, 0x9e3779b9); // garbage timestamp
+        assert!(j.jitter() > baseline + 1_000_000.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # scidive-rtp — RTP/RTCP media transport for the SCIDIVE reproduction
+//!
+//! Implements the RFC 3550/3551 subset the paper's testbed exercises:
+//! RTP packet encode/decode, sequence-number validation (appendix A.1),
+//! interarrival jitter estimation, a receiver jitter buffer with an
+//! explicit corruption model (the target of the paper's §4.2.4 RTP
+//! attack), a paced G.711 media source, and minimal RTCP (SR/RR/BYE).
+//!
+//! ## Example: a receiver processing a paced stream
+//!
+//! ```
+//! use scidive_rtp::prelude::*;
+//!
+//! let mut src = MediaSource::new(0xabc, 0, 0);
+//! let mut jb = JitterBuffer::new(32, 2);
+//! for _ in 0..5 {
+//!     let pkt = src.next_packet();
+//!     let wire = pkt.encode();
+//!     jb.insert(RtpPacket::decode(&wire)?);
+//! }
+//! assert_eq!(jb.stats().queued, 5);
+//! assert!(jb.pop_ready().is_some());
+//! # Ok::<(), scidive_rtp::packet::RtpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod jitter;
+pub mod packet;
+pub mod rtcp;
+pub mod seq;
+pub mod source;
+
+/// Convenient glob import of the common RTP types.
+pub mod prelude {
+    pub use crate::buffer::{BufferStats, InsertOutcome, JitterBuffer};
+    pub use crate::jitter::JitterEstimator;
+    pub use crate::packet::{looks_like_rtp, RtpError, RtpHeader, RtpPacket};
+    pub use crate::rtcp::{looks_like_rtcp, ReportBlock, RtcpError, RtcpPacket};
+    pub use crate::seq::{seq_delta, SeqTracker, SeqVerdict};
+    pub use crate::source::{
+        MediaSource, FRAME_PERIOD_MS, PCMU_CLOCK_HZ, PT_PCMU, SAMPLES_PER_FRAME,
+    };
+}

@@ -1,0 +1,284 @@
+//! RTP packet encoding and decoding (RFC 3550 §5.1).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fixed RTP header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtpHeader {
+    /// Protocol version; always 2 on the wire.
+    pub version: u8,
+    /// Padding flag.
+    pub padding: bool,
+    /// Extension flag.
+    pub extension: bool,
+    /// Marker bit (first packet of a talkspurt for audio).
+    pub marker: bool,
+    /// Payload type (0 = PCMU/G.711 µ-law).
+    pub payload_type: u8,
+    /// Sequence number, increments by one per packet, wraps at 2^16.
+    pub seq: u16,
+    /// Media timestamp in clock-rate units (8000 Hz for PCMU).
+    pub timestamp: u32,
+    /// Synchronisation source identifier.
+    pub ssrc: u32,
+    /// Contributing sources (from mixers); usually empty.
+    pub csrc: Vec<u32>,
+}
+
+impl RtpHeader {
+    /// Byte length of this header on the wire.
+    pub fn wire_len(&self) -> usize {
+        12 + 4 * self.csrc.len()
+    }
+
+    /// Creates a v2 header with the common defaults.
+    pub fn new(payload_type: u8, seq: u16, timestamp: u32, ssrc: u32) -> RtpHeader {
+        RtpHeader {
+            version: 2,
+            padding: false,
+            extension: false,
+            marker: false,
+            payload_type,
+            seq,
+            timestamp,
+            ssrc,
+            csrc: Vec::new(),
+        }
+    }
+}
+
+/// A full RTP packet.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_rtp::packet::{RtpHeader, RtpPacket};
+///
+/// let pkt = RtpPacket::new(RtpHeader::new(0, 7, 1600, 0xdeadbeef), vec![0u8; 160]);
+/// let wire = pkt.encode();
+/// let back = RtpPacket::decode(&wire)?;
+/// assert_eq!(back, pkt);
+/// # Ok::<(), scidive_rtp::packet::RtpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtpPacket {
+    /// The header.
+    pub header: RtpHeader,
+    /// The media payload.
+    pub payload: Bytes,
+}
+
+impl RtpPacket {
+    /// Creates a packet.
+    pub fn new(header: RtpHeader, payload: impl Into<Bytes>) -> RtpPacket {
+        RtpPacket {
+            header,
+            payload: payload.into(),
+        }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let h = &self.header;
+        let mut buf = BytesMut::with_capacity(h.wire_len() + self.payload.len());
+        let b0 = (h.version << 6)
+            | ((h.padding as u8) << 5)
+            | ((h.extension as u8) << 4)
+            | (h.csrc.len() as u8 & 0x0f);
+        let b1 = ((h.marker as u8) << 7) | (h.payload_type & 0x7f);
+        buf.put_u8(b0);
+        buf.put_u8(b1);
+        buf.put_u16(h.seq);
+        buf.put_u32(h.timestamp);
+        buf.put_u32(h.ssrc);
+        for c in &h.csrc {
+            buf.put_u32(*c);
+        }
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtpError::Truncated`] if shorter than the header
+    /// demands, or [`RtpError::BadVersion`] if the version field is not 2
+    /// — which is how the Distiller rejects the paper's garbage-RTP
+    /// packets that fail even version parsing.
+    pub fn decode(bytes: &[u8]) -> Result<RtpPacket, RtpError> {
+        if bytes.len() < 12 {
+            return Err(RtpError::Truncated {
+                need: 12,
+                have: bytes.len(),
+            });
+        }
+        let version = bytes[0] >> 6;
+        if version != 2 {
+            return Err(RtpError::BadVersion(version));
+        }
+        let cc = (bytes[0] & 0x0f) as usize;
+        let need = 12 + 4 * cc;
+        if bytes.len() < need {
+            return Err(RtpError::Truncated {
+                need,
+                have: bytes.len(),
+            });
+        }
+        let csrc = (0..cc)
+            .map(|i| {
+                u32::from_be_bytes([
+                    bytes[12 + 4 * i],
+                    bytes[13 + 4 * i],
+                    bytes[14 + 4 * i],
+                    bytes[15 + 4 * i],
+                ])
+            })
+            .collect();
+        Ok(RtpPacket {
+            header: RtpHeader {
+                version,
+                padding: bytes[0] & 0x20 != 0,
+                extension: bytes[0] & 0x10 != 0,
+                marker: bytes[1] & 0x80 != 0,
+                payload_type: bytes[1] & 0x7f,
+                seq: u16::from_be_bytes([bytes[2], bytes[3]]),
+                timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+                ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+                csrc,
+            },
+            payload: Bytes::copy_from_slice(&bytes[need..]),
+        })
+    }
+}
+
+impl fmt::Display for RtpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RTP pt={} seq={} ts={} ssrc={:#010x} len={}",
+            self.header.payload_type,
+            self.header.seq,
+            self.header.timestamp,
+            self.header.ssrc,
+            self.payload.len()
+        )
+    }
+}
+
+/// Errors decoding RTP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtpError {
+    /// Too few bytes for the header (incl. CSRC list).
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// Version field is not 2.
+    BadVersion(u8),
+}
+
+impl fmt::Display for RtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtpError::Truncated { need, have } => {
+                write!(f, "rtp packet truncated: need {need} bytes, have {have}")
+            }
+            RtpError::BadVersion(v) => write!(f, "rtp version is {v}, expected 2"),
+        }
+    }
+}
+
+impl std::error::Error for RtpError {}
+
+/// Quick sniff used by the Distiller: ≥12 bytes and version bits == 2.
+pub fn looks_like_rtp(payload: &[u8]) -> bool {
+    payload.len() >= 12 && payload[0] >> 6 == 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RtpPacket {
+        RtpPacket::new(
+            RtpHeader::new(0, 1234, 160_000, 0xcafebabe),
+            (0u8..160).collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let pkt = sample();
+        assert_eq!(RtpPacket::decode(&pkt.encode()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn roundtrip_flags_and_csrc() {
+        let mut pkt = sample();
+        pkt.header.marker = true;
+        pkt.header.padding = true;
+        pkt.header.extension = true;
+        pkt.header.payload_type = 96;
+        pkt.header.csrc = vec![1, 2, 3];
+        let back = RtpPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(back, pkt);
+        assert_eq!(back.header.wire_len(), 24);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let pkt = sample();
+        let wire = pkt.encode();
+        assert_eq!(
+            RtpPacket::decode(&wire[..8]),
+            Err(RtpError::Truncated { need: 12, have: 8 })
+        );
+        // CSRC promises more than present
+        let mut short = wire[..12].to_vec();
+        short[0] |= 0x03; // cc = 3 → need 24
+        assert_eq!(
+            RtpPacket::decode(&short),
+            Err(RtpError::Truncated { need: 24, have: 12 })
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let pkt = sample();
+        let mut wire = pkt.encode().to_vec();
+        wire[0] = 0x40; // version 1
+        assert_eq!(RtpPacket::decode(&wire), Err(RtpError::BadVersion(1)));
+    }
+
+    #[test]
+    fn sniffer() {
+        assert!(looks_like_rtp(&sample().encode()));
+        assert!(!looks_like_rtp(b"INVITE sip:b@h SIP/2.0"));
+        assert!(!looks_like_rtp(&[0x80, 0x00])); // too short
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let pkt = RtpPacket::new(RtpHeader::new(0, 1, 0, 7), Bytes::new());
+        let back = RtpPacket::decode(&pkt.encode()).unwrap();
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn seq_wraps_in_header() {
+        let pkt = RtpPacket::new(RtpHeader::new(0, u16::MAX, 0, 7), Bytes::new());
+        assert_eq!(RtpPacket::decode(&pkt.encode()).unwrap().header.seq, 65535);
+    }
+
+    #[test]
+    fn display_summary() {
+        let s = sample().to_string();
+        assert!(s.contains("seq=1234"));
+        assert!(s.contains("0xcafebabe"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Minimal RTCP (RFC 3550 §6): SR, RR and BYE packets.
+//!
+//! RTCP rides on the RTP port + 1. The paper lists RTCP among the
+//! protocols a cross-protocol rule may chain over ("a pattern in a SIP
+//! packet followed by one in a succeeding RTP packet followed by one in
+//! an RTCP packet"), so the Distiller must classify and decode it.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// RTCP packet type: sender report.
+pub const PT_SR: u8 = 200;
+/// RTCP packet type: receiver report.
+pub const PT_RR: u8 = 201;
+/// RTCP packet type: goodbye.
+pub const PT_BYE: u8 = 203;
+
+/// One reception report block (inside SR/RR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportBlock {
+    /// SSRC the report is about.
+    pub ssrc: u32,
+    /// Fraction of packets lost since the last report (fixed-point /256).
+    pub fraction_lost: u8,
+    /// Cumulative packets lost (24-bit on the wire).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in timestamp units.
+    pub jitter: u32,
+}
+
+/// A decoded RTCP packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RtcpPacket {
+    /// Sender report.
+    SenderReport {
+        /// Reporting source.
+        ssrc: u32,
+        /// RTP timestamp corresponding to this report.
+        rtp_timestamp: u32,
+        /// Packets sent so far.
+        packet_count: u32,
+        /// Payload octets sent so far.
+        octet_count: u32,
+        /// Reception reports about remote sources.
+        reports: Vec<ReportBlock>,
+    },
+    /// Receiver report.
+    ReceiverReport {
+        /// Reporting source.
+        ssrc: u32,
+        /// Reception reports about remote sources.
+        reports: Vec<ReportBlock>,
+    },
+    /// Goodbye: the source is leaving the session.
+    Bye {
+        /// Sources saying goodbye.
+        ssrcs: Vec<u32>,
+    },
+}
+
+impl RtcpPacket {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            RtcpPacket::SenderReport {
+                ssrc,
+                rtp_timestamp,
+                packet_count,
+                octet_count,
+                reports,
+            } => {
+                put_header(&mut buf, reports.len() as u8, PT_SR, 6 + 6 * reports.len());
+                buf.put_u32(*ssrc);
+                buf.put_u64(0); // NTP timestamp unused in the simulation
+                buf.put_u32(*rtp_timestamp);
+                buf.put_u32(*packet_count);
+                buf.put_u32(*octet_count);
+                for r in reports {
+                    put_report(&mut buf, r);
+                }
+            }
+            RtcpPacket::ReceiverReport { ssrc, reports } => {
+                put_header(&mut buf, reports.len() as u8, PT_RR, 1 + 6 * reports.len());
+                buf.put_u32(*ssrc);
+                for r in reports {
+                    put_report(&mut buf, r);
+                }
+            }
+            RtcpPacket::Bye { ssrcs } => {
+                put_header(&mut buf, ssrcs.len() as u8, PT_BYE, ssrcs.len());
+                for s in ssrcs {
+                    buf.put_u32(*s);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtcpError`] on truncation, bad version, or an
+    /// unsupported packet type.
+    pub fn decode(bytes: &[u8]) -> Result<RtcpPacket, RtcpError> {
+        if bytes.len() < 4 {
+            return Err(RtcpError::Truncated);
+        }
+        if bytes[0] >> 6 != 2 {
+            return Err(RtcpError::BadVersion(bytes[0] >> 6));
+        }
+        let count = (bytes[0] & 0x1f) as usize;
+        let pt = bytes[1];
+        let words = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        let total = 4 * (words + 1);
+        if bytes.len() < total {
+            return Err(RtcpError::Truncated);
+        }
+        let body = &bytes[4..total];
+        match pt {
+            PT_SR => {
+                if body.len() < 24 + 24 * count {
+                    return Err(RtcpError::Truncated);
+                }
+                let reports = (0..count)
+                    .map(|i| read_report(&body[24 + 24 * i..]))
+                    .collect();
+                Ok(RtcpPacket::SenderReport {
+                    ssrc: read_u32(body, 0),
+                    rtp_timestamp: read_u32(body, 12),
+                    packet_count: read_u32(body, 16),
+                    octet_count: read_u32(body, 20),
+                    reports,
+                })
+            }
+            PT_RR => {
+                if body.len() < 4 + 24 * count {
+                    return Err(RtcpError::Truncated);
+                }
+                let reports = (0..count)
+                    .map(|i| read_report(&body[4 + 24 * i..]))
+                    .collect();
+                Ok(RtcpPacket::ReceiverReport {
+                    ssrc: read_u32(body, 0),
+                    reports,
+                })
+            }
+            PT_BYE => {
+                if body.len() < 4 * count {
+                    return Err(RtcpError::Truncated);
+                }
+                Ok(RtcpPacket::Bye {
+                    ssrcs: (0..count).map(|i| read_u32(body, 4 * i)).collect(),
+                })
+            }
+            other => Err(RtcpError::UnsupportedType(other)),
+        }
+    }
+}
+
+/// Quick sniff: version 2 and a known RTCP packet type.
+pub fn looks_like_rtcp(payload: &[u8]) -> bool {
+    payload.len() >= 4 && payload[0] >> 6 == 2 && matches!(payload[1], PT_SR | PT_RR | PT_BYE)
+}
+
+fn put_header(buf: &mut BytesMut, count: u8, pt: u8, body_words: usize) {
+    buf.put_u8(0x80 | (count & 0x1f));
+    buf.put_u8(pt);
+    buf.put_u16(body_words as u16);
+}
+
+fn put_report(buf: &mut BytesMut, r: &ReportBlock) {
+    buf.put_u32(r.ssrc);
+    buf.put_u8(r.fraction_lost);
+    buf.put_u8(((r.cumulative_lost >> 16) & 0xff) as u8);
+    buf.put_u8(((r.cumulative_lost >> 8) & 0xff) as u8);
+    buf.put_u8((r.cumulative_lost & 0xff) as u8);
+    buf.put_u32(r.highest_seq);
+    buf.put_u32(r.jitter);
+    buf.put_u32(0); // LSR
+    buf.put_u32(0); // DLSR
+}
+
+fn read_report(b: &[u8]) -> ReportBlock {
+    ReportBlock {
+        ssrc: read_u32(b, 0),
+        fraction_lost: b[4],
+        cumulative_lost: ((b[5] as u32) << 16) | ((b[6] as u32) << 8) | b[7] as u32,
+        highest_seq: read_u32(b, 8),
+        jitter: read_u32(b, 12),
+    }
+}
+
+fn read_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+/// Errors decoding RTCP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtcpError {
+    /// Not enough bytes for the declared structure.
+    Truncated,
+    /// Version field is not 2.
+    BadVersion(u8),
+    /// Packet type we do not model.
+    UnsupportedType(u8),
+}
+
+impl fmt::Display for RtcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtcpError::Truncated => write!(f, "rtcp packet truncated"),
+            RtcpError::BadVersion(v) => write!(f, "rtcp version is {v}, expected 2"),
+            RtcpError::UnsupportedType(t) => write!(f, "unsupported rtcp packet type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for RtcpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ssrc: u32) -> ReportBlock {
+        ReportBlock {
+            ssrc,
+            fraction_lost: 12,
+            cumulative_lost: 0x01_0203,
+            highest_seq: 99_999,
+            jitter: 42,
+        }
+    }
+
+    #[test]
+    fn sr_roundtrip() {
+        let sr = RtcpPacket::SenderReport {
+            ssrc: 1,
+            rtp_timestamp: 1600,
+            packet_count: 10,
+            octet_count: 1600,
+            reports: vec![block(2)],
+        };
+        assert_eq!(RtcpPacket::decode(&sr.encode()).unwrap(), sr);
+    }
+
+    #[test]
+    fn rr_roundtrip() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 5,
+            reports: vec![block(6), block(7)],
+        };
+        assert_eq!(RtcpPacket::decode(&rr.encode()).unwrap(), rr);
+    }
+
+    #[test]
+    fn rr_empty_roundtrip() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 5,
+            reports: vec![],
+        };
+        assert_eq!(RtcpPacket::decode(&rr.encode()).unwrap(), rr);
+    }
+
+    #[test]
+    fn bye_roundtrip() {
+        let bye = RtcpPacket::Bye { ssrcs: vec![1, 2] };
+        assert_eq!(RtcpPacket::decode(&bye.encode()).unwrap(), bye);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(RtcpPacket::decode(&[0x80]), Err(RtcpError::Truncated));
+        assert_eq!(
+            RtcpPacket::decode(&[0x40, 200, 0, 0]),
+            Err(RtcpError::BadVersion(1))
+        );
+        assert_eq!(
+            RtcpPacket::decode(&[0x80, 204, 0, 0]),
+            Err(RtcpError::UnsupportedType(204))
+        );
+        // Declared length beyond the buffer.
+        assert_eq!(
+            RtcpPacket::decode(&[0x80, 200, 0, 10, 0, 0, 0, 0]),
+            Err(RtcpError::Truncated)
+        );
+    }
+
+    #[test]
+    fn sniffer() {
+        let bye = RtcpPacket::Bye { ssrcs: vec![9] };
+        assert!(looks_like_rtcp(&bye.encode()));
+        // RTP packet: pt-with-marker byte is not 200/201/203.
+        let rtp = crate::packet::RtpPacket::new(
+            crate::packet::RtpHeader::new(0, 1, 0, 9),
+            vec![0u8; 160],
+        );
+        assert!(!looks_like_rtcp(&rtp.encode()));
+    }
+
+    #[test]
+    fn cumulative_lost_24bit_roundtrip() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 5,
+            reports: vec![ReportBlock {
+                cumulative_lost: 0xff_ffff,
+                ..block(1)
+            }],
+        };
+        match RtcpPacket::decode(&rr.encode()).unwrap() {
+            RtcpPacket::ReceiverReport { reports, .. } => {
+                assert_eq!(reports[0].cumulative_lost, 0xff_ffff)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Sequence-number arithmetic and source validation (RFC 3550 §A.1).
+//!
+//! The paper's RTP-attack rule is exactly a sequence-number discipline:
+//! "if we see two consecutive packets whose sequence numbers have a
+//! difference greater than 100, the IDS will signal an alarm" (§4.2.4).
+//! [`seq_delta`] provides the wrapping difference that rule needs, and
+//! [`SeqTracker`] implements the RFC's probation/dropout/misorder
+//! validation used by well-behaved receivers.
+
+use serde::{Deserialize, Serialize};
+
+/// Wrapping difference `b - a` interpreted in the shortest direction,
+/// in `-32768..=32767`.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_rtp::seq::seq_delta;
+///
+/// assert_eq!(seq_delta(10, 11), 1);
+/// assert_eq!(seq_delta(11, 10), -1);
+/// assert_eq!(seq_delta(65_535, 0), 1); // wrap-around
+/// assert_eq!(seq_delta(0, 65_535), -1);
+/// ```
+pub fn seq_delta(a: u16, b: u16) -> i32 {
+    let diff = b.wrapping_sub(a);
+    if diff < 0x8000 {
+        diff as i32
+    } else {
+        diff as i32 - 0x10000
+    }
+}
+
+/// Packets of reordering tolerated before treating a packet as from a
+/// restarted/new source (RFC 3550 suggested value).
+pub const MAX_MISORDER: u16 = 100;
+/// Forward jump tolerated before suspecting a bad source.
+pub const MAX_DROPOUT: u16 = 3000;
+/// Sequential packets required to declare a source valid.
+pub const MIN_SEQUENTIAL: u32 = 2;
+
+/// The verdict for one received sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqVerdict {
+    /// In order (or tolerably reordered); counted as received.
+    Valid,
+    /// Source still in probation; packet dropped by a strict receiver.
+    Probation,
+    /// Jump beyond [`MAX_DROPOUT`]: possible attack or source restart.
+    BigJump {
+        /// The wrapping delta from the previous highest sequence.
+        delta: i32,
+    },
+    /// Duplicate or very late packet.
+    Duplicate,
+}
+
+/// Per-source sequence state, after RFC 3550 appendix A.1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqTracker {
+    max_seq: u16,
+    /// Shifted count of sequence cycles (per RFC: `cycles` is the count
+    /// of wraps times 2^16).
+    cycles: u32,
+    base_seq: u16,
+    probation: u32,
+    received: u64,
+    bad_seq: Option<u16>,
+}
+
+impl SeqTracker {
+    /// Starts tracking at the first observed sequence number.
+    pub fn new(first_seq: u16) -> SeqTracker {
+        SeqTracker {
+            max_seq: first_seq,
+            cycles: 0,
+            base_seq: first_seq,
+            probation: MIN_SEQUENTIAL - 1,
+            received: 1,
+            bad_seq: None,
+        }
+    }
+
+    /// Packets accepted as valid so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// The extended highest sequence number (cycles × 2^16 + max_seq).
+    pub fn extended_highest(&self) -> u64 {
+        (self.cycles as u64) << 16 | self.max_seq as u64
+    }
+
+    /// Number of 2^16 wraps observed.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// Whether the source has cleared probation.
+    pub fn is_validated(&self) -> bool {
+        self.probation == 0
+    }
+
+    /// Feeds the next observed sequence number.
+    pub fn update(&mut self, seq: u16) -> SeqVerdict {
+        let delta = seq_delta(self.max_seq, seq);
+        if self.probation > 0 {
+            // Source not yet valid: require sequential packets.
+            if seq == self.max_seq.wrapping_add(1) {
+                self.probation -= 1;
+                self.max_seq = seq;
+                if self.probation == 0 {
+                    self.received += 1;
+                    return SeqVerdict::Valid;
+                }
+            } else {
+                self.probation = MIN_SEQUENTIAL - 1;
+                self.max_seq = seq;
+            }
+            return SeqVerdict::Probation;
+        }
+        if delta > 0 && delta < MAX_DROPOUT as i32 {
+            if seq < self.max_seq {
+                self.cycles += 1;
+            }
+            self.max_seq = seq;
+            self.received += 1;
+            SeqVerdict::Valid
+        } else if delta <= 0 && -delta < MAX_MISORDER as i32 {
+            if delta == 0 {
+                SeqVerdict::Duplicate
+            } else {
+                // Reordered but acceptable.
+                self.received += 1;
+                SeqVerdict::Valid
+            }
+        } else {
+            // Big jump (forward or far backward).
+            if let Some(bad) = self.bad_seq {
+                if seq == bad.wrapping_add(1) {
+                    // Two sequential packets at the new offset: the
+                    // source restarted; resync.
+                    *self = SeqTracker::new(seq);
+                    self.probation = 0;
+                    return SeqVerdict::Valid;
+                }
+            }
+            self.bad_seq = Some(seq);
+            SeqVerdict::BigJump { delta }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_shortest_path() {
+        assert_eq!(seq_delta(0, 0), 0);
+        assert_eq!(seq_delta(100, 200), 100);
+        assert_eq!(seq_delta(200, 100), -100);
+        assert_eq!(seq_delta(65_000, 100), 636);
+        assert_eq!(seq_delta(100, 65_000), -636);
+        assert_eq!(seq_delta(0, 0x8000), -32768);
+    }
+
+    #[test]
+    fn probation_then_valid() {
+        let mut t = SeqTracker::new(10);
+        assert!(!t.is_validated());
+        assert_eq!(t.update(11), SeqVerdict::Valid); // MIN_SEQUENTIAL=2
+        assert!(t.is_validated());
+        assert_eq!(t.update(12), SeqVerdict::Valid);
+        assert_eq!(t.received(), 3);
+    }
+
+    #[test]
+    fn probation_resets_on_gap() {
+        let mut t = SeqTracker::new(10);
+        assert_eq!(t.update(20), SeqVerdict::Probation); // not sequential
+        assert_eq!(t.update(21), SeqVerdict::Valid); // now sequential
+        assert!(t.is_validated());
+    }
+
+    #[test]
+    fn small_dropout_tolerated() {
+        let mut t = validated_at(100);
+        assert_eq!(t.update(150), SeqVerdict::Valid); // 49 lost packets
+        assert_eq!(t.extended_highest(), 150);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut t = validated_at(100);
+        assert_eq!(t.update(100), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn reorder_tolerated() {
+        let mut t = validated_at(100);
+        assert_eq!(t.update(98), SeqVerdict::Valid);
+        assert_eq!(t.extended_highest(), 100); // max unchanged
+    }
+
+    #[test]
+    fn wraparound_counts_cycle() {
+        let mut t = validated_at(65_534);
+        assert_eq!(t.update(65_535), SeqVerdict::Valid);
+        assert_eq!(t.update(3), SeqVerdict::Valid); // wraps
+        assert_eq!(t.cycles(), 1);
+        assert_eq!(t.extended_highest(), (1 << 16) | 3);
+    }
+
+    #[test]
+    fn attack_jump_flags_big_jump() {
+        let mut t = validated_at(100);
+        match t.update(10_000) {
+            SeqVerdict::BigJump { delta } => assert_eq!(delta, 9_900),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A second unrelated wild value stays suspicious.
+        assert!(matches!(t.update(30_000), SeqVerdict::BigJump { .. }));
+    }
+
+    #[test]
+    fn source_restart_resyncs() {
+        let mut t = validated_at(100);
+        assert!(matches!(t.update(50_000), SeqVerdict::BigJump { .. }));
+        assert_eq!(t.update(50_001), SeqVerdict::Valid); // sequential at new offset
+        assert!(t.is_validated());
+        assert_eq!(t.extended_highest() & 0xffff, 50_001);
+    }
+
+    fn validated_at(seq: u16) -> SeqTracker {
+        let mut t = SeqTracker::new(seq.wrapping_sub(1));
+        t.update(seq);
+        assert!(t.is_validated());
+        t
+    }
+}

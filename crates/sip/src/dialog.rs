@@ -1,0 +1,361 @@
+//! SIP dialog state (RFC 3261 §12, simplified to the UDP/no-route-set
+//! subset the testbed uses).
+//!
+//! A dialog is identified by `(Call-ID, local tag, remote tag)`. Both user
+//! agents and the IDS track dialogs: the UA to drive calls, the IDS (in
+//! `scidive-core`) passively, as the "stateful detection" substrate.
+
+use crate::header::{CSeq, NameAddr, Via};
+use crate::method::Method;
+use crate::msg::{RequestBuilder, SipMessage};
+use crate::uri::SipUri;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The lifecycle of a dialog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DialogState {
+    /// INVITE sent/received, no final response yet.
+    Early,
+    /// 2xx exchanged; media may flow.
+    Confirmed,
+    /// BYE exchanged (or the call failed).
+    Terminated,
+}
+
+/// Which side of the dialog we are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DialogRole {
+    /// We sent the INVITE.
+    Uac,
+    /// We received the INVITE.
+    Uas,
+}
+
+/// One end's view of a SIP dialog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dialog {
+    /// Call-ID shared by everything in the dialog.
+    pub call_id: String,
+    /// Our tag.
+    pub local_tag: String,
+    /// Peer's tag, once learned.
+    pub remote_tag: Option<String>,
+    /// Our address-of-record URI.
+    pub local_uri: SipUri,
+    /// Peer's address-of-record URI.
+    pub remote_uri: SipUri,
+    /// Where in-dialog requests are sent (peer's Contact).
+    pub remote_target: SipUri,
+    /// Our request sequence number (last used).
+    pub local_cseq: u32,
+    /// Peer's last seen sequence number.
+    pub remote_cseq: Option<u32>,
+    /// Current state.
+    pub state: DialogState,
+    /// Which side we are.
+    pub role: DialogRole,
+}
+
+impl Dialog {
+    /// Creates the UAC-side dialog state from an INVITE we are sending.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the INVITE lacks the dialog-forming headers.
+    pub fn uac_from_invite(invite: &SipMessage) -> Result<Dialog, DialogError> {
+        let from = invite.from_().map_err(DialogError::bad)?;
+        let to = invite.to().map_err(DialogError::bad)?;
+        let local_tag = from
+            .tag()
+            .ok_or(DialogError::MissingLocalTag)?
+            .to_string();
+        Ok(Dialog {
+            call_id: invite.call_id().map_err(DialogError::bad)?.to_string(),
+            local_tag,
+            remote_tag: None,
+            local_uri: from.uri,
+            remote_uri: to.uri.clone(),
+            remote_target: to.uri,
+            local_cseq: invite.cseq().map_err(DialogError::bad)?.seq,
+            remote_cseq: None,
+            state: DialogState::Early,
+            role: DialogRole::Uac,
+        })
+    }
+
+    /// Creates the UAS-side dialog state from an INVITE we received,
+    /// contributing our `local_tag`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the INVITE lacks the dialog-forming headers.
+    pub fn uas_from_invite(
+        invite: &SipMessage,
+        local_tag: impl Into<String>,
+    ) -> Result<Dialog, DialogError> {
+        let from = invite.from_().map_err(DialogError::bad)?;
+        let to = invite.to().map_err(DialogError::bad)?;
+        let remote_target = invite
+            .contact()
+            .map(|c| c.uri)
+            .unwrap_or_else(|_| from.uri.clone());
+        Ok(Dialog {
+            call_id: invite.call_id().map_err(DialogError::bad)?.to_string(),
+            local_tag: local_tag.into(),
+            remote_tag: from.tag().map(str::to_string),
+            local_uri: to.uri,
+            remote_uri: from.uri,
+            remote_target,
+            local_cseq: 0,
+            remote_cseq: Some(invite.cseq().map_err(DialogError::bad)?.seq),
+            state: DialogState::Early,
+            role: DialogRole::Uas,
+        })
+    }
+
+    /// UAC: processes a response to our INVITE, learning the remote tag
+    /// and target and confirming the dialog on 2xx.
+    pub fn on_invite_response(&mut self, resp: &SipMessage) {
+        if let Ok(to) = resp.to() {
+            if self.remote_tag.is_none() {
+                self.remote_tag = to.tag().map(str::to_string);
+            }
+        }
+        if let Ok(contact) = resp.contact() {
+            self.remote_target = contact.uri;
+        }
+        if let Some(status) = resp.status() {
+            if status.is_success() {
+                self.state = DialogState::Confirmed;
+            } else if status.is_final() {
+                self.state = DialogState::Terminated;
+            }
+        }
+    }
+
+    /// UAS: marks confirmed after we send 2xx (and the ACK arrives).
+    pub fn confirm(&mut self) {
+        if self.state == DialogState::Early {
+            self.state = DialogState::Confirmed;
+        }
+    }
+
+    /// Terminates the dialog (BYE sent or received).
+    pub fn terminate(&mut self) {
+        self.state = DialogState::Terminated;
+    }
+
+    /// Whether `msg` belongs to this dialog (Call-ID matches and the tags
+    /// are consistent, in either direction).
+    pub fn matches(&self, msg: &SipMessage) -> bool {
+        let Ok(call_id) = msg.call_id() else {
+            return false;
+        };
+        if call_id != self.call_id {
+            return false;
+        }
+        let from_tag = msg.from_().ok().and_then(|f| f.tag().map(str::to_string));
+        let to_tag = msg.to().ok().and_then(|t| t.tag().map(str::to_string));
+        let local = Some(self.local_tag.clone());
+        let remote = self.remote_tag.clone();
+        // Either we are the recipient (remote in From) or the sender.
+        (from_tag == remote || remote.is_none()) && (to_tag == local || to_tag.is_none())
+            || (from_tag == local && (to_tag == remote || to_tag.is_none() || remote.is_none()))
+    }
+
+    /// Builds an in-dialog request of `method` (BYE, re-INVITE, INFO…)
+    /// with the dialog's identifiers and the next CSeq.
+    pub fn make_request(&mut self, method: Method, via_sent_by: &str, branch: &str) -> SipMessage {
+        self.local_cseq += 1;
+        let mut b = RequestBuilder::new(method, self.remote_target.clone());
+        let mut from = NameAddr::new(self.local_uri.clone()).with_tag(&self.local_tag);
+        from.display = None;
+        let mut to = NameAddr::new(self.remote_uri.clone());
+        if let Some(tag) = &self.remote_tag {
+            to = to.with_tag(tag);
+        }
+        b.from(from)
+            .to(to)
+            .call_id(&self.call_id)
+            .cseq(CSeq::new(self.local_cseq, method))
+            .via(Via::udp(via_sent_by, branch));
+        b.build()
+    }
+
+    /// UAS: validates and records the CSeq of an incoming in-dialog
+    /// request; stale (non-increasing) CSeqs are rejected.
+    pub fn accept_remote_cseq(&mut self, cseq: u32) -> bool {
+        match self.remote_cseq {
+            Some(prev) if cseq <= prev => false,
+            _ => {
+                self.remote_cseq = Some(cseq);
+                true
+            }
+        }
+    }
+}
+
+/// Errors constructing dialog state from a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DialogError {
+    /// A dialog-forming header was missing or malformed.
+    BadMessage(String),
+    /// The UAC's From header carried no tag.
+    MissingLocalTag,
+}
+
+impl DialogError {
+    fn bad(e: impl fmt::Display) -> DialogError {
+        DialogError::BadMessage(e.to_string())
+    }
+}
+
+impl fmt::Display for DialogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DialogError::BadMessage(d) => write!(f, "message cannot form a dialog: {d}"),
+            DialogError::MissingLocalTag => write!(f, "uac From header has no tag"),
+        }
+    }
+}
+
+impl std::error::Error for DialogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::HeaderName;
+    use crate::msg::response_to;
+    use crate::status::StatusCode;
+
+    fn invite() -> SipMessage {
+        let mut b = RequestBuilder::new(Method::Invite, "sip:bob@10.0.0.2".parse().unwrap());
+        b.from(NameAddr::new("sip:alice@10.0.0.1".parse().unwrap()).with_tag("a-tag"))
+            .to(NameAddr::new("sip:bob@10.0.0.2".parse().unwrap()))
+            .call_id("c1")
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.1:5060", "z9hG4bK1"))
+            .contact(NameAddr::new("sip:alice@10.0.0.1:5060".parse().unwrap()));
+        b.build()
+    }
+
+    #[test]
+    fn uac_dialog_lifecycle() {
+        let inv = invite();
+        let mut dlg = Dialog::uac_from_invite(&inv).unwrap();
+        assert_eq!(dlg.state, DialogState::Early);
+        assert_eq!(dlg.role, DialogRole::Uac);
+        assert_eq!(dlg.local_tag, "a-tag");
+        assert_eq!(dlg.remote_tag, None);
+
+        let mut ok = response_to(&inv, StatusCode::OK, Some("b-tag"));
+        ok.headers.set(
+            HeaderName::Contact,
+            NameAddr::new("sip:bob@10.0.0.2:5062".parse().unwrap()).to_string(),
+        );
+        dlg.on_invite_response(&ok);
+        assert_eq!(dlg.state, DialogState::Confirmed);
+        assert_eq!(dlg.remote_tag.as_deref(), Some("b-tag"));
+        assert_eq!(dlg.remote_target.to_string(), "sip:bob@10.0.0.2:5062");
+
+        dlg.terminate();
+        assert_eq!(dlg.state, DialogState::Terminated);
+    }
+
+    #[test]
+    fn uac_final_failure_terminates() {
+        let inv = invite();
+        let mut dlg = Dialog::uac_from_invite(&inv).unwrap();
+        let busy = response_to(&inv, StatusCode::BUSY_HERE, Some("b"));
+        dlg.on_invite_response(&busy);
+        assert_eq!(dlg.state, DialogState::Terminated);
+    }
+
+    #[test]
+    fn provisional_stays_early() {
+        let inv = invite();
+        let mut dlg = Dialog::uac_from_invite(&inv).unwrap();
+        let ringing = response_to(&inv, StatusCode::RINGING, Some("b"));
+        dlg.on_invite_response(&ringing);
+        assert_eq!(dlg.state, DialogState::Early);
+        assert_eq!(dlg.remote_tag.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn uas_dialog_from_invite() {
+        let inv = invite();
+        let mut dlg = Dialog::uas_from_invite(&inv, "b-tag").unwrap();
+        assert_eq!(dlg.role, DialogRole::Uas);
+        assert_eq!(dlg.remote_tag.as_deref(), Some("a-tag"));
+        assert_eq!(dlg.remote_cseq, Some(1));
+        assert_eq!(dlg.remote_target.to_string(), "sip:alice@10.0.0.1:5060");
+        dlg.confirm();
+        assert_eq!(dlg.state, DialogState::Confirmed);
+    }
+
+    #[test]
+    fn make_request_increments_cseq_and_carries_dialog_ids() {
+        let inv = invite();
+        let mut dlg = Dialog::uac_from_invite(&inv).unwrap();
+        dlg.remote_tag = Some("b-tag".to_string());
+        let bye = dlg.make_request(Method::Bye, "10.0.0.1:5060", "z9hG4bK2");
+        assert_eq!(bye.method(), Some(Method::Bye));
+        assert_eq!(bye.call_id().unwrap(), "c1");
+        assert_eq!(bye.cseq().unwrap().seq, 2);
+        assert_eq!(bye.from_().unwrap().tag(), Some("a-tag"));
+        assert_eq!(bye.to().unwrap().tag(), Some("b-tag"));
+        let reinvite = dlg.make_request(Method::Invite, "10.0.0.1:5060", "z9hG4bK3");
+        assert_eq!(reinvite.cseq().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn matches_in_both_directions() {
+        let inv = invite();
+        let mut dlg = Dialog::uac_from_invite(&inv).unwrap();
+        dlg.remote_tag = Some("b-tag".to_string());
+        // Request from peer: From carries remote tag, To carries ours.
+        let mut peer = Dialog {
+            role: DialogRole::Uas,
+            local_tag: "b-tag".to_string(),
+            remote_tag: Some("a-tag".to_string()),
+            local_uri: dlg.remote_uri.clone(),
+            remote_uri: dlg.local_uri.clone(),
+            remote_target: dlg.local_uri.clone(),
+            ..dlg.clone()
+        };
+        let bye_from_peer = peer.make_request(Method::Bye, "10.0.0.2:5060", "z9hG4bK9");
+        assert!(dlg.matches(&bye_from_peer));
+        // Our own request also matches.
+        let our_bye = dlg.clone().make_request(Method::Bye, "x", "z9hG4bK8");
+        assert!(dlg.matches(&our_bye));
+        // Different call-id doesn't.
+        let mut other = our_bye.clone();
+        other.headers.set(HeaderName::CallId, "other-call");
+        assert!(!dlg.matches(&other));
+    }
+
+    #[test]
+    fn remote_cseq_must_increase() {
+        let inv = invite();
+        let mut dlg = Dialog::uas_from_invite(&inv, "b").unwrap();
+        assert!(!dlg.accept_remote_cseq(1)); // same as INVITE's
+        assert!(dlg.accept_remote_cseq(2));
+        assert!(!dlg.accept_remote_cseq(2));
+        assert!(dlg.accept_remote_cseq(10));
+    }
+
+    #[test]
+    fn uac_requires_from_tag() {
+        let mut b = RequestBuilder::new(Method::Invite, "sip:bob@h".parse().unwrap());
+        b.from(NameAddr::new("sip:a@h".parse().unwrap()))
+            .to(NameAddr::new("sip:b@h".parse().unwrap()))
+            .call_id("c")
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("h", "z9hG4bK"));
+        assert_eq!(
+            Dialog::uac_from_invite(&b.build()),
+            Err(DialogError::MissingLocalTag)
+        );
+    }
+}

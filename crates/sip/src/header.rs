@@ -1,0 +1,646 @@
+//! SIP headers: names, the ordered header collection, and typed values.
+
+use crate::method::Method;
+use crate::uri::SipUri;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A SIP header field name.
+///
+/// Known names are interned as variants; anything else is carried in
+/// `Extension`. Comparison is case-insensitive per RFC 3261 §7.3.1, and
+/// the RFC's compact forms (`v`, `f`, `t`, `i`, `m`, `c`, `l`, `s`, `k`)
+/// are folded into their canonical names at parse time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeaderName {
+    /// `Via` (compact `v`).
+    Via,
+    /// `From` (compact `f`).
+    From,
+    /// `To` (compact `t`).
+    To,
+    /// `Call-ID` (compact `i`).
+    CallId,
+    /// `CSeq`.
+    CSeq,
+    /// `Contact` (compact `m`).
+    Contact,
+    /// `Max-Forwards`.
+    MaxForwards,
+    /// `Expires`.
+    Expires,
+    /// `Content-Type` (compact `c`).
+    ContentType,
+    /// `Content-Length` (compact `l`).
+    ContentLength,
+    /// `Authorization`.
+    Authorization,
+    /// `WWW-Authenticate`.
+    WwwAuthenticate,
+    /// `User-Agent`.
+    UserAgent,
+    /// `Subject` (compact `s`).
+    Subject,
+    /// `Route`.
+    Route,
+    /// `Record-Route`.
+    RecordRoute,
+    /// Any other header.
+    Extension(String),
+}
+
+impl HeaderName {
+    /// The canonical field name.
+    pub fn as_str(&self) -> &str {
+        match self {
+            HeaderName::Via => "Via",
+            HeaderName::From => "From",
+            HeaderName::To => "To",
+            HeaderName::CallId => "Call-ID",
+            HeaderName::CSeq => "CSeq",
+            HeaderName::Contact => "Contact",
+            HeaderName::MaxForwards => "Max-Forwards",
+            HeaderName::Expires => "Expires",
+            HeaderName::ContentType => "Content-Type",
+            HeaderName::ContentLength => "Content-Length",
+            HeaderName::Authorization => "Authorization",
+            HeaderName::WwwAuthenticate => "WWW-Authenticate",
+            HeaderName::UserAgent => "User-Agent",
+            HeaderName::Subject => "Subject",
+            HeaderName::Route => "Route",
+            HeaderName::RecordRoute => "Record-Route",
+            HeaderName::Extension(s) => s,
+        }
+    }
+
+    /// Parses a field name, folding compact forms and casing.
+    pub fn parse(s: &str) -> HeaderName {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "via" | "v" => HeaderName::Via,
+            "from" | "f" => HeaderName::From,
+            "to" | "t" => HeaderName::To,
+            "call-id" | "i" => HeaderName::CallId,
+            "cseq" => HeaderName::CSeq,
+            "contact" | "m" => HeaderName::Contact,
+            "max-forwards" => HeaderName::MaxForwards,
+            "expires" => HeaderName::Expires,
+            "content-type" | "c" => HeaderName::ContentType,
+            "content-length" | "l" => HeaderName::ContentLength,
+            "authorization" => HeaderName::Authorization,
+            "www-authenticate" => HeaderName::WwwAuthenticate,
+            "user-agent" => HeaderName::UserAgent,
+            "subject" | "s" => HeaderName::Subject,
+            "route" => HeaderName::Route,
+            "record-route" => HeaderName::RecordRoute,
+            _ => HeaderName::Extension(s.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One header field: a name and its raw value text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Field name.
+    pub name: HeaderName,
+    /// Raw field value (typed values are parsed on demand).
+    pub value: String,
+}
+
+impl Header {
+    /// Creates a header.
+    pub fn new(name: HeaderName, value: impl Into<String>) -> Header {
+        Header {
+            name,
+            value: value.into(),
+        }
+    }
+}
+
+/// An ordered collection of headers, preserving duplicates and order
+/// (both matter in SIP, e.g. for `Via` stacks).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Headers {
+    fields: Vec<Header>,
+}
+
+impl Headers {
+    /// Creates an empty collection.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header.
+    pub fn push(&mut self, name: HeaderName, value: impl Into<String>) {
+        self.fields.push(Header::new(name, value));
+    }
+
+    /// Prepends a header (proxies push `Via` on top).
+    pub fn push_front(&mut self, name: HeaderName, value: impl Into<String>) {
+        self.fields.insert(0, Header::new(name, value));
+    }
+
+    /// First value for `name`, if present.
+    pub fn get(&self, name: &HeaderName) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|h| &h.name == name)
+            .map(|h| h.value.as_str())
+    }
+
+    /// All values for `name`, in order.
+    pub fn get_all(&self, name: &HeaderName) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|h| &h.name == name)
+            .map(|h| h.value.as_str())
+            .collect()
+    }
+
+    /// Replaces all values of `name` with a single value.
+    pub fn set(&mut self, name: HeaderName, value: impl Into<String>) {
+        self.fields.retain(|h| h.name != name);
+        self.push(name, value);
+    }
+
+    /// Removes all values of `name`, returning whether any were removed.
+    pub fn remove(&mut self, name: &HeaderName) -> bool {
+        let before = self.fields.len();
+        self.fields.retain(|h| &h.name != name);
+        self.fields.len() != before
+    }
+
+    /// Removes the topmost (first) value of `name`, returning it.
+    pub fn remove_front(&mut self, name: &HeaderName) -> Option<String> {
+        let idx = self.fields.iter().position(|h| &h.name == name)?;
+        Some(self.fields.remove(idx).value)
+    }
+
+    /// All fields in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Header> {
+        self.fields.iter()
+    }
+
+    /// Number of header fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+impl FromIterator<Header> for Headers {
+    fn from_iter<T: IntoIterator<Item = Header>>(iter: T) -> Headers {
+        Headers {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Header> for Headers {
+    fn extend<T: IntoIterator<Item = Header>>(&mut self, iter: T) {
+        self.fields.extend(iter);
+    }
+}
+
+/// A `name-addr` value as used in `From`, `To`, and `Contact`:
+/// `"Display" <sip:uri>;param=value`.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::header::NameAddr;
+///
+/// let na: NameAddr = "\"Alice\" <sip:alice@10.0.0.1>;tag=abc".parse()?;
+/// assert_eq!(na.display.as_deref(), Some("Alice"));
+/// assert_eq!(na.tag(), Some("abc"));
+/// # Ok::<(), scidive_sip::header::ParseHeaderError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NameAddr {
+    /// Optional display name (without quotes).
+    pub display: Option<String>,
+    /// The SIP URI.
+    pub uri: SipUri,
+    /// Header parameters after the URI, e.g. `tag`.
+    pub params: Vec<(String, String)>,
+}
+
+impl NameAddr {
+    /// Creates a bare `<uri>` value.
+    pub fn new(uri: SipUri) -> NameAddr {
+        NameAddr {
+            display: None,
+            uri,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the display name (builder-style).
+    pub fn with_display(mut self, display: impl Into<String>) -> NameAddr {
+        self.display = Some(display.into());
+        self
+    }
+
+    /// Adds a parameter (builder-style).
+    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<String>) -> NameAddr {
+        self.params.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds/replaces the `tag` parameter (builder-style).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> NameAddr {
+        self.params.retain(|(n, _)| n != "tag");
+        self.params.push(("tag".to_string(), tag.into()));
+        self
+    }
+
+    /// The `tag` parameter, if present.
+    pub fn tag(&self) -> Option<&str> {
+        self.param("tag")
+    }
+
+    /// A parameter value by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for NameAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(d) = &self.display {
+            write!(f, "\"{d}\" ")?;
+        }
+        write!(f, "<{}>", self.uri)?;
+        for (n, v) in &self.params {
+            if v.is_empty() {
+                write!(f, ";{n}")?;
+            } else {
+                write!(f, ";{n}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a typed header value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHeaderError {
+    header: &'static str,
+    detail: String,
+}
+
+impl ParseHeaderError {
+    /// Creates an error for the named header kind.
+    pub fn new(header: &'static str, detail: impl Into<String>) -> ParseHeaderError {
+        ParseHeaderError {
+            header,
+            detail: detail.into(),
+        }
+    }
+
+    /// Which typed value failed to parse.
+    pub fn header(&self) -> &str {
+        self.header
+    }
+}
+
+impl fmt::Display for ParseHeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} value: {}", self.header, self.detail)
+    }
+}
+
+impl std::error::Error for ParseHeaderError {}
+
+impl FromStr for NameAddr {
+    type Err = ParseHeaderError;
+
+    fn from_str(s: &str) -> Result<NameAddr, ParseHeaderError> {
+        let s = s.trim();
+        let (display, rest) = if let Some(stripped) = s.strip_prefix('"') {
+            let end = stripped
+                .find('"')
+                .ok_or_else(|| ParseHeaderError::new("name-addr", "unterminated display name"))?;
+            (
+                Some(stripped[..end].to_string()),
+                stripped[end + 1..].trim_start(),
+            )
+        } else {
+            (None, s)
+        };
+        if let Some(start) = rest.find('<') {
+            let end = rest[start..]
+                .find('>')
+                .map(|i| start + i)
+                .ok_or_else(|| ParseHeaderError::new("name-addr", "missing `>`"))?;
+            // An unquoted token display name may precede `<`.
+            let display = display.or_else(|| {
+                let token = rest[..start].trim();
+                (!token.is_empty()).then(|| token.to_string())
+            });
+            let uri: SipUri = rest[start + 1..end]
+                .parse()
+                .map_err(|e| ParseHeaderError::new("name-addr", format!("{e}")))?;
+            let params = parse_params(rest[end + 1..].trim_start());
+            Ok(NameAddr {
+                display,
+                uri,
+                params,
+            })
+        } else {
+            // addr-spec form: everything up to the first `;` is the URI.
+            let (uri_part, params_part) = match rest.split_once(';') {
+                Some((u, p)) => (u, p),
+                None => (rest, ""),
+            };
+            let uri: SipUri = uri_part
+                .trim()
+                .parse()
+                .map_err(|e| ParseHeaderError::new("name-addr", format!("{e}")))?;
+            let params = parse_params_str(params_part);
+            Ok(NameAddr {
+                display,
+                uri,
+                params,
+            })
+        }
+    }
+}
+
+fn parse_params(s: &str) -> Vec<(String, String)> {
+    parse_params_str(s.strip_prefix(';').unwrap_or(s))
+}
+
+fn parse_params_str(s: &str) -> Vec<(String, String)> {
+    s.split(';')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| match p.split_once('=') {
+            Some((n, v)) => (n.trim().to_string(), v.trim().to_string()),
+            None => (p.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// A `CSeq` value: sequence number and method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CSeq {
+    /// The sequence number.
+    pub seq: u32,
+    /// The request method this sequence number applies to.
+    pub method: Method,
+}
+
+impl CSeq {
+    /// Creates a CSeq value.
+    pub fn new(seq: u32, method: Method) -> CSeq {
+        CSeq { seq, method }
+    }
+
+    /// The next CSeq for the same method.
+    pub fn next(self) -> CSeq {
+        CSeq {
+            seq: self.seq + 1,
+            ..self
+        }
+    }
+}
+
+impl fmt::Display for CSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.seq, self.method)
+    }
+}
+
+impl FromStr for CSeq {
+    type Err = ParseHeaderError;
+
+    fn from_str(s: &str) -> Result<CSeq, ParseHeaderError> {
+        let mut parts = s.split_whitespace();
+        let seq = parts
+            .next()
+            .ok_or_else(|| ParseHeaderError::new("CSeq", "empty"))?
+            .parse::<u32>()
+            .map_err(|_| ParseHeaderError::new("CSeq", "sequence number not a u32"))?;
+        let method = parts
+            .next()
+            .ok_or_else(|| ParseHeaderError::new("CSeq", "missing method"))?
+            .parse::<Method>()
+            .map_err(|e| ParseHeaderError::new("CSeq", e.to_string()))?;
+        if parts.next().is_some() {
+            return Err(ParseHeaderError::new("CSeq", "trailing tokens"));
+        }
+        Ok(CSeq { seq, method })
+    }
+}
+
+/// A `Via` value: `SIP/2.0/UDP host:port;branch=...`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Via {
+    /// Transport token, e.g. `UDP`.
+    pub transport: String,
+    /// The `sent-by` host (and optional `:port`).
+    pub sent_by: String,
+    /// Via parameters (`branch`, `received`, ...).
+    pub params: Vec<(String, String)>,
+}
+
+impl Via {
+    /// Creates a UDP Via with the RFC 3261 magic-cookie branch.
+    pub fn udp(sent_by: impl Into<String>, branch: impl Into<String>) -> Via {
+        Via {
+            transport: "UDP".to_string(),
+            sent_by: sent_by.into(),
+            params: vec![("branch".to_string(), branch.into())],
+        }
+    }
+
+    /// The `branch` parameter, if present.
+    pub fn branch(&self) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == "branch")
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for Via {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIP/2.0/{} {}", self.transport, self.sent_by)?;
+        for (n, v) in &self.params {
+            if v.is_empty() {
+                write!(f, ";{n}")?;
+            } else {
+                write!(f, ";{n}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Via {
+    type Err = ParseHeaderError;
+
+    fn from_str(s: &str) -> Result<Via, ParseHeaderError> {
+        let rest = s
+            .trim()
+            .strip_prefix("SIP/2.0/")
+            .ok_or_else(|| ParseHeaderError::new("Via", "missing SIP/2.0/ prefix"))?;
+        let (transport, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseHeaderError::new("Via", "missing sent-by"))?;
+        let (sent_by, params_part) = match rest.split_once(';') {
+            Some((sb, p)) => (sb, p),
+            None => (rest, ""),
+        };
+        if sent_by.trim().is_empty() {
+            return Err(ParseHeaderError::new("Via", "empty sent-by"));
+        }
+        Ok(Via {
+            transport: transport.to_string(),
+            sent_by: sent_by.trim().to_string(),
+            params: parse_params_str(params_part),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_name_folding() {
+        assert_eq!(HeaderName::parse("VIA"), HeaderName::Via);
+        assert_eq!(HeaderName::parse("v"), HeaderName::Via);
+        assert_eq!(HeaderName::parse("call-id"), HeaderName::CallId);
+        assert_eq!(HeaderName::parse("i"), HeaderName::CallId);
+        assert_eq!(
+            HeaderName::parse("X-Custom"),
+            HeaderName::Extension("X-Custom".to_string())
+        );
+    }
+
+    #[test]
+    fn headers_ordering_and_duplicates() {
+        let mut h = Headers::new();
+        h.push(HeaderName::Via, "SIP/2.0/UDP a;branch=1");
+        h.push(HeaderName::Via, "SIP/2.0/UDP b;branch=2");
+        h.push_front(HeaderName::Via, "SIP/2.0/UDP top;branch=0");
+        assert_eq!(h.get_all(&HeaderName::Via).len(), 3);
+        assert_eq!(h.get(&HeaderName::Via).unwrap(), "SIP/2.0/UDP top;branch=0");
+        let popped = h.remove_front(&HeaderName::Via).unwrap();
+        assert!(popped.contains("top"));
+        assert_eq!(h.get_all(&HeaderName::Via).len(), 2);
+    }
+
+    #[test]
+    fn headers_set_replaces() {
+        let mut h = Headers::new();
+        h.push(HeaderName::Expires, "3600");
+        h.push(HeaderName::Expires, "7200");
+        h.set(HeaderName::Expires, "60");
+        assert_eq!(h.get_all(&HeaderName::Expires), vec!["60"]);
+        assert!(h.remove(&HeaderName::Expires));
+        assert!(!h.remove(&HeaderName::Expires));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn name_addr_quoted_display() {
+        let na: NameAddr = "\"Alice W\" <sip:alice@h.com:5060>;tag=99;x".parse().unwrap();
+        assert_eq!(na.display.as_deref(), Some("Alice W"));
+        assert_eq!(na.uri.to_string(), "sip:alice@h.com:5060");
+        assert_eq!(na.tag(), Some("99"));
+        assert_eq!(na.param("x"), Some(""));
+    }
+
+    #[test]
+    fn name_addr_token_display() {
+        let na: NameAddr = "Bob <sip:bob@h.com>".parse().unwrap();
+        assert_eq!(na.display.as_deref(), Some("Bob"));
+    }
+
+    #[test]
+    fn name_addr_addr_spec_form() {
+        let na: NameAddr = "sip:bob@h.com;tag=7".parse().unwrap();
+        assert_eq!(na.display, None);
+        assert_eq!(na.uri.to_string(), "sip:bob@h.com");
+        assert_eq!(na.tag(), Some("7"));
+    }
+
+    #[test]
+    fn name_addr_display_roundtrip() {
+        let na = NameAddr::new(SipUri::new("a", "h.com"))
+            .with_display("A")
+            .with_tag("t1");
+        let s = na.to_string();
+        assert_eq!(s, "\"A\" <sip:a@h.com>;tag=t1");
+        assert_eq!(s.parse::<NameAddr>().unwrap(), na);
+    }
+
+    #[test]
+    fn with_tag_replaces_existing() {
+        let na = NameAddr::new(SipUri::new("a", "h")).with_tag("1").with_tag("2");
+        assert_eq!(na.tag(), Some("2"));
+        assert_eq!(na.params.len(), 1);
+    }
+
+    #[test]
+    fn name_addr_errors() {
+        assert!("\"unterminated <sip:a@h>".parse::<NameAddr>().is_err());
+        assert!("<sip:a@h".parse::<NameAddr>().is_err());
+        assert!("<http://x>".parse::<NameAddr>().is_err());
+    }
+
+    #[test]
+    fn cseq_roundtrip() {
+        let c: CSeq = "314159 INVITE".parse().unwrap();
+        assert_eq!(c, CSeq::new(314159, Method::Invite));
+        assert_eq!(c.to_string(), "314159 INVITE");
+        assert_eq!(c.next().seq, 314160);
+    }
+
+    #[test]
+    fn cseq_errors() {
+        assert!("".parse::<CSeq>().is_err());
+        assert!("x INVITE".parse::<CSeq>().is_err());
+        assert!("1".parse::<CSeq>().is_err());
+        assert!("1 NOPE".parse::<CSeq>().is_err());
+        assert!("1 INVITE extra".parse::<CSeq>().is_err());
+    }
+
+    #[test]
+    fn via_roundtrip() {
+        let v: Via = "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK77asjd".parse().unwrap();
+        assert_eq!(v.transport, "UDP");
+        assert_eq!(v.sent_by, "10.0.0.1:5060");
+        assert_eq!(v.branch(), Some("z9hG4bK77asjd"));
+        assert_eq!(v.to_string(), "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK77asjd");
+    }
+
+    #[test]
+    fn via_errors() {
+        assert!("UDP 10.0.0.1".parse::<Via>().is_err());
+        assert!("SIP/2.0/UDP".parse::<Via>().is_err());
+    }
+
+    #[test]
+    fn via_udp_ctor() {
+        let v = Via::udp("10.0.0.1:5060", "z9hG4bK1");
+        assert_eq!(v.branch(), Some("z9hG4bK1"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Self-contained MD5 (RFC 1321), used only for SIP digest authentication.
+//!
+//! MD5 is cryptographically broken and must not be used for new security
+//! designs; it is implemented here because RFC 2617 digest access
+//! authentication — which SIP registration used in the paper's era —
+//! specifies it, and the allowed dependency set contains no hash crate.
+
+/// Computes the MD5 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::md5::{md5, md5_hex};
+///
+/// assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+/// assert_eq!(md5(b"abc")[0], 0x90);
+/// ```
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut ctx = Md5::new();
+    ctx.update(data);
+    ctx.finalize()
+}
+
+/// Computes the MD5 digest of `data` as a lowercase hex string (the form
+/// RFC 2617 uses in digest responses).
+pub fn md5_hex(data: &[u8]) -> String {
+    to_hex(&md5(data))
+}
+
+/// Renders bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9,
+    14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6, 10, 15,
+    21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Incremental MD5 state.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Md5 {
+        Md5::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Md5 {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Feeds data into the hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.process(&block);
+                self.buffered = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process(&block);
+            data = &data[64..];
+        }
+        self.buffer[..data.len()].copy_from_slice(data);
+        self.buffered = data.len();
+    }
+
+    /// Completes the hash and returns the digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Length goes in directly (not via update, which would recount).
+        self.buffer[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buffer;
+        self.process(&block);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn process(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let rotated = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]);
+            b = b.wrapping_add(rotated);
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let vectors = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in vectors {
+            assert_eq!(md5_hex(input.as_bytes()), expected, "input={input}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let oneshot = md5(&data);
+        for chunk_size in [1, 3, 63, 64, 65, 128, 999] {
+            let mut ctx = Md5::new();
+            for chunk in data.chunks(chunk_size) {
+                ctx.update(chunk);
+            }
+            assert_eq!(ctx.finalize(), oneshot, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn lengths_around_block_boundary() {
+        // Padding edge cases: 55, 56, 57, 63, 64, 65 bytes.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120] {
+            let data = vec![b'x'; len];
+            // Compare against incremental-by-1 to self-check padding path.
+            let mut ctx = Md5::new();
+            for b in &data {
+                ctx.update(std::slice::from_ref(b));
+            }
+            assert_eq!(ctx.finalize(), md5(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn rfc2617_example_ha1() {
+        // The classic RFC 2617 example: HA1 for Mufasa.
+        let ha1 = md5_hex(b"Mufasa:testrealm@host.com:Circle Of Life");
+        assert_eq!(ha1, "939e7578ed9e3c518a452acee763bce9");
+    }
+
+    #[test]
+    fn to_hex_renders() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(to_hex(&[]), "");
+    }
+}

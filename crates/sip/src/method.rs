@@ -1,0 +1,149 @@
+//! SIP request methods.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A SIP request method (RFC 3261 §7.1, plus MESSAGE from RFC 3428 for
+/// instant messaging and INFO from RFC 2976).
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::method::Method;
+///
+/// let m: Method = "INVITE".parse()?;
+/// assert_eq!(m, Method::Invite);
+/// assert_eq!(m.as_str(), "INVITE");
+/// # Ok::<(), scidive_sip::method::ParseMethodError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Initiates (or, inside a dialog, modifies — "re-INVITE") a session.
+    Invite,
+    /// Confirms receipt of a final response to an INVITE.
+    Ack,
+    /// Terminates a session.
+    Bye,
+    /// Cancels a pending request.
+    Cancel,
+    /// Registers a contact binding with a registrar.
+    Register,
+    /// Queries capabilities.
+    Options,
+    /// Carries an instant message (RFC 3428).
+    Message,
+    /// Carries mid-session information (RFC 2976).
+    Info,
+}
+
+impl Method {
+    /// All methods, in a stable order.
+    pub const ALL: [Method; 8] = [
+        Method::Invite,
+        Method::Ack,
+        Method::Bye,
+        Method::Cancel,
+        Method::Register,
+        Method::Options,
+        Method::Message,
+        Method::Info,
+    ];
+
+    /// The canonical token, e.g. `"INVITE"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Invite => "INVITE",
+            Method::Ack => "ACK",
+            Method::Bye => "BYE",
+            Method::Cancel => "CANCEL",
+            Method::Register => "REGISTER",
+            Method::Options => "OPTIONS",
+            Method::Message => "MESSAGE",
+            Method::Info => "INFO",
+        }
+    }
+
+    /// Whether a transaction for this method establishes/modifies a
+    /// session (the INVITE transaction has distinct state machines).
+    pub fn is_invite(self) -> bool {
+        self == Method::Invite
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`Method`] token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMethodError {
+    token: String,
+}
+
+impl ParseMethodError {
+    /// The token that failed to parse.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+impl fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown sip method `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
+impl FromStr for Method {
+    type Err = ParseMethodError;
+
+    fn from_str(s: &str) -> Result<Method, ParseMethodError> {
+        // Methods are case-sensitive tokens in SIP; accept canonical form
+        // only, which is what conforming stacks emit.
+        Method::ALL
+            .into_iter()
+            .find(|m| m.as_str() == s)
+            .ok_or_else(|| ParseMethodError {
+                token: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all() {
+        for m in Method::ALL {
+            assert_eq!(m.as_str().parse::<Method>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let err = "SUBSCRIBE".parse::<Method>().unwrap_err();
+        assert_eq!(err.token(), "SUBSCRIBE");
+        assert!(err.to_string().contains("SUBSCRIBE"));
+    }
+
+    #[test]
+    fn lowercase_is_rejected() {
+        assert!("invite".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn invite_flag() {
+        assert!(Method::Invite.is_invite());
+        assert!(!Method::Bye.is_invite());
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(Method::Register.to_string(), "REGISTER");
+    }
+}

@@ -1,0 +1,520 @@
+//! SIP messages: start lines, the message type, builders and serialization.
+
+use crate::header::{CSeq, HeaderName, Headers, NameAddr, ParseHeaderError, Via};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::uri::SipUri;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The first line of a SIP message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartLine {
+    /// `METHOD uri SIP/2.0`
+    Request {
+        /// The request method.
+        method: Method,
+        /// The request URI.
+        uri: SipUri,
+    },
+    /// `SIP/2.0 code reason`
+    Response {
+        /// The status code.
+        code: StatusCode,
+        /// The reason phrase as transmitted.
+        reason: String,
+    },
+}
+
+/// A parsed SIP message.
+///
+/// Headers are stored as raw text and interpreted on demand through the
+/// typed accessors ([`SipMessage::cseq`], [`SipMessage::from_`], ...), so
+/// a message re-serializes byte-faithfully even when it carries values we
+/// do not model.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::prelude::*;
+///
+/// let msg = RequestBuilder::new(Method::Invite, "sip:bob@10.0.0.2".parse()?)
+///     .from(NameAddr::new("sip:alice@10.0.0.1".parse()?).with_tag("a1"))
+///     .to(NameAddr::new("sip:bob@10.0.0.2".parse()?))
+///     .call_id("call-1@10.0.0.1")
+///     .cseq(CSeq::new(1, Method::Invite))
+///     .via(Via::udp("10.0.0.1:5060", "z9hG4bK1"))
+///     .build();
+/// assert!(msg.is_request());
+/// assert_eq!(msg.cseq()?.seq, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SipMessage {
+    /// The start line.
+    pub start: StartLine,
+    /// All header fields in order.
+    pub headers: Headers,
+    /// The message body (e.g. SDP), possibly empty.
+    pub body: Bytes,
+}
+
+impl SipMessage {
+    /// Whether this is a request.
+    pub fn is_request(&self) -> bool {
+        matches!(self.start, StartLine::Request { .. })
+    }
+
+    /// Whether this is a response.
+    pub fn is_response(&self) -> bool {
+        !self.is_request()
+    }
+
+    /// The request method, if a request.
+    pub fn method(&self) -> Option<Method> {
+        match &self.start {
+            StartLine::Request { method, .. } => Some(*method),
+            StartLine::Response { .. } => None,
+        }
+    }
+
+    /// The request URI, if a request.
+    pub fn request_uri(&self) -> Option<&SipUri> {
+        match &self.start {
+            StartLine::Request { uri, .. } => Some(uri),
+            StartLine::Response { .. } => None,
+        }
+    }
+
+    /// The status code, if a response.
+    pub fn status(&self) -> Option<StatusCode> {
+        match &self.start {
+            StartLine::Response { code, .. } => Some(*code),
+            StartLine::Request { .. } => None,
+        }
+    }
+
+    /// The `From` header, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing or malformed.
+    pub fn from_(&self) -> Result<NameAddr, ParseHeaderError> {
+        self.name_addr(&HeaderName::From, "From")
+    }
+
+    /// The `To` header, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing or malformed.
+    pub fn to(&self) -> Result<NameAddr, ParseHeaderError> {
+        self.name_addr(&HeaderName::To, "To")
+    }
+
+    /// The first `Contact` header, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing or malformed.
+    pub fn contact(&self) -> Result<NameAddr, ParseHeaderError> {
+        self.name_addr(&HeaderName::Contact, "Contact")
+    }
+
+    fn name_addr(
+        &self,
+        name: &HeaderName,
+        label: &'static str,
+    ) -> Result<NameAddr, ParseHeaderError> {
+        self.headers
+            .get(name)
+            .ok_or_else(|| ParseHeaderError::new(label, "header missing"))?
+            .parse()
+    }
+
+    /// The `Call-ID` header value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing.
+    pub fn call_id(&self) -> Result<&str, ParseHeaderError> {
+        self.headers
+            .get(&HeaderName::CallId)
+            .ok_or_else(|| ParseHeaderError::new("Call-ID", "header missing"))
+    }
+
+    /// The `CSeq` header, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing or malformed.
+    pub fn cseq(&self) -> Result<CSeq, ParseHeaderError> {
+        self.headers
+            .get(&HeaderName::CSeq)
+            .ok_or_else(|| ParseHeaderError::new("CSeq", "header missing"))?
+            .parse()
+    }
+
+    /// The topmost `Via` header, parsed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header is missing or malformed.
+    pub fn via_top(&self) -> Result<Via, ParseHeaderError> {
+        self.headers
+            .get(&HeaderName::Via)
+            .ok_or_else(|| ParseHeaderError::new("Via", "header missing"))?
+            .parse()
+    }
+
+    /// The `Expires` value in seconds, if present and numeric.
+    pub fn expires(&self) -> Option<u32> {
+        self.headers
+            .get(&HeaderName::Expires)
+            .and_then(|v| v.trim().parse().ok())
+    }
+
+    /// The `Content-Type` value, if present.
+    pub fn content_type(&self) -> Option<&str> {
+        self.headers.get(&HeaderName::ContentType)
+    }
+
+    /// Checks the mandatory-header discipline of RFC 3261 §8.1.1: every
+    /// request must carry `To`, `From`, `CSeq`, `Call-ID`, `Max-Forwards`
+    /// and `Via`; responses all but `Max-Forwards`. Returns each missing
+    /// or malformed item — the billing-fraud rule (paper §3.2, condition
+    /// 1: "the SIP message should follow the correct format") keys on a
+    /// non-empty result.
+    pub fn format_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut need = vec![
+            (HeaderName::To, "To"),
+            (HeaderName::From, "From"),
+            (HeaderName::CSeq, "CSeq"),
+            (HeaderName::CallId, "Call-ID"),
+            (HeaderName::Via, "Via"),
+        ];
+        if self.is_request() {
+            need.push((HeaderName::MaxForwards, "Max-Forwards"));
+        }
+        for (name, label) in need {
+            if self.headers.get(&name).is_none() {
+                violations.push(format!("missing mandatory header {label}"));
+            }
+        }
+        if self.headers.get(&HeaderName::From).is_some() {
+            if let Err(e) = self.from_() {
+                violations.push(e.to_string());
+            }
+        }
+        if self.headers.get(&HeaderName::To).is_some() {
+            if let Err(e) = self.to() {
+                violations.push(e.to_string());
+            }
+        }
+        if self.headers.get(&HeaderName::CSeq).is_some() {
+            if let Err(e) = self.cseq() {
+                violations.push(e.to_string());
+            }
+        }
+        if self.headers.get(&HeaderName::Via).is_some() {
+            if let Err(e) = self.via_top() {
+                violations.push(e.to_string());
+            }
+        }
+        if let (StartLine::Request { method, .. }, Ok(cseq)) = (&self.start, self.cseq()) {
+            if cseq.method != *method && *method != Method::Ack && *method != Method::Cancel {
+                violations.push(format!(
+                    "CSeq method {} disagrees with request method {method}",
+                    cseq.method
+                ));
+            }
+        }
+        violations
+    }
+
+    /// A one-line summary for ladder diagrams, e.g. `INVITE` or `200 OK`.
+    pub fn summary(&self) -> String {
+        match &self.start {
+            StartLine::Request { method, .. } => method.to_string(),
+            StartLine::Response { code, reason } => format!("{} {}", code.code(), reason),
+        }
+    }
+
+    /// Serializes to wire bytes, setting `Content-Length` from the body.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(self.to_string().into_bytes())
+    }
+}
+
+impl fmt::Display for SipMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            StartLine::Request { method, uri } => writeln!(f, "{method} {uri} SIP/2.0\r")?,
+            StartLine::Response { code, reason } => {
+                writeln!(f, "SIP/2.0 {} {reason}\r", code.code())?
+            }
+        }
+        for h in self.headers.iter() {
+            if h.name == HeaderName::ContentLength {
+                continue; // always recomputed below
+            }
+            writeln!(f, "{}: {}\r", h.name, h.value)?;
+        }
+        writeln!(f, "Content-Length: {}\r", self.body.len())?;
+        writeln!(f, "\r")?;
+        if !self.body.is_empty() {
+            f.write_str(&String::from_utf8_lossy(&self.body))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for SIP requests.
+///
+/// The builder is non-consuming so call flows can conditionally add
+/// headers before [`RequestBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct RequestBuilder {
+    method: Method,
+    uri: SipUri,
+    headers: Headers,
+    body: Bytes,
+}
+
+impl RequestBuilder {
+    /// Starts a request for `method` on `uri`.
+    pub fn new(method: Method, uri: SipUri) -> RequestBuilder {
+        let mut headers = Headers::new();
+        headers.push(HeaderName::MaxForwards, "70");
+        RequestBuilder {
+            method,
+            uri,
+            headers,
+            body: Bytes::new(),
+        }
+    }
+
+    /// Sets the `From` header.
+    pub fn from(&mut self, from: NameAddr) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::From, from.to_string());
+        self
+    }
+
+    /// Sets the `To` header.
+    pub fn to(&mut self, to: NameAddr) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::To, to.to_string());
+        self
+    }
+
+    /// Sets the `Call-ID` header.
+    pub fn call_id(&mut self, call_id: impl Into<String>) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::CallId, call_id.into());
+        self
+    }
+
+    /// Sets the `CSeq` header.
+    pub fn cseq(&mut self, cseq: CSeq) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::CSeq, cseq.to_string());
+        self
+    }
+
+    /// Pushes a `Via` header on top.
+    pub fn via(&mut self, via: Via) -> &mut RequestBuilder {
+        self.headers.push_front(HeaderName::Via, via.to_string());
+        self
+    }
+
+    /// Sets the `Contact` header.
+    pub fn contact(&mut self, contact: NameAddr) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::Contact, contact.to_string());
+        self
+    }
+
+    /// Sets the `Expires` header.
+    pub fn expires(&mut self, seconds: u32) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::Expires, seconds.to_string());
+        self
+    }
+
+    /// Adds an arbitrary header.
+    pub fn header(&mut self, name: HeaderName, value: impl Into<String>) -> &mut RequestBuilder {
+        self.headers.push(name, value);
+        self
+    }
+
+    /// Removes a header set by default or earlier (used to craft the
+    /// malformed messages of the billing-fraud attack).
+    pub fn without(&mut self, name: &HeaderName) -> &mut RequestBuilder {
+        self.headers.remove(name);
+        self
+    }
+
+    /// Sets the body and its `Content-Type`.
+    pub fn body(&mut self, content_type: &str, body: impl Into<Bytes>) -> &mut RequestBuilder {
+        self.headers.set(HeaderName::ContentType, content_type);
+        self.body = body.into();
+        self
+    }
+
+    /// Builds the message.
+    pub fn build(&self) -> SipMessage {
+        SipMessage {
+            start: StartLine::Request {
+                method: self.method,
+                uri: self.uri.clone(),
+            },
+            headers: self.headers.clone(),
+            body: self.body.clone(),
+        }
+    }
+}
+
+/// Builds a response to `req`, copying the dialog-identifying headers
+/// (`Via` stack, `From`, `To`, `Call-ID`, `CSeq`) per RFC 3261 §8.2.6.
+///
+/// `to_tag`, when given, is appended to the `To` header if it has no tag
+/// yet (the UAS contributes its dialog tag this way).
+pub fn response_to(req: &SipMessage, code: StatusCode, to_tag: Option<&str>) -> SipMessage {
+    let mut headers = Headers::new();
+    for via in req.headers.get_all(&HeaderName::Via) {
+        headers.push(HeaderName::Via, via);
+    }
+    if let Some(from) = req.headers.get(&HeaderName::From) {
+        headers.push(HeaderName::From, from);
+    }
+    if let Some(to) = req.headers.get(&HeaderName::To) {
+        let to_value = match (to_tag, to.contains("tag=")) {
+            (Some(tag), false) => format!("{to};tag={tag}"),
+            _ => to.to_string(),
+        };
+        headers.push(HeaderName::To, to_value);
+    }
+    if let Some(call_id) = req.headers.get(&HeaderName::CallId) {
+        headers.push(HeaderName::CallId, call_id);
+    }
+    if let Some(cseq) = req.headers.get(&HeaderName::CSeq) {
+        headers.push(HeaderName::CSeq, cseq);
+    }
+    SipMessage {
+        start: StartLine::Response {
+            code,
+            reason: code.default_reason().to_string(),
+        },
+        headers,
+        body: Bytes::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invite() -> SipMessage {
+        RequestBuilder::new(Method::Invite, "sip:bob@10.0.0.2".parse().unwrap())
+            .from(
+                NameAddr::new("sip:alice@10.0.0.1".parse().unwrap())
+                    .with_display("Alice")
+                    .with_tag("a1"),
+            )
+            .to(NameAddr::new("sip:bob@10.0.0.2".parse().unwrap()))
+            .call_id("call-1@10.0.0.1")
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.1:5060", "z9hG4bK1"))
+            .contact(NameAddr::new("sip:alice@10.0.0.1:5060".parse().unwrap()))
+            .body("application/sdp", "v=0\r\n")
+            .build()
+    }
+
+    #[test]
+    fn request_accessors() {
+        let msg = invite();
+        assert!(msg.is_request());
+        assert!(!msg.is_response());
+        assert_eq!(msg.method(), Some(Method::Invite));
+        assert_eq!(msg.request_uri().unwrap().to_string(), "sip:bob@10.0.0.2");
+        assert_eq!(msg.status(), None);
+        assert_eq!(msg.call_id().unwrap(), "call-1@10.0.0.1");
+        assert_eq!(msg.cseq().unwrap(), CSeq::new(1, Method::Invite));
+        assert_eq!(msg.from_().unwrap().tag(), Some("a1"));
+        assert_eq!(msg.to().unwrap().tag(), None);
+        assert_eq!(msg.via_top().unwrap().branch(), Some("z9hG4bK1"));
+        assert_eq!(msg.content_type(), Some("application/sdp"));
+        assert_eq!(msg.summary(), "INVITE");
+    }
+
+    #[test]
+    fn wellformed_request_has_no_violations() {
+        assert!(invite().format_violations().is_empty());
+    }
+
+    #[test]
+    fn missing_headers_are_violations() {
+        let msg = RequestBuilder::new(Method::Invite, "sip:bob@h".parse().unwrap())
+            .without(&HeaderName::MaxForwards)
+            .build();
+        let v = msg.format_violations();
+        assert!(v.iter().any(|s| s.contains("To")));
+        assert!(v.iter().any(|s| s.contains("From")));
+        assert!(v.iter().any(|s| s.contains("CSeq")));
+        assert!(v.iter().any(|s| s.contains("Call-ID")));
+        assert!(v.iter().any(|s| s.contains("Via")));
+        assert!(v.iter().any(|s| s.contains("Max-Forwards")));
+    }
+
+    #[test]
+    fn cseq_method_mismatch_is_violation() {
+        let mut b = RequestBuilder::new(Method::Invite, "sip:bob@h".parse().unwrap());
+        b.from(NameAddr::new("sip:a@h".parse().unwrap()))
+            .to(NameAddr::new("sip:b@h".parse().unwrap()))
+            .call_id("c1")
+            .cseq(CSeq::new(1, Method::Bye))
+            .via(Via::udp("h:5060", "z9hG4bK2"));
+        let v = b.build().format_violations();
+        assert!(v.iter().any(|s| s.contains("disagrees")), "{v:?}");
+    }
+
+    #[test]
+    fn serialization_sets_content_length() {
+        let text = invite().to_string();
+        assert!(text.starts_with("INVITE sip:bob@10.0.0.2 SIP/2.0\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nv=0\r\n"));
+    }
+
+    #[test]
+    fn response_copies_dialog_headers_and_adds_to_tag() {
+        let req = invite();
+        let resp = response_to(&req, StatusCode::OK, Some("b1"));
+        assert!(resp.is_response());
+        assert_eq!(resp.status(), Some(StatusCode::OK));
+        assert_eq!(resp.call_id().unwrap(), req.call_id().unwrap());
+        assert_eq!(resp.cseq().unwrap(), req.cseq().unwrap());
+        assert_eq!(resp.to().unwrap().tag(), Some("b1"));
+        assert_eq!(resp.from_().unwrap().tag(), Some("a1"));
+        assert_eq!(resp.summary(), "200 OK");
+    }
+
+    #[test]
+    fn response_keeps_existing_to_tag() {
+        let req = invite();
+        let r1 = response_to(&req, StatusCode::OK, Some("b1"));
+        // Treat r1's To (with tag) as if it were in a new request.
+        let mut req2 = req.clone();
+        req2.headers
+            .set(HeaderName::To, r1.headers.get(&HeaderName::To).unwrap());
+        let r2 = response_to(&req2, StatusCode::OK, Some("XXX"));
+        assert_eq!(r2.to().unwrap().tag(), Some("b1"));
+    }
+
+    #[test]
+    fn response_accessors() {
+        let resp = response_to(&invite(), StatusCode::RINGING, None);
+        assert_eq!(resp.method(), None);
+        assert_eq!(resp.request_uri(), None);
+        assert!(resp.status().unwrap().is_provisional());
+        // Responses don't need Max-Forwards.
+        assert!(resp.format_violations().is_empty());
+    }
+}

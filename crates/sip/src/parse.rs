@@ -1,0 +1,355 @@
+//! Wire-format parsing of SIP messages.
+//!
+//! The parser is strict about the framing the IDS depends on (start line,
+//! header/body split, `Content-Length` consistency) and lenient about
+//! header *values*, which are stored raw and interpreted on demand. That
+//! mirrors how the paper's Distiller distinguishes "not SIP at all" from
+//! "SIP with a bad format" — the latter is a footprint the billing-fraud
+//! rule wants to see, not a parse failure.
+
+use crate::header::{HeaderName, Headers};
+use crate::method::Method;
+use crate::msg::{SipMessage, StartLine};
+use crate::status::StatusCode;
+use crate::uri::SipUri;
+use bytes::Bytes;
+use std::fmt;
+
+/// Error parsing bytes as a SIP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SipParseError {
+    /// Input is empty.
+    Empty,
+    /// Input is not UTF-8 text where headers must be.
+    NotText,
+    /// The first line is neither a valid request line nor status line.
+    BadStartLine(String),
+    /// A header line has no `:` separator.
+    BadHeaderLine(String),
+    /// No blank line terminates the header section.
+    MissingHeaderTerminator,
+    /// `Content-Length` disagrees with the actual body size.
+    BodyLengthMismatch {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Bytes actually present after the header terminator.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SipParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SipParseError::Empty => write!(f, "empty input"),
+            SipParseError::NotText => write!(f, "header section is not utf-8 text"),
+            SipParseError::BadStartLine(l) => write!(f, "bad start line: `{l}`"),
+            SipParseError::BadHeaderLine(l) => write!(f, "header line without colon: `{l}`"),
+            SipParseError::MissingHeaderTerminator => {
+                write!(f, "no blank line terminating headers")
+            }
+            SipParseError::BodyLengthMismatch { declared, actual } => write!(
+                f,
+                "content-length {declared} disagrees with body of {actual} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SipParseError {}
+
+impl SipMessage {
+    /// Parses a SIP message from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SipParseError`] when the input is not framed as a SIP
+    /// message. Messages that frame correctly but violate SIP's
+    /// mandatory-header rules parse successfully; use
+    /// [`SipMessage::format_violations`] to detect those.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scidive_sip::msg::SipMessage;
+    ///
+    /// let raw = b"OPTIONS sip:b@10.0.0.2 SIP/2.0\r\n\
+    ///             Call-ID: x\r\n\
+    ///             Content-Length: 0\r\n\r\n";
+    /// let msg = SipMessage::parse(raw)?;
+    /// assert!(msg.is_request());
+    /// # Ok::<(), scidive_sip::parse::SipParseError>(())
+    /// ```
+    pub fn parse(input: &[u8]) -> Result<SipMessage, SipParseError> {
+        if input.is_empty() {
+            return Err(SipParseError::Empty);
+        }
+        // Find the header/body separator.
+        let sep = find_header_end(input).ok_or(SipParseError::MissingHeaderTerminator)?;
+        let head =
+            std::str::from_utf8(&input[..sep.header_end]).map_err(|_| SipParseError::NotText)?;
+        let body_bytes = &input[sep.body_start..];
+
+        // Tolerate bare-LF line endings alongside canonical CRLF.
+        let line_vec: Vec<&str> = if head.contains("\r\n") {
+            head.split("\r\n").filter(|l| !l.is_empty()).collect()
+        } else {
+            head.split('\n')
+                .map(|l| l.strip_suffix('\r').unwrap_or(l))
+                .filter(|l| !l.is_empty())
+                .collect()
+        };
+        if line_vec.is_empty() {
+            return Err(SipParseError::Empty);
+        }
+        let start = parse_start_line(line_vec[0])?;
+
+        let mut headers = Headers::new();
+        let mut i = 1;
+        while i < line_vec.len() {
+            let mut line = line_vec[i].to_string();
+            // Header folding: continuation lines start with SP/HT.
+            while i + 1 < line_vec.len()
+                && line_vec[i + 1]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c == ' ' || c == '\t')
+            {
+                line.push(' ');
+                line.push_str(line_vec[i + 1].trim_start());
+                i += 1;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| SipParseError::BadHeaderLine(line.clone()))?;
+            headers.push(HeaderName::parse(name.trim()), value.trim());
+            i += 1;
+        }
+
+        // Content-Length check when declared.
+        let body = if let Some(decl) = headers.get(&HeaderName::ContentLength) {
+            match decl.trim().parse::<usize>() {
+                Ok(declared) if declared == body_bytes.len() => {
+                    Bytes::copy_from_slice(body_bytes)
+                }
+                Ok(declared) if declared < body_bytes.len() => {
+                    // Extra trailing bytes beyond the declared body are
+                    // truncated, as a UDP stack would.
+                    Bytes::copy_from_slice(&body_bytes[..declared])
+                }
+                Ok(declared) => {
+                    return Err(SipParseError::BodyLengthMismatch {
+                        declared,
+                        actual: body_bytes.len(),
+                    })
+                }
+                Err(_) => Bytes::copy_from_slice(body_bytes),
+            }
+        } else {
+            Bytes::copy_from_slice(body_bytes)
+        };
+
+        Ok(SipMessage {
+            start,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Quick sniff: does this payload look like SIP at all? Used by the
+/// Distiller's classifier before committing to a full parse.
+pub fn looks_like_sip(payload: &[u8]) -> bool {
+    if payload.starts_with(b"SIP/2.0 ") {
+        return true;
+    }
+    Method::ALL
+        .iter()
+        .any(|m| payload.starts_with(m.as_str().as_bytes()) && {
+            let rest = &payload[m.as_str().len()..];
+            rest.first() == Some(&b' ')
+        })
+}
+
+struct HeaderEnd {
+    header_end: usize,
+    body_start: usize,
+}
+
+fn find_header_end(input: &[u8]) -> Option<HeaderEnd> {
+    if let Some(pos) = window_find(input, b"\r\n\r\n") {
+        return Some(HeaderEnd {
+            header_end: pos,
+            body_start: pos + 4,
+        });
+    }
+    if let Some(pos) = window_find(input, b"\n\n") {
+        return Some(HeaderEnd {
+            header_end: pos,
+            body_start: pos + 2,
+        });
+    }
+    None
+}
+
+fn window_find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+fn parse_start_line(line: &str) -> Result<StartLine, SipParseError> {
+    let bad = || SipParseError::BadStartLine(line.to_string());
+    if let Some(rest) = line.strip_prefix("SIP/2.0 ") {
+        // Status line.
+        let (code_str, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+        let code_num: u16 = code_str.parse().map_err(|_| bad())?;
+        let code = StatusCode::try_from(code_num).map_err(|_| bad())?;
+        return Ok(StartLine::Response {
+            code,
+            reason: reason.to_string(),
+        });
+    }
+    // Request line: METHOD SP uri SP SIP/2.0
+    let mut parts = line.split(' ');
+    let method: Method = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let uri: SipUri = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let version = parts.next().ok_or_else(bad)?;
+    if version != "SIP/2.0" || parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(StartLine::Request { method, uri })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{CSeq, NameAddr, Via};
+    use crate::msg::{response_to, RequestBuilder};
+
+    fn sample_request_bytes() -> Bytes {
+        RequestBuilder::new(Method::Invite, "sip:bob@10.0.0.2".parse().unwrap())
+            .from(NameAddr::new("sip:alice@10.0.0.1".parse().unwrap()).with_tag("a1"))
+            .to(NameAddr::new("sip:bob@10.0.0.2".parse().unwrap()))
+            .call_id("c1@10.0.0.1")
+            .cseq(CSeq::new(7, Method::Invite))
+            .via(Via::udp("10.0.0.1:5060", "z9hG4bKx"))
+            .body("application/sdp", "v=0\r\no=- 1 1 IN IP4 10.0.0.1\r\n")
+            .build()
+            .to_bytes()
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let bytes = sample_request_bytes();
+        let msg = SipMessage::parse(&bytes).unwrap();
+        assert_eq!(msg.method(), Some(Method::Invite));
+        assert_eq!(msg.call_id().unwrap(), "c1@10.0.0.1");
+        assert_eq!(msg.cseq().unwrap().seq, 7);
+        assert_eq!(msg.body.len(), 30);
+        // Re-serialize and re-parse: stable.
+        let again = SipMessage::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(again, msg);
+    }
+
+    #[test]
+    fn roundtrip_response() {
+        let req = SipMessage::parse(&sample_request_bytes()).unwrap();
+        let resp = response_to(&req, StatusCode::UNAUTHORIZED, Some("srv"));
+        let parsed = SipMessage::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed.status(), Some(StatusCode::UNAUTHORIZED));
+        assert_eq!(parsed.to().unwrap().tag(), Some("srv"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(SipMessage::parse(b""), Err(SipParseError::Empty));
+        assert_eq!(
+            SipMessage::parse(b"INVITE sip:b@h SIP/2.0\r\nCall-ID: x\r\n"),
+            Err(SipParseError::MissingHeaderTerminator)
+        );
+        assert!(matches!(
+            SipMessage::parse(b"NOTAMETHOD sip:b@h SIP/2.0\r\n\r\n"),
+            Err(SipParseError::BadStartLine(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse(b"INVITE sip:b@h SIP/1.0\r\n\r\n"),
+            Err(SipParseError::BadStartLine(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse(b"INVITE sip:b@h SIP/2.0\r\nbadline\r\n\r\n"),
+            Err(SipParseError::BadHeaderLine(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse(b"SIP/2.0 999999 Huh\r\n\r\n"),
+            Err(SipParseError::BadStartLine(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_too_large_is_error() {
+        let raw = b"INVITE sip:b@h SIP/2.0\r\nContent-Length: 10\r\n\r\nabc";
+        assert_eq!(
+            SipMessage::parse(raw),
+            Err(SipParseError::BodyLengthMismatch {
+                declared: 10,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn content_length_smaller_truncates() {
+        let raw = b"INVITE sip:b@h SIP/2.0\r\nContent-Length: 3\r\n\r\nabcdef";
+        let msg = SipMessage::parse(raw).unwrap();
+        assert_eq!(&msg.body[..], b"abc");
+    }
+
+    #[test]
+    fn missing_content_length_takes_rest() {
+        let raw = b"INVITE sip:b@h SIP/2.0\r\nCall-ID: x\r\n\r\nbody!";
+        let msg = SipMessage::parse(raw).unwrap();
+        assert_eq!(&msg.body[..], b"body!");
+    }
+
+    #[test]
+    fn bare_lf_tolerated() {
+        let raw = b"BYE sip:b@h SIP/2.0\nCall-ID: x\nCSeq: 2 BYE\n\n";
+        let msg = SipMessage::parse(raw).unwrap();
+        assert_eq!(msg.method(), Some(Method::Bye));
+        assert_eq!(msg.cseq().unwrap(), CSeq::new(2, Method::Bye));
+    }
+
+    #[test]
+    fn folded_header_joined() {
+        let raw = b"INVITE sip:b@h SIP/2.0\r\nSubject: first\r\n second\r\nCall-ID: x\r\n\r\n";
+        let msg = SipMessage::parse(raw).unwrap();
+        assert_eq!(
+            msg.headers.get(&HeaderName::Subject).unwrap(),
+            "first second"
+        );
+        assert_eq!(msg.call_id().unwrap(), "x");
+    }
+
+    #[test]
+    fn compact_header_forms_fold() {
+        let raw = b"INVITE sip:b@h SIP/2.0\r\ni: compact-id\r\nv: SIP/2.0/UDP h;branch=z9\r\n\r\n";
+        let msg = SipMessage::parse(raw).unwrap();
+        assert_eq!(msg.call_id().unwrap(), "compact-id");
+        assert_eq!(msg.via_top().unwrap().branch(), Some("z9"));
+    }
+
+    #[test]
+    fn sniffer_accepts_sip_rejects_rtp() {
+        assert!(looks_like_sip(b"INVITE sip:b@h SIP/2.0\r\n"));
+        assert!(looks_like_sip(b"SIP/2.0 200 OK\r\n"));
+        assert!(!looks_like_sip(b"INVITEX sip:b@h"));
+        assert!(!looks_like_sip(&[0x80, 0x00, 0x01, 0x02]));
+        assert!(!looks_like_sip(b"GET / HTTP/1.1\r\n"));
+    }
+
+    #[test]
+    fn binary_garbage_rejected() {
+        let garbage: Vec<u8> = (0..64).map(|i| (i * 37 % 251) as u8).collect();
+        assert!(SipMessage::parse(&garbage).is_err());
+    }
+}

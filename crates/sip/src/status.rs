@@ -1,0 +1,214 @@
+//! SIP response status codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A SIP response status code (RFC 3261 §7.2).
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::status::StatusCode;
+///
+/// assert!(StatusCode::OK.is_success());
+/// assert_eq!(StatusCode::UNAUTHORIZED.code(), 401);
+/// assert_eq!(StatusCode::UNAUTHORIZED.class(), 4);
+/// assert_eq!(StatusCode::TRYING.default_reason(), "Trying");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StatusCode(u16);
+
+impl StatusCode {
+    /// 100 Trying.
+    pub const TRYING: StatusCode = StatusCode(100);
+    /// 180 Ringing.
+    pub const RINGING: StatusCode = StatusCode(180);
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 202 Accepted.
+    pub const ACCEPTED: StatusCode = StatusCode(202);
+    /// 301 Moved Permanently.
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 302 Moved Temporarily.
+    pub const MOVED_TEMPORARILY: StatusCode = StatusCode(302);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 401 Unauthorized — carries the registrar's digest challenge.
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    /// 403 Forbidden.
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 408 Request Timeout.
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// 481 Call/Transaction Does Not Exist.
+    pub const CALL_DOES_NOT_EXIST: StatusCode = StatusCode(481);
+    /// 486 Busy Here.
+    pub const BUSY_HERE: StatusCode = StatusCode(486);
+    /// 487 Request Terminated.
+    pub const REQUEST_TERMINATED: StatusCode = StatusCode(487);
+    /// 500 Server Internal Error.
+    pub const SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// 603 Decline.
+    pub const DECLINE: StatusCode = StatusCode(603);
+
+    /// Creates a status code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is outside `100..=699`.
+    pub fn new(code: u16) -> StatusCode {
+        assert!(
+            (100..=699).contains(&code),
+            "sip status code out of range: {code}"
+        );
+        StatusCode(code)
+    }
+
+    /// The numeric code.
+    pub fn code(self) -> u16 {
+        self.0
+    }
+
+    /// The class digit (1–6).
+    pub fn class(self) -> u8 {
+        (self.0 / 100) as u8
+    }
+
+    /// Whether this is a 1xx provisional response.
+    pub fn is_provisional(self) -> bool {
+        self.class() == 1
+    }
+
+    /// Whether this is a 2xx success response.
+    pub fn is_success(self) -> bool {
+        self.class() == 2
+    }
+
+    /// Whether this is a final (non-1xx) response.
+    pub fn is_final(self) -> bool {
+        !self.is_provisional()
+    }
+
+    /// Whether this is a 4xx client-error response — the class the
+    /// paper's §3.3 stateful-detection example keys on.
+    pub fn is_client_error(self) -> bool {
+        self.class() == 4
+    }
+
+    /// The RFC 3261 default reason phrase, or `"Unknown"` for codes
+    /// without one.
+    pub fn default_reason(self) -> &'static str {
+        match self.0 {
+            100 => "Trying",
+            180 => "Ringing",
+            181 => "Call Is Being Forwarded",
+            183 => "Session Progress",
+            200 => "OK",
+            202 => "Accepted",
+            301 => "Moved Permanently",
+            302 => "Moved Temporarily",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            407 => "Proxy Authentication Required",
+            408 => "Request Timeout",
+            415 => "Unsupported Media Type",
+            420 => "Bad Extension",
+            481 => "Call/Transaction Does Not Exist",
+            482 => "Loop Detected",
+            486 => "Busy Here",
+            487 => "Request Terminated",
+            488 => "Not Acceptable Here",
+            500 => "Server Internal Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            600 => "Busy Everywhere",
+            603 => "Decline",
+            604 => "Does Not Exist Anywhere",
+            606 => "Not Acceptable",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.default_reason())
+    }
+}
+
+impl TryFrom<u16> for StatusCode {
+    type Error = InvalidStatusCode;
+
+    fn try_from(code: u16) -> Result<StatusCode, InvalidStatusCode> {
+        if (100..=699).contains(&code) {
+            Ok(StatusCode(code))
+        } else {
+            Err(InvalidStatusCode { code })
+        }
+    }
+}
+
+/// Error constructing a [`StatusCode`] from an out-of-range number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidStatusCode {
+    /// The rejected code.
+    pub code: u16,
+}
+
+impl fmt::Display for InvalidStatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sip status code out of range: {}", self.code)
+    }
+}
+
+impl std::error::Error for InvalidStatusCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(StatusCode::TRYING.class(), 1);
+        assert_eq!(StatusCode::OK.class(), 2);
+        assert_eq!(StatusCode::MOVED_TEMPORARILY.class(), 3);
+        assert_eq!(StatusCode::UNAUTHORIZED.class(), 4);
+        assert_eq!(StatusCode::SERVER_ERROR.class(), 5);
+        assert_eq!(StatusCode::DECLINE.class(), 6);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(StatusCode::TRYING.is_provisional());
+        assert!(!StatusCode::TRYING.is_final());
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::OK.is_final());
+        assert!(StatusCode::UNAUTHORIZED.is_client_error());
+        assert!(!StatusCode::OK.is_client_error());
+    }
+
+    #[test]
+    fn try_from_range() {
+        assert!(StatusCode::try_from(99).is_err());
+        assert!(StatusCode::try_from(700).is_err());
+        assert_eq!(StatusCode::try_from(486).unwrap(), StatusCode::BUSY_HERE);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        StatusCode::new(42);
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode::new(499).to_string(), "499 Unknown");
+    }
+}

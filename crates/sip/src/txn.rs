@@ -1,0 +1,319 @@
+//! SIP transaction state machines (RFC 3261 §17, UDP profile,
+//! simplified).
+//!
+//! Transactions give the UA retransmission over unreliable UDP and give
+//! servers absorption of retransmitted requests. Timings follow the RFC's
+//! T1-based schedule but are expressed as plain milliseconds so this
+//! crate stays independent of the simulator's clock; callers translate to
+//! their own timer API.
+
+use crate::method::Method;
+use crate::status::StatusCode;
+use serde::{Deserialize, Serialize};
+
+/// RFC 3261 T1: RTT estimate, the base retransmission interval (ms).
+pub const T1_MS: u64 = 500;
+/// RFC 3261 T2: cap for non-INVITE retransmission intervals (ms).
+pub const T2_MS: u64 = 4_000;
+/// Timer B/F: transaction timeout, `64 * T1` (ms).
+pub const TIMEOUT_MS: u64 = 64 * T1_MS;
+
+/// Client transaction state (merged INVITE/non-INVITE view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientTxnState {
+    /// Request sent, nothing heard.
+    Trying,
+    /// Provisional received; retransmissions stop (INVITE) or slow down.
+    Proceeding,
+    /// Final response received.
+    Completed,
+    /// Done (timed out or finished).
+    Terminated,
+}
+
+/// What a client transaction asks its owner to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientTxnAction {
+    /// Retransmit the request and re-arm the timer for `next_in_ms`.
+    Retransmit {
+        /// Delay until the next retransmission check, in milliseconds.
+        next_in_ms: u64,
+    },
+    /// Do not retransmit, but keep the overall-timeout watchdog armed
+    /// (INVITE transactions stop retransmitting once Proceeding).
+    Rearm {
+        /// Delay until the next check, in milliseconds.
+        next_in_ms: u64,
+    },
+    /// Give up: no final response within `64*T1`.
+    TimedOut,
+    /// Nothing to do (transaction no longer active).
+    Idle,
+}
+
+/// A client transaction: drives retransmission of one request.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::txn::{ClientTransaction, ClientTxnAction, ClientTxnState};
+/// use scidive_sip::method::Method;
+/// use scidive_sip::status::StatusCode;
+///
+/// let mut txn = ClientTransaction::new(Method::Register, "z9hG4bK1");
+/// // 500 ms pass with no response:
+/// match txn.on_timer(500) {
+///     ClientTxnAction::Retransmit { next_in_ms } => assert_eq!(next_in_ms, 1000),
+///     other => panic!("{other:?}"),
+/// }
+/// txn.on_response(StatusCode::OK);
+/// assert_eq!(txn.state(), ClientTxnState::Completed);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientTransaction {
+    method: Method,
+    branch: String,
+    state: ClientTxnState,
+    /// Time since transaction start, advanced by the owner (ms).
+    elapsed_ms: u64,
+    /// Current retransmission interval (ms).
+    interval_ms: u64,
+    retransmissions: u32,
+}
+
+impl ClientTransaction {
+    /// Starts a transaction for a request just sent with `branch`.
+    pub fn new(method: Method, branch: impl Into<String>) -> ClientTransaction {
+        ClientTransaction {
+            method,
+            branch: branch.into(),
+            state: ClientTxnState::Trying,
+            elapsed_ms: 0,
+            interval_ms: T1_MS,
+            retransmissions: 0,
+        }
+    }
+
+    /// The transaction's Via branch (its identifier).
+    pub fn branch(&self) -> &str {
+        &self.branch
+    }
+
+    /// The request method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientTxnState {
+        self.state
+    }
+
+    /// How many times the request was retransmitted.
+    pub fn retransmissions(&self) -> u32 {
+        self.retransmissions
+    }
+
+    /// Whether the transaction still wants timer callbacks.
+    pub fn is_active(&self) -> bool {
+        matches!(
+            self.state,
+            ClientTxnState::Trying | ClientTxnState::Proceeding
+        )
+    }
+
+    /// The delay (ms) after which the owner should call
+    /// [`ClientTransaction::on_timer`], or `None` if inactive.
+    pub fn next_timer_ms(&self) -> Option<u64> {
+        self.is_active().then_some(self.interval_ms)
+    }
+
+    /// Advances the transaction clock by `delta_ms` and reports what to
+    /// do. The owner calls this when the timer it armed fires.
+    pub fn on_timer(&mut self, delta_ms: u64) -> ClientTxnAction {
+        if !self.is_active() {
+            return ClientTxnAction::Idle;
+        }
+        self.elapsed_ms += delta_ms;
+        if self.elapsed_ms >= TIMEOUT_MS {
+            self.state = ClientTxnState::Terminated;
+            return ClientTxnAction::TimedOut;
+        }
+        // INVITE transactions stop retransmitting once Proceeding.
+        if self.method.is_invite() && self.state == ClientTxnState::Proceeding {
+            return ClientTxnAction::Rearm {
+                // Keep a watchdog armed for the overall timeout only.
+                next_in_ms: TIMEOUT_MS - self.elapsed_ms,
+            };
+        }
+        self.retransmissions += 1;
+        self.interval_ms = (self.interval_ms * 2).min(T2_MS);
+        ClientTxnAction::Retransmit {
+            next_in_ms: self.interval_ms,
+        }
+    }
+
+    /// Feeds a response with a matching branch.
+    pub fn on_response(&mut self, code: StatusCode) {
+        if !self.is_active() {
+            return;
+        }
+        if code.is_provisional() {
+            self.state = ClientTxnState::Proceeding;
+        } else {
+            self.state = ClientTxnState::Completed;
+        }
+    }
+}
+
+/// A server transaction: absorbs request retransmissions and replays the
+/// last response.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerTransaction {
+    branch: String,
+    /// Serialized last response, replayed on retransmitted requests.
+    last_response: Option<Vec<u8>>,
+    requests_seen: u32,
+}
+
+impl ServerTransaction {
+    /// Creates a server transaction for a request with `branch`.
+    pub fn new(branch: impl Into<String>) -> ServerTransaction {
+        ServerTransaction {
+            branch: branch.into(),
+            last_response: None,
+            requests_seen: 1,
+        }
+    }
+
+    /// The transaction branch.
+    pub fn branch(&self) -> &str {
+        &self.branch
+    }
+
+    /// Number of copies of the request seen (1 = no retransmissions).
+    pub fn requests_seen(&self) -> u32 {
+        self.requests_seen
+    }
+
+    /// Records the response we sent so it can be replayed.
+    pub fn record_response(&mut self, wire: impl Into<Vec<u8>>) {
+        self.last_response = Some(wire.into());
+    }
+
+    /// Handles a retransmitted copy of the request: returns the response
+    /// to replay, if we already answered.
+    pub fn on_retransmitted_request(&mut self) -> Option<&[u8]> {
+        self.requests_seen += 1;
+        self.last_response.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_invite_backoff_doubles_to_t2() {
+        let mut txn = ClientTransaction::new(Method::Register, "b1");
+        assert_eq!(txn.next_timer_ms(), Some(500));
+        let mut intervals = Vec::new();
+        let mut wait = 500;
+        for _ in 0..6 {
+            match txn.on_timer(wait) {
+                ClientTxnAction::Retransmit { next_in_ms } => {
+                    intervals.push(next_in_ms);
+                    wait = next_in_ms;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(intervals, vec![1000, 2000, 4000, 4000, 4000, 4000]);
+        assert_eq!(txn.retransmissions(), 6);
+    }
+
+    #[test]
+    fn times_out_at_64_t1() {
+        let mut txn = ClientTransaction::new(Method::Register, "b1");
+        let mut wait = 500;
+        let mut total = 0u64;
+        loop {
+            match txn.on_timer(wait) {
+                ClientTxnAction::Retransmit { next_in_ms } => {
+                    total += wait;
+                    wait = next_in_ms;
+                }
+                ClientTxnAction::TimedOut => {
+                    total += wait;
+                    break;
+                }
+                ClientTxnAction::Idle | ClientTxnAction::Rearm { .. } => {
+                    panic!("unexpected action before timeout")
+                }
+            }
+        }
+        assert!(total >= TIMEOUT_MS);
+        assert_eq!(txn.state(), ClientTxnState::Terminated);
+        assert_eq!(txn.on_timer(500), ClientTxnAction::Idle);
+    }
+
+    #[test]
+    fn response_completes() {
+        let mut txn = ClientTransaction::new(Method::Bye, "b2");
+        txn.on_response(StatusCode::OK);
+        assert_eq!(txn.state(), ClientTxnState::Completed);
+        assert!(!txn.is_active());
+        assert_eq!(txn.next_timer_ms(), None);
+    }
+
+    #[test]
+    fn provisional_moves_to_proceeding() {
+        let mut txn = ClientTransaction::new(Method::Invite, "b3");
+        txn.on_response(StatusCode::RINGING);
+        assert_eq!(txn.state(), ClientTxnState::Proceeding);
+        // INVITE in Proceeding: no more retransmissions, just watchdog.
+        match txn.on_timer(500) {
+            ClientTxnAction::Rearm { next_in_ms } => {
+                assert_eq!(next_in_ms, TIMEOUT_MS - 500);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(txn.retransmissions(), 0);
+        txn.on_response(StatusCode::OK);
+        assert_eq!(txn.state(), ClientTxnState::Completed);
+    }
+
+    #[test]
+    fn non_invite_proceeding_keeps_retransmitting() {
+        let mut txn = ClientTransaction::new(Method::Register, "b4");
+        txn.on_response(StatusCode::TRYING);
+        assert_eq!(txn.state(), ClientTxnState::Proceeding);
+        assert!(matches!(
+            txn.on_timer(500),
+            ClientTxnAction::Retransmit { next_in_ms: 1000 }
+        ));
+        assert_eq!(txn.retransmissions(), 1);
+    }
+
+    #[test]
+    fn late_response_ignored() {
+        let mut txn = ClientTransaction::new(Method::Bye, "b5");
+        txn.on_response(StatusCode::OK);
+        txn.on_response(StatusCode::SERVER_ERROR);
+        assert_eq!(txn.state(), ClientTxnState::Completed);
+    }
+
+    #[test]
+    fn server_txn_replays_response() {
+        let mut txn = ServerTransaction::new("b6");
+        assert_eq!(txn.requests_seen(), 1);
+        assert_eq!(txn.on_retransmitted_request(), None);
+        txn.record_response(b"SIP/2.0 200 OK\r\n\r\n".to_vec());
+        assert_eq!(
+            txn.on_retransmitted_request(),
+            Some(b"SIP/2.0 200 OK\r\n\r\n".as_ref())
+        );
+        assert_eq!(txn.requests_seen(), 3);
+        assert_eq!(txn.branch(), "b6");
+    }
+}

@@ -1,0 +1,291 @@
+//! The accounting/billing subsystem (paper §3.2).
+//!
+//! The paper's billing-fraud example assumes "application level software
+//! for billing purposes" whose transactions the IDS can observe as a
+//! trail. Here the proxy emits one UDP transaction per call start/stop to
+//! an accounting server; the wire format is a single text line so the
+//! IDS Distiller can decode it into accounting footprints.
+
+use scidive_netsim::node::{Node, NodeCtx};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+use std::str::FromStr;
+
+/// UDP port the accounting server listens on.
+pub const ACCT_PORT: u16 = 2427;
+
+/// Kind of accounting transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcctKind {
+    /// A billable call started.
+    Start,
+    /// The call stopped.
+    Stop,
+}
+
+/// One accounting transaction as sent on the wire.
+///
+/// Wire format: `ACCT START <caller> <callee> <call-id>` — one line of
+/// ASCII so that the IDS can parse it with no shared state.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_voip::accounting::{AcctKind, AcctTxn};
+///
+/// let txn = AcctTxn::new(AcctKind::Start, "alice@lab", "bob@lab", "c1");
+/// let wire = txn.to_wire();
+/// assert_eq!(wire.parse::<AcctTxn>()?, txn);
+/// # Ok::<(), scidive_voip::accounting::ParseAcctError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcctTxn {
+    /// Start or stop.
+    pub kind: AcctKind,
+    /// Caller's address-of-record (who gets billed).
+    pub caller: String,
+    /// Callee's address-of-record.
+    pub callee: String,
+    /// The SIP Call-ID this transaction refers to.
+    pub call_id: String,
+}
+
+impl AcctTxn {
+    /// Creates a transaction.
+    pub fn new(
+        kind: AcctKind,
+        caller: impl Into<String>,
+        callee: impl Into<String>,
+        call_id: impl Into<String>,
+    ) -> AcctTxn {
+        AcctTxn {
+            kind,
+            caller: caller.into(),
+            callee: callee.into(),
+            call_id: call_id.into(),
+        }
+    }
+
+    /// Serializes to the one-line wire form.
+    pub fn to_wire(&self) -> String {
+        let kind = match self.kind {
+            AcctKind::Start => "START",
+            AcctKind::Stop => "STOP",
+        };
+        format!("ACCT {kind} {} {} {}", self.caller, self.callee, self.call_id)
+    }
+}
+
+/// Error parsing an accounting transaction line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAcctError {
+    detail: String,
+}
+
+impl fmt::Display for ParseAcctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid accounting transaction: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParseAcctError {}
+
+impl FromStr for AcctTxn {
+    type Err = ParseAcctError;
+
+    fn from_str(s: &str) -> Result<AcctTxn, ParseAcctError> {
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        if parts.len() != 5 || parts[0] != "ACCT" {
+            return Err(ParseAcctError {
+                detail: format!("expected `ACCT KIND caller callee call-id`, got `{s}`"),
+            });
+        }
+        let kind = match parts[1] {
+            "START" => AcctKind::Start,
+            "STOP" => AcctKind::Stop,
+            other => {
+                return Err(ParseAcctError {
+                    detail: format!("unknown kind `{other}`"),
+                })
+            }
+        };
+        Ok(AcctTxn {
+            kind,
+            caller: parts[2].to_string(),
+            callee: parts[3].to_string(),
+            call_id: parts[4].to_string(),
+        })
+    }
+}
+
+/// A closed or open call detail record held by the accounting server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// Billed party.
+    pub caller: String,
+    /// Called party.
+    pub callee: String,
+    /// Call-ID.
+    pub call_id: String,
+    /// When the call started (billing clock).
+    pub started: SimTime,
+    /// When the call stopped, if it has.
+    pub stopped: Option<SimTime>,
+}
+
+/// The accounting server node: receives transactions, keeps CDRs.
+#[derive(Debug, Default)]
+pub struct AccountingServer {
+    records: Vec<CallRecord>,
+    /// Lines that failed to parse (diagnostics).
+    pub malformed: u64,
+}
+
+impl AccountingServer {
+    /// Creates an empty server.
+    pub fn new() -> AccountingServer {
+        AccountingServer::default()
+    }
+
+    /// All call records, in arrival order.
+    pub fn records(&self) -> &[CallRecord] {
+        &self.records
+    }
+
+    /// Records billed to `caller` (the billing-fraud victim check).
+    pub fn billed_to(&self, caller: &str) -> Vec<&CallRecord> {
+        self.records.iter().filter(|r| r.caller == caller).collect()
+    }
+
+    fn apply(&mut self, now: SimTime, txn: AcctTxn) {
+        match txn.kind {
+            AcctKind::Start => self.records.push(CallRecord {
+                caller: txn.caller,
+                callee: txn.callee,
+                call_id: txn.call_id,
+                started: now,
+                stopped: None,
+            }),
+            AcctKind::Stop => {
+                if let Some(rec) = self
+                    .records
+                    .iter_mut()
+                    .find(|r| r.call_id == txn.call_id && r.stopped.is_none())
+                {
+                    rec.stopped = Some(now);
+                }
+            }
+        }
+    }
+}
+
+impl Node for AccountingServer {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        let Ok(udp) = pkt.decode_udp() else {
+            self.malformed += 1;
+            return;
+        };
+        if udp.dst_port != ACCT_PORT {
+            return;
+        }
+        match std::str::from_utf8(&udp.payload)
+            .map_err(|_| ())
+            .and_then(|s| s.parse::<AcctTxn>().map_err(|_| ()))
+        {
+            Ok(txn) => self.apply(ctx.now(), txn),
+            Err(()) => self.malformed += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for kind in [AcctKind::Start, AcctKind::Stop] {
+            let txn = AcctTxn::new(kind, "a@lab", "b@lab", "call-9");
+            assert_eq!(txn.to_wire().parse::<AcctTxn>().unwrap(), txn);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<AcctTxn>().is_err());
+        assert!("ACCT START a b".parse::<AcctTxn>().is_err());
+        assert!("ACCT PAUSE a b c".parse::<AcctTxn>().is_err());
+        assert!("NOPE START a b c".parse::<AcctTxn>().is_err());
+    }
+
+    #[test]
+    fn start_stop_closes_record() {
+        let mut srv = AccountingServer::new();
+        srv.apply(
+            SimTime::from_secs(1),
+            AcctTxn::new(AcctKind::Start, "a@lab", "b@lab", "c1"),
+        );
+        srv.apply(
+            SimTime::from_secs(5),
+            AcctTxn::new(AcctKind::Stop, "a@lab", "b@lab", "c1"),
+        );
+        assert_eq!(srv.records().len(), 1);
+        let rec = &srv.records()[0];
+        assert_eq!(rec.started, SimTime::from_secs(1));
+        assert_eq!(rec.stopped, Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn stop_without_start_is_ignored() {
+        let mut srv = AccountingServer::new();
+        srv.apply(
+            SimTime::from_secs(1),
+            AcctTxn::new(AcctKind::Stop, "a@lab", "b@lab", "c1"),
+        );
+        assert!(srv.records().is_empty());
+    }
+
+    #[test]
+    fn billed_to_filters_by_caller() {
+        let mut srv = AccountingServer::new();
+        srv.apply(
+            SimTime::ZERO,
+            AcctTxn::new(AcctKind::Start, "victim@lab", "far@lab", "c1"),
+        );
+        srv.apply(
+            SimTime::ZERO,
+            AcctTxn::new(AcctKind::Start, "a@lab", "b@lab", "c2"),
+        );
+        assert_eq!(srv.billed_to("victim@lab").len(), 1);
+        assert_eq!(srv.billed_to("nobody@lab").len(), 0);
+    }
+
+    #[test]
+    fn duplicate_stop_ignored() {
+        let mut srv = AccountingServer::new();
+        srv.apply(
+            SimTime::ZERO,
+            AcctTxn::new(AcctKind::Start, "a@lab", "b@lab", "c1"),
+        );
+        srv.apply(
+            SimTime::from_secs(2),
+            AcctTxn::new(AcctKind::Stop, "a@lab", "b@lab", "c1"),
+        );
+        srv.apply(
+            SimTime::from_secs(9),
+            AcctTxn::new(AcctKind::Stop, "a@lab", "b@lab", "c1"),
+        );
+        assert_eq!(srv.records()[0].stopped, Some(SimTime::from_secs(2)));
+    }
+}

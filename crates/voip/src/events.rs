@@ -1,0 +1,119 @@
+//! Observable user-agent events, used by scenario harnesses and tests to
+//! assert what the endpoints experienced (ground truth for the IDS).
+
+use scidive_netsim::time::SimTime;
+use scidive_sip::uri::SipUri;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What a user agent experienced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UaEventKind {
+    /// Registration succeeded.
+    Registered,
+    /// Registrar answered 401 with a digest challenge.
+    RegisterChallenged,
+    /// Registration failed permanently.
+    RegisterFailed {
+        /// Status code received.
+        code: u16,
+    },
+    /// An INVITE arrived.
+    IncomingCall {
+        /// Caller URI from the `From` header.
+        from: SipUri,
+        /// The Call-ID.
+        call_id: String,
+    },
+    /// A call reached the confirmed state.
+    CallEstablished {
+        /// The Call-ID.
+        call_id: String,
+        /// The peer's URI.
+        peer: SipUri,
+    },
+    /// A call ended.
+    CallTerminated {
+        /// The Call-ID.
+        call_id: String,
+        /// Whether the peer (or something claiming to be the peer)
+        /// initiated the teardown.
+        by_remote: bool,
+    },
+    /// Outbound media started towards the given target.
+    MediaStarted {
+        /// The Call-ID.
+        call_id: String,
+        /// RTP destination address.
+        target: Ipv4Addr,
+        /// RTP destination port.
+        port: u16,
+    },
+    /// Outbound media stopped.
+    MediaStopped {
+        /// The Call-ID.
+        call_id: String,
+    },
+    /// A re-INVITE moved our outbound media target (genuine mobility or
+    /// the §4.2.3 hijack).
+    MediaRetargeted {
+        /// The Call-ID.
+        call_id: String,
+        /// New RTP destination address.
+        target: Ipv4Addr,
+        /// New RTP destination port.
+        port: u16,
+    },
+    /// An instant message arrived.
+    ImReceived {
+        /// URI claimed in the `From` header.
+        claimed_from: SipUri,
+        /// IP the packet actually came from.
+        src_ip: Ipv4Addr,
+        /// Message text.
+        body: String,
+    },
+    /// The jitter buffer recorded a disruption (garbage/wild RTP).
+    RtpDisruption {
+        /// Total disruptions so far.
+        total: u64,
+    },
+    /// The client crashed (the paper's X-Lite under the RTP attack).
+    Crashed {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// A timestamped user-agent event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UaEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: UaEventKind,
+}
+
+impl UaEvent {
+    /// Creates an event.
+    pub fn new(time: SimTime, kind: UaEventKind) -> UaEvent {
+        UaEvent { time, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_construction() {
+        let ev = UaEvent::new(
+            SimTime::from_millis(3),
+            UaEventKind::MediaStopped {
+                call_id: "c1".to_string(),
+            },
+        );
+        assert_eq!(ev.time, SimTime::from_millis(3));
+        assert!(matches!(ev.kind, UaEventKind::MediaStopped { .. }));
+    }
+}

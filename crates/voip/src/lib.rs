@@ -1,0 +1,39 @@
+//! # scidive-voip — the simulated VoIP deployment under protection
+//!
+//! Recreates the SCIDIVE paper's testbed (Fig. 4) on top of
+//! `scidive-netsim`: SIP user agents with 20 ms G.711 media and the
+//! protocol-level vulnerabilities the paper's attacks exploit, a
+//! stateful proxy/registrar with digest authentication and billing
+//! hooks, and an accounting server whose transactions form the third
+//! protocol of the §3.2 cross-protocol example.
+//!
+//! The [`scenario::TestbedBuilder`] wires the whole topology:
+//!
+//! ```
+//! use scidive_voip::prelude::*;
+//! use scidive_netsim::time::SimDuration;
+//!
+//! let mut tb = TestbedBuilder::new(42)
+//!     .standard_call(SimDuration::from_millis(500), Some(SimDuration::from_secs(3)))
+//!     .build();
+//! tb.run_for(SimDuration::from_secs(5));
+//! assert_eq!(tb.cdrs().len(), 1); // the call was billed
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod events;
+pub mod proxy;
+pub mod scenario;
+pub mod ua;
+
+/// Convenient glob import of the common VoIP types.
+pub mod prelude {
+    pub use crate::accounting::{AccountingServer, AcctKind, AcctTxn, CallRecord, ACCT_PORT};
+    pub use crate::events::{UaEvent, UaEventKind};
+    pub use crate::proxy::{Binding, Proxy, ProxyConfig, ProxyStats};
+    pub use crate::scenario::{Endpoints, Testbed, TestbedBuilder};
+    pub use crate::ua::{RegState, ScriptStep, UaAction, UaConfig, UserAgent, SIP_PORT};
+}

@@ -1,0 +1,440 @@
+//! The SIP proxy + registrar node (the testbed's "SIP Express Router").
+//!
+//! Stateful forwarding with Via-stack routing, digest-challenged
+//! registration, and accounting hooks that emit billing transactions to
+//! the accounting server — including, when `billing_vuln` is enabled, the
+//! paper's §3.2 vulnerability: a crafted `P-Billing-Id` header makes the
+//! proxy attribute the call to someone other than the real caller.
+
+use crate::accounting::{AcctKind, AcctTxn, ACCT_PORT};
+use crate::ua::SIP_PORT;
+use scidive_netsim::node::{Node, NodeCtx};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::auth::{DigestChallenge, DigestCredentials};
+use scidive_sip::header::{HeaderName, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{response_to, SipMessage};
+use scidive_sip::status::StatusCode;
+use scidive_sip::uri::SipUri;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// The proxy's IP.
+    pub ip: Ipv4Addr,
+    /// The SIP domain it is authoritative for (AOR host part).
+    pub domain: String,
+    /// Whether REGISTER requires digest authentication.
+    pub auth_required: bool,
+    /// username → password accounts for digest auth.
+    pub accounts: HashMap<String, String>,
+    /// Where to send accounting transactions, if anywhere.
+    pub acct_server: Option<Ipv4Addr>,
+    /// Enable the §3.2 billing vulnerability (`P-Billing-Id` trusted).
+    pub billing_vuln: bool,
+}
+
+impl ProxyConfig {
+    /// A proxy for `domain` at `ip` with no auth and no accounting.
+    pub fn new(ip: Ipv4Addr, domain: impl Into<String>) -> ProxyConfig {
+        ProxyConfig {
+            ip,
+            domain: domain.into(),
+            auth_required: false,
+            accounts: HashMap::new(),
+            acct_server: None,
+            billing_vuln: false,
+        }
+    }
+
+    /// Requires digest auth with the given accounts (builder-style).
+    pub fn with_auth(mut self, accounts: &[(&str, &str)]) -> ProxyConfig {
+        self.auth_required = true;
+        self.accounts = accounts
+            .iter()
+            .map(|(u, p)| (u.to_string(), p.to_string()))
+            .collect();
+        self
+    }
+
+    /// Sends accounting transactions to `server` (builder-style).
+    pub fn with_accounting(mut self, server: Ipv4Addr) -> ProxyConfig {
+        self.acct_server = Some(server);
+        self
+    }
+
+    /// Enables the billing vulnerability (builder-style).
+    pub fn with_billing_vuln(mut self) -> ProxyConfig {
+        self.billing_vuln = true;
+        self
+    }
+}
+
+/// A registrar binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// The bound contact URI.
+    pub contact: SipUri,
+    /// IP to forward to.
+    pub ip: Ipv4Addr,
+    /// Port to forward to.
+    pub port: u16,
+    /// When the binding lapses (RFC 3261 §10: Expires).
+    pub expires_at: SimTime,
+}
+
+/// Counters the DoS experiments read as ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// REGISTER requests received.
+    pub registers: u64,
+    /// 401 challenges sent.
+    pub challenges: u64,
+    /// Authorization attempts that failed verification.
+    pub auth_failures: u64,
+    /// Successful registrations.
+    pub registrations: u64,
+    /// Requests forwarded.
+    pub forwarded: u64,
+    /// Responses forwarded.
+    pub responses_forwarded: u64,
+    /// Requests rejected (404 etc.).
+    pub rejected: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingInvite {
+    caller_aor: String,
+    callee_aor: String,
+    call_id: String,
+    billing_override: Option<String>,
+}
+
+/// The proxy/registrar node.
+#[derive(Debug)]
+pub struct Proxy {
+    config: ProxyConfig,
+    bindings: HashMap<String, Binding>,
+    issued_nonces: HashSet<String>,
+    nonce_counter: u64,
+    branch_counter: u64,
+    /// Via-branch → pending INVITE info for accounting.
+    pending_invites: HashMap<String, PendingInvite>,
+    /// Call-IDs already billed (avoid double Start on re-INVITE).
+    billed_calls: HashSet<String>,
+    stats: ProxyStats,
+}
+
+impl Proxy {
+    /// Creates a proxy.
+    pub fn new(config: ProxyConfig) -> Proxy {
+        Proxy {
+            config,
+            bindings: HashMap::new(),
+            issued_nonces: HashSet::new(),
+            nonce_counter: 0,
+            branch_counter: 0,
+            pending_invites: HashMap::new(),
+            billed_calls: HashSet::new(),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// The binding for an AOR, if registered and unexpired at `now`.
+    pub fn binding_at(&self, aor: &str, now: SimTime) -> Option<&Binding> {
+        self.bindings.get(aor).filter(|b| b.expires_at > now)
+    }
+
+    /// The binding for an AOR, if present (ignores expiry; prefer
+    /// [`Proxy::binding_at`]).
+    pub fn binding(&self, aor: &str) -> Option<&Binding> {
+        self.bindings.get(aor)
+    }
+
+    fn next_branch(&mut self) -> String {
+        self.branch_counter += 1;
+        format!("z9hG4bK-proxy-{}", self.branch_counter)
+    }
+
+    fn send_to_via(&self, ctx: &mut NodeCtx<'_>, msg: &SipMessage) {
+        if let Some((ip, port)) = top_via_addr(msg) {
+            ctx.send_udp(SIP_PORT, ip, port, msg.to_bytes());
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut NodeCtx<'_>, req: &SipMessage, code: StatusCode) {
+        let resp = response_to(req, code, None);
+        self.send_to_via(ctx, &resp);
+    }
+
+    fn on_register(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage, src_ip: Ipv4Addr) {
+        self.stats.registers += 1;
+        if self.config.auth_required {
+            let authorized = req
+                .headers
+                .get(&HeaderName::Authorization)
+                .and_then(|v| DigestCredentials::parse(v).ok())
+                .map(|creds| {
+                    let known_nonce = self.issued_nonces.contains(&creds.nonce);
+                    let password = self.config.accounts.get(&creds.username);
+                    match (known_nonce, password) {
+                        (true, Some(pw)) => creds.verify(pw, Method::Register),
+                        _ => false,
+                    }
+                });
+            match authorized {
+                Some(true) => {}
+                Some(false) => {
+                    // Bad credentials: challenge again (brute-force path).
+                    self.stats.auth_failures += 1;
+                    self.challenge(ctx, &req);
+                    return;
+                }
+                None => {
+                    // No Authorization at all: standard first-pass 401.
+                    self.challenge(ctx, &req);
+                    return;
+                }
+            }
+        }
+        let Ok(to) = req.to() else {
+            self.reply(ctx, &req, StatusCode::BAD_REQUEST);
+            return;
+        };
+        let contact = req.contact().map(|c| c.uri).unwrap_or_else(|_| {
+            SipUri::new(
+                to.uri.user.clone().unwrap_or_default(),
+                src_ip.to_string(),
+            )
+        });
+        // RFC 3261 §10.2.2: Expires 0 removes the binding.
+        let expires_secs = req.expires().unwrap_or(3600);
+        if expires_secs == 0 {
+            self.bindings.remove(&to.uri.aor());
+        } else {
+            let ip = contact.host_ip().unwrap_or(src_ip);
+            let port = contact.port_or_default();
+            let expires_at = ctx.now() + SimDuration::from_secs(u64::from(expires_secs));
+            self.bindings.insert(
+                to.uri.aor(),
+                Binding {
+                    contact,
+                    ip,
+                    port,
+                    expires_at,
+                },
+            );
+        }
+        self.stats.registrations += 1;
+        let resp = response_to(&req, StatusCode::OK, None);
+        self.send_to_via(ctx, &resp);
+    }
+
+    fn challenge(&mut self, ctx: &mut NodeCtx<'_>, req: &SipMessage) {
+        self.nonce_counter += 1;
+        let nonce = format!("nonce-{}-{}", ctx.now().as_micros(), self.nonce_counter);
+        self.issued_nonces.insert(nonce.clone());
+        let challenge = DigestChallenge::new(self.config.domain.clone(), nonce);
+        let mut resp = response_to(req, StatusCode::UNAUTHORIZED, None);
+        resp.headers
+            .set(HeaderName::WwwAuthenticate, challenge.to_string());
+        self.stats.challenges += 1;
+        self.send_to_via(ctx, &resp);
+    }
+
+    fn on_request(&mut self, ctx: &mut NodeCtx<'_>, mut req: SipMessage, src_ip: Ipv4Addr) {
+        let method = req.method().expect("checked");
+        if method == Method::Register {
+            self.on_register(ctx, req, src_ip);
+            return;
+        }
+        // Loop protection.
+        if let Some(mf) = req.headers.get(&HeaderName::MaxForwards) {
+            match mf.trim().parse::<u32>() {
+                Ok(0) => {
+                    self.stats.rejected += 1;
+                    return;
+                }
+                Ok(n) => req
+                    .headers
+                    .set(HeaderName::MaxForwards, (n - 1).to_string()),
+                Err(_) => {}
+            }
+        }
+        // Routing: IP-literal request URIs go straight there; otherwise
+        // look up the registrar binding for the AOR.
+        let uri = req.request_uri().expect("requests have URIs").clone();
+        let dest = match uri.host_ip() {
+            Some(ip) => Some((ip, uri.port_or_default())),
+            None => self
+                .binding_at(&uri.aor(), ctx.now())
+                .map(|b| (b.ip, b.port)),
+        };
+        let Some((ip, port)) = dest else {
+            self.stats.rejected += 1;
+            if method != Method::Ack {
+                self.reply(ctx, &req, StatusCode::NOT_FOUND);
+            }
+            return;
+        };
+        // Remember INVITEs for accounting when the 200 comes back.
+        let branch = self.next_branch();
+        if method == Method::Invite {
+            if let (Ok(from), Ok(to), Ok(call_id)) = (req.from_(), req.to(), req.call_id()) {
+                let billing_override = if self.config.billing_vuln {
+                    req.headers
+                        .get(&HeaderName::Extension("P-Billing-Id".to_string()))
+                        .map(str::to_string)
+                } else {
+                    None
+                };
+                self.pending_invites.insert(
+                    branch.clone(),
+                    PendingInvite {
+                        caller_aor: from.uri.aor(),
+                        callee_aor: to.uri.aor(),
+                        call_id: call_id.to_string(),
+                        billing_override,
+                    },
+                );
+            }
+        }
+        req.headers.push_front(
+            HeaderName::Via,
+            Via::udp(format!("{}:{}", self.config.ip, SIP_PORT), &branch).to_string(),
+        );
+        self.stats.forwarded += 1;
+        ctx.send_udp(SIP_PORT, ip, port, req.to_bytes());
+        // BYE accounting: bill on the BYE we forward (teardown observed).
+        if method == Method::Bye {
+            if let Ok(call_id) = req.call_id() {
+                if self.billed_calls.contains(call_id) {
+                    let txn = AcctTxn::new(AcctKind::Stop, "-", "-", call_id);
+                    self.emit_acct(ctx, txn);
+                }
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut NodeCtx<'_>, mut resp: SipMessage) {
+        // Pop our Via; what remains tells us where to send it.
+        let Some(top) = resp.headers.remove_front(&HeaderName::Via) else {
+            return;
+        };
+        let our_branch = top
+            .parse::<Via>()
+            .ok()
+            .and_then(|v| v.branch().map(str::to_string));
+        // Accounting: a 200 to an INVITE we routed starts billing.
+        if resp.status().map(|s| s.is_success()).unwrap_or(false) {
+            if let (Some(branch), Ok(cseq)) = (&our_branch, resp.cseq()) {
+                if cseq.method == Method::Invite {
+                    if let Some(pending) = self.pending_invites.remove(branch) {
+                        if self.billed_calls.insert(pending.call_id.clone()) {
+                            let caller =
+                                pending.billing_override.unwrap_or(pending.caller_aor);
+                            let txn = AcctTxn::new(
+                                AcctKind::Start,
+                                caller,
+                                pending.callee_aor,
+                                pending.call_id,
+                            );
+                            self.emit_acct(ctx, txn);
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.responses_forwarded += 1;
+        self.send_to_via(ctx, &resp);
+    }
+
+    fn emit_acct(&mut self, ctx: &mut NodeCtx<'_>, txn: AcctTxn) {
+        if let Some(server) = self.config.acct_server {
+            ctx.send_udp(ACCT_PORT, server, ACCT_PORT, txn.to_wire());
+        }
+    }
+}
+
+fn top_via_addr(msg: &SipMessage) -> Option<(Ipv4Addr, u16)> {
+    let via: Via = msg.headers.get(&HeaderName::Via)?.parse().ok()?;
+    let (host, port) = match via.sent_by.split_once(':') {
+        Some((h, p)) => (h, p.parse().ok()?),
+        None => (via.sent_by.as_str(), SIP_PORT),
+    };
+    Some((host.parse().ok()?, port))
+}
+
+impl Node for Proxy {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        if udp.dst_port != SIP_PORT || pkt.dst != self.config.ip {
+            return;
+        }
+        match SipMessage::parse(&udp.payload) {
+            Ok(msg) if msg.is_request() => self.on_request(ctx, msg, pkt.src),
+            Ok(msg) => self.on_response(ctx, msg),
+            Err(_) => {} // unparseable: dropped (the IDS still saw it)
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = ProxyConfig::new(Ipv4Addr::new(10, 0, 0, 1), "lab")
+            .with_auth(&[("alice", "pw")])
+            .with_accounting(Ipv4Addr::new(10, 0, 0, 4))
+            .with_billing_vuln();
+        assert!(cfg.auth_required);
+        assert_eq!(cfg.accounts.get("alice").map(String::as_str), Some("pw"));
+        assert_eq!(cfg.acct_server, Some(Ipv4Addr::new(10, 0, 0, 4)));
+        assert!(cfg.billing_vuln);
+    }
+
+    #[test]
+    fn top_via_addr_parses() {
+        use scidive_sip::header::NameAddr;
+        use scidive_sip::header::CSeq;
+        use scidive_sip::msg::RequestBuilder;
+        let mut b = RequestBuilder::new(Method::Invite, "sip:b@lab".parse().unwrap());
+        b.from(NameAddr::new("sip:a@lab".parse().unwrap()).with_tag("t"))
+            .to(NameAddr::new("sip:b@lab".parse().unwrap()))
+            .call_id("c")
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.2:5060", "z9hG4bK-x"));
+        assert_eq!(
+            top_via_addr(&b.build()),
+            Some((Ipv4Addr::new(10, 0, 0, 2), 5060))
+        );
+    }
+
+    #[test]
+    fn stats_default_zero() {
+        let p = Proxy::new(ProxyConfig::new(Ipv4Addr::new(10, 0, 0, 1), "lab"));
+        assert_eq!(p.stats(), ProxyStats::default());
+        assert!(p.binding("alice@lab").is_none());
+    }
+}

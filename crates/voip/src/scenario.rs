@@ -1,0 +1,636 @@
+//! Testbed construction: the paper's Fig. 4 topology in one builder.
+//!
+//! Proxy, two clients (A = the monitored endpoint, B = the peer), an
+//! accounting server, and a promiscuous tap on the hub where the IDS
+//! watches. Attack crates add their attacker node before running.
+
+use crate::accounting::AccountingServer;
+use crate::events::UaEvent;
+use crate::proxy::{Proxy, ProxyConfig, ProxyStats};
+use crate::ua::{ScriptStep, UaAction, UaConfig, UserAgent};
+use scidive_netsim::link::LinkParams;
+use scidive_netsim::node::{Collector, CollectorHandle, Node, NodeId};
+use scidive_netsim::sim::{NodeConfig, Simulator};
+use scidive_netsim::time::SimDuration;
+use scidive_sip::uri::SipUri;
+use std::net::Ipv4Addr;
+
+/// Fixed addressing of the standard testbed.
+#[derive(Debug, Clone)]
+pub struct Endpoints {
+    /// SIP domain.
+    pub domain: String,
+    /// Proxy/registrar address.
+    pub proxy_ip: Ipv4Addr,
+    /// Client A (the monitored endpoint).
+    pub a_ip: Ipv4Addr,
+    /// Client B.
+    pub b_ip: Ipv4Addr,
+    /// The attacker's address (for attack crates).
+    pub attacker_ip: Ipv4Addr,
+    /// Accounting server address.
+    pub acct_ip: Ipv4Addr,
+    /// The IDS tap address.
+    pub tap_ip: Ipv4Addr,
+    /// A's RTP port.
+    pub a_rtp: u16,
+    /// B's RTP port.
+    pub b_rtp: u16,
+}
+
+impl Default for Endpoints {
+    fn default() -> Endpoints {
+        Endpoints {
+            domain: "lab".to_string(),
+            proxy_ip: Ipv4Addr::new(10, 0, 0, 1),
+            a_ip: Ipv4Addr::new(10, 0, 0, 2),
+            b_ip: Ipv4Addr::new(10, 0, 0, 3),
+            attacker_ip: Ipv4Addr::new(10, 0, 0, 66),
+            acct_ip: Ipv4Addr::new(10, 0, 0, 4),
+            tap_ip: Ipv4Addr::new(10, 0, 0, 250),
+            a_rtp: 8000,
+            b_rtp: 9000,
+        }
+    }
+}
+
+impl Endpoints {
+    /// A's address of record.
+    pub fn a_aor(&self) -> SipUri {
+        SipUri::new("alice", self.domain.clone())
+    }
+
+    /// B's address of record.
+    pub fn b_aor(&self) -> SipUri {
+        SipUri::new("bob", self.domain.clone())
+    }
+}
+
+/// Builder for the standard testbed.
+#[derive(Debug)]
+pub struct TestbedBuilder {
+    seed: u64,
+    endpoints: Endpoints,
+    link: LinkParams,
+    a_link: Option<LinkParams>,
+    b_link: Option<LinkParams>,
+    auth: Option<Vec<(String, String)>>,
+    billing_vuln: bool,
+    a_fragile: bool,
+    a_crash_threshold: u64,
+    a_script: Vec<ScriptStep>,
+    b_script: Vec<ScriptStep>,
+}
+
+impl TestbedBuilder {
+    /// Starts a builder with the given seed.
+    pub fn new(seed: u64) -> TestbedBuilder {
+        TestbedBuilder {
+            seed,
+            endpoints: Endpoints::default(),
+            link: LinkParams::lan(),
+            a_link: None,
+            b_link: None,
+            auth: None,
+            billing_vuln: false,
+            a_fragile: false,
+            a_crash_threshold: 5,
+            a_script: Vec::new(),
+            b_script: Vec::new(),
+        }
+    }
+
+    /// Sets the default link for every node.
+    pub fn link(mut self, link: LinkParams) -> TestbedBuilder {
+        self.link = link;
+        self
+    }
+
+    /// Overrides A's link (the receiver-side delay in §4.3 experiments).
+    pub fn a_link(mut self, link: LinkParams) -> TestbedBuilder {
+        self.a_link = Some(link);
+        self
+    }
+
+    /// Overrides B's link.
+    pub fn b_link(mut self, link: LinkParams) -> TestbedBuilder {
+        self.b_link = Some(link);
+        self
+    }
+
+    /// Requires digest auth at the registrar with these accounts.
+    pub fn with_auth(mut self, accounts: &[(&str, &str)]) -> TestbedBuilder {
+        self.auth = Some(
+            accounts
+                .iter()
+                .map(|(u, p)| (u.to_string(), p.to_string()))
+                .collect(),
+        );
+        self
+    }
+
+    /// Enables the §3.2 billing vulnerability at the proxy.
+    pub fn with_billing_vuln(mut self) -> TestbedBuilder {
+        self.billing_vuln = true;
+        self
+    }
+
+    /// Makes client A fragile (crashes under RTP corruption).
+    pub fn a_fragile(mut self, threshold: u64) -> TestbedBuilder {
+        self.a_fragile = true;
+        self.a_crash_threshold = threshold;
+        self
+    }
+
+    /// Appends steps to A's script.
+    pub fn a_script(mut self, script: Vec<ScriptStep>) -> TestbedBuilder {
+        self.a_script.extend(script);
+        self
+    }
+
+    /// Appends steps to B's script.
+    pub fn b_script(mut self, script: Vec<ScriptStep>) -> TestbedBuilder {
+        self.b_script.extend(script);
+        self
+    }
+
+    /// Both clients register early and A calls B at `call_at`; A hangs up
+    /// at `hangup_at` if given.
+    pub fn standard_call(
+        mut self,
+        call_at: SimDuration,
+        hangup_at: Option<SimDuration>,
+    ) -> TestbedBuilder {
+        let b_aor = self.endpoints.b_aor();
+        self.a_script
+            .push(ScriptStep::new(SimDuration::from_millis(10), UaAction::Register));
+        self.b_script
+            .push(ScriptStep::new(SimDuration::from_millis(20), UaAction::Register));
+        self.a_script
+            .push(ScriptStep::new(call_at, UaAction::Call { to: b_aor }));
+        if let Some(at) = hangup_at {
+            self.a_script.push(ScriptStep::new(at, UaAction::HangUp));
+        }
+        self
+    }
+
+    /// Builds the simulator and nodes.
+    pub fn build(self) -> Testbed {
+        let ep = self.endpoints.clone();
+        let mut sim = Simulator::new(self.seed);
+
+        let mut proxy_cfg = ProxyConfig::new(ep.proxy_ip, ep.domain.clone())
+            .with_accounting(ep.acct_ip);
+        if let Some(accounts) = &self.auth {
+            let pairs: Vec<(&str, &str)> = accounts
+                .iter()
+                .map(|(u, p)| (u.as_str(), p.as_str()))
+                .collect();
+            proxy_cfg = proxy_cfg.with_auth(&pairs);
+        }
+        if self.billing_vuln {
+            proxy_cfg = proxy_cfg.with_billing_vuln();
+        }
+        let proxy = sim.add_node(
+            NodeConfig::new("proxy", ep.proxy_ip).with_link(self.link),
+            Box::new(Proxy::new(proxy_cfg)),
+        );
+
+        let acct = sim.add_node(
+            NodeConfig::new("acct", ep.acct_ip).with_link(self.link),
+            Box::new(AccountingServer::new()),
+        );
+
+        let password_of = |user: &str| {
+            self.auth.as_ref().and_then(|accounts| {
+                accounts
+                    .iter()
+                    .find(|(u, _)| u == user)
+                    .map(|(_, p)| p.clone())
+            })
+        };
+
+        let mut a_cfg = UaConfig::new(ep.a_aor(), ep.a_ip, ep.a_rtp, ep.proxy_ip);
+        if let Some(pw) = password_of("alice") {
+            a_cfg = a_cfg.with_password(pw);
+        }
+        a_cfg.fragile = self.a_fragile;
+        a_cfg.crash_threshold = self.a_crash_threshold;
+        let a = sim.add_node(
+            NodeConfig::new("ua-a", ep.a_ip).with_link(self.a_link.unwrap_or(self.link)),
+            Box::new(UserAgent::new(a_cfg, self.a_script)),
+        );
+
+        let mut b_cfg = UaConfig::new(ep.b_aor(), ep.b_ip, ep.b_rtp, ep.proxy_ip);
+        if let Some(pw) = password_of("bob") {
+            b_cfg = b_cfg.with_password(pw);
+        }
+        let b = sim.add_node(
+            NodeConfig::new("ua-b", ep.b_ip).with_link(self.b_link.unwrap_or(self.link)),
+            Box::new(UserAgent::new(b_cfg, self.b_script)),
+        );
+
+        let collector = Collector::new();
+        let tap = collector.handle();
+        let tap_node = sim.add_node(
+            NodeConfig::new("tap", ep.tap_ip)
+                .with_link(self.link)
+                .promiscuous(),
+            Box::new(collector),
+        );
+
+        Testbed {
+            sim,
+            endpoints: ep,
+            proxy,
+            acct,
+            a,
+            b,
+            tap_node,
+            tap,
+        }
+    }
+}
+
+/// The built testbed.
+pub struct Testbed {
+    /// The simulator; run it, add attacker nodes, inspect the trace.
+    pub sim: Simulator,
+    /// Addressing.
+    pub endpoints: Endpoints,
+    /// Proxy node id.
+    pub proxy: NodeId,
+    /// Accounting server node id.
+    pub acct: NodeId,
+    /// Client A node id.
+    pub a: NodeId,
+    /// Client B node id.
+    pub b: NodeId,
+    /// Tap node id.
+    pub tap_node: NodeId,
+    /// Live handle to the tap's captured frames (the IDS input).
+    pub tap: CollectorHandle,
+}
+
+impl Testbed {
+    /// Adds an extra node (attacker, extra client) to the segment.
+    pub fn add_node(
+        &mut self,
+        name: &str,
+        ip: Ipv4Addr,
+        link: LinkParams,
+        node: Box<dyn Node>,
+    ) -> NodeId {
+        let mut cfg = NodeConfig::new(name, ip).with_link(link);
+        // Attackers sniff the hub.
+        cfg = cfg.promiscuous();
+        self.sim.add_node(cfg, node)
+    }
+
+    /// Runs the simulation for a span.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Client A's event log.
+    pub fn a_events(&self) -> Vec<UaEvent> {
+        self.ua_events(self.a)
+    }
+
+    /// Client B's event log.
+    pub fn b_events(&self) -> Vec<UaEvent> {
+        self.ua_events(self.b)
+    }
+
+    /// Any UA's event log.
+    pub fn ua_events(&self, id: NodeId) -> Vec<UaEvent> {
+        self.sim
+            .node_as::<UserAgent>(id)
+            .map(|ua| ua.events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// A reference to a UA node.
+    pub fn ua(&self, id: NodeId) -> Option<&UserAgent> {
+        self.sim.node_as::<UserAgent>(id)
+    }
+
+    /// Proxy counters.
+    pub fn proxy_stats(&self) -> ProxyStats {
+        self.sim
+            .node_as::<Proxy>(self.proxy)
+            .map(|p| p.stats())
+            .unwrap_or_default()
+    }
+
+    /// The accounting server's call records.
+    pub fn cdrs(&self) -> Vec<crate::accounting::CallRecord> {
+        self.sim
+            .node_as::<AccountingServer>(self.acct)
+            .map(|a| a.records().to_vec())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::UaEventKind;
+    use crate::ua::RegState;
+
+    #[test]
+    fn registration_without_auth() {
+        let mut tb = TestbedBuilder::new(1)
+            .a_script(vec![ScriptStep::new(
+                SimDuration::from_millis(10),
+                UaAction::Register,
+            )])
+            .build();
+        tb.run_for(SimDuration::from_secs(2));
+        let ua = tb.ua(tb.a).unwrap();
+        assert_eq!(ua.reg_state(), RegState::Registered);
+        assert_eq!(tb.proxy_stats().registrations, 1);
+        assert_eq!(tb.proxy_stats().challenges, 0);
+    }
+
+    #[test]
+    fn registration_with_digest_challenge() {
+        let mut tb = TestbedBuilder::new(2)
+            .with_auth(&[("alice", "pw-a"), ("bob", "pw-b")])
+            .a_script(vec![ScriptStep::new(
+                SimDuration::from_millis(10),
+                UaAction::Register,
+            )])
+            .build();
+        tb.run_for(SimDuration::from_secs(2));
+        let ua = tb.ua(tb.a).unwrap();
+        assert_eq!(ua.reg_state(), RegState::Registered);
+        let stats = tb.proxy_stats();
+        assert_eq!(stats.challenges, 1);
+        assert_eq!(stats.registrations, 1);
+        assert_eq!(stats.auth_failures, 0);
+        assert!(tb
+            .a_events()
+            .iter()
+            .any(|e| e.kind == UaEventKind::RegisterChallenged));
+    }
+
+    #[test]
+    fn full_call_with_media_and_teardown() {
+        let mut tb = TestbedBuilder::new(3)
+            .standard_call(
+                SimDuration::from_millis(500),
+                Some(SimDuration::from_millis(3_000)),
+            )
+            .build();
+        tb.run_for(SimDuration::from_secs(5));
+
+        let a_events = tb.a_events();
+        let b_events = tb.b_events();
+        assert!(a_events
+            .iter()
+            .any(|e| matches!(e.kind, UaEventKind::CallEstablished { .. })));
+        assert!(b_events
+            .iter()
+            .any(|e| matches!(e.kind, UaEventKind::CallEstablished { .. })));
+        assert!(a_events
+            .iter()
+            .any(|e| matches!(e.kind, UaEventKind::MediaStarted { .. })));
+        assert!(b_events
+            .iter()
+            .any(|e| matches!(e.kind, UaEventKind::MediaStarted { .. })));
+        // A hung up: terminated locally; B sees remote teardown.
+        assert!(a_events.iter().any(
+            |e| matches!(&e.kind, UaEventKind::CallTerminated { by_remote: false, .. })
+        ));
+        assert!(b_events.iter().any(
+            |e| matches!(&e.kind, UaEventKind::CallTerminated { by_remote: true, .. })
+        ));
+        // Accounting: one record, closed.
+        let cdrs = tb.cdrs();
+        assert_eq!(cdrs.len(), 1);
+        assert_eq!(cdrs[0].caller, "alice@lab");
+        assert_eq!(cdrs[0].callee, "bob@lab");
+        assert!(cdrs[0].stopped.is_some());
+        // Media actually flowed both ways: ~2.5 s of 20 ms frames each.
+        let rtp_to_a = tb.sim.trace().filter_udp_port(tb.endpoints.a_rtp).len();
+        let rtp_to_b = tb.sim.trace().filter_udp_port(tb.endpoints.b_rtp).len();
+        assert!(rtp_to_a > 50, "rtp_to_a={rtp_to_a}");
+        assert!(rtp_to_b > 50, "rtp_to_b={rtp_to_b}");
+    }
+
+    #[test]
+    fn im_exchange() {
+        let ep = Endpoints::default();
+        let mut tb = TestbedBuilder::new(4)
+            .a_script(vec![ScriptStep::new(
+                SimDuration::from_millis(10),
+                UaAction::Register,
+            )])
+            .b_script(vec![
+                ScriptStep::new(SimDuration::from_millis(20), UaAction::Register),
+                ScriptStep::new(
+                    SimDuration::from_millis(500),
+                    UaAction::SendIm {
+                        to: ep.a_aor(),
+                        text: "hello alice".to_string(),
+                    },
+                ),
+            ])
+            .build();
+        tb.run_for(SimDuration::from_secs(2));
+        let ims: Vec<_> = tb
+            .a_events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                UaEventKind::ImReceived {
+                    claimed_from,
+                    src_ip,
+                    body,
+                } => Some((claimed_from.clone(), *src_ip, body.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ims.len(), 1);
+        assert_eq!(ims[0].0.aor(), "bob@lab");
+        // Routed via proxy, so the network source is the proxy's IP.
+        assert_eq!(ims[0].1, tb.endpoints.proxy_ip);
+        assert_eq!(ims[0].2, "hello alice");
+    }
+
+    #[test]
+    fn genuine_media_migration() {
+        let mut tb = TestbedBuilder::new(5)
+            .standard_call(SimDuration::from_millis(500), None)
+            .b_script(vec![ScriptStep::new(
+                SimDuration::from_millis(2_000),
+                UaAction::MigrateMedia { new_rtp_port: 9100 },
+            )])
+            .build();
+        tb.run_for(SimDuration::from_secs(4));
+        // A retargeted its outbound media to B's new port.
+        let retargets: Vec<_> = tb
+            .a_events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                UaEventKind::MediaRetargeted { port, .. } => Some(*port),
+                _ => None,
+            })
+            .collect();
+        assert!(retargets.contains(&9100), "retargets={retargets:?}");
+        // RTP flowed to the new port.
+        assert!(!tb.sim.trace().filter_udp_port(9100).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut tb = TestbedBuilder::new(seed)
+                .standard_call(
+                    SimDuration::from_millis(500),
+                    Some(SimDuration::from_millis(2_000)),
+                )
+                .build();
+            tb.run_for(SimDuration::from_secs(3));
+            tb.sim.trace().len()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}
+
+#[cfg(test)]
+mod ringing_tests {
+    use super::*;
+    use crate::events::UaEventKind;
+    use crate::ua::UaConfig;
+    use scidive_netsim::sim::{NodeConfig, Simulator};
+
+    /// Builds a testbed where B rings before answering.
+    fn ringing_testbed(seed: u64, ring_ms: u64, cancel_at: Option<u64>) -> Testbed {
+        let ep = Endpoints::default();
+        let mut sim = Simulator::new(seed);
+        let proxy = sim.add_node(
+            NodeConfig::new("proxy", ep.proxy_ip).with_link(LinkParams::lan()),
+            Box::new(crate::proxy::Proxy::new(
+                crate::proxy::ProxyConfig::new(ep.proxy_ip, ep.domain.clone())
+                    .with_accounting(ep.acct_ip),
+            )),
+        );
+        let acct = sim.add_node(
+            NodeConfig::new("acct", ep.acct_ip).with_link(LinkParams::lan()),
+            Box::new(AccountingServer::new()),
+        );
+        let mut a_script = vec![
+            ScriptStep::new(SimDuration::from_millis(10), UaAction::Register),
+            ScriptStep::new(
+                SimDuration::from_millis(500),
+                UaAction::Call { to: ep.b_aor() },
+            ),
+        ];
+        if let Some(at) = cancel_at {
+            a_script.push(ScriptStep::new(
+                SimDuration::from_millis(at),
+                UaAction::CancelCall,
+            ));
+        }
+        let a = sim.add_node(
+            NodeConfig::new("ua-a", ep.a_ip).with_link(LinkParams::lan()),
+            Box::new(UserAgent::new(
+                UaConfig::new(ep.a_aor(), ep.a_ip, ep.a_rtp, ep.proxy_ip),
+                a_script,
+            )),
+        );
+        let b = sim.add_node(
+            NodeConfig::new("ua-b", ep.b_ip).with_link(LinkParams::lan()),
+            Box::new(UserAgent::new(
+                UaConfig::new(ep.b_aor(), ep.b_ip, ep.b_rtp, ep.proxy_ip)
+                    .with_answer_delay(SimDuration::from_millis(ring_ms)),
+                vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)],
+            )),
+        );
+        let collector = Collector::new();
+        let tap = collector.handle();
+        let tap_node = sim.add_node(
+            NodeConfig::new("tap", ep.tap_ip)
+                .with_link(LinkParams::lan())
+                .promiscuous(),
+            Box::new(collector),
+        );
+        Testbed {
+            sim,
+            endpoints: ep,
+            proxy,
+            acct,
+            a,
+            b,
+            tap_node,
+            tap,
+        }
+    }
+
+    #[test]
+    fn ringing_call_answers_after_delay() {
+        let mut tb = ringing_testbed(901, 800, None);
+        tb.run_for(SimDuration::from_secs(4));
+        // The call established — after the ring delay, not before.
+        let established_at = tb
+            .a_events()
+            .iter()
+            .find_map(|e| {
+                matches!(e.kind, UaEventKind::CallEstablished { .. }).then_some(e.time)
+            })
+            .expect("call established");
+        assert!(
+            established_at >= scidive_netsim::time::SimTime::from_millis(1_300),
+            "answered at {established_at}, before the 800 ms ring"
+        );
+        // 180 Ringing was on the wire.
+        let ringing = tb
+            .sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.packet
+                    .decode_udp()
+                    .ok()
+                    .map(|u| u.payload.starts_with(b"SIP/2.0 180"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(ringing >= 1, "no 180 Ringing seen");
+    }
+
+    #[test]
+    fn cancel_during_ring_aborts_with_487() {
+        // A cancels at 700 ms, mid-ring (B would answer at ~1300 ms).
+        let mut tb = ringing_testbed(902, 800, Some(700));
+        tb.run_for(SimDuration::from_secs(4));
+        // No call established on either side.
+        assert!(!tb
+            .a_events()
+            .iter()
+            .any(|e| matches!(e.kind, UaEventKind::CallEstablished { .. })));
+        assert!(!tb.ua(tb.b).unwrap().has_active_call());
+        // The 487 travelled back.
+        let terminated = tb
+            .sim
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| {
+                r.packet
+                    .decode_udp()
+                    .ok()
+                    .map(|u| u.payload.starts_with(b"SIP/2.0 487"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(terminated >= 1, "no 487 Request Terminated seen");
+        // No media ever flowed.
+        assert!(tb.sim.trace().filter_udp_port(tb.endpoints.a_rtp).is_empty());
+        assert!(tb.sim.trace().filter_udp_port(tb.endpoints.b_rtp).is_empty());
+        // And no billing record was opened.
+        assert!(tb.cdrs().is_empty());
+    }
+}

@@ -1,0 +1,1333 @@
+//! The SIP user agent (softphone) node.
+//!
+//! Models the paper's clients (Kphone / Windows Messenger / X-Lite): it
+//! registers with the proxy (answering digest challenges), places and
+//! answers calls with SDP-negotiated G.711 media paced at 20 ms, handles
+//! in-dialog BYE and re-INVITE, supports instant messaging (MESSAGE), and
+//! — deliberately — carries the protocol-level vulnerabilities the four
+//! attacks exploit: it trusts any BYE/re-INVITE whose dialog identifiers
+//! match (they are sniffable on the hub) and accepts RTP addressed to its
+//! media port from anyone. A `fragile` agent crashes when garbage RTP
+//! disrupts its jitter buffer enough (the X-Lite behaviour); a robust one
+//! just glitches (the Messenger behaviour).
+
+use crate::events::{UaEvent, UaEventKind};
+use scidive_netsim::node::{Node, NodeCtx, TimerToken};
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimDuration;
+use scidive_rtp::buffer::JitterBuffer;
+use scidive_rtp::packet::RtpPacket;
+use scidive_rtp::rtcp::RtcpPacket;
+use scidive_rtp::source::{MediaSource, FRAME_PERIOD_MS};
+use scidive_sip::auth::{DigestChallenge, DigestCredentials};
+use scidive_sip::dialog::{Dialog, DialogState};
+use scidive_sip::header::{CSeq, HeaderName, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{response_to, RequestBuilder, SipMessage};
+use scidive_sip::sdp::SessionDescription;
+use scidive_sip::status::StatusCode;
+use scidive_sip::txn::{ClientTransaction, ClientTxnAction};
+use scidive_sip::uri::SipUri;
+use rand::RngCore;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Well-known SIP port.
+pub const SIP_PORT: u16 = 5060;
+
+/// Configuration of a user agent.
+#[derive(Debug, Clone)]
+pub struct UaConfig {
+    /// Address of record, e.g. `sip:alice@lab`.
+    pub aor: SipUri,
+    /// Our IP on the segment.
+    pub ip: Ipv4Addr,
+    /// SIP listening port.
+    pub sip_port: u16,
+    /// RTP listening port (RTCP is +1).
+    pub rtp_port: u16,
+    /// The outbound proxy / registrar.
+    pub proxy: Ipv4Addr,
+    /// Password for digest authentication, if we have an account.
+    pub password: Option<String>,
+    /// Answer incoming INVITEs automatically.
+    pub auto_answer: bool,
+    /// Ring for this long (sending 180 Ringing) before answering; `None`
+    /// answers immediately.
+    pub answer_delay: Option<SimDuration>,
+    /// Crash (like X-Lite) rather than glitch (like Messenger) when the
+    /// jitter buffer is disrupted `crash_threshold` times.
+    pub fragile: bool,
+    /// Disruptions tolerated before crashing/major glitching.
+    pub crash_threshold: u64,
+    /// REGISTER Expires value in seconds.
+    pub register_expires: u32,
+    /// Route in-dialog requests through the proxy (keeps accounting and
+    /// the IDS tap seeing the full signalling path).
+    pub route_via_proxy: bool,
+}
+
+impl UaConfig {
+    /// A standard client config with the given identity and addresses.
+    pub fn new(aor: SipUri, ip: Ipv4Addr, rtp_port: u16, proxy: Ipv4Addr) -> UaConfig {
+        UaConfig {
+            aor,
+            ip,
+            sip_port: SIP_PORT,
+            rtp_port,
+            proxy,
+            password: None,
+            auto_answer: true,
+            answer_delay: None,
+            fragile: false,
+            crash_threshold: 5,
+            register_expires: 3600,
+            route_via_proxy: true,
+        }
+    }
+
+    /// Sets the digest password (builder-style).
+    pub fn with_password(mut self, password: impl Into<String>) -> UaConfig {
+        self.password = Some(password.into());
+        self
+    }
+
+    /// Marks the client fragile (builder-style).
+    pub fn fragile(mut self) -> UaConfig {
+        self.fragile = true;
+        self
+    }
+
+    /// Rings for `delay` before answering calls (builder-style).
+    pub fn with_answer_delay(mut self, delay: SimDuration) -> UaConfig {
+        self.answer_delay = Some(delay);
+        self
+    }
+}
+
+/// A scripted action the agent performs at a scheduled time.
+#[derive(Debug, Clone)]
+pub enum UaAction {
+    /// Register with the proxy.
+    Register,
+    /// Call the given address-of-record.
+    Call {
+        /// Callee AOR.
+        to: SipUri,
+    },
+    /// Hang up the (first) active call.
+    HangUp,
+    /// Send an instant message.
+    SendIm {
+        /// Recipient AOR.
+        to: SipUri,
+        /// Message text.
+        text: String,
+    },
+    /// Genuine mobility: move our media endpoint to a new port via
+    /// re-INVITE, restarting the outbound stream from the new endpoint.
+    MigrateMedia {
+        /// The new RTP port.
+        new_rtp_port: u16,
+    },
+    /// Abort a call we placed that is still ringing (send CANCEL).
+    CancelCall,
+}
+
+/// One step of a UA script.
+#[derive(Debug, Clone)]
+pub struct ScriptStep {
+    /// Offset from simulation start.
+    pub at: SimDuration,
+    /// What to do.
+    pub action: UaAction,
+}
+
+impl ScriptStep {
+    /// Creates a step.
+    pub fn new(at: SimDuration, action: UaAction) -> ScriptStep {
+        ScriptStep { at, action }
+    }
+}
+
+/// Registration progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegState {
+    /// Not registered and not trying.
+    Idle,
+    /// REGISTER sent.
+    Pending,
+    /// Challenged; authenticated retry sent.
+    Answering,
+    /// Registered.
+    Registered,
+    /// Gave up.
+    Failed,
+}
+
+#[derive(Debug)]
+struct CallState {
+    dialog: Dialog,
+    /// Where we send RTP (peer's SDP target).
+    remote_media: Option<(Ipv4Addr, u16)>,
+    /// Our announced receive port for this call.
+    local_rtp_port: u16,
+    source: MediaSource,
+    media_active: bool,
+    established: bool,
+    /// The ACK we sent for the INVITE's 2xx, replayed if the peer
+    /// retransmits the 2xx (its copy of our ACK was lost).
+    last_ack: Option<SipMessage>,
+    /// UAS-side: our 2xx answer, retransmitted on a timer until the ACK
+    /// arrives (RFC 3261 §13.3.1.4).
+    pending_answer: Option<PendingAnswer>,
+    /// UAS-side: the INVITE we are still ringing on (180 sent, 200
+    /// pending), so a CANCEL can abort it and the ring timer can answer.
+    ringing_invite: Option<(SipMessage, Ipv4Addr)>,
+}
+
+#[derive(Debug)]
+struct PendingAnswer {
+    wire: bytes::Bytes,
+    dest: Ipv4Addr,
+    dest_port: u16,
+    interval_ms: u64,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct PendingTxn {
+    txn: ClientTransaction,
+    msg: SipMessage,
+    dest: Ipv4Addr,
+    dest_port: u16,
+    timer_id: u64,
+}
+
+const TOK_SCRIPT: u64 = 1;
+const TOK_MEDIA: u64 = 2;
+const TOK_TXN: u64 = 3;
+const TOK_ANSWER: u64 = 4;
+const TOK_RING: u64 = 5;
+
+fn token(kind: u64, payload: u64) -> TimerToken {
+    kind | (payload << 8)
+}
+
+/// The user-agent node.
+#[derive(Debug)]
+pub struct UserAgent {
+    config: UaConfig,
+    script: Vec<ScriptStep>,
+    reg_state: RegState,
+    reg_cseq: u32,
+    challenge: Option<DigestChallenge>,
+    calls: Vec<CallState>,
+    txns: HashMap<String, PendingTxn>,
+    txn_timers: HashMap<u64, String>,
+    next_txn_timer: u64,
+    jb: JitterBuffer,
+    crashed: bool,
+    events: Vec<UaEvent>,
+    counter: u64,
+    last_disruptions: u64,
+}
+
+impl UserAgent {
+    /// Creates an agent with a script of timed actions.
+    pub fn new(config: UaConfig, script: Vec<ScriptStep>) -> UserAgent {
+        UserAgent {
+            config,
+            script,
+            reg_state: RegState::Idle,
+            reg_cseq: 0,
+            challenge: None,
+            calls: Vec::new(),
+            txns: HashMap::new(),
+            txn_timers: HashMap::new(),
+            next_txn_timer: 0,
+            jb: JitterBuffer::new(64, 2),
+            crashed: false,
+            events: Vec::new(),
+            counter: 0,
+            last_disruptions: 0,
+        }
+    }
+
+    /// Everything this agent experienced.
+    pub fn events(&self) -> &[UaEvent] {
+        &self.events
+    }
+
+    /// Whether the client has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Registration state.
+    pub fn reg_state(&self) -> RegState {
+        self.reg_state
+    }
+
+    /// Jitter-buffer statistics (for QoS assertions).
+    pub fn buffer_stats(&self) -> scidive_rtp::buffer::BufferStats {
+        self.jb.stats()
+    }
+
+    /// Number of calls ever created (incl. terminated).
+    pub fn call_count(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether any call is currently confirmed with active media.
+    pub fn has_active_call(&self) -> bool {
+        self.calls
+            .iter()
+            .any(|c| c.dialog.state == DialogState::Confirmed)
+    }
+
+    fn username(&self) -> String {
+        self.config.aor.user.clone().unwrap_or_else(|| "anon".into())
+    }
+
+    fn next_id(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+
+    fn new_branch(&mut self) -> String {
+        format!("z9hG4bK-{}-{}", self.username(), self.next_id())
+    }
+
+    fn new_tag(&mut self) -> String {
+        format!("tag-{}-{}", self.username(), self.next_id())
+    }
+
+    fn sent_by(&self) -> String {
+        format!("{}:{}", self.config.ip, self.config.sip_port)
+    }
+
+    fn contact(&self) -> NameAddr {
+        NameAddr::new(
+            SipUri::new(self.username(), self.config.ip.to_string())
+                .with_port(self.config.sip_port),
+        )
+    }
+
+    fn push_event(&mut self, ctx: &NodeCtx<'_>, kind: UaEventKind) {
+        self.events.push(UaEvent::new(ctx.now(), kind));
+    }
+
+    /// Sends a request, registering a client transaction for
+    /// retransmission. Returns the branch.
+    fn send_tracked(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        msg: SipMessage,
+        dest: Ipv4Addr,
+        dest_port: u16,
+    ) -> String {
+        let branch = msg
+            .via_top()
+            .ok()
+            .and_then(|v| v.branch().map(str::to_string))
+            .unwrap_or_else(|| self.new_branch());
+        let method = msg.method().unwrap_or(Method::Options);
+        let txn = ClientTransaction::new(method, branch.clone());
+        let timer_id = self.next_txn_timer;
+        self.next_txn_timer += 1;
+        if let Some(delay) = txn.next_timer_ms() {
+            ctx.set_timer(SimDuration::from_millis(delay), token(TOK_TXN, timer_id));
+        }
+        ctx.send_udp(self.config.sip_port, dest, dest_port, msg.to_bytes());
+        self.txn_timers.insert(timer_id, branch.clone());
+        self.txns.insert(
+            branch.clone(),
+            PendingTxn {
+                txn,
+                msg,
+                dest,
+                dest_port,
+                timer_id,
+            },
+        );
+        branch
+    }
+
+    /// Sends a request without transaction tracking (ACK, responses).
+    fn send_untracked(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        msg: &SipMessage,
+        dest: Ipv4Addr,
+        dest_port: u16,
+    ) {
+        ctx.send_udp(self.config.sip_port, dest, dest_port, msg.to_bytes());
+    }
+
+    fn request_dest(&self, target: &SipUri) -> (Ipv4Addr, u16) {
+        if self.config.route_via_proxy {
+            (self.config.proxy, SIP_PORT)
+        } else {
+            (
+                target.host_ip().unwrap_or(self.config.proxy),
+                target.port_or_default(),
+            )
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scripted actions
+    // ------------------------------------------------------------------
+
+    fn do_register(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.reg_cseq += 1;
+        let tag = self.new_tag();
+        let branch = self.new_branch();
+        let registrar_uri = SipUri::host_only(self.config.aor.host.clone());
+        let mut b = RequestBuilder::new(Method::Register, registrar_uri.clone());
+        b.from(NameAddr::new(self.config.aor.clone()).with_tag(&tag))
+            .to(NameAddr::new(self.config.aor.clone()))
+            .call_id(format!("reg-{}@{}", self.username(), self.config.ip))
+            .cseq(CSeq::new(self.reg_cseq, Method::Register))
+            .via(Via::udp(self.sent_by(), &branch))
+            .contact(self.contact())
+            .expires(self.config.register_expires);
+        if let (Some(challenge), Some(password)) = (&self.challenge, &self.config.password) {
+            let creds = DigestCredentials::answer(
+                challenge,
+                &self.username(),
+                password,
+                Method::Register,
+                &registrar_uri.to_string(),
+            );
+            b.header(HeaderName::Authorization, creds.to_string());
+            self.reg_state = RegState::Answering;
+        } else {
+            self.reg_state = RegState::Pending;
+        }
+        let msg = b.build();
+        self.send_tracked(ctx, msg, self.config.proxy, SIP_PORT);
+    }
+
+    fn do_call(&mut self, ctx: &mut NodeCtx<'_>, to: SipUri) {
+        let tag = self.new_tag();
+        let branch = self.new_branch();
+        let call_id = format!("call-{}-{}@{}", self.username(), self.next_id(), self.config.ip);
+        let sdp = SessionDescription::audio_offer(
+            self.username(),
+            self.config.ip,
+            self.config.rtp_port,
+        );
+        let mut b = RequestBuilder::new(Method::Invite, to.clone());
+        b.from(NameAddr::new(self.config.aor.clone()).with_tag(&tag))
+            .to(NameAddr::new(to.clone()))
+            .call_id(&call_id)
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp(self.sent_by(), &branch))
+            .contact(self.contact())
+            .body("application/sdp", sdp.to_string());
+        let invite = b.build();
+        let dialog = Dialog::uac_from_invite(&invite).expect("invite is dialog-forming");
+        let ssrc = ctx.rng().next_u32();
+        let first_seq = ctx.rng().range(0, 30_000) as u16;
+        self.calls.push(CallState {
+            dialog,
+            remote_media: None,
+            local_rtp_port: self.config.rtp_port,
+            source: MediaSource::new(ssrc, first_seq, 0),
+            media_active: false,
+            established: false,
+            last_ack: None,
+            pending_answer: None,
+            ringing_invite: None,
+        });
+        let (dest, port) = self.request_dest(&to);
+        self.send_tracked(ctx, invite, dest, port);
+    }
+
+    fn do_hangup(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(idx) = self
+            .calls
+            .iter()
+            .position(|c| c.dialog.state == DialogState::Confirmed)
+        else {
+            return;
+        };
+        // Stop media *before* the BYE leaves, as a well-behaved client
+        // does; the §4.3 false-alarm race is then only network reordering.
+        self.stop_media(ctx, idx);
+        let branch = self.new_branch();
+        let sent_by = self.sent_by();
+        let call = &mut self.calls[idx];
+        call.dialog.terminate();
+        let bye = call.dialog.make_request(Method::Bye, &sent_by, &branch);
+        let call_id = call.dialog.call_id.clone();
+        let target = call.dialog.remote_target.clone();
+        let (dest, port) = self.request_dest(&target);
+        self.send_tracked(ctx, bye, dest, port);
+        self.push_event(
+            ctx,
+            UaEventKind::CallTerminated {
+                call_id,
+                by_remote: false,
+            },
+        );
+    }
+
+    /// Cancels our still-unanswered outgoing INVITE.
+    fn do_cancel(&mut self, ctx: &mut NodeCtx<'_>) {
+        // The INVITE is still in our transaction table while unanswered.
+        let Some((_, pending)) = self
+            .txns
+            .iter()
+            .find(|(_, p)| p.msg.method() == Some(Method::Invite) && p.txn.is_active())
+        else {
+            return;
+        };
+        let invite = pending.msg.clone();
+        let dest = pending.dest;
+        let dest_port = pending.dest_port;
+        // CANCEL copies the INVITE's identifiers including the Via
+        // branch, so it matches the INVITE transaction (RFC 3261 §9.1).
+        let mut cancel = RequestBuilder::new(
+            Method::Cancel,
+            invite.request_uri().expect("invite has uri").clone(),
+        );
+        for name in [HeaderName::From, HeaderName::To, HeaderName::CallId, HeaderName::Via] {
+            if let Some(v) = invite.headers.get(&name) {
+                cancel.header(name, v);
+            }
+        }
+        if let Ok(cseq) = invite.cseq() {
+            cancel.cseq(CSeq::new(cseq.seq, Method::Cancel));
+        }
+        let msg = cancel.build();
+        self.send_untracked(ctx, &msg, dest, dest_port);
+    }
+
+    fn do_send_im(&mut self, ctx: &mut NodeCtx<'_>, to: SipUri, text: String) {
+        let tag = self.new_tag();
+        let branch = self.new_branch();
+        let mut b = RequestBuilder::new(Method::Message, to.clone());
+        b.from(NameAddr::new(self.config.aor.clone()).with_tag(&tag))
+            .to(NameAddr::new(to.clone()))
+            .call_id(format!("im-{}-{}@{}", self.username(), self.next_id(), self.config.ip))
+            .cseq(CSeq::new(1, Method::Message))
+            .via(Via::udp(self.sent_by(), &branch))
+            .body("text/plain", text);
+        let msg = b.build();
+        let (dest, port) = self.request_dest(&to);
+        self.send_tracked(ctx, msg, dest, port);
+    }
+
+    fn do_migrate(&mut self, ctx: &mut NodeCtx<'_>, new_rtp_port: u16) {
+        let Some(idx) = self
+            .calls
+            .iter()
+            .position(|c| c.dialog.state == DialogState::Confirmed)
+        else {
+            return;
+        };
+        // The endpoint "moves": the old media source stops, a fresh one
+        // (new SSRC, new source port) starts, and the peer is told via
+        // re-INVITE where to send from now on.
+        let ssrc = ctx.rng().next_u32();
+        let first_seq = ctx.rng().range(0, 30_000) as u16;
+        let branch = self.new_branch();
+        let sent_by = self.sent_by();
+        let username = self.username();
+        let ip = self.config.ip;
+        let call = &mut self.calls[idx];
+        call.local_rtp_port = new_rtp_port;
+        call.source = MediaSource::new(ssrc, first_seq, 0);
+        let mut reinvite = call.dialog.make_request(Method::Invite, &sent_by, &branch);
+        let sdp = SessionDescription::audio_offer(username, ip, new_rtp_port);
+        reinvite
+            .headers
+            .set(HeaderName::ContentType, "application/sdp");
+        reinvite.body = sdp.to_string().into();
+        let call_id = call.dialog.call_id.clone();
+        let target = call.dialog.remote_target.clone();
+        let (dest, port) = self.request_dest(&target);
+        self.send_tracked(ctx, reinvite, dest, port);
+        let (t, p) = self.calls[idx].remote_media.unwrap_or((ip, 0));
+        self.push_event(ctx, UaEventKind::MediaRetargeted { call_id, target: t, port: p });
+    }
+
+    // ------------------------------------------------------------------
+    // Media
+    // ------------------------------------------------------------------
+
+    fn start_media(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let call = &mut self.calls[idx];
+        if call.media_active || call.remote_media.is_none() {
+            return;
+        }
+        call.media_active = true;
+        let (target, port) = call.remote_media.expect("checked above");
+        let call_id = call.dialog.call_id.clone();
+        self.push_event(ctx, UaEventKind::MediaStarted { call_id, target, port });
+        ctx.set_timer(SimDuration::ZERO, token(TOK_MEDIA, idx as u64));
+    }
+
+    fn stop_media(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let call = &mut self.calls[idx];
+        if !call.media_active {
+            return;
+        }
+        call.media_active = false;
+        // RTCP BYE: the source announces it is leaving the session.
+        if let Some((target, port)) = call.remote_media {
+            let bye = RtcpPacket::Bye {
+                ssrcs: vec![call.source.ssrc()],
+            };
+            let src_port = call.local_rtp_port;
+            ctx.send_udp(src_port + 1, target, port + 1, bye.encode());
+        }
+        let call_id = call.dialog.call_id.clone();
+        self.push_event(ctx, UaEventKind::MediaStopped { call_id });
+    }
+
+    fn media_tick(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        if self.crashed {
+            return;
+        }
+        let Some(call) = self.calls.get_mut(idx) else {
+            return;
+        };
+        if !call.media_active || call.dialog.state != DialogState::Confirmed {
+            return;
+        }
+        let Some((target, port)) = call.remote_media else {
+            return;
+        };
+        let pkt = call.source.next_packet();
+        let src_port = call.local_rtp_port;
+        ctx.send_udp(src_port, target, port, pkt.encode());
+        // RTCP sender report every 50 frames (~1 s), on the RTP port + 1
+        // as RFC 3550 prescribes.
+        let sent = call.source.sent();
+        if sent % 50 == 0 {
+            let sr = RtcpPacket::SenderReport {
+                ssrc: call.source.ssrc(),
+                rtp_timestamp: (sent as u32).wrapping_mul(160),
+                packet_count: sent as u32,
+                octet_count: (sent as u32).wrapping_mul(160),
+                reports: Vec::new(),
+            };
+            ctx.send_udp(src_port + 1, target, port + 1, sr.encode());
+        }
+        ctx.set_timer(
+            SimDuration::from_millis(FRAME_PERIOD_MS),
+            token(TOK_MEDIA, idx as u64),
+        );
+    }
+
+    fn on_rtp(&mut self, ctx: &mut NodeCtx<'_>, payload: &[u8]) {
+        match RtpPacket::decode(payload) {
+            Ok(pkt) => {
+                self.jb.insert(pkt);
+            }
+            Err(_) => self.jb.record_undecodable(),
+        }
+        // Drain at most one frame per arrival (paced playout stand-in).
+        let _ = self.jb.pop_ready();
+        let disruptions = self.jb.stats().disruptions;
+        if disruptions > self.last_disruptions {
+            self.last_disruptions = disruptions;
+            self.push_event(ctx, UaEventKind::RtpDisruption { total: disruptions });
+            if disruptions >= self.config.crash_threshold && self.config.fragile {
+                self.crashed = true;
+                self.push_event(
+                    ctx,
+                    UaEventKind::Crashed {
+                        reason: format!("jitter buffer corrupted ({disruptions} disruptions)"),
+                    },
+                );
+                for idx in 0..self.calls.len() {
+                    self.stop_media(ctx, idx);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SIP handling
+    // ------------------------------------------------------------------
+
+    fn respond(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        req: &SipMessage,
+        src_ip: Ipv4Addr,
+        code: StatusCode,
+        to_tag: Option<&str>,
+        body: Option<(&str, String)>,
+    ) -> (SipMessage, Ipv4Addr, u16) {
+        let mut resp = response_to(req, code, to_tag);
+        if code.is_success() && req.method() != Some(Method::Register) {
+            resp.headers
+                .set(HeaderName::Contact, self.contact().to_string());
+        }
+        if let Some((ctype, body_text)) = body {
+            resp.headers.set(HeaderName::ContentType, ctype);
+            resp.body = body_text.into_bytes().into();
+        }
+        let (dest, port) = via_return_addr(req).unwrap_or((src_ip, SIP_PORT));
+        self.send_untracked(ctx, &resp, dest, port);
+        (resp, dest, port)
+    }
+
+    fn on_sip_request(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage, src_ip: Ipv4Addr) {
+        match req.method().expect("caller checked is_request") {
+            Method::Invite => self.on_invite(ctx, req, src_ip),
+            Method::Ack => self.on_ack(ctx, req),
+            Method::Bye => self.on_bye(ctx, req, src_ip),
+            Method::Message => self.on_message(ctx, req, src_ip),
+            Method::Cancel => self.on_cancel(ctx, req, src_ip),
+            Method::Options | Method::Info => {
+                self.respond(ctx, &req, src_ip, StatusCode::OK, None, None);
+            }
+            Method::Register => {
+                // We are not a registrar.
+                self.respond(ctx, &req, src_ip, StatusCode::NOT_FOUND, None, None);
+            }
+        }
+    }
+
+    fn on_invite(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage, src_ip: Ipv4Addr) {
+        let Ok(call_id) = req.call_id().map(str::to_string) else {
+            self.respond(ctx, &req, src_ip, StatusCode::BAD_REQUEST, None, None);
+            return;
+        };
+        let sdp: Option<SessionDescription> = std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|s| s.parse().ok());
+        if let Some(idx) = self.calls.iter().position(|c| c.dialog.call_id == call_id) {
+            // Retransmission of an INVITE we already answered (the
+            // response or ACK was lost): replay our answer.
+            let incoming_cseq = req.cseq().map(|c| c.seq).ok();
+            if incoming_cseq.is_some() && incoming_cseq == self.calls[idx].dialog.remote_cseq {
+                let local_tag = self.calls[idx].dialog.local_tag.clone();
+                if self.calls[idx].ringing_invite.is_some() {
+                    // Still ringing: just repeat the provisional.
+                    self.respond(ctx, &req, src_ip, StatusCode::RINGING, Some(&local_tag), None);
+                    return;
+                }
+                let answer = SessionDescription::audio_offer(
+                    self.username(),
+                    self.config.ip,
+                    self.calls[idx].local_rtp_port,
+                );
+                self.respond(
+                    ctx,
+                    &req,
+                    src_ip,
+                    StatusCode::OK,
+                    Some(&local_tag),
+                    Some(("application/sdp", answer.to_string())),
+                );
+                return;
+            }
+            // Re-INVITE (vulnerable path: no authentication beyond the
+            // dialog identifiers, which are sniffable on the hub).
+            let cseq_ok = req
+                .cseq()
+                .map(|c| self.calls[idx].dialog.accept_remote_cseq(c.seq))
+                .unwrap_or(false);
+            if !cseq_ok {
+                self.respond(ctx, &req, src_ip, StatusCode::BAD_REQUEST, None, None);
+                return;
+            }
+            if let Some(sdp) = sdp {
+                if let Some(target) = sdp.rtp_target() {
+                    self.calls[idx].remote_media = Some(target);
+                    let call_id = call_id.clone();
+                    self.push_event(
+                        ctx,
+                        UaEventKind::MediaRetargeted {
+                            call_id,
+                            target: target.0,
+                            port: target.1,
+                        },
+                    );
+                }
+            }
+            let answer = SessionDescription::audio_offer(
+                self.username(),
+                self.config.ip,
+                self.calls[idx].local_rtp_port,
+            );
+            let local_tag = self.calls[idx].dialog.local_tag.clone();
+            self.respond(
+                ctx,
+                &req,
+                src_ip,
+                StatusCode::OK,
+                Some(&local_tag),
+                Some(("application/sdp", answer.to_string())),
+            );
+            return;
+        }
+        // New call.
+        let Ok(from) = req.from_() else {
+            self.respond(ctx, &req, src_ip, StatusCode::BAD_REQUEST, None, None);
+            return;
+        };
+        self.push_event(
+            ctx,
+            UaEventKind::IncomingCall {
+                from: from.uri.clone(),
+                call_id: call_id.clone(),
+            },
+        );
+        if !self.config.auto_answer {
+            self.respond(ctx, &req, src_ip, StatusCode::BUSY_HERE, None, None);
+            return;
+        }
+        let tag = self.new_tag();
+        let Ok(dialog) = Dialog::uas_from_invite(&req, &tag) else {
+            self.respond(ctx, &req, src_ip, StatusCode::BAD_REQUEST, None, None);
+            return;
+        };
+        let ssrc = ctx.rng().next_u32();
+        let first_seq = ctx.rng().range(0, 30_000) as u16;
+        self.calls.push(CallState {
+            dialog,
+            remote_media: sdp.as_ref().and_then(|s| s.rtp_target()),
+            local_rtp_port: self.config.rtp_port,
+            source: MediaSource::new(ssrc, first_seq, 0),
+            media_active: false,
+            established: false,
+            last_ack: None,
+            pending_answer: None,
+            ringing_invite: None,
+        });
+        let idx = self.calls.len() - 1;
+        match self.config.answer_delay {
+            Some(delay) => {
+                // Ring first; the timer answers (unless CANCELled).
+                let local_tag = self.calls[idx].dialog.local_tag.clone();
+                self.respond(ctx, &req, src_ip, StatusCode::RINGING, Some(&local_tag), None);
+                self.calls[idx].ringing_invite = Some((req, src_ip));
+                ctx.set_timer(delay, token(TOK_RING, idx as u64));
+            }
+            None => self.answer_invite(ctx, &req, src_ip, idx),
+        }
+    }
+
+    /// UAS: sends the 200 + SDP answer for `req` and arms the 2xx
+    /// retransmission timer.
+    fn answer_invite(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        req: &SipMessage,
+        src_ip: Ipv4Addr,
+        idx: usize,
+    ) {
+        let tag = self.calls[idx].dialog.local_tag.clone();
+        let answer = SessionDescription::audio_offer(
+            self.username(),
+            self.config.ip,
+            self.config.rtp_port,
+        );
+        let (resp, dest, port) = self.respond(
+            ctx,
+            req,
+            src_ip,
+            StatusCode::OK,
+            Some(&tag),
+            Some(("application/sdp", answer.to_string())),
+        );
+        // Retransmit the 2xx until the ACK arrives.
+        self.calls[idx].pending_answer = Some(PendingAnswer {
+            wire: resp.to_bytes(),
+            dest,
+            dest_port: port,
+            interval_ms: scidive_sip::txn::T1_MS,
+            retries: 0,
+        });
+        ctx.set_timer(
+            SimDuration::from_millis(scidive_sip::txn::T1_MS),
+            token(TOK_ANSWER, idx as u64),
+        );
+    }
+
+    /// The ring timer fired: answer the pending INVITE if not CANCELled.
+    fn on_ring_timer(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let Some(call) = self.calls.get_mut(idx) else {
+            return;
+        };
+        let Some((req, src_ip)) = call.ringing_invite.take() else {
+            return; // answered or cancelled
+        };
+        if call.dialog.state == DialogState::Terminated {
+            return;
+        }
+        self.answer_invite(ctx, &req, src_ip, idx);
+    }
+
+    /// Handles CANCEL: aborts a still-ringing INVITE with 487.
+    fn on_cancel(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage, src_ip: Ipv4Addr) {
+        // 200 for the CANCEL itself.
+        self.respond(ctx, &req, src_ip, StatusCode::OK, None, None);
+        let Ok(call_id) = req.call_id().map(str::to_string) else {
+            return;
+        };
+        let Some(idx) = self.calls.iter().position(|c| c.dialog.call_id == call_id) else {
+            return;
+        };
+        if let Some((invite, invite_src)) = self.calls[idx].ringing_invite.take() {
+            let tag = self.calls[idx].dialog.local_tag.clone();
+            self.calls[idx].dialog.terminate();
+            // 487 Request Terminated for the cancelled INVITE.
+            self.respond(
+                ctx,
+                &invite,
+                invite_src,
+                StatusCode::REQUEST_TERMINATED,
+                Some(&tag),
+                None,
+            );
+            let call_id = self.calls[idx].dialog.call_id.clone();
+            self.push_event(
+                ctx,
+                UaEventKind::CallTerminated {
+                    call_id,
+                    by_remote: true,
+                },
+            );
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage) {
+        let Ok(call_id) = req.call_id().map(str::to_string) else {
+            return;
+        };
+        if let Some(idx) = self.calls.iter().position(|c| c.dialog.call_id == call_id) {
+            let newly = !self.calls[idx].established;
+            self.calls[idx].established = true;
+            self.calls[idx].pending_answer = None;
+            self.calls[idx].dialog.confirm();
+            if newly {
+                let peer = self.calls[idx].dialog.remote_uri.clone();
+                self.push_event(
+                    ctx,
+                    UaEventKind::CallEstablished {
+                        call_id: call_id.clone(),
+                        peer,
+                    },
+                );
+            }
+            self.start_media(ctx, idx);
+        }
+    }
+
+    fn on_bye(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage, src_ip: Ipv4Addr) {
+        let matching = self.calls.iter().position(|c| c.dialog.matches(&req));
+        match matching {
+            Some(idx) => {
+                self.stop_media(ctx, idx);
+                self.calls[idx].dialog.terminate();
+                let call_id = self.calls[idx].dialog.call_id.clone();
+                let local_tag = self.calls[idx].dialog.local_tag.clone();
+                self.respond(ctx, &req, src_ip, StatusCode::OK, Some(&local_tag), None);
+                self.push_event(
+                    ctx,
+                    UaEventKind::CallTerminated {
+                        call_id,
+                        by_remote: true,
+                    },
+                );
+            }
+            None => {
+                self.respond(
+                    ctx,
+                    &req,
+                    src_ip,
+                    StatusCode::CALL_DOES_NOT_EXIST,
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, req: SipMessage, src_ip: Ipv4Addr) {
+        let claimed_from = req
+            .from_()
+            .map(|f| f.uri)
+            .unwrap_or_else(|_| SipUri::host_only("unknown"));
+        let body = String::from_utf8_lossy(&req.body).to_string();
+        self.push_event(
+            ctx,
+            UaEventKind::ImReceived {
+                claimed_from,
+                src_ip,
+                body,
+            },
+        );
+        let tag = self.new_tag();
+        self.respond(ctx, &req, src_ip, StatusCode::OK, Some(&tag), None);
+    }
+
+    fn on_sip_response(&mut self, ctx: &mut NodeCtx<'_>, resp: SipMessage) {
+        let Some(branch) = resp
+            .via_top()
+            .ok()
+            .and_then(|v| v.branch().map(str::to_string))
+        else {
+            return;
+        };
+        let Some(pending) = self.txns.get_mut(&branch) else {
+            // A retransmitted 2xx to an INVITE whose transaction we
+            // already completed: the peer did not get our ACK — resend it.
+            self.maybe_reack(ctx, &resp);
+            return;
+        };
+        let Some(code) = resp.status() else {
+            return;
+        };
+        pending.txn.on_response(code);
+        let method = pending.txn.method();
+        if code.is_provisional() {
+            return;
+        }
+        let original = pending.msg.clone();
+        self.txn_timers.remove(&pending.timer_id);
+        self.txns.remove(&branch);
+        match method {
+            Method::Register => self.on_register_response(ctx, code, resp),
+            Method::Invite => self.on_invite_response(ctx, code, resp, original),
+            _ => {}
+        }
+    }
+
+    /// Replays the stored ACK when the peer retransmits a 2xx-to-INVITE.
+    fn maybe_reack(&mut self, ctx: &mut NodeCtx<'_>, resp: &SipMessage) {
+        let is_invite_2xx = resp.status().map(|s| s.is_success()).unwrap_or(false)
+            && resp.cseq().map(|c| c.method == Method::Invite).unwrap_or(false);
+        if !is_invite_2xx {
+            return;
+        }
+        let Ok(call_id) = resp.call_id().map(str::to_string) else {
+            return;
+        };
+        let Some(idx) = self.calls.iter().position(|c| c.dialog.call_id == call_id) else {
+            return;
+        };
+        let Some(ack) = self.calls[idx].last_ack.clone() else {
+            return;
+        };
+        let target = self.calls[idx].dialog.remote_target.clone();
+        let (dest, port) = self.request_dest(&target);
+        self.send_untracked(ctx, &ack, dest, port);
+    }
+
+    fn on_register_response(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        code: StatusCode,
+        resp: SipMessage,
+    ) {
+        if code == StatusCode::UNAUTHORIZED {
+            let challenge = resp
+                .headers
+                .get(&HeaderName::WwwAuthenticate)
+                .and_then(|v| DigestChallenge::parse(v).ok());
+            match (challenge, self.reg_state, self.config.password.is_some()) {
+                (Some(ch), RegState::Pending, true) => {
+                    self.challenge = Some(ch);
+                    self.push_event(ctx, UaEventKind::RegisterChallenged);
+                    self.do_register(ctx);
+                }
+                _ => {
+                    self.reg_state = RegState::Failed;
+                    self.push_event(ctx, UaEventKind::RegisterFailed { code: code.code() });
+                }
+            }
+        } else if code.is_success() {
+            self.reg_state = RegState::Registered;
+            self.push_event(ctx, UaEventKind::Registered);
+        } else if code.is_final() {
+            self.reg_state = RegState::Failed;
+            self.push_event(ctx, UaEventKind::RegisterFailed { code: code.code() });
+        }
+    }
+
+    fn on_invite_response(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        code: StatusCode,
+        resp: SipMessage,
+        original: SipMessage,
+    ) {
+        let Ok(call_id) = resp.call_id().map(str::to_string) else {
+            return;
+        };
+        let Some(idx) = self.calls.iter().position(|c| c.dialog.call_id == call_id) else {
+            return;
+        };
+        let was_confirmed = self.calls[idx].dialog.state == DialogState::Confirmed;
+        self.calls[idx].dialog.on_invite_response(&resp);
+        if code.is_success() {
+            if let Some(sdp) = std::str::from_utf8(&resp.body)
+                .ok()
+                .and_then(|s| s.parse::<SessionDescription>().ok())
+            {
+                self.calls[idx].remote_media = sdp.rtp_target();
+            }
+            // ACK mirrors the INVITE's CSeq number with method ACK.
+            let ack = self.build_ack(&original, &resp, idx);
+            let target = self.calls[idx].dialog.remote_target.clone();
+            let (dest, port) = self.request_dest(&target);
+            self.send_untracked(ctx, &ack, dest, port);
+            self.calls[idx].last_ack = Some(ack);
+            if !was_confirmed {
+                let peer = self.calls[idx].dialog.remote_uri.clone();
+                self.push_event(
+                    ctx,
+                    UaEventKind::CallEstablished {
+                        call_id: call_id.clone(),
+                        peer,
+                    },
+                );
+            }
+            self.calls[idx].established = true;
+            self.start_media(ctx, idx);
+        } else if code.is_final() && !was_confirmed {
+            self.calls[idx].dialog.terminate();
+            self.push_event(
+                ctx,
+                UaEventKind::CallTerminated {
+                    call_id,
+                    by_remote: true,
+                },
+            );
+        }
+    }
+
+    fn build_ack(&mut self, invite: &SipMessage, resp: &SipMessage, idx: usize) -> SipMessage {
+        let branch = self.new_branch();
+        let call = &self.calls[idx];
+        let mut b = RequestBuilder::new(Method::Ack, call.dialog.remote_target.clone());
+        if let Some(from) = invite.headers.get(&HeaderName::From) {
+            b.header(HeaderName::From, from);
+        }
+        if let Some(to) = resp.headers.get(&HeaderName::To) {
+            b.header(HeaderName::To, to);
+        }
+        b.call_id(call.dialog.call_id.clone());
+        if let Ok(cseq) = invite.cseq() {
+            b.cseq(CSeq::new(cseq.seq, Method::Ack));
+        }
+        b.via(Via::udp(self.sent_by(), &branch));
+        b.build()
+    }
+
+    /// Retransmits our 2xx answer until the ACK arrives (cap 7 tries).
+    fn on_answer_timer(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let Some(call) = self.calls.get_mut(idx) else {
+            return;
+        };
+        if call.established {
+            call.pending_answer = None;
+            return;
+        }
+        let Some(answer) = &mut call.pending_answer else {
+            return;
+        };
+        if answer.retries >= 7 {
+            call.pending_answer = None;
+            return;
+        }
+        answer.retries += 1;
+        answer.interval_ms = (answer.interval_ms * 2).min(scidive_sip::txn::T2_MS);
+        let wire = answer.wire.clone();
+        let dest = answer.dest;
+        let dest_port = answer.dest_port;
+        let next = answer.interval_ms;
+        ctx.send_udp(self.config.sip_port, dest, dest_port, wire);
+        ctx.set_timer(SimDuration::from_millis(next), token(TOK_ANSWER, idx as u64));
+    }
+
+    fn on_txn_timer(&mut self, ctx: &mut NodeCtx<'_>, timer_id: u64) {
+        let Some(branch) = self.txn_timers.get(&timer_id).cloned() else {
+            return;
+        };
+        let Some(pending) = self.txns.get_mut(&branch) else {
+            return;
+        };
+        let Some(waited) = pending.txn.next_timer_ms() else {
+            return;
+        };
+        match pending.txn.on_timer(waited) {
+            ClientTxnAction::Retransmit { next_in_ms } => {
+                let wire = pending.msg.to_bytes();
+                let dest = pending.dest;
+                let dest_port = pending.dest_port;
+                ctx.send_udp(self.config.sip_port, dest, dest_port, wire);
+                ctx.set_timer(SimDuration::from_millis(next_in_ms), token(TOK_TXN, timer_id));
+            }
+            ClientTxnAction::Rearm { next_in_ms } => {
+                ctx.set_timer(SimDuration::from_millis(next_in_ms), token(TOK_TXN, timer_id));
+            }
+            ClientTxnAction::TimedOut => {
+                let method = pending.txn.method();
+                self.txns.remove(&branch);
+                self.txn_timers.remove(&timer_id);
+                if method == Method::Register {
+                    self.reg_state = RegState::Failed;
+                    self.push_event(ctx, UaEventKind::RegisterFailed { code: 408 });
+                }
+            }
+            ClientTxnAction::Idle => {
+                self.txns.remove(&branch);
+                self.txn_timers.remove(&timer_id);
+            }
+        }
+    }
+}
+
+/// Extracts the return address from the topmost Via of a request.
+fn via_return_addr(req: &SipMessage) -> Option<(Ipv4Addr, u16)> {
+    let via = req.via_top().ok()?;
+    let (host, port) = match via.sent_by.split_once(':') {
+        Some((h, p)) => (h, p.parse().ok()?),
+        None => (via.sent_by.as_str(), SIP_PORT),
+    };
+    Some((host.parse().ok()?, port))
+}
+
+impl Node for UserAgent {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for (idx, step) in self.script.iter().enumerate() {
+            ctx.set_timer(step.at, token(TOK_SCRIPT, idx as u64));
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: IpPacket) {
+        if self.crashed {
+            return;
+        }
+        // Host semantics: even if the NIC is in promiscuous mode (the
+        // segment is a hub), the application only sees traffic addressed
+        // to this host.
+        if pkt.dst != self.config.ip {
+            return;
+        }
+        let Ok(udp) = pkt.decode_udp() else {
+            return;
+        };
+        if udp.dst_port == self.config.sip_port {
+            match SipMessage::parse(&udp.payload) {
+                Ok(msg) if msg.is_request() => self.on_sip_request(ctx, msg, pkt.src),
+                Ok(msg) => self.on_sip_response(ctx, msg),
+                Err(_) => {} // not parseable as SIP; drop
+            }
+        } else if self.calls.iter().any(|c| udp.dst_port == c.local_rtp_port)
+            || udp.dst_port == self.config.rtp_port
+        {
+            self.on_rtp(ctx, &udp.payload);
+        }
+        // RTCP (rtp_port + 1) and everything else: ignored by the client.
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tok: TimerToken) {
+        if self.crashed {
+            return;
+        }
+        let kind = tok & 0xff;
+        let payload = tok >> 8;
+        match kind {
+            TOK_SCRIPT => {
+                if let Some(step) = self.script.get(payload as usize).cloned() {
+                    match step.action {
+                        UaAction::Register => self.do_register(ctx),
+                        UaAction::Call { to } => self.do_call(ctx, to),
+                        UaAction::HangUp => self.do_hangup(ctx),
+                        UaAction::SendIm { to, text } => self.do_send_im(ctx, to, text),
+                        UaAction::MigrateMedia { new_rtp_port } => {
+                            self.do_migrate(ctx, new_rtp_port)
+                        }
+                        UaAction::CancelCall => self.do_cancel(ctx),
+                    }
+                }
+            }
+            TOK_MEDIA => self.media_tick(ctx, payload as usize),
+            TOK_TXN => self.on_txn_timer(ctx, payload),
+            TOK_ANSWER => self.on_answer_timer(ctx, payload as usize),
+            TOK_RING => self.on_ring_timer(ctx, payload as usize),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = UaConfig::new(
+            "sip:alice@lab".parse().unwrap(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            8000,
+            Ipv4Addr::new(10, 0, 0, 1),
+        )
+        .with_password("pw")
+        .fragile();
+        assert_eq!(cfg.password.as_deref(), Some("pw"));
+        assert!(cfg.fragile);
+        assert_eq!(cfg.sip_port, SIP_PORT);
+    }
+
+    #[test]
+    fn via_return_addr_parses() {
+        let mut b = RequestBuilder::new(Method::Options, "sip:x@10.0.0.9".parse().unwrap());
+        b.via(Via::udp("10.0.0.7:5062", "z9hG4bK1"));
+        assert_eq!(
+            via_return_addr(&b.build()),
+            Some((Ipv4Addr::new(10, 0, 0, 7), 5062))
+        );
+        let mut b2 = RequestBuilder::new(Method::Options, "sip:x@10.0.0.9".parse().unwrap());
+        b2.via(Via::udp("10.0.0.7", "z9hG4bK1"));
+        assert_eq!(
+            via_return_addr(&b2.build()),
+            Some((Ipv4Addr::new(10, 0, 0, 7), SIP_PORT))
+        );
+    }
+
+    #[test]
+    fn token_packing() {
+        let t = token(TOK_MEDIA, 7);
+        assert_eq!(t & 0xff, TOK_MEDIA);
+        assert_eq!(t >> 8, 7);
+    }
+
+    #[test]
+    fn ua_accessors_before_start() {
+        let cfg = UaConfig::new(
+            "sip:alice@lab".parse().unwrap(),
+            Ipv4Addr::new(10, 0, 0, 2),
+            8000,
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let ua = UserAgent::new(cfg, vec![]);
+        assert_eq!(ua.reg_state(), RegState::Idle);
+        assert!(!ua.is_crashed());
+        assert!(!ua.has_active_call());
+        assert_eq!(ua.call_count(), 0);
+        assert!(ua.events().is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Proxy/registrar behaviours exercised at scenario level.
+
+use scidive_netsim::link::LinkParams;
+use scidive_netsim::time::SimDuration;
+use scidive_voip::events::UaEventKind;
+use scidive_voip::prelude::*;
+
+#[test]
+fn call_to_unregistered_callee_fails_with_404() {
+    // B never registers: A's INVITE gets 404 and the call dies cleanly.
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(801)
+        .a_script(vec![
+            ScriptStep::new(SimDuration::from_millis(10), UaAction::Register),
+            ScriptStep::new(SimDuration::from_millis(500), UaAction::Call { to: ep.b_aor() }),
+        ])
+        .build();
+    tb.run_for(SimDuration::from_secs(3));
+    assert!(!tb.ua(tb.a).unwrap().has_active_call());
+    assert!(tb
+        .a_events()
+        .iter()
+        .any(|e| matches!(&e.kind, UaEventKind::CallTerminated { by_remote: true, .. })));
+    // No media, no billing.
+    assert!(tb.sim.trace().filter_udp_port(ep.b_rtp).is_empty());
+    assert!(tb.cdrs().is_empty());
+    assert_eq!(tb.proxy_stats().rejected, 1);
+}
+
+#[test]
+fn wrong_password_never_registers() {
+    let mut tb = TestbedBuilder::new(802)
+        .with_auth(&[("alice", "right-password")])
+        .build();
+    let ep = tb.endpoints.clone();
+    // A separate client presents the wrong password.
+    let cfg = UaConfig::new(ep.a_aor(), ep.a_ip, ep.a_rtp, ep.proxy_ip)
+        .with_password("wrong-password");
+    let ua = UserAgent::new(
+        cfg,
+        vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)],
+    );
+    let id = tb.add_node("impostor", std::net::Ipv4Addr::new(10, 0, 0, 30), LinkParams::lan(), Box::new(ua));
+    tb.run_for(SimDuration::from_secs(3));
+    let ua = tb.sim.node_as::<UserAgent>(id).unwrap();
+    assert_ne!(ua.reg_state(), RegState::Registered);
+    let stats = tb.proxy_stats();
+    assert!(stats.auth_failures >= 1);
+    assert_eq!(stats.registrations, 0);
+}
+
+#[test]
+fn reinvite_does_not_double_bill() {
+    // A call with a genuine mid-call migration: one CDR, not two.
+    let mut tb = TestbedBuilder::new(803)
+        .standard_call(SimDuration::from_millis(500), Some(SimDuration::from_secs(4)))
+        .b_script(vec![ScriptStep::new(
+            SimDuration::from_secs(2),
+            UaAction::MigrateMedia { new_rtp_port: 9500 },
+        )])
+        .build();
+    tb.run_for(SimDuration::from_secs(6));
+    let cdrs = tb.cdrs();
+    assert_eq!(cdrs.len(), 1, "{cdrs:?}");
+    assert!(cdrs[0].stopped.is_some());
+}
+
+#[test]
+fn max_forwards_zero_is_dropped() {
+    use scidive_netsim::packet::IpPacket;
+    use scidive_netsim::time::SimTime;
+    use scidive_sip::prelude::*;
+
+    let mut tb = TestbedBuilder::new(804)
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .build();
+    let ep = tb.endpoints.clone();
+    // An INVITE with Max-Forwards: 0 must not be forwarded to B.
+    let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
+    b.from(NameAddr::new("sip:loop@lab".parse().unwrap()).with_tag("t"))
+        .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+        .call_id("loopy")
+        .cseq(CSeq::new(1, Method::Invite))
+        .via(Via::udp("10.0.0.99:5060", "z9hG4bK-loop"))
+        .without(&HeaderName::MaxForwards)
+        .header(HeaderName::MaxForwards, "0");
+    tb.sim.inject(
+        SimTime::from_millis(500),
+        IpPacket::udp(
+            std::net::Ipv4Addr::new(10, 0, 0, 99),
+            5060,
+            ep.proxy_ip,
+            5060,
+            b.build().to_bytes(),
+        ),
+    );
+    tb.run_for(SimDuration::from_secs(2));
+    // B never saw the looped INVITE.
+    assert!(!tb
+        .b_events()
+        .iter()
+        .any(|e| matches!(&e.kind, UaEventKind::IncomingCall { call_id, .. } if call_id == "loopy")));
+    assert_eq!(tb.proxy_stats().rejected, 1);
+}
+
+#[test]
+fn proxy_counts_forwarded_traffic() {
+    let mut tb = TestbedBuilder::new(805)
+        .standard_call(SimDuration::from_millis(500), Some(SimDuration::from_secs(2)))
+        .build();
+    tb.run_for(SimDuration::from_secs(4));
+    let stats = tb.proxy_stats();
+    // INVITE + ACK + BYE at minimum.
+    assert!(stats.forwarded >= 3, "{stats:?}");
+    // 200s for INVITE and BYE at minimum.
+    assert!(stats.responses_forwarded >= 2, "{stats:?}");
+    assert_eq!(stats.registrations, 2);
+}
+
+#[test]
+fn expired_binding_is_not_routable() {
+    // B registers with a 2-second expiry; A calls after it lapses.
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(806)
+        .a_script(vec![
+            ScriptStep::new(SimDuration::from_millis(10), UaAction::Register),
+            ScriptStep::new(SimDuration::from_secs(4), UaAction::Call { to: ep.b_aor() }),
+        ])
+        .build();
+    // Replace B's registration with a short-lived one.
+    let mut b_cfg = UaConfig::new(ep.b_aor(), ep.b_ip, ep.b_rtp, ep.proxy_ip);
+    b_cfg.register_expires = 2;
+    let b = UserAgent::new(
+        b_cfg,
+        vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)],
+    );
+    tb.add_node("ua-b2", std::net::Ipv4Addr::new(10, 0, 0, 31), LinkParams::lan(), Box::new(b));
+    // Note: the testbed's default B also exists but never registers, so
+    // only the short-lived binding could route. Wait past its expiry.
+    tb.run_for(SimDuration::from_secs(7));
+    assert!(!tb.ua(tb.a).unwrap().has_active_call());
+    assert_eq!(tb.proxy_stats().rejected, 1, "{:?}", tb.proxy_stats());
+}
+
+#[test]
+fn expires_zero_deregisters() {
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(807)
+        .a_script(vec![
+            ScriptStep::new(SimDuration::from_millis(10), UaAction::Register),
+            ScriptStep::new(SimDuration::from_secs(2), UaAction::Call { to: ep.b_aor() }),
+        ])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)])
+        .build();
+    // Inject a de-registration (Expires: 0) for bob before A's call.
+    use scidive_netsim::packet::IpPacket;
+    use scidive_netsim::time::SimTime;
+    use scidive_sip::prelude::*;
+    let mut b = RequestBuilder::new(Method::Register, "sip:lab".parse().unwrap());
+    b.from(NameAddr::new(ep.b_aor()).with_tag("t"))
+        .to(NameAddr::new(ep.b_aor()))
+        .call_id("dereg-1")
+        .cseq(CSeq::new(99, Method::Register))
+        .via(Via::udp(format!("{}:5060", ep.b_ip), "z9hG4bK-dereg"))
+        .contact(NameAddr::new(SipUri::new("bob", ep.b_ip.to_string()).with_port(5060)))
+        .expires(0);
+    tb.sim.inject(
+        SimTime::from_secs(1),
+        IpPacket::udp(ep.b_ip, 5060, ep.proxy_ip, 5060, b.build().to_bytes()),
+    );
+    tb.run_for(SimDuration::from_secs(4));
+    // The call finds nobody home.
+    assert!(!tb.ua(tb.a).unwrap().has_active_call());
+    assert_eq!(tb.proxy_stats().rejected, 1);
+}

@@ -1,0 +1,68 @@
+//! The §3.2 billing-fraud scenario: a crafted INVITE exploits a proxy
+//! bug to charge someone else for the attacker's call. No single
+//! protocol shows the fraud — the detection *must* combine the SIP,
+//! accounting and RTP trails, which is the paper's motivating example
+//! for cross-protocol rules.
+//!
+//! ```sh
+//! cargo run --example billing_fraud
+//! ```
+
+use scidive::prelude::*;
+
+fn main() {
+    let mut tb = TestbedBuilder::new(31)
+        .with_billing_vuln() // the proxy trusts P-Billing-Id
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)])
+        .build();
+    let ep = tb.endpoints.clone();
+
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let ids = tb.add_node(
+        "ids",
+        ep.tap_ip,
+        LinkParams::lan(),
+        Box::new(IdsNode::new(config)),
+    );
+
+    let attacker = tb.add_node(
+        "attacker",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(BillingFraudster::new(BillingFraudConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(500),
+        ))),
+    );
+
+    tb.run_for(SimDuration::from_secs(5));
+
+    let fraudster = tb.sim.node_as::<BillingFraudster>(attacker).unwrap();
+    println!(
+        "Attack: mallory calls bob with a malformed INVITE carrying\n\
+         `P-Billing-Id: alice@lab`. Connected: {}. Media streamed: {} packets.\n",
+        fraudster.connected,
+        if fraudster.connected { ">0" } else { "0" }
+    );
+
+    println!("The billing system's view — alice pays for a call she never made:");
+    for cdr in tb.cdrs() {
+        println!("  billed to {} (callee {}) call {}", cdr.caller, cdr.callee, cdr.call_id);
+    }
+
+    println!("\nSCIDIVE's three-facet evidence and verdict:");
+    let alerts = tb.sim.node_as::<IdsNode>(ids).unwrap().ids().alerts();
+    for alert in alerts {
+        println!("  {alert}");
+    }
+    assert!(alerts.iter().any(|a| a.rule == "billing-fraud"));
+    println!(
+        "\nNote the structure: the sip-format advisory alone is weak evidence\n\
+         (sloppy clients exist) and the accounting mismatch alone could be a\n\
+         bug — the billing-fraud rule fires only on their combination, exactly\n\
+         the false-alarm argument of paper §3.2."
+    );
+}

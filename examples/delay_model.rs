@@ -1,0 +1,53 @@
+//! The §4.3.1 analytical model, standalone: detection delay, missed
+//! alarms and false alarms as functions of the network, with the
+//! paper's headline numbers.
+//!
+//! ```sh
+//! cargo run --example delay_model
+//! ```
+
+use scidive::analysis::delay::DelayModel;
+use scidive::analysis::dist::ContDist;
+use scidive::analysis::false_alarm::p_false_numeric;
+use scidive::analysis::missed::p_missed_single_numeric;
+use scidive::analysis::stats::{Histogram, Summary};
+
+fn main() {
+    // "Under the simplest of assumptions, where the fake SIP message is
+    // generated with a uniform distribution in (0,20), and the network
+    // delay is assumed to be independent and identical for all packets,
+    // the expected detection delay is 10 milliseconds."
+    let model = DelayModel::paper_simple();
+    println!("Closed-form E[D] = {} ms (paper: 10 ms)\n", model.expected_simple_ms());
+
+    // The full multi-packet model, Monte Carlo.
+    let est = model.monte_carlo(100_000, 42, 200.0, 0.0);
+    let summary = Summary::of(&est.delays).unwrap();
+    println!(
+        "Monte Carlo (100k trials): mean {:.2} ms, p50 {:.2}, p95 {:.2}",
+        summary.mean, summary.p50, summary.p95
+    );
+    let mut hist = Histogram::new(0.0, 25.0, 10);
+    for d in &est.delays {
+        hist.record(*d);
+    }
+    println!("\nDetection-delay distribution (ms):\n{}", hist.render(40));
+
+    // P_m(m): the monitoring window tradeoff.
+    println!("Missed-alarm probability vs. monitoring window m:");
+    for m in [5.0, 10.0, 15.0, 20.0, 30.0] {
+        let p = p_missed_single_numeric(&model, m).unwrap();
+        println!("  m = {m:>4} ms  ->  P_m = {p:.3}");
+    }
+
+    // P_f: the BYE-vs-RTP race.
+    println!("\nFalse-alarm probability P_f = Pr{{N_sip < N_rtp}}:");
+    let iid = ContDist::Exponential { mean: 5.0 };
+    println!("  i.i.d. exponential paths: {:.3} (paper: 1/2)", p_false_numeric(&iid, &iid));
+    let fast_sip = ContDist::Exponential { mean: 1.0 };
+    let slow_rtp = ContDist::Exponential { mean: 9.0 };
+    println!(
+        "  fast SIP path vs slow RTP: {:.3} (the BYE usually wins the race)",
+        p_false_numeric(&fast_sip, &slow_rtp)
+    );
+}

@@ -1,0 +1,75 @@
+//! The §3.3 stateful-detection scenarios: a REGISTER-flood DoS and a
+//! digest brute-force against the registrar, both invisible to naive
+//! per-packet matching (4xx responses are normal!) but obvious to the
+//! stateful request/challenge trackers.
+//!
+//! ```sh
+//! cargo run --example register_flood
+//! ```
+
+use scidive::prelude::*;
+
+fn main() {
+    let mut tb = TestbedBuilder::new(61)
+        .with_auth(&[("alice", "super-secret"), ("bob", "pw-b")])
+        // Benign auth churn alongside the attack: alice and bob register
+        // normally (one 401 challenge each).
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(30), UaAction::Register)])
+        .build();
+    let ep = tb.endpoints.clone();
+
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let ids = tb.add_node(
+        "ids",
+        ep.tap_ip,
+        LinkParams::lan(),
+        Box::new(IdsNode::new(config)),
+    );
+
+    // Attacker 1: the flood (ignores every 401).
+    tb.add_node(
+        "flooder",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(RegisterFlooder::new(RegisterDosConfig::new(
+            ep.attacker_ip,
+            ep.proxy_ip,
+            SimDuration::from_millis(500),
+        ))),
+    );
+    // Attacker 2: the brute-forcer (answers each 401 with a new guess).
+    let guesser_ip = std::net::Ipv4Addr::new(10, 0, 0, 67);
+    tb.add_node(
+        "guesser",
+        guesser_ip,
+        LinkParams::lan(),
+        Box::new(PasswordGuesser::new(PasswordGuessConfig::new(
+            guesser_ip,
+            ep.proxy_ip,
+            SimDuration::from_secs(1),
+            8,
+        ))),
+    );
+
+    tb.run_for(SimDuration::from_secs(12));
+
+    let stats = tb.proxy_stats();
+    println!("Registrar's day:");
+    println!("  {} REGISTER requests, {} challenges sent", stats.registers, stats.challenges);
+    println!("  {} failed authentications, {} successful registrations\n", stats.auth_failures, stats.registrations);
+
+    println!("SCIDIVE alerts (benign alice/bob churn raised nothing):");
+    let alerts = tb.sim.node_as::<IdsNode>(ids).unwrap().ids().alerts();
+    for alert in alerts.iter().filter(|a| a.severity == Severity::Critical) {
+        println!("  {alert}");
+    }
+    assert!(alerts.iter().any(|a| a.rule == "register-dos"));
+    assert!(alerts.iter().any(|a| a.rule == "password-guess"));
+    println!(
+        "\nBoth attacks produce request/4xx churn; the stateful trackers tell\n\
+         them apart — repeated identical requests vs. varying digest responses\n\
+         — and neither confuses the benign clients' one-challenge handshakes."
+    );
+}

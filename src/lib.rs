@@ -1,0 +1,75 @@
+//! # scidive — stateful, cross-protocol VoIP intrusion detection
+//!
+//! An open-source reproduction of *"SCIDIVE: A Stateful and Cross
+//! Protocol Intrusion Detection Architecture for Voice-over-IP
+//! Environments"* (Wu, Bagchi, Garg, Singh, Tsai — DSN 2004), as a Rust
+//! workspace:
+//!
+//! * [`ids`] (`scidive-core`) — the IDS engine: Distiller, Trails,
+//!   Event Generator, Ruleset, metrics, the Snort-like baseline, and an
+//!   online (threaded) mode.
+//! * [`netsim`] (`scidive-netsim`) — the deterministic network
+//!   substrate: virtual time, hub topology, delay/loss models, IPv4
+//!   fragmentation, promiscuous taps.
+//! * [`sip`] / [`rtp`] (`scidive-sip`, `scidive-rtp`) — the protocol
+//!   stacks (RFC 3261 subset incl. digest auth and dialogs; RFC 3550
+//!   RTP/RTCP with jitter buffer and sequence validation).
+//! * [`voip`] (`scidive-voip`) — the protected system: user agents,
+//!   proxy/registrar, accounting, and the Fig-4 testbed builder.
+//! * [`attacks`] (`scidive-attacks`) — scripted attackers for all seven
+//!   scenarios in the paper.
+//! * [`analysis`] (`scidive-analysis`) — the §4.3 performance model
+//!   (detection delay, missed/false alarm probabilities) in closed form,
+//!   numerically, and by Monte Carlo.
+//!
+//! ## Quickstart: catch the BYE attack
+//!
+//! ```
+//! use scidive::prelude::*;
+//!
+//! // Build the paper's testbed with one ongoing call...
+//! let mut tb = TestbedBuilder::new(42)
+//!     .standard_call(SimDuration::from_millis(500), None)
+//!     .build();
+//! let ep = tb.endpoints.clone();
+//!
+//! // ...deploy the endpoint IDS on the hub...
+//! let ids = tb.add_node(
+//!     "ids",
+//!     ep.tap_ip,
+//!     LinkParams::lan(),
+//!     Box::new(IdsNode::new(ScidiveConfig::default())),
+//! );
+//!
+//! // ...and inject the §4.2.1 forged-BYE attacker.
+//! tb.add_node(
+//!     "attacker",
+//!     ep.attacker_ip,
+//!     LinkParams::lan(),
+//!     Box::new(ByeAttacker::new(ByeAttackConfig::new(
+//!         ep.attacker_ip, ep.a_ip, ep.b_ip, SimDuration::from_secs(1),
+//!     ))),
+//! );
+//! tb.run_for(SimDuration::from_secs(5));
+//!
+//! let alerts = tb.sim.node_as::<IdsNode>(ids).unwrap().ids().alerts().to_vec();
+//! assert!(alerts.iter().any(|a| a.rule == "bye-attack"));
+//! ```
+
+pub use scidive_analysis as analysis;
+pub use scidive_attacks as attacks;
+pub use scidive_core as ids;
+pub use scidive_netsim as netsim;
+pub use scidive_rtp as rtp;
+pub use scidive_sip as sip;
+pub use scidive_voip as voip;
+
+/// One import for everything the examples and experiments need.
+pub mod prelude {
+    pub use scidive_attacks::prelude::*;
+    pub use scidive_core::prelude::*;
+    pub use scidive_netsim::prelude::*;
+    pub use scidive_rtp::prelude::*;
+    pub use scidive_sip::prelude::*;
+    pub use scidive_voip::prelude::*;
+}

@@ -1,0 +1,151 @@
+//! Benign scenarios must raise no critical alerts: legitimate calls,
+//! teardowns, authentication retries, instant messaging, and genuine
+//! mobility all look superficially like the attacks.
+
+use scidive::prelude::*;
+
+fn deploy_ids(tb: &mut Testbed) -> scidive::netsim::node::NodeId {
+    let ep = tb.endpoints.clone();
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    tb.add_node(
+        "ids",
+        ep.tap_ip,
+        LinkParams::lan(),
+        Box::new(IdsNode::new(config)),
+    )
+}
+
+fn criticals(tb: &Testbed, ids: scidive::netsim::node::NodeId) -> Vec<Alert> {
+    tb.sim
+        .node_as::<IdsNode>(ids)
+        .unwrap()
+        .ids()
+        .alerts()
+        .iter()
+        .filter(|a| a.severity == Severity::Critical)
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn normal_call_and_teardown_is_clean() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let mut tb = TestbedBuilder::new(seed)
+            .standard_call(
+                SimDuration::from_millis(500),
+                Some(SimDuration::from_secs(3)),
+            )
+            .build();
+        let ids = deploy_ids(&mut tb);
+        tb.run_for(SimDuration::from_secs(6));
+        let alerts = criticals(&tb, ids);
+        assert!(alerts.is_empty(), "seed {seed}: {alerts:?}");
+    }
+}
+
+#[test]
+fn callee_initiated_teardown_is_clean() {
+    let mut tb = TestbedBuilder::new(11)
+        .standard_call(SimDuration::from_millis(500), None)
+        .b_script(vec![ScriptStep::new(SimDuration::from_secs(3), UaAction::HangUp)])
+        .build();
+    let ids = deploy_ids(&mut tb);
+    tb.run_for(SimDuration::from_secs(6));
+    let alerts = criticals(&tb, ids);
+    assert!(alerts.is_empty(), "{alerts:?}");
+}
+
+#[test]
+fn digest_auth_registration_is_clean() {
+    let mut tb = TestbedBuilder::new(12)
+        .with_auth(&[("alice", "pw-a"), ("bob", "pw-b")])
+        .standard_call(
+            SimDuration::from_millis(500),
+            Some(SimDuration::from_secs(3)),
+        )
+        .build();
+    let ids = deploy_ids(&mut tb);
+    tb.run_for(SimDuration::from_secs(6));
+    // Each client's REGISTER → 401 → authed REGISTER cycle must not trip
+    // the DoS or guessing rules.
+    let alerts = criticals(&tb, ids);
+    assert!(alerts.is_empty(), "{alerts:?}");
+}
+
+#[test]
+fn instant_messaging_is_clean() {
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(13)
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![
+            ScriptStep::new(SimDuration::from_millis(20), UaAction::Register),
+            ScriptStep::new(
+                SimDuration::from_millis(500),
+                UaAction::SendIm { to: ep.a_aor(), text: "hi".to_string() },
+            ),
+            ScriptStep::new(
+                SimDuration::from_millis(900),
+                UaAction::SendIm { to: ep.a_aor(), text: "still me".to_string() },
+            ),
+        ])
+        .build();
+    let ids = deploy_ids(&mut tb);
+    tb.run_for(SimDuration::from_secs(2));
+    let alerts = criticals(&tb, ids);
+    assert!(alerts.is_empty(), "{alerts:?}");
+}
+
+#[test]
+fn genuine_media_migration_is_clean() {
+    let mut tb = TestbedBuilder::new(14)
+        .standard_call(SimDuration::from_millis(500), None)
+        .b_script(vec![ScriptStep::new(
+            SimDuration::from_secs(2),
+            UaAction::MigrateMedia { new_rtp_port: 9100 },
+        )])
+        .build();
+    let ids = deploy_ids(&mut tb);
+    tb.run_for(SimDuration::from_secs(5));
+    let alerts = criticals(&tb, ids);
+    assert!(
+        alerts.iter().all(|a| a.rule != "call-hijack"),
+        "genuine mobility must not look like hijacking: {alerts:?}"
+    );
+}
+
+#[test]
+fn many_benign_clients_registering_is_clean() {
+    // The §3.3 argument: lots of benign 401 churn from *different*
+    // clients must not trip the stateful flood rule.
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(15)
+        .with_auth(&[("alice", "pw-a"), ("bob", "pw-b")])
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(30), UaAction::Register)])
+        .build();
+    let ids = deploy_ids(&mut tb);
+    // Add ten more benign clients, each doing a challenge cycle.
+    for i in 0..10u8 {
+        let ip = std::net::Ipv4Addr::new(10, 0, 1, i + 1);
+        let aor: SipUri = format!("sip:user{i}@lab").parse().unwrap();
+        let cfg = UaConfig::new(aor, ip, 10_000 + u16::from(i) * 2, ep.proxy_ip)
+            .with_password(format!("pw-{i}"));
+        // They are not in the proxy's account list, so their auth fails —
+        // a realistic misconfiguration producing extra 4xx noise.
+        let ua = UserAgent::new(
+            cfg,
+            vec![ScriptStep::new(
+                SimDuration::from_millis(50 + u64::from(i) * 20),
+                UaAction::Register,
+            )],
+        );
+        tb.add_node(&format!("ua-{i}"), ip, LinkParams::lan(), Box::new(ua));
+    }
+    tb.run_for(SimDuration::from_secs(5));
+    let alerts = criticals(&tb, ids);
+    assert!(
+        alerts.iter().all(|a| a.rule != "register-dos"),
+        "per-source tracking must not flood-alarm on benign churn: {alerts:?}"
+    );
+}

@@ -1,0 +1,200 @@
+//! VoIP substrate behaviours the IDS relies on: realistic call flows,
+//! retransmission over loss, mobility, concurrent calls, accounting.
+
+use scidive::prelude::*;
+
+#[test]
+fn call_survives_moderate_signalling_loss() {
+    // 10% loss everywhere: SIP transactions retransmit (RFC 3261 T1
+    // schedule), so calls still complete.
+    let mut completed = 0;
+    for seed in 1..=10u64 {
+        let mut tb = TestbedBuilder::new(seed)
+            .link(LinkParams::lan().with_loss(0.10))
+            .standard_call(
+                SimDuration::from_millis(500),
+                Some(SimDuration::from_secs(4)),
+            )
+            .build();
+        tb.run_for(SimDuration::from_secs(6));
+        if tb
+            .a_events()
+            .iter()
+            .any(|e| matches!(e.kind, UaEventKind::CallEstablished { .. }))
+        {
+            completed += 1;
+        }
+    }
+    assert!(completed >= 9, "only {completed}/10 calls completed under 10% loss");
+}
+
+#[test]
+fn media_pacing_is_twenty_ms() {
+    let mut tb = TestbedBuilder::new(603)
+        .link(LinkParams::ideal())
+        .standard_call(SimDuration::from_millis(500), Some(SimDuration::from_secs(2)))
+        .build();
+    let ep = tb.endpoints.clone();
+    tb.run_for(SimDuration::from_secs(3));
+    // Consecutive RTP transmissions from B are exactly 20 ms apart.
+    let times: Vec<SimTime> = tb
+        .sim
+        .trace()
+        .records()
+        .iter()
+        .filter(|r| {
+            r.packet.src == ep.b_ip
+                && r.packet
+                    .decode_udp()
+                    .map(|u| u.dst_port == ep.a_rtp)
+                    .unwrap_or(false)
+        })
+        .map(|r| r.time)
+        .collect();
+    assert!(times.len() > 50);
+    for pair in times.windows(2) {
+        assert_eq!(pair[1] - pair[0], SimDuration::from_millis(20));
+    }
+}
+
+#[test]
+fn two_concurrent_calls_are_independent_sessions() {
+    // alice calls bob; carol calls dave. The IDS keeps four media sinks
+    // under two distinct sessions.
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(604)
+        .standard_call(SimDuration::from_millis(500), None)
+        .build();
+    let carol_ip = std::net::Ipv4Addr::new(10, 0, 0, 21);
+    let dave_ip = std::net::Ipv4Addr::new(10, 0, 0, 22);
+    let carol_aor: SipUri = "sip:carol@lab".parse().unwrap();
+    let dave_aor: SipUri = "sip:dave@lab".parse().unwrap();
+    let carol = UserAgent::new(
+        UaConfig::new(carol_aor, carol_ip, 8200, ep.proxy_ip),
+        vec![
+            ScriptStep::new(SimDuration::from_millis(40), UaAction::Register),
+            ScriptStep::new(
+                SimDuration::from_millis(700),
+                UaAction::Call { to: dave_aor.clone() },
+            ),
+        ],
+    );
+    let dave = UserAgent::new(
+        UaConfig::new(dave_aor, dave_ip, 8300, ep.proxy_ip),
+        vec![ScriptStep::new(SimDuration::from_millis(50), UaAction::Register)],
+    );
+    let carol_id = tb.add_node("carol", carol_ip, LinkParams::lan(), Box::new(carol));
+    let dave_id = tb.add_node("dave", dave_ip, LinkParams::lan(), Box::new(dave));
+
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    tb.run_for(SimDuration::from_secs(4));
+
+    assert!(tb.ua(tb.a).unwrap().has_active_call());
+    assert!(tb.sim.node_as::<UserAgent>(carol_id).unwrap().has_active_call());
+    assert!(tb.sim.node_as::<UserAgent>(dave_id).unwrap().has_active_call());
+
+    let mut ids = Scidive::new(ScidiveConfig::default());
+    for f in tap.borrow().iter() {
+        ids.on_frame(f.time, &f.packet);
+    }
+    let s1 = ids.trails().session_for_media(ep.a_ip, ep.a_rtp).cloned().unwrap();
+    let s2 = ids.trails().session_for_media(carol_ip, 8200).cloned().unwrap();
+    assert_ne!(s1, s2, "two calls must not share a session");
+    // Both CDRs exist.
+    assert_eq!(tb.cdrs().len(), 2);
+    // No critical alerts on this all-benign double call.
+    assert!(ids
+        .alerts()
+        .iter()
+        .all(|a| a.severity != Severity::Critical));
+}
+
+#[test]
+fn mobility_reinvite_moves_the_flow_without_alarms() {
+    let mut tb = TestbedBuilder::new(605)
+        .standard_call(SimDuration::from_millis(500), None)
+        .b_script(vec![ScriptStep::new(
+            SimDuration::from_secs(2),
+            UaAction::MigrateMedia { new_rtp_port: 9400 },
+        )])
+        .build();
+    let ep = tb.endpoints.clone();
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let ids = tb.add_node(
+        "ids",
+        ep.tap_ip,
+        LinkParams::lan(),
+        Box::new(IdsNode::new(config)),
+    );
+    tb.run_for(SimDuration::from_secs(5));
+    // Media flows to the new port...
+    assert!(!tb.sim.trace().filter_udp_port(9400).is_empty());
+    // ...and the IDS tracked the redirect without crying hijack.
+    let alerts = tb.sim.node_as::<IdsNode>(ids).unwrap().ids().alerts();
+    assert!(
+        alerts.iter().all(|a| a.severity != Severity::Critical),
+        "{alerts:?}"
+    );
+}
+
+#[test]
+fn billing_duration_matches_call_duration() {
+    let mut tb = TestbedBuilder::new(606)
+        .link(LinkParams::ideal())
+        .standard_call(
+            SimDuration::from_millis(500),
+            Some(SimDuration::from_millis(2_500)),
+        )
+        .build();
+    tb.run_for(SimDuration::from_secs(4));
+    let cdrs = tb.cdrs();
+    assert_eq!(cdrs.len(), 1);
+    let cdr = &cdrs[0];
+    let billed = cdr.stopped.expect("closed") - cdr.started;
+    // The call ran from ~500 ms (setup) to 2500 ms (hangup): ~2 s.
+    let billed_ms = billed.as_millis_f64();
+    assert!(
+        (1_900.0..=2_100.0).contains(&billed_ms),
+        "billed {billed_ms} ms"
+    );
+}
+
+#[test]
+fn crashed_client_stops_participating() {
+    let mut tb = TestbedBuilder::new(607)
+        .standard_call(SimDuration::from_millis(500), None)
+        .a_fragile(3)
+        .build();
+    let ep = tb.endpoints.clone();
+    tb.add_node(
+        "attacker",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(RtpFlooder::new(RtpFloodConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            SimDuration::from_secs(1),
+        ))),
+    );
+    tb.run_for(SimDuration::from_secs(5));
+    let ua = tb.ua(tb.a).unwrap();
+    assert!(ua.is_crashed());
+    // After the crash, A sends nothing: its last transmission precedes
+    // the crash moment plus one frame.
+    let crash_time = tb
+        .a_events()
+        .iter()
+        .find_map(|e| matches!(e.kind, UaEventKind::Crashed { .. }).then_some(e.time))
+        .expect("crash recorded");
+    let late_tx = tb
+        .sim
+        .trace()
+        .records()
+        .iter()
+        .filter(|r| r.packet.src == ep.a_ip && r.time > crash_time)
+        .count();
+    assert_eq!(late_tx, 0, "a crashed client must go silent");
+}

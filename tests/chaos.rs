@@ -1,0 +1,97 @@
+//! Chaos robustness: a node spraying random bytes at every port of every
+//! host while a call proceeds. Nothing may panic, the call must
+//! complete, and the IDS must keep its accounting straight.
+
+use rand::RngCore;
+use scidive::prelude::*;
+use std::any::Any;
+
+/// Sprays random UDP at random hosts/ports every few ms.
+struct ChaosMonkey {
+    targets: Vec<std::net::Ipv4Addr>,
+    shots: u32,
+    max_shots: u32,
+}
+
+impl Node for ChaosMonkey {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(600), 1);
+    }
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _pkt: IpPacket) {}
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+        if self.shots >= self.max_shots {
+            return;
+        }
+        self.shots += 1;
+        let target = self.targets[(ctx.rng().range(0, self.targets.len() as u64)) as usize];
+        let port = ctx.rng().range(1, 65535) as u16;
+        let len = ctx.rng().range(0, 300) as usize;
+        let mut payload = vec![0u8; len];
+        ctx.rng().fill_bytes(&mut payload);
+        ctx.send_udp(4999, target, port, payload);
+        ctx.set_timer(SimDuration::from_millis(5), 1);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn call_and_ids_survive_random_byte_spray() {
+    for seed in [901u64, 902, 903] {
+        let mut tb = TestbedBuilder::new(seed)
+            .standard_call(
+                SimDuration::from_millis(500),
+                Some(SimDuration::from_secs(4)),
+            )
+            .build();
+        let ep = tb.endpoints.clone();
+        let mut config = ScidiveConfig::default();
+        config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+        let ids = tb.add_node(
+            "ids",
+            ep.tap_ip,
+            LinkParams::lan(),
+            Box::new(IdsNode::new(config)),
+        );
+        tb.add_node(
+            "chaos",
+            std::net::Ipv4Addr::new(10, 0, 0, 99),
+            LinkParams::lan(),
+            Box::new(ChaosMonkey {
+                targets: vec![ep.proxy_ip, ep.a_ip, ep.b_ip, ep.acct_ip],
+                shots: 0,
+                max_shots: 400,
+            }),
+        );
+        tb.run_for(SimDuration::from_secs(6));
+
+        // The call completed despite the noise.
+        assert!(
+            tb.a_events()
+                .iter()
+                .any(|e| matches!(e.kind, UaEventKind::CallEstablished { .. })),
+            "seed {seed}: call failed under chaos"
+        );
+        assert_eq!(tb.cdrs().len(), 1);
+        // The IDS processed everything without losing count.
+        let engine = tb.sim.node_as::<IdsNode>(ids).unwrap().ids();
+        let stats = engine.stats();
+        assert!(stats.frames > 400);
+        assert_eq!(stats.alerts as usize, engine.alerts().len());
+        // Any critical alerts must be media-plane complaints about the
+        // garbage (rtp-attack is legitimate here: random bytes DID hit
+        // negotiated media ports); nothing else may fire.
+        for alert in engine.alerts() {
+            if alert.severity == Severity::Critical {
+                assert_eq!(
+                    alert.rule, "rtp-attack",
+                    "seed {seed}: unexpected critical alert {alert}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Cooperative detection (paper §6 future work) end-to-end: two
+//! endpoint detectors exchanging event objects catch the spoofed
+//! fake-IM that provably evades a single endpoint (§4.2.2's concession).
+
+use scidive::ids::cooperative::{CooperativeCluster, CooperativeConfig, EndpointDetector};
+use scidive::prelude::*;
+
+fn run_spoofed_fake_im(seed: u64) -> Testbed {
+    let mut tb = TestbedBuilder::new(seed)
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)])
+        .build();
+    let ep = tb.endpoints.clone();
+    let mut cfg = FakeImConfig::new(
+        ep.attacker_ip,
+        ep.a_ip,
+        ep.b_ip,
+        SimDuration::from_millis(500),
+    );
+    cfg.spoof_ip = true; // the variant the endpoint rule cannot catch
+    tb.add_node(
+        "attacker",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(FakeImAttacker::new(cfg)),
+    );
+    tb.run_for(SimDuration::from_secs(2));
+    tb
+}
+
+fn cluster_for(ep: &Endpoints) -> CooperativeCluster {
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let coop = CooperativeConfig::default()
+        .with_home("alice@lab", "ids-a")
+        .with_home("bob@lab", "ids-b");
+    CooperativeCluster::new(
+        coop,
+        vec![
+            EndpointDetector::new("ids-a", ep.a_ip, "ua-a", config.clone()),
+            EndpointDetector::new("ids-b", ep.b_ip, "ua-b", config),
+        ],
+    )
+}
+
+#[test]
+fn spoofed_fake_im_evades_solo_but_not_the_cluster() {
+    let tb = run_spoofed_fake_im(701);
+    let ep = tb.endpoints.clone();
+
+    // Solo endpoint IDS over the same trace: no fake-im alert (the IP
+    // matches bob's, exactly the paper's concession).
+    let mut solo_cfg = ScidiveConfig::default();
+    solo_cfg.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let mut solo = Scidive::new(solo_cfg);
+    for rec in tb.sim.trace().records() {
+        solo.on_frame(rec.time, &rec.packet);
+    }
+    assert!(
+        solo.alerts().iter().all(|a| a.rule != "fake-im"),
+        "spoofed IM must evade the endpoint rule"
+    );
+
+    // Cooperative cluster over the same trace: bob's detector never saw
+    // bob's host send the message — forged.
+    let mut cluster = cluster_for(&ep);
+    let coop_alerts = cluster.process_trace(tb.sim.trace());
+    assert_eq!(coop_alerts.len(), 1, "{coop_alerts:?}");
+    assert_eq!(coop_alerts[0].rule, "coop-forged-im");
+}
+
+#[test]
+fn genuine_im_traffic_raises_no_cooperative_alerts() {
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(702)
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![
+            ScriptStep::new(SimDuration::from_millis(20), UaAction::Register),
+            ScriptStep::new(
+                SimDuration::from_millis(500),
+                UaAction::SendIm { to: ep.a_aor(), text: "really me".to_string() },
+            ),
+            ScriptStep::new(
+                SimDuration::from_millis(800),
+                UaAction::SendIm { to: ep.a_aor(), text: "again".to_string() },
+            ),
+        ])
+        .build();
+    tb.run_for(SimDuration::from_secs(2));
+    let mut cluster = cluster_for(&tb.endpoints);
+    let coop_alerts = cluster.process_trace(tb.sim.trace());
+    assert!(coop_alerts.is_empty(), "{coop_alerts:?}");
+}
+
+#[test]
+fn unspoofed_fake_im_caught_by_exchange_despite_narrow_views() {
+    // A per-endpoint (host-based) view is *narrower* than the hub tap:
+    // A's detector never sees bob's REGISTER leg (dst = proxy), so the
+    // local IP-consistency rule has no baseline to compare against —
+    // which is exactly why the paper proposes exchanging event objects.
+    // The cooperative rule still catches the forgery: bob's own
+    // detector knows bob's host sent nothing.
+    let mut tb = TestbedBuilder::new(703)
+        .a_script(vec![ScriptStep::new(SimDuration::from_millis(10), UaAction::Register)])
+        .b_script(vec![ScriptStep::new(SimDuration::from_millis(20), UaAction::Register)])
+        .build();
+    let ep = tb.endpoints.clone();
+    tb.add_node(
+        "attacker",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(FakeImAttacker::new(FakeImConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            ep.b_ip,
+            SimDuration::from_millis(500),
+        ))),
+    );
+    tb.run_for(SimDuration::from_secs(2));
+
+    let mut cluster = cluster_for(&ep);
+    let coop_alerts = cluster.process_trace(tb.sim.trace());
+    // A's narrow host view had no identity baseline, so no local alert —
+    // but the exchange exposes the forgery regardless.
+    assert!(coop_alerts.iter().any(|a| a.rule == "coop-forged-im"));
+    // And nothing benign was flagged anywhere in the cluster.
+    for det in cluster.detectors() {
+        assert!(
+            det.ids
+                .alerts()
+                .iter()
+                .all(|a| a.severity != Severity::Critical),
+            "{}: {:?}",
+            det.name,
+            det.ids.alerts()
+        );
+    }
+}

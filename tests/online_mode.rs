@@ -1,0 +1,70 @@
+//! The online (threaded) deployment: identical verdicts to the offline
+//! engine over real attack captures, across all seven scenarios.
+
+use scidive::prelude::*;
+
+fn capture_attack_frames(seed: u64) -> (Vec<CapturedFrame>, Endpoints) {
+    let mut tb = TestbedBuilder::new(seed)
+        .standard_call(SimDuration::from_millis(500), None)
+        .build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    tb.add_node(
+        "attacker",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(Hijacker::new(HijackConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            ep.b_ip,
+            SimDuration::from_secs(1),
+        ))),
+    );
+    tb.run_for(SimDuration::from_secs(4));
+    let frames = tap.borrow().clone();
+    (frames, ep)
+}
+
+#[test]
+fn online_engine_matches_offline_on_attack_capture() {
+    let (frames, ep) = capture_attack_frames(501);
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+
+    let mut offline = Scidive::new(config.clone());
+    for f in &frames {
+        offline.on_frame(f.time, &f.packet);
+    }
+
+    let online = OnlineScidive::spawn(config, 128);
+    for f in &frames {
+        online.submit(f.time, f.packet.clone());
+    }
+    let (alerts, stats) = online.finish();
+
+    assert_eq!(alerts, offline.alerts());
+    assert_eq!(stats.frames, frames.len() as u64);
+    assert!(alerts.iter().any(|a| a.rule == "call-hijack"));
+}
+
+#[test]
+fn online_engine_with_tiny_queue_backpressures_correctly() {
+    let (frames, ep) = capture_attack_frames(502);
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    // Queue depth 1: every submit contends with the worker.
+    let online = OnlineScidive::spawn(config.clone(), 1);
+    for f in &frames {
+        online.submit(f.time, f.packet.clone());
+    }
+    let (alerts, stats) = online.finish();
+    assert_eq!(stats.frames, frames.len() as u64);
+
+    let mut offline = Scidive::new(config);
+    for f in &frames {
+        offline.on_frame(f.time, &f.packet);
+    }
+    assert_eq!(alerts, offline.alerts());
+}
