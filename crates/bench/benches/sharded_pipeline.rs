@@ -1,0 +1,57 @@
+//! **Experiment P1b** — throughput of the sharded detection pipeline.
+//!
+//! The same attack capture as the `pipeline` benchmark is replayed
+//! through [`ShardedScidive`] at 1, 2, 4 and 8 shards. The single-shard
+//! point measures the dispatch + merge overhead against the plain
+//! engine; the higher counts show how far per-session hashing spreads
+//! the rule-matching work. Output is byte-identical at every point —
+//! the equivalence tests prove it — so this measures speed, not
+//! semantics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scidive_bench::harness::{run_attack, AttackKind, ScenarioOptions};
+use scidive_core::prelude::*;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+
+fn capture(kind: AttackKind) -> Vec<(SimTime, IpPacket)> {
+    let outcome = run_attack(kind, 1, &ScenarioOptions::default());
+    outcome
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.time, r.packet.clone()))
+        .collect()
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let frames = capture(AttackKind::Bye);
+    let mut group = c.benchmark_group("sharded_pipeline");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("single-engine", |b| {
+        b.iter_batched(
+            || Scidive::new(ScidiveConfig::default()),
+            |mut ids| {
+                ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+                ids
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("shards-{shards}"), |b| {
+            b.iter_batched(
+                || ShardedScidive::new(ScidiveConfig::default(), shards, 256),
+                |mut ids| {
+                    ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+                    ids.finish()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -350,6 +350,48 @@ pub fn run_benign(seed: u64, opts: &ScenarioOptions) -> Vec<Alert> {
         .collect()
 }
 
+/// Replays a captured attack scenario through a single engine and a
+/// sharded deployment, asserting the merged alert stream and summed
+/// counters are identical. Returns the number of frames replayed.
+///
+/// CI runs this as a cheap end-to-end smoke of the dispatcher, the
+/// worker shards, and the deterministic merge.
+///
+/// # Panics
+///
+/// Panics if the sharded output diverges from the single engine.
+pub fn assert_sharded_equivalence(kind: AttackKind, seed: u64, shards: usize) -> usize {
+    let outcome = run_attack(kind, seed, &ScenarioOptions::default());
+    let ep = Endpoints::default();
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let frames: Vec<_> = outcome
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.time, r.packet.clone()))
+        .collect();
+    let mut single = Scidive::new(config.clone());
+    single.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    let mut sharded = ShardedScidive::new(config, shards, 64);
+    sharded.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    let report = sharded.finish();
+    assert_eq!(
+        report.alerts,
+        single.alerts(),
+        "{} seed {seed}: sharded alerts diverged at {shards} shards",
+        kind.name()
+    );
+    assert_eq!(
+        report.stats,
+        single.stats(),
+        "{} seed {seed}: sharded counters diverged at {shards} shards",
+        kind.name()
+    );
+    assert_eq!(report.dispatch.dropped, 0);
+    frames.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +430,12 @@ mod tests {
         };
         let outcome = run_attack(AttackKind::Bye, 3, &opts);
         assert_eq!(outcome.report.detected_count(), 0);
+    }
+
+    #[test]
+    fn sharded_replay_matches_single_engine() {
+        // The cross-protocol BYE capture at 2 shards: the smoke CI runs.
+        let frames = assert_sharded_equivalence(AttackKind::Bye, 11, 2);
+        assert!(frames > 100, "capture too small: {frames}");
     }
 }

@@ -3,7 +3,8 @@
 
 use crate::alert::Alert;
 use crate::distill::{Distiller, DistillerConfig, DistillStats};
-use crate::event::{EventGenConfig, EventGenerator};
+use crate::event::{Event, EventGenConfig, EventGenerator};
+use crate::footprint::Footprint;
 use crate::rules::{builtin_ruleset, Rule, RuleCtx, RuleToggles};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
@@ -36,6 +37,30 @@ pub struct PipelineStats {
     pub events: u64,
     /// Alerts raised.
     pub alerts: u64,
+}
+
+impl std::ops::Add for PipelineStats {
+    type Output = PipelineStats;
+    fn add(self, rhs: PipelineStats) -> PipelineStats {
+        PipelineStats {
+            frames: self.frames + rhs.frames,
+            footprints: self.footprints + rhs.footprints,
+            events: self.events + rhs.events,
+            alerts: self.alerts + rhs.alerts,
+        }
+    }
+}
+
+/// A footprint that already passed distillation, plus any events an
+/// upstream [`crate::event::IdentityPlane`] generated for it. The unit a
+/// [`crate::shard::ShardedScidive`] dispatcher hands to its shards.
+#[derive(Debug)]
+pub struct DistilledFootprint {
+    /// The distilled footprint.
+    pub footprint: Footprint,
+    /// Identity-plane events to append behind the footprint's own
+    /// session-plane events.
+    pub injected_events: Vec<Event>,
 }
 
 /// The SCIDIVE intrusion detection engine.
@@ -85,6 +110,22 @@ impl Scidive {
         }
     }
 
+    /// Builds a shard engine: identical to [`Scidive::new`] except the
+    /// event generator runs without an identity plane, because the
+    /// sharded dispatcher owns the one shared plane and injects its
+    /// events via [`Scidive::on_distilled`].
+    pub fn data_plane(config: ScidiveConfig) -> Scidive {
+        Scidive {
+            distiller: Distiller::new(config.distiller),
+            trails: TrailStore::new(config.trails),
+            events: EventGenerator::data_plane(config.events),
+            rules: builtin_ruleset(&config.rules),
+            alerts: Vec::new(),
+            stats: PipelineStats::default(),
+            event_log: Vec::new(),
+        }
+    }
+
     /// Adds a custom rule alongside the built-ins.
     pub fn add_rule(&mut self, rule: Box<dyn Rule>) {
         self.rules.push(rule);
@@ -109,26 +150,61 @@ impl Scidive {
         self.stats.frames += 1;
         let mut new_alerts = Vec::new();
         for fp in self.distiller.distill(time, pkt) {
-            self.stats.footprints += 1;
-            let (fp, key) = self.trails.insert(fp);
-            let events = self.events.on_footprint(&fp, &key, &self.trails);
-            self.stats.events += events.len() as u64;
-            for ev in &events {
-                let ctx = RuleCtx {
-                    now: time,
-                    trails: &self.trails,
-                };
-                for rule in &mut self.rules {
-                    new_alerts.extend(rule.on_event(ev, &ctx));
-                }
-            }
-            if self.event_log.len() < 100_000 {
-                self.event_log.extend(events);
-            }
+            self.process_footprint(time, fp, Vec::new(), &mut new_alerts);
         }
         self.stats.alerts += new_alerts.len() as u64;
         self.alerts.extend(new_alerts.iter().cloned());
         new_alerts
+    }
+
+    /// Feeds one frame's worth of already-distilled footprints (the
+    /// shard-side entry point: the dispatcher runs the distiller and the
+    /// identity plane, shards run everything downstream). Counts one
+    /// frame regardless of how many footprints it carried — including
+    /// zero, so per-shard frame counters still sum to the number of
+    /// frames the dispatcher saw.
+    pub fn on_distilled(
+        &mut self,
+        time: SimTime,
+        footprints: Vec<DistilledFootprint>,
+    ) -> Vec<Alert> {
+        self.stats.frames += 1;
+        let mut new_alerts = Vec::new();
+        for dfp in footprints {
+            self.process_footprint(time, dfp.footprint, dfp.injected_events, &mut new_alerts);
+        }
+        self.stats.alerts += new_alerts.len() as u64;
+        self.alerts.extend(new_alerts.iter().cloned());
+        new_alerts
+    }
+
+    /// Runs one footprint through trails → events → rules. `injected`
+    /// events (from an external identity plane) are appended after the
+    /// footprint's own events, matching the embedded-plane event order.
+    fn process_footprint(
+        &mut self,
+        time: SimTime,
+        fp: Footprint,
+        injected: Vec<Event>,
+        new_alerts: &mut Vec<Alert>,
+    ) {
+        self.stats.footprints += 1;
+        let (fp, key) = self.trails.insert(fp);
+        let mut events = self.events.on_footprint(&fp, &key, &self.trails);
+        events.extend(injected);
+        self.stats.events += events.len() as u64;
+        for ev in &events {
+            let ctx = RuleCtx {
+                now: time,
+                trails: &self.trails,
+            };
+            for rule in &mut self.rules {
+                new_alerts.extend(rule.on_event(ev, &ctx));
+            }
+        }
+        if self.event_log.len() < 100_000 {
+            self.event_log.extend(events);
+        }
     }
 
     /// Replays a capture (time, packet) in order.

@@ -409,6 +409,29 @@ struct GuessWindow {
     emitted: bool,
 }
 
+/// The identity plane: the cross-session detection state keyed by IP
+/// address or user identity rather than by session — registration /
+/// 4xx churn windows (§3.3 flood DoS), digest-response windows (§3.3
+/// password guessing), and the AOR → IP bindings behind the fake-IM
+/// check (§4.2.2).
+///
+/// In the single-engine pipeline it lives inside the
+/// [`EventGenerator`]. The sharded pipeline ([`crate::shard`]) lifts it
+/// into the dispatcher — it is the one stateful component that must see
+/// every SIP frame regardless of session — and runs the per-shard
+/// generators with the plane disabled
+/// ([`EventGenerator::data_plane`]), injecting the plane's events into
+/// the owning shard's stream instead.
+#[derive(Debug)]
+pub struct IdentityPlane {
+    config: EventGenConfig,
+    reg_windows: HashMap<Ipv4Addr, RegWindow>,
+    guess_windows: HashMap<(Ipv4Addr, String), GuessWindow>,
+    /// identity AOR → (ip, last_change).
+    aor_ips: HashMap<String, (Ipv4Addr, SimTime)>,
+    events_emitted: u64,
+}
+
 /// The Event Generator.
 #[derive(Debug)]
 pub struct EventGenerator {
@@ -418,10 +441,9 @@ pub struct EventGenerator {
     seq_history: HashMap<(FlowKey, u32), u16>,
     /// flow → ssrcs seen (for redirect snapshots).
     flow_ssrcs: HashMap<FlowKey, HashSet<u32>>,
-    reg_windows: HashMap<Ipv4Addr, RegWindow>,
-    guess_windows: HashMap<(Ipv4Addr, String), GuessWindow>,
-    /// identity AOR → (ip, last_change, last_seen).
-    aor_ips: HashMap<String, (Ipv4Addr, SimTime)>,
+    /// The embedded identity plane; `None` in data-plane (shard) mode,
+    /// where the dispatcher owns the single shared plane.
+    identity: Option<IdentityPlane>,
     events_emitted: u64,
 }
 
@@ -429,16 +451,31 @@ pub struct EventGenerator {
 const GLOBAL_SRC: Ipv4Addr = Ipv4Addr::UNSPECIFIED;
 
 impl EventGenerator {
-    /// Creates a generator.
+    /// Creates a generator with an embedded identity plane (the normal,
+    /// single-engine configuration).
     pub fn new(config: EventGenConfig) -> EventGenerator {
+        let identity = Some(IdentityPlane::new(config.clone()));
         EventGenerator {
             config,
             sessions: HashMap::new(),
             seq_history: HashMap::new(),
             flow_ssrcs: HashMap::new(),
-            reg_windows: HashMap::new(),
-            guess_windows: HashMap::new(),
-            aor_ips: HashMap::new(),
+            identity,
+            events_emitted: 0,
+        }
+    }
+
+    /// Creates a session-plane-only generator: identity-plane detection
+    /// (floods, password guessing, IM source checks) is disabled because
+    /// some external [`IdentityPlane`] owns that state. Used by the
+    /// shards of [`crate::shard::ShardedScidive`].
+    pub fn data_plane(config: EventGenConfig) -> EventGenerator {
+        EventGenerator {
+            config,
+            sessions: HashMap::new(),
+            seq_history: HashMap::new(),
+            flow_ssrcs: HashMap::new(),
+            identity: None,
             events_emitted: 0,
         }
     }
@@ -498,6 +535,15 @@ impl EventGenerator {
             }
             FootprintBody::Icmp { .. } => {}
         }
+        // Identity-plane checks run after the session-plane handlers, so
+        // a footprint's session events always precede its identity
+        // events. The sharded dispatcher relies on exactly this order
+        // when it injects plane events behind a shard's own output.
+        if let Some(plane) = self.identity.as_mut() {
+            let extra = plane.on_footprint(fp);
+            self.events_emitted += extra.len() as u64;
+            out.extend(extra);
+        }
         out
     }
 
@@ -544,26 +590,11 @@ impl EventGenerator {
             );
         }
 
-        // Identity → IP learning from originating (non-relay) legs.
-        let from_relay = self.config.infrastructure_ips.contains(&fp.meta.src);
-
         match msg.method() {
             Some(Method::Invite) => self.on_sip_invite(fp, &session, msg, out),
             Some(Method::Bye) => self.on_sip_bye(fp, &session, msg, out),
-            Some(Method::Register) => {
-                if !from_relay {
-                    if let Ok(from) = msg.from_() {
-                        self.learn_identity(&from.uri.aor(), fp.meta.src, time);
-                    }
-                }
-                self.track_register_request(fp.meta.src, time, out);
-                self.track_auth_response(fp.meta.src, msg, time, out);
-            }
-            Some(Method::Message) => {
-                if !from_relay {
-                    self.on_im(fp, msg, out);
-                }
-            }
+            // REGISTER and MESSAGE are pure identity-plane traffic,
+            // handled by [`IdentityPlane::on_footprint`].
             Some(_) => {}
             None => self.on_sip_response(fp, &session, msg, out),
         }
@@ -694,12 +725,9 @@ impl EventGenerator {
         let Some(status) = msg.status() else {
             return;
         };
-        // Registration churn: 4xx responses feed the flood window keyed
-        // by the challenged client (the response's destination).
-        if status.is_client_error() {
-            self.track_error_response(fp.meta.dst, time, out);
-        }
         if !status.is_success() {
+            // 4xx churn feeds the identity plane's flood window, not the
+            // session plane.
             return;
         }
         let Ok(cseq) = msg.cseq() else {
@@ -741,193 +769,6 @@ impl EventGenerator {
                 time,
                 Some(session.clone()),
                 EventKind::CallEstablished { caller, callee },
-            );
-        }
-    }
-
-    fn on_im(&mut self, fp: &Footprint, msg: &SipMessage, out: &mut Vec<Event>) {
-        let time = fp.meta.time;
-        let Ok(from) = msg.from_() else {
-            return;
-        };
-        let claimed = from.uri.aor();
-        let src = fp.meta.src;
-        if let Ok(call_id) = msg.call_id() {
-            self.emit(
-                out,
-                time,
-                None,
-                EventKind::ImObserved {
-                    claimed_aor: claimed.clone(),
-                    src_ip: src,
-                    dst_ip: fp.meta.dst,
-                    call_id: call_id.to_string(),
-                },
-            );
-        }
-        if !self.config.stateful {
-            // Stateless approximation: only the last IP, no mobility
-            // allowance — any change alarms.
-            match self.aor_ips.get(&claimed) {
-                Some(&(known, _)) if known != src => {
-                    self.emit(
-                        out,
-                        time,
-                        None,
-                        EventKind::ImSourceMismatch {
-                            claimed_aor: claimed,
-                            src_ip: src,
-                            expected_ip: known,
-                        },
-                    );
-                }
-                _ => {
-                    self.aor_ips.insert(claimed, (src, time));
-                }
-            }
-            return;
-        }
-        match self.aor_ips.get(&claimed) {
-            None => {
-                self.learn_identity(&claimed, src, time);
-            }
-            Some(&(known, _)) if known == src => {
-                self.aor_ips.insert(claimed, (src, time));
-            }
-            Some(&(known, last_change)) => {
-                let elapsed = time.saturating_since(last_change);
-                if elapsed >= self.config.im_mobility_interval {
-                    // Plausible mobility: accept and re-learn.
-                    self.learn_identity(&claimed, src, time);
-                } else {
-                    self.emit(
-                        out,
-                        time,
-                        None,
-                        EventKind::ImSourceMismatch {
-                            claimed_aor: claimed,
-                            src_ip: src,
-                            expected_ip: known,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn learn_identity(&mut self, aor: &str, ip: Ipv4Addr, time: SimTime) {
-        match self.aor_ips.get(aor) {
-            Some(&(known, _)) if known == ip => {
-                self.aor_ips.insert(aor.to_string(), (ip, time));
-            }
-            _ => {
-                self.aor_ips.insert(aor.to_string(), (ip, time));
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Registration flood / password guessing (§3.3)
-    // ------------------------------------------------------------------
-
-    fn flood_key(&self, src: Ipv4Addr) -> Ipv4Addr {
-        if self.config.stateful {
-            src
-        } else {
-            GLOBAL_SRC
-        }
-    }
-
-    fn track_register_request(&mut self, src: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
-        let key = self.flood_key(src);
-        let window = self.config.flood_window;
-        let w = self.reg_windows.entry(key).or_default();
-        w.requests.push_back(time);
-        prune(&mut w.requests, time, window);
-        self.check_flood(key, time, out);
-    }
-
-    fn track_error_response(&mut self, dst: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
-        let key = self.flood_key(dst);
-        let window = self.config.flood_window;
-        let w = self.reg_windows.entry(key).or_default();
-        w.errors.push_back(time);
-        prune(&mut w.errors, time, window);
-        self.check_flood(key, time, out);
-    }
-
-    fn check_flood(&mut self, key: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
-        let threshold = self.config.flood_threshold;
-        let Some(w) = self.reg_windows.get_mut(&key) else {
-            return;
-        };
-        // "Continuous, alternating SIP requests and 4XX error messages":
-        // the alternation count is the lesser of the two.
-        let stateful = self.config.stateful;
-        let count = if stateful {
-            (w.requests.len().min(w.errors.len())) as u32
-        } else {
-            // A stateless matcher can only count 4xx sightings.
-            w.errors.len() as u32
-        };
-        if count >= threshold && !w.flood_emitted {
-            w.flood_emitted = true;
-            self.emit(
-                out,
-                time,
-                None,
-                EventKind::RegisterFlood { src: key, count },
-            );
-        } else if count < threshold / 2 {
-            w.flood_emitted = false;
-        }
-    }
-
-    fn track_auth_response(
-        &mut self,
-        src: Ipv4Addr,
-        msg: &SipMessage,
-        time: SimTime,
-        out: &mut Vec<Event>,
-    ) {
-        let Some(creds) = msg
-            .headers
-            .get(&HeaderName::Authorization)
-            .and_then(|v| DigestCredentials::parse(v).ok())
-        else {
-            return;
-        };
-        let key = if self.config.stateful {
-            (src, creds.username.clone())
-        } else {
-            (GLOBAL_SRC, String::new())
-        };
-        let window = self.config.guess_window;
-        let threshold = self.config.guess_threshold;
-        let w = self.guess_windows.entry(key.clone()).or_default();
-        w.responses.push_back((time, creds.response.clone()));
-        while let Some(&(t, _)) = w.responses.front() {
-            if time.saturating_since(t) > window {
-                w.responses.pop_front();
-            } else {
-                break;
-            }
-        }
-        let distinct: HashSet<&str> =
-            w.responses.iter().map(|(_, r)| r.as_str()).collect();
-        let distinct_responses = distinct.len() as u32;
-        if distinct_responses >= threshold && !w.emitted {
-            w.emitted = true;
-            let username = creds.username.clone();
-            self.emit(
-                out,
-                time,
-                None,
-                EventKind::PasswordGuessing {
-                    src,
-                    username,
-                    distinct_responses,
-                },
             );
         }
     }
@@ -1145,6 +986,260 @@ impl EventGenerator {
                     billed: billed.to_string(),
                     observed_caller,
                     call_id: call_id.to_string(),
+                },
+            );
+        }
+    }
+}
+
+impl IdentityPlane {
+    /// Creates an empty identity plane.
+    pub fn new(config: EventGenConfig) -> IdentityPlane {
+        IdentityPlane {
+            config,
+            reg_windows: HashMap::new(),
+            guess_windows: HashMap::new(),
+            aor_ips: HashMap::new(),
+            events_emitted: 0,
+        }
+    }
+
+    /// Events produced so far by this plane.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Identities currently bound to an address.
+    pub fn identity_count(&self) -> usize {
+        self.aor_ips.len()
+    }
+
+    /// Processes one footprint; only SIP footprints carry identity-plane
+    /// signal (REGISTER churn, digest credentials, MESSAGE sources, 4xx
+    /// error responses), everything else returns no events.
+    pub fn on_footprint(&mut self, fp: &Footprint) -> Vec<Event> {
+        let mut out = Vec::new();
+        if let FootprintBody::Sip(msg) = &fp.body {
+            self.on_sip(fp, msg, &mut out);
+        }
+        out
+    }
+
+    fn emit(&mut self, out: &mut Vec<Event>, time: SimTime, kind: EventKind) {
+        self.events_emitted += 1;
+        // Identity-plane events are never session-scoped: floods, digest
+        // windows and IM histories are keyed by address or AOR.
+        out.push(Event {
+            time,
+            session: None,
+            kind,
+        });
+    }
+
+    fn on_sip(&mut self, fp: &Footprint, msg: &SipMessage, out: &mut Vec<Event>) {
+        let time = fp.meta.time;
+        // Identity → IP learning from originating (non-relay) legs.
+        let from_relay = self.config.infrastructure_ips.contains(&fp.meta.src);
+        match msg.method() {
+            Some(Method::Register) => {
+                if !from_relay {
+                    if let Ok(from) = msg.from_() {
+                        self.learn_identity(&from.uri.aor(), fp.meta.src, time);
+                    }
+                }
+                self.track_register_request(fp.meta.src, time, out);
+                self.track_auth_response(fp.meta.src, msg, time, out);
+            }
+            Some(Method::Message) => {
+                if !from_relay {
+                    self.on_im(fp, msg, out);
+                }
+            }
+            Some(_) => {}
+            None => {
+                // Registration churn: 4xx responses feed the flood
+                // window keyed by the challenged client (the response's
+                // destination).
+                if msg.status().is_some_and(|s| s.is_client_error()) {
+                    self.track_error_response(fp.meta.dst, time, out);
+                }
+            }
+        }
+    }
+
+    fn on_im(&mut self, fp: &Footprint, msg: &SipMessage, out: &mut Vec<Event>) {
+        let time = fp.meta.time;
+        let Ok(from) = msg.from_() else {
+            return;
+        };
+        let claimed = from.uri.aor();
+        let src = fp.meta.src;
+        if let Ok(call_id) = msg.call_id() {
+            self.emit(
+                out,
+                time,
+                EventKind::ImObserved {
+                    claimed_aor: claimed.clone(),
+                    src_ip: src,
+                    dst_ip: fp.meta.dst,
+                    call_id: call_id.to_string(),
+                },
+            );
+        }
+        if !self.config.stateful {
+            // Stateless approximation: only the last IP, no mobility
+            // allowance — any change alarms.
+            match self.aor_ips.get(&claimed) {
+                Some(&(known, _)) if known != src => {
+                    self.emit(
+                        out,
+                        time,
+                        EventKind::ImSourceMismatch {
+                            claimed_aor: claimed,
+                            src_ip: src,
+                            expected_ip: known,
+                        },
+                    );
+                }
+                _ => {
+                    self.aor_ips.insert(claimed, (src, time));
+                }
+            }
+            return;
+        }
+        match self.aor_ips.get(&claimed) {
+            None => {
+                self.learn_identity(&claimed, src, time);
+            }
+            Some(&(known, _)) if known == src => {
+                self.aor_ips.insert(claimed, (src, time));
+            }
+            Some(&(known, last_change)) => {
+                let elapsed = time.saturating_since(last_change);
+                if elapsed >= self.config.im_mobility_interval {
+                    // Plausible mobility: accept and re-learn.
+                    self.learn_identity(&claimed, src, time);
+                } else {
+                    self.emit(
+                        out,
+                        time,
+                        EventKind::ImSourceMismatch {
+                            claimed_aor: claimed,
+                            src_ip: src,
+                            expected_ip: known,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn learn_identity(&mut self, aor: &str, ip: Ipv4Addr, time: SimTime) {
+        match self.aor_ips.get(aor) {
+            Some(&(known, _)) if known == ip => {
+                self.aor_ips.insert(aor.to_string(), (ip, time));
+            }
+            _ => {
+                self.aor_ips.insert(aor.to_string(), (ip, time));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration flood / password guessing (§3.3)
+    // ------------------------------------------------------------------
+
+    fn flood_key(&self, src: Ipv4Addr) -> Ipv4Addr {
+        if self.config.stateful {
+            src
+        } else {
+            GLOBAL_SRC
+        }
+    }
+
+    fn track_register_request(&mut self, src: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
+        let key = self.flood_key(src);
+        let window = self.config.flood_window;
+        let w = self.reg_windows.entry(key).or_default();
+        w.requests.push_back(time);
+        prune(&mut w.requests, time, window);
+        self.check_flood(key, time, out);
+    }
+
+    fn track_error_response(&mut self, dst: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
+        let key = self.flood_key(dst);
+        let window = self.config.flood_window;
+        let w = self.reg_windows.entry(key).or_default();
+        w.errors.push_back(time);
+        prune(&mut w.errors, time, window);
+        self.check_flood(key, time, out);
+    }
+
+    fn check_flood(&mut self, key: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
+        let threshold = self.config.flood_threshold;
+        let Some(w) = self.reg_windows.get_mut(&key) else {
+            return;
+        };
+        // "Continuous, alternating SIP requests and 4XX error messages":
+        // the alternation count is the lesser of the two.
+        let stateful = self.config.stateful;
+        let count = if stateful {
+            (w.requests.len().min(w.errors.len())) as u32
+        } else {
+            // A stateless matcher can only count 4xx sightings.
+            w.errors.len() as u32
+        };
+        if count >= threshold && !w.flood_emitted {
+            w.flood_emitted = true;
+            self.emit(out, time, EventKind::RegisterFlood { src: key, count });
+        } else if count < threshold / 2 {
+            w.flood_emitted = false;
+        }
+    }
+
+    fn track_auth_response(
+        &mut self,
+        src: Ipv4Addr,
+        msg: &SipMessage,
+        time: SimTime,
+        out: &mut Vec<Event>,
+    ) {
+        let Some(creds) = msg
+            .headers
+            .get(&HeaderName::Authorization)
+            .and_then(|v| DigestCredentials::parse(v).ok())
+        else {
+            return;
+        };
+        let key = if self.config.stateful {
+            (src, creds.username.clone())
+        } else {
+            (GLOBAL_SRC, String::new())
+        };
+        let window = self.config.guess_window;
+        let threshold = self.config.guess_threshold;
+        let w = self.guess_windows.entry(key.clone()).or_default();
+        w.responses.push_back((time, creds.response.clone()));
+        while let Some(&(t, _)) = w.responses.front() {
+            if time.saturating_since(t) > window {
+                w.responses.pop_front();
+            } else {
+                break;
+            }
+        }
+        let distinct: HashSet<&str> =
+            w.responses.iter().map(|(_, r)| r.as_str()).collect();
+        let distinct_responses = distinct.len() as u32;
+        if distinct_responses >= threshold && !w.emitted {
+            w.emitted = true;
+            let username = creds.username.clone();
+            self.emit(
+                out,
+                time,
+                EventKind::PasswordGuessing {
+                    src,
+                    username,
+                    distinct_responses,
                 },
             );
         }

@@ -26,6 +26,10 @@
 //! * [`engine::Scidive`] assembles the pipeline; [`engine::IdsNode`]
 //!   deploys it as the paper's endpoint tap; [`online::OnlineScidive`]
 //!   runs it on a worker thread behind a channel.
+//! * [`routing`] resolves any footprint to its session key up front (the
+//!   SDP-derived media-correlation index lives here) and
+//!   [`shard::ShardedScidive`] uses it to fan the pipeline out over `N`
+//!   worker engines whose merged output is byte-identical to one engine.
 //! * [`baseline::SnortLike`] is the stateless, session-blind comparison
 //!   matcher of §3.3/§5; [`metrics`] scores alert streams into the
 //!   paper's `D`, `P_f`, `P_m`.
@@ -57,7 +61,9 @@ pub mod event;
 pub mod footprint;
 pub mod metrics;
 pub mod online;
+pub mod routing;
 pub mod rules;
+pub mod shard;
 pub mod trail;
 
 /// Convenient glob import of the common IDS types.
@@ -68,11 +74,19 @@ pub mod prelude {
         CooperativeCluster, CooperativeConfig, EndpointDetector, TaggedEvent,
     };
     pub use crate::distill::{Distiller, DistillerConfig};
-    pub use crate::engine::{IdsNode, PipelineStats, Scidive, ScidiveConfig};
-    pub use crate::event::{Event, EventClass, EventGenConfig, EventGenerator, EventKind, FlowKey};
+    pub use crate::engine::{
+        DistilledFootprint, IdsNode, PipelineStats, Scidive, ScidiveConfig,
+    };
+    pub use crate::event::{
+        Event, EventClass, EventGenConfig, EventGenerator, EventKind, FlowKey, IdentityPlane,
+    };
     pub use crate::footprint::{Footprint, FootprintBody, PacketMeta, TrailProto};
     pub use crate::metrics::{DetectionReport, InjectedAttack, RateAccumulator};
     pub use crate::online::OnlineScidive;
+    pub use crate::routing::{
+        stable_session_hash, MediaIndex, RouteDecision, SessionRouter,
+    };
+    pub use crate::shard::{DispatchStats, ShardStats, ShardedReport, ShardedScidive};
     pub use crate::rules::{
         builtin_ruleset, parse_ruleset, CombinationRule, Rule, RuleCtx, RuleToggles,
         SequenceRule, SpecError,

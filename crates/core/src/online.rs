@@ -2,19 +2,17 @@
 //!
 //! The simulator drives the IDS synchronously under virtual time; this
 //! module is the production-shaped alternative: frames are submitted
-//! from a capture thread over a channel and the engine runs on its own
-//! worker, publishing alerts behind a lock. Detection semantics are
-//! identical — the worker is the same [`Scidive`] — only the threading
-//! differs.
+//! from a capture thread and detection runs on worker threads behind
+//! bounded queues. Since the sharded pipeline's merged output is
+//! byte-identical to a single engine for any shard count,
+//! [`OnlineScidive`] is simply a [`ShardedScidive`] fixed at one shard —
+//! the same submit/finish surface, the same detection semantics.
 
 use crate::alert::Alert;
-use crate::engine::{PipelineStats, Scidive, ScidiveConfig};
-use crossbeam_channel::{bounded, Sender};
-use parking_lot::Mutex;
+use crate::engine::{PipelineStats, ScidiveConfig};
+use crate::shard::ShardedScidive;
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::SimTime;
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A frame handed to the online engine.
 #[derive(Debug, Clone)]
@@ -36,7 +34,7 @@ pub struct CaptureFrame {
 /// use scidive_netsim::time::SimTime;
 /// use std::net::Ipv4Addr;
 ///
-/// let ids = OnlineScidive::spawn(ScidiveConfig::default(), 64);
+/// let mut ids = OnlineScidive::spawn(ScidiveConfig::default(), 64);
 /// ids.submit(SimTime::ZERO, IpPacket::udp(
 ///     Ipv4Addr::new(10, 0, 0, 1), 5060,
 ///     Ipv4Addr::new(10, 0, 0, 2), 5060,
@@ -48,40 +46,25 @@ pub struct CaptureFrame {
 /// ```
 #[derive(Debug)]
 pub struct OnlineScidive {
-    tx: Sender<CaptureFrame>,
-    alerts: Arc<Mutex<Vec<Alert>>>,
-    worker: JoinHandle<PipelineStats>,
+    inner: ShardedScidive,
 }
 
 impl OnlineScidive {
     /// Spawns the worker with a bounded input queue of `queue_depth`.
     pub fn spawn(config: ScidiveConfig, queue_depth: usize) -> OnlineScidive {
-        let (tx, rx) = bounded::<CaptureFrame>(queue_depth);
-        let alerts: Arc<Mutex<Vec<Alert>>> = Arc::new(Mutex::new(Vec::new()));
-        let sink = alerts.clone();
-        let worker = std::thread::spawn(move || {
-            let mut ids = Scidive::new(config);
-            while let Ok(frame) = rx.recv() {
-                let new = ids.on_frame(frame.time, &frame.packet);
-                if !new.is_empty() {
-                    sink.lock().extend(new);
-                }
-            }
-            ids.stats()
-        });
-        OnlineScidive { tx, alerts, worker }
+        OnlineScidive {
+            inner: ShardedScidive::new(config, 1, queue_depth),
+        }
     }
 
     /// Submits one frame (blocks if the queue is full).
-    pub fn submit(&self, time: SimTime, packet: IpPacket) {
-        // A closed channel means the worker panicked; surface that at
-        // `finish` rather than here.
-        let _ = self.tx.send(CaptureFrame { time, packet });
+    pub fn submit(&mut self, time: SimTime, packet: IpPacket) {
+        self.inner.submit(time, &packet);
     }
 
     /// Snapshot of the alerts published so far.
     pub fn alerts_snapshot(&self) -> Vec<Alert> {
-        self.alerts.lock().clone()
+        self.inner.alerts_snapshot()
     }
 
     /// Closes the input, waits for the worker to drain, and returns all
@@ -91,18 +74,15 @@ impl OnlineScidive {
     ///
     /// Panics if the worker thread panicked.
     pub fn finish(self) -> (Vec<Alert>, PipelineStats) {
-        drop(self.tx);
-        let stats = self.worker.join().expect("ids worker panicked");
-        let alerts = Arc::try_unwrap(self.alerts)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone());
-        (alerts, stats)
+        let report = self.inner.finish();
+        (report.alerts, report.stats)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Scidive;
     use std::net::Ipv4Addr;
 
     fn sip_frame(payload: &str) -> IpPacket {
@@ -131,7 +111,7 @@ mod tests {
             offline.on_frame(*t, f);
         }
 
-        let online = OnlineScidive::spawn(ScidiveConfig::default(), 4);
+        let mut online = OnlineScidive::spawn(ScidiveConfig::default(), 4);
         for (t, f) in &frames {
             online.submit(*t, f.clone());
         }
@@ -142,7 +122,7 @@ mod tests {
 
     #[test]
     fn snapshot_while_running() {
-        let online = OnlineScidive::spawn(ScidiveConfig::default(), 4);
+        let mut online = OnlineScidive::spawn(ScidiveConfig::default(), 4);
         online.submit(
             SimTime::ZERO,
             sip_frame("OPTIONS sip:b@lab SIP/2.0\r\nCall-ID: x\r\n\r\n"),

@@ -1,0 +1,365 @@
+//! The shared session-routing layer.
+//!
+//! Two consumers need to answer "which session does this footprint
+//! belong to?": the [`crate::trail::TrailStore`] (to file the footprint
+//! into the right trail) and the sharded dispatcher of [`crate::shard`]
+//! (to route the footprint to the worker owning that session's state).
+//! Both answers must agree bit-for-bit, so the SDP-derived media
+//! correlation index and the session-derivation rules live here, in one
+//! place, and the trail store delegates to them.
+//!
+//! * [`MediaIndex`] — the `(sink address, port) → session` map learned
+//!   from SDP bodies, the heart of cross-protocol correlation.
+//! * [`MediaIndex::session_for`] — the canonical footprint → session
+//!   derivation (Call-ID for SIP and accounting, media correlation for
+//!   RTP/RTCP and garbage, synthetic keys otherwise).
+//! * [`SessionRouter`] — session → shard assignment: a stable FNV-1a
+//!   hash for real sessions, a designated overflow shard for synthetic
+//!   (unmatched) ones, so no traffic is ever silently dropped.
+
+use crate::footprint::{Footprint, FootprintBody};
+use crate::trail::SessionKey;
+use scidive_sip::sdp::SessionDescription;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The media correlation index: media sinks announced by SDP, mapped to
+/// the session that announced them.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_core::routing::MediaIndex;
+/// use scidive_core::trail::SessionKey;
+/// use std::net::Ipv4Addr;
+///
+/// let mut index = MediaIndex::new();
+/// let session = SessionKey::new("call-1");
+/// index.learn_target(Ipv4Addr::new(10, 0, 0, 2), 8000, &session);
+/// // The RTP port and its RTCP companion both resolve.
+/// assert_eq!(index.resolve(Ipv4Addr::new(10, 0, 0, 2), 8000), Some(&session));
+/// assert_eq!(index.resolve(Ipv4Addr::new(10, 0, 0, 2), 8001), Some(&session));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MediaIndex {
+    map: HashMap<(Ipv4Addr, u16), SessionKey>,
+}
+
+impl MediaIndex {
+    /// Creates an empty index.
+    pub fn new() -> MediaIndex {
+        MediaIndex::default()
+    }
+
+    /// Number of mapped (address, port) sinks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The session owning a media sink, if any SDP announced it.
+    pub fn resolve(&self, addr: Ipv4Addr, port: u16) -> Option<&SessionKey> {
+        self.map.get(&(addr, port))
+    }
+
+    /// Records a negotiated RTP target (and its RTCP companion port)
+    /// as belonging to `session`.
+    pub fn learn_target(&mut self, addr: Ipv4Addr, port: u16, session: &SessionKey) {
+        self.map.insert((addr, port), session.clone());
+        // RTCP companion port.
+        self.map.insert((addr, port + 1), session.clone());
+    }
+
+    /// Learns media sinks from an SDP body carried by a SIP footprint;
+    /// returns `true` if a mapping was added or refreshed.
+    pub fn learn_from(&mut self, fp: &Footprint, session: &SessionKey) -> bool {
+        let FootprintBody::Sip(msg) = &fp.body else {
+            return false;
+        };
+        if msg.content_type() != Some("application/sdp") {
+            return false;
+        }
+        let Ok(text) = std::str::from_utf8(&msg.body) else {
+            return false;
+        };
+        let Ok(sdp) = text.parse::<SessionDescription>() else {
+            return false;
+        };
+        if let Some((addr, port)) = sdp.rtp_target() {
+            self.learn_target(addr, port, session);
+            return true;
+        }
+        false
+    }
+
+    /// Derives the session a footprint belongs to — the single
+    /// canonical keying rule shared by the trail store and the sharded
+    /// dispatcher:
+    ///
+    /// * SIP keys by Call-ID (`sip-anon-{src}` when absent);
+    /// * unparseable SIP keys by `sip-malformed-{src}`;
+    /// * accounting transactions carry the Call-ID directly;
+    /// * RTP/RTCP resolve through this index (RTCP on the companion
+    ///   port), falling back to a synthetic `flow-{dst}:{port}` key;
+    /// * other UDP/ICMP aimed at a known media sink joins that session,
+    ///   falling back to `other-{dst}`.
+    pub fn session_for(&self, fp: &Footprint) -> SessionKey {
+        match &fp.body {
+            FootprintBody::Sip(msg) => match msg.call_id() {
+                Ok(id) => SessionKey::new(id),
+                Err(_) => SessionKey::new(format!("sip-anon-{}", fp.meta.src)),
+            },
+            FootprintBody::SipMalformed { .. } => {
+                SessionKey::new(format!("sip-malformed-{}", fp.meta.src))
+            }
+            FootprintBody::Acct(acct) => SessionKey::new(&acct.call_id),
+            FootprintBody::Rtp { .. } | FootprintBody::Rtcp(_) => {
+                // RTCP rides on port+1; map it onto the RTP sink's port.
+                let port = match &fp.body {
+                    FootprintBody::Rtcp(_) => fp.meta.dst_port.saturating_sub(1),
+                    _ => fp.meta.dst_port,
+                };
+                match self.resolve(fp.meta.dst, port) {
+                    Some(session) => session.clone(),
+                    None => SessionKey::new(format!("flow-{}:{}", fp.meta.dst, fp.meta.dst_port)),
+                }
+            }
+            FootprintBody::Icmp { .. }
+            | FootprintBody::UdpOther { .. }
+            | FootprintBody::UdpCorrupt { .. } => {
+                // Garbage aimed at a known media sink belongs to that
+                // session (that is how the RTP attack is correlated).
+                match self.resolve(fp.meta.dst, fp.meta.dst_port) {
+                    Some(session) => session.clone(),
+                    None => SessionKey::new(format!("other-{}", fp.meta.dst)),
+                }
+            }
+        }
+    }
+}
+
+/// Whether a session key is synthetic: manufactured for traffic that
+/// could not be correlated to any signalled session (unmatched media
+/// flows, stray UDP, anonymous or unparseable SIP).
+pub fn is_synthetic(session: &SessionKey) -> bool {
+    let s = session.0.as_str();
+    s.starts_with("flow-")
+        || s.starts_with("other-")
+        || s.starts_with("sip-anon-")
+        || s.starts_with("sip-malformed-")
+}
+
+/// A stable 64-bit FNV-1a hash of the session key. Independent of
+/// platform, process, and `HashMap` seeding — the same session always
+/// hashes identically, which is what makes shard assignment (and hence
+/// the merged alert stream) reproducible across runs and shard counts.
+pub fn stable_session_hash(session: &SessionKey) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in session.0.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Where the router decided a footprint goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The resolved session.
+    pub session: SessionKey,
+    /// The shard that owns the session's state.
+    pub shard: usize,
+    /// Whether the footprint fell through to the overflow shard (its
+    /// session is synthetic — unmatched media or uncorrelatable
+    /// traffic).
+    pub overflow: bool,
+}
+
+/// The dispatcher's session router: resolves each footprint to its
+/// session (maintaining the media index in arrival order, exactly as a
+/// single engine would) and assigns it a shard.
+///
+/// Real sessions are spread by [`stable_session_hash`]; synthetic
+/// sessions all land on the designated overflow shard, so unmatched
+/// media is still inspected — never silently dropped — and the shard
+/// assignment never flaps while a flow is waiting for the SDP that
+/// names it.
+#[derive(Debug)]
+pub struct SessionRouter {
+    index: MediaIndex,
+    shards: usize,
+}
+
+impl SessionRouter {
+    /// Creates a router dispatching over `shards` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> SessionRouter {
+        assert!(shards >= 1, "a sharded pipeline needs at least one shard");
+        SessionRouter {
+            index: MediaIndex::new(),
+            shards,
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that receives synthetic (unmatched) sessions.
+    pub fn overflow_shard(&self) -> usize {
+        0
+    }
+
+    /// Read access to the media index.
+    pub fn index(&self) -> &MediaIndex {
+        &self.index
+    }
+
+    /// The shard a session maps to, without touching the index.
+    pub fn shard_of(&self, session: &SessionKey) -> usize {
+        if is_synthetic(session) {
+            self.overflow_shard()
+        } else {
+            (stable_session_hash(session) % self.shards as u64) as usize
+        }
+    }
+
+    /// Routes one footprint: resolves its session, learns any SDP it
+    /// carries (keeping the index in lock-step with what a single
+    /// engine's trail store would know), and picks the shard.
+    pub fn route(&mut self, fp: &Footprint) -> RouteDecision {
+        let session = self.index.session_for(fp);
+        self.index.learn_from(fp, &session);
+        let shard = self.shard_of(&session);
+        RouteDecision {
+            overflow: is_synthetic(&session),
+            session,
+            shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::PacketMeta;
+    use scidive_netsim::time::SimTime;
+    use scidive_rtp::packet::RtpHeader;
+    use scidive_sip::header::{CSeq, NameAddr, Via};
+    use scidive_sip::method::Method;
+    use scidive_sip::msg::RequestBuilder;
+
+    fn meta(dst: [u8; 4], dport: u16) -> PacketMeta {
+        PacketMeta {
+            time: SimTime::from_millis(1),
+            src: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 5060,
+            dst: dst.into(),
+            dst_port: dport,
+        }
+    }
+
+    fn invite_with_sdp(call_id: &str, media_ip: [u8; 4], port: u16) -> Footprint {
+        let sdp = SessionDescription::audio_offer("alice", media_ip.into(), port);
+        let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
+        b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("a"))
+            .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+            .call_id(call_id)
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.2:5060", "z9hG4bK-r"))
+            .body("application/sdp", sdp.to_string());
+        Footprint {
+            meta: meta([10, 0, 0, 1], 5060),
+            body: FootprintBody::Sip(Box::new(b.build())),
+        }
+    }
+
+    fn rtp_to(dst: [u8; 4], dport: u16) -> Footprint {
+        Footprint {
+            meta: meta(dst, dport),
+            body: FootprintBody::Rtp {
+                header: RtpHeader::new(96, 7, 100, 0xabcd),
+                payload_len: 160,
+            },
+        }
+    }
+
+    #[test]
+    fn router_agrees_with_trail_store_keying() {
+        use crate::trail::{TrailStore, TrailStoreConfig};
+        let mut router = SessionRouter::new(4);
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        let frames = vec![
+            invite_with_sdp("c1", [10, 0, 0, 3], 8000),
+            rtp_to([10, 0, 0, 3], 8000),
+            rtp_to([10, 0, 0, 9], 9000),
+        ];
+        for fp in frames {
+            let decision = router.route(&fp);
+            let (_, key) = store.insert(fp);
+            assert_eq!(decision.session, key.session);
+        }
+    }
+
+    #[test]
+    fn matched_media_follows_its_sip_session() {
+        let mut router = SessionRouter::new(8);
+        let sip = router.route(&invite_with_sdp("c1", [10, 0, 0, 3], 8000));
+        let rtp = router.route(&rtp_to([10, 0, 0, 3], 8000));
+        let rtcp = router.route(&rtp_to([10, 0, 0, 3], 8000)); // same flow again
+        assert_eq!(sip.session, SessionKey::new("c1"));
+        assert_eq!(rtp.session, sip.session);
+        assert_eq!(rtp.shard, sip.shard);
+        assert_eq!(rtcp.shard, sip.shard);
+        assert!(!rtp.overflow);
+    }
+
+    #[test]
+    fn unmatched_media_goes_to_the_overflow_shard() {
+        let mut router = SessionRouter::new(8);
+        let decision = router.route(&rtp_to([10, 0, 0, 9], 9000));
+        assert!(decision.overflow);
+        assert_eq!(decision.shard, router.overflow_shard());
+        assert!(is_synthetic(&decision.session));
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        let a = stable_session_hash(&SessionKey::new("call-a"));
+        assert_eq!(a, stable_session_hash(&SessionKey::new("call-a")));
+        // Distinct keys should not trivially collide.
+        let hits: std::collections::HashSet<u64> = (0..100)
+            .map(|i| stable_session_hash(&SessionKey::new(format!("call-{i}"))))
+            .collect();
+        assert!(hits.len() > 90);
+        // And across 4 shards, 100 sessions should use every shard.
+        let router = SessionRouter::new(4);
+        let shards: std::collections::HashSet<usize> = (0..100)
+            .map(|i| router.shard_of(&SessionKey::new(format!("call-{i}"))))
+            .collect();
+        assert_eq!(shards.len(), 4);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let mk = || {
+            let mut router = SessionRouter::new(7);
+            let mut out = Vec::new();
+            out.push(router.route(&invite_with_sdp("c1", [10, 0, 0, 3], 8000)));
+            out.push(router.route(&rtp_to([10, 0, 0, 3], 8000)));
+            out.push(router.route(&rtp_to([10, 0, 0, 9], 9000)));
+            out
+        };
+        assert_eq!(mk(), mk());
+    }
+}

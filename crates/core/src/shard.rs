@@ -1,0 +1,402 @@
+//! Sharded parallel deployment of the engine.
+//!
+//! [`ShardedScidive`] runs `N` independent [`Scidive`] workers and a
+//! dispatcher that routes every frame to a shard by a stable hash of its
+//! resolved session key ([`crate::routing::SessionRouter`]). Because all
+//! of SCIDIVE's session-plane state — trails, dialog machines, per-flow
+//! sequence history, rule partial matches — is keyed by session, and the
+//! one piece of cross-session state (the [`IdentityPlane`]) is lifted
+//! into the dispatcher, the merged output is **byte-identical** to a
+//! single engine processing the same capture, for any shard count and
+//! any worker-thread timing:
+//!
+//! * every footprint of a session lands on the same shard, so each
+//!   shard's trail store and event generator see exactly the session
+//!   slice a single engine would maintain for those sessions;
+//! * identity-plane detection (REGISTER floods, password guessing, IM
+//!   source checks) runs in the dispatcher in dispatch order, and its
+//!   events are injected behind the owning footprint, preserving the
+//!   single-engine event order (session events first, identity events
+//!   after);
+//! * workers tag each alert with the dispatch sequence number of the
+//!   frame that raised it and its index within that frame's batch; the
+//!   merge stage sorts by that tag, which is exactly single-engine alert
+//!   order.
+//!
+//! Frames whose session cannot be attributed (media to unannounced
+//! sinks, undecodable SIP) resolve to synthetic per-flow sessions and
+//! are routed to a designated **overflow shard** — counted, never
+//! silently dropped. Queues are bounded: a full shard queue blocks the
+//! dispatcher (backpressure, recorded in
+//! [`ShardStats::enqueue_blocked`]) instead of shedding frames, so
+//! [`DispatchStats::dropped`] is structurally zero.
+//!
+//! One caveat bounds the equivalence claim: a media flow observed
+//! *before* the SDP that names its sink resolves to a synthetic session
+//! first and to the real session after the announcement. A single
+//! engine carries the flow's sequence history across that transition;
+//! with shards the two halves may land on different workers. Captures
+//! where media follows signalling — every testbed scenario, and any
+//! well-formed call — are unaffected.
+
+use crate::alert::Alert;
+use crate::distill::{DistillStats, Distiller};
+use crate::engine::{DistilledFootprint, PipelineStats, Scidive, ScidiveConfig};
+use crate::event::IdentityPlane;
+use crate::routing::SessionRouter;
+use crossbeam_channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One dispatched frame: the distiller ran in the dispatcher, so shards
+/// receive footprints, not packets. `fp` is `None` for frames that
+/// produced no footprint (fragments awaiting reassembly) — still sent so
+/// per-shard frame counters sum to the dispatcher's.
+#[derive(Debug)]
+struct ShardFrame {
+    /// Dispatch sequence number, the global merge key.
+    seq: u64,
+    time: SimTime,
+    fp: Option<DistilledFootprint>,
+}
+
+/// An alert tagged with its merge position: dispatch sequence number of
+/// the raising frame, then index within that frame's alert batch.
+type TaggedAlert = (u64, u32, Alert);
+
+/// Counters for one shard of a [`ShardedScidive`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Which shard (0 is also the overflow shard).
+    pub shard: usize,
+    /// The shard engine's own pipeline counters.
+    pub pipeline: PipelineStats,
+    /// Frames the dispatcher routed here.
+    pub dispatched: u64,
+    /// Times the dispatcher found this shard's queue full and had to
+    /// block (backpressure; nothing is dropped).
+    pub enqueue_blocked: u64,
+}
+
+/// Dispatcher-side counters of a [`ShardedScidive`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchStats {
+    /// Frames submitted.
+    pub frames: u64,
+    /// Frames that produced no footprint (e.g. fragments still
+    /// reassembling); accounted to the overflow shard.
+    pub empty_frames: u64,
+    /// Footprints whose session was synthetic (unattributable) and went
+    /// to the overflow shard.
+    pub overflow_frames: u64,
+    /// Frames dropped. Structurally zero — a full queue blocks the
+    /// dispatcher instead — kept as an explicit invariant counter.
+    pub dropped: u64,
+}
+
+/// The merged result of a sharded run.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// All alerts, in single-engine order.
+    pub alerts: Vec<Alert>,
+    /// Sum of the per-shard pipeline counters; equals a single engine's
+    /// [`PipelineStats`] over the same capture.
+    pub stats: PipelineStats,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+    /// Dispatcher counters.
+    pub dispatch: DispatchStats,
+}
+
+/// A sharded SCIDIVE: dispatcher + `N` worker engines + deterministic
+/// merge.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_core::engine::ScidiveConfig;
+/// use scidive_core::shard::ShardedScidive;
+/// use scidive_netsim::packet::IpPacket;
+/// use scidive_netsim::time::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut ids = ShardedScidive::new(ScidiveConfig::default(), 4, 64);
+/// ids.submit(SimTime::ZERO, &IpPacket::udp(
+///     Ipv4Addr::new(10, 0, 0, 1), 5060,
+///     Ipv4Addr::new(10, 0, 0, 2), 5060,
+///     b"OPTIONS sip:b@lab SIP/2.0\r\nCall-ID: x\r\n\r\n".as_ref(),
+/// ));
+/// let report = ids.finish();
+/// assert_eq!(report.stats.frames, 1);
+/// assert_eq!(report.dispatch.dropped, 0);
+/// assert!(report.alerts.iter().all(|a| a.rule == "sip-format"));
+/// ```
+#[derive(Debug)]
+pub struct ShardedScidive {
+    distiller: Distiller,
+    router: SessionRouter,
+    identity: IdentityPlane,
+    senders: Vec<Sender<ShardFrame>>,
+    workers: Vec<JoinHandle<PipelineStats>>,
+    sink: Arc<Mutex<Vec<TaggedAlert>>>,
+    seq: u64,
+    dispatch: DispatchStats,
+    dispatched: Vec<u64>,
+    blocked: Vec<u64>,
+}
+
+impl ShardedScidive {
+    /// Spawns `shards` worker engines, each with a bounded input queue
+    /// of `queue_depth` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: ScidiveConfig, shards: usize, queue_depth: usize) -> ShardedScidive {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
+        let sink: Arc<Mutex<Vec<TaggedAlert>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded::<ShardFrame>(queue_depth);
+            let cfg = config.clone();
+            let shard_sink = sink.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut ids = Scidive::data_plane(cfg);
+                while let Ok(frame) = rx.recv() {
+                    let new =
+                        ids.on_distilled(frame.time, frame.fp.into_iter().collect());
+                    if !new.is_empty() {
+                        let mut sink = shard_sink.lock();
+                        for (idx, alert) in new.into_iter().enumerate() {
+                            sink.push((frame.seq, idx as u32, alert));
+                        }
+                    }
+                }
+                ids.stats()
+            }));
+            senders.push(tx);
+        }
+        ShardedScidive {
+            distiller: Distiller::new(config.distiller),
+            router: SessionRouter::new(shards),
+            identity: IdentityPlane::new(config.events),
+            senders,
+            workers,
+            sink,
+            seq: 0,
+            dispatch: DispatchStats::default(),
+            dispatched: vec![0; shards],
+            blocked: vec![0; shards],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Read access to the session router (and its media index).
+    pub fn router(&self) -> &SessionRouter {
+        &self.router
+    }
+
+    /// Dispatcher counters so far.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.dispatch
+    }
+
+    /// Dispatcher-side distiller counters.
+    pub fn distill_stats(&self) -> DistillStats {
+        self.distiller.stats()
+    }
+
+    /// Events the dispatcher's identity plane produced so far.
+    pub fn identity_events_emitted(&self) -> u64 {
+        self.identity.events_emitted()
+    }
+
+    /// Feeds one frame: distills it, resolves its session, routes it to
+    /// its shard. Blocks while that shard's queue is full.
+    pub fn submit(&mut self, time: SimTime, pkt: &IpPacket) {
+        self.dispatch.frames += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        let mut fps = self.distiller.distill(time, pkt);
+        debug_assert!(fps.len() <= 1, "distiller yields at most one footprint per frame");
+        let Some(fp) = fps.pop() else {
+            // No footprint (fragment in flight): account the frame on
+            // the overflow shard so per-shard frame counters still sum
+            // to the dispatcher's frame count.
+            self.dispatch.empty_frames += 1;
+            self.send(self.router.overflow_shard(), ShardFrame { seq, time, fp: None });
+            return;
+        };
+        let decision = self.router.route(&fp);
+        if decision.overflow {
+            self.dispatch.overflow_frames += 1;
+        }
+        // The identity plane sees every footprint in dispatch order; its
+        // events ride along to the owning shard.
+        let injected_events = self.identity.on_footprint(&fp);
+        self.send(
+            decision.shard,
+            ShardFrame {
+                seq,
+                time,
+                fp: Some(DistilledFootprint {
+                    footprint: fp,
+                    injected_events,
+                }),
+            },
+        );
+    }
+
+    fn send(&mut self, shard: usize, frame: ShardFrame) {
+        self.dispatched[shard] += 1;
+        match self.senders[shard].try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(frame)) => {
+                // Backpressure: block until the shard drains. Frames are
+                // never shed, so `dispatch.dropped` stays zero.
+                self.blocked[shard] += 1;
+                let _ = self.senders[shard].send(frame);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Worker died (panicked); surfaced by finish().
+            }
+        }
+    }
+
+    /// Replays a capture (time, packet) in order.
+    pub fn process_capture<'a, I>(&mut self, frames: I)
+    where
+        I: IntoIterator<Item = (SimTime, &'a IpPacket)>,
+    {
+        for (time, pkt) in frames {
+            self.submit(time, pkt);
+        }
+    }
+
+    /// Snapshot of the alerts published so far, in merge order. Shards
+    /// still working may append more; `finish` is authoritative.
+    pub fn alerts_snapshot(&self) -> Vec<Alert> {
+        let mut tagged = self.sink.lock().clone();
+        tagged.sort_by_key(|&(seq, idx, _)| (seq, idx));
+        tagged.into_iter().map(|(_, _, a)| a).collect()
+    }
+
+    /// Closes the queues, waits for every shard to drain, and returns
+    /// the merged report. The alert stream and summed pipeline counters
+    /// equal a single engine's output over the same capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    pub fn finish(self) -> ShardedReport {
+        let ShardedScidive {
+            senders,
+            workers,
+            sink,
+            dispatch,
+            dispatched,
+            blocked,
+            ..
+        } = self;
+        drop(senders);
+        let mut shards = Vec::with_capacity(workers.len());
+        for (shard, worker) in workers.into_iter().enumerate() {
+            let pipeline = worker.join().expect("shard worker panicked");
+            shards.push(ShardStats {
+                shard,
+                pipeline,
+                dispatched: dispatched[shard],
+                enqueue_blocked: blocked[shard],
+            });
+        }
+        let stats = shards
+            .iter()
+            .fold(PipelineStats::default(), |acc, s| acc + s.pipeline);
+        let mut tagged = Arc::try_unwrap(sink)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        tagged.sort_by_key(|&(seq, idx, _)| (seq, idx));
+        let alerts = tagged.into_iter().map(|(_, _, a)| a).collect();
+        ShardedReport {
+            alerts,
+            stats,
+            shards,
+            dispatch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sip_frame(payload: &str) -> IpPacket {
+        IpPacket::udp(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5060,
+            Ipv4Addr::new(10, 0, 0, 1),
+            5060,
+            payload.as_bytes().to_vec(),
+        )
+    }
+
+    fn options(call_id: &str) -> IpPacket {
+        sip_frame(&format!(
+            "OPTIONS sip:b@lab SIP/2.0\r\nCall-ID: {call_id}\r\n\r\n"
+        ))
+    }
+
+    #[test]
+    fn sharded_matches_single_engine() {
+        let frames: Vec<(SimTime, IpPacket)> = (0..40)
+            .map(|i| (SimTime::from_millis(i), options(&format!("call-{}", i % 5))))
+            .collect();
+
+        let mut single = Scidive::new(ScidiveConfig::default());
+        for (t, f) in &frames {
+            single.on_frame(*t, f);
+        }
+
+        for shards in [1, 2, 4] {
+            let mut sharded = ShardedScidive::new(ScidiveConfig::default(), shards, 8);
+            sharded.process_capture(frames.iter().map(|(t, f)| (*t, f)));
+            let report = sharded.finish();
+            assert_eq!(report.alerts, single.alerts(), "shards={shards}");
+            assert_eq!(report.stats, single.stats(), "shards={shards}");
+            assert_eq!(report.dispatch.dropped, 0);
+        }
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_dispatch() {
+        let mut sharded = ShardedScidive::new(ScidiveConfig::default(), 3, 4);
+        for i in 0..30 {
+            sharded.submit(SimTime::from_millis(i), &options(&format!("c{}", i % 7)));
+        }
+        let report = sharded.finish();
+        assert_eq!(report.dispatch.frames, 30);
+        assert_eq!(
+            report.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+            30
+        );
+        assert_eq!(
+            report.shards.iter().map(|s| s.pipeline.frames).sum::<u64>(),
+            30
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedScidive::new(ScidiveConfig::default(), 0, 4);
+    }
+}

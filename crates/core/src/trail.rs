@@ -6,13 +6,14 @@
 //!
 //! Session keying: SIP footprints key by Call-ID; accounting
 //! transactions carry the Call-ID directly; RTP/RTCP flows are linked to
-//! the SIP session whose SDP announced their destination — the media
-//! correlation index maintained here is the heart of cross-protocol
-//! grouping.
+//! the SIP session whose SDP announced their destination. The keying
+//! rules and the media correlation index itself live in
+//! [`crate::routing`] (they are shared with the sharded dispatcher);
+//! the store here applies them to file footprints into trails.
 
-use crate::footprint::{Footprint, FootprintBody, TrailProto};
+use crate::footprint::{Footprint, TrailProto};
+use crate::routing::MediaIndex;
 use scidive_netsim::time::{SimDuration, SimTime};
-use scidive_sip::sdp::SessionDescription;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -142,7 +143,7 @@ pub struct TrailStore {
     config: TrailStoreConfig,
     trails: HashMap<TrailKey, Trail>,
     /// (media sink addr, port) → owning session, learned from SDP.
-    media_index: HashMap<(Ipv4Addr, u16), SessionKey>,
+    media_index: MediaIndex,
     stats: TrailStats,
 }
 
@@ -152,7 +153,7 @@ impl TrailStore {
         TrailStore {
             config,
             trails: HashMap::new(),
-            media_index: HashMap::new(),
+            media_index: MediaIndex::new(),
             stats: TrailStats::default(),
         }
     }
@@ -174,7 +175,12 @@ impl TrailStore {
 
     /// The session owning a media sink, if announced by any SDP seen.
     pub fn session_for_media(&self, addr: Ipv4Addr, port: u16) -> Option<&SessionKey> {
-        self.media_index.get(&(addr, port))
+        self.media_index.resolve(addr, port)
+    }
+
+    /// Read access to the media correlation index.
+    pub fn media_index(&self) -> &MediaIndex {
+        &self.media_index
     }
 
     /// A trail by key, for the "crude information directly from the
@@ -221,60 +227,15 @@ impl TrailStore {
         (fp, key)
     }
 
-    /// Derives the session a footprint belongs to.
+    /// Derives the session a footprint belongs to (the canonical rule
+    /// shared with the dispatcher lives on [`MediaIndex`]).
     fn session_of(&self, fp: &Footprint) -> SessionKey {
-        match &fp.body {
-            FootprintBody::Sip(msg) => match msg.call_id() {
-                Ok(id) => SessionKey::new(id),
-                Err(_) => SessionKey::new(format!("sip-anon-{}", fp.meta.src)),
-            },
-            FootprintBody::SipMalformed { .. } => {
-                SessionKey::new(format!("sip-malformed-{}", fp.meta.src))
-            }
-            FootprintBody::Acct(acct) => SessionKey::new(&acct.call_id),
-            FootprintBody::Rtp { .. } | FootprintBody::Rtcp(_) => {
-                // RTCP rides on port+1; map it onto the RTP sink's port.
-                let port = match &fp.body {
-                    FootprintBody::Rtcp(_) => fp.meta.dst_port.saturating_sub(1),
-                    _ => fp.meta.dst_port,
-                };
-                match self.media_index.get(&(fp.meta.dst, port)) {
-                    Some(session) => session.clone(),
-                    None => SessionKey::new(format!("flow-{}:{}", fp.meta.dst, fp.meta.dst_port)),
-                }
-            }
-            FootprintBody::Icmp { .. }
-            | FootprintBody::UdpOther { .. }
-            | FootprintBody::UdpCorrupt { .. } => {
-                // Garbage aimed at a known media sink belongs to that
-                // session (that is how the RTP attack is correlated).
-                match self.media_index.get(&(fp.meta.dst, fp.meta.dst_port)) {
-                    Some(session) => session.clone(),
-                    None => SessionKey::new(format!("other-{}", fp.meta.dst)),
-                }
-            }
-        }
+        self.media_index.session_for(fp)
     }
 
     /// Learns media sinks from SDP bodies in SIP messages.
     fn learn_media(&mut self, fp: &Footprint, session: &SessionKey) {
-        let FootprintBody::Sip(msg) = &fp.body else {
-            return;
-        };
-        if msg.content_type() != Some("application/sdp") {
-            return;
-        }
-        let Ok(text) = std::str::from_utf8(&msg.body) else {
-            return;
-        };
-        let Ok(sdp) = text.parse::<SessionDescription>() else {
-            return;
-        };
-        if let Some((addr, port)) = sdp.rtp_target() {
-            self.media_index.insert((addr, port), session.clone());
-            // RTCP companion port.
-            self.media_index.insert((addr, port + 1), session.clone());
-        }
+        self.media_index.learn_from(fp, session);
     }
 
     fn expire(&mut self, now: SimTime) {
@@ -289,8 +250,9 @@ impl TrailStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::footprint::PacketMeta;
+    use crate::footprint::{FootprintBody, PacketMeta};
     use scidive_rtp::packet::RtpHeader;
+    use scidive_sip::sdp::SessionDescription;
     use scidive_sip::header::{CSeq, NameAddr, Via};
     use scidive_sip::method::Method;
     use scidive_sip::msg::RequestBuilder;

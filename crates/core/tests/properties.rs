@@ -1,6 +1,7 @@
 //! Property-based tests for the IDS core: the Distiller is total over
-//! arbitrary bytes, trail accounting balances, and metric identities
-//! hold.
+//! arbitrary bytes, trail accounting balances, metric identities hold,
+//! routing is stable, and the sharded pipeline is shard-count
+//! invariant over random interleaved SIP/RTP schedules.
 
 use proptest::prelude::*;
 use scidive_core::alert::{Alert, Severity};
@@ -8,10 +9,18 @@ use scidive_core::distill::{Distiller, DistillerConfig};
 use scidive_core::engine::{Scidive, ScidiveConfig};
 use scidive_core::footprint::{Footprint, FootprintBody, PacketMeta};
 use scidive_core::metrics::{DetectionReport, InjectedAttack};
-use scidive_core::trail::{TrailStore, TrailStoreConfig};
+use scidive_core::routing::SessionRouter;
+use scidive_core::shard::ShardedScidive;
+use scidive_core::trail::{SessionKey, TrailStore, TrailStoreConfig};
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::SimTime;
-use scidive_rtp::packet::RtpHeader;
+use scidive_rtp::packet::{RtpHeader, RtpPacket};
+use scidive_sip::header::{CSeq, HeaderName, NameAddr, Via};
+use scidive_sip::method::Method;
+use scidive_sip::msg::{response_to, RequestBuilder, SipMessage};
+use scidive_sip::sdp::SessionDescription;
+use scidive_sip::status::StatusCode;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 fn ip() -> impl Strategy<Value = Ipv4Addr> {
@@ -140,6 +149,239 @@ proptest! {
             if let Some(d) = o.delay() {
                 prop_assert!(d.as_micros() < u64::MAX);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random interleaved SIP/RTP schedules.
+//
+// A schedule is a list of (call, op, noise) triples lowered to concrete
+// frames by a per-call dialog state machine, so every generated capture
+// is causally well-formed: media only flows to sinks that were already
+// announced in SDP, or to sinks that are *never* announced (pure
+// noise). That restriction mirrors the documented sharding caveat —
+// RTP that races its own announcement may split generator-local state
+// across shards — and keeps the differential property exact.
+// ---------------------------------------------------------------------------
+
+/// One randomly chosen schedule step, before lowering.
+type Op = (usize, u8, u16);
+
+const CALLS: usize = 4;
+
+fn caller_ip(call: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 1, call as u8 + 1)
+}
+
+fn callee_ip(call: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 2, call as u8 + 1)
+}
+
+fn caller_media_port(call: usize) -> u16 {
+    8000 + 2 * call as u16
+}
+
+fn callee_media_port(call: usize) -> u16 {
+    9000 + 2 * call as u16
+}
+
+fn sip_frame(src: Ipv4Addr, dst: Ipv4Addr, msg: &SipMessage) -> IpPacket {
+    IpPacket::udp(src, 5060, dst, 5060, msg.to_bytes())
+}
+
+fn invite_msg(call: usize) -> SipMessage {
+    let sdp = SessionDescription::audio_offer("alice", caller_ip(call), caller_media_port(call));
+    let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
+    b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("a"))
+        .to(NameAddr::new("sip:bob@lab".parse().unwrap()))
+        .call_id(format!("prop-call-{call}"))
+        .cseq(CSeq::new(1, Method::Invite))
+        .via(Via::udp("10.0.1.1:5060", "z9hG4bK-p"))
+        .body("application/sdp", sdp.to_string());
+    b.build()
+}
+
+fn invite_packet(call: usize) -> IpPacket {
+    sip_frame(caller_ip(call), callee_ip(call), &invite_msg(call))
+}
+
+/// 200 OK answering the INVITE, carrying the callee's SDP answer.
+fn ok_packet(call: usize) -> IpPacket {
+    let sdp = SessionDescription::audio_offer("bob", callee_ip(call), callee_media_port(call));
+    let mut resp = response_to(&invite_msg(call), StatusCode::OK, Some("b"));
+    resp.headers.set(HeaderName::ContentType, "application/sdp");
+    resp.body = sdp.to_string().into();
+    sip_frame(callee_ip(call), caller_ip(call), &resp)
+}
+
+fn bye_packet(call: usize) -> IpPacket {
+    let mut b = RequestBuilder::new(Method::Bye, "sip:bob@lab".parse().unwrap());
+    b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("a"))
+        .to(NameAddr::new("sip:bob@lab".parse().unwrap()).with_tag("b"))
+        .call_id(format!("prop-call-{call}"))
+        .cseq(CSeq::new(2, Method::Bye))
+        .via(Via::udp("10.0.1.1:5060", "z9hG4bK-q"));
+    sip_frame(caller_ip(call), callee_ip(call), &b.build())
+}
+
+fn rtp_packet(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, seq: u16, ssrc: u32) -> IpPacket {
+    let pkt = RtpPacket::new(RtpHeader::new(0, seq, seq as u32 * 160, ssrc), vec![0u8; 160]);
+    IpPacket::udp(src, sport, dst, dport, pkt.encode())
+}
+
+/// RTP to a sink no SDP ever announces: always unattributable, always
+/// the overflow shard.
+fn noise_rtp(noise: u16, seq: u16) -> IpPacket {
+    rtp_packet(
+        Ipv4Addr::new(10, 9, 1, 1),
+        7000,
+        Ipv4Addr::new(10, 9, 0, noise as u8),
+        40000 + noise % 1000,
+        seq,
+        0x9999,
+    )
+}
+
+/// Non-RTP garbage to an equally never-announced sink.
+fn garbage_udp(noise: u16) -> IpPacket {
+    IpPacket::udp(
+        Ipv4Addr::new(10, 9, 1, 2),
+        7001,
+        Ipv4Addr::new(10, 9, 0, noise as u8),
+        41000 + noise % 1000,
+        b"not media, not signalling".as_ref(),
+    )
+}
+
+/// REGISTER from a rotating set of users: exercises the identity plane
+/// (learning, registration windows) that lives in the dispatcher.
+fn register_packet(noise: u16) -> IpPacket {
+    let user = noise % 8;
+    let src = Ipv4Addr::new(10, 3, user as u8, 1);
+    let mut b = RequestBuilder::new(Method::Register, "sip:lab".parse().unwrap());
+    b.from(NameAddr::new(format!("sip:user{user}@lab").parse().unwrap()).with_tag("r"))
+        .to(NameAddr::new(format!("sip:user{user}@lab").parse().unwrap()))
+        .call_id(format!("reg-{user}"))
+        .cseq(CSeq::new(1, Method::Register))
+        .via(Via::udp("10.3.0.1:5060", "z9hG4bK-s"))
+        .contact(NameAddr::new(format!("sip:user{user}@{src}").parse().unwrap()))
+        .expires(3600);
+    sip_frame(src, Ipv4Addr::new(10, 0, 0, 100), &b.build())
+}
+
+/// Lowers a random op list to a causally well-formed capture with
+/// strictly monotone timestamps.
+fn schedule_frames(ops: &[Op]) -> Vec<(SimTime, IpPacket)> {
+    // Dialog phase per call: 0 idle, 1 invited (caller SDP announced),
+    // 2 established (both SDPs announced), 3 torn down.
+    let mut phase = [0u8; CALLS];
+    let mut frames = Vec::new();
+    for (step, &(call, kind, noise)) in ops.iter().enumerate() {
+        let seq = step as u16;
+        let pkt = match kind {
+            0 => match phase[call] {
+                0 => {
+                    phase[call] = 1;
+                    Some(invite_packet(call))
+                }
+                1 => {
+                    phase[call] = 2;
+                    Some(ok_packet(call))
+                }
+                2 => {
+                    phase[call] = 3;
+                    Some(bye_packet(call))
+                }
+                _ => None,
+            },
+            // Media toward the caller's sink: valid once the INVITE
+            // announced it.
+            1 if phase[call] >= 1 => Some(rtp_packet(
+                callee_ip(call),
+                callee_media_port(call),
+                caller_ip(call),
+                caller_media_port(call),
+                seq,
+                0x1000 + call as u32,
+            )),
+            // Media toward the callee's sink: valid once the 200 OK
+            // answered.
+            2 if phase[call] >= 2 => Some(rtp_packet(
+                caller_ip(call),
+                caller_media_port(call),
+                callee_ip(call),
+                callee_media_port(call),
+                seq,
+                0x2000 + call as u32,
+            )),
+            3 => Some(noise_rtp(noise, seq)),
+            4 => Some(garbage_udp(noise)),
+            5 => Some(register_packet(noise)),
+            _ => None,
+        };
+        if let Some(p) = pkt {
+            frames.push((SimTime::from_millis(10 * step as u64 + 1), p));
+        }
+    }
+    frames
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0usize..CALLS, 0u8..6, any::<u16>()), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Routing stability: the dispatcher's session resolution is
+    /// deterministic, agrees with the trail store's keying (the two
+    /// views of "which session does this footprint belong to" never
+    /// diverge), and every footprint of a session lands on the same
+    /// shard for the whole capture.
+    #[test]
+    fn routing_is_stable_over_random_schedules(ops in ops()) {
+        let frames = schedule_frames(&ops);
+        let mut router_a = SessionRouter::new(5);
+        let mut router_b = SessionRouter::new(5);
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        let mut distiller = Distiller::new(DistillerConfig::default());
+        let mut pinned: HashMap<SessionKey, usize> = HashMap::new();
+        for (t, pkt) in &frames {
+            for fp in distiller.distill(*t, pkt) {
+                let da = router_a.route(&fp);
+                let db = router_b.route(&fp);
+                prop_assert_eq!(&da, &db);
+                let (_, key) = store.insert(fp);
+                prop_assert_eq!(&da.session, &key.session);
+                if let Some(prev) = pinned.insert(da.session.clone(), da.shard) {
+                    prop_assert_eq!(prev, da.shard);
+                }
+            }
+        }
+    }
+
+    /// Shard-count invariance: replaying any causally well-formed
+    /// random schedule through `ShardedScidive` yields the same alert
+    /// stream and the same summed counters as a single `Scidive`, for
+    /// every shard count — including a prime that divides nothing.
+    #[test]
+    fn random_schedules_are_shard_count_invariant(ops in ops()) {
+        let frames = schedule_frames(&ops);
+        let mut single = Scidive::new(ScidiveConfig::default());
+        for (t, pkt) in &frames {
+            single.on_frame(*t, pkt);
+        }
+        for shards in [1usize, 2, 5] {
+            let mut sharded = ShardedScidive::new(ScidiveConfig::default(), shards, 16);
+            for (t, pkt) in &frames {
+                sharded.submit(*t, pkt);
+            }
+            let report = sharded.finish();
+            prop_assert_eq!(&report.alerts[..], single.alerts());
+            prop_assert_eq!(report.stats, single.stats());
+            prop_assert_eq!(report.dispatch.dropped, 0);
+            prop_assert_eq!(report.dispatch.frames, frames.len() as u64);
         }
     }
 }

@@ -990,6 +990,12 @@ impl UserAgent {
         let Some(code) = resp.status() else {
             return;
         };
+        // RFC 3261 §17.1.3: responses match a client transaction by Via
+        // branch AND CSeq method. A 200 to our CANCEL carries the
+        // INVITE's branch and must not complete the INVITE transaction.
+        if resp.cseq().map(|c| c.method).ok() != Some(pending.txn.method()) {
+            return;
+        }
         pending.txn.on_response(code);
         let method = pending.txn.method();
         if code.is_provisional() {

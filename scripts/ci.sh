@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, lint wall.
+#
+# The test suite includes the sharded-pipeline differential harness
+# (tests/shard_equivalence.rs, crates/core/tests/properties.rs) and the
+# 2-shard smoke in scidive-bench, so a green run proves the parallel
+# deployment is byte-identical to the single engine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "CI green."

@@ -38,7 +38,7 @@ fn online_engine_matches_offline_on_attack_capture() {
         offline.on_frame(f.time, &f.packet);
     }
 
-    let online = OnlineScidive::spawn(config, 128);
+    let mut online = OnlineScidive::spawn(config, 128);
     for f in &frames {
         online.submit(f.time, f.packet.clone());
     }
@@ -55,7 +55,7 @@ fn online_engine_with_tiny_queue_backpressures_correctly() {
     let mut config = ScidiveConfig::default();
     config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
     // Queue depth 1: every submit contends with the worker.
-    let online = OnlineScidive::spawn(config.clone(), 1);
+    let mut online = OnlineScidive::spawn(config.clone(), 1);
     for f in &frames {
         online.submit(f.time, f.packet.clone());
     }
@@ -67,4 +67,84 @@ fn online_engine_with_tiny_queue_backpressures_correctly() {
         offline.on_frame(f.time, &f.packet);
     }
     assert_eq!(alerts, offline.alerts());
+}
+
+#[test]
+fn bounded_queues_block_instead_of_dropping() {
+    // Depth-1 queues on a multi-shard engine: every submit can find its
+    // shard's queue full, and the dispatcher must block — never drop.
+    let (frames, ep) = capture_attack_frames(503);
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let mut sharded = ShardedScidive::new(config, 4, 1);
+    for f in &frames {
+        sharded.submit(f.time, &f.packet);
+    }
+    let report = sharded.finish();
+    // Every frame made it through: counted, dispatched, processed.
+    assert_eq!(report.dispatch.dropped, 0);
+    assert_eq!(report.dispatch.frames, frames.len() as u64);
+    assert_eq!(report.stats.frames, frames.len() as u64);
+    assert_eq!(
+        report.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+        frames.len() as u64
+    );
+}
+
+#[test]
+fn finish_drains_every_shard() {
+    // Submit a large capture and immediately finish: the merged report
+    // must still contain the work queued on every shard, and the alert
+    // snapshot taken before finish can only be a prefix of the truth.
+    let (frames, ep) = capture_attack_frames(504);
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+
+    let mut offline = Scidive::new(config.clone());
+    for f in &frames {
+        offline.on_frame(f.time, &f.packet);
+    }
+
+    let mut sharded = ShardedScidive::new(config, 4, 256);
+    for f in &frames {
+        sharded.submit(f.time, &f.packet);
+    }
+    let early = sharded.alerts_snapshot();
+    let report = sharded.finish();
+    assert!(early.len() <= report.alerts.len());
+    assert_eq!(report.alerts, offline.alerts());
+    assert_eq!(report.stats, offline.stats());
+    assert!(report.alerts.iter().any(|a| a.rule == "call-hijack"));
+}
+
+#[test]
+fn clean_run_keeps_drop_and_blocked_counters_honest() {
+    // A roomy queue on a benign capture: nothing dropped, and with
+    // depth >= capture size nothing can even block.
+    let mut tb = TestbedBuilder::new(505)
+        .standard_call(SimDuration::from_millis(500), Some(SimDuration::from_secs(3)))
+        .build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    tb.run_for(SimDuration::from_secs(5));
+    let frames = tap.borrow().clone();
+
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    let mut sharded = ShardedScidive::new(config, 2, frames.len().max(1));
+    for f in &frames {
+        sharded.submit(f.time, &f.packet);
+    }
+    let report = sharded.finish();
+    assert_eq!(report.dispatch.dropped, 0);
+    assert!(report.alerts.is_empty(), "benign capture alarmed: {:?}", report.alerts);
+    for shard in &report.shards {
+        assert_eq!(
+            shard.enqueue_blocked, 0,
+            "shard {} blocked with an oversized queue",
+            shard.shard
+        );
+    }
 }

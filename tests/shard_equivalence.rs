@@ -1,0 +1,192 @@
+//! Differential tests for the sharded pipeline: replay the same capture
+//! through a single `Scidive` and through `ShardedScidive` at several
+//! shard counts, and require the merged alert stream and the summed
+//! pipeline counters to be **identical** — over benign traffic and over
+//! every attack capture, including the cross-protocol BYE whose
+//! detection spans SIP and RTP trails.
+
+use scidive::prelude::*;
+
+/// Shard counts exercised by every equivalence check: the degenerate
+/// single shard, powers of two, and a prime that doesn't divide
+/// anything evenly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn ids_config(ep: &Endpoints) -> ScidiveConfig {
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    config
+}
+
+/// Replays `frames` through both deployments and asserts equivalence at
+/// every shard count. Returns the single-engine alerts for scenario
+/// assertions.
+fn assert_shard_invariant(frames: &[CapturedFrame], ep: &Endpoints) -> Vec<Alert> {
+    let config = ids_config(ep);
+    let mut single = Scidive::new(config.clone());
+    for f in frames {
+        single.on_frame(f.time, &f.packet);
+    }
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedScidive::new(config.clone(), shards, 64);
+        for f in frames {
+            sharded.submit(f.time, &f.packet);
+        }
+        let report = sharded.finish();
+        assert_eq!(
+            report.alerts,
+            single.alerts(),
+            "alert stream diverged at {shards} shards"
+        );
+        assert_eq!(
+            report.stats,
+            single.stats(),
+            "summed pipeline counters diverged at {shards} shards"
+        );
+        // No silent drops, ever: backpressure blocks instead.
+        assert_eq!(report.dispatch.dropped, 0);
+        assert_eq!(report.dispatch.frames, frames.len() as u64);
+        // Every frame is accounted to exactly one shard.
+        assert_eq!(
+            report.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+            frames.len() as u64,
+            "dispatched counters don't cover the capture at {shards} shards"
+        );
+        assert_eq!(report.shards.len(), shards);
+    }
+    single.alerts().to_vec()
+}
+
+/// Builds the Fig-4 testbed with one scripted call, taps the hub, and
+/// optionally injects an attacker node.
+fn capture_scenario(
+    seed: u64,
+    hangup: Option<SimDuration>,
+    attacker: Option<Box<dyn Node>>,
+) -> (Vec<CapturedFrame>, Endpoints) {
+    let mut tb = TestbedBuilder::new(seed)
+        .standard_call(SimDuration::from_millis(500), hangup)
+        .build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    if let Some(node) = attacker {
+        tb.add_node("attacker", ep.attacker_ip, LinkParams::lan(), node);
+    }
+    tb.run_for(SimDuration::from_secs(5));
+    let frames = tap.borrow().clone();
+    (frames, ep)
+}
+
+#[test]
+fn benign_call_is_shard_invariant_and_silent() {
+    let (frames, ep) = capture_scenario(601, Some(SimDuration::from_secs(3)), None);
+    assert!(frames.len() > 100, "capture too small: {}", frames.len());
+    let alerts = assert_shard_invariant(&frames, &ep);
+    assert!(alerts.is_empty(), "benign capture alarmed: {alerts:?}");
+}
+
+#[test]
+fn bye_attack_fires_identically_through_the_dispatcher() {
+    // The §4.2.1 forged BYE: cross-protocol — the teardown is SIP, the
+    // evidence (orphan media from the claimed terminator) is RTP. Both
+    // trails must land on the same shard for the rule to fire.
+    let (frames, ep) = capture_scenario(
+        602,
+        None,
+        Some(Box::new(ByeAttacker::new(ByeAttackConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let alerts = assert_shard_invariant(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "bye-attack"),
+        "cross-protocol BYE detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn call_hijack_fires_identically_through_the_dispatcher() {
+    let (frames, ep) = capture_scenario(
+        603,
+        None,
+        Some(Box::new(Hijacker::new(HijackConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let alerts = assert_shard_invariant(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "call-hijack"),
+        "hijack detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn fake_im_fires_identically_through_the_dispatcher() {
+    // Identity-plane detection: the IM source history lives in the
+    // dispatcher, and its events must merge back in engine order.
+    let (frames, ep) = capture_scenario(
+        604,
+        Some(SimDuration::from_secs(2)),
+        Some(Box::new(FakeImAttacker::new(FakeImConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_millis(2_500),
+        )))),
+    );
+    let alerts = assert_shard_invariant(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "fake-im"),
+        "fake IM detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn rtp_flood_fires_identically_through_the_dispatcher() {
+    let (frames, ep) = capture_scenario(
+        605,
+        None,
+        Some(Box::new(RtpFlooder::new(RtpFloodConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let alerts = assert_shard_invariant(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "rtp-attack"),
+        "RTP flood detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn shard_counters_break_down_the_capture() {
+    let (frames, ep) = capture_scenario(606, Some(SimDuration::from_secs(3)), None);
+    let mut sharded = ShardedScidive::new(ids_config(&ep), 4, 64);
+    for f in &frames {
+        sharded.submit(f.time, &f.packet);
+    }
+    let report = sharded.finish();
+    // With per-session hashing, a single call's SIP+RTP+accounting all
+    // land on one shard; the overflow shard holds at most unattributable
+    // noise.
+    let busy: Vec<_> = report
+        .shards
+        .iter()
+        .filter(|s| s.pipeline.footprints > 0)
+        .collect();
+    assert!(!busy.is_empty());
+    assert_eq!(
+        report.shards.iter().map(|s| s.pipeline.footprints).sum::<u64>(),
+        report.stats.footprints
+    );
+    assert_eq!(report.dispatch.dropped, 0);
+}

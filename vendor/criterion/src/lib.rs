@@ -1,0 +1,258 @@
+#![allow(clippy::all)]
+//! Offline stub of `criterion`.
+//!
+//! A minimal wall-clock harness behind criterion's API: benchmarks are
+//! calibrated by doubling iteration counts until a target measurement
+//! window is filled, then the mean time per iteration (and optional
+//! throughput) is printed to stdout. No statistics, plots, or saved
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// How batched inputs are sized; ignored by this stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timed closure for one benchmark.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        // Measure with doubling batches until the window is filled.
+        let mut batch: u64 = 1;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+            self.total = start.elapsed();
+            if self.total >= MEASURE {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut batch: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+            if self.total >= MEASURE {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    /// Like `iter_batched` with `&mut` access to the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(move || setup(), move |mut input| routine(&mut input), _size);
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, f: F) -> &mut Self {
+        run_bench(&id.to_string(), None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, f: F) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.to_string()),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Finishes the group (reporting already happened per-bench).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{id:<40} (no iterations)");
+        return;
+    }
+    let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let rate = |count: u64| {
+        let per_sec = count as f64 * 1e9 / ns_per_iter;
+        format_si(per_sec)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "{id:<40} {:>12} /iter  thrpt: {:>10} elem/s",
+            format_time(ns_per_iter),
+            rate(n)
+        ),
+        Some(Throughput::Bytes(n)) => println!(
+            "{id:<40} {:>12} /iter  thrpt: {:>10} B/s",
+            format_time(ns_per_iter),
+            rate(n)
+        ),
+        None => println!("{id:<40} {:>12} /iter", format_time(ns_per_iter)),
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (CLI flags are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut b = Bencher::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+}

@@ -1,0 +1,234 @@
+#![allow(clippy::all)]
+//! Offline stub of `crossbeam-channel`.
+//!
+//! Backed by `std::sync::mpsc`: [`bounded`] maps to `sync_channel`
+//! (blocking send when full — the backpressure behaviour the online
+//! pipeline relies on) and [`unbounded`] maps to `channel`. Receivers
+//! are not cloneable in this stub (the workspace uses single-consumer
+//! queues only).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Error on send: the receiving side disconnected (payload returned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error on `try_send`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is full.
+    Full(T),
+    /// The receiving side disconnected.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the unsent payload.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// Whether the failure was a full queue.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+/// Error on recv: the sending side disconnected and the queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error on `try_recv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue currently empty.
+    Empty,
+    /// Senders disconnected and queue drained.
+    Disconnected,
+}
+
+/// Error on `recv_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Timed out with no message.
+    Timeout,
+    /// Senders disconnected and queue drained.
+    Disconnected,
+}
+
+enum Tx<T> {
+    Bounded(mpsc::SyncSender<T>),
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Tx<T> {
+        match self {
+            Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+        }
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    tx: Tx<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        Sender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends, blocking while a bounded queue is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.tx {
+            Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+
+    /// Sends without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.tx {
+            Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
+            Tx::Unbounded(s) => s
+                .send(value)
+                .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking until a message or disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.rx.recv().map_err(|_| RecvError)
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Receives with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// A blocking iterator over received messages.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.rx.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rx.into_iter()
+    }
+}
+
+/// Creates a bounded channel: `send` blocks while `cap` messages queue.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            tx: Tx::Bounded(tx),
+        },
+        Receiver { rx },
+    )
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            tx: Tx::Unbounded(tx),
+        },
+        Receiver { rx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_blocks_at_capacity() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn disconnect_surfaces() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx2, rx2) = bounded::<u32>(4);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx2.recv(), Ok(9));
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = bounded::<u64>(2);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let sum: u64 = rx.iter().sum();
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

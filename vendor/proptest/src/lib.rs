@@ -1,0 +1,172 @@
+#![allow(clippy::all)]
+//! Offline stub of `proptest`.
+//!
+//! Generate-only property testing: the [`proptest!`] macro expands each
+//! case into a loop that draws inputs from [`Strategy`] values with a
+//! deterministic per-test RNG and runs the body; `prop_assert*` macros
+//! are plain asserts (no shrinking — a failure reports the first
+//! counterexample as-is). Supported strategies cover this workspace:
+//! integer/float ranges, `any::<T>()`, tuples to 8 elements, regex-like
+//! string literals (char classes, groups, `{m,n}` repetition),
+//! `collection::vec`, `option::of`, `sample::select`, `Just`,
+//! `prop_map`, and unweighted [`prop_oneof!`].
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod regex;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // Bodies may `return Ok(())` early, as in real proptest.
+                let mut __body = move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                __body().expect("property returned Err");
+            }
+        }
+    )*};
+}
+
+/// Asserts within a property body (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with a common value type. Weighted
+/// arms (`n => strat`) are accepted but the weight is ignored.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (1u16..500).generate(&mut rng);
+            assert!((1..500).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let (a, b) = (any::<u8>(), 3usize..7).generate(&mut rng);
+            let _ = a;
+            assert!((3..7).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..100 {
+            let s = "[a-zA-Z][a-zA-Z0-9]{0,11}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+
+            let d = "[a-z]{1,8}(\\.[a-z]{2,5}){0,2}".generate(&mut rng);
+            for part in d.split('.') {
+                assert!(!part.is_empty() && part.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_vec_option_select_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = prop_oneof![
+            (0u32..10).prop_map(|n| n.to_string()),
+            "[a-z]{2,4}",
+        ];
+        let mut saw_digit = false;
+        let mut saw_alpha = false;
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            saw_digit |= s.chars().all(|c| c.is_ascii_digit());
+            saw_alpha |= s.chars().all(|c| c.is_ascii_lowercase());
+            let v = crate::collection::vec(any::<u16>(), 0..5).generate(&mut rng);
+            assert!(v.len() < 5);
+            let o = crate::option::of(0u8..4).generate(&mut rng);
+            assert!(o.is_none() || o.unwrap() < 4);
+            let pick = crate::sample::select(vec![10, 20, 30]).generate(&mut rng);
+            assert!([10, 20, 30].contains(&pick));
+        }
+        assert!(saw_digit && saw_alpha);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke(mut xs in crate::collection::vec(any::<u8>(), 1..10), k in 0usize..3) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(k < 3);
+            prop_assert_ne!(xs.len(), 0);
+        }
+    }
+}

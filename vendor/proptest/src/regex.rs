@@ -1,0 +1,207 @@
+//! A generator for the regex subset used as string strategies:
+//! literals, escaped chars, char classes with ranges, groups, and the
+//! `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    /// Expanded set of candidate characters.
+    Class(Vec<char>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug)]
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern.
+#[derive(Debug)]
+pub struct RegexGen {
+    seq: Vec<Quantified>,
+}
+
+impl RegexGen {
+    /// Compiles the pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for syntax outside the supported subset.
+    pub fn compile(pattern: &str) -> Result<RegexGen, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let seq = parse_seq(&chars, &mut pos, false)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected {:?} at {pos}", chars[pos]));
+        }
+        Ok(RegexGen { seq })
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        gen_seq(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+fn gen_seq(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let span = u64::from(q.max - q.min + 1);
+        let count = q.min + rng.below(span) as u32;
+        for _ in 0..count {
+            match &q.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                Node::Group(inner) => gen_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool) -> Result<Vec<Quantified>, String> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let node = match chars[*pos] {
+            ')' if in_group => break,
+            '[' => parse_class(chars, pos)?,
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, true)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err("unterminated group".to_string());
+                }
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(*pos + 1)
+                    .ok_or_else(|| "dangling backslash".to_string())?;
+                *pos += 2;
+                Node::Lit(unescape(c))
+            }
+            '.' => {
+                *pos += 1;
+                Node::Class((' '..='~').collect())
+            }
+            c @ (')' | ']' | '{' | '}' | '*' | '+' | '?' | '|') => {
+                return Err(format!("unsupported metachar {c:?} at {pos:?}"));
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos)?;
+        seq.push(Quantified { node, min, max });
+    }
+    Ok(seq)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    *pos += 1; // '['
+    let mut set = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = if chars[*pos] == '\\' {
+            let c = *chars
+                .get(*pos + 1)
+                .ok_or_else(|| "dangling backslash in class".to_string())?;
+            *pos += 2;
+            unescape(c)
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        };
+        // `a-z` range, unless '-' is the last char before ']'.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|c| *c != ']') {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            if hi < lo {
+                return Err(format!("inverted class range {lo}-{hi}"));
+            }
+            set.extend(lo..=hi);
+        } else {
+            set.push(lo);
+        }
+    }
+    if chars.get(*pos) != Some(&']') {
+        return Err("unterminated char class".to_string());
+    }
+    *pos += 1;
+    if set.is_empty() {
+        return Err("empty char class".to_string());
+    }
+    Ok(Node::Class(set))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Ok((0, 1))
+        }
+        Some('*') => {
+            *pos += 1;
+            Ok((0, UNBOUNDED_MAX))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok((1, UNBOUNDED_MAX))
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min_text
+                .parse()
+                .map_err(|_| "bad {} quantifier".to_string())?;
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if max_text.is_empty() {
+                        min + UNBOUNDED_MAX
+                    } else {
+                        max_text.parse().map_err(|_| "bad {} quantifier".to_string())?
+                    }
+                }
+                _ => min,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err("unterminated {} quantifier".to_string());
+            }
+            *pos += 1;
+            if max < min {
+                return Err(format!("quantifier max {max} < min {min}"));
+            }
+            Ok((min, max))
+        }
+        _ => Ok((1, 1)),
+    }
+}

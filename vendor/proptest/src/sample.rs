@@ -1,0 +1,22 @@
+//! Sampling strategies over fixed collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from an owned list.
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+/// Uniform choice from `choices`; must be non-empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select() needs at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+}

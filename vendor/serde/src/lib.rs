@@ -1,0 +1,500 @@
+#![allow(clippy::all)]
+//! Offline stub of `serde`.
+//!
+//! The real `serde` is a visitor-based framework; this stub replaces it
+//! with a small JSON-like value model: [`Serialize`] renders a type to a
+//! [`Value`], [`Deserialize`] rebuilds it from one. The `derive` feature
+//! re-exports `#[derive(Serialize, Deserialize)]` macros from the
+//! companion `serde_derive` stub which generate value-model impls. The
+//! `serde_json` stub renders [`Value`] to JSON text and parses it back,
+//! so `to_string_pretty`/`from_str` round-trips work as the workspace
+//! expects.
+//!
+//! Supported shapes: named structs, tuple/newtype structs, enums with
+//! unit/tuple/struct variants (externally tagged, like real serde), and
+//! the `#[serde(skip)]` field attribute (skipped on serialize, filled
+//! from `Default` on deserialize).
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+pub use value::{DeError, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming the mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// `serde::ser` compatibility alias.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// `serde::de` compatibility alias.
+pub mod de {
+    pub use crate::{DeError, Deserialize};
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64().ok_or_else(|| DeError::expected("number", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + std::hash::Hash + Eq> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+/// Map keys renderable as JSON object keys.
+pub trait MapKey: Sized {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+    /// Parses the key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if the key does not parse.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_parse {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::msg(format!(
+                    "bad map key {key:?} for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_mapkey_parse!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let Value::Seq(items) = v else {
+                    return Err(DeError::expected("tuple (array)", v));
+                };
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "tuple length {} != {expected}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::msg(format!("bad IPv4 address {s:?}"))),
+            _ => Err(DeError::expected("IPv4 address string", v)),
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv6Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv6Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::msg(format!("bad IPv6 address {s:?}"))),
+            _ => Err(DeError::expected("IPv6 address string", v)),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs: u64 = de_field(v, "secs")?;
+        let nanos: u32 = de_field(v, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derive-support helpers (called from serde_derive-generated code)
+// ---------------------------------------------------------------------
+
+/// Looks up a named field in a map value and deserializes it. Missing
+/// fields deserialize from `Null` (so `Option` fields default to `None`).
+///
+/// # Errors
+///
+/// Returns [`DeError`] for non-map values or field-level failures.
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    let Value::Map(entries) = v else {
+        return Err(DeError::expected("object", v));
+    };
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, field)) => {
+            T::from_value(field).map_err(|e| DeError::msg(format!("field {name:?}: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::msg(format!("missing field {name:?}"))),
+    }
+}
+
+/// Indexes a sequence value (tuple-struct fields) and deserializes it.
+///
+/// # Errors
+///
+/// Returns [`DeError`] for non-seq values or index-level failures.
+pub fn de_index<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
+    let Value::Seq(items) = v else {
+        return Err(DeError::expected("array", v));
+    };
+    let item = items
+        .get(idx)
+        .ok_or_else(|| DeError::msg(format!("missing tuple field {idx}")))?;
+    T::from_value(item).map_err(|e| DeError::msg(format!("tuple field {idx}: {e}")))
+}

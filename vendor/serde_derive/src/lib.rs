@@ -1,0 +1,452 @@
+#![allow(clippy::all)]
+//! Offline stub of `serde_derive`.
+//!
+//! Generates value-model `serde::Serialize` / `serde::Deserialize`
+//! impls (see the `serde` stub) by walking the raw `proc_macro` token
+//! stream directly — no `syn`/`quote` dependency. Supports named
+//! structs, tuple/newtype structs, unit structs, and enums with
+//! unit/newtype/tuple/struct variants (externally tagged), plus the
+//! `#[serde(skip)]` field attribute. Generic type parameters are not
+//! supported (the workspace derives only concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    /// Per-position skip flags.
+    Tuple(Vec<bool>),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` via the value model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ast = parse(input);
+    gen_serialize(&ast).parse().expect("serde_derive stub: generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize` via the value model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ast = parse(input);
+    gen_deserialize(&ast).parse().expect("serde_derive stub: generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// `#[serde(... skip ...)]` detection on an attribute's bracket group.
+fn attr_is_serde_skip(tokens: &[TokenTree]) -> bool {
+    let [TokenTree::Ident(id), TokenTree::Group(inner)] = tokens else {
+        return false;
+    };
+    id.to_string() == "serde"
+        && inner
+            .stream()
+            .into_iter()
+            .any(|t| is_ident(&t, "skip"))
+}
+
+/// Skips `#[...]` attributes at `i`, returning whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            skip |= attr_is_serde_skip(&inner);
+            *i += 2;
+        } else {
+            *i += 1;
+        }
+    }
+    skip
+}
+
+/// Skips `pub` / `pub(crate)` visibility at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type (or discriminant expression) up to a top-level
+/// `,`, tracking `<`/`>` nesting. Leaves `i` past the comma (or at end).
+fn skip_to_next_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth <= 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_next_comma(&tokens, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<bool> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_next_comma(&tokens, &mut i);
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Past an optional `= discriminant` and the trailing comma.
+        skip_to_next_comma(&tokens, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        assert!(i < tokens.len(), "serde_derive stub: no struct/enum found");
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if is_ident(&tokens[i], "struct") || is_ident(&tokens[i], "enum") {
+            break;
+        }
+        i += 1;
+    }
+    let is_enum = is_ident(&tokens[i], "enum");
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive stub: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    assert!(
+        !matches!(tokens.get(i), Some(t) if is_punct(t, '<')),
+        "serde_derive stub: generic types are not supported"
+    );
+    if is_enum {
+        let Some(TokenTree::Group(body)) = tokens.get(i) else {
+            panic!("serde_derive stub: expected enum body");
+        };
+        Input::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    } else {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        Input::Struct { name, fields }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, fields } => (name, ser_struct_body(fields)),
+        Input::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn ser_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => {
+            let mut body = String::from(
+                "let mut entries: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            body.push_str("serde::Value::Map(entries)");
+            body
+        }
+        Fields::Tuple(skips) if skips.len() == 1 => {
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Fields::Tuple(skips) => {
+            let items: Vec<String> = skips
+                .iter()
+                .enumerate()
+                .filter(|(_, skip)| !**skip)
+                .map(|(idx, _)| format!("serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "serde::Value::Null".to_string(),
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(skips) if skips.len() == 1 => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                     serde::Serialize::to_value(f0))]),\n"
+                ));
+            }
+            Fields::Tuple(skips) => {
+                let binds: Vec<String> = (0..skips.len()).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = (0..skips.len())
+                    .filter(|i| !skips[*i])
+                    .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                     serde::Value::Seq(vec![{}]))]),\n",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), serde::Serialize::to_value({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                     serde::Value::Map(vec![{}]))]),\n",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Input::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: Default::default()", f.name)
+                    } else {
+                        format!("{0}: serde::de_field(v, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(skips) if skips.len() == 1 => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(skips) => {
+            let inits: Vec<String> = skips
+                .iter()
+                .enumerate()
+                .map(|(idx, skip)| {
+                    if *skip {
+                        "Default::default()".to_string()
+                    } else {
+                        format!("serde::de_index(v, {idx})?")
+                    }
+                })
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Fields::Unit => format!("let _ = v; Ok({name})"),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+            }
+            Fields::Tuple(skips) if skips.len() == 1 => {
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            Fields::Tuple(skips) => {
+                let inits: Vec<String> = skips
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, skip)| {
+                        if *skip {
+                            "Default::default()".to_string()
+                        } else {
+                            format!("serde::de_index(inner, {idx})?")
+                        }
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}({})),\n",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: Default::default()", f.name)
+                        } else {
+                            format!("{0}: serde::de_field(inner, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(serde::DeError::msg(format!(\"unknown variant {{other:?}}\"))),\n\
+             }},\n\
+             serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\
+                     other => Err(serde::DeError::msg(format!(\"unknown variant {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(serde::DeError::expected(\"enum value\", v)),\n\
+         }}"
+    )
+}
