@@ -118,7 +118,7 @@ impl BillingFraudster {
             // The exploit: the vulnerable proxy bills this AOR instead of
             // the From identity.
             .header(
-                HeaderName::Extension("P-Billing-Id".to_string()),
+                HeaderName::extension("P-Billing-Id"),
                 self.config.victim_aor.clone(),
             )
             // The craft: drop a mandatory header so the message is

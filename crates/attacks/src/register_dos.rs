@@ -95,7 +95,7 @@ impl RegisterFlooder {
             ))
             .contact(NameAddr::new(
                 SipUri::new(
-                    aor.user.clone().unwrap_or_default(),
+                    aor.user.unwrap_or_default(),
                     self.config.attacker_ip.to_string(),
                 )
                 .with_port(5060),

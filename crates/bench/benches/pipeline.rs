@@ -22,6 +22,28 @@ fn capture(kind: AttackKind) -> Vec<(SimTime, IpPacket)> {
         .collect()
 }
 
+/// With `--features count-allocs`, replays the capture once through a
+/// fresh engine and prints heap allocations per frame alongside the
+/// timing numbers.
+#[cfg(feature = "count-allocs")]
+fn report_allocs(label: &str, frames: &[(SimTime, IpPacket)]) {
+    use scidive_bench::alloc_count;
+    let mut ids = Scidive::new(ScidiveConfig::default());
+    let (_, used) = alloc_count::measure(|| {
+        ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    });
+    println!(
+        "{label:<40} {:>12.1} allocs/frame  ({} allocs, {} bytes, {} frames)",
+        used.allocs as f64 / frames.len() as f64,
+        used.allocs,
+        used.bytes,
+        frames.len()
+    );
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn report_allocs(_label: &str, _frames: &[(SimTime, IpPacket)]) {}
+
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     for kind in [AttackKind::Bye, AttackKind::RtpFlood, AttackKind::BillingFraud] {
@@ -37,6 +59,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 BatchSize::SmallInput,
             );
         });
+        report_allocs(&format!("pipeline/replay-{kind:?} (allocs)"), &frames);
     }
     group.finish();
 }

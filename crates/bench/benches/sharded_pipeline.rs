@@ -24,6 +24,43 @@ fn capture(kind: AttackKind) -> Vec<(SimTime, IpPacket)> {
         .collect()
 }
 
+/// With `--features count-allocs`, prints allocations per frame for the
+/// single engine and each sharded configuration (the full process —
+/// dispatcher, workers, merge — is charged; the counter is global).
+#[cfg(feature = "count-allocs")]
+fn report_allocs(frames: &[(SimTime, IpPacket)]) {
+    use scidive_bench::alloc_count;
+    let per_frame = |allocs: u64| allocs as f64 / frames.len() as f64;
+    let mut single = Scidive::new(ScidiveConfig::default());
+    let (_, used) = alloc_count::measure(|| {
+        single.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    });
+    println!(
+        "{:<40} {:>12.1} allocs/frame  ({} allocs, {} frames)",
+        "sharded_pipeline/single-engine (allocs)",
+        per_frame(used.allocs),
+        used.allocs,
+        frames.len()
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let mut ids = ShardedScidive::new(ScidiveConfig::default(), shards, 256);
+        let (_, used) = alloc_count::measure(|| {
+            ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+            ids.finish()
+        });
+        println!(
+            "{:<40} {:>12.1} allocs/frame  ({} allocs, {} frames)",
+            format!("sharded_pipeline/shards-{shards} (allocs)"),
+            per_frame(used.allocs),
+            used.allocs,
+            frames.len()
+        );
+    }
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn report_allocs(_frames: &[(SimTime, IpPacket)]) {}
+
 fn bench_sharded(c: &mut Criterion) {
     let frames = capture(AttackKind::Bye);
     let mut group = c.benchmark_group("sharded_pipeline");
@@ -51,6 +88,7 @@ fn bench_sharded(c: &mut Criterion) {
         });
     }
     group.finish();
+    report_allocs(&frames);
 }
 
 criterion_group!(benches, bench_sharded);

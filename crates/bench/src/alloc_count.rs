@@ -1,0 +1,106 @@
+//! A counting global allocator, enabled by the `count-allocs` feature.
+//!
+//! Wraps the system allocator with relaxed atomic counters so benches
+//! and the allocation-budget regression test can measure exactly how
+//! many heap allocations the hot path performs per frame. Compiled in
+//! only when the feature is on: the default build keeps the plain
+//! system allocator and zero overhead.
+//!
+//! Counting is process-global, so measurements should run the workload
+//! single-threaded (the sharded pipeline's workers allocate too — that
+//! is part of what is being measured) and diff [`snapshot`] values
+//! around the region of interest.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator plus relaxed allocation counters.
+pub struct CountingAllocator;
+
+// SAFETY: defers every allocation to `System`, which upholds the
+// `GlobalAlloc` contract; the counters are side effects only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Heap allocations (incl. reallocations) since process start.
+    pub allocs: u64,
+    /// Bytes requested since process start.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counters accumulated since `earlier`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Reads the current process-wide counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs `f` and returns its result with the allocations it performed.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, AllocSnapshot) {
+    let before = snapshot();
+    let out = f();
+    (out, snapshot().since(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_an_allocation() {
+        let (v, used) = measure(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        assert!(used.allocs >= 1);
+        assert!(used.bytes >= 4096);
+    }
+
+    #[test]
+    fn measure_of_no_allocation_is_zero_or_tiny() {
+        // A pure computation must not be charged for background noise
+        // in a single-threaded test run.
+        let (sum, used) = measure(|| (0u64..64).sum::<u64>());
+        assert_eq!(sum, 2016);
+        assert_eq!(used.allocs, 0);
+    }
+}

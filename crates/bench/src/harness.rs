@@ -350,6 +350,39 @@ pub fn run_benign(seed: u64, opts: &ScenarioOptions) -> Vec<Alert> {
         .collect()
 }
 
+/// Runs the benign scenario (call + teardown + IM + auth churn, no
+/// attacker) and returns its full wire capture as `(time, packet)`
+/// frames — the replay input for throughput benchmarks and the
+/// allocation-budget regression test.
+pub fn run_benign_capture(
+    seed: u64,
+    opts: &ScenarioOptions,
+) -> Vec<(SimTime, scidive_netsim::packet::IpPacket)> {
+    let ep = Endpoints::default();
+    let mut tb = TestbedBuilder::new(seed)
+        .link(opts.link)
+        .with_auth(&[("alice", "pw-alice"), ("bob", "pw-bob")])
+        .standard_call(
+            SimDuration::from_millis(500),
+            Some(SimDuration::from_secs(4)),
+        )
+        .b_script(vec![ScriptStep::new(
+            SimDuration::from_secs(2),
+            UaAction::SendIm {
+                to: ep.a_aor(),
+                text: "benign chatter".to_string(),
+            },
+        )])
+        .build();
+    tb.run_for(opts.duration);
+    tb.sim
+        .trace()
+        .records()
+        .iter()
+        .map(|r| (r.time, r.packet.clone()))
+        .collect()
+}
+
 /// Replays a captured attack scenario through a single engine and a
 /// sharded deployment, asserting the merged alert stream and summed
 /// counters are identical. Returns the number of frames replayed.

@@ -5,6 +5,8 @@
 //! building a testbed with an attacker and an endpoint IDS, scoring
 //! alerts against ground truth, rendering message ladders — lives here.
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count;
 pub mod harness;
 pub mod ladder;
 pub mod report;

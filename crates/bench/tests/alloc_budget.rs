@@ -1,0 +1,55 @@
+//! Allocation-regression gate for the hot path.
+//!
+//! Replays a benign capture through a fresh engine under the counting
+//! global allocator and fails if allocations per frame creep past a
+//! budget. The budget is set from a measured value with ~30% headroom:
+//! it will not trip on allocator noise or small feature work, but a
+//! change that reintroduces per-frame `format!`/`to_string`/`Vec`
+//! construction in the distiller, router, or header parser blows
+//! straight through it.
+//!
+//! Runs only with `--features count-allocs` (the counting allocator is
+//! process-global, so it is opt-in):
+//!
+//! ```text
+//! cargo test -p scidive-bench --features count-allocs --test alloc_budget
+//! ```
+#![cfg(feature = "count-allocs")]
+
+use scidive_bench::alloc_count;
+use scidive_bench::harness::{run_benign_capture, ScenarioOptions};
+use scidive_core::prelude::*;
+
+/// Heap allocations allowed per frame of the benign capture, end to end
+/// (distill → route → trails → events → rules). Measured ~3.2 after
+/// the interning/zero-copy work (down from ~13.2 before it); 5 gives
+/// headroom for noise without letting the old per-frame key or payload
+/// copies back in.
+const ALLOCS_PER_FRAME_BUDGET: f64 = 5.0;
+
+#[test]
+fn benign_replay_stays_within_alloc_budget() {
+    let frames = run_benign_capture(42, &ScenarioOptions::default());
+    assert!(frames.len() > 200, "capture too small: {}", frames.len());
+    let mut ids = Scidive::new(ScidiveConfig::default());
+    // Warm one frame so lazily initialized tables (rule set, interner
+    // buckets) are charged to setup, not the steady state.
+    ids.on_frame(frames[0].0, &frames[0].1);
+    let rest = &frames[1..];
+    let (_, used) = alloc_count::measure(|| {
+        ids.process_capture(rest.iter().map(|(t, p)| (*t, p)));
+    });
+    let per_frame = used.allocs as f64 / rest.len() as f64;
+    println!(
+        "benign replay: {:.1} allocs/frame ({} allocs / {} frames, {} bytes)",
+        per_frame,
+        used.allocs,
+        rest.len(),
+        used.bytes
+    );
+    assert!(
+        per_frame <= ALLOCS_PER_FRAME_BUDGET,
+        "allocation regression: {per_frame:.1} allocs/frame exceeds budget of \
+         {ALLOCS_PER_FRAME_BUDGET} — a hot-path allocation crept back in"
+    );
+}

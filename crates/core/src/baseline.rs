@@ -110,7 +110,7 @@ impl SnortLike {
             match pkt.decode_udp() {
                 Ok(udp) => {
                     // Borrowing workaround: match on a copy below.
-                    return self.match_payload(time, &udp.payload.clone());
+                    return self.match_payload(time, &udp.payload);
                 }
                 Err(_) => &pkt.payload,
             }

@@ -185,11 +185,11 @@ impl CooperativeCluster {
     /// was spoofed perfectly.
     fn correlate_forged_im(&mut self) -> Vec<Alert> {
         let mut alerts = Vec::new();
-        let already: Vec<String> = self
+        let already: Vec<crate::trail::SessionKey> = self
             .cooperative_alerts
             .iter()
             .filter(|a| a.rule == "coop-forged-im")
-            .filter_map(|a| a.session.as_ref().map(|s| s.0.clone()))
+            .filter_map(|a| a.session.clone())
             .collect();
         for delivered in &self.exchanged {
             let EventKind::ImObserved {
@@ -217,7 +217,7 @@ impl CooperativeCluster {
             if home == &delivered.detector {
                 continue; // a host cannot forge to itself this way
             }
-            if already.contains(call_id) {
+            if already.iter().any(|s| s.as_str() == call_id.as_str()) {
                 continue;
             }
             // Does the home detector have a matching send?

@@ -70,9 +70,8 @@ pub struct DistillStats {
 ///     Ipv4Addr::new(10, 0, 0, 2), 5060,
 ///     b"OPTIONS sip:b@10.0.0.2 SIP/2.0\r\nCall-ID: x\r\n\r\n".as_ref(),
 /// );
-/// let fps = d.distill(SimTime::ZERO, &pkt);
-/// assert_eq!(fps.len(), 1);
-/// assert!(matches!(fps[0].body, FootprintBody::Sip(_)));
+/// let fp = d.distill(SimTime::ZERO, &pkt).expect("complete datagram");
+/// assert!(matches!(fp.body, FootprintBody::Sip(_)));
 /// ```
 #[derive(Debug)]
 pub struct Distiller {
@@ -97,21 +96,25 @@ impl Distiller {
         self.stats
     }
 
-    /// Offers one frame as seen at the tap; returns zero or more
-    /// footprints (zero while fragments accumulate).
-    pub fn distill(&mut self, time: SimTime, pkt: &IpPacket) -> Vec<Footprint> {
+    /// Offers one frame as seen at the tap; returns the footprint for a
+    /// complete datagram, or `None` while fragments accumulate.
+    ///
+    /// A frame yields at most one footprint, so the result is an
+    /// `Option` — not a `Vec` — and the steady-state path performs no
+    /// container allocation.
+    pub fn distill(&mut self, time: SimTime, pkt: &IpPacket) -> Option<Footprint> {
         self.stats.frames += 1;
         let was_fragment = pkt.frag.is_fragment();
         let Some(whole) = self.reassembler.offer(time, pkt.clone()) else {
             self.stats.fragments_buffered += 1;
-            return Vec::new();
+            return None;
         };
         if was_fragment {
             self.stats.reassembled += 1;
         }
         let fp = self.decode(time, &whole);
         self.stats.footprints += 1;
-        vec![fp]
+        Some(fp)
     }
 
     fn decode(&mut self, time: SimTime, pkt: &IpPacket) -> Footprint {
@@ -154,8 +157,9 @@ impl Distiller {
         Footprint { meta, body }
     }
 
-    /// Port-primed, content-confirmed classification.
-    fn classify(&mut self, payload: &[u8], meta: PacketMeta) -> FootprintBody {
+    /// Port-primed, content-confirmed classification. `payload` is the
+    /// shared datagram buffer, so SIP parsing can slice it zero-copy.
+    fn classify(&mut self, payload: &bytes::Bytes, meta: PacketMeta) -> FootprintBody {
         let on_sip_port = self.config.sip_ports.contains(&meta.dst_port)
             || self.config.sip_ports.contains(&meta.src_port);
         let on_acct_port = meta.dst_port == self.config.acct_port;
@@ -170,7 +174,7 @@ impl Distiller {
             return FootprintBody::UdpOther { payload_len: payload.len() };
         }
         if on_sip_port {
-            match SipMessage::parse(payload) {
+            match SipMessage::parse_bytes(payload.clone()) {
                 Ok(msg) => return FootprintBody::Sip(Box::new(msg)),
                 Err(e) => {
                     self.stats.malformed_sip += 1;
@@ -183,7 +187,7 @@ impl Distiller {
         }
         // Off-port SIP (attackers do not respect port conventions).
         if looks_like_sip(payload) {
-            if let Ok(msg) = SipMessage::parse(payload) {
+            if let Ok(msg) = SipMessage::parse_bytes(payload.clone()) {
                 return FootprintBody::Sip(Box::new(msg));
             }
         }
@@ -195,7 +199,7 @@ impl Distiller {
             }
         }
         if looks_like_rtp(payload) {
-            if let Ok(rtp) = RtpPacket::decode(payload) {
+            if let Ok(rtp) = RtpPacket::decode_shared(payload) {
                 return FootprintBody::Rtp {
                     header: rtp.header,
                     payload_len: rtp.payload.len(),
@@ -229,17 +233,17 @@ mod tests {
     fn classifies_sip_request() {
         let mut dist = d();
         let pkt = IpPacket::udp(a(), 5060, b(), 5060, b"BYE sip:x@h SIP/2.0\r\nCall-ID: c\r\n\r\n".as_ref());
-        let fps = dist.distill(SimTime::ZERO, &pkt);
-        assert!(matches!(&fps[0].body, FootprintBody::Sip(m) if m.is_request()));
-        assert_eq!(fps[0].meta.dst_port, 5060);
+        let fp = dist.distill(SimTime::ZERO, &pkt).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::Sip(m) if m.is_request()));
+        assert_eq!(fp.meta.dst_port, 5060);
     }
 
     #[test]
     fn classifies_malformed_sip_on_sip_port() {
         let mut dist = d();
         let pkt = IpPacket::udp(a(), 5060, b(), 5060, b"NOTSIP garbage here\r\n\r\n".as_ref());
-        let fps = dist.distill(SimTime::ZERO, &pkt);
-        assert!(matches!(&fps[0].body, FootprintBody::SipMalformed { .. }));
+        let fp = dist.distill(SimTime::ZERO, &pkt).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::SipMalformed { .. }));
         assert_eq!(dist.stats().malformed_sip, 1);
     }
 
@@ -248,9 +252,9 @@ mod tests {
         let mut dist = d();
         let mut src = MediaSource::new(7, 100, 0);
         let pkt = IpPacket::udp(a(), 8000, b(), 9000, src.next_packet().encode());
-        let fps = dist.distill(SimTime::ZERO, &pkt);
+        let fp = dist.distill(SimTime::ZERO, &pkt).unwrap();
         assert!(matches!(
-            &fps[0].body,
+            &fp.body,
             FootprintBody::Rtp { header, payload_len: 160 } if header.seq == 100
         ));
     }
@@ -260,28 +264,28 @@ mod tests {
         let mut dist = d();
         let bye = RtcpPacket::Bye { ssrcs: vec![9] };
         let pkt = IpPacket::udp(a(), 8001, b(), 9001, bye.encode());
-        let fps = dist.distill(SimTime::ZERO, &pkt);
-        assert!(matches!(&fps[0].body, FootprintBody::Rtcp(RtcpPacket::Bye { .. })));
+        let fp = dist.distill(SimTime::ZERO, &pkt).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::Rtcp(RtcpPacket::Bye { .. })));
     }
 
     #[test]
     fn classifies_acct() {
         let mut dist = d();
         let pkt = IpPacket::udp(a(), 2427, b(), 2427, "ACCT START a@l b@l c9".as_bytes());
-        let fps = dist.distill(SimTime::ZERO, &pkt);
-        assert!(matches!(&fps[0].body, FootprintBody::Acct(acct) if acct.call_id == "c9"));
+        let fp = dist.distill(SimTime::ZERO, &pkt).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::Acct(acct) if acct.call_id == "c9"));
     }
 
     #[test]
     fn classifies_icmp_and_garbage() {
         let mut dist = d();
         let icmp = IpPacket::icmp(a(), b(), &scidive_netsim::packet::IcmpMessage::PortUnreachable);
-        let fps = dist.distill(SimTime::ZERO, &icmp);
-        assert!(matches!(&fps[0].body, FootprintBody::Icmp { icmp_type: 3 }));
+        let fp = dist.distill(SimTime::ZERO, &icmp).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::Icmp { icmp_type: 3 }));
 
         let garbage = IpPacket::udp(a(), 4444, b(), 8000, vec![0x00u8; 40]);
-        let fps = dist.distill(SimTime::ZERO, &garbage);
-        assert!(matches!(&fps[0].body, FootprintBody::UdpOther { payload_len: 40 }));
+        let fp = dist.distill(SimTime::ZERO, &garbage).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::UdpOther { payload_len: 40 }));
     }
 
     #[test]
@@ -291,8 +295,8 @@ mod tests {
         let mut raw = good.payload.to_vec();
         raw[10] ^= 0xff;
         let bad = IpPacket { payload: Bytes::from(raw), ..good };
-        let fps = dist.distill(SimTime::ZERO, &bad);
-        assert!(matches!(&fps[0].body, FootprintBody::UdpCorrupt { .. }));
+        let fp = dist.distill(SimTime::ZERO, &bad).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::UdpCorrupt { .. }));
         assert_eq!(dist.stats().corrupt_udp, 1);
     }
 
@@ -328,8 +332,8 @@ mod tests {
     fn off_port_sip_still_recognized() {
         let mut dist = d();
         let pkt = IpPacket::udp(a(), 7777, b(), 7777, b"BYE sip:x@h SIP/2.0\r\nCall-ID: c\r\n\r\n".as_ref());
-        let fps = dist.distill(SimTime::ZERO, &pkt);
-        assert!(matches!(&fps[0].body, FootprintBody::Sip(_)));
+        let fp = dist.distill(SimTime::ZERO, &pkt).unwrap();
+        assert!(matches!(&fp.body, FootprintBody::Sip(_)));
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl Scidive {
     pub fn on_frame(&mut self, time: SimTime, pkt: &IpPacket) -> Vec<Alert> {
         self.stats.frames += 1;
         let mut new_alerts = Vec::new();
-        for fp in self.distiller.distill(time, pkt) {
+        if let Some(fp) = self.distiller.distill(time, pkt) {
             self.process_footprint(time, fp, Vec::new(), &mut new_alerts);
         }
         self.stats.alerts += new_alerts.len() as u64;
@@ -157,20 +157,20 @@ impl Scidive {
         new_alerts
     }
 
-    /// Feeds one frame's worth of already-distilled footprints (the
-    /// shard-side entry point: the dispatcher runs the distiller and the
-    /// identity plane, shards run everything downstream). Counts one
-    /// frame regardless of how many footprints it carried — including
-    /// zero, so per-shard frame counters still sum to the number of
-    /// frames the dispatcher saw.
+    /// Feeds one frame's already-distilled footprint (the shard-side
+    /// entry point: the dispatcher runs the distiller and the identity
+    /// plane, shards run everything downstream). Counts one frame
+    /// whether or not it carried a footprint — `None` marks frames that
+    /// produced nothing (fragments in flight), so per-shard frame
+    /// counters still sum to the number of frames the dispatcher saw.
     pub fn on_distilled(
         &mut self,
         time: SimTime,
-        footprints: Vec<DistilledFootprint>,
+        footprint: Option<DistilledFootprint>,
     ) -> Vec<Alert> {
         self.stats.frames += 1;
         let mut new_alerts = Vec::new();
-        for dfp in footprints {
+        if let Some(dfp) = footprint {
             self.process_footprint(time, dfp.footprint, dfp.injected_events, &mut new_alerts);
         }
         self.stats.alerts += new_alerts.len() as u64;

@@ -1218,7 +1218,7 @@ impl IdentityPlane {
         };
         let window = self.config.guess_window;
         let threshold = self.config.guess_threshold;
-        let w = self.guess_windows.entry(key.clone()).or_default();
+        let w = self.guess_windows.entry(key).or_default();
         w.responses.push_back((time, creds.response.clone()));
         while let Some(&(t, _)) = w.responses.front() {
             if time.saturating_since(t) > window {
@@ -1232,7 +1232,7 @@ impl IdentityPlane {
         let distinct_responses = distinct.len() as u32;
         if distinct_responses >= threshold && !w.emitted {
             w.emitted = true;
-            let username = creds.username.clone();
+            let username = creds.username;
             self.emit(
                 out,
                 time,

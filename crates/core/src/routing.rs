@@ -43,6 +43,63 @@ use std::net::Ipv4Addr;
 #[derive(Debug, Clone, Default)]
 pub struct MediaIndex {
     map: HashMap<(Ipv4Addr, u16), SessionKey>,
+    /// Interns real session keys (Call-IDs) so repeated footprints of
+    /// the same session share one `Arc<str>` instead of re-allocating.
+    interner: SessionInterner,
+    /// Memoized synthetic keys, so the steady state of an uncorrelated
+    /// flow stops paying `format!` + allocation per packet.
+    flow_keys: HashMap<(Ipv4Addr, u16), SessionKey>,
+    other_keys: HashMap<Ipv4Addr, SessionKey>,
+    sip_anon_keys: HashMap<Ipv4Addr, SessionKey>,
+    sip_malformed_keys: HashMap<Ipv4Addr, SessionKey>,
+}
+
+/// Interns session keys: equal text maps to one shared [`SessionKey`]
+/// (same `Arc<str>`), so cloning a key for routing, trail filing, and
+/// alerts never copies the string.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_core::routing::SessionInterner;
+///
+/// let mut interner = SessionInterner::new();
+/// let a = interner.intern("call-1");
+/// let b = interner.intern("call-1");
+/// assert_eq!(a, b); // same text — and the same shared allocation
+/// assert_eq!(interner.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionInterner {
+    keys: std::collections::HashSet<SessionKey>,
+}
+
+impl SessionInterner {
+    /// Creates an empty interner.
+    pub fn new() -> SessionInterner {
+        SessionInterner::default()
+    }
+
+    /// Number of distinct keys interned.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Returns the canonical key for `id`, allocating only on first
+    /// sight of a given text.
+    pub fn intern(&mut self, id: &str) -> SessionKey {
+        if let Some(key) = self.keys.get(id) {
+            return key.clone();
+        }
+        let key = SessionKey::new(id);
+        self.keys.insert(key.clone());
+        key
+    }
 }
 
 impl MediaIndex {
@@ -107,16 +164,30 @@ impl MediaIndex {
     ///   port), falling back to a synthetic `flow-{dst}:{port}` key;
     /// * other UDP/ICMP aimed at a known media sink joins that session,
     ///   falling back to `other-{dst}`.
-    pub fn session_for(&self, fp: &Footprint) -> SessionKey {
+    ///
+    /// Real and synthetic keys alike are memoized: the first packet of a
+    /// session pays one key construction, every later packet gets a
+    /// cheap clone of the shared key.
+    pub fn session_for(&mut self, fp: &Footprint) -> SessionKey {
         match &fp.body {
             FootprintBody::Sip(msg) => match msg.call_id() {
-                Ok(id) => SessionKey::new(id),
-                Err(_) => SessionKey::new(format!("sip-anon-{}", fp.meta.src)),
+                Ok(id) => self.interner.intern(id),
+                Err(_) => {
+                    let src = fp.meta.src;
+                    self.sip_anon_keys
+                        .entry(src)
+                        .or_insert_with(|| SessionKey::new(format!("sip-anon-{src}")))
+                        .clone()
+                }
             },
             FootprintBody::SipMalformed { .. } => {
-                SessionKey::new(format!("sip-malformed-{}", fp.meta.src))
+                let src = fp.meta.src;
+                self.sip_malformed_keys
+                    .entry(src)
+                    .or_insert_with(|| SessionKey::new(format!("sip-malformed-{src}")))
+                    .clone()
             }
-            FootprintBody::Acct(acct) => SessionKey::new(&acct.call_id),
+            FootprintBody::Acct(acct) => self.interner.intern(&acct.call_id),
             FootprintBody::Rtp { .. } | FootprintBody::Rtcp(_) => {
                 // RTCP rides on port+1; map it onto the RTP sink's port.
                 let port = match &fp.body {
@@ -125,7 +196,13 @@ impl MediaIndex {
                 };
                 match self.resolve(fp.meta.dst, port) {
                     Some(session) => session.clone(),
-                    None => SessionKey::new(format!("flow-{}:{}", fp.meta.dst, fp.meta.dst_port)),
+                    None => {
+                        let (dst, dst_port) = (fp.meta.dst, fp.meta.dst_port);
+                        self.flow_keys
+                            .entry((dst, dst_port))
+                            .or_insert_with(|| SessionKey::new(format!("flow-{dst}:{dst_port}")))
+                            .clone()
+                    }
                 }
             }
             FootprintBody::Icmp { .. }
@@ -135,7 +212,13 @@ impl MediaIndex {
                 // session (that is how the RTP attack is correlated).
                 match self.resolve(fp.meta.dst, fp.meta.dst_port) {
                     Some(session) => session.clone(),
-                    None => SessionKey::new(format!("other-{}", fp.meta.dst)),
+                    None => {
+                        let dst = fp.meta.dst;
+                        self.other_keys
+                            .entry(dst)
+                            .or_insert_with(|| SessionKey::new(format!("other-{dst}")))
+                            .clone()
+                    }
                 }
             }
         }
@@ -146,26 +229,20 @@ impl MediaIndex {
 /// could not be correlated to any signalled session (unmatched media
 /// flows, stray UDP, anonymous or unparseable SIP).
 pub fn is_synthetic(session: &SessionKey) -> bool {
-    let s = session.0.as_str();
-    s.starts_with("flow-")
-        || s.starts_with("other-")
-        || s.starts_with("sip-anon-")
-        || s.starts_with("sip-malformed-")
+    // The prefix check runs once, at key construction; this reads the
+    // memoized flag.
+    session.is_synthetic()
 }
 
 /// A stable 64-bit FNV-1a hash of the session key. Independent of
 /// platform, process, and `HashMap` seeding — the same session always
 /// hashes identically, which is what makes shard assignment (and hence
 /// the merged alert stream) reproducible across runs and shard counts.
+///
+/// Computed once at key construction and memoized, so per-packet shard
+/// assignment is a field read, not a rehash.
 pub fn stable_session_hash(session: &SessionKey) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
-    for byte in session.0.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
+    session.stable_hash()
 }
 
 /// Where the router decided a footprint goes.
@@ -354,11 +431,11 @@ mod tests {
     fn routing_is_deterministic() {
         let mk = || {
             let mut router = SessionRouter::new(7);
-            let mut out = Vec::new();
-            out.push(router.route(&invite_with_sdp("c1", [10, 0, 0, 3], 8000)));
-            out.push(router.route(&rtp_to([10, 0, 0, 3], 8000)));
-            out.push(router.route(&rtp_to([10, 0, 0, 9], 9000)));
-            out
+            vec![
+                router.route(&invite_with_sdp("c1", [10, 0, 0, 3], 8000)),
+                router.route(&rtp_to([10, 0, 0, 3], 8000)),
+                router.route(&rtp_to([10, 0, 0, 9], 9000)),
+            ]
         };
         assert_eq!(mk(), mk());
     }

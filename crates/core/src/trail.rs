@@ -21,19 +21,119 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 /// Identifies a logical session (usually a SIP Call-ID).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct SessionKey(pub String);
+///
+/// The key text lives behind a shared `Arc<str>`, so cloning — which the
+/// hot path does for every footprint routed, filed, and alerted on — is
+/// a reference-count bump, not a string copy. The stable FNV-1a hash
+/// used for shard assignment and the synthetic-key flag are computed
+/// once at construction and memoized, so shard assignment never rehashes.
+///
+/// Equality, ordering, and `Hash` are by string content (with a
+/// pointer-equality fast path), so interned and freshly built keys with
+/// the same text behave identically in maps and comparisons.
+#[derive(Debug, Clone)]
+pub struct SessionKey {
+    id: Arc<str>,
+    /// Memoized stable FNV-1a hash of `id` (see
+    /// [`crate::routing::stable_session_hash`]).
+    fnv: u64,
+    /// Memoized "is this a synthetic key" prefix check (see
+    /// [`crate::routing::is_synthetic`]).
+    synthetic: bool,
+}
 
 impl SessionKey {
-    /// Creates a key.
-    pub fn new(id: impl Into<String>) -> SessionKey {
-        SessionKey(id.into())
+    /// Creates a key, computing the memoized hash and synthetic flag.
+    pub fn new(id: impl AsRef<str>) -> SessionKey {
+        SessionKey::from_arc(Arc::from(id.as_ref()))
+    }
+
+    /// Builds a key around an already-shared string (no copy).
+    pub fn from_arc(id: Arc<str>) -> SessionKey {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut fnv = FNV_OFFSET;
+        for byte in id.as_bytes() {
+            fnv ^= u64::from(*byte);
+            fnv = fnv.wrapping_mul(FNV_PRIME);
+        }
+        let synthetic = id.starts_with("flow-")
+            || id.starts_with("other-")
+            || id.starts_with("sip-anon-")
+            || id.starts_with("sip-malformed-");
+        SessionKey { id, fnv, synthetic }
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        &self.id
+    }
+
+    /// The memoized stable FNV-1a hash (platform- and run-independent).
+    pub fn stable_hash(&self) -> u64 {
+        self.fnv
+    }
+
+    /// Whether the key is synthetic: manufactured for traffic that could
+    /// not be correlated to any signalled session.
+    pub fn is_synthetic(&self) -> bool {
+        self.synthetic
+    }
+}
+
+impl PartialEq for SessionKey {
+    fn eq(&self, other: &SessionKey) -> bool {
+        // Interned keys share the Arc, so most comparisons are a
+        // pointer check; the hash filters almost all of the rest.
+        Arc::ptr_eq(&self.id, &other.id) || (self.fnv == other.fnv && self.id == other.id)
+    }
+}
+
+impl Eq for SessionKey {}
+
+impl PartialOrd for SessionKey {
+    fn partial_cmp(&self, other: &SessionKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SessionKey {
+    fn cmp(&self, other: &SessionKey) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for SessionKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must match `str`'s hashing so `Borrow<str>` map lookups work.
+        self.as_str().hash(state);
+    }
+}
+
+impl std::borrow::Borrow<str> for SessionKey {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Serialize for SessionKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for SessionKey {
+    fn from_value(v: &serde::Value) -> Result<SessionKey, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Ok(SessionKey::new(s)),
+            other => Err(serde::DeError::expected("string", other)),
+        }
     }
 }
 
 impl fmt::Display for SessionKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -229,7 +329,7 @@ impl TrailStore {
 
     /// Derives the session a footprint belongs to (the canonical rule
     /// shared with the dispatcher lives on [`MediaIndex`]).
-    fn session_of(&self, fp: &Footprint) -> SessionKey {
+    fn session_of(&mut self, fp: &Footprint) -> SessionKey {
         self.media_index.session_for(fp)
     }
 

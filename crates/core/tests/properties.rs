@@ -36,13 +36,14 @@ proptest! {
     ) {
         let mut d = Distiller::new(DistillerConfig::default());
         let pkt = IpPacket::udp(src, sport, dst, dport, payload);
-        let fps = d.distill(SimTime::ZERO, &pkt);
+        let fp = d.distill(SimTime::ZERO, &pkt);
         // Unfragmented input: exactly one footprint, meta preserved.
-        prop_assert_eq!(fps.len(), 1);
-        prop_assert_eq!(fps[0].meta.src, src);
-        prop_assert_eq!(fps[0].meta.dst, dst);
-        prop_assert_eq!(fps[0].meta.src_port, sport);
-        prop_assert_eq!(fps[0].meta.dst_port, dport);
+        prop_assert!(fp.is_some());
+        let fp = fp.unwrap();
+        prop_assert_eq!(fp.meta.src, src);
+        prop_assert_eq!(fp.meta.dst, dst);
+        prop_assert_eq!(fp.meta.src_port, sport);
+        prop_assert_eq!(fp.meta.dst_port, dport);
     }
 
     #[test]
@@ -348,7 +349,7 @@ proptest! {
         let mut distiller = Distiller::new(DistillerConfig::default());
         let mut pinned: HashMap<SessionKey, usize> = HashMap::new();
         for (t, pkt) in &frames {
-            for fp in distiller.distill(*t, pkt) {
+            if let Some(fp) = distiller.distill(*t, pkt) {
                 let da = router_a.route(&fp);
                 let db = router_b.route(&fp);
                 prop_assert_eq!(&da, &db);

@@ -169,7 +169,7 @@ impl IpPacket {
         if self.proto != IpProto::Udp {
             return Err(PacketError::NotUdp(self.proto));
         }
-        UdpDatagram::decode(self.src, self.dst, &self.payload)
+        UdpDatagram::decode_shared(self.src, self.dst, &self.payload)
     }
 
     /// Decodes the payload as an ICMP message.
@@ -288,6 +288,39 @@ impl UdpDatagram {
     ///
     /// See [`PacketError`].
     pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Result<UdpDatagram, PacketError> {
+        let (src_port, dst_port) = Self::validate(src, dst, bytes)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: Bytes::copy_from_slice(&bytes[Self::HEADER_LEN..]),
+        })
+    }
+
+    /// Like [`UdpDatagram::decode`], but the payload is a zero-copy
+    /// slice of the shared buffer instead of a fresh allocation. This is
+    /// the IDS hot path: every captured frame is decoded once per
+    /// engine, and the payload's lifetime (footprints, trails) can far
+    /// outlive the frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketError`].
+    pub fn decode_shared(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        bytes: &Bytes,
+    ) -> Result<UdpDatagram, PacketError> {
+        let (src_port, dst_port) = Self::validate(src, dst, bytes)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: bytes.slice(Self::HEADER_LEN..),
+        })
+    }
+
+    /// Header validation shared by both decode paths: length fields and
+    /// checksum, without touching the payload.
+    fn validate(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Result<(u16, u16), PacketError> {
         if bytes.len() < Self::HEADER_LEN {
             return Err(PacketError::Truncated {
                 need: Self::HEADER_LEN,
@@ -305,10 +338,7 @@ impl UdpDatagram {
         }
         let got = u16::from_be_bytes([bytes[6], bytes[7]]);
         if got != 0 {
-            let mut check = bytes.to_vec();
-            check[6] = 0;
-            check[7] = 0;
-            let expected = udp_checksum(src, dst, &check);
+            let expected = udp_checksum(src, dst, bytes);
             if expected != got {
                 return Err(PacketError::BadChecksum {
                     expected,
@@ -316,15 +346,13 @@ impl UdpDatagram {
                 });
             }
         }
-        Ok(UdpDatagram {
-            src_port,
-            dst_port,
-            payload: Bytes::copy_from_slice(&bytes[Self::HEADER_LEN..]),
-        })
+        Ok((src_port, dst_port))
     }
 }
 
-/// Internet checksum over the IPv4 pseudo-header plus UDP datagram.
+/// Internet checksum over the IPv4 pseudo-header plus UDP datagram. The
+/// checksum field itself (word 3) is skipped — equivalent to computing
+/// over a copy with the field zeroed, so verification needs no copy.
 fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
     let mut sum: u32 = 0;
     let s = src.octets();
@@ -340,7 +368,10 @@ fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
         sum += u32::from(u16::from_be_bytes(chunk));
     }
     let mut iter = datagram.chunks_exact(2);
-    for chunk in &mut iter {
+    for (word, chunk) in (&mut iter).enumerate() {
+        if word == 3 {
+            continue; // the checksum field
+        }
         sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
     }
     if let [last] = iter.remainder() {

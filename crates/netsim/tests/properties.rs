@@ -125,7 +125,7 @@ proptest! {
         // Reassembly restores the original regardless of arrival order.
         let mut r = Reassembler::default();
         let mut out = None;
-        let mut shuffled = frags.clone();
+        let mut shuffled = frags;
         shuffled.reverse();
         for f in shuffled {
             if let Some(whole) = r.offer(SimTime::ZERO, f) {

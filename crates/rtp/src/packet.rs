@@ -109,6 +109,31 @@ impl RtpPacket {
     /// — which is how the Distiller rejects the paper's garbage-RTP
     /// packets that fail even version parsing.
     pub fn decode(bytes: &[u8]) -> Result<RtpPacket, RtpError> {
+        let (header, need) = Self::parse_header(bytes)?;
+        Ok(RtpPacket {
+            header,
+            payload: Bytes::copy_from_slice(&bytes[need..]),
+        })
+    }
+
+    /// Like [`RtpPacket::decode`], but the payload is a zero-copy slice
+    /// of the shared buffer. This is the IDS hot path: media dominates a
+    /// call's frame count, and the detector only inspects the header.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RtpPacket::decode`].
+    pub fn decode_shared(bytes: &Bytes) -> Result<RtpPacket, RtpError> {
+        let (header, need) = Self::parse_header(bytes)?;
+        Ok(RtpPacket {
+            header,
+            payload: bytes.slice(need..),
+        })
+    }
+
+    /// Header parsing shared by both decode paths; returns the header
+    /// and the offset where the payload begins.
+    fn parse_header(bytes: &[u8]) -> Result<(RtpHeader, usize), RtpError> {
         if bytes.len() < 12 {
             return Err(RtpError::Truncated {
                 need: 12,
@@ -137,20 +162,18 @@ impl RtpPacket {
                 ])
             })
             .collect();
-        Ok(RtpPacket {
-            header: RtpHeader {
-                version,
-                padding: bytes[0] & 0x20 != 0,
-                extension: bytes[0] & 0x10 != 0,
-                marker: bytes[1] & 0x80 != 0,
-                payload_type: bytes[1] & 0x7f,
-                seq: u16::from_be_bytes([bytes[2], bytes[3]]),
-                timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
-                ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
-                csrc,
-            },
-            payload: Bytes::copy_from_slice(&bytes[need..]),
-        })
+        let header = RtpHeader {
+            version,
+            padding: bytes[0] & 0x20 != 0,
+            extension: bytes[0] & 0x10 != 0,
+            marker: bytes[1] & 0x80 != 0,
+            payload_type: bytes[1] & 0x7f,
+            seq: u16::from_be_bytes([bytes[2], bytes[3]]),
+            timestamp: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ssrc: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            csrc,
+        };
+        Ok((header, need))
     }
 }
 

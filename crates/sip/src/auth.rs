@@ -248,7 +248,7 @@ mod tests {
             realm: "testrealm@host.com".into(),
             nonce: "dcd98b7102dd2f0e8b11d0f600bfb0c093".into(),
             uri: "/dir/index.html".into(),
-            response: r.clone(),
+            response: r,
         };
         assert!(creds.verify("Circle Of Life", Method::Register));
     }

@@ -1,0 +1,350 @@
+//! [`ByteStr`]: the compact string backing header values and parameters.
+//!
+//! The IDS hot path parses every SIP message seen on the wire, and the
+//! old representation paid one `String` allocation per header field and
+//! per `name-addr`/`Via` parameter. `ByteStr` removes those steady-state
+//! allocations with three representations behind one immutable
+//! UTF-8-string API:
+//!
+//! * **`Static`** — a `&'static str`, for literals like `"tag"` or
+//!   `"UDP"`; never allocates.
+//! * **`Inline`** — up to [`ByteStr::INLINE_CAP`] bytes stored in the
+//!   value itself (small-string optimization); never allocates. Nearly
+//!   every SIP parameter and most header values fit.
+//! * **`Shared`** — a UTF-8-validated slice of a reference-counted
+//!   [`Bytes`] buffer. Slicing the wire buffer a message was parsed
+//!   from shares the packet's allocation instead of copying.
+//!
+//! Equality, ordering, and hashing are by string content, independent of
+//! representation, so `ByteStr` drops into maps and comparisons exactly
+//! like `String` did.
+
+use bytes::Bytes;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+/// A compact, immutable UTF-8 string: inline small-string, `&'static`
+/// literal, or shared slice of a [`Bytes`] buffer.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_sip::bstr::ByteStr;
+/// use bytes::Bytes;
+///
+/// let lit = ByteStr::from_static("tag");          // no allocation
+/// let small = ByteStr::from("z9hG4bK-branch-1");  // inline, no allocation
+/// let wire = Bytes::copy_from_slice(b"INVITE sip:bob@lab SIP/2.0");
+/// let sliced = ByteStr::from_utf8(wire.slice(0..6)).unwrap(); // shares `wire`
+/// assert_eq!(sliced, "INVITE");
+/// assert_eq!(lit.as_str(), "tag");
+/// assert!(small.len() > ByteStr::INLINE_CAP || !small.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct ByteStr(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// A string literal; zero-cost to create and access.
+    Static(&'static str),
+    /// Small-string optimization: bytes stored inline.
+    Inline { len: u8, buf: [u8; ByteStr::INLINE_CAP] },
+    /// A UTF-8-validated slice of a shared buffer.
+    Shared(Bytes),
+}
+
+impl ByteStr {
+    /// Maximum length stored inline without touching the heap. Chosen so
+    /// the inline buffer rides in the space the `Shared` variant already
+    /// needs — growing it further would grow every header.
+    pub const INLINE_CAP: usize = 38;
+
+    /// The empty string (no allocation).
+    pub const EMPTY: ByteStr = ByteStr(Repr::Static(""));
+
+    /// Wraps a string literal without allocating.
+    pub const fn from_static(s: &'static str) -> ByteStr {
+        ByteStr(Repr::Static(s))
+    }
+
+    /// Builds from UTF-8 bytes, sharing the buffer when the text is too
+    /// large to inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `Utf8Error` if `bytes` is not valid UTF-8.
+    pub fn from_utf8(bytes: Bytes) -> Result<ByteStr, std::str::Utf8Error> {
+        std::str::from_utf8(&bytes)?;
+        if bytes.len() <= ByteStr::INLINE_CAP {
+            Ok(ByteStr::inline(&bytes))
+        } else {
+            Ok(ByteStr(Repr::Shared(bytes)))
+        }
+    }
+
+    /// `bytes` must already be validated UTF-8 and short enough.
+    fn inline(bytes: &[u8]) -> ByteStr {
+        debug_assert!(bytes.len() <= ByteStr::INLINE_CAP);
+        let mut buf = [0u8; ByteStr::INLINE_CAP];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        ByteStr(Repr::Inline {
+            len: bytes.len() as u8,
+            buf,
+        })
+    }
+
+    /// The text.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Inline { len, buf } => {
+                // Validated at construction; values are tens of bytes so
+                // re-checking is a handful of nanoseconds (the crate
+                // forbids `unsafe`, so `from_utf8_unchecked` is out).
+                std::str::from_utf8(&buf[..*len as usize]).expect("ByteStr is UTF-8 by construction")
+            }
+            Repr::Shared(b) => {
+                std::str::from_utf8(b).expect("ByteStr is UTF-8 by construction")
+            }
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Static(s) => s.len(),
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared(b) => b.len(),
+        }
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ByteStr {
+    fn default() -> ByteStr {
+        ByteStr::EMPTY
+    }
+}
+
+impl Deref for ByteStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for ByteStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for ByteStr {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for ByteStr {
+    fn from(s: &str) -> ByteStr {
+        if s.len() <= ByteStr::INLINE_CAP {
+            ByteStr::inline(s.as_bytes())
+        } else {
+            ByteStr(Repr::Shared(Bytes::copy_from_slice(s.as_bytes())))
+        }
+    }
+}
+
+impl From<&String> for ByteStr {
+    fn from(s: &String) -> ByteStr {
+        ByteStr::from(s.as_str())
+    }
+}
+
+impl From<String> for ByteStr {
+    fn from(s: String) -> ByteStr {
+        if s.len() <= ByteStr::INLINE_CAP {
+            ByteStr::inline(s.as_bytes())
+        } else {
+            ByteStr(Repr::Shared(Bytes::from(s.into_bytes())))
+        }
+    }
+}
+
+impl From<&ByteStr> for ByteStr {
+    fn from(s: &ByteStr) -> ByteStr {
+        s.clone()
+    }
+}
+
+impl From<ByteStr> for String {
+    fn from(s: ByteStr) -> String {
+        s.as_str().to_string()
+    }
+}
+
+impl PartialEq for ByteStr {
+    fn eq(&self, other: &ByteStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for ByteStr {}
+
+impl PartialEq<str> for ByteStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for ByteStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<ByteStr> for str {
+    fn eq(&self, other: &ByteStr) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<ByteStr> for &str {
+    fn eq(&self, other: &ByteStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<String> for ByteStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for ByteStr {
+    fn partial_cmp(&self, other: &ByteStr) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ByteStr {
+    fn cmp(&self, other: &ByteStr) -> Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for ByteStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Display for ByteStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for ByteStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl Serialize for ByteStr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ByteStr {
+    fn from_value(v: &Value) -> Result<ByteStr, DeError> {
+        match v {
+            Value::Str(s) => Ok(ByteStr::from(s.as_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representations_compare_equal_by_content() {
+        let long = "a-value-longer-than-the-inline-capacity-of-bytestr";
+        assert!(long.len() > ByteStr::INLINE_CAP);
+        let shared = ByteStr::from_utf8(Bytes::copy_from_slice(long.as_bytes())).unwrap();
+        let owned = ByteStr::from(long.to_string());
+        assert_eq!(shared, owned);
+        assert_eq!(shared.as_str(), long);
+
+        let small = ByteStr::from("tag");
+        assert_eq!(small, ByteStr::from_static("tag"));
+        assert_eq!(small, "tag");
+        assert_eq!("tag", small);
+    }
+
+    #[test]
+    fn inline_boundary() {
+        let at_cap = "x".repeat(ByteStr::INLINE_CAP);
+        let over_cap = "x".repeat(ByteStr::INLINE_CAP + 1);
+        assert_eq!(ByteStr::from(at_cap.as_str()).as_str(), at_cap);
+        assert_eq!(ByteStr::from(over_cap.as_str()).as_str(), over_cap);
+    }
+
+    #[test]
+    fn shared_slices_wire_buffer() {
+        let wire = Bytes::copy_from_slice("Via: SIP/2.0/UDP host;branch=z9".as_bytes());
+        let v = ByteStr::from_utf8(wire.slice(5..)).unwrap();
+        assert_eq!(v, "SIP/2.0/UDP host;branch=z9");
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        assert!(ByteStr::from_utf8(Bytes::copy_from_slice(&[0xff, 0xfe])).is_err());
+    }
+
+    #[test]
+    fn string_ops_via_deref() {
+        let v = ByteStr::from("10.0.0.1:5060");
+        assert_eq!(v.split_once(':'), Some(("10.0.0.1", "5060")));
+        assert!(v.starts_with("10."));
+    }
+
+    #[test]
+    fn hash_and_ord_match_str() {
+        use std::collections::HashMap;
+        let mut m: HashMap<ByteStr, u32> = HashMap::new();
+        m.insert(ByteStr::from("key"), 7);
+        // Borrow<str> lets &str look up ByteStr keys.
+        assert_eq!(m.get("key"), Some(&7));
+        // Ord follows string content, not representation.
+        assert_eq!(
+            ByteStr::from("a").cmp(&ByteStr::from("b")),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = ByteStr::from("round-trip");
+        let val = v.to_value();
+        assert_eq!(ByteStr::from_value(&val).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(ByteStr::default().is_empty());
+        assert_eq!(ByteStr::EMPTY.len(), 0);
+        assert_eq!(String::from(ByteStr::from("s")), "s");
+    }
+}

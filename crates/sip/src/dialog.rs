@@ -330,7 +330,7 @@ mod tests {
         let our_bye = dlg.clone().make_request(Method::Bye, "x", "z9hG4bK8");
         assert!(dlg.matches(&our_bye));
         // Different call-id doesn't.
-        let mut other = our_bye.clone();
+        let mut other = our_bye;
         other.headers.set(HeaderName::CallId, "other-call");
         assert!(!dlg.matches(&other));
     }

@@ -1,5 +1,6 @@
 //! SIP headers: names, the ordered header collection, and typed values.
 
+use crate::bstr::ByteStr;
 use crate::method::Method;
 use crate::uri::SipUri;
 use serde::{Deserialize, Serialize};
@@ -47,10 +48,15 @@ pub enum HeaderName {
     /// `Record-Route`.
     RecordRoute,
     /// Any other header.
-    Extension(String),
+    Extension(ByteStr),
 }
 
 impl HeaderName {
+    /// Creates an extension (non-standard) header name.
+    pub fn extension(name: impl Into<ByteStr>) -> HeaderName {
+        HeaderName::Extension(name.into())
+    }
+
     /// The canonical field name.
     pub fn as_str(&self) -> &str {
         match self {
@@ -70,32 +76,47 @@ impl HeaderName {
             HeaderName::Subject => "Subject",
             HeaderName::Route => "Route",
             HeaderName::RecordRoute => "Record-Route",
-            HeaderName::Extension(s) => s,
+            HeaderName::Extension(s) => s.as_str(),
         }
     }
 
-    /// Parses a field name, folding compact forms and casing.
+    /// Parses a field name, folding compact forms and casing. Known
+    /// names (and compact forms) match case-insensitively without
+    /// allocating; only genuinely unknown extension headers build an
+    /// owned name.
     pub fn parse(s: &str) -> HeaderName {
-        let lower = s.to_ascii_lowercase();
-        match lower.as_str() {
-            "via" | "v" => HeaderName::Via,
-            "from" | "f" => HeaderName::From,
-            "to" | "t" => HeaderName::To,
-            "call-id" | "i" => HeaderName::CallId,
-            "cseq" => HeaderName::CSeq,
-            "contact" | "m" => HeaderName::Contact,
-            "max-forwards" => HeaderName::MaxForwards,
-            "expires" => HeaderName::Expires,
-            "content-type" | "c" => HeaderName::ContentType,
-            "content-length" | "l" => HeaderName::ContentLength,
-            "authorization" => HeaderName::Authorization,
-            "www-authenticate" => HeaderName::WwwAuthenticate,
-            "user-agent" => HeaderName::UserAgent,
-            "subject" | "s" => HeaderName::Subject,
-            "route" => HeaderName::Route,
-            "record-route" => HeaderName::RecordRoute,
-            _ => HeaderName::Extension(s.to_string()),
+        const KNOWN: &[(&str, HeaderName)] = &[
+            ("via", HeaderName::Via),
+            ("v", HeaderName::Via),
+            ("from", HeaderName::From),
+            ("f", HeaderName::From),
+            ("to", HeaderName::To),
+            ("t", HeaderName::To),
+            ("call-id", HeaderName::CallId),
+            ("i", HeaderName::CallId),
+            ("cseq", HeaderName::CSeq),
+            ("contact", HeaderName::Contact),
+            ("m", HeaderName::Contact),
+            ("max-forwards", HeaderName::MaxForwards),
+            ("expires", HeaderName::Expires),
+            ("content-type", HeaderName::ContentType),
+            ("c", HeaderName::ContentType),
+            ("content-length", HeaderName::ContentLength),
+            ("l", HeaderName::ContentLength),
+            ("authorization", HeaderName::Authorization),
+            ("www-authenticate", HeaderName::WwwAuthenticate),
+            ("user-agent", HeaderName::UserAgent),
+            ("subject", HeaderName::Subject),
+            ("s", HeaderName::Subject),
+            ("route", HeaderName::Route),
+            ("record-route", HeaderName::RecordRoute),
+        ];
+        for (name, variant) in KNOWN {
+            if s.eq_ignore_ascii_case(name) {
+                return variant.clone();
+            }
         }
+        HeaderName::Extension(ByteStr::from(s))
     }
 }
 
@@ -106,17 +127,21 @@ impl fmt::Display for HeaderName {
 }
 
 /// One header field: a name and its raw value text.
+///
+/// The value is a [`ByteStr`]: parsing a message from wire bytes slices
+/// the shared packet buffer (or inlines short values) instead of
+/// allocating a `String` per header.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Header {
     /// Field name.
     pub name: HeaderName,
     /// Raw field value (typed values are parsed on demand).
-    pub value: String,
+    pub value: ByteStr,
 }
 
 impl Header {
     /// Creates a header.
-    pub fn new(name: HeaderName, value: impl Into<String>) -> Header {
+    pub fn new(name: HeaderName, value: impl Into<ByteStr>) -> Header {
         Header {
             name,
             value: value.into(),
@@ -138,12 +163,12 @@ impl Headers {
     }
 
     /// Appends a header.
-    pub fn push(&mut self, name: HeaderName, value: impl Into<String>) {
+    pub fn push(&mut self, name: HeaderName, value: impl Into<ByteStr>) {
         self.fields.push(Header::new(name, value));
     }
 
     /// Prepends a header (proxies push `Via` on top).
-    pub fn push_front(&mut self, name: HeaderName, value: impl Into<String>) {
+    pub fn push_front(&mut self, name: HeaderName, value: impl Into<ByteStr>) {
         self.fields.insert(0, Header::new(name, value));
     }
 
@@ -155,17 +180,19 @@ impl Headers {
             .map(|h| h.value.as_str())
     }
 
-    /// All values for `name`, in order.
-    pub fn get_all(&self, name: &HeaderName) -> Vec<&str> {
+    /// All values for `name`, in order, lazily — no `Vec` is built.
+    pub fn get_all<'a>(
+        &'a self,
+        name: &'a HeaderName,
+    ) -> impl Iterator<Item = &'a str> + 'a {
         self.fields
             .iter()
-            .filter(|h| &h.name == name)
+            .filter(move |h| &h.name == name)
             .map(|h| h.value.as_str())
-            .collect()
     }
 
     /// Replaces all values of `name` with a single value.
-    pub fn set(&mut self, name: HeaderName, value: impl Into<String>) {
+    pub fn set(&mut self, name: HeaderName, value: impl Into<ByteStr>) {
         self.fields.retain(|h| h.name != name);
         self.push(name, value);
     }
@@ -178,7 +205,7 @@ impl Headers {
     }
 
     /// Removes the topmost (first) value of `name`, returning it.
-    pub fn remove_front(&mut self, name: &HeaderName) -> Option<String> {
+    pub fn remove_front(&mut self, name: &HeaderName) -> Option<ByteStr> {
         let idx = self.fields.iter().position(|h| &h.name == name)?;
         Some(self.fields.remove(idx).value)
     }
@@ -229,11 +256,11 @@ impl Extend<Header> for Headers {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NameAddr {
     /// Optional display name (without quotes).
-    pub display: Option<String>,
+    pub display: Option<ByteStr>,
     /// The SIP URI.
     pub uri: SipUri,
     /// Header parameters after the URI, e.g. `tag`.
-    pub params: Vec<(String, String)>,
+    pub params: Vec<(ByteStr, ByteStr)>,
 }
 
 impl NameAddr {
@@ -247,21 +274,21 @@ impl NameAddr {
     }
 
     /// Sets the display name (builder-style).
-    pub fn with_display(mut self, display: impl Into<String>) -> NameAddr {
+    pub fn with_display(mut self, display: impl Into<ByteStr>) -> NameAddr {
         self.display = Some(display.into());
         self
     }
 
     /// Adds a parameter (builder-style).
-    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<String>) -> NameAddr {
+    pub fn with_param(mut self, name: impl Into<ByteStr>, value: impl Into<ByteStr>) -> NameAddr {
         self.params.push((name.into(), value.into()));
         self
     }
 
     /// Adds/replaces the `tag` parameter (builder-style).
-    pub fn with_tag(mut self, tag: impl Into<String>) -> NameAddr {
+    pub fn with_tag(mut self, tag: impl Into<ByteStr>) -> NameAddr {
         self.params.retain(|(n, _)| n != "tag");
-        self.params.push(("tag".to_string(), tag.into()));
+        self.params.push((ByteStr::from_static("tag"), tag.into()));
         self
     }
 
@@ -297,15 +324,22 @@ impl fmt::Display for NameAddr {
 }
 
 /// Error parsing a typed header value.
+///
+/// The detail is a `Cow` so the common fixed messages ("header missing",
+/// "missing sent-by", ...) are carried without allocating; only details
+/// that genuinely interpolate data pay for a `String`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseHeaderError {
     header: &'static str,
-    detail: String,
+    detail: std::borrow::Cow<'static, str>,
 }
 
 impl ParseHeaderError {
     /// Creates an error for the named header kind.
-    pub fn new(header: &'static str, detail: impl Into<String>) -> ParseHeaderError {
+    pub fn new(
+        header: &'static str,
+        detail: impl Into<std::borrow::Cow<'static, str>>,
+    ) -> ParseHeaderError {
         ParseHeaderError {
             header,
             detail: detail.into(),
@@ -336,7 +370,7 @@ impl FromStr for NameAddr {
                 .find('"')
                 .ok_or_else(|| ParseHeaderError::new("name-addr", "unterminated display name"))?;
             (
-                Some(stripped[..end].to_string()),
+                Some(ByteStr::from(&stripped[..end])),
                 stripped[end + 1..].trim_start(),
             )
         } else {
@@ -350,7 +384,7 @@ impl FromStr for NameAddr {
             // An unquoted token display name may precede `<`.
             let display = display.or_else(|| {
                 let token = rest[..start].trim();
-                (!token.is_empty()).then(|| token.to_string())
+                (!token.is_empty()).then(|| ByteStr::from(token))
             });
             let uri: SipUri = rest[start + 1..end]
                 .parse()
@@ -381,17 +415,20 @@ impl FromStr for NameAddr {
     }
 }
 
-fn parse_params(s: &str) -> Vec<(String, String)> {
+fn parse_params(s: &str) -> Vec<(ByteStr, ByteStr)> {
     parse_params_str(s.strip_prefix(';').unwrap_or(s))
 }
 
-fn parse_params_str(s: &str) -> Vec<(String, String)> {
+fn parse_params_str(s: &str) -> Vec<(ByteStr, ByteStr)> {
+    if s.trim().is_empty() {
+        return Vec::new(); // `Vec::new` never allocates
+    }
     s.split(';')
         .map(str::trim)
         .filter(|p| !p.is_empty())
         .map(|p| match p.split_once('=') {
-            Some((n, v)) => (n.trim().to_string(), v.trim().to_string()),
-            None => (p.to_string(), String::new()),
+            Some((n, v)) => (ByteStr::from(n.trim()), ByteStr::from(v.trim())),
+            None => (ByteStr::from(p), ByteStr::EMPTY),
         })
         .collect()
 }
@@ -452,20 +489,20 @@ impl FromStr for CSeq {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Via {
     /// Transport token, e.g. `UDP`.
-    pub transport: String,
+    pub transport: ByteStr,
     /// The `sent-by` host (and optional `:port`).
-    pub sent_by: String,
+    pub sent_by: ByteStr,
     /// Via parameters (`branch`, `received`, ...).
-    pub params: Vec<(String, String)>,
+    pub params: Vec<(ByteStr, ByteStr)>,
 }
 
 impl Via {
     /// Creates a UDP Via with the RFC 3261 magic-cookie branch.
-    pub fn udp(sent_by: impl Into<String>, branch: impl Into<String>) -> Via {
+    pub fn udp(sent_by: impl Into<ByteStr>, branch: impl Into<ByteStr>) -> Via {
         Via {
-            transport: "UDP".to_string(),
+            transport: ByteStr::from_static("UDP"),
             sent_by: sent_by.into(),
-            params: vec![("branch".to_string(), branch.into())],
+            params: vec![(ByteStr::from_static("branch"), branch.into())],
         }
     }
 
@@ -511,8 +548,8 @@ impl FromStr for Via {
             return Err(ParseHeaderError::new("Via", "empty sent-by"));
         }
         Ok(Via {
-            transport: transport.to_string(),
-            sent_by: sent_by.trim().to_string(),
+            transport: ByteStr::from(transport),
+            sent_by: ByteStr::from(sent_by.trim()),
             params: parse_params_str(params_part),
         })
     }
@@ -530,7 +567,7 @@ mod tests {
         assert_eq!(HeaderName::parse("i"), HeaderName::CallId);
         assert_eq!(
             HeaderName::parse("X-Custom"),
-            HeaderName::Extension("X-Custom".to_string())
+            HeaderName::extension("X-Custom")
         );
     }
 
@@ -540,11 +577,11 @@ mod tests {
         h.push(HeaderName::Via, "SIP/2.0/UDP a;branch=1");
         h.push(HeaderName::Via, "SIP/2.0/UDP b;branch=2");
         h.push_front(HeaderName::Via, "SIP/2.0/UDP top;branch=0");
-        assert_eq!(h.get_all(&HeaderName::Via).len(), 3);
+        assert_eq!(h.get_all(&HeaderName::Via).count(), 3);
         assert_eq!(h.get(&HeaderName::Via).unwrap(), "SIP/2.0/UDP top;branch=0");
         let popped = h.remove_front(&HeaderName::Via).unwrap();
         assert!(popped.contains("top"));
-        assert_eq!(h.get_all(&HeaderName::Via).len(), 2);
+        assert_eq!(h.get_all(&HeaderName::Via).count(), 2);
     }
 
     #[test]
@@ -553,7 +590,7 @@ mod tests {
         h.push(HeaderName::Expires, "3600");
         h.push(HeaderName::Expires, "7200");
         h.set(HeaderName::Expires, "60");
-        assert_eq!(h.get_all(&HeaderName::Expires), vec!["60"]);
+        assert_eq!(h.get_all(&HeaderName::Expires).collect::<Vec<_>>(), vec!["60"]);
         assert!(h.remove(&HeaderName::Expires));
         assert!(!h.remove(&HeaderName::Expires));
         assert!(h.is_empty());

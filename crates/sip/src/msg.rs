@@ -187,19 +187,25 @@ impl SipMessage {
     /// 1: "the SIP message should follow the correct format") keys on a
     /// non-empty result.
     pub fn format_violations(&self) -> Vec<String> {
-        let mut violations = Vec::new();
-        let mut need = vec![
+        // The clean path — the overwhelmingly common one — must not
+        // allocate: the mandatory-header table is const and `Vec::new`
+        // defers its first heap allocation until a violation is pushed.
+        const NEED: &[(HeaderName, &str)] = &[
             (HeaderName::To, "To"),
             (HeaderName::From, "From"),
             (HeaderName::CSeq, "CSeq"),
             (HeaderName::CallId, "Call-ID"),
             (HeaderName::Via, "Via"),
+            (HeaderName::MaxForwards, "Max-Forwards"),
         ];
-        if self.is_request() {
-            need.push((HeaderName::MaxForwards, "Max-Forwards"));
-        }
+        let need = if self.is_request() {
+            NEED
+        } else {
+            &NEED[..NEED.len() - 1] // responses don't need Max-Forwards
+        };
+        let mut violations = Vec::new();
         for (name, label) in need {
-            if self.headers.get(&name).is_none() {
+            if self.headers.get(name).is_none() {
                 violations.push(format!("missing mandatory header {label}"));
             }
         }
@@ -339,7 +345,11 @@ impl RequestBuilder {
     }
 
     /// Adds an arbitrary header.
-    pub fn header(&mut self, name: HeaderName, value: impl Into<String>) -> &mut RequestBuilder {
+    pub fn header(
+        &mut self,
+        name: HeaderName,
+        value: impl Into<crate::bstr::ByteStr>,
+    ) -> &mut RequestBuilder {
         self.headers.push(name, value);
         self
     }
@@ -501,7 +511,7 @@ mod tests {
         let req = invite();
         let r1 = response_to(&req, StatusCode::OK, Some("b1"));
         // Treat r1's To (with tag) as if it were in a new request.
-        let mut req2 = req.clone();
+        let mut req2 = req;
         req2.headers
             .set(HeaderName::To, r1.headers.get(&HeaderName::To).unwrap());
         let r2 = response_to(&req2, StatusCode::OK, Some("XXX"));

@@ -7,6 +7,7 @@
 //! "SIP with a bad format" — the latter is a footprint the billing-fraud
 //! rule wants to see, not a parse failure.
 
+use crate::bstr::ByteStr;
 use crate::header::{HeaderName, Headers};
 use crate::method::Method;
 use crate::msg::{SipMessage, StartLine};
@@ -80,72 +81,99 @@ impl SipMessage {
     /// # Ok::<(), scidive_sip::parse::SipParseError>(())
     /// ```
     pub fn parse(input: &[u8]) -> Result<SipMessage, SipParseError> {
+        SipMessage::parse_bytes(Bytes::copy_from_slice(input))
+    }
+
+    /// Parses a SIP message from a shared wire buffer, zero-copy: header
+    /// values and the body are stored as slices of `input` (short values
+    /// are inlined), so the steady-state parse path performs no
+    /// per-header heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SipMessage::parse`].
+    pub fn parse_bytes(input: Bytes) -> Result<SipMessage, SipParseError> {
         if input.is_empty() {
             return Err(SipParseError::Empty);
         }
         // Find the header/body separator.
-        let sep = find_header_end(input).ok_or(SipParseError::MissingHeaderTerminator)?;
+        let sep = find_header_end(&input).ok_or(SipParseError::MissingHeaderTerminator)?;
         let head =
             std::str::from_utf8(&input[..sep.header_end]).map_err(|_| SipParseError::NotText)?;
-        let body_bytes = &input[sep.body_start..];
 
-        // Tolerate bare-LF line endings alongside canonical CRLF.
-        let line_vec: Vec<&str> = if head.contains("\r\n") {
-            head.split("\r\n").filter(|l| !l.is_empty()).collect()
-        } else {
-            head.split('\n')
-                .map(|l| l.strip_suffix('\r').unwrap_or(l))
-                .filter(|l| !l.is_empty())
-                .collect()
+        // Re-anchors a `&str` derived from `head` as a slice of the
+        // shared buffer (or inlines it), without copying long values.
+        let base = head.as_ptr() as usize;
+        let anchor = |s: &str| -> ByteStr {
+            if s.len() <= ByteStr::INLINE_CAP {
+                ByteStr::from(s)
+            } else {
+                let off = s.as_ptr() as usize - base;
+                ByteStr::from_utf8(input.slice(off..off + s.len()))
+                    .expect("substring of validated head")
+            }
         };
-        if line_vec.is_empty() {
-            return Err(SipParseError::Empty);
-        }
-        let start = parse_start_line(line_vec[0])?;
+
+        // Tolerate bare-LF line endings alongside canonical CRLF:
+        // splitting on LF and trimming a trailing CR handles both (and
+        // mixtures) identically, one line at a time — no line vector.
+        let mut lines = head
+            .split('\n')
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .filter(|l| !l.is_empty())
+            .peekable();
+        let start = parse_start_line(lines.next().ok_or(SipParseError::Empty)?)?;
 
         let mut headers = Headers::new();
-        let mut i = 1;
-        while i < line_vec.len() {
-            let mut line = line_vec[i].to_string();
-            // Header folding: continuation lines start with SP/HT.
-            while i + 1 < line_vec.len()
-                && line_vec[i + 1]
-                    .chars()
-                    .next()
-                    .is_some_and(|c| c == ' ' || c == '\t')
+        while let Some(line) = lines.next() {
+            // Header folding: continuation lines start with SP/HT. Only
+            // a folded header pays for an owned joined line.
+            let mut folded: Option<String> = None;
+            while lines
+                .peek()
+                .is_some_and(|next| next.starts_with([' ', '\t']))
             {
-                line.push(' ');
-                line.push_str(line_vec[i + 1].trim_start());
-                i += 1;
+                let cont = lines.next().expect("peeked");
+                let joined = folded.get_or_insert_with(|| line.to_string());
+                joined.push(' ');
+                joined.push_str(cont.trim_start());
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| SipParseError::BadHeaderLine(line.clone()))?;
-            headers.push(HeaderName::parse(name.trim()), value.trim());
-            i += 1;
+            match folded {
+                None => {
+                    let (name, value) = line
+                        .split_once(':')
+                        .ok_or_else(|| SipParseError::BadHeaderLine(line.to_string()))?;
+                    headers.push(HeaderName::parse(name.trim()), anchor(value.trim()));
+                }
+                Some(joined) => {
+                    let (name, value) = joined
+                        .split_once(':')
+                        .ok_or_else(|| SipParseError::BadHeaderLine(joined.clone()))?;
+                    headers.push(HeaderName::parse(name.trim()), ByteStr::from(value.trim()));
+                }
+            }
         }
 
-        // Content-Length check when declared.
+        // Content-Length check when declared. The body shares `input`.
+        let body_len = input.len() - sep.body_start;
         let body = if let Some(decl) = headers.get(&HeaderName::ContentLength) {
             match decl.trim().parse::<usize>() {
-                Ok(declared) if declared == body_bytes.len() => {
-                    Bytes::copy_from_slice(body_bytes)
-                }
-                Ok(declared) if declared < body_bytes.len() => {
+                Ok(declared) if declared == body_len => input.slice(sep.body_start..),
+                Ok(declared) if declared < body_len => {
                     // Extra trailing bytes beyond the declared body are
                     // truncated, as a UDP stack would.
-                    Bytes::copy_from_slice(&body_bytes[..declared])
+                    input.slice(sep.body_start..sep.body_start + declared)
                 }
                 Ok(declared) => {
                     return Err(SipParseError::BodyLengthMismatch {
                         declared,
-                        actual: body_bytes.len(),
+                        actual: body_len,
                     })
                 }
-                Err(_) => Bytes::copy_from_slice(body_bytes),
+                Err(_) => input.slice(sep.body_start..),
             }
         } else {
-            Bytes::copy_from_slice(body_bytes)
+            input.slice(sep.body_start..)
         };
 
         Ok(SipMessage {

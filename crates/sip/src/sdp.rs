@@ -246,7 +246,7 @@ mod tests {
     fn rtp_target() {
         let sdp = SessionDescription::audio_offer("a", addr(), 9000);
         assert_eq!(sdp.rtp_target(), Some((addr(), 9000)));
-        let mut no_audio = sdp.clone();
+        let mut no_audio = sdp;
         no_audio.media.clear();
         assert_eq!(no_audio.rtp_target(), None);
     }

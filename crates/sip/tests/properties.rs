@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use scidive_sip::auth::{DigestChallenge, DigestCredentials};
+use scidive_sip::bstr::ByteStr;
 use scidive_sip::header::{CSeq, NameAddr, Via};
 use scidive_sip::md5::{md5, Md5};
 use scidive_sip::method::Method;
@@ -55,7 +56,9 @@ proptest! {
         tag in proptest::option::of(token()),
     ) {
         let mut na = NameAddr::new(u);
-        na.display = display.map(|d| d.trim().to_string()).filter(|d| !d.is_empty());
+        na.display = display
+            .map(|d| ByteStr::from(d.trim()))
+            .filter(|d| !d.is_empty());
         if let Some(tag) = tag {
             na = na.with_tag(tag);
         }

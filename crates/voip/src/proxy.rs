@@ -292,7 +292,7 @@ impl Proxy {
             if let (Ok(from), Ok(to), Ok(call_id)) = (req.from_(), req.to(), req.call_id()) {
                 let billing_override = if self.config.billing_vuln {
                     req.headers
-                        .get(&HeaderName::Extension("P-Billing-Id".to_string()))
+                        .get(&HeaderName::extension("P-Billing-Id"))
                         .map(str::to_string)
                 } else {
                     None

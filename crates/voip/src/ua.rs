@@ -779,8 +779,8 @@ impl UserAgent {
         self.push_event(
             ctx,
             UaEventKind::IncomingCall {
-                from: from.uri.clone(),
-                call_id: call_id.clone(),
+                from: from.uri,
+                call_id,
             },
         );
         if !self.config.auto_answer {
@@ -1096,7 +1096,7 @@ impl UserAgent {
                 self.push_event(
                     ctx,
                     UaEventKind::CallEstablished {
-                        call_id: call_id.clone(),
+                        call_id,
                         peer,
                     },
                 );

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite, lint wall.
+# CI gate: release build, full test suite, lint wall, bench smoke.
 #
 # The test suite includes the sharded-pipeline differential harness
 # (tests/shard_equivalence.rs, crates/core/tests/properties.rs) and the
 # 2-shard smoke in scidive-bench, so a green run proves the parallel
-# deployment is byte-identical to the single engine.
+# deployment is byte-identical to the single engine. The allocation
+# regression gate (crates/bench/tests/alloc_budget.rs) runs under the
+# counting allocator feature, and the bench smoke runs every criterion
+# routine once so the benchmarks cannot silently rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +17,17 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace -- -D warnings
+echo "== allocation budget (counting allocator) =="
+cargo test -q -p scidive-bench --features count-allocs --test alloc_budget
+
+echo "== clippy (deny warnings + alloc-discipline lints) =="
+cargo clippy --workspace --all-targets -- \
+  -D warnings \
+  -D clippy::redundant_clone \
+  -D clippy::inefficient_to_string \
+  -D clippy::format_collect
+
+echo "== bench smoke (one iteration per routine) =="
+cargo bench -q -- --test
 
 echo "CI green."

@@ -1,0 +1,137 @@
+//! Edge cases of the batched shard dispatcher: partial batches must be
+//! flushed by `finish()`, the linger window must publish buffered frames
+//! without waiting for `finish()`, and no choice of batch size may move
+//! an alert in the merged stream — the `(seq, idx)` merge key is
+//! assigned at dispatch, before batching, so batch boundaries are
+//! invisible in the output.
+
+use scidive::prelude::*;
+use std::net::Ipv4Addr;
+
+/// A minimal SIP request that trips the `sip-format` rule (missing
+/// mandatory headers), so every frame deterministically raises alerts.
+fn options(call_id: &str) -> IpPacket {
+    IpPacket::udp(
+        Ipv4Addr::new(10, 0, 0, 2),
+        5060,
+        Ipv4Addr::new(10, 0, 0, 1),
+        5060,
+        format!("OPTIONS sip:b@lab SIP/2.0\r\nCall-ID: {call_id}\r\n\r\n").into_bytes(),
+    )
+}
+
+/// A capture whose length divides evenly into none of the tested batch
+/// sizes, spread over several sessions so multi-shard runs interleave.
+fn capture(frames: u64) -> Vec<(SimTime, IpPacket)> {
+    (0..frames)
+        .map(|i| (SimTime::from_millis(i), options(&format!("call-{}", i % 5))))
+        .collect()
+}
+
+fn single_engine_alerts(frames: &[(SimTime, IpPacket)]) -> Vec<Alert> {
+    let mut single = Scidive::new(ScidiveConfig::default());
+    single.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    single.alerts().to_vec()
+}
+
+#[test]
+fn partial_batch_is_flushed_by_finish() {
+    // Batch far larger than the capture, linger far longer than its
+    // span: nothing can ship on batch-full or on the time boundary, so
+    // every frame reaches its worker only through finish()'s flush.
+    let frames = capture(7);
+    let expected = single_engine_alerts(&frames);
+    assert!(!expected.is_empty(), "capture must raise alerts");
+    for shards in [1usize, 3] {
+        let mut sharded = ShardedScidive::new(ScidiveConfig::default(), shards, 8)
+            .with_batching(1024, SimDuration::from_secs(3600));
+        sharded.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+        let report = sharded.finish();
+        assert_eq!(report.alerts, expected, "shards={shards}");
+        assert_eq!(report.stats.frames, frames.len() as u64);
+        assert_eq!(report.dispatch.dropped, 0);
+    }
+}
+
+#[test]
+fn batch_boundaries_do_not_reorder_the_merge() {
+    // 41 frames: indivisible by every tested batch size, so each run
+    // ends on a partial batch and the boundaries fall in different
+    // places. The merged stream must be identical regardless.
+    let frames = capture(41);
+    let expected = single_engine_alerts(&frames);
+    assert!(!expected.is_empty());
+    for shards in [1usize, 2, 4] {
+        for batch in [1usize, 3, 8, 64] {
+            let mut sharded = ShardedScidive::new(ScidiveConfig::default(), shards, 8)
+                .with_batching(batch, SimDuration::from_millis(100));
+            sharded.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+            let report = sharded.finish();
+            assert_eq!(
+                report.alerts, expected,
+                "merge diverged at shards={shards} batch={batch}"
+            );
+            assert_eq!(
+                report.shards.iter().map(|s| s.dispatched).sum::<u64>(),
+                frames.len() as u64,
+                "dispatched counters don't cover the capture at shards={shards} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linger_window_publishes_without_finish() {
+    // Batch too large to ever fill, linger of 10ms of capture time: the
+    // frames buffered at t=0..3ms must ship when the capture clock
+    // reaches t=200ms, so their alerts become observable while the
+    // dispatcher is still running. Only finish() is allowed to be the
+    // flush of last resort, not the only flush.
+    let mut sharded = ShardedScidive::new(ScidiveConfig::default(), 2, 8)
+        .with_batching(1024, SimDuration::from_millis(10));
+    for i in 0..4u64 {
+        sharded.submit(SimTime::from_millis(i), &options(&format!("early-{i}")));
+    }
+    // Crossing the linger boundary flushes the early frames; this frame
+    // itself stays buffered (its batch is not full, no later frame
+    // advances the clock past it).
+    sharded.submit(SimTime::from_millis(200), &options("late"));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut seen = Vec::new();
+    while seen.is_empty() && std::time::Instant::now() < deadline {
+        seen = sharded.alerts_snapshot();
+        if seen.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    assert!(
+        !seen.is_empty(),
+        "linger window never flushed: no alerts observable before finish()"
+    );
+    // The snapshot is a prefix of the final merged stream.
+    let report = sharded.finish();
+    assert_eq!(report.dispatch.frames, 5);
+    assert!(seen.len() <= report.alerts.len());
+    assert_eq!(&report.alerts[..seen.len()], &seen[..]);
+}
+
+#[test]
+fn unit_batch_restores_per_frame_dispatch() {
+    // batch = 1 must behave exactly like the pre-batching dispatcher:
+    // every frame ships immediately, and the output still matches.
+    let frames = capture(23);
+    let expected = single_engine_alerts(&frames);
+    let mut sharded = ShardedScidive::new(ScidiveConfig::default(), 3, 4)
+        .with_batching(1, SimDuration::from_millis(100));
+    sharded.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    let report = sharded.finish();
+    assert_eq!(report.alerts, expected);
+    assert_eq!(report.dispatch.frames, 23);
+}
+
+#[test]
+#[should_panic(expected = "batch size must be at least 1")]
+fn zero_batch_panics() {
+    let _ = ShardedScidive::new(ScidiveConfig::default(), 2, 4)
+        .with_batching(0, SimDuration::from_millis(100));
+}

@@ -6,6 +6,10 @@
 //! window is filled, then the mean time per iteration (and optional
 //! throughput) is printed to stdout. No statistics, plots, or saved
 //! baselines.
+//!
+//! Like real criterion, `--test` (as in `cargo bench -- --test`) runs
+//! every benchmark routine exactly once with no warmup or calibration —
+//! a fast smoke that keeps benches compiling *and running* in CI.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +41,13 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Whether `--test` was passed (e.g. `cargo bench -- --test`): run each
+/// routine once as a smoke test instead of measuring.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 /// Drives the timed closure for one benchmark.
 pub struct Bencher {
     total: Duration,
@@ -53,6 +64,13 @@ impl Bencher {
 
     /// Times `routine` over a calibrated number of iterations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.iters = 1;
+            self.total = start.elapsed();
+            return;
+        }
         // Warmup.
         let warm_start = Instant::now();
         while warm_start.elapsed() < WARMUP {
@@ -81,24 +99,32 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if test_mode() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.iters = 1;
+            self.total = start.elapsed();
+            return;
+        }
         let warm_start = Instant::now();
         while warm_start.elapsed() < WARMUP {
             let input = setup();
             black_box(routine(input));
         }
-        let mut batch: u64 = 1;
+        // One input at a time, setup excluded by pausing the clock:
+        // pre-building a whole batch of inputs would hold every one of
+        // them live at once (worker threads, queues), which distorts
+        // what the routine is being measured against.
         loop {
-            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let input = setup();
             let start = Instant::now();
-            for input in inputs {
-                black_box(routine(input));
-            }
+            black_box(routine(input));
             self.total += start.elapsed();
-            self.iters += batch;
+            self.iters += 1;
             if self.total >= MEASURE {
                 break;
             }
-            batch = batch.saturating_mul(2);
         }
     }
 
@@ -230,7 +256,8 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups (CLI flags are ignored).
+/// Declares `main` running the listed groups (`--test` runs each
+/// routine once; other CLI flags are ignored).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
