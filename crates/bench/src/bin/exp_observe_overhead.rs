@@ -1,0 +1,132 @@
+//! **Experiment O1** — cost of the observability layer.
+//!
+//! Replays a captured attack scenario through fresh engines with
+//! observation at its default settings (histograms on, trace off) and
+//! with histograms disabled (the minimal configuration), and reports the
+//! throughput difference. Writes `results/observability_overhead.txt`
+//! including a sample `PipelineObservation` report, and — with
+//! `--gate <pct>` (what `scripts/ci.sh` passes) — exits nonzero if the
+//! measured overhead exceeds the budget.
+
+use scidive_bench::harness::{run_attack, AttackKind, ScenarioOptions};
+use scidive_bench::report::f2;
+use scidive_core::prelude::*;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed replay iterations per configuration (interleaved, median
+/// taken), plus warmup.
+const ITERS: usize = 31;
+const WARMUP: usize = 3;
+
+fn capture(kind: AttackKind) -> Vec<(SimTime, IpPacket)> {
+    let outcome = run_attack(kind, 1, &ScenarioOptions::default());
+    outcome
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.time, r.packet.clone()))
+        .collect()
+}
+
+fn config_with(histograms: bool) -> ScidiveConfig {
+    let mut config = ScidiveConfig::default();
+    config.observe.histograms = histograms;
+    config
+}
+
+fn replay_once(frames: &[(SimTime, IpPacket)], histograms: bool) -> f64 {
+    let mut ids = Scidive::new(config_with(histograms));
+    let start = Instant::now();
+    ids.process_capture(frames.iter().map(|(t, p)| (*t, p)));
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(ids.stats());
+    elapsed
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let gate: Option<f64> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--gate")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--gate takes a percentage"))
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Observability overhead (exp_observe_overhead)");
+    let _ = writeln!(
+        out,
+        "# default observation (histograms on, trace off) vs minimal (histograms off)"
+    );
+    let _ = writeln!(
+        out,
+        "# {ITERS} interleaved replay iterations per config, median reported\n"
+    );
+
+    let mut worst: f64 = f64::MIN;
+    let mut table = scidive_bench::report::Table::new(&[
+        "scenario", "frames", "minimal ms", "observed ms", "overhead %",
+    ]);
+    for kind in [AttackKind::Bye, AttackKind::RtpFlood, AttackKind::BillingFraud] {
+        let frames = capture(kind);
+        for _ in 0..WARMUP {
+            replay_once(&frames, true);
+            replay_once(&frames, false);
+        }
+        let mut on = Vec::with_capacity(ITERS);
+        let mut off = Vec::with_capacity(ITERS);
+        // Interleave so drift (thermal, scheduler) hits both configs
+        // equally.
+        for _ in 0..ITERS {
+            off.push(replay_once(&frames, false));
+            on.push(replay_once(&frames, true));
+        }
+        let off_med = median(&mut off);
+        let on_med = median(&mut on);
+        let overhead = (on_med - off_med) / off_med * 100.0;
+        worst = worst.max(overhead);
+        table.row(&[
+            format!("{kind:?}"),
+            frames.len().to_string(),
+            f2(off_med * 1_000.0),
+            f2(on_med * 1_000.0),
+            f2(overhead),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(out, "worst-case overhead: {}%", f2(worst));
+
+    // Attach a sample observation report from a sharded run of the BYE
+    // scenario, so the artifact documents what operators actually read.
+    let frames = capture(AttackKind::Bye);
+    let mut sharded = ShardedScidive::new(ScidiveConfig::default(), 2, 64);
+    for (t, p) in &frames {
+        sharded.submit(*t, p);
+    }
+    let report = sharded.finish();
+    let _ = writeln!(
+        out,
+        "\n# Sample PipelineObservation report (BYE scenario, 2 shards)\n"
+    );
+    let _ = writeln!(out, "{}", report.observation.report());
+
+    print!("{out}");
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/observability_overhead.txt", &out);
+
+    if let Some(budget) = gate {
+        if worst > budget {
+            eprintln!("FAIL: observation overhead {}% exceeds the {budget}% budget", f2(worst));
+            std::process::exit(1);
+        }
+        println!("gate ok: worst overhead {}% <= {budget}%", f2(worst));
+    }
+}

@@ -14,6 +14,7 @@ use scidive_rtp::packet::{looks_like_rtp, RtpPacket};
 use scidive_rtp::rtcp::{looks_like_rtcp, RtcpPacket};
 use scidive_sip::msg::SipMessage;
 use scidive_sip::parse::looks_like_sip;
+use serde::{Deserialize, Serialize};
 
 /// Distiller configuration.
 #[derive(Debug, Clone)]
@@ -37,7 +38,7 @@ impl Default for DistillerConfig {
 }
 
 /// Counters kept by the Distiller.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DistillStats {
     /// Frames offered.
     pub frames: u64,

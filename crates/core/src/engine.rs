@@ -5,11 +5,16 @@ use crate::alert::Alert;
 use crate::distill::{Distiller, DistillerConfig, DistillStats};
 use crate::event::{Event, EventGenConfig, EventGenerator};
 use crate::footprint::Footprint;
+use crate::observe::{
+    DispatchCounters, EngineObservation, EngineObserver, ObserveConfig, ObservedHistograms,
+    PipelineObservation, StateGauges,
+};
 use crate::rules::{builtin_ruleset, Rule, RuleCtx, RuleToggles};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Full engine configuration.
@@ -24,10 +29,12 @@ pub struct ScidiveConfig {
     pub events: EventGenConfig,
     /// Which built-in rules to install.
     pub rules: RuleToggles,
+    /// Observability settings (histograms on, trace off by default).
+    pub observe: ObserveConfig,
 }
 
 /// Pipeline counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Frames offered to the engine.
     pub frames: u64,
@@ -90,6 +97,7 @@ pub struct Scidive {
     rules: Vec<Box<dyn Rule>>,
     alerts: Vec<Alert>,
     stats: PipelineStats,
+    observer: EngineObserver,
     /// Undrained events, kept for cooperative exchange (paper §6:
     /// detectors "exchange event objects"). Bounded; drained by
     /// [`Scidive::drain_events`].
@@ -106,6 +114,7 @@ impl Scidive {
             rules: builtin_ruleset(&config.rules),
             alerts: Vec::new(),
             stats: PipelineStats::default(),
+            observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
         }
     }
@@ -122,6 +131,7 @@ impl Scidive {
             rules: builtin_ruleset(&config.rules),
             alerts: Vec::new(),
             stats: PipelineStats::default(),
+            observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
         }
     }
@@ -193,6 +203,8 @@ impl Scidive {
         let mut events = self.events.on_footprint(&fp, &key, &self.trails);
         events.extend(injected);
         self.stats.events += events.len() as u64;
+        let alerts_before = new_alerts.len();
+        let timer = self.observer.match_timer();
         for ev in &events {
             let ctx = RuleCtx {
                 now: time,
@@ -201,6 +213,28 @@ impl Scidive {
             for rule in &mut self.rules {
                 new_alerts.extend(rule.on_event(ev, &ctx));
             }
+        }
+        self.observer.record_match(timer);
+        if new_alerts.len() > alerts_before {
+            // The detection delay is sim-time from the triggering
+            // trail's birth to the alert — the paper's end-to-end
+            // latency notion.
+            let delay = self
+                .trails
+                .trail(&key)
+                .map(|t| time.saturating_since(t.created()));
+            for alert in &new_alerts[alerts_before..] {
+                self.observer.record_alert(alert.severity, delay);
+            }
+        }
+        if self.observer.trace_enabled() {
+            self.observer.push_trace(
+                time,
+                key.session.to_string(),
+                format!("{:?}", key.proto),
+                events.len() as u32,
+                (new_alerts.len() - alerts_before) as u32,
+            );
         }
         if self.event_log.len() < 100_000 {
             self.event_log.extend(events);
@@ -249,6 +283,58 @@ impl Scidive {
     /// Read access to the trails (for harness inspection).
     pub fn trails(&self) -> &TrailStore {
         &self.trails
+    }
+
+    /// Alert counts by severity so far.
+    pub fn severity_counts(&self) -> crate::observe::SeverityCounts {
+        self.observer.severity()
+    }
+
+    /// Current sizes and lifecycle counters of this engine's stateful
+    /// stores — the gauges that must plateau under sustained load.
+    pub fn gauges(&self) -> StateGauges {
+        let index = self.trails.media_index();
+        let lifecycle = index.lifecycle_stats();
+        StateGauges {
+            trails: self.trails.trail_count() as u64,
+            retained_footprints: self.trails.footprint_count() as u64,
+            media_index: index.len() as u64,
+            interner: index.interner_len() as u64,
+            synthetic_keys: index.synthetic_key_count() as u64,
+            expired_trails: self.trails.stats().expired_trails,
+            media_expired: lifecycle.media_expired,
+            synthetic_expired: lifecycle.synthetic_expired,
+            interner_expired: lifecycle.interner_expired,
+            router_media_index: 0,
+            router_interner: 0,
+            router_synthetic_keys: 0,
+        }
+    }
+
+    /// This engine's contribution to an observation: counters, gauges,
+    /// histograms and trace. One shard's slice in a sharded deployment.
+    pub fn engine_observation(&self) -> EngineObservation {
+        self.observer.observation(self.stats, self.gauges())
+    }
+
+    /// A full pipeline observation for this standalone engine. The
+    /// dispatch section is structurally zero (no dispatcher is
+    /// involved when frames come in via [`Scidive::on_frame`]).
+    pub fn observation(&self) -> PipelineObservation {
+        let eo = self.engine_observation();
+        PipelineObservation {
+            pipeline: eo.stats,
+            severity: eo.severity,
+            distill: self.distiller.stats(),
+            dispatch: DispatchCounters::default(),
+            gauges: eo.gauges,
+            hist: ObservedHistograms {
+                rule_eval_us: eo.rule_eval_us,
+                detection_delay_ms: eo.detection_delay_ms,
+                ..ObservedHistograms::default()
+            },
+            trace: eo.trace,
+        }
     }
 }
 

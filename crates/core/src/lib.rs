@@ -30,6 +30,9 @@
 //!   SDP-derived media-correlation index lives here) and
 //!   [`shard::ShardedScidive`] uses it to fan the pipeline out over `N`
 //!   worker engines whose merged output is byte-identical to one engine.
+//! * [`observe`] watches the whole pipeline — monotonic counters, state
+//!   gauges, fixed-bucket histograms and an optional decision trace —
+//!   snapshottable as a serializable [`observe::PipelineObservation`].
 //! * [`baseline::SnortLike`] is the stateless, session-blind comparison
 //!   matcher of §3.3/§5; [`metrics`] scores alert streams into the
 //!   paper's `D`, `P_f`, `P_m`.
@@ -60,6 +63,7 @@ pub mod engine;
 pub mod event;
 pub mod footprint;
 pub mod metrics;
+pub mod observe;
 pub mod online;
 pub mod routing;
 pub mod rules;
@@ -82,6 +86,11 @@ pub mod prelude {
     };
     pub use crate::footprint::{Footprint, FootprintBody, PacketMeta, TrailProto};
     pub use crate::metrics::{DetectionReport, InjectedAttack, RateAccumulator};
+    pub use crate::observe::{
+        DecisionTrace, DispatchCounters, EngineObservation, Histogram, ObserveConfig,
+        ObservedHistograms, PipelineObservation, SeverityCounts, StateGauges, TraceEntry,
+        TraceStage,
+    };
     pub use crate::online::OnlineScidive;
     pub use crate::routing::{
         stable_session_hash, MediaIndex, RouteDecision, SessionRouter,

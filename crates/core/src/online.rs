@@ -10,6 +10,7 @@
 
 use crate::alert::Alert;
 use crate::engine::{PipelineStats, ScidiveConfig};
+use crate::observe::PipelineObservation;
 use crate::shard::ShardedScidive;
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::SimTime;
@@ -40,8 +41,9 @@ pub struct CaptureFrame {
 ///     Ipv4Addr::new(10, 0, 0, 2), 5060,
 ///     b"OPTIONS sip:b@lab SIP/2.0\r\nCall-ID: x\r\n\r\n".as_ref(),
 /// ));
-/// let (alerts, stats) = ids.finish();
+/// let (alerts, stats, observation) = ids.finish();
 /// assert_eq!(stats.frames, 1);
+/// assert_eq!(observation.pipeline.frames, 1);
 /// assert!(alerts.iter().all(|a| a.rule == "sip-format"));
 /// ```
 #[derive(Debug)]
@@ -67,15 +69,22 @@ impl OnlineScidive {
         self.inner.alerts_snapshot()
     }
 
+    /// Live observation snapshot alongside the alert snapshot: what the
+    /// pipeline has done so far (counters may trail the submit side by
+    /// one in-flight batch; `finish` is authoritative).
+    pub fn observed_snapshot(&self) -> (Vec<Alert>, PipelineObservation) {
+        (self.inner.alerts_snapshot(), self.inner.observation())
+    }
+
     /// Closes the input, waits for the worker to drain, and returns all
-    /// alerts plus the pipeline counters.
+    /// alerts, the pipeline counters, and the full observation.
     ///
     /// # Panics
     ///
     /// Panics if the worker thread panicked.
-    pub fn finish(self) -> (Vec<Alert>, PipelineStats) {
+    pub fn finish(self) -> (Vec<Alert>, PipelineStats, PipelineObservation) {
         let report = self.inner.finish();
-        (report.alerts, report.stats)
+        (report.alerts, report.stats, report.observation)
     }
 }
 
@@ -115,9 +124,11 @@ mod tests {
         for (t, f) in &frames {
             online.submit(*t, f.clone());
         }
-        let (alerts, stats) = online.finish();
+        let (alerts, stats, observation) = online.finish();
         assert_eq!(alerts, offline.alerts());
         assert_eq!(stats.frames, 20);
+        assert_eq!(observation.pipeline.frames, 20);
+        assert_eq!(observation.severity.total(), alerts.len() as u64);
     }
 
     #[test]
@@ -129,7 +140,9 @@ mod tests {
         );
         // Snapshot is best-effort; finish() is authoritative.
         let _ = online.alerts_snapshot();
-        let (alerts, _) = online.finish();
+        let (_, snapshot) = online.observed_snapshot();
+        assert!(snapshot.dispatch.frames >= 1);
+        let (alerts, _, _) = online.finish();
         assert!(!alerts.is_empty());
     }
 }

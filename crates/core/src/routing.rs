@@ -13,65 +13,126 @@
 //! * [`MediaIndex::session_for`] — the canonical footprint → session
 //!   derivation (Call-ID for SIP and accounting, media correlation for
 //!   RTP/RTCP and garbage, synthetic keys otherwise).
-//! * [`SessionRouter`] — session → shard assignment: a stable FNV-1a
-//!   hash for real sessions, a designated overflow shard for synthetic
-//!   (unmatched) ones, so no traffic is ever silently dropped.
+//! * [`SessionRouter`] — session → shard assignment by a stable FNV-1a
+//!   hash, identical for real and synthetic keys so chaos traffic
+//!   spreads instead of hotspotting one worker.
+//!
+//! ## Index lifecycle
+//!
+//! Every learned mapping and memoized key carries a last-activity
+//! stamp and expires after the same idle timeout the trail store uses
+//! (see [`crate::trail::TrailStoreConfig::idle_timeout`]):
+//!
+//! * the `(addr, port) → session` media map — so a dead call's RTP
+//!   sink cannot keep correlating new traffic to the dead session
+//!   forever (a new call announcing the same sink overwrites the
+//!   mapping immediately; idle expiry reclaims the rest);
+//! * the memoized synthetic keys (`flow-*`, `other-*`, `sip-anon-*`,
+//!   `sip-malformed-*`) — pure caches, reaped by periodic sweep;
+//! * the [`SessionInterner`] — idle Call-IDs are dropped; re-interning
+//!   later re-allocates once, which is exactly the cold-path cost.
+//!
+//! Staleness of the media map is checked **exactly, at resolve time**
+//! (not only at sweeps), so the trail store and the sharded dispatcher
+//! — whose sweep clocks tick at different moments — still agree
+//! bit-for-bit on every routing decision. Expiry is deliberately *not*
+//! tied to SIP teardown: cross-protocol rules (the §4.2.1 forged-BYE
+//! check) depend on correlating media that arrives *after* the BYE, so
+//! mappings outlive the dialog and die only of idleness.
 
 use crate::footprint::{Footprint, FootprintBody};
 use crate::trail::SessionKey;
+use scidive_netsim::time::{SimDuration, SimTime};
 use scidive_sip::sdp::SessionDescription;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+/// The default index idle timeout, matching
+/// [`crate::trail::TrailStoreConfig::default`].
+const DEFAULT_IDLE_TIMEOUT: SimDuration = SimDuration::from_secs(600);
+
+/// A value plus the capture time it was last used, the unit of idle
+/// expiry.
+#[derive(Debug, Clone)]
+struct Stamped<T> {
+    value: T,
+    last_active: SimTime,
+}
+
+/// Lifecycle counters of a [`MediaIndex`]: proof that expiry runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexLifecycleStats {
+    /// Media `(addr, port)` mappings dropped by idle expiry.
+    pub media_expired: u64,
+    /// Memoized synthetic keys dropped by idle expiry.
+    pub synthetic_expired: u64,
+    /// Interned session keys dropped by idle expiry.
+    pub interner_expired: u64,
+}
+
 /// The media correlation index: media sinks announced by SDP, mapped to
-/// the session that announced them.
+/// the session that announced them — with idle-based lifecycle so the
+/// maps plateau instead of growing forever.
 ///
 /// # Examples
 ///
 /// ```
 /// use scidive_core::routing::MediaIndex;
 /// use scidive_core::trail::SessionKey;
+/// use scidive_netsim::time::SimTime;
 /// use std::net::Ipv4Addr;
 ///
 /// let mut index = MediaIndex::new();
 /// let session = SessionKey::new("call-1");
-/// index.learn_target(Ipv4Addr::new(10, 0, 0, 2), 8000, &session);
+/// index.learn_target(Ipv4Addr::new(10, 0, 0, 2), 8000, &session, SimTime::ZERO);
 /// // The RTP port and its RTCP companion both resolve.
 /// assert_eq!(index.resolve(Ipv4Addr::new(10, 0, 0, 2), 8000), Some(&session));
 /// assert_eq!(index.resolve(Ipv4Addr::new(10, 0, 0, 2), 8001), Some(&session));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MediaIndex {
-    map: HashMap<(Ipv4Addr, u16), SessionKey>,
+    map: HashMap<(Ipv4Addr, u16), Stamped<SessionKey>>,
     /// Interns real session keys (Call-IDs) so repeated footprints of
     /// the same session share one `Arc<str>` instead of re-allocating.
     interner: SessionInterner,
     /// Memoized synthetic keys, so the steady state of an uncorrelated
     /// flow stops paying `format!` + allocation per packet.
-    flow_keys: HashMap<(Ipv4Addr, u16), SessionKey>,
-    other_keys: HashMap<Ipv4Addr, SessionKey>,
-    sip_anon_keys: HashMap<Ipv4Addr, SessionKey>,
-    sip_malformed_keys: HashMap<Ipv4Addr, SessionKey>,
+    flow_keys: HashMap<(Ipv4Addr, u16), Stamped<SessionKey>>,
+    other_keys: HashMap<Ipv4Addr, Stamped<SessionKey>>,
+    sip_anon_keys: HashMap<Ipv4Addr, Stamped<SessionKey>>,
+    sip_malformed_keys: HashMap<Ipv4Addr, Stamped<SessionKey>>,
+    idle_timeout: SimDuration,
+    sweep_interval: SimDuration,
+    last_sweep: SimTime,
+    stats: IndexLifecycleStats,
+}
+
+impl Default for MediaIndex {
+    fn default() -> MediaIndex {
+        MediaIndex::with_timeout(DEFAULT_IDLE_TIMEOUT)
+    }
 }
 
 /// Interns session keys: equal text maps to one shared [`SessionKey`]
 /// (same `Arc<str>`), so cloning a key for routing, trail filing, and
-/// alerts never copies the string.
+/// alerts never copies the string. Keys idle past the owner's timeout
+/// are dropped by [`SessionInterner::expire`].
 ///
 /// # Examples
 ///
 /// ```
 /// use scidive_core::routing::SessionInterner;
+/// use scidive_netsim::time::SimTime;
 ///
 /// let mut interner = SessionInterner::new();
-/// let a = interner.intern("call-1");
-/// let b = interner.intern("call-1");
+/// let a = interner.intern("call-1", SimTime::ZERO);
+/// let b = interner.intern("call-1", SimTime::from_millis(5));
 /// assert_eq!(a, b); // same text — and the same shared allocation
 /// assert_eq!(interner.len(), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SessionInterner {
-    keys: std::collections::HashSet<SessionKey>,
+    keys: HashMap<SessionKey, SimTime>,
 }
 
 impl SessionInterner {
@@ -91,21 +152,60 @@ impl SessionInterner {
     }
 
     /// Returns the canonical key for `id`, allocating only on first
-    /// sight of a given text.
-    pub fn intern(&mut self, id: &str) -> SessionKey {
-        if let Some(key) = self.keys.get(id) {
-            return key.clone();
+    /// sight of a given text, and stamps it as active at `now`.
+    pub fn intern(&mut self, id: &str, now: SimTime) -> SessionKey {
+        if let Some((key, _)) = self.keys.get_key_value(id) {
+            let key = key.clone();
+            self.keys.insert(key.clone(), now);
+            return key;
         }
         let key = SessionKey::new(id);
-        self.keys.insert(key.clone());
+        self.keys.insert(key.clone(), now);
         key
+    }
+
+    /// Drops keys idle for `timeout` or longer; returns how many died.
+    pub fn expire(&mut self, now: SimTime, timeout: SimDuration) -> u64 {
+        let before = self.keys.len();
+        self.keys
+            .retain(|_, last| now.saturating_since(*last) < timeout);
+        (before - self.keys.len()) as u64
     }
 }
 
 impl MediaIndex {
-    /// Creates an empty index.
+    /// Creates an index with the default idle timeout (600 s, matching
+    /// [`crate::trail::TrailStoreConfig::default`]).
     pub fn new() -> MediaIndex {
         MediaIndex::default()
+    }
+
+    /// Creates an index whose entries expire after `idle_timeout`
+    /// without activity. Both consumers of the keying rule (trail
+    /// store, dispatcher) must use the same timeout or their routing
+    /// diverges.
+    pub fn with_timeout(idle_timeout: SimDuration) -> MediaIndex {
+        // Sweeps only reclaim memory; correctness comes from the exact
+        // staleness check at resolve time. A quarter of the timeout
+        // keeps peak memory within ~1.25× of the true live set.
+        let sweep_interval = SimDuration::from_micros((idle_timeout.as_micros() / 4).max(1));
+        MediaIndex {
+            map: HashMap::new(),
+            interner: SessionInterner::new(),
+            flow_keys: HashMap::new(),
+            other_keys: HashMap::new(),
+            sip_anon_keys: HashMap::new(),
+            sip_malformed_keys: HashMap::new(),
+            idle_timeout,
+            sweep_interval,
+            last_sweep: SimTime::ZERO,
+            stats: IndexLifecycleStats::default(),
+        }
+    }
+
+    /// The configured idle timeout.
+    pub fn idle_timeout(&self) -> SimDuration {
+        self.idle_timeout
     }
 
     /// Number of mapped (address, port) sinks.
@@ -118,17 +218,64 @@ impl MediaIndex {
         self.map.is_empty()
     }
 
+    /// Number of distinct interned session keys.
+    pub fn interner_len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Number of memoized synthetic keys across all four caches.
+    pub fn synthetic_key_count(&self) -> usize {
+        self.flow_keys.len()
+            + self.other_keys.len()
+            + self.sip_anon_keys.len()
+            + self.sip_malformed_keys.len()
+    }
+
+    /// Lifecycle counters (expirations so far).
+    pub fn lifecycle_stats(&self) -> IndexLifecycleStats {
+        self.stats
+    }
+
     /// The session owning a media sink, if any SDP announced it.
+    ///
+    /// This is the raw map lookup — it ignores idle staleness and does
+    /// not refresh activity. The keying path ([`MediaIndex::session_for`])
+    /// applies the exact expiry check instead.
     pub fn resolve(&self, addr: Ipv4Addr, port: u16) -> Option<&SessionKey> {
-        self.map.get(&(addr, port))
+        self.map.get(&(addr, port)).map(|e| &e.value)
+    }
+
+    /// Resolves a media sink with the exact lifecycle rule: an entry
+    /// idle for `idle_timeout` or longer is dead — removed on the spot
+    /// and reported as absent; a live entry is refreshed.
+    fn resolve_fresh(&mut self, addr: Ipv4Addr, port: u16, now: SimTime) -> Option<SessionKey> {
+        match self.map.entry((addr, port)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if now.saturating_since(e.get().last_active) >= self.idle_timeout {
+                    e.remove();
+                    self.stats.media_expired += 1;
+                    None
+                } else {
+                    e.get_mut().last_active = now;
+                    Some(e.get().value.clone())
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(_) => None,
+        }
     }
 
     /// Records a negotiated RTP target (and its RTCP companion port)
-    /// as belonging to `session`.
-    pub fn learn_target(&mut self, addr: Ipv4Addr, port: u16, session: &SessionKey) {
-        self.map.insert((addr, port), session.clone());
+    /// as belonging to `session`, active as of `now`. A sink previously
+    /// owned by another (possibly dead) session is overwritten — the
+    /// newest announcement wins.
+    pub fn learn_target(&mut self, addr: Ipv4Addr, port: u16, session: &SessionKey, now: SimTime) {
+        let entry = Stamped {
+            value: session.clone(),
+            last_active: now,
+        };
+        self.map.insert((addr, port), entry.clone());
         // RTCP companion port.
-        self.map.insert((addr, port + 1), session.clone());
+        self.map.insert((addr, port + 1), entry);
     }
 
     /// Learns media sinks from an SDP body carried by a SIP footprint;
@@ -147,7 +294,7 @@ impl MediaIndex {
             return false;
         };
         if let Some((addr, port)) = sdp.rtp_target() {
-            self.learn_target(addr, port, session);
+            self.learn_target(addr, port, session, fp.meta.time);
             return true;
         }
         false
@@ -167,41 +314,60 @@ impl MediaIndex {
     ///
     /// Real and synthetic keys alike are memoized: the first packet of a
     /// session pays one key construction, every later packet gets a
-    /// cheap clone of the shared key.
+    /// cheap clone of the shared key. Every use stamps the key active;
+    /// media mappings idle past the timeout are treated as absent (the
+    /// exact check above), and idle memo entries are reaped by the
+    /// periodic sweep.
     pub fn session_for(&mut self, fp: &Footprint) -> SessionKey {
+        let now = fp.meta.time;
+        self.maybe_sweep(now);
         match &fp.body {
             FootprintBody::Sip(msg) => match msg.call_id() {
-                Ok(id) => self.interner.intern(id),
+                Ok(id) => self.interner.intern(id, now),
                 Err(_) => {
                     let src = fp.meta.src;
-                    self.sip_anon_keys
+                    let e = self
+                        .sip_anon_keys
                         .entry(src)
-                        .or_insert_with(|| SessionKey::new(format!("sip-anon-{src}")))
-                        .clone()
+                        .or_insert_with(|| Stamped {
+                            value: SessionKey::new(format!("sip-anon-{src}")),
+                            last_active: now,
+                        });
+                    e.last_active = now;
+                    e.value.clone()
                 }
             },
             FootprintBody::SipMalformed { .. } => {
                 let src = fp.meta.src;
-                self.sip_malformed_keys
+                let e = self
+                    .sip_malformed_keys
                     .entry(src)
-                    .or_insert_with(|| SessionKey::new(format!("sip-malformed-{src}")))
-                    .clone()
+                    .or_insert_with(|| Stamped {
+                        value: SessionKey::new(format!("sip-malformed-{src}")),
+                        last_active: now,
+                    });
+                e.last_active = now;
+                e.value.clone()
             }
-            FootprintBody::Acct(acct) => self.interner.intern(&acct.call_id),
+            FootprintBody::Acct(acct) => self.interner.intern(&acct.call_id, now),
             FootprintBody::Rtp { .. } | FootprintBody::Rtcp(_) => {
                 // RTCP rides on port+1; map it onto the RTP sink's port.
                 let port = match &fp.body {
                     FootprintBody::Rtcp(_) => fp.meta.dst_port.saturating_sub(1),
                     _ => fp.meta.dst_port,
                 };
-                match self.resolve(fp.meta.dst, port) {
-                    Some(session) => session.clone(),
+                match self.resolve_fresh(fp.meta.dst, port, now) {
+                    Some(session) => session,
                     None => {
                         let (dst, dst_port) = (fp.meta.dst, fp.meta.dst_port);
-                        self.flow_keys
-                            .entry((dst, dst_port))
-                            .or_insert_with(|| SessionKey::new(format!("flow-{dst}:{dst_port}")))
-                            .clone()
+                        let e = self.flow_keys.entry((dst, dst_port)).or_insert_with(|| {
+                            Stamped {
+                                value: SessionKey::new(format!("flow-{dst}:{dst_port}")),
+                                last_active: now,
+                            }
+                        });
+                        e.last_active = now;
+                        e.value.clone()
                     }
                 }
             }
@@ -210,18 +376,49 @@ impl MediaIndex {
             | FootprintBody::UdpCorrupt { .. } => {
                 // Garbage aimed at a known media sink belongs to that
                 // session (that is how the RTP attack is correlated).
-                match self.resolve(fp.meta.dst, fp.meta.dst_port) {
-                    Some(session) => session.clone(),
+                match self.resolve_fresh(fp.meta.dst, fp.meta.dst_port, now) {
+                    Some(session) => session,
                     None => {
                         let dst = fp.meta.dst;
-                        self.other_keys
-                            .entry(dst)
-                            .or_insert_with(|| SessionKey::new(format!("other-{dst}")))
-                            .clone()
+                        let e = self.other_keys.entry(dst).or_insert_with(|| Stamped {
+                            value: SessionKey::new(format!("other-{dst}")),
+                            last_active: now,
+                        });
+                        e.last_active = now;
+                        e.value.clone()
                     }
                 }
             }
         }
+    }
+
+    /// Periodic memory reclamation: every `sweep_interval` of capture
+    /// time, drop idle media mappings, memoized synthetic keys and
+    /// interned Call-IDs. Correctness never depends on when this runs —
+    /// the media map's staleness is checked exactly at resolve time —
+    /// so differing sweep clocks across deployments cannot change
+    /// routing.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        if now.saturating_since(self.last_sweep) < self.sweep_interval {
+            return;
+        }
+        self.last_sweep = now;
+        let timeout = self.idle_timeout;
+        let alive =
+            |e: &Stamped<SessionKey>| now.saturating_since(e.last_active) < timeout;
+
+        let before = self.map.len();
+        self.map.retain(|_, e| alive(e));
+        self.stats.media_expired += (before - self.map.len()) as u64;
+
+        let before = self.synthetic_key_count();
+        self.flow_keys.retain(|_, e| alive(e));
+        self.other_keys.retain(|_, e| alive(e));
+        self.sip_anon_keys.retain(|_, e| alive(e));
+        self.sip_malformed_keys.retain(|_, e| alive(e));
+        self.stats.synthetic_expired += (before - self.synthetic_key_count()) as u64;
+
+        self.stats.interner_expired += self.interner.expire(now, timeout);
     }
 }
 
@@ -252,9 +449,10 @@ pub struct RouteDecision {
     pub session: SessionKey,
     /// The shard that owns the session's state.
     pub shard: usize,
-    /// Whether the footprint fell through to the overflow shard (its
-    /// session is synthetic — unmatched media or uncorrelatable
-    /// traffic).
+    /// Whether the footprint's session is synthetic (unmatched media or
+    /// uncorrelatable traffic). Counted by the dispatcher; synthetic
+    /// sessions spread across shards by the same stable hash as real
+    /// ones.
     pub overflow: bool,
 }
 
@@ -262,11 +460,13 @@ pub struct RouteDecision {
 /// session (maintaining the media index in arrival order, exactly as a
 /// single engine would) and assigns it a shard.
 ///
-/// Real sessions are spread by [`stable_session_hash`]; synthetic
-/// sessions all land on the designated overflow shard, so unmatched
-/// media is still inspected — never silently dropped — and the shard
-/// assignment never flaps while a flow is waiting for the SDP that
-/// names it.
+/// All sessions — real and synthetic — are spread by
+/// [`stable_session_hash`], so chaos/garbage traffic cannot hotspot a
+/// single worker: each synthetic flow is its own session and sticks to
+/// its hashed shard for its whole life, preserving shard-count
+/// invariance. Only session-less frames (fragments still reassembling)
+/// fall to the designated [`SessionRouter::overflow_shard`], purely so
+/// frame counters stay conserved.
 #[derive(Debug)]
 pub struct SessionRouter {
     index: MediaIndex,
@@ -274,15 +474,27 @@ pub struct SessionRouter {
 }
 
 impl SessionRouter {
-    /// Creates a router dispatching over `shards` workers.
+    /// Creates a router dispatching over `shards` workers, with the
+    /// default index idle timeout.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> SessionRouter {
+        SessionRouter::with_timeout(shards, DEFAULT_IDLE_TIMEOUT)
+    }
+
+    /// Creates a router whose media index expires entries after
+    /// `idle_timeout` — pass the trail store's timeout so both views of
+    /// the keying rule stay bit-for-bit agreed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_timeout(shards: usize, idle_timeout: SimDuration) -> SessionRouter {
         assert!(shards >= 1, "a sharded pipeline needs at least one shard");
         SessionRouter {
-            index: MediaIndex::new(),
+            index: MediaIndex::with_timeout(idle_timeout),
             shards,
         }
     }
@@ -292,7 +504,9 @@ impl SessionRouter {
         self.shards
     }
 
-    /// The shard that receives synthetic (unmatched) sessions.
+    /// The shard that receives session-less frames (fragments still
+    /// reassembling, which carry no footprint and hence no session).
+    /// Synthetic *sessions* do not land here — they spread by hash.
     pub fn overflow_shard(&self) -> usize {
         0
     }
@@ -304,11 +518,7 @@ impl SessionRouter {
 
     /// The shard a session maps to, without touching the index.
     pub fn shard_of(&self, session: &SessionKey) -> usize {
-        if is_synthetic(session) {
-            self.overflow_shard()
-        } else {
-            (stable_session_hash(session) % self.shards as u64) as usize
-        }
+        (stable_session_hash(session) % self.shards as u64) as usize
     }
 
     /// Routes one footprint: resolves its session, learns any SDP it
@@ -336,9 +546,9 @@ mod tests {
     use scidive_sip::method::Method;
     use scidive_sip::msg::RequestBuilder;
 
-    fn meta(dst: [u8; 4], dport: u16) -> PacketMeta {
+    fn meta_at(t: u64, dst: [u8; 4], dport: u16) -> PacketMeta {
         PacketMeta {
-            time: SimTime::from_millis(1),
+            time: SimTime::from_millis(t),
             src: Ipv4Addr::new(10, 0, 0, 2),
             src_port: 5060,
             dst: dst.into(),
@@ -347,6 +557,10 @@ mod tests {
     }
 
     fn invite_with_sdp(call_id: &str, media_ip: [u8; 4], port: u16) -> Footprint {
+        invite_with_sdp_at(1, call_id, media_ip, port)
+    }
+
+    fn invite_with_sdp_at(t: u64, call_id: &str, media_ip: [u8; 4], port: u16) -> Footprint {
         let sdp = SessionDescription::audio_offer("alice", media_ip.into(), port);
         let mut b = RequestBuilder::new(Method::Invite, "sip:bob@lab".parse().unwrap());
         b.from(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("a"))
@@ -356,14 +570,18 @@ mod tests {
             .via(Via::udp("10.0.0.2:5060", "z9hG4bK-r"))
             .body("application/sdp", sdp.to_string());
         Footprint {
-            meta: meta([10, 0, 0, 1], 5060),
+            meta: meta_at(t, [10, 0, 0, 1], 5060),
             body: FootprintBody::Sip(Box::new(b.build())),
         }
     }
 
     fn rtp_to(dst: [u8; 4], dport: u16) -> Footprint {
+        rtp_to_at(1, dst, dport)
+    }
+
+    fn rtp_to_at(t: u64, dst: [u8; 4], dport: u16) -> Footprint {
         Footprint {
-            meta: meta(dst, dport),
+            meta: meta_at(t, dst, dport),
             body: FootprintBody::Rtp {
                 header: RtpHeader::new(96, 7, 100, 0xabcd),
                 payload_len: 160,
@@ -402,12 +620,22 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_media_goes_to_the_overflow_shard() {
+    fn unmatched_media_is_synthetic_and_spreads_by_hash() {
         let mut router = SessionRouter::new(8);
-        let decision = router.route(&rtp_to([10, 0, 0, 9], 9000));
-        assert!(decision.overflow);
-        assert_eq!(decision.shard, router.overflow_shard());
-        assert!(is_synthetic(&decision.session));
+        let mut shards = std::collections::HashSet::new();
+        for i in 0..32u16 {
+            let decision = router.route(&rtp_to([10, 0, 0, 9], 9000 + i * 2));
+            assert!(decision.overflow);
+            assert!(is_synthetic(&decision.session));
+            // Stable: the same flow re-resolves to the same shard.
+            assert_eq!(decision.shard, router.shard_of(&decision.session));
+            shards.insert(decision.shard);
+        }
+        // 32 distinct flows must not hotspot one worker.
+        assert!(
+            shards.len() > 1,
+            "synthetic sessions all routed to one shard: {shards:?}"
+        );
     }
 
     #[test]
@@ -438,5 +666,69 @@ mod tests {
             ]
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn idle_media_mapping_expires_exactly() {
+        let timeout = SimDuration::from_secs(10);
+        let mut index = MediaIndex::with_timeout(timeout);
+        let mut fp = invite_with_sdp_at(0, "c1", [10, 0, 0, 3], 8000);
+        fp.meta.time = SimTime::ZERO;
+        let session = index.session_for(&fp);
+        index.learn_from(&fp, &session);
+        // Within the timeout the sink still correlates...
+        assert_eq!(
+            index.session_for(&rtp_to_at(9_999, [10, 0, 0, 3], 8000)),
+            SessionKey::new("c1")
+        );
+        // ...and the activity refreshed the entry, extending its life.
+        assert_eq!(
+            index.session_for(&rtp_to_at(19_000, [10, 0, 0, 3], 8000)),
+            SessionKey::new("c1")
+        );
+        // 10 full seconds of silence kill it — exactly at the boundary.
+        let late = index.session_for(&rtp_to_at(29_000, [10, 0, 0, 3], 8000));
+        assert_eq!(late, SessionKey::new("flow-10.0.0.3:8000"));
+        assert!(index.lifecycle_stats().media_expired >= 1);
+    }
+
+    #[test]
+    fn memo_caches_and_interner_are_swept() {
+        let timeout = SimDuration::from_secs(10);
+        let mut index = MediaIndex::with_timeout(timeout);
+        // 20 distinct uncorrelated flows + 5 interned Call-IDs.
+        for i in 0..20u16 {
+            index.session_for(&rtp_to_at(u64::from(i), [10, 0, 0, 9], 9000 + i));
+        }
+        for i in 0..5 {
+            index.session_for(&invite_with_sdp_at(i, &format!("c{i}"), [10, 0, 0, 3], 8000));
+        }
+        assert_eq!(index.synthetic_key_count(), 20);
+        assert_eq!(index.interner_len(), 5);
+        // A packet far past the timeout triggers the sweep; the idle
+        // caches drain instead of growing forever.
+        index.session_for(&rtp_to_at(60_000, [10, 0, 0, 9], 9999));
+        assert_eq!(index.synthetic_key_count(), 1, "only the live flow survives");
+        assert_eq!(index.interner_len(), 0);
+        let stats = index.lifecycle_stats();
+        assert!(stats.synthetic_expired >= 20);
+        assert_eq!(stats.interner_expired, 5);
+    }
+
+    #[test]
+    fn new_announcement_overwrites_dead_owner() {
+        let mut index = MediaIndex::with_timeout(SimDuration::from_secs(600));
+        let fp1 = invite_with_sdp_at(0, "call-1", [10, 0, 0, 3], 8000);
+        let s1 = index.session_for(&fp1);
+        index.learn_from(&fp1, &s1);
+        // A later call re-announces the same sink: newest wins, even
+        // with the first mapping still inside its idle window.
+        let fp2 = invite_with_sdp_at(5_000, "call-2", [10, 0, 0, 3], 8000);
+        let s2 = index.session_for(&fp2);
+        index.learn_from(&fp2, &s2);
+        assert_eq!(
+            index.session_for(&rtp_to_at(6_000, [10, 0, 0, 3], 8000)),
+            SessionKey::new("call-2")
+        );
     }
 }

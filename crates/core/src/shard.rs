@@ -24,12 +24,25 @@
 //!   order.
 //!
 //! Frames whose session cannot be attributed (media to unannounced
-//! sinks, undecodable SIP) resolve to synthetic per-flow sessions and
-//! are routed to a designated **overflow shard** — counted, never
-//! silently dropped. Queues are bounded: a full shard queue blocks the
-//! dispatcher (backpressure, recorded in
-//! [`ShardStats::enqueue_blocked`]) instead of shedding frames, so
-//! [`DispatchStats::dropped`] is structurally zero.
+//! sinks, undecodable SIP) resolve to synthetic per-flow sessions —
+//! counted as overflow, never silently dropped — and spread across
+//! shards by the same stable session hash as real sessions, so
+//! chaos/garbage traffic cannot hotspot one worker (each synthetic flow
+//! is its own session and sticks to its hashed shard). Only session-less
+//! frames (fragments still reassembling) fall to the designated
+//! [`crate::routing::SessionRouter::overflow_shard`]. Queues are
+//! bounded: a full shard queue blocks the dispatcher (backpressure,
+//! recorded in [`ShardStats::enqueue_blocked`]) instead of shedding
+//! frames, so [`DispatchStats::dropped`] is structurally zero.
+//!
+//! The dispatcher and every worker feed the [`crate::observe`] layer:
+//! queue-depth gauges and batch histograms on the dispatch side,
+//! rule-latency/detection-delay histograms and state gauges per shard,
+//! merged into one [`PipelineObservation`] by
+//! [`ShardedScidive::finish`] (or snapshotted mid-run by
+//! [`ShardedScidive::observation`] — worker histograms and traces are
+//! collected at join, so a mid-run snapshot carries counters and gauges
+//! but only the dispatcher's histograms).
 //!
 //! Dispatch is **batched**: each shard accumulates frames into a small
 //! buffer that ships as one channel send when full, when the capture
@@ -51,11 +64,16 @@ use crate::alert::Alert;
 use crate::distill::{DistillStats, Distiller};
 use crate::engine::{DistilledFootprint, PipelineStats, Scidive, ScidiveConfig};
 use crate::event::IdentityPlane;
+use crate::observe::{
+    DecisionTrace, DispatchCounters, EngineObservation, Histogram, ObservedHistograms,
+    PipelineObservation, SeverityCounts, StateGauges, TraceEntry, TraceStage,
+};
 use crate::routing::SessionRouter;
 use crossbeam_channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -85,10 +103,109 @@ struct ShardFrame {
 /// the raising frame, then index within that frame's alert batch.
 type TaggedAlert = (u64, u32, Alert);
 
+/// Lock-free telemetry one worker publishes after every batch, read by
+/// the dispatcher for mid-run [`ShardedScidive::observation`] snapshots.
+/// All loads/stores are `Relaxed`: these are monitoring values, not
+/// synchronization — slight staleness is fine, data races are not
+/// possible on atomics.
+#[derive(Debug, Default)]
+struct ShardTelemetry {
+    frames: AtomicU64,
+    footprints: AtomicU64,
+    events: AtomicU64,
+    alerts: AtomicU64,
+    info: AtomicU64,
+    warning: AtomicU64,
+    critical: AtomicU64,
+    trails: AtomicU64,
+    retained: AtomicU64,
+    media_index: AtomicU64,
+    interner: AtomicU64,
+    synthetic_keys: AtomicU64,
+    expired_trails: AtomicU64,
+    media_expired: AtomicU64,
+    synthetic_expired: AtomicU64,
+    interner_expired: AtomicU64,
+    /// Batches currently queued *or being processed* by this shard: the
+    /// dispatcher increments on send, the worker decrements only after
+    /// it has fully processed a batch (so `0` means the shard is truly
+    /// idle, not merely mid-batch). The vendored channel exposes no
+    /// `len()`, so depth is tracked here.
+    queue_batches: AtomicU64,
+    /// One past the dispatch sequence number of the last frame this
+    /// shard has fully processed; `0` until its first batch completes.
+    /// Stored with `Release` *after* the batch's alerts reached the
+    /// shared sink, so a reader that `Acquire`-loads this value is
+    /// guaranteed to see those alerts — the basis of the
+    /// [`ShardedScidive::alerts_snapshot`] prefix watermark.
+    processed_seq: AtomicU64,
+}
+
+impl ShardTelemetry {
+    /// Publishes the worker engine's current counters and gauges.
+    fn publish(&self, ids: &Scidive) {
+        let stats = ids.stats();
+        self.frames.store(stats.frames, Ordering::Relaxed);
+        self.footprints.store(stats.footprints, Ordering::Relaxed);
+        self.events.store(stats.events, Ordering::Relaxed);
+        self.alerts.store(stats.alerts, Ordering::Relaxed);
+        let sev = ids.severity_counts();
+        self.info.store(sev.info, Ordering::Relaxed);
+        self.warning.store(sev.warning, Ordering::Relaxed);
+        self.critical.store(sev.critical, Ordering::Relaxed);
+        let g = ids.gauges();
+        self.trails.store(g.trails, Ordering::Relaxed);
+        self.retained.store(g.retained_footprints, Ordering::Relaxed);
+        self.media_index.store(g.media_index, Ordering::Relaxed);
+        self.interner.store(g.interner, Ordering::Relaxed);
+        self.synthetic_keys.store(g.synthetic_keys, Ordering::Relaxed);
+        self.expired_trails.store(g.expired_trails, Ordering::Relaxed);
+        self.media_expired.store(g.media_expired, Ordering::Relaxed);
+        self.synthetic_expired
+            .store(g.synthetic_expired, Ordering::Relaxed);
+        self.interner_expired
+            .store(g.interner_expired, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            footprints: self.footprints.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            alerts: self.alerts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn severity(&self) -> SeverityCounts {
+        SeverityCounts {
+            info: self.info.load(Ordering::Relaxed),
+            warning: self.warning.load(Ordering::Relaxed),
+            critical: self.critical.load(Ordering::Relaxed),
+        }
+    }
+
+    fn gauges(&self) -> StateGauges {
+        StateGauges {
+            trails: self.trails.load(Ordering::Relaxed),
+            retained_footprints: self.retained.load(Ordering::Relaxed),
+            media_index: self.media_index.load(Ordering::Relaxed),
+            interner: self.interner.load(Ordering::Relaxed),
+            synthetic_keys: self.synthetic_keys.load(Ordering::Relaxed),
+            expired_trails: self.expired_trails.load(Ordering::Relaxed),
+            media_expired: self.media_expired.load(Ordering::Relaxed),
+            synthetic_expired: self.synthetic_expired.load(Ordering::Relaxed),
+            interner_expired: self.interner_expired.load(Ordering::Relaxed),
+            router_media_index: 0,
+            router_interner: 0,
+            router_synthetic_keys: 0,
+        }
+    }
+}
+
 /// Counters for one shard of a [`ShardedScidive`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardStats {
-    /// Which shard (0 is also the overflow shard).
+    /// Which shard (0 also receives session-less frames).
     pub shard: usize,
     /// The shard engine's own pipeline counters.
     pub pipeline: PipelineStats,
@@ -107,8 +224,8 @@ pub struct DispatchStats {
     /// Frames that produced no footprint (e.g. fragments still
     /// reassembling); accounted to the overflow shard.
     pub empty_frames: u64,
-    /// Footprints whose session was synthetic (unattributable) and went
-    /// to the overflow shard.
+    /// Footprints whose session was synthetic (unattributable); spread
+    /// across shards by hash like any other session.
     pub overflow_frames: u64,
     /// Frames dropped. Structurally zero — a full queue blocks the
     /// dispatcher instead — kept as an explicit invariant counter.
@@ -127,6 +244,9 @@ pub struct ShardedReport {
     pub shards: Vec<ShardStats>,
     /// Dispatcher counters.
     pub dispatch: DispatchStats,
+    /// The full pipeline observation: counters, gauges, histograms and
+    /// (when enabled) the merged decision trace.
+    pub observation: PipelineObservation,
 }
 
 /// A sharded SCIDIVE: dispatcher + `N` worker engines + deterministic
@@ -158,7 +278,7 @@ pub struct ShardedScidive {
     router: SessionRouter,
     identity: IdentityPlane,
     senders: Vec<Sender<Vec<ShardFrame>>>,
-    workers: Vec<JoinHandle<PipelineStats>>,
+    workers: Vec<JoinHandle<(PipelineStats, EngineObservation)>>,
     sink: Arc<Mutex<Vec<TaggedAlert>>>,
     seq: u64,
     dispatch: DispatchStats,
@@ -171,6 +291,20 @@ pub struct ShardedScidive {
     buffers: Vec<Vec<ShardFrame>>,
     batch: usize,
     linger: SimDuration,
+    /// Per-shard atomics the workers publish into (see
+    /// [`ShardTelemetry`]).
+    telemetry: Vec<Arc<ShardTelemetry>>,
+    batches_sent: u64,
+    max_queue_depth: u64,
+    /// Whether the dispatch histograms below are recording.
+    histograms: bool,
+    batch_fill: Histogram,
+    batch_linger_ms: Histogram,
+    /// Dispatcher-side routing trace (empty ring unless enabled).
+    trace: DecisionTrace,
+    /// Capture time of the most recent submit, used to measure linger at
+    /// flush time.
+    last_time: SimTime,
 }
 
 impl ShardedScidive {
@@ -185,13 +319,17 @@ impl ShardedScidive {
         let sink: Arc<Mutex<Vec<TaggedAlert>>> = Arc::new(Mutex::new(Vec::new()));
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut telemetry = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = bounded::<Vec<ShardFrame>>(queue_depth);
             let cfg = config.clone();
             let shard_sink = sink.clone();
+            let tel = Arc::new(ShardTelemetry::default());
+            let shard_tel = tel.clone();
             workers.push(std::thread::spawn(move || {
                 let mut ids = Scidive::data_plane(cfg);
                 while let Ok(batch) = rx.recv() {
+                    let last_seq = batch.last().map(|f| f.seq);
                     for frame in batch {
                         let new = ids.on_distilled(frame.time, frame.fp);
                         if !new.is_empty() {
@@ -201,14 +339,25 @@ impl ShardedScidive {
                             }
                         }
                     }
+                    shard_tel.publish(&ids);
+                    // Order matters for the snapshot watermark: alerts
+                    // first (above), then the processed mark, then the
+                    // in-flight count.
+                    if let Some(seq) = last_seq {
+                        shard_tel.processed_seq.store(seq + 1, Ordering::Release);
+                    }
+                    shard_tel.queue_batches.fetch_sub(1, Ordering::Release);
                 }
-                ids.stats()
+                (ids.stats(), ids.engine_observation())
             }));
             senders.push(tx);
+            telemetry.push(tel);
         }
+        let histograms = config.observe.histograms;
+        let trace = DecisionTrace::new(config.observe.trace_depth);
         ShardedScidive {
             distiller: Distiller::new(config.distiller),
-            router: SessionRouter::new(shards),
+            router: SessionRouter::with_timeout(shards, config.trails.idle_timeout),
             identity: IdentityPlane::new(config.events),
             senders,
             workers,
@@ -220,6 +369,14 @@ impl ShardedScidive {
             buffers: (0..shards).map(|_| Vec::new()).collect(),
             batch: DEFAULT_BATCH,
             linger: DEFAULT_LINGER,
+            telemetry,
+            batches_sent: 0,
+            max_queue_depth: 0,
+            histograms,
+            batch_fill: Histogram::new(&crate::observe::BATCH_FILL_BUCKETS),
+            batch_linger_ms: Histogram::new(&crate::observe::BATCH_LINGER_BUCKETS_MS),
+            trace,
+            last_time: SimTime::ZERO,
         }
     }
 
@@ -267,6 +424,7 @@ impl ShardedScidive {
     /// at a batch flush.
     pub fn submit(&mut self, time: SimTime, pkt: &IpPacket) {
         self.dispatch.frames += 1;
+        self.last_time = time;
         let seq = self.seq;
         self.seq += 1;
         // Time-boundary flush: any shard whose oldest buffered frame is
@@ -284,6 +442,18 @@ impl ShardedScidive {
         let decision = self.router.route(&fp);
         if decision.overflow {
             self.dispatch.overflow_frames += 1;
+        }
+        if self.trace.enabled() {
+            self.trace.push(TraceEntry {
+                seq,
+                time,
+                shard: decision.shard,
+                stage: TraceStage::Route,
+                session: decision.session.to_string(),
+                proto: format!("{:?}", fp.proto()),
+                events: 0,
+                alerts: 0,
+            });
         }
         // The identity plane sees every footprint in dispatch order; its
         // events ride along to the owning shard.
@@ -328,6 +498,20 @@ impl ShardedScidive {
             return;
         }
         let batch = std::mem::take(&mut self.buffers[shard]);
+        self.batches_sent += 1;
+        if self.histograms {
+            self.batch_fill.record(batch.len() as u64);
+            // How long the batch's oldest frame waited for this flush,
+            // in capture time.
+            if let Some(first) = batch.first() {
+                let waited = self.last_time.saturating_since(first.time);
+                self.batch_linger_ms.record(waited.as_micros() / 1_000);
+            }
+        }
+        // Depth *after* this send; the worker decrements once it has
+        // processed the batch, so in-flight work counts as depth.
+        let depth = self.telemetry[shard].queue_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth = self.max_queue_depth.max(depth);
         match self.senders[shard].try_send(batch) {
             Ok(()) => {}
             Err(TrySendError::Full(batch)) => {
@@ -352,16 +536,98 @@ impl ShardedScidive {
         }
     }
 
-    /// Snapshot of the alerts published so far, in merge order. Shards
-    /// still working may append more; `finish` is authoritative.
+    /// Snapshot of the alerts published so far, in merge order. The
+    /// result is always a *prefix* of the final merged stream: alerts
+    /// past the slowest busy shard's processed-through watermark are
+    /// withheld until every earlier frame has been processed, so a
+    /// fast shard can never surface an alert ahead of a still-pending
+    /// earlier one. Shards still working may append more; `finish` is
+    /// authoritative.
     pub fn alerts_snapshot(&self) -> Vec<Alert> {
+        // Frames with seq < watermark are fully processed everywhere.
+        // A shard counts as busy while it has buffered frames at the
+        // dispatcher or batches queued/in flight (`queue_batches` is
+        // decremented only after a batch completes); idle shards
+        // constrain nothing. Reading the telemetry *before* locking the
+        // sink pairs with the worker's release stores, so every alert
+        // below the watermark is visible by the time we read the sink.
+        let mut watermark = u64::MAX;
+        for (shard, tel) in self.telemetry.iter().enumerate() {
+            let busy = !self.buffers[shard].is_empty()
+                || tel.queue_batches.load(Ordering::Acquire) > 0;
+            if busy {
+                watermark = watermark.min(tel.processed_seq.load(Ordering::Acquire));
+            }
+        }
         // Sorting in place under the lock (instead of cloning the whole
         // tagged vector first) keeps the snapshot to one pass of alert
         // clones. Merge order is unaffected: the sort key is the same
         // one `finish` uses, and sorting is idempotent.
         let mut sink = self.sink.lock();
         sink.sort_by_key(|&(seq, idx, _)| (seq, idx));
-        sink.iter().map(|(_, _, a)| a.clone()).collect()
+        sink.iter()
+            .take_while(|&&(seq, _, _)| seq < watermark)
+            .map(|(_, _, a)| a.clone())
+            .collect()
+    }
+
+    /// Builds the dispatch-counter slice of an observation from the
+    /// dispatcher's own state plus a queue-depth snapshot.
+    fn dispatch_counters(&self, queue_depths: Vec<u64>) -> DispatchCounters {
+        DispatchCounters {
+            frames: self.dispatch.frames,
+            empty_frames: self.dispatch.empty_frames,
+            overflow_frames: self.dispatch.overflow_frames,
+            dropped: self.dispatch.dropped,
+            batches_sent: self.batches_sent,
+            enqueue_blocked: self.blocked.iter().sum(),
+            max_queue_depth: self.max_queue_depth,
+            queue_depths,
+        }
+    }
+
+    /// The router's contribution to the state gauges: its own media
+    /// index, interner and synthetic-key caches (kept in lock-step with
+    /// the per-shard trail stores, but counted separately).
+    fn router_gauges(&self) -> StateGauges {
+        let index = self.router.index();
+        StateGauges {
+            router_media_index: index.len() as u64,
+            router_interner: index.interner_len() as u64,
+            router_synthetic_keys: index.synthetic_key_count() as u64,
+            ..StateGauges::default()
+        }
+    }
+
+    /// A live observation snapshot, read from the telemetry the workers
+    /// publish after every batch (so counters may trail the submit side
+    /// by up to one in-flight batch per shard). Worker histograms and
+    /// traces are only collected at [`ShardedScidive::finish`]; the
+    /// histogram section here carries the dispatcher's batch histograms.
+    pub fn observation(&self) -> PipelineObservation {
+        let mut pipeline = PipelineStats::default();
+        let mut severity = SeverityCounts::default();
+        let mut gauges = self.router_gauges();
+        let mut queue_depths = Vec::with_capacity(self.telemetry.len());
+        for tel in &self.telemetry {
+            pipeline = pipeline + tel.stats();
+            severity = severity + tel.severity();
+            gauges = gauges + tel.gauges();
+            queue_depths.push(tel.queue_batches.load(Ordering::Relaxed));
+        }
+        PipelineObservation {
+            pipeline,
+            severity,
+            distill: self.distiller.stats(),
+            dispatch: self.dispatch_counters(queue_depths),
+            gauges,
+            hist: ObservedHistograms {
+                batch_fill: self.batch_fill.clone(),
+                batch_linger_ms: self.batch_linger_ms.clone(),
+                ..ObservedHistograms::default()
+            },
+            trace: self.trace.clone().into_vec(),
+        }
     }
 
     /// Closes the queues (flushing any partial batches), waits for every
@@ -376,6 +642,14 @@ impl ShardedScidive {
         for shard in 0..self.buffers.len() {
             self.flush(shard);
         }
+        let dispatch_counters = self.dispatch_counters(Vec::new());
+        let router_gauges = self.router_gauges();
+        let base_hist = ObservedHistograms {
+            batch_fill: self.batch_fill.clone(),
+            batch_linger_ms: self.batch_linger_ms.clone(),
+            ..ObservedHistograms::default()
+        };
+        let route_trace = self.trace.clone().into_vec();
         let ShardedScidive {
             senders,
             workers,
@@ -383,22 +657,54 @@ impl ShardedScidive {
             dispatch,
             dispatched,
             blocked,
+            distiller,
+            telemetry,
             ..
         } = self;
         drop(senders);
         let mut shards = Vec::with_capacity(workers.len());
+        let mut observation = PipelineObservation {
+            pipeline: PipelineStats::default(),
+            severity: SeverityCounts::default(),
+            distill: distiller.stats(),
+            dispatch: dispatch_counters,
+            gauges: router_gauges,
+            hist: base_hist,
+            trace: route_trace,
+        };
         for (shard, worker) in workers.into_iter().enumerate() {
-            let pipeline = worker.join().expect("shard worker panicked");
+            let (pipeline, engine) = worker.join().expect("shard worker panicked");
             shards.push(ShardStats {
                 shard,
                 pipeline,
                 dispatched: dispatched[shard],
                 enqueue_blocked: blocked[shard],
             });
+            observation.severity = observation.severity + engine.severity;
+            observation.gauges = observation.gauges + engine.gauges;
+            observation.hist.rule_eval_us.merge(&engine.rule_eval_us);
+            observation
+                .hist
+                .detection_delay_ms
+                .merge(&engine.detection_delay_ms);
+            for mut entry in engine.trace {
+                entry.shard = shard;
+                observation.trace.push(entry);
+            }
         }
+        // Queues are drained, so every shard's depth reads zero; record
+        // the final snapshot anyway for report shape consistency.
+        observation.dispatch.queue_depths = telemetry
+            .iter()
+            .map(|t| t.queue_batches.load(Ordering::Relaxed))
+            .collect();
         let stats = shards
             .iter()
             .fold(PipelineStats::default(), |acc, s| acc + s.pipeline);
+        observation.pipeline = stats;
+        // Interleave dispatcher route entries with worker match entries
+        // by capture time (each component's entries are already ordered).
+        observation.trace.sort_by_key(|e| (e.time, e.seq));
         // Workers have all joined, so the Arc is normally unique; if a
         // stale handle keeps it alive, take the contents rather than
         // cloning the whole tagged vector.
@@ -412,6 +718,7 @@ impl ShardedScidive {
             stats,
             shards,
             dispatch,
+            observation,
         }
     }
 }

@@ -250,10 +250,11 @@ pub struct TrailStore {
 impl TrailStore {
     /// Creates a store.
     pub fn new(config: TrailStoreConfig) -> TrailStore {
+        let media_index = MediaIndex::with_timeout(config.idle_timeout);
         TrailStore {
             config,
             trails: HashMap::new(),
-            media_index: MediaIndex::new(),
+            media_index,
             stats: TrailStats::default(),
         }
     }
@@ -490,6 +491,33 @@ mod tests {
         store.insert(rtp_to([10, 0, 0, 9], 5678, 60_000));
         assert_eq!(store.trail_count(), 1);
         assert_eq!(store.stats().expired_trails, 1);
+    }
+
+    #[test]
+    fn media_port_reuse_lands_in_the_new_session() {
+        // Regression: call-1 negotiates a media sink, ends, and goes
+        // idle; call-2 later announces the *same* (addr, port). The
+        // second call's RTP must land in call-2's trail — before the
+        // index lifecycle fix it resolved to the dead call-1 forever.
+        let mut store = TrailStore::new(TrailStoreConfig::default());
+        store.insert(invite_with_sdp("call-1", [10, 0, 0, 2], 8000));
+        let (_, k1) = store.insert(rtp_to([10, 0, 0, 2], 8000, 10));
+        assert_eq!(k1.session, SessionKey::new("call-1"));
+
+        // Second call, well within the idle window, reusing the port:
+        // the newest SDP announcement overwrites the mapping at once.
+        let mut second = invite_with_sdp("call-2", [10, 0, 0, 2], 8000);
+        second.meta.time = SimTime::from_millis(5_000);
+        store.insert(second);
+        let (_, k2) = store.insert(rtp_to([10, 0, 0, 2], 8000, 5_100));
+        assert_eq!(k2.session, SessionKey::new("call-2"));
+        let call2_trails = store.session_trails(&SessionKey::new("call-2"));
+        assert_eq!(call2_trails.len(), 2, "SIP + RTP trails for call-2");
+        assert_eq!(call2_trails[1].key().proto, TrailProto::Rtp);
+        assert_eq!(call2_trails[1].len(), 1);
+        // call-1's RTP trail did not grow.
+        let k1_trail = store.trail(&k1).unwrap();
+        assert_eq!(k1_trail.len(), 1);
     }
 
     #[test]

@@ -70,10 +70,13 @@ fn main() {
         println!("  [{}] {} ({:?}): {}", a.time, a.rule, a.severity, a.message);
     }
 
+    println!("\n=== pipeline observation ===");
+    println!("{}", report.observation.report());
+
     assert_eq!(report.alerts, single.alerts(), "sharded output diverged");
     assert_eq!(report.stats, single.stats(), "sharded counters diverged");
     println!(
-        "\nbyte-identical to the single engine: {} alerts, {} frames -> {} events",
+        "byte-identical to the single engine: {} alerts, {} frames -> {} events",
         report.alerts.len(),
         report.stats.frames,
         report.stats.events

@@ -7,7 +7,11 @@
 # deployment is byte-identical to the single engine. The allocation
 # regression gate (crates/bench/tests/alloc_budget.rs) runs under the
 # counting allocator feature, and the bench smoke runs every criterion
-# routine once so the benchmarks cannot silently rot.
+# routine once so the benchmarks cannot silently rot. The observability
+# gates run last: the leak-plateau test proves the session-index
+# lifecycle keeps state bounded, and exp_observe_overhead fails the run
+# if observation at default settings costs more than 5% of pipeline
+# throughput (artifact: results/observability_overhead.txt).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,5 +33,11 @@ cargo clippy --workspace --all-targets -- \
 
 echo "== bench smoke (one iteration per routine) =="
 cargo bench -q -- --test
+
+echo "== state-gauge leak plateau (index lifecycle) =="
+cargo test -q --test chaos state_gauges_plateau_across_idle_expiry
+
+echo "== observability overhead gate (<= 5%) =="
+cargo run --release -q -p scidive-bench --bin exp_observe_overhead -- --gate 5
 
 echo "CI green."

@@ -39,6 +39,101 @@ impl Node for ChaosMonkey {
     }
 }
 
+/// Leak plateau: run chaos-shaped traffic long enough to cross the
+/// trail idle timeout and check — via the observability gauges — that
+/// every piece of per-session state (trails, media index, interner,
+/// memoized synthetic keys) levels off instead of growing monotonically.
+#[test]
+fn state_gauges_plateau_across_idle_expiry() {
+    let chaos_ip = std::net::Ipv4Addr::new(10, 0, 0, 99);
+    let caller_ip = std::net::Ipv4Addr::new(10, 0, 0, 2);
+    let target_ip = std::net::Ipv4Addr::new(10, 0, 0, 1);
+
+    // One burst of mixed traffic starting at `base` (ms): two calls
+    // with SDP (media index + interner), RTP to the negotiated and to
+    // 40 unannounced ports (synthetic flow keys), plus anonymous SIP.
+    let burst = |ids: &mut Scidive, base: u64| {
+        for call in 0..2u16 {
+            let media_port = 8_000 + call * 2;
+            let sdp = SessionDescription::audio_offer("alice", caller_ip, media_port);
+            let mut b = RequestBuilder::new(Method::Invite, "sip:b@lab".parse().unwrap());
+            b.from(NameAddr::new("sip:a@lab".parse().unwrap()).with_tag("t"))
+                .to(NameAddr::new("sip:b@lab".parse().unwrap()))
+                .call_id(format!("chaos-{base}-{call}"))
+                .cseq(CSeq::new(1, Method::Invite))
+                .via(Via::udp("10.0.0.2:5060", "z9hG4bK-x"))
+                .body("application/sdp", sdp.to_string());
+            let invite = b.build().to_bytes();
+            ids.on_frame(
+                SimTime::from_millis(base + u64::from(call)),
+                &IpPacket::udp(caller_ip, 5060, target_ip, 5060, invite.as_ref()),
+            );
+        }
+        for i in 0..120u64 {
+            let t = SimTime::from_millis(base + 10 + i * 5);
+            // RTP-shaped garbage to rotating unannounced ports.
+            let rtp = [0x80u8, 96, 0, (i & 0xff) as u8, 0, 0, 0, 1, 0, 0, 0, 2];
+            let port = 20_000 + (i % 40) as u16;
+            ids.on_frame(
+                t,
+                &IpPacket::udp(chaos_ip, 4_999, target_ip, port, rtp.as_ref()),
+            );
+            // And to a negotiated sink, keeping the learned mapping warm.
+            ids.on_frame(
+                t,
+                &IpPacket::udp(chaos_ip, 4_999, caller_ip, 8_000, rtp.as_ref()),
+            );
+        }
+    };
+
+    let mut config = ScidiveConfig::default();
+    config.trails.idle_timeout = SimDuration::from_secs(2);
+    let mut ids = Scidive::new(config);
+
+    burst(&mut ids, 0); // ends ~0.6s
+    let first = ids.gauges();
+    assert!(first.trails > 0 && first.media_index > 0 && first.interner > 0);
+    assert!(first.synthetic_keys > 0);
+
+    // Cross the idle timeout several times over, then repeat the same
+    // shape of traffic twice more.
+    burst(&mut ids, 10_000);
+    burst(&mut ids, 20_000);
+    let later = ids.gauges();
+
+    // Plateau: a steady-state burst leaves no more state behind than
+    // the first one did — nothing accumulates across idle periods.
+    assert!(
+        later.trails <= first.trails,
+        "trail count grew: {} -> {}",
+        first.trails,
+        later.trails
+    );
+    assert!(
+        later.media_index <= first.media_index,
+        "media index grew: {} -> {}",
+        first.media_index,
+        later.media_index
+    );
+    assert!(
+        later.interner <= first.interner,
+        "interner grew: {} -> {}",
+        first.interner,
+        later.interner
+    );
+    assert!(
+        later.synthetic_keys <= first.synthetic_keys,
+        "synthetic key memos grew: {} -> {}",
+        first.synthetic_keys,
+        later.synthetic_keys
+    );
+    // And the lifecycle counters prove expiry actually ran.
+    assert!(later.expired_trails > 0);
+    assert!(later.media_expired > 0);
+    assert!(later.synthetic_expired > 0);
+    assert!(later.interner_expired > 0);
+}
+
 #[test]
 fn call_and_ids_survive_random_byte_spray() {
     for seed in [901u64, 902, 903] {

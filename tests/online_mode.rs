@@ -42,10 +42,15 @@ fn online_engine_matches_offline_on_attack_capture() {
     for f in &frames {
         online.submit(f.time, f.packet.clone());
     }
-    let (alerts, stats) = online.finish();
+    let (alerts, stats, observation) = online.finish();
 
     assert_eq!(alerts, offline.alerts());
     assert_eq!(stats.frames, frames.len() as u64);
+    // The observation's counters must account for every frame submitted
+    // and every alert raised.
+    assert_eq!(observation.pipeline, stats);
+    assert_eq!(observation.dispatch.frames, frames.len() as u64);
+    assert_eq!(observation.severity.total(), alerts.len() as u64);
     assert!(alerts.iter().any(|a| a.rule == "call-hijack"));
 }
 
@@ -59,7 +64,7 @@ fn online_engine_with_tiny_queue_backpressures_correctly() {
     for f in &frames {
         online.submit(f.time, f.packet.clone());
     }
-    let (alerts, stats) = online.finish();
+    let (alerts, stats, _) = online.finish();
     assert_eq!(stats.frames, frames.len() as u64);
 
     let mut offline = Scidive::new(config);
