@@ -17,20 +17,21 @@
 #![cfg(feature = "count-allocs")]
 
 use scidive_bench::alloc_count;
-use scidive_bench::harness::{run_benign_capture, ScenarioOptions};
+use scidive_bench::harness::{run_attack, run_benign_capture, AttackKind, ScenarioOptions};
 use scidive_core::prelude::*;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
 
-/// Heap allocations allowed per frame of the benign capture, end to end
-/// (distill → route → trails → events → rules). Measured ~3.2 after
-/// the interning/zero-copy work (down from ~13.2 before it); 5 gives
-/// headroom for noise without letting the old per-frame key or payload
-/// copies back in.
-const ALLOCS_PER_FRAME_BUDGET: f64 = 5.0;
+/// Heap allocations allowed per frame, end to end (distill → route →
+/// trails → events → rules). Measured ~3.2 after the interning/zero-copy
+/// work and ~2.6 once sink-based rule emission removed the
+/// per-(event, rule) `Vec<Alert>` returns; 4 gives headroom for noise
+/// without letting either the old per-frame copies or per-dispatch
+/// alert vectors back in.
+const ALLOCS_PER_FRAME_BUDGET: f64 = 4.0;
 
-#[test]
-fn benign_replay_stays_within_alloc_budget() {
-    let frames = run_benign_capture(42, &ScenarioOptions::default());
-    assert!(frames.len() > 200, "capture too small: {}", frames.len());
+fn assert_within_budget(label: &str, frames: &[(SimTime, IpPacket)]) {
+    assert!(frames.len() > 200, "{label} capture too small: {}", frames.len());
     let mut ids = Scidive::new(ScidiveConfig::default());
     // Warm one frame so lazily initialized tables (rule set, interner
     // buckets) are charged to setup, not the steady state.
@@ -41,7 +42,7 @@ fn benign_replay_stays_within_alloc_budget() {
     });
     let per_frame = used.allocs as f64 / rest.len() as f64;
     println!(
-        "benign replay: {:.1} allocs/frame ({} allocs / {} frames, {} bytes)",
+        "{label} replay: {:.1} allocs/frame ({} allocs / {} frames, {} bytes)",
         per_frame,
         used.allocs,
         rest.len(),
@@ -49,7 +50,27 @@ fn benign_replay_stays_within_alloc_budget() {
     );
     assert!(
         per_frame <= ALLOCS_PER_FRAME_BUDGET,
-        "allocation regression: {per_frame:.1} allocs/frame exceeds budget of \
+        "allocation regression: {label} at {per_frame:.1} allocs/frame exceeds budget of \
          {ALLOCS_PER_FRAME_BUDGET} — a hot-path allocation crept back in"
     );
+}
+
+#[test]
+fn benign_replay_stays_within_alloc_budget() {
+    let frames = run_benign_capture(42, &ScenarioOptions::default());
+    assert_within_budget("benign", &frames);
+}
+
+/// The attack path allocates too: events, alerts, and rule session
+/// state all materialize. The budget must hold while rules actually
+/// fire, not just on silent traffic.
+#[test]
+fn bye_attack_replay_stays_within_alloc_budget() {
+    let frames: Vec<(SimTime, IpPacket)> = run_attack(AttackKind::Bye, 43, &ScenarioOptions::default())
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.time, r.packet.clone()))
+        .collect();
+    assert_within_budget("bye-attack", &frames);
 }

@@ -9,7 +9,7 @@ use crate::observe::{
     DispatchCounters, EngineObservation, EngineObserver, ObserveConfig, ObservedHistograms,
     PipelineObservation, StateGauges,
 };
-use crate::rules::{builtin_ruleset, Rule, RuleCtx, RuleToggles};
+use crate::rules::{builtin_ruleset, AlertSink, CompiledRuleset, Rule, RuleCtx, RuleToggles};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
 use scidive_netsim::packet::IpPacket;
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Full engine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ScidiveConfig {
     /// Distiller settings.
     pub distiller: DistillerConfig,
@@ -31,6 +31,27 @@ pub struct ScidiveConfig {
     pub rules: RuleToggles,
     /// Observability settings (histograms on, trace off by default).
     pub observe: ObserveConfig,
+    /// Cap on undrained events retained for cooperative exchange
+    /// (see [`Scidive::drain_events`]). `0` disables the cap.
+    pub event_log_cap: usize,
+    /// Run the ruleset as a full scan (every rule sees every event)
+    /// instead of the compiled event-class dispatch table. The reference
+    /// mode for equivalence testing; slower, never needed in production.
+    pub full_scan_rules: bool,
+}
+
+impl Default for ScidiveConfig {
+    fn default() -> ScidiveConfig {
+        ScidiveConfig {
+            distiller: DistillerConfig::default(),
+            trails: TrailStoreConfig::default(),
+            events: EventGenConfig::default(),
+            rules: RuleToggles::default(),
+            observe: ObserveConfig::default(),
+            event_log_cap: 100_000,
+            full_scan_rules: false,
+        }
+    }
 }
 
 /// Pipeline counters.
@@ -94,28 +115,34 @@ pub struct Scidive {
     distiller: Distiller,
     trails: TrailStore,
     events: EventGenerator,
-    rules: Vec<Box<dyn Rule>>,
+    rules: CompiledRuleset,
     alerts: Vec<Alert>,
     stats: PipelineStats,
     observer: EngineObserver,
     /// Undrained events, kept for cooperative exchange (paper §6:
-    /// detectors "exchange event objects"). Bounded; drained by
-    /// [`Scidive::drain_events`].
+    /// detectors "exchange event objects"). Bounded by
+    /// `event_log_cap`; drained by [`Scidive::drain_events`].
     event_log: Vec<crate::event::Event>,
+    event_log_cap: usize,
 }
 
 impl Scidive {
-    /// Builds the engine with the built-in ruleset.
+    /// Builds the engine with the built-in ruleset, compiled into the
+    /// event-class dispatch table (or full-scan when
+    /// [`ScidiveConfig::full_scan_rules`] is set).
     pub fn new(config: ScidiveConfig) -> Scidive {
+        let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
+        rules.set_state_timeout(config.trails.idle_timeout);
         Scidive {
             distiller: Distiller::new(config.distiller),
             trails: TrailStore::new(config.trails),
             events: EventGenerator::new(config.events),
-            rules: builtin_ruleset(&config.rules),
+            rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),
             observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
+            event_log_cap: config.event_log_cap,
         }
     }
 
@@ -124,19 +151,24 @@ impl Scidive {
     /// sharded dispatcher owns the one shared plane and injects its
     /// events via [`Scidive::on_distilled`].
     pub fn data_plane(config: ScidiveConfig) -> Scidive {
+        let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
+        rules.set_state_timeout(config.trails.idle_timeout);
         Scidive {
             distiller: Distiller::new(config.distiller),
             trails: TrailStore::new(config.trails),
             events: EventGenerator::data_plane(config.events),
-            rules: builtin_ruleset(&config.rules),
+            rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),
             observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
+            event_log_cap: config.event_log_cap,
         }
     }
 
-    /// Adds a custom rule alongside the built-ins.
+    /// Adds a custom rule alongside the built-ins. The rule is indexed
+    /// by its [`crate::rules::Rule::interests`] and inherits the
+    /// trail-store idle timeout for its per-session state.
     pub fn add_rule(&mut self, rule: Box<dyn Rule>) {
         self.rules.push(rule);
     }
@@ -151,7 +183,9 @@ impl Scidive {
     pub fn add_rules_from_spec(&mut self, spec: &str) -> Result<usize, crate::rules::SpecError> {
         let rules = crate::rules::parse_ruleset(spec)?;
         let n = rules.len();
-        self.rules.extend(rules);
+        for rule in rules {
+            self.rules.push(rule);
+        }
         Ok(n)
     }
 
@@ -205,13 +239,16 @@ impl Scidive {
         self.stats.events += events.len() as u64;
         let alerts_before = new_alerts.len();
         let timer = self.observer.match_timer();
-        for ev in &events {
+        {
+            // One context and one sink for the whole batch: the inner
+            // loop does no allocation or rebuild work per (event, rule).
             let ctx = RuleCtx {
                 now: time,
                 trails: &self.trails,
             };
-            for rule in &mut self.rules {
-                new_alerts.extend(rule.on_event(ev, &ctx));
+            let mut sink = AlertSink::new(new_alerts);
+            for ev in &events {
+                self.rules.dispatch(ev, &ctx, &mut sink);
             }
         }
         self.observer.record_match(timer);
@@ -236,7 +273,7 @@ impl Scidive {
                 (new_alerts.len() - alerts_before) as u32,
             );
         }
-        if self.event_log.len() < 100_000 {
+        if self.event_log_cap == 0 || self.event_log.len() < self.event_log_cap {
             self.event_log.extend(events);
         }
     }
@@ -260,7 +297,7 @@ impl Scidive {
 
     /// Drains the events generated since the last drain — the "event
     /// objects" a cooperative deployment exchanges between detectors
-    /// (bounded at 100k between drains).
+    /// (bounded at [`ScidiveConfig::event_log_cap`] between drains).
     pub fn drain_events(&mut self) -> Vec<crate::event::Event> {
         std::mem::take(&mut self.event_log)
     }
@@ -295,16 +332,19 @@ impl Scidive {
     pub fn gauges(&self) -> StateGauges {
         let index = self.trails.media_index();
         let lifecycle = index.lifecycle_stats();
+        let rule_state = self.rules.state_stats();
         StateGauges {
             trails: self.trails.trail_count() as u64,
             retained_footprints: self.trails.footprint_count() as u64,
             media_index: index.len() as u64,
             interner: index.interner_len() as u64,
             synthetic_keys: index.synthetic_key_count() as u64,
+            rule_state: rule_state.sessions,
             expired_trails: self.trails.stats().expired_trails,
             media_expired: lifecycle.media_expired,
             synthetic_expired: lifecycle.synthetic_expired,
             interner_expired: lifecycle.interner_expired,
+            rule_state_expired: rule_state.expired,
             router_media_index: 0,
             router_interner: 0,
             router_synthetic_keys: 0,
@@ -314,7 +354,8 @@ impl Scidive {
     /// This engine's contribution to an observation: counters, gauges,
     /// histograms and trace. One shard's slice in a sharded deployment.
     pub fn engine_observation(&self) -> EngineObservation {
-        self.observer.observation(self.stats, self.gauges())
+        self.observer
+            .observation(self.stats, self.gauges(), self.rules.rule_evals())
     }
 
     /// A full pipeline observation for this standalone engine. The
@@ -333,6 +374,7 @@ impl Scidive {
                 detection_delay_ms: eo.detection_delay_ms,
                 ..ObservedHistograms::default()
             },
+            rule_evals: eo.rule_evals,
             trace: eo.trace,
         }
     }

@@ -84,7 +84,13 @@ pub enum EventClass {
 }
 
 impl EventClass {
-    /// All classes, for spec parsing and enumeration.
+    /// Number of event classes. The enum is fieldless with default
+    /// discriminants, so `class as usize` is a valid index in
+    /// `0..COUNT` — the basis of the compiled rule dispatch table.
+    pub const COUNT: usize = 16;
+
+    /// All classes, for spec parsing and enumeration, in discriminant
+    /// order (`ALL[i] as usize == i`).
     pub const ALL: [EventClass; 16] = [
         EventClass::CallEstablished,
         EventClass::CallTornDown,

@@ -87,9 +87,9 @@ pub mod prelude {
     pub use crate::footprint::{Footprint, FootprintBody, PacketMeta, TrailProto};
     pub use crate::metrics::{DetectionReport, InjectedAttack, RateAccumulator};
     pub use crate::observe::{
-        DecisionTrace, DispatchCounters, EngineObservation, Histogram, ObserveConfig,
-        ObservedHistograms, PipelineObservation, SeverityCounts, StateGauges, TraceEntry,
-        TraceStage,
+        merge_rule_evals, DecisionTrace, DispatchCounters, EngineObservation, Histogram,
+        ObserveConfig, ObservedHistograms, PipelineObservation, RuleEval, SeverityCounts,
+        StateGauges, TraceEntry, TraceStage,
     };
     pub use crate::online::OnlineScidive;
     pub use crate::routing::{
@@ -97,8 +97,9 @@ pub mod prelude {
     };
     pub use crate::shard::{DispatchStats, ShardStats, ShardedReport, ShardedScidive};
     pub use crate::rules::{
-        builtin_ruleset, parse_ruleset, CombinationRule, Rule, RuleCtx, RuleToggles,
-        SequenceRule, SpecError,
+        builtin_ruleset, collect_alerts, parse_ruleset, AlertSink, CombinationRule,
+        CompiledRuleset, Rule, RuleCtx, RuleInterest, RuleStateStats, RuleToggles, SequenceRule,
+        SessionMap, SpecError,
     };
     pub use crate::trail::{SessionKey, Trail, TrailKey, TrailStore, TrailStoreConfig};
 }

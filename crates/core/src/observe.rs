@@ -254,6 +254,9 @@ pub struct StateGauges {
     pub interner: u64,
     /// Memoized synthetic keys (flow/other/sip-anon/sip-malformed).
     pub synthetic_keys: u64,
+    /// Session entries held by rule state maps (partial matches and
+    /// fired-once markers) across all rules.
+    pub rule_state: u64,
     /// Trails dropped by the idle timeout (monotonic).
     pub expired_trails: u64,
     /// Media mappings dropped by idle expiry (monotonic).
@@ -262,6 +265,8 @@ pub struct StateGauges {
     pub synthetic_expired: u64,
     /// Interned session keys dropped by idle expiry (monotonic).
     pub interner_expired: u64,
+    /// Rule state entries dropped by idle expiry (monotonic).
+    pub rule_state_expired: u64,
     /// The dispatcher router's media mappings (0 for a single engine).
     pub router_media_index: u64,
     /// The dispatcher router's interned keys (0 for a single engine).
@@ -280,10 +285,12 @@ impl std::ops::Add for StateGauges {
             media_index: self.media_index + rhs.media_index,
             interner: self.interner + rhs.interner,
             synthetic_keys: self.synthetic_keys + rhs.synthetic_keys,
+            rule_state: self.rule_state + rhs.rule_state,
             expired_trails: self.expired_trails + rhs.expired_trails,
             media_expired: self.media_expired + rhs.media_expired,
             synthetic_expired: self.synthetic_expired + rhs.synthetic_expired,
             interner_expired: self.interner_expired + rhs.interner_expired,
+            rule_state_expired: self.rule_state_expired + rhs.rule_state_expired,
             router_media_index: self.router_media_index + rhs.router_media_index,
             router_interner: self.router_interner + rhs.router_interner,
             router_synthetic_keys: self.router_synthetic_keys + rhs.router_synthetic_keys,
@@ -446,6 +453,32 @@ impl DecisionTrace {
     }
 }
 
+/// Exact `on_event` invocation count for one rule. The compiled
+/// dispatch table made these counters nearly free (one array increment
+/// per dispatched rule), so they are exact, not sampled — unlike the
+/// wall-clock latency histogram, which stays on its 1-in-
+/// [`RULE_EVAL_SAMPLE`] schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleEval {
+    /// The rule id.
+    pub rule: String,
+    /// Times the rule's `on_event` ran.
+    pub evals: u64,
+}
+
+/// Folds per-rule invocation counts from one engine into a merged list,
+/// matching by rule id (shards run identical rulesets, so ids line up;
+/// unseen ids append in the order they arrive).
+pub fn merge_rule_evals(into: &mut Vec<RuleEval>, other: &[RuleEval]) {
+    for o in other {
+        if let Some(e) = into.iter_mut().find(|e| e.rule == o.rule) {
+            e.evals += o.evals;
+        } else {
+            into.push(o.clone());
+        }
+    }
+}
+
 /// The engine-side slice of an observation: what one [`crate::engine::Scidive`]
 /// (a shard worker, or the whole pipeline when unsharded) contributes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -458,6 +491,8 @@ pub struct EngineObservation {
     pub rule_eval_us: Histogram,
     /// Detection-delay histogram.
     pub detection_delay_ms: Histogram,
+    /// Exact per-rule `on_event` invocation counts.
+    pub rule_evals: Vec<RuleEval>,
     /// Its trail-store / media-index gauges.
     pub gauges: StateGauges,
     /// Its decision trace (empty unless `trace_depth > 0`).
@@ -559,13 +594,19 @@ impl EngineObserver {
     }
 
     /// Snapshot of the engine-side observation, given the engine's
-    /// counters and state gauges.
-    pub fn observation(&self, stats: PipelineStats, gauges: StateGauges) -> EngineObservation {
+    /// counters, state gauges and exact per-rule invocation counts.
+    pub fn observation(
+        &self,
+        stats: PipelineStats,
+        gauges: StateGauges,
+        rule_evals: Vec<RuleEval>,
+    ) -> EngineObservation {
         EngineObservation {
             stats,
             severity: self.severity,
             rule_eval_us: self.rule_eval_us.clone(),
             detection_delay_ms: self.detection_delay_ms.clone(),
+            rule_evals,
             gauges,
             trace: self.trace.clone().into_vec(),
         }
@@ -595,6 +636,9 @@ pub struct PipelineObservation {
     pub gauges: StateGauges,
     /// The histogram set.
     pub hist: ObservedHistograms,
+    /// Exact per-rule `on_event` invocation counts, summed across
+    /// engines.
+    pub rule_evals: Vec<RuleEval>,
     /// Merged decision trace, empty unless `trace_depth > 0`.
     pub trace: Vec<TraceEntry>,
 }
@@ -640,24 +684,33 @@ impl PipelineObservation {
         );
         let _ = writeln!(
             out,
-            "state      trails={} retained={} media_index={} interner={} synthetic_keys={} router_media={} router_interner={} router_synth={}",
+            "state      trails={} retained={} media_index={} interner={} synthetic_keys={} rule_state={} router_media={} router_interner={} router_synth={}",
             self.gauges.trails,
             self.gauges.retained_footprints,
             self.gauges.media_index,
             self.gauges.interner,
             self.gauges.synthetic_keys,
+            self.gauges.rule_state,
             self.gauges.router_media_index,
             self.gauges.router_interner,
             self.gauges.router_synthetic_keys,
         );
         let _ = writeln!(
             out,
-            "lifecycle  expired_trails={} media_expired={} synthetic_expired={} interner_expired={}",
+            "lifecycle  expired_trails={} media_expired={} synthetic_expired={} interner_expired={} rule_state_expired={}",
             self.gauges.expired_trails,
             self.gauges.media_expired,
             self.gauges.synthetic_expired,
             self.gauges.interner_expired,
+            self.gauges.rule_state_expired,
         );
+        if !self.rule_evals.is_empty() {
+            let _ = write!(out, "rule_evals");
+            for e in &self.rule_evals {
+                let _ = write!(out, " {}={}", e.rule, e.evals);
+            }
+            let _ = writeln!(out);
+        }
         let _ = writeln!(out, "{}", self.hist.rule_eval_us.summary("rule_eval", "us"));
         let _ = writeln!(
             out,
@@ -759,6 +812,34 @@ mod tests {
     }
 
     #[test]
+    fn rule_evals_merge_by_id() {
+        let mut a = vec![
+            RuleEval {
+                rule: "x".into(),
+                evals: 2,
+            },
+            RuleEval {
+                rule: "y".into(),
+                evals: 1,
+            },
+        ];
+        let b = vec![
+            RuleEval {
+                rule: "y".into(),
+                evals: 5,
+            },
+            RuleEval {
+                rule: "z".into(),
+                evals: 3,
+            },
+        ];
+        merge_rule_evals(&mut a, &b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].evals, 6);
+        assert_eq!(a[2].rule, "z");
+    }
+
+    #[test]
     fn severity_counts_add_up() {
         let mut s = SeverityCounts::default();
         s.record(Severity::Info);
@@ -786,10 +867,15 @@ mod tests {
             dispatch: DispatchCounters::default(),
             gauges: StateGauges::default(),
             hist: ObservedHistograms::default(),
+            rule_evals: vec![RuleEval {
+                rule: "sip-format".into(),
+                evals: 4,
+            }],
             trace: vec![],
         };
         let text = obs.report();
         assert!(text.contains("frames=10"));
+        assert!(text.contains("sip-format=4"));
         assert!(text.contains("crit=1"));
         assert!(text.contains("rule_eval"));
         // Round-trips through the vendored serde.

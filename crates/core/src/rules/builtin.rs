@@ -7,14 +7,14 @@
 use crate::alert::{Alert, Severity};
 use crate::event::{Event, EventClass, EventKind};
 use crate::rules::combo::CombinationRule;
-use crate::rules::{Rule, RuleCtx};
-use crate::trail::SessionKey;
+use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
 use scidive_netsim::time::SimDuration;
-use std::collections::HashSet;
 
 /// A rule that fires on any event of the given classes, once per
 /// session (or globally de-duplicated by message for session-less
-/// events).
+/// events). The fired-once markers live in a [`SessionMap`], so a
+/// session idle past the trail timeout sheds its marker along with its
+/// trails (and may legitimately alarm again if the attack recurs).
 #[derive(Debug)]
 pub struct EventRule {
     id: &'static str,
@@ -23,7 +23,7 @@ pub struct EventRule {
     severity: Severity,
     cross_protocol: bool,
     stateful: bool,
-    fired_sessions: HashSet<SessionKey>,
+    fired_sessions: SessionMap<()>,
     global_fired: u32,
     /// Maximum global (session-less) firings; 0 = unlimited.
     global_cap: u32,
@@ -46,7 +46,7 @@ impl EventRule {
             severity,
             cross_protocol,
             stateful,
-            fired_sessions: HashSet::new(),
+            fired_sessions: SessionMap::new(),
             global_fired: 0,
             global_cap: 0,
         }
@@ -70,27 +70,40 @@ impl Rule for EventRule {
         self.stateful
     }
 
-    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(self.classes)
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
         if !self.classes.contains(&ev.class()) {
-            return Vec::new();
+            return;
         }
         if let Some(session) = &ev.session {
-            if !self.fired_sessions.insert(session.clone()) {
-                return Vec::new();
+            if self.fired_sessions.get_mut(session, ev.time).is_some() {
+                return;
             }
+            self.fired_sessions.insert(session.clone(), (), ev.time);
         } else {
             if self.global_cap != 0 && self.global_fired >= self.global_cap {
-                return Vec::new();
+                return;
             }
             self.global_fired += 1;
         }
-        vec![Alert::new(
+        sink.push(Alert::new(
             self.id,
             self.severity,
             ev.time,
             ev.session.clone(),
             format!("{}: {}", self.description, describe(&ev.kind)),
-        )]
+        ));
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.fired_sessions.set_timeout(timeout);
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        self.fired_sessions.state_stats()
     }
 }
 
@@ -282,7 +295,8 @@ pub fn builtin_ruleset(toggles: &RuleToggles) -> Vec<Box<dyn Rule>> {
 mod tests {
     use super::*;
     use crate::event::FlowKey;
-    use crate::trail::{TrailStore, TrailStoreConfig};
+    use crate::rules::collect_alerts;
+    use crate::trail::{SessionKey, TrailStore, TrailStoreConfig};
     use scidive_netsim::time::SimTime;
     use std::net::Ipv4Addr;
 
@@ -350,9 +364,52 @@ mod tests {
             true,
             true,
         );
-        assert_eq!(rule.on_event(&orphan_event("c1"), &ctx).len(), 1);
-        assert_eq!(rule.on_event(&orphan_event("c1"), &ctx).len(), 0);
-        assert_eq!(rule.on_event(&orphan_event("c2"), &ctx).len(), 1);
+        assert_eq!(collect_alerts(&mut rule, &orphan_event("c1"), &ctx).len(), 1);
+        assert_eq!(collect_alerts(&mut rule, &orphan_event("c1"), &ctx).len(), 0);
+        assert_eq!(collect_alerts(&mut rule, &orphan_event("c2"), &ctx).len(), 1);
+        assert_eq!(rule.state_stats().sessions, 2);
+    }
+
+    #[test]
+    fn event_rule_fired_marker_expires_with_idle_sessions() {
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::from_millis(10),
+            trails: &store,
+        };
+        let mut rule = EventRule::new(
+            "bye-attack",
+            "test",
+            &[EventClass::OrphanRtpAfterBye],
+            Severity::Critical,
+            true,
+            true,
+        );
+        rule.set_state_timeout(SimDuration::from_secs(2));
+        assert_eq!(collect_alerts(&mut rule, &orphan_event("c1"), &ctx).len(), 1);
+        // The same session recurring after the idle timeout alarms
+        // again: its trails (and thus the marker's context) are gone.
+        let mut late = orphan_event("c1");
+        late.time = SimTime::from_secs(60);
+        assert_eq!(collect_alerts(&mut rule, &late, &ctx).len(), 1);
+        assert_eq!(rule.state_stats().expired, 1);
+    }
+
+    #[test]
+    fn event_rule_declares_its_classes_as_interests() {
+        let rule = EventRule::new(
+            "rtp-attack",
+            "test",
+            &[EventClass::RtpSeqViolation, EventClass::RtpUnknownSource],
+            Severity::Critical,
+            true,
+            true,
+        );
+        let i = rule.interests();
+        assert!(i.contains(EventClass::RtpSeqViolation));
+        assert!(i.contains(EventClass::RtpUnknownSource));
+        assert!(!i.contains(EventClass::OrphanRtpAfterBye));
+        assert!(!i.is_all());
     }
 
     #[test]
@@ -390,7 +447,7 @@ mod tests {
             true,
             true,
         );
-        let alerts = rule.on_event(&orphan_event("c1"), &ctx);
+        let alerts = collect_alerts(&mut rule, &orphan_event("c1"), &ctx);
         assert!(alerts[0].message.contains("10.0.0.3"));
         assert!(alerts[0].message.contains("after the BYE"));
     }

@@ -15,10 +15,10 @@
 use crate::alert::{Alert, Severity};
 use crate::event::{Event, EventClass};
 use crate::footprint::{FootprintBody, TrailProto};
-use crate::rules::{Rule, RuleCtx};
+use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
 use crate::trail::{SessionKey, TrailKey};
+use scidive_netsim::time::SimDuration;
 use scidive_sip::method::Method;
-use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 /// Who sent the fatal BYE, per the SIP trail.
@@ -35,7 +35,7 @@ pub struct ByeOrigin {
 /// The enriched BYE-attack rule.
 #[derive(Debug, Default)]
 pub struct ByeAttackRule {
-    fired: HashSet<SessionKey>,
+    fired: SessionMap<()>,
 }
 
 impl ByeAttackRule {
@@ -85,16 +85,21 @@ impl Rule for ByeAttackRule {
         true
     }
 
-    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>) -> Vec<Alert> {
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&[EventClass::OrphanRtpAfterBye])
+    }
+
+    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
         if ev.class() != EventClass::OrphanRtpAfterBye {
-            return Vec::new();
+            return;
         }
         let Some(session) = &ev.session else {
-            return Vec::new();
+            return;
         };
-        if !self.fired.insert(session.clone()) {
-            return Vec::new();
+        if self.fired.get_mut(session, ev.time).is_some() {
+            return;
         }
+        self.fired.insert(session.clone(), (), ev.time);
         let origin = Self::bye_origin(ctx, session);
         let forensics = match &origin {
             Some(o) => format!(
@@ -105,7 +110,7 @@ impl Rule for ByeAttackRule {
             ),
             None => String::new(),
         };
-        vec![Alert::new(
+        sink.push(Alert::new(
             "bye-attack",
             Severity::Critical,
             ev.time,
@@ -114,7 +119,15 @@ impl Rule for ByeAttackRule {
                 "{}: orphan media after teardown{forensics}",
                 self.description()
             ),
-        )]
+        ));
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.fired.set_timeout(timeout);
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        self.fired.state_stats()
     }
 }
 
@@ -123,8 +136,9 @@ mod tests {
     use super::*;
     use crate::event::{EventKind, FlowKey};
     use crate::footprint::{Footprint, PacketMeta};
+    use crate::rules::collect_alerts;
     use crate::trail::{TrailStore, TrailStoreConfig};
-    use scidive_netsim::time::{SimDuration, SimTime};
+    use scidive_netsim::time::SimTime;
     use scidive_sip::header::{CSeq, NameAddr, Via};
     use scidive_sip::msg::RequestBuilder;
 
@@ -171,7 +185,7 @@ mod tests {
             trails: &store,
         };
         let mut rule = ByeAttackRule::new();
-        let alerts = rule.on_event(&orphan_event(), &ctx);
+        let alerts = collect_alerts(&mut rule, &orphan_event(), &ctx);
         assert_eq!(alerts.len(), 1);
         let msg = &alerts[0].message;
         assert!(msg.contains("bob@lab"), "{msg}");
@@ -202,9 +216,9 @@ mod tests {
         };
         let mut rule = ByeAttackRule::new();
         // No SIP trail at all: still alarms (without forensics).
-        let alerts = rule.on_event(&orphan_event(), &ctx);
+        let alerts = collect_alerts(&mut rule, &orphan_event(), &ctx);
         assert_eq!(alerts.len(), 1);
         assert!(!alerts[0].message.contains("came from"));
-        assert!(rule.on_event(&orphan_event(), &ctx).is_empty());
+        assert!(collect_alerts(&mut rule, &orphan_event(), &ctx).is_empty());
     }
 }

@@ -7,10 +7,8 @@
 
 use crate::alert::{Alert, Severity};
 use crate::event::{Event, EventClass};
-use crate::rules::{Rule, RuleCtx};
-use crate::trail::SessionKey;
+use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
 use scidive_netsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// A rule requiring events of given classes in order, per session,
 /// within a window.
@@ -38,8 +36,8 @@ pub struct SequenceRule {
     window: SimDuration,
     severity: Severity,
     /// session → (next step index, time of first matched step).
-    partial: HashMap<SessionKey, (usize, SimTime)>,
-    fired: HashMap<SessionKey, bool>,
+    partial: SessionMap<(usize, SimTime)>,
+    fired: SessionMap<()>,
 }
 
 impl SequenceRule {
@@ -61,8 +59,8 @@ impl SequenceRule {
             steps,
             window,
             severity: Severity::Critical,
-            partial: HashMap::new(),
-            fired: HashMap::new(),
+            partial: SessionMap::new(),
+            fired: SessionMap::new(),
         }
     }
 
@@ -95,17 +93,27 @@ impl Rule for SequenceRule {
         true
     }
 
-    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&self.steps)
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
+        // Self-filter first: events outside the step classes must not
+        // touch per-session state, so compiled dispatch (which never
+        // offers them) stays state-identical to a full scan.
+        if !self.steps.contains(&ev.class()) {
+            return;
+        }
         let Some(session) = &ev.session else {
-            return Vec::new();
+            return;
         };
-        if self.fired.get(session).copied().unwrap_or(false) {
-            return Vec::new();
+        if self.fired.get_mut(session, ev.time).is_some() {
+            return;
         }
         let (next, started) = self
             .partial
-            .get(session)
-            .copied()
+            .get_mut(session, ev.time)
+            .map(|p| *p)
             .unwrap_or((0, ev.time));
         // Window expiry resets progress.
         let (next, started) = if next > 0 && ev.time.saturating_since(started) > self.window {
@@ -114,24 +122,35 @@ impl Rule for SequenceRule {
             (next, started)
         };
         if ev.class() != self.steps[next] {
-            self.partial.insert(session.clone(), (next, started));
-            return Vec::new();
+            self.partial
+                .insert(session.clone(), (next, started), ev.time);
+            return;
         }
         let started = if next == 0 { ev.time } else { started };
         let next = next + 1;
         if next == self.steps.len() {
             self.partial.remove(session);
-            self.fired.insert(session.clone(), true);
-            return vec![Alert::new(
+            self.fired.insert(session.clone(), (), ev.time);
+            sink.push(Alert::new(
                 self.id.clone(),
                 self.severity,
                 ev.time,
                 Some(session.clone()),
                 format!("{} (sequence complete)", self.description),
-            )];
+            ));
+            return;
         }
-        self.partial.insert(session.clone(), (next, started));
-        Vec::new()
+        self.partial
+            .insert(session.clone(), (next, started), ev.time);
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.partial.set_timeout(timeout);
+        self.fired.set_timeout(timeout);
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        self.partial.state_stats() + self.fired.state_stats()
     }
 }
 
@@ -145,8 +164,8 @@ pub struct CombinationRule {
     window: SimDuration,
     severity: Severity,
     /// session → (matched mask, earliest match time).
-    partial: HashMap<SessionKey, (u64, SimTime)>,
-    fired: HashMap<SessionKey, bool>,
+    partial: SessionMap<(u64, SimTime)>,
+    fired: SessionMap<()>,
 }
 
 impl CombinationRule {
@@ -171,8 +190,8 @@ impl CombinationRule {
             required,
             window,
             severity: Severity::Critical,
-            partial: HashMap::new(),
-            fired: HashMap::new(),
+            partial: SessionMap::new(),
+            fired: SessionMap::new(),
         }
     }
 
@@ -200,20 +219,24 @@ impl Rule for CombinationRule {
         true
     }
 
-    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
-        let Some(session) = &ev.session else {
-            return Vec::new();
-        };
-        if self.fired.get(session).copied().unwrap_or(false) {
-            return Vec::new();
-        }
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&self.required)
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
         let Some(bit) = self.required.iter().position(|c| *c == ev.class()) else {
-            return Vec::new();
+            return;
         };
+        let Some(session) = &ev.session else {
+            return;
+        };
+        if self.fired.get_mut(session, ev.time).is_some() {
+            return;
+        }
         let (mask, started) = self
             .partial
-            .get(session)
-            .copied()
+            .get_mut(session, ev.time)
+            .map(|p| *p)
             .unwrap_or((0, ev.time));
         let (mask, started) = if mask != 0 && ev.time.saturating_since(started) > self.window {
             (0, ev.time)
@@ -224,17 +247,26 @@ impl Rule for CombinationRule {
         let full = (1u64 << self.required.len()) - 1;
         if mask == full {
             self.partial.remove(session);
-            self.fired.insert(session.clone(), true);
-            return vec![Alert::new(
+            self.fired.insert(session.clone(), (), ev.time);
+            sink.push(Alert::new(
                 self.id.clone(),
                 self.severity,
                 ev.time,
                 Some(session.clone()),
                 format!("{} (all conditions met)", self.description),
-            )];
+            ));
+            return;
         }
-        self.partial.insert(session.clone(), (mask, started));
-        Vec::new()
+        self.partial.insert(session.clone(), (mask, started), ev.time);
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.partial.set_timeout(timeout);
+        self.fired.set_timeout(timeout);
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        self.partial.state_stats() + self.fired.state_stats()
     }
 }
 
@@ -242,7 +274,8 @@ impl Rule for CombinationRule {
 mod tests {
     use super::*;
     use crate::event::{EventKind, FlowKey};
-    use crate::trail::{TrailStore, TrailStoreConfig};
+    use crate::rules::collect_alerts;
+    use crate::trail::{SessionKey, TrailStore, TrailStoreConfig};
     use std::net::Ipv4Addr;
 
     fn ev(t: u64, session: &str, kind: EventKind) -> Event {
@@ -295,12 +328,12 @@ mod tests {
             vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
             SimDuration::from_secs(1),
         );
-        assert!(rule.on_event(&ev(1, "c1", torn()), &ctx(1, &s)).is_empty());
-        let alerts = rule.on_event(&ev(2, "c1", orphan()), &ctx(2, &s));
+        assert!(collect_alerts(&mut rule, &ev(1, "c1", torn()), &ctx(1, &s)).is_empty());
+        let alerts = collect_alerts(&mut rule, &ev(2, "c1", orphan()), &ctx(2, &s));
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].rule, "seq");
         // Does not re-fire for the same session.
-        assert!(rule.on_event(&ev(3, "c1", orphan()), &ctx(3, &s)).is_empty());
+        assert!(collect_alerts(&mut rule, &ev(3, "c1", orphan()), &ctx(3, &s)).is_empty());
     }
 
     #[test]
@@ -313,10 +346,13 @@ mod tests {
             SimDuration::from_secs(1),
         );
         // Orphan first: no progress.
-        assert!(rule.on_event(&ev(1, "c1", orphan()), &ctx(1, &s)).is_empty());
-        assert!(rule.on_event(&ev(2, "c1", torn()), &ctx(2, &s)).is_empty());
+        assert!(collect_alerts(&mut rule, &ev(1, "c1", orphan()), &ctx(1, &s)).is_empty());
+        assert!(collect_alerts(&mut rule, &ev(2, "c1", torn()), &ctx(2, &s)).is_empty());
         // Now the orphan completes it.
-        assert_eq!(rule.on_event(&ev(3, "c1", orphan()), &ctx(3, &s)).len(), 1);
+        assert_eq!(
+            collect_alerts(&mut rule, &ev(3, "c1", orphan()), &ctx(3, &s)).len(),
+            1
+        );
     }
 
     #[test]
@@ -328,9 +364,9 @@ mod tests {
             vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
             SimDuration::from_millis(10),
         );
-        rule.on_event(&ev(1, "c1", torn()), &ctx(1, &s));
+        collect_alerts(&mut rule, &ev(1, "c1", torn()), &ctx(1, &s));
         // Too late: resets; the orphan is step 1, not step 2.
-        assert!(rule.on_event(&ev(100, "c1", orphan()), &ctx(100, &s)).is_empty());
+        assert!(collect_alerts(&mut rule, &ev(100, "c1", orphan()), &ctx(100, &s)).is_empty());
     }
 
     #[test]
@@ -342,10 +378,13 @@ mod tests {
             vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
             SimDuration::from_secs(1),
         );
-        rule.on_event(&ev(1, "c1", torn()), &ctx(1, &s));
+        collect_alerts(&mut rule, &ev(1, "c1", torn()), &ctx(1, &s));
         // c2's orphan must not complete c1's sequence.
-        assert!(rule.on_event(&ev(2, "c2", orphan()), &ctx(2, &s)).is_empty());
-        assert_eq!(rule.on_event(&ev(3, "c1", orphan()), &ctx(3, &s)).len(), 1);
+        assert!(collect_alerts(&mut rule, &ev(2, "c2", orphan()), &ctx(2, &s)).is_empty());
+        assert_eq!(
+            collect_alerts(&mut rule, &ev(3, "c1", orphan()), &ctx(3, &s)).len(),
+            1
+        );
     }
 
     #[test]
@@ -357,8 +396,11 @@ mod tests {
             vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
             SimDuration::from_secs(1),
         );
-        assert!(rule.on_event(&ev(1, "c1", orphan()), &ctx(1, &s)).is_empty());
-        assert_eq!(rule.on_event(&ev(2, "c1", torn()), &ctx(2, &s)).len(), 1);
+        assert!(collect_alerts(&mut rule, &ev(1, "c1", orphan()), &ctx(1, &s)).is_empty());
+        assert_eq!(
+            collect_alerts(&mut rule, &ev(2, "c1", torn()), &ctx(2, &s)).len(),
+            1
+        );
     }
 
     #[test]
@@ -370,12 +412,33 @@ mod tests {
             vec![EventClass::CallTornDown],
             SimDuration::from_secs(1),
         );
-        let unrelated = ev(
-            1,
-            "c1",
-            EventKind::RtpFlowActive { flow: flow() },
+        let unrelated = ev(1, "c1", EventKind::RtpFlowActive { flow: flow() });
+        assert!(collect_alerts(&mut rule, &unrelated, &ctx(1, &s)).is_empty());
+        // Unrelated events leave no per-session residue behind.
+        assert_eq!(rule.state_stats().sessions, 0);
+    }
+
+    #[test]
+    fn sequence_declares_step_classes_and_expires_idle_state() {
+        let s = store();
+        let mut rule = SequenceRule::new(
+            "seq",
+            "x",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(100),
         );
-        assert!(rule.on_event(&unrelated, &ctx(1, &s)).is_empty());
+        let interest = rule.interests();
+        assert!(interest.contains(EventClass::CallTornDown));
+        assert!(interest.contains(EventClass::OrphanRtpAfterBye));
+        assert!(!interest.contains(EventClass::RtpFlowActive));
+
+        rule.set_state_timeout(SimDuration::from_millis(50));
+        collect_alerts(&mut rule, &ev(1, "c1", torn()), &ctx(1, &s));
+        assert_eq!(rule.state_stats().sessions, 1);
+        // Well past the idle timeout: partial state is dropped on access,
+        // so the orphan is treated as step 1 and nothing fires.
+        assert!(collect_alerts(&mut rule, &ev(500, "c1", orphan()), &ctx(500, &s)).is_empty());
+        assert!(rule.state_stats().expired >= 1);
     }
 
     #[test]

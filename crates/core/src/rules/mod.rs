@@ -6,6 +6,13 @@
 //! Besides the information that Events provide, the Ruleset can also
 //! perform the matching based on crude information directly from the
 //! Trails."
+//!
+//! The ruleset is **compiled**: at install time every rule declares its
+//! [`RuleInterest`] — the set of [`EventClass`]es it can possibly react
+//! to — and [`CompiledRuleset`] indexes the rules by class so an event
+//! is only offered to the rules subscribed to it. A benign RTP event
+//! touches zero or one rule regardless of how many rules are installed;
+//! matching cost scales with *interested* rules, not total rules.
 
 mod builtin;
 mod bye_rule;
@@ -18,9 +25,11 @@ pub use combo::{CombinationRule, SequenceRule};
 pub use spec::{parse_ruleset, SpecError};
 
 use crate::alert::Alert;
-use crate::event::Event;
-use crate::trail::TrailStore;
-use scidive_netsim::time::SimTime;
+use crate::event::{Event, EventClass};
+use crate::observe::RuleEval;
+use crate::trail::{SessionKey, TrailStore};
+use scidive_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
 
 /// Context a rule sees while matching: the current time plus read access
 /// to the trails (the paper's "crude information" escape hatch).
@@ -31,7 +40,264 @@ pub struct RuleCtx<'a> {
     pub trails: &'a TrailStore,
 }
 
+/// Where a rule emits its alerts. A thin push handle over the engine's
+/// alert buffer — rules append in place instead of returning a
+/// `Vec<Alert>` per `(event, rule)` call, so the common no-match case
+/// costs nothing.
+pub struct AlertSink<'a> {
+    out: &'a mut Vec<Alert>,
+}
+
+impl<'a> AlertSink<'a> {
+    /// Wraps an alert buffer.
+    pub fn new(out: &'a mut Vec<Alert>) -> AlertSink<'a> {
+        AlertSink { out }
+    }
+
+    /// Emits one alert.
+    pub fn push(&mut self, alert: Alert) {
+        self.out.push(alert);
+    }
+
+    /// Alerts in the underlying buffer so far (including ones emitted
+    /// before this sink was created).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// The set of [`EventClass`]es a rule subscribes to: a bitset over the
+/// class enum plus an "all events" escape hatch for rules that cannot
+/// enumerate their triggers.
+///
+/// See [`Rule::interests`] for the contract implementors must uphold.
+///
+/// # Examples
+///
+/// ```
+/// use scidive_core::event::EventClass;
+/// use scidive_core::rules::RuleInterest;
+///
+/// let i = RuleInterest::of(&[EventClass::SipMalformed]);
+/// assert!(i.contains(EventClass::SipMalformed));
+/// assert!(!i.contains(EventClass::RtpFlowActive));
+/// assert!(RuleInterest::all().contains(EventClass::RtpFlowActive));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInterest {
+    bits: u32,
+    all: bool,
+}
+
+impl RuleInterest {
+    /// Subscribes to nothing (useful as a fold seed).
+    pub const fn none() -> RuleInterest {
+        RuleInterest { bits: 0, all: false }
+    }
+
+    /// Subscribes to every event class, present and future — the escape
+    /// hatch (and the default for custom rules that do not override
+    /// [`Rule::interests`]).
+    pub const fn all() -> RuleInterest {
+        RuleInterest { bits: 0, all: true }
+    }
+
+    /// Subscribes to exactly the given classes.
+    pub fn of(classes: &[EventClass]) -> RuleInterest {
+        let mut i = RuleInterest::none();
+        for c in classes {
+            i = i.with(*c);
+        }
+        i
+    }
+
+    /// Adds one class (builder-style).
+    pub fn with(mut self, class: EventClass) -> RuleInterest {
+        self.bits |= 1 << (class as u32);
+        self
+    }
+
+    /// Whether events of `class` are subscribed.
+    pub fn contains(self, class: EventClass) -> bool {
+        self.all || self.bits & (1 << (class as u32)) != 0
+    }
+
+    /// Whether this is the all-events escape hatch.
+    pub fn is_all(self) -> bool {
+        self.all
+    }
+}
+
+/// Default idle timeout for per-rule session state, mirroring
+/// [`crate::trail::TrailStoreConfig`]'s default `idle_timeout`. The
+/// engine overrides it with the configured trail timeout at install
+/// time ([`Rule::set_state_timeout`]).
+pub const DEFAULT_STATE_TIMEOUT: SimDuration = SimDuration::from_secs(600);
+
+/// Live/expired entry counts of a rule's session-keyed state, summed
+/// into the engine's [`crate::observe::StateGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStateStats {
+    /// Live session entries across the rule's state maps.
+    pub sessions: u64,
+    /// Entries dropped by idle expiry so far (monotonic).
+    pub expired: u64,
+}
+
+impl std::ops::Add for RuleStateStats {
+    type Output = RuleStateStats;
+    fn add(self, rhs: RuleStateStats) -> RuleStateStats {
+        RuleStateStats {
+            sessions: self.sessions + rhs.sessions,
+            expired: self.expired + rhs.expired,
+        }
+    }
+}
+
+/// Session-keyed rule state with idle expiry mirroring
+/// [`crate::trail::TrailStore::expire`]: an entry untouched for the
+/// timeout is gone, exactly as the session's trails are.
+///
+/// Staleness is checked **at access** — a stale entry reads as absent
+/// the moment the timeout passes, regardless of when the background
+/// sweep last ran — so rule behavior is a pure function of the event
+/// stream. The periodic sweep (every `timeout / 4` of sim time, piggy-
+/// backed on accesses) is pure memory reclamation; running it more or
+/// less often cannot change what a rule observes. That determinism is
+/// what keeps sharded and single-engine deployments byte-identical.
+///
+/// Every access refreshes the entry's idle clock: a session the rule
+/// keeps seeing (through its subscribed classes) never expires mid-
+/// conversation; only sessions gone quiet are reclaimed.
+#[derive(Debug)]
+pub struct SessionMap<V> {
+    map: HashMap<SessionKey, (V, SimTime)>,
+    timeout: SimDuration,
+    last_sweep: SimTime,
+    expired: u64,
+}
+
+impl<V> Default for SessionMap<V> {
+    fn default() -> SessionMap<V> {
+        SessionMap::new()
+    }
+}
+
+impl<V> SessionMap<V> {
+    /// Creates an empty map with [`DEFAULT_STATE_TIMEOUT`].
+    pub fn new() -> SessionMap<V> {
+        SessionMap {
+            map: HashMap::new(),
+            timeout: DEFAULT_STATE_TIMEOUT,
+            last_sweep: SimTime::ZERO,
+            expired: 0,
+        }
+    }
+
+    /// Changes the idle timeout (the engine calls this with the trail
+    /// store's timeout at rule install).
+    pub fn set_timeout(&mut self, timeout: SimDuration) {
+        self.timeout = timeout;
+    }
+
+    /// Accesses a session's state at `now`, refreshing its idle clock.
+    /// A stale entry (idle ≥ timeout) is dropped and reads as absent.
+    pub fn get_mut(&mut self, session: &SessionKey, now: SimTime) -> Option<&mut V> {
+        self.maybe_sweep(now);
+        if let Some((_, touched)) = self.map.get(session) {
+            if now.saturating_since(*touched) >= self.timeout {
+                self.map.remove(session);
+                self.expired += 1;
+                return None;
+            }
+        }
+        self.map.get_mut(session).map(|(v, touched)| {
+            *touched = now;
+            v
+        })
+    }
+
+    /// Inserts (or overwrites) a session's state, stamped at `now`.
+    pub fn insert(&mut self, session: SessionKey, value: V, now: SimTime) {
+        self.maybe_sweep(now);
+        self.map.insert(session, (value, now));
+    }
+
+    /// Removes a session's state (e.g. after a rule fires and resets).
+    pub fn remove(&mut self, session: &SessionKey) {
+        self.map.remove(session);
+    }
+
+    /// Live entries (including any not yet reclaimed by the sweep; the
+    /// sweep runs at least every `timeout / 4` of accessed sim time, so
+    /// this gauge plateaus under sustained load).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries dropped by idle expiry so far (monotonic).
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Gauge pair for [`RuleStateStats`] summing.
+    pub fn state_stats(&self) -> RuleStateStats {
+        RuleStateStats {
+            sessions: self.map.len() as u64,
+            expired: self.expired,
+        }
+    }
+
+    /// Reclaims stale entries at most once per `timeout / 4`. Pure
+    /// reclamation: [`SessionMap::get_mut`] already treats stale entries
+    /// as absent, so sweep scheduling cannot affect rule output.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        if now.saturating_since(self.last_sweep) < self.timeout / 4 {
+            return;
+        }
+        self.last_sweep = now;
+        let timeout = self.timeout;
+        let before = self.map.len();
+        self.map
+            .retain(|_, (_, touched)| now.saturating_since(*touched) < timeout);
+        self.expired += (before - self.map.len()) as u64;
+    }
+}
+
 /// A detection rule.
+///
+/// # Implementing `interests` (the dispatch contract)
+///
+/// The engine compiles the ruleset into an event-class-indexed dispatch
+/// table: [`Rule::on_event`] is only invoked for events whose class is
+/// in the rule's declared [`RuleInterest`]. Implementors must uphold:
+///
+/// * **Soundness** — every event class the rule can react to (emit an
+///   alert for, or mutate state on) must be in the interest set. A
+///   class left out is never delivered; under-declaring silently
+///   disables part of the rule.
+/// * **Stability** — the set must not change after the rule is
+///   installed: it is read once at install time. Rules whose triggers
+///   are dynamic must return [`RuleInterest::all`].
+/// * **Indifference** — the rule must not *depend* on seeing events
+///   outside its interest set (e.g. for timekeeping or state expiry).
+///   The default implementation returns [`RuleInterest::all`], so a
+///   custom rule that ignores this method keeps full-scan semantics and
+///   simply forgoes the dispatch speedup.
+///
+/// Rules holding per-session state should keep it in a [`SessionMap`]
+/// (and report it via [`Rule::state_stats`]) so it expires with the
+/// trail-store idle timeout instead of growing across sessions forever.
 pub trait Rule {
     /// Stable rule identifier (kebab-case).
     fn id(&self) -> &str;
@@ -47,6 +313,342 @@ pub trait Rule {
     /// (Table 1's "Stateful?" column).
     fn is_stateful(&self) -> bool;
 
-    /// Feeds one event; returns any alerts raised.
-    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>) -> Vec<Alert>;
+    /// The event classes this rule subscribes to (see the trait-level
+    /// contract). Defaults to every event, which is always sound.
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::all()
+    }
+
+    /// Feeds one event; alerts are pushed into `sink`.
+    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>);
+
+    /// Sets the idle timeout for the rule's session-keyed state. The
+    /// engine calls this at install with the trail-store timeout so
+    /// rule state and trails expire together. Stateless rules ignore it.
+    fn set_state_timeout(&mut self, _timeout: SimDuration) {}
+
+    /// Live/expired counts of the rule's session-keyed state, for the
+    /// leak-plateau gauges. Stateless rules report zero.
+    fn state_stats(&self) -> RuleStateStats {
+        RuleStateStats::default()
+    }
+}
+
+/// Test/tooling convenience: runs one event through a rule, collecting
+/// the alerts it emits into a fresh `Vec`.
+pub fn collect_alerts(rule: &mut dyn Rule, ev: &Event, ctx: &RuleCtx<'_>) -> Vec<Alert> {
+    let mut out = Vec::new();
+    rule.on_event(ev, ctx, &mut AlertSink::new(&mut out));
+    out
+}
+
+/// The ruleset compiled for dispatch: rules in install order plus a
+/// per-[`EventClass`] index of the rules subscribed to that class.
+///
+/// Dispatch offers an event only to its class's subscribers, in install
+/// order — the same relative order a full scan would reach them in —
+/// and rules never mutate state on classes outside their interest set,
+/// so compiled dispatch and the full-scan reference
+/// (`full_scan = true`, every event to every rule) produce **byte-
+/// identical** alert streams. `scripts/ci.sh` proves it on benign plus
+/// all four attack scenarios (`tests/rule_dispatch_equivalence.rs`).
+pub struct CompiledRuleset {
+    rules: Vec<Box<dyn Rule>>,
+    /// `class as usize` → indices into `rules`, install order.
+    by_class: Vec<Vec<u32>>,
+    /// Exact per-rule `on_event` invocation counts (same indexing as
+    /// `rules`). Dispatch makes these nearly free, so they are exact
+    /// counters, not samples.
+    evals: Vec<u64>,
+    full_scan: bool,
+    state_timeout: SimDuration,
+}
+
+impl CompiledRuleset {
+    /// Compiles a ruleset. With `full_scan` every event is offered to
+    /// every rule — the reference mode equivalence tests and benchmarks
+    /// compare dispatch against.
+    pub fn new(rules: Vec<Box<dyn Rule>>, full_scan: bool) -> CompiledRuleset {
+        let mut compiled = CompiledRuleset {
+            rules: Vec::new(),
+            by_class: vec![Vec::new(); EventClass::COUNT],
+            evals: Vec::new(),
+            full_scan,
+            state_timeout: DEFAULT_STATE_TIMEOUT,
+        };
+        for rule in rules {
+            compiled.push(rule);
+        }
+        compiled
+    }
+
+    /// Installs one rule: indexes its interest set and applies the
+    /// state timeout.
+    pub fn push(&mut self, mut rule: Box<dyn Rule>) {
+        rule.set_state_timeout(self.state_timeout);
+        let idx = self.rules.len() as u32;
+        let interest = rule.interests();
+        for class in EventClass::ALL {
+            if interest.contains(class) {
+                self.by_class[class as usize].push(idx);
+            }
+        }
+        self.rules.push(rule);
+        self.evals.push(0);
+    }
+
+    /// Sets the idle timeout for every installed (and future) rule's
+    /// session state.
+    pub fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.state_timeout = timeout;
+        for rule in &mut self.rules {
+            rule.set_state_timeout(timeout);
+        }
+    }
+
+    /// Offers one event to its subscribed rules (or to every rule in
+    /// full-scan mode), in install order.
+    pub fn dispatch(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
+        if self.full_scan {
+            for (i, rule) in self.rules.iter_mut().enumerate() {
+                self.evals[i] += 1;
+                rule.on_event(ev, ctx, sink);
+            }
+            return;
+        }
+        let class = ev.class() as usize;
+        for k in 0..self.by_class[class].len() {
+            let i = self.by_class[class][k] as usize;
+            self.evals[i] += 1;
+            self.rules[i].on_event(ev, ctx, sink);
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether this instance runs the full-scan reference path.
+    pub fn is_full_scan(&self) -> bool {
+        self.full_scan
+    }
+
+    /// Read access to the installed rules, install order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.rules.iter().map(|r| r.as_ref())
+    }
+
+    /// Exact per-rule `on_event` invocation counts, install order.
+    pub fn rule_evals(&self) -> Vec<RuleEval> {
+        self.rules
+            .iter()
+            .zip(&self.evals)
+            .map(|(rule, evals)| RuleEval {
+                rule: rule.id().to_string(),
+                evals: *evals,
+            })
+            .collect()
+    }
+
+    /// Summed session-state gauges across all rules.
+    pub fn state_stats(&self) -> RuleStateStats {
+        self.rules
+            .iter()
+            .fold(RuleStateStats::default(), |acc, r| acc + r.state_stats())
+    }
+}
+
+impl std::fmt::Debug for CompiledRuleset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledRuleset")
+            .field("rules", &self.rules.len())
+            .field("full_scan", &self.full_scan)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::Severity;
+    use crate::event::{EventKind, FlowKey};
+    use crate::trail::{TrailStore, TrailStoreConfig};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn event_class_cast_matches_all_ordering() {
+        // The dispatch table indexes by `class as usize`; `ALL` must
+        // enumerate the variants in declaration (discriminant) order.
+        for (i, c) in EventClass::ALL.into_iter().enumerate() {
+            assert_eq!(c as usize, i, "EventClass::ALL out of order at {c:?}");
+        }
+        assert_eq!(EventClass::ALL.len(), EventClass::COUNT);
+    }
+
+    #[test]
+    fn interest_bitset_and_all() {
+        let i = RuleInterest::of(&[EventClass::SipMalformed, EventClass::AcctMismatch]);
+        assert!(i.contains(EventClass::SipMalformed));
+        assert!(i.contains(EventClass::AcctMismatch));
+        assert!(!i.contains(EventClass::RtpFlowActive));
+        assert!(!i.is_all());
+        assert!(RuleInterest::all().contains(EventClass::RtpFlowActive));
+        assert!(RuleInterest::all().is_all());
+        assert!(!RuleInterest::none().contains(EventClass::SipMalformed));
+    }
+
+    #[test]
+    fn session_map_expires_on_access_and_counts() {
+        let mut m: SessionMap<u32> = SessionMap::new();
+        m.set_timeout(SimDuration::from_secs(2));
+        let k = SessionKey::new("c1");
+        m.insert(k.clone(), 7, SimTime::from_millis(0));
+        // Fresh access refreshes the idle clock.
+        assert_eq!(
+            m.get_mut(&k, SimTime::from_millis(1_500)).copied(),
+            Some(7)
+        );
+        // 1.5s + 1.9s idle < timeout from the refresh: still there.
+        assert_eq!(
+            m.get_mut(&k, SimTime::from_millis(3_400)).copied(),
+            Some(7)
+        );
+        // Now cross the timeout from the last touch: gone, counted.
+        assert!(m.get_mut(&k, SimTime::from_millis(5_500)).is_none());
+        assert_eq!(m.expired(), 1);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn session_map_sweep_reclaims_untouched_entries() {
+        let mut m: SessionMap<()> = SessionMap::new();
+        m.set_timeout(SimDuration::from_secs(2));
+        for i in 0..10 {
+            m.insert(SessionKey::new(format!("s{i}")), (), SimTime::from_millis(i));
+        }
+        assert_eq!(m.len(), 10);
+        // An access far in the future sweeps everything stale even
+        // though none of the stale keys is touched directly.
+        m.insert(SessionKey::new("fresh"), (), SimTime::from_secs(60));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.expired(), 10);
+    }
+
+    struct CountingRule {
+        id: String,
+        interest: RuleInterest,
+        seen: u64,
+    }
+
+    impl Rule for CountingRule {
+        fn id(&self) -> &str {
+            &self.id
+        }
+        fn description(&self) -> &str {
+            "counts deliveries"
+        }
+        fn is_cross_protocol(&self) -> bool {
+            false
+        }
+        fn is_stateful(&self) -> bool {
+            false
+        }
+        fn interests(&self) -> RuleInterest {
+            self.interest
+        }
+        fn on_event(&mut self, _ev: &Event, _ctx: &RuleCtx<'_>, _sink: &mut AlertSink<'_>) {
+            self.seen += 1;
+        }
+    }
+
+    fn malformed(t: u64) -> Event {
+        Event {
+            time: SimTime::from_millis(t),
+            session: Some(SessionKey::new("c1")),
+            kind: EventKind::SipMalformed {
+                violations: vec!["x".into()],
+                src: Ipv4Addr::new(10, 0, 0, 9),
+            },
+        }
+    }
+
+    fn rtp_active(t: u64) -> Event {
+        Event {
+            time: SimTime::from_millis(t),
+            session: Some(SessionKey::new("c1")),
+            kind: EventKind::RtpFlowActive {
+                flow: FlowKey {
+                    src: Ipv4Addr::new(10, 0, 0, 3),
+                    dst: Ipv4Addr::new(10, 0, 0, 2),
+                    dst_port: 8000,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn dispatch_skips_uninterested_rules_and_counts_exactly() {
+        let narrow = CountingRule {
+            id: "narrow".into(),
+            interest: RuleInterest::of(&[EventClass::SipMalformed]),
+            seen: 0,
+        };
+        let wide = CountingRule {
+            id: "wide".into(),
+            interest: RuleInterest::all(),
+            seen: 0,
+        };
+        let mut compiled = CompiledRuleset::new(vec![Box::new(narrow), Box::new(wide)], false);
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::ZERO,
+            trails: &store,
+        };
+        let mut out = Vec::new();
+        let mut sink = AlertSink::new(&mut out);
+        compiled.dispatch(&malformed(1), &ctx, &mut sink);
+        compiled.dispatch(&rtp_active(2), &ctx, &mut sink);
+        compiled.dispatch(&rtp_active(3), &ctx, &mut sink);
+        let evals = compiled.rule_evals();
+        assert_eq!(evals[0].rule, "narrow");
+        assert_eq!(evals[0].evals, 1); // only the SipMalformed event
+        assert_eq!(evals[1].rule, "wide");
+        assert_eq!(evals[1].evals, 3); // the all-events escape hatch
+    }
+
+    #[test]
+    fn full_scan_offers_everything_to_everyone() {
+        let narrow = CountingRule {
+            id: "narrow".into(),
+            interest: RuleInterest::of(&[EventClass::SipMalformed]),
+            seen: 0,
+        };
+        let mut compiled = CompiledRuleset::new(vec![Box::new(narrow)], true);
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let ctx = RuleCtx {
+            now: SimTime::ZERO,
+            trails: &store,
+        };
+        let mut out = Vec::new();
+        let mut sink = AlertSink::new(&mut out);
+        compiled.dispatch(&rtp_active(1), &ctx, &mut sink);
+        assert_eq!(compiled.rule_evals()[0].evals, 1);
+    }
+
+    #[test]
+    fn sink_collects_in_emission_order() {
+        let mut out = Vec::new();
+        let mut sink = AlertSink::new(&mut out);
+        sink.push(Alert::new("a", Severity::Info, SimTime::ZERO, None, "1"));
+        sink.push(Alert::new("b", Severity::Info, SimTime::ZERO, None, "2"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(out[0].rule, "a");
+        assert_eq!(out[1].rule, "b");
+    }
 }

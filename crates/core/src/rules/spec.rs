@@ -29,8 +29,7 @@
 use crate::alert::{Alert, Severity};
 use crate::event::{Event, EventClass};
 use crate::rules::combo::{CombinationRule, SequenceRule};
-use crate::rules::{Rule, RuleCtx};
-use crate::trail::SessionKey;
+use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
 use scidive_netsim::time::SimDuration;
 use std::collections::HashSet;
 use std::fmt;
@@ -59,7 +58,7 @@ struct AnyOfRule {
     id: String,
     classes: Vec<EventClass>,
     severity: Severity,
-    fired: HashSet<SessionKey>,
+    fired: SessionMap<()>,
     global_fired: bool,
 }
 
@@ -80,30 +79,43 @@ impl Rule for AnyOfRule {
         false
     }
 
-    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>) -> Vec<Alert> {
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&self.classes)
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
         if !self.classes.contains(&ev.class()) {
-            return Vec::new();
+            return;
         }
         match &ev.session {
             Some(session) => {
-                if !self.fired.insert(session.clone()) {
-                    return Vec::new();
+                if self.fired.get_mut(session, ev.time).is_some() {
+                    return;
                 }
+                self.fired.insert(session.clone(), (), ev.time);
             }
             None => {
                 if self.global_fired {
-                    return Vec::new();
+                    return;
                 }
                 self.global_fired = true;
             }
         }
-        vec![Alert::new(
+        sink.push(Alert::new(
             self.id.clone(),
             self.severity,
             ev.time,
             ev.session.clone(),
             format!("operator rule matched event {}", ev.class().name()),
-        )]
+        ));
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.fired.set_timeout(timeout);
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        self.fired.state_stats()
     }
 }
 
@@ -308,7 +320,7 @@ fn build_rule(
             id: header.id,
             classes,
             severity: header.severity,
-            fired: HashSet::new(),
+            fired: SessionMap::new(),
             global_fired: false,
         }),
         other => {
@@ -324,7 +336,8 @@ fn build_rule(
 mod tests {
     use super::*;
     use crate::event::{EventKind, FlowKey};
-    use crate::trail::{TrailStore, TrailStoreConfig};
+    use crate::rules::collect_alerts;
+    use crate::trail::{SessionKey, TrailStore, TrailStoreConfig};
     use scidive_netsim::time::SimTime;
     use std::net::Ipv4Addr;
 
@@ -381,8 +394,8 @@ rule demo-any {
                 gap: SimDuration::from_millis(1),
             },
         };
-        assert!(rules[0].on_event(&torn, &ctx).is_empty());
-        let alerts = rules[0].on_event(&orphan, &ctx);
+        assert!(collect_alerts(rules[0].as_mut(), &torn, &ctx).is_empty());
+        let alerts = collect_alerts(rules[0].as_mut(), &orphan, &ctx);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].rule, "demo-seq");
         assert_eq!(alerts[0].severity, Severity::Critical);
@@ -408,8 +421,23 @@ rule demo-any {
                 delta: 7000,
             },
         };
-        assert_eq!(rules[2].on_event(&ev, &ctx).len(), 1);
-        assert!(rules[2].on_event(&ev, &ctx).is_empty());
+        assert_eq!(collect_alerts(rules[2].as_mut(), &ev, &ctx).len(), 1);
+        assert!(collect_alerts(rules[2].as_mut(), &ev, &ctx).is_empty());
+    }
+
+    #[test]
+    fn parsed_rules_declare_interests_from_trigger_classes() {
+        let rules = parse_ruleset(SPEC).unwrap();
+        // sequence CallTornDown, OrphanRtpAfterBye
+        assert!(rules[0].interests().contains(EventClass::CallTornDown));
+        assert!(!rules[0].interests().contains(EventClass::SipMalformed));
+        // all-of SipMalformed, AcctMismatch
+        assert!(rules[1].interests().contains(EventClass::AcctMismatch));
+        assert!(!rules[1].interests().contains(EventClass::CallTornDown));
+        // any-of RtpSeqViolation, MediaPortGarbage
+        assert!(rules[2].interests().contains(EventClass::RtpSeqViolation));
+        assert!(rules[2].interests().contains(EventClass::MediaPortGarbage));
+        assert!(!rules[2].interests().is_all());
     }
 
     fn expect_err(input: &str) -> SpecError {

@@ -65,8 +65,8 @@ use crate::distill::{DistillStats, Distiller};
 use crate::engine::{DistilledFootprint, PipelineStats, Scidive, ScidiveConfig};
 use crate::event::IdentityPlane;
 use crate::observe::{
-    DecisionTrace, DispatchCounters, EngineObservation, Histogram, ObservedHistograms,
-    PipelineObservation, SeverityCounts, StateGauges, TraceEntry, TraceStage,
+    merge_rule_evals, DecisionTrace, DispatchCounters, EngineObservation, Histogram,
+    ObservedHistograms, PipelineObservation, SeverityCounts, StateGauges, TraceEntry, TraceStage,
 };
 use crate::routing::SessionRouter;
 use crossbeam_channel::{bounded, Sender, TrySendError};
@@ -122,10 +122,12 @@ struct ShardTelemetry {
     media_index: AtomicU64,
     interner: AtomicU64,
     synthetic_keys: AtomicU64,
+    rule_state: AtomicU64,
     expired_trails: AtomicU64,
     media_expired: AtomicU64,
     synthetic_expired: AtomicU64,
     interner_expired: AtomicU64,
+    rule_state_expired: AtomicU64,
     /// Batches currently queued *or being processed* by this shard: the
     /// dispatcher increments on send, the worker decrements only after
     /// it has fully processed a batch (so `0` means the shard is truly
@@ -159,12 +161,15 @@ impl ShardTelemetry {
         self.media_index.store(g.media_index, Ordering::Relaxed);
         self.interner.store(g.interner, Ordering::Relaxed);
         self.synthetic_keys.store(g.synthetic_keys, Ordering::Relaxed);
+        self.rule_state.store(g.rule_state, Ordering::Relaxed);
         self.expired_trails.store(g.expired_trails, Ordering::Relaxed);
         self.media_expired.store(g.media_expired, Ordering::Relaxed);
         self.synthetic_expired
             .store(g.synthetic_expired, Ordering::Relaxed);
         self.interner_expired
             .store(g.interner_expired, Ordering::Relaxed);
+        self.rule_state_expired
+            .store(g.rule_state_expired, Ordering::Relaxed);
     }
 
     fn stats(&self) -> PipelineStats {
@@ -191,10 +196,12 @@ impl ShardTelemetry {
             media_index: self.media_index.load(Ordering::Relaxed),
             interner: self.interner.load(Ordering::Relaxed),
             synthetic_keys: self.synthetic_keys.load(Ordering::Relaxed),
+            rule_state: self.rule_state.load(Ordering::Relaxed),
             expired_trails: self.expired_trails.load(Ordering::Relaxed),
             media_expired: self.media_expired.load(Ordering::Relaxed),
             synthetic_expired: self.synthetic_expired.load(Ordering::Relaxed),
             interner_expired: self.interner_expired.load(Ordering::Relaxed),
+            rule_state_expired: self.rule_state_expired.load(Ordering::Relaxed),
             router_media_index: 0,
             router_interner: 0,
             router_synthetic_keys: 0,
@@ -626,6 +633,9 @@ impl ShardedScidive {
                 batch_linger_ms: self.batch_linger_ms.clone(),
                 ..ObservedHistograms::default()
             },
+            // Per-rule eval counters live in the workers and are
+            // collected at join, like worker histograms.
+            rule_evals: Vec::new(),
             trace: self.trace.clone().into_vec(),
         }
     }
@@ -670,6 +680,7 @@ impl ShardedScidive {
             dispatch: dispatch_counters,
             gauges: router_gauges,
             hist: base_hist,
+            rule_evals: Vec::new(),
             trace: route_trace,
         };
         for (shard, worker) in workers.into_iter().enumerate() {
@@ -687,6 +698,7 @@ impl ShardedScidive {
                 .hist
                 .detection_delay_ms
                 .merge(&engine.detection_delay_ms);
+            merge_rule_evals(&mut observation.rule_evals, &engine.rule_evals);
             for mut entry in engine.trace {
                 entry.shard = shard;
                 observation.trace.push(entry);

@@ -7,9 +7,11 @@ use proptest::prelude::*;
 use scidive_core::alert::{Alert, Severity};
 use scidive_core::distill::{Distiller, DistillerConfig};
 use scidive_core::engine::{Scidive, ScidiveConfig};
+use scidive_core::event::{Event, EventClass, EventKind, FlowKey};
 use scidive_core::footprint::{Footprint, FootprintBody, PacketMeta};
 use scidive_core::metrics::{DetectionReport, InjectedAttack};
 use scidive_core::routing::SessionRouter;
+use scidive_core::rules::{AlertSink, CompiledRuleset, Rule, RuleCtx, RuleInterest};
 use scidive_core::shard::ShardedScidive;
 use scidive_core::trail::{SessionKey, TrailStore, TrailStoreConfig};
 use scidive_netsim::packet::IpPacket;
@@ -384,5 +386,140 @@ proptest! {
             prop_assert_eq!(report.dispatch.dropped, 0);
             prop_assert_eq!(report.dispatch.frames, frames.len() as u64);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled rule dispatch: a rule subscribed to a random subset of event
+// classes sees exactly the events of those classes, in stream order.
+// ---------------------------------------------------------------------------
+
+/// The event-class pool the dispatch property draws from.
+const DISPATCH_CLASSES: [EventClass; 6] = [
+    EventClass::CallEstablished,
+    EventClass::CallTornDown,
+    EventClass::RtpSeqViolation,
+    EventClass::SipMalformed,
+    EventClass::MediaPortGarbage,
+    EventClass::RtpUnknownSource,
+];
+
+/// A synthetic event of the pool class `which`, stamped with `step` so
+/// each event in a stream is distinguishable.
+fn synthetic_event(which: u8, step: usize) -> Event {
+    let flow = FlowKey {
+        src: Ipv4Addr::new(10, 0, 0, 3),
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 8000,
+    };
+    let kind = match which % 6 {
+        0 => EventKind::CallEstablished {
+            caller: "a@lab".to_string(),
+            callee: "b@lab".to_string(),
+        },
+        1 => EventKind::CallTornDown {
+            by_aor: "a@lab".to_string(),
+            by_media_ip: None,
+        },
+        2 => EventKind::RtpSeqViolation { flow, delta: 7000 },
+        3 => EventKind::SipMalformed {
+            violations: vec!["missing Via".to_string()],
+            src: Ipv4Addr::new(10, 0, 0, 9),
+        },
+        4 => EventKind::MediaPortGarbage {
+            sink: (Ipv4Addr::new(10, 0, 0, 2), 8000),
+            reason: "short".to_string(),
+        },
+        _ => EventKind::RtpUnknownSource { flow },
+    };
+    Event {
+        time: SimTime::from_millis(step as u64),
+        session: Some(SessionKey::new(format!("s{}", step % 3))),
+        kind,
+    }
+}
+
+/// Records every event offered to it; `classes` empty means "all"
+/// (the [`RuleInterest::all`] escape hatch).
+struct RecorderRule {
+    classes: Vec<EventClass>,
+    seen: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, EventClass)>>>,
+}
+
+impl Rule for RecorderRule {
+    fn id(&self) -> &str {
+        "recorder"
+    }
+
+    fn description(&self) -> &str {
+        "records offered events"
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        false
+    }
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    fn interests(&self) -> RuleInterest {
+        if self.classes.is_empty() {
+            RuleInterest::all()
+        } else {
+            RuleInterest::of(&self.classes)
+        }
+    }
+
+    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, _sink: &mut AlertSink<'_>) {
+        self.seen.borrow_mut().push((ev.time, ev.class()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled dispatch table offers a rule exactly the events of
+    /// its subscribed classes, in stream order — and a rule with the
+    /// "all" escape hatch sees the entire stream.
+    #[test]
+    fn compiled_dispatch_offers_exactly_the_subscribed_classes(
+        stream in proptest::collection::vec(0u8..6, 1..80),
+        mask in any::<u8>(),
+    ) {
+        let subscribed: Vec<EventClass> = DISPATCH_CLASSES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rule = RecorderRule {
+            classes: subscribed.clone(),
+            seen: seen.clone(),
+        };
+        let mut ruleset = CompiledRuleset::new(vec![Box::new(rule)], false);
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let mut scratch = Vec::new();
+        for (step, which) in stream.iter().enumerate() {
+            let ev = synthetic_event(*which, step);
+            let ctx = RuleCtx { now: ev.time, trails: &store };
+            ruleset.dispatch(&ev, &ctx, &mut AlertSink::new(&mut scratch));
+        }
+        let expected: Vec<(SimTime, EventClass)> = stream
+            .iter()
+            .enumerate()
+            .map(|(step, which)| {
+                let ev = synthetic_event(*which, step);
+                (ev.time, ev.class())
+            })
+            .filter(|(_, class)| subscribed.is_empty() || subscribed.contains(class))
+            .collect();
+        prop_assert_eq!(seen.borrow().clone(), expected);
+        // The exact eval counter agrees with what the rule observed.
+        prop_assert_eq!(
+            ruleset.rule_evals()[0].evals as usize,
+            seen.borrow().len()
+        );
     }
 }

@@ -11,7 +11,13 @@
 # gates run last: the leak-plateau test proves the session-index
 # lifecycle keeps state bounded, and exp_observe_overhead fails the run
 # if observation at default settings costs more than 5% of pipeline
-# throughput (artifact: results/observability_overhead.txt).
+# throughput (artifact: results/observability_overhead.txt). The rule
+# dispatch gates close out the run: the differential suite
+# (tests/rule_dispatch_equivalence.rs) proves the compiled event-class
+# dispatch table is byte-identical to the full-scan reference on benign
+# and attack traffic, and the rule_matching bench fails the run unless
+# compiled dispatch beats the full scan by at least 5x at 128 padding
+# rules (artifacts: BENCH_rules.json, results/rule_dispatch.txt).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,5 +45,11 @@ cargo test -q --test chaos state_gauges_plateau_across_idle_expiry
 
 echo "== observability overhead gate (<= 5%) =="
 cargo run --release -q -p scidive-bench --bin exp_observe_overhead -- --gate 5
+
+echo "== rule dispatch equivalence (compiled vs full scan) =="
+cargo test -q --test rule_dispatch_equivalence
+
+echo "== rule dispatch regression gate (>= 5x at 128 rules) =="
+cargo bench -q -p scidive-bench --bench rule_matching -- --gate 5
 
 echo "CI green."

@@ -94,6 +94,7 @@ fn state_gauges_plateau_across_idle_expiry() {
     let first = ids.gauges();
     assert!(first.trails > 0 && first.media_index > 0 && first.interner > 0);
     assert!(first.synthetic_keys > 0);
+    assert!(first.rule_state > 0, "rules hold per-session state");
 
     // Cross the idle timeout several times over, then repeat the same
     // shape of traffic twice more.
@@ -127,11 +128,18 @@ fn state_gauges_plateau_across_idle_expiry() {
         first.synthetic_keys,
         later.synthetic_keys
     );
+    assert!(
+        later.rule_state <= first.rule_state,
+        "rule session state grew: {} -> {}",
+        first.rule_state,
+        later.rule_state
+    );
     // And the lifecycle counters prove expiry actually ran.
     assert!(later.expired_trails > 0);
     assert!(later.media_expired > 0);
     assert!(later.synthetic_expired > 0);
     assert!(later.interner_expired > 0);
+    assert!(later.rule_state_expired > 0, "rule state never expired");
 }
 
 #[test]

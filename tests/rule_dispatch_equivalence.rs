@@ -1,0 +1,224 @@
+//! Differential tests for the compiled rule dispatch table: replay the
+//! same capture through a full-scan reference engine (every rule sees
+//! every event) and through the compiled event-class dispatch, single
+//! and sharded, and require **byte-identical** alert streams.
+//!
+//! The compiled table may only change *which rules are invoked per
+//! event* — never what any rule observes of its subscribed classes — so
+//! rule state, and therefore alerts, must match exactly. The eval
+//! counters prove the table actually skips work: the compiled engine's
+//! total `on_event` invocations must come in strictly below the
+//! full-scan reference on any capture with a mixed event stream.
+
+use scidive::prelude::*;
+
+fn config_for(ep: &Endpoints, full_scan: bool) -> ScidiveConfig {
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    config.full_scan_rules = full_scan;
+    config
+}
+
+/// Builds the Fig-4 testbed with one scripted call, taps the hub, and
+/// optionally injects an attacker node.
+fn capture_scenario(
+    seed: u64,
+    hangup: Option<SimDuration>,
+    attacker: Option<Box<dyn Node>>,
+) -> (Vec<CapturedFrame>, Endpoints) {
+    let mut tb = TestbedBuilder::new(seed)
+        .standard_call(SimDuration::from_millis(500), hangup)
+        .build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    if let Some(node) = attacker {
+        tb.add_node("attacker", ep.attacker_ip, LinkParams::lan(), node);
+    }
+    tb.run_for(SimDuration::from_secs(5));
+    let frames = tap.borrow().clone();
+    (frames, ep)
+}
+
+/// Replays `frames` through the full-scan reference and the compiled
+/// dispatch (single engine and sharded at 1/2/4), asserting identical
+/// alert streams everywhere. Returns the reference alerts for scenario
+/// assertions.
+fn assert_dispatch_equivalence(frames: &[CapturedFrame], ep: &Endpoints) -> Vec<Alert> {
+    let mut reference = Scidive::new(config_for(ep, true));
+    for f in frames {
+        reference.on_frame(f.time, &f.packet);
+    }
+
+    let mut compiled = Scidive::new(config_for(ep, false));
+    for f in frames {
+        compiled.on_frame(f.time, &f.packet);
+    }
+    assert_eq!(
+        compiled.alerts(),
+        reference.alerts(),
+        "compiled dispatch diverged from the full-scan reference"
+    );
+    assert_eq!(compiled.stats(), reference.stats());
+
+    // The dispatch table must actually skip uninterested rules: same
+    // events, strictly fewer rule invocations (every capture produces a
+    // mix of event classes and no built-in rule subscribes to all).
+    let full_evals: u64 = reference
+        .engine_observation()
+        .rule_evals
+        .iter()
+        .map(|e| e.evals)
+        .sum();
+    let compiled_evals: u64 = compiled
+        .engine_observation()
+        .rule_evals
+        .iter()
+        .map(|e| e.evals)
+        .sum();
+    if reference.stats().events > 0 {
+        assert!(
+            compiled_evals < full_evals,
+            "compiled dispatch did not reduce rule invocations: {compiled_evals} vs {full_evals}"
+        );
+    }
+
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedScidive::new(config_for(ep, false), shards, 64);
+        for f in frames {
+            sharded.submit(f.time, &f.packet);
+        }
+        let report = sharded.finish();
+        assert_eq!(
+            report.alerts,
+            reference.alerts(),
+            "sharded compiled dispatch diverged at {shards} shards"
+        );
+        assert_eq!(report.stats, reference.stats(), "counters diverged at {shards} shards");
+        // The merged observation carries the exact per-rule counters,
+        // summed across shards — same totals as the single compiled run.
+        let merged: u64 = report.observation.rule_evals.iter().map(|e| e.evals).sum();
+        assert_eq!(
+            merged, compiled_evals,
+            "per-rule eval counters don't merge across {shards} shards"
+        );
+    }
+    reference.alerts().to_vec()
+}
+
+#[test]
+fn benign_call_matches_full_scan_and_stays_silent() {
+    let (frames, ep) = capture_scenario(701, Some(SimDuration::from_secs(3)), None);
+    assert!(frames.len() > 100, "capture too small: {}", frames.len());
+    let alerts = assert_dispatch_equivalence(&frames, &ep);
+    assert!(alerts.is_empty(), "benign capture alarmed: {alerts:?}");
+}
+
+#[test]
+fn bye_attack_matches_full_scan() {
+    let (frames, ep) = capture_scenario(
+        702,
+        None,
+        Some(Box::new(ByeAttacker::new(ByeAttackConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let alerts = assert_dispatch_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "bye-attack"),
+        "cross-protocol BYE detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn call_hijack_matches_full_scan() {
+    let (frames, ep) = capture_scenario(
+        703,
+        None,
+        Some(Box::new(Hijacker::new(HijackConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let alerts = assert_dispatch_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "call-hijack"),
+        "hijack detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn fake_im_matches_full_scan() {
+    let (frames, ep) = capture_scenario(
+        704,
+        Some(SimDuration::from_secs(2)),
+        Some(Box::new(FakeImAttacker::new(FakeImConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_millis(2_500),
+        )))),
+    );
+    let alerts = assert_dispatch_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "fake-im"),
+        "fake IM detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn rtp_flood_matches_full_scan() {
+    let (frames, ep) = capture_scenario(
+        705,
+        None,
+        Some(Box::new(RtpFlooder::new(RtpFloodConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let alerts = assert_dispatch_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "rtp-attack"),
+        "RTP flood detection missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn operator_spec_rules_ride_the_dispatch_table() {
+    // Spec-compiled rules derive their interests from their trigger
+    // classes; installing them must not perturb equivalence.
+    const SPEC: &str = "rule op-teardown severity critical window 2s {\n\
+                        \tsequence CallTornDown, OrphanRtpAfterBye\n\
+                        }\n";
+    let (frames, ep) = capture_scenario(
+        706,
+        None,
+        Some(Box::new(ByeAttacker::new(ByeAttackConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    );
+    let mut reference = Scidive::new(config_for(&ep, true));
+    reference.add_rules_from_spec(SPEC).unwrap();
+    let mut compiled = Scidive::new(config_for(&ep, false));
+    compiled.add_rules_from_spec(SPEC).unwrap();
+    for f in &frames {
+        reference.on_frame(f.time, &f.packet);
+        compiled.on_frame(f.time, &f.packet);
+    }
+    assert_eq!(compiled.alerts(), reference.alerts());
+    assert!(
+        reference.alerts().iter().any(|a| a.rule == "op-teardown"),
+        "operator rule never fired: {:?}",
+        reference.alerts()
+    );
+}
