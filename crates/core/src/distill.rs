@@ -5,15 +5,18 @@
 //! Footprints. The Distiller is responsible for doing IP fragmentation,
 //! reassembly, decoding protocols, and finally generating the
 //! corresponding Footprints."
+//!
+//! The Distiller itself only handles transport: fragment reassembly,
+//! ICMP/non-UDP bodies, and UDP header validation. Application-payload
+//! classification is delegated to the [`crate::proto::ProtocolSet`] it
+//! was built with, so registering a new protocol module never touches
+//! this file.
 
-use crate::footprint::{AcctFootprint, Footprint, FootprintBody, PacketMeta};
+use crate::footprint::{CorruptReason, Footprint, FootprintBody, PacketMeta};
+use crate::proto::ProtocolSet;
 use scidive_netsim::frag::Reassembler;
 use scidive_netsim::packet::{IpPacket, IpProto};
 use scidive_netsim::time::{SimDuration, SimTime};
-use scidive_rtp::packet::{looks_like_rtp, RtpPacket};
-use scidive_rtp::rtcp::{looks_like_rtcp, RtcpPacket};
-use scidive_sip::msg::SipMessage;
-use scidive_sip::parse::looks_like_sip;
 use serde::{Deserialize, Serialize};
 
 /// Distiller configuration.
@@ -78,16 +81,25 @@ pub struct DistillStats {
 pub struct Distiller {
     config: DistillerConfig,
     reassembler: Reassembler,
+    protocols: ProtocolSet,
     stats: DistillStats,
 }
 
 impl Distiller {
-    /// Creates a distiller.
+    /// Creates a distiller classifying through the default protocol
+    /// registry.
     pub fn new(config: DistillerConfig) -> Distiller {
+        Distiller::with_protocols(config, ProtocolSet::default())
+    }
+
+    /// Creates a distiller classifying through the given protocol
+    /// registry.
+    pub fn with_protocols(config: DistillerConfig, protocols: ProtocolSet) -> Distiller {
         let reassembler = Reassembler::new(config.reassembly_timeout);
         Distiller {
             config,
             reassembler,
+            protocols,
             stats: DistillStats::default(),
         }
     }
@@ -148,7 +160,9 @@ impl Distiller {
                 self.stats.corrupt_udp += 1;
                 return Footprint {
                     meta,
-                    body: FootprintBody::UdpCorrupt { reason: e.to_string() },
+                    body: FootprintBody::UdpCorrupt {
+                        reason: CorruptReason::from(&e),
+                    },
                 };
             }
         };
@@ -158,56 +172,16 @@ impl Distiller {
         Footprint { meta, body }
     }
 
-    /// Port-primed, content-confirmed classification. `payload` is the
-    /// shared datagram buffer, so SIP parsing can slice it zero-copy.
+    /// Application-payload classification, dispatched to the protocol
+    /// registry: each module is asked in priority order, first answer
+    /// wins. `payload` is the shared datagram buffer, so modules can
+    /// slice it zero-copy.
     fn classify(&mut self, payload: &bytes::Bytes, meta: PacketMeta) -> FootprintBody {
-        let on_sip_port = self.config.sip_ports.contains(&meta.dst_port)
-            || self.config.sip_ports.contains(&meta.src_port);
-        let on_acct_port = meta.dst_port == self.config.acct_port;
-
-        if on_acct_port {
-            if let Some(acct) = std::str::from_utf8(payload)
-                .ok()
-                .and_then(|s| s.parse::<AcctFootprint>().ok())
-            {
-                return FootprintBody::Acct(acct);
-            }
-            return FootprintBody::UdpOther { payload_len: payload.len() };
+        let body = self.protocols.classify(payload, &meta, &self.config);
+        if matches!(body, FootprintBody::SipMalformed { .. }) {
+            self.stats.malformed_sip += 1;
         }
-        if on_sip_port {
-            match SipMessage::parse_bytes(payload.clone()) {
-                Ok(msg) => return FootprintBody::Sip(Box::new(msg)),
-                Err(e) => {
-                    self.stats.malformed_sip += 1;
-                    return FootprintBody::SipMalformed {
-                        reason: e.to_string(),
-                        prefix: payload.iter().take(32).copied().collect(),
-                    };
-                }
-            }
-        }
-        // Off-port SIP (attackers do not respect port conventions).
-        if looks_like_sip(payload) {
-            if let Ok(msg) = SipMessage::parse_bytes(payload.clone()) {
-                return FootprintBody::Sip(Box::new(msg));
-            }
-        }
-        // RTCP before RTP: RTCP packet types collide with RTP's
-        // marker+payload-type byte, so check the stricter signature first.
-        if looks_like_rtcp(payload) {
-            if let Ok(rtcp) = RtcpPacket::decode(payload) {
-                return FootprintBody::Rtcp(rtcp);
-            }
-        }
-        if looks_like_rtp(payload) {
-            if let Ok(rtp) = RtpPacket::decode_shared(payload) {
-                return FootprintBody::Rtp {
-                    header: rtp.header,
-                    payload_len: rtp.payload.len(),
-                };
-            }
-        }
-        FootprintBody::UdpOther { payload_len: payload.len() }
+        body
     }
 }
 
@@ -216,6 +190,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use scidive_netsim::frag::fragment;
+    use scidive_rtp::rtcp::RtcpPacket;
     use scidive_rtp::source::MediaSource;
     use std::net::Ipv4Addr;
 

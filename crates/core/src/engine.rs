@@ -9,6 +9,7 @@ use crate::observe::{
     DispatchCounters, EngineObservation, EngineObserver, ObserveConfig, ObservedHistograms,
     PipelineObservation, StateGauges,
 };
+use crate::proto::ProtocolSet;
 use crate::rules::{builtin_ruleset, AlertSink, CompiledRuleset, Rule, RuleCtx, RuleToggles};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
@@ -38,6 +39,11 @@ pub struct ScidiveConfig {
     /// instead of the compiled event-class dispatch table. The reference
     /// mode for equivalence testing; slower, never needed in production.
     pub full_scan_rules: bool,
+    /// The protocol-module registry every pipeline stage dispatches
+    /// through (classification, attribution, event generation). Built
+    /// via [`crate::proto::ProtocolSetBuilder`]; the default covers
+    /// SIP / RTP / RTCP / accounting plus the fallback.
+    pub protocols: ProtocolSet,
 }
 
 impl Default for ScidiveConfig {
@@ -50,6 +56,7 @@ impl Default for ScidiveConfig {
             observe: ObserveConfig::default(),
             event_log_cap: 100_000,
             full_scan_rules: false,
+            protocols: ProtocolSet::default(),
         }
     }
 }
@@ -134,9 +141,9 @@ impl Scidive {
         let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
         rules.set_state_timeout(config.trails.idle_timeout);
         Scidive {
-            distiller: Distiller::new(config.distiller),
-            trails: TrailStore::new(config.trails),
-            events: EventGenerator::new(config.events),
+            distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
+            trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
+            events: EventGenerator::with_protocols(config.events, &config.protocols),
             rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),
@@ -154,9 +161,9 @@ impl Scidive {
         let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
         rules.set_state_timeout(config.trails.idle_timeout);
         Scidive {
-            distiller: Distiller::new(config.distiller),
-            trails: TrailStore::new(config.trails),
-            events: EventGenerator::data_plane(config.events),
+            distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
+            trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
+            events: EventGenerator::data_plane_with_protocols(config.events, &config.protocols),
             rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),

@@ -4,7 +4,13 @@
 //! information units called Footprints. A Footprint is a protocol
 //! dependent information unit, which, for example, could be composed of
 //! a SIP message or an RTP packet."
+//!
+//! Built-in protocols get their own [`FootprintBody`] variants; protocol
+//! modules registered from outside the core crate carry their decoded
+//! payload through [`FootprintBody::Ext`] / [`ExtBody`], which erases
+//! the module's concrete type behind [`ExtData`].
 
+use scidive_netsim::packet::PacketError;
 use scidive_netsim::time::SimTime;
 use scidive_rtp::packet::RtpHeader;
 use scidive_rtp::rtcp::RtcpPacket;
@@ -13,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Where and when a packet was observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -49,22 +56,113 @@ pub struct AcctFootprint {
 impl FromStr for AcctFootprint {
     type Err = ();
 
+    /// Parses the five-token accounting line with a single iterator
+    /// walk — no intermediate `Vec<&str>` — so the acct decode path
+    /// stays allocation-free until a line actually matches.
     fn from_str(s: &str) -> Result<AcctFootprint, ()> {
-        let parts: Vec<&str> = s.split_whitespace().collect();
-        if parts.len() != 5 || parts[0] != "ACCT" {
+        let mut parts = s.split_whitespace();
+        if parts.next() != Some("ACCT") {
             return Err(());
         }
-        let start = match parts[1] {
-            "START" => true,
-            "STOP" => false,
+        let start = match parts.next() {
+            Some("START") => true,
+            Some("STOP") => false,
             _ => return Err(()),
         };
+        let caller = parts.next().ok_or(())?;
+        let callee = parts.next().ok_or(())?;
+        let call_id = parts.next().ok_or(())?;
+        if parts.next().is_some() {
+            return Err(());
+        }
         Ok(AcctFootprint {
             start,
-            caller: parts[2].to_string(),
-            callee: parts[3].to_string(),
-            call_id: parts[4].to_string(),
+            caller: caller.to_string(),
+            callee: callee.to_string(),
+            call_id: call_id.to_string(),
         })
+    }
+}
+
+/// Why a UDP datagram failed to decode, as a copyable tag instead of a
+/// formatted `String`: a corrupt-packet flood must not pressure the
+/// allocator (one footprint per frame, zero heap per reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptReason {
+    /// The packet is an unreassembled IP fragment.
+    Fragmented,
+    /// The transport protocol is not the one the decoder expected.
+    WrongProtocol,
+    /// The payload is shorter than its headers claim.
+    Truncated,
+    /// The UDP length field disagrees with the payload size.
+    BadLength,
+    /// The UDP checksum does not verify.
+    BadChecksum,
+}
+
+impl CorruptReason {
+    /// The reason as a static display string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CorruptReason::Fragmented => "unreassembled fragment",
+            CorruptReason::WrongProtocol => "wrong transport protocol",
+            CorruptReason::Truncated => "truncated datagram",
+            CorruptReason::BadLength => "udp length mismatch",
+            CorruptReason::BadChecksum => "udp checksum mismatch",
+        }
+    }
+}
+
+impl From<&PacketError> for CorruptReason {
+    fn from(e: &PacketError) -> CorruptReason {
+        match e {
+            PacketError::Fragmented => CorruptReason::Fragmented,
+            PacketError::NotUdp(_) | PacketError::NotIcmp(_) => CorruptReason::WrongProtocol,
+            PacketError::Truncated { .. } => CorruptReason::Truncated,
+            PacketError::BadLength { .. } => CorruptReason::BadLength,
+            PacketError::BadChecksum { .. } => CorruptReason::BadChecksum,
+        }
+    }
+}
+
+impl fmt::Display for CorruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The decoded payload a protocol module attaches to an extension
+/// footprint. Implemented by the module's own PDU type; the pipeline
+/// treats it as an opaque, comparable, printable blob.
+pub trait ExtData: fmt::Debug + Send + Sync + 'static {
+    /// Downcast hook so the owning module can recover its concrete type
+    /// in `attribute`/`generate`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Equality against another extension payload (used by
+    /// `FootprintBody: PartialEq`). Implementations should downcast and
+    /// compare, returning `false` on a type mismatch.
+    fn eq_ext(&self, other: &dyn ExtData) -> bool;
+
+    /// A short display label, e.g. `"MGCP DLCX call-7"`.
+    fn label(&self) -> String;
+}
+
+/// An extension protocol's footprint payload: the registering module's
+/// static name plus its type-erased decoded PDU. Cloning bumps an `Arc`
+/// refcount — extension footprints stay cheap on the trail path.
+#[derive(Debug, Clone)]
+pub struct ExtBody {
+    /// The owning protocol module's `name()`.
+    pub proto: &'static str,
+    /// The module's decoded payload.
+    pub data: Arc<dyn ExtData>,
+}
+
+impl PartialEq for ExtBody {
+    fn eq(&self, other: &ExtBody) -> bool {
+        self.proto == other.proto && self.data.eq_ext(other.data.as_ref())
     }
 }
 
@@ -103,9 +201,11 @@ pub enum FootprintBody {
     },
     /// A UDP datagram with a broken header or checksum.
     UdpCorrupt {
-        /// The decode error.
-        reason: String,
+        /// The decode error class.
+        reason: CorruptReason,
     },
+    /// A registered extension protocol's decoded payload.
+    Ext(ExtBody),
 }
 
 /// A protocol-dependent information unit produced by the Distiller.
@@ -136,6 +236,7 @@ impl Footprint {
             FootprintBody::Icmp { icmp_type } => format!("ICMP type={icmp_type}"),
             FootprintBody::UdpOther { payload_len } => format!("UDP {payload_len}B"),
             FootprintBody::UdpCorrupt { reason } => format!("UDP corrupt ({reason})"),
+            FootprintBody::Ext(e) => e.data.label(),
         }
     }
 
@@ -148,6 +249,7 @@ impl Footprint {
             FootprintBody::Acct(_) => TrailProto::Acct,
             FootprintBody::Icmp { .. } | FootprintBody::UdpOther { .. }
             | FootprintBody::UdpCorrupt { .. } => TrailProto::Other,
+            FootprintBody::Ext(e) => TrailProto::Ext(e.proto),
         }
     }
 }
@@ -169,7 +271,7 @@ impl fmt::Display for Footprint {
 
 /// The protocol a trail groups (paper: "multiple trails for each
 /// session, one for each protocol").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TrailProto {
     /// Call management protocol (SIP).
     Sip,
@@ -181,6 +283,43 @@ pub enum TrailProto {
     Acct,
     /// Anything else (ICMP, unknown UDP).
     Other,
+    /// A registered extension protocol, tagged by its module name.
+    Ext(&'static str),
+}
+
+impl Serialize for TrailProto {
+    fn to_value(&self) -> serde::Value {
+        let name = match self {
+            TrailProto::Sip => "Sip",
+            TrailProto::Rtp => "Rtp",
+            TrailProto::Rtcp => "Rtcp",
+            TrailProto::Acct => "Acct",
+            TrailProto::Other => "Other",
+            TrailProto::Ext(name) => name,
+        };
+        serde::Value::Str(name.to_string())
+    }
+}
+
+impl Deserialize for TrailProto {
+    fn from_value(v: &serde::Value) -> Result<TrailProto, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "Sip" => Ok(TrailProto::Sip),
+                "Rtp" => Ok(TrailProto::Rtp),
+                "Rtcp" => Ok(TrailProto::Rtcp),
+                "Acct" => Ok(TrailProto::Acct),
+                "Other" => Ok(TrailProto::Other),
+                // Extension protocols carry `&'static str` names owned
+                // by their module; they cannot be reconstituted from a
+                // serialized stream.
+                other => Err(serde::DeError::msg(format!(
+                    "unknown trail protocol {other:?}"
+                ))),
+            },
+            other => Err(serde::DeError::expected("string", other)),
+        }
+    }
 }
 
 impl fmt::Display for TrailProto {
@@ -191,6 +330,7 @@ impl fmt::Display for TrailProto {
             TrailProto::Rtcp => "RTCP",
             TrailProto::Acct => "ACCT",
             TrailProto::Other => "OTHER",
+            TrailProto::Ext(name) => name,
         };
         f.write_str(s)
     }
@@ -209,6 +349,8 @@ mod tests {
         let stop: AcctFootprint = "ACCT STOP a b c".parse().unwrap();
         assert!(!stop.start);
         assert!("ACCT PAUSE a b c".parse::<AcctFootprint>().is_err());
+        assert!("ACCT START a b".parse::<AcctFootprint>().is_err());
+        assert!("ACCT START a b c extra".parse::<AcctFootprint>().is_err());
         assert!("nonsense".parse::<AcctFootprint>().is_err());
     }
 
@@ -234,5 +376,34 @@ mod tests {
     fn trail_proto_display() {
         assert_eq!(TrailProto::Sip.to_string(), "SIP");
         assert_eq!(TrailProto::Acct.to_string(), "ACCT");
+        assert_eq!(TrailProto::Ext("mgcp").to_string(), "mgcp");
+    }
+
+    #[test]
+    fn trail_proto_serde_roundtrip() {
+        for proto in [
+            TrailProto::Sip,
+            TrailProto::Rtp,
+            TrailProto::Rtcp,
+            TrailProto::Acct,
+            TrailProto::Other,
+        ] {
+            let v = proto.to_value();
+            assert_eq!(TrailProto::from_value(&v).unwrap(), proto);
+        }
+        // Extension names serialize but cannot round-trip to a
+        // `&'static str`; deserialization reports them as unknown.
+        let v = TrailProto::Ext("mgcp").to_value();
+        assert!(TrailProto::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn corrupt_reason_is_static_and_displays() {
+        let r = CorruptReason::from(&PacketError::BadChecksum {
+            expected: 1,
+            actual: 2,
+        });
+        assert_eq!(r, CorruptReason::BadChecksum);
+        assert_eq!(r.to_string(), "udp checksum mismatch");
     }
 }

@@ -19,6 +19,11 @@
 //!   machines (dialog lifecycle, registration churn, sequence history,
 //!   identity→address history) and condenses footprints into
 //!   [`event::Event`]s.
+//! * [`proto`] is the protocol-module layer: classification,
+//!   attribution and event generation are all dispatched through a
+//!   [`proto::ProtocolSet`] of pluggable per-protocol modules, so a new
+//!   protocol (see [`proto::mgcp`]) plugs in without touching the
+//!   pipeline stages.
 //! * [`rules`] matches events — single-event rules, ordered
 //!   [`rules::SequenceRule`]s and unordered [`rules::CombinationRule`]s —
 //!   raising [`alert::Alert`]s. The built-in ruleset covers all seven
@@ -65,6 +70,7 @@ pub mod footprint;
 pub mod metrics;
 pub mod observe;
 pub mod online;
+pub mod proto;
 pub mod routing;
 pub mod rules;
 pub mod shard;
@@ -84,8 +90,13 @@ pub mod prelude {
     pub use crate::event::{
         Event, EventClass, EventGenConfig, EventGenerator, EventKind, FlowKey, IdentityPlane,
     };
-    pub use crate::footprint::{Footprint, FootprintBody, PacketMeta, TrailProto};
+    pub use crate::footprint::{
+        CorruptReason, ExtBody, ExtData, Footprint, FootprintBody, PacketMeta, TrailProto,
+    };
     pub use crate::metrics::{DetectionReport, InjectedAttack, RateAccumulator};
+    pub use crate::proto::{
+        AttributeCtx, GenCtx, ProtocolModule, ProtocolSet, ProtocolSetBuilder,
+    };
     pub use crate::observe::{
         merge_rule_evals, DecisionTrace, DispatchCounters, EngineObservation, Histogram,
         ObserveConfig, ObservedHistograms, PipelineObservation, RuleEval, SeverityCounts,

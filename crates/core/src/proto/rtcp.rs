@@ -1,0 +1,83 @@
+//! The RTCP protocol module: control-packet classification, companion
+//! -port session attribution, and recording RTCP BYEs into the session
+//! plane for the RTP module's continuing-media check.
+
+use crate::distill::DistillerConfig;
+use crate::footprint::{Footprint, FootprintBody, PacketMeta};
+use crate::proto::{AttributeCtx, GenCtx, ProtocolModule};
+use crate::trail::{SessionKey, TrailKey};
+use bytes::Bytes;
+use scidive_rtp::rtcp::{looks_like_rtcp, RtcpPacket};
+
+/// The RTCP module. Owns [`FootprintBody::Rtcp`]; attribution maps the
+/// control flow onto its RTP sink's session via the companion-port
+/// convention (RTCP rides on the RTP port + 1).
+#[derive(Debug, Default)]
+pub struct RtcpModule;
+
+impl RtcpModule {
+    /// Creates the module.
+    pub fn new() -> RtcpModule {
+        RtcpModule
+    }
+}
+
+impl ProtocolModule for RtcpModule {
+    fn name(&self) -> &'static str {
+        "rtcp"
+    }
+
+    fn classify_priority(&self) -> u16 {
+        // Before RTP: RTCP packet types collide with RTP's
+        // marker+payload-type byte, so check the stricter signature
+        // first.
+        30
+    }
+
+    fn fresh(&self) -> Box<dyn ProtocolModule> {
+        Box::new(RtcpModule)
+    }
+
+    fn owns(&self, body: &FootprintBody) -> bool {
+        matches!(body, FootprintBody::Rtcp(_))
+    }
+
+    fn classify(
+        &self,
+        payload: &Bytes,
+        _meta: &PacketMeta,
+        _cfg: &DistillerConfig,
+    ) -> Option<FootprintBody> {
+        if looks_like_rtcp(payload) {
+            if let Ok(rtcp) = RtcpPacket::decode(payload) {
+                return Some(FootprintBody::Rtcp(rtcp));
+            }
+        }
+        None
+    }
+
+    fn attribute(&self, fp: &Footprint, ctx: &mut AttributeCtx<'_>) -> SessionKey {
+        // RTCP rides on port+1; map it onto the RTP sink's port.
+        match ctx.resolve_media(fp.meta.dst, fp.meta.dst_port.saturating_sub(1)) {
+            Some(session) => session,
+            // The fallback flow key keeps the observed port.
+            None => ctx.synthetic("flow", fp.meta.dst, Some(fp.meta.dst_port)),
+        }
+    }
+
+    fn generate(&mut self, fp: &Footprint, key: &TrailKey, ctx: &mut GenCtx<'_>) {
+        let FootprintBody::Rtcp(rtcp) = &fp.body else {
+            return;
+        };
+        if !ctx.config.cross_protocol {
+            return;
+        }
+        if let RtcpPacket::Bye { ssrcs } = rtcp {
+            let time = fp.meta.time;
+            let state = ctx.plane.sessions.entry(key.session.clone()).or_default();
+            for ssrc in ssrcs {
+                state.rtcp_byes.entry(*ssrc).or_insert((time, false));
+            }
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The SIP protocol module: port-primed (and off-port sniffed)
+//! classification, Call-ID attribution, SDP media learning, per-session
+//! dialog-state event generation, and the identity plane.
+
+use crate::distill::DistillerConfig;
+use crate::event::{Event, EventGenConfig, EventKind, FlowKey};
+use crate::footprint::{Footprint, FootprintBody, PacketMeta};
+use crate::proto::{parse_sdp, AttributeCtx, GenCtx, ProtocolModule, Redirect, Teardown};
+use crate::trail::{SessionKey, TrailKey};
+use bytes::Bytes;
+use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_sip::auth::DigestCredentials;
+use scidive_sip::header::HeaderName;
+use scidive_sip::method::Method;
+use scidive_sip::msg::SipMessage;
+use scidive_sip::parse::looks_like_sip;
+use scidive_sip::sdp::SessionDescription;
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// The SIP module. Owns [`FootprintBody::Sip`] and
+/// [`FootprintBody::SipMalformed`]; generates the dialog-machine events
+/// (establishment, teardown, redirect, malformed) that the
+/// cross-protocol media checks in the RTP module arm themselves on.
+#[derive(Debug, Default)]
+pub struct SipModule;
+
+impl SipModule {
+    /// Creates the module.
+    pub fn new() -> SipModule {
+        SipModule
+    }
+}
+
+impl ProtocolModule for SipModule {
+    fn name(&self) -> &'static str {
+        "sip"
+    }
+
+    fn classify_priority(&self) -> u16 {
+        20
+    }
+
+    fn fresh(&self) -> Box<dyn ProtocolModule> {
+        Box::new(SipModule)
+    }
+
+    fn owns(&self, body: &FootprintBody) -> bool {
+        matches!(
+            body,
+            FootprintBody::Sip(_) | FootprintBody::SipMalformed { .. }
+        )
+    }
+
+    fn classify(
+        &self,
+        payload: &Bytes,
+        meta: &PacketMeta,
+        cfg: &DistillerConfig,
+    ) -> Option<FootprintBody> {
+        let on_sip_port = cfg.sip_ports.contains(&meta.dst_port)
+            || cfg.sip_ports.contains(&meta.src_port);
+        if on_sip_port {
+            // A signalling port consumes its traffic: what does not
+            // parse is a malformed-SIP footprint, not someone else's.
+            return Some(match SipMessage::parse_bytes(payload.clone()) {
+                Ok(msg) => FootprintBody::Sip(Box::new(msg)),
+                Err(e) => FootprintBody::SipMalformed {
+                    reason: e.to_string(),
+                    prefix: payload.iter().take(32).copied().collect(),
+                },
+            });
+        }
+        // Off-port SIP (attackers do not respect port conventions).
+        if looks_like_sip(payload) {
+            if let Ok(msg) = SipMessage::parse_bytes(payload.clone()) {
+                return Some(FootprintBody::Sip(Box::new(msg)));
+            }
+        }
+        None
+    }
+
+    fn attribute(&self, fp: &Footprint, ctx: &mut AttributeCtx<'_>) -> SessionKey {
+        match &fp.body {
+            FootprintBody::Sip(msg) => match msg.call_id() {
+                Ok(id) => ctx.intern(id),
+                Err(_) => ctx.synthetic("sip-anon", fp.meta.src, None),
+            },
+            _ => ctx.synthetic("sip-malformed", fp.meta.src, None),
+        }
+    }
+
+    fn learn(
+        &self,
+        fp: &Footprint,
+        session: &SessionKey,
+        ctx: &mut AttributeCtx<'_>,
+    ) -> bool {
+        let FootprintBody::Sip(msg) = &fp.body else {
+            return false;
+        };
+        if msg.content_type() != Some("application/sdp") {
+            return false;
+        }
+        let Ok(text) = std::str::from_utf8(&msg.body) else {
+            return false;
+        };
+        let Ok(sdp) = text.parse::<SessionDescription>() else {
+            return false;
+        };
+        if let Some((addr, port)) = sdp.rtp_target() {
+            ctx.learn_target(addr, port, session);
+            return true;
+        }
+        false
+    }
+
+    fn generate(&mut self, fp: &Footprint, key: &TrailKey, ctx: &mut GenCtx<'_>) {
+        match &fp.body {
+            FootprintBody::Sip(msg) => on_sip(fp, key, msg, ctx),
+            FootprintBody::SipMalformed { reason, .. } => {
+                ctx.emit(
+                    fp.meta.time,
+                    Some(key.session.clone()),
+                    EventKind::SipMalformed {
+                        violations: vec![reason.clone()],
+                        src: fp.meta.src,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn on_sip(fp: &Footprint, key: &TrailKey, msg: &SipMessage, ctx: &mut GenCtx<'_>) {
+    let time = fp.meta.time;
+    let session = key.session.clone();
+
+    // Format discipline (billing-fraud condition 1).
+    let violations = msg.format_violations();
+    if !violations.is_empty() {
+        ctx.emit(
+            time,
+            Some(session.clone()),
+            EventKind::SipMalformed {
+                violations,
+                src: fp.meta.src,
+            },
+        );
+    }
+
+    match msg.method() {
+        Some(Method::Invite) => on_sip_invite(fp, &session, msg, ctx),
+        Some(Method::Bye) => on_sip_bye(fp, &session, msg, ctx),
+        // REGISTER and MESSAGE are pure identity-plane traffic,
+        // handled by [`IdentityPlane::on_footprint`].
+        Some(_) => {}
+        None => on_sip_response(fp, &session, msg, ctx),
+    }
+}
+
+fn on_sip_invite(
+    fp: &Footprint,
+    session: &SessionKey,
+    msg: &SipMessage,
+    ctx: &mut GenCtx<'_>,
+) {
+    let time = fp.meta.time;
+    let (Ok(from), Ok(to)) = (msg.from_(), msg.to()) else {
+        return;
+    };
+    let sdp = parse_sdp(msg);
+    let state = ctx.plane.sessions.entry(session.clone()).or_default();
+    if state.caller_aor.is_none() {
+        // New session: the INVITE defines the caller.
+        state.caller_aor = Some(from.uri.aor());
+        state.callee_aor = Some(to.uri.aor());
+        if let Some(target) = sdp.as_ref().and_then(SessionDescription::rtp_target) {
+            state.caller_media = Some(target);
+        }
+        return;
+    }
+    if !state.established {
+        return; // retransmission / proxy copy of the initial INVITE
+    }
+    // Re-INVITE on an established session.
+    let claimed_aor = from.uri.aor();
+    let Some(new_target) = sdp.as_ref().and_then(SessionDescription::rtp_target) else {
+        return;
+    };
+    let claimant_is_callee = Some(&claimed_aor) == state.callee_aor.as_ref();
+    let old_target = if claimant_is_callee {
+        state.callee_media
+    } else {
+        state.caller_media
+    };
+    let Some(old_target) = old_target else {
+        return;
+    };
+    if old_target == new_target {
+        return; // session refresh, nothing moved
+    }
+    let victim_sink = if claimant_is_callee {
+        state.caller_media
+    } else {
+        state.callee_media
+    };
+    // Snapshot the abandoned endpoint's flow SSRCs: genuine movers
+    // stop these; forged re-INVITEs leave them running.
+    let old_ssrcs = victim_sink
+        .map(|(dst, dst_port)| FlowKey {
+            src: old_target.0,
+            dst,
+            dst_port,
+        })
+        .and_then(|flow| ctx.plane.flow_ssrcs.get(&flow).cloned())
+        .unwrap_or_default();
+    let state = ctx.plane.sessions.get_mut(session).expect("present");
+    state.redirected = Some(Redirect {
+        at: time,
+        old_target,
+        old_ssrcs,
+        victim_sink,
+    });
+    state.orphan_redirect_emitted = false;
+    if claimant_is_callee {
+        state.callee_media = Some(new_target);
+    } else {
+        state.caller_media = Some(new_target);
+    }
+    ctx.emit(
+        time,
+        Some(session.clone()),
+        EventKind::CallRedirected {
+            claimed_aor,
+            old_target,
+            new_target,
+        },
+    );
+}
+
+fn on_sip_bye(
+    fp: &Footprint,
+    session: &SessionKey,
+    msg: &SipMessage,
+    ctx: &mut GenCtx<'_>,
+) {
+    let time = fp.meta.time;
+    let Ok(from) = msg.from_() else {
+        return;
+    };
+    let by_aor = from.uri.aor();
+    let Some(state) = ctx.plane.sessions.get_mut(session) else {
+        return;
+    };
+    if state.torn_down.is_some() {
+        return; // proxy copy of the same BYE
+    }
+    let by_media_ip = if Some(&by_aor) == state.callee_aor.as_ref() {
+        state.callee_media.map(|(ip, _)| ip)
+    } else {
+        state.caller_media.map(|(ip, _)| ip)
+    };
+    state.torn_down = Some(Teardown { at: time, by_media_ip });
+    ctx.emit(
+        time,
+        Some(session.clone()),
+        EventKind::CallTornDown { by_aor, by_media_ip },
+    );
+}
+
+fn on_sip_response(
+    fp: &Footprint,
+    session: &SessionKey,
+    msg: &SipMessage,
+    ctx: &mut GenCtx<'_>,
+) {
+    let time = fp.meta.time;
+    let Some(status) = msg.status() else {
+        return;
+    };
+    if !status.is_success() {
+        // 4xx churn feeds the identity plane's flood window, not the
+        // session plane.
+        return;
+    }
+    let Ok(cseq) = msg.cseq() else {
+        return;
+    };
+    if cseq.method != Method::Invite {
+        return;
+    }
+    // 2xx to an INVITE: learn the answering side's media and mark
+    // established.
+    let sdp = parse_sdp(msg);
+    let answerer_is_callee = msg
+        .from_()
+        .map(|f| {
+            let state = ctx.plane.sessions.get(session);
+            state
+                .and_then(|s| s.caller_aor.as_ref().map(|c| *c == f.uri.aor()))
+                .unwrap_or(true)
+        })
+        .unwrap_or(true);
+    let Some(state) = ctx.plane.sessions.get_mut(session) else {
+        return;
+    };
+    if let Some(target) = sdp.as_ref().and_then(SessionDescription::rtp_target) {
+        if answerer_is_callee {
+            if state.callee_media.is_none() || !state.established {
+                state.callee_media = Some(target);
+            }
+        } else if state.caller_media.is_none() || !state.established {
+            state.caller_media = Some(target);
+        }
+    }
+    if !state.established {
+        state.established = true;
+        let caller = state.caller_aor.clone().unwrap_or_default();
+        let callee = state.callee_aor.clone().unwrap_or_default();
+        ctx.emit(
+            time,
+            Some(session.clone()),
+            EventKind::CallEstablished { caller, callee },
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// The identity plane
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct RegWindow {
+    requests: VecDeque<SimTime>,
+    errors: VecDeque<SimTime>,
+    flood_emitted: bool,
+}
+
+#[derive(Debug, Default)]
+struct GuessWindow {
+    responses: VecDeque<(SimTime, String)>,
+    emitted: bool,
+}
+
+/// The wildcard source used for stateless (global) flood tracking.
+const GLOBAL_SRC: Ipv4Addr = Ipv4Addr::UNSPECIFIED;
+
+/// The identity plane: the cross-session detection state keyed by IP
+/// address or user identity rather than by session — registration /
+/// 4xx churn windows (§3.3 flood DoS), digest-response windows (§3.3
+/// password guessing), and the AOR → IP bindings behind the fake-IM
+/// check (§4.2.2).
+///
+/// In the single-engine pipeline it lives inside the
+/// [`crate::proto::EventGenerator`]. The sharded pipeline
+/// ([`crate::shard`]) lifts it into the dispatcher — it is the one
+/// stateful component that must see every SIP frame regardless of
+/// session — and runs the per-shard generators with the plane disabled
+/// ([`crate::proto::EventGenerator::data_plane`]), injecting the
+/// plane's events into the owning shard's stream instead.
+#[derive(Debug)]
+pub struct IdentityPlane {
+    config: EventGenConfig,
+    reg_windows: HashMap<Ipv4Addr, RegWindow>,
+    guess_windows: HashMap<(Ipv4Addr, String), GuessWindow>,
+    /// identity AOR → (ip, last_change).
+    aor_ips: HashMap<String, (Ipv4Addr, SimTime)>,
+    events_emitted: u64,
+}
+
+impl IdentityPlane {
+    /// Creates an empty identity plane.
+    pub fn new(config: EventGenConfig) -> IdentityPlane {
+        IdentityPlane {
+            config,
+            reg_windows: HashMap::new(),
+            guess_windows: HashMap::new(),
+            aor_ips: HashMap::new(),
+            events_emitted: 0,
+        }
+    }
+
+    /// Events produced so far by this plane.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Identities currently bound to an address.
+    pub fn identity_count(&self) -> usize {
+        self.aor_ips.len()
+    }
+
+    /// Processes one footprint; only SIP footprints carry identity-plane
+    /// signal (REGISTER churn, digest credentials, MESSAGE sources, 4xx
+    /// error responses), everything else returns no events.
+    pub fn on_footprint(&mut self, fp: &Footprint) -> Vec<Event> {
+        let mut out = Vec::new();
+        if let FootprintBody::Sip(msg) = &fp.body {
+            self.on_sip(fp, msg, &mut out);
+        }
+        out
+    }
+
+    fn emit(&mut self, out: &mut Vec<Event>, time: SimTime, kind: EventKind) {
+        self.events_emitted += 1;
+        // Identity-plane events are never session-scoped: floods, digest
+        // windows and IM histories are keyed by address or AOR.
+        out.push(Event {
+            time,
+            session: None,
+            kind,
+        });
+    }
+
+    fn on_sip(&mut self, fp: &Footprint, msg: &SipMessage, out: &mut Vec<Event>) {
+        let time = fp.meta.time;
+        // Identity → IP learning from originating (non-relay) legs.
+        let from_relay = self.config.infrastructure_ips.contains(&fp.meta.src);
+        match msg.method() {
+            Some(Method::Register) => {
+                if !from_relay {
+                    if let Ok(from) = msg.from_() {
+                        self.learn_identity(&from.uri.aor(), fp.meta.src, time);
+                    }
+                }
+                self.track_register_request(fp.meta.src, time, out);
+                self.track_auth_response(fp.meta.src, msg, time, out);
+            }
+            Some(Method::Message) => {
+                if !from_relay {
+                    self.on_im(fp, msg, out);
+                }
+            }
+            Some(_) => {}
+            None => {
+                // Registration churn: 4xx responses feed the flood
+                // window keyed by the challenged client (the response's
+                // destination).
+                if msg.status().is_some_and(|s| s.is_client_error()) {
+                    self.track_error_response(fp.meta.dst, time, out);
+                }
+            }
+        }
+    }
+
+    fn on_im(&mut self, fp: &Footprint, msg: &SipMessage, out: &mut Vec<Event>) {
+        let time = fp.meta.time;
+        let Ok(from) = msg.from_() else {
+            return;
+        };
+        let claimed = from.uri.aor();
+        let src = fp.meta.src;
+        if let Ok(call_id) = msg.call_id() {
+            self.emit(
+                out,
+                time,
+                EventKind::ImObserved {
+                    claimed_aor: claimed.clone(),
+                    src_ip: src,
+                    dst_ip: fp.meta.dst,
+                    call_id: call_id.to_string(),
+                },
+            );
+        }
+        if !self.config.stateful {
+            // Stateless approximation: only the last IP, no mobility
+            // allowance — any change alarms.
+            match self.aor_ips.get(&claimed) {
+                Some(&(known, _)) if known != src => {
+                    self.emit(
+                        out,
+                        time,
+                        EventKind::ImSourceMismatch {
+                            claimed_aor: claimed,
+                            src_ip: src,
+                            expected_ip: known,
+                        },
+                    );
+                }
+                _ => {
+                    self.aor_ips.insert(claimed, (src, time));
+                }
+            }
+            return;
+        }
+        match self.aor_ips.get(&claimed) {
+            None => {
+                self.learn_identity(&claimed, src, time);
+            }
+            Some(&(known, _)) if known == src => {
+                self.aor_ips.insert(claimed, (src, time));
+            }
+            Some(&(known, last_change)) => {
+                let elapsed = time.saturating_since(last_change);
+                if elapsed >= self.config.im_mobility_interval {
+                    // Plausible mobility: accept and re-learn.
+                    self.learn_identity(&claimed, src, time);
+                } else {
+                    self.emit(
+                        out,
+                        time,
+                        EventKind::ImSourceMismatch {
+                            claimed_aor: claimed,
+                            src_ip: src,
+                            expected_ip: known,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn learn_identity(&mut self, aor: &str, ip: Ipv4Addr, time: SimTime) {
+        match self.aor_ips.get(aor) {
+            Some(&(known, _)) if known == ip => {
+                self.aor_ips.insert(aor.to_string(), (ip, time));
+            }
+            _ => {
+                self.aor_ips.insert(aor.to_string(), (ip, time));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration flood / password guessing (§3.3)
+    // ------------------------------------------------------------------
+
+    fn flood_key(&self, src: Ipv4Addr) -> Ipv4Addr {
+        if self.config.stateful {
+            src
+        } else {
+            GLOBAL_SRC
+        }
+    }
+
+    fn track_register_request(&mut self, src: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
+        let key = self.flood_key(src);
+        let window = self.config.flood_window;
+        let w = self.reg_windows.entry(key).or_default();
+        w.requests.push_back(time);
+        prune(&mut w.requests, time, window);
+        self.check_flood(key, time, out);
+    }
+
+    fn track_error_response(&mut self, dst: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
+        let key = self.flood_key(dst);
+        let window = self.config.flood_window;
+        let w = self.reg_windows.entry(key).or_default();
+        w.errors.push_back(time);
+        prune(&mut w.errors, time, window);
+        self.check_flood(key, time, out);
+    }
+
+    fn check_flood(&mut self, key: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
+        let threshold = self.config.flood_threshold;
+        let Some(w) = self.reg_windows.get_mut(&key) else {
+            return;
+        };
+        // "Continuous, alternating SIP requests and 4XX error messages":
+        // the alternation count is the lesser of the two.
+        let stateful = self.config.stateful;
+        let count = if stateful {
+            (w.requests.len().min(w.errors.len())) as u32
+        } else {
+            // A stateless matcher can only count 4xx sightings.
+            w.errors.len() as u32
+        };
+        if count >= threshold && !w.flood_emitted {
+            w.flood_emitted = true;
+            self.emit(out, time, EventKind::RegisterFlood { src: key, count });
+        } else if count < threshold / 2 {
+            w.flood_emitted = false;
+        }
+    }
+
+    fn track_auth_response(
+        &mut self,
+        src: Ipv4Addr,
+        msg: &SipMessage,
+        time: SimTime,
+        out: &mut Vec<Event>,
+    ) {
+        let Some(creds) = msg
+            .headers
+            .get(&HeaderName::Authorization)
+            .and_then(|v| DigestCredentials::parse(v).ok())
+        else {
+            return;
+        };
+        let key = if self.config.stateful {
+            (src, creds.username.clone())
+        } else {
+            (GLOBAL_SRC, String::new())
+        };
+        let window = self.config.guess_window;
+        let threshold = self.config.guess_threshold;
+        let w = self.guess_windows.entry(key).or_default();
+        w.responses.push_back((time, creds.response.clone()));
+        while let Some(&(t, _)) = w.responses.front() {
+            if time.saturating_since(t) > window {
+                w.responses.pop_front();
+            } else {
+                break;
+            }
+        }
+        let distinct: std::collections::HashSet<&str> =
+            w.responses.iter().map(|(_, r)| r.as_str()).collect();
+        let distinct_responses = distinct.len() as u32;
+        if distinct_responses >= threshold && !w.emitted {
+            w.emitted = true;
+            let username = creds.username;
+            self.emit(
+                out,
+                time,
+                EventKind::PasswordGuessing {
+                    src,
+                    username,
+                    distinct_responses,
+                },
+            );
+        }
+    }
+}
+
+fn prune(q: &mut VecDeque<SimTime>, now: SimTime, window: SimDuration) {
+    while let Some(&t) = q.front() {
+        if now.saturating_since(t) > window {
+            q.pop_front();
+        } else {
+            break;
+        }
+    }
+}

@@ -40,10 +40,10 @@
 //! check) depend on correlating media that arrives *after* the BYE, so
 //! mappings outlive the dialog and die only of idleness.
 
-use crate::footprint::{Footprint, FootprintBody};
+use crate::footprint::Footprint;
+use crate::proto::{AttributeCtx, ProtocolSet};
 use crate::trail::SessionKey;
 use scidive_netsim::time::{SimDuration, SimTime};
-use scidive_sip::sdp::SessionDescription;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -95,12 +95,14 @@ pub struct MediaIndex {
     /// Interns real session keys (Call-IDs) so repeated footprints of
     /// the same session share one `Arc<str>` instead of re-allocating.
     interner: SessionInterner,
-    /// Memoized synthetic keys, so the steady state of an uncorrelated
-    /// flow stops paying `format!` + allocation per packet.
-    flow_keys: HashMap<(Ipv4Addr, u16), Stamped<SessionKey>>,
-    other_keys: HashMap<Ipv4Addr, Stamped<SessionKey>>,
-    sip_anon_keys: HashMap<Ipv4Addr, Stamped<SessionKey>>,
-    sip_malformed_keys: HashMap<Ipv4Addr, Stamped<SessionKey>>,
+    /// Memoized synthetic keys — `(prefix, addr, port)` → key — so the
+    /// steady state of an uncorrelated flow stops paying `format!` +
+    /// allocation per packet. One cache serves every protocol module's
+    /// fallback prefix (`flow`, `other`, `sip-anon`, `sip-malformed`,
+    /// and whatever extensions invent).
+    synthetic: HashMap<(&'static str, Ipv4Addr, Option<u16>), Stamped<SessionKey>>,
+    /// The protocol registry attribution dispatches through.
+    protocols: ProtocolSet,
     idle_timeout: SimDuration,
     sweep_interval: SimDuration,
     last_sweep: SimTime,
@@ -181,10 +183,16 @@ impl MediaIndex {
     }
 
     /// Creates an index whose entries expire after `idle_timeout`
-    /// without activity. Both consumers of the keying rule (trail
-    /// store, dispatcher) must use the same timeout or their routing
-    /// diverges.
+    /// without activity, attributing through the default protocol
+    /// registry. Both consumers of the keying rule (trail store,
+    /// dispatcher) must use the same timeout or their routing diverges.
     pub fn with_timeout(idle_timeout: SimDuration) -> MediaIndex {
+        MediaIndex::with_protocols(idle_timeout, ProtocolSet::default())
+    }
+
+    /// Creates an index attributing through the given protocol
+    /// registry.
+    pub fn with_protocols(idle_timeout: SimDuration, protocols: ProtocolSet) -> MediaIndex {
         // Sweeps only reclaim memory; correctness comes from the exact
         // staleness check at resolve time. A quarter of the timeout
         // keeps peak memory within ~1.25× of the true live set.
@@ -192,10 +200,8 @@ impl MediaIndex {
         MediaIndex {
             map: HashMap::new(),
             interner: SessionInterner::new(),
-            flow_keys: HashMap::new(),
-            other_keys: HashMap::new(),
-            sip_anon_keys: HashMap::new(),
-            sip_malformed_keys: HashMap::new(),
+            synthetic: HashMap::new(),
+            protocols,
             idle_timeout,
             sweep_interval,
             last_sweep: SimTime::ZERO,
@@ -223,12 +229,9 @@ impl MediaIndex {
         self.interner.len()
     }
 
-    /// Number of memoized synthetic keys across all four caches.
+    /// Number of memoized synthetic keys.
     pub fn synthetic_key_count(&self) -> usize {
-        self.flow_keys.len()
-            + self.other_keys.len()
-            + self.sip_anon_keys.len()
-            + self.sip_malformed_keys.len()
+        self.synthetic.len()
     }
 
     /// Lifecycle counters (expirations so far).
@@ -248,7 +251,12 @@ impl MediaIndex {
     /// Resolves a media sink with the exact lifecycle rule: an entry
     /// idle for `idle_timeout` or longer is dead — removed on the spot
     /// and reported as absent; a live entry is refreshed.
-    fn resolve_fresh(&mut self, addr: Ipv4Addr, port: u16, now: SimTime) -> Option<SessionKey> {
+    pub(crate) fn resolve_fresh(
+        &mut self,
+        addr: Ipv4Addr,
+        port: u16,
+        now: SimTime,
+    ) -> Option<SessionKey> {
         match self.map.entry((addr, port)) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 if now.saturating_since(e.get().last_active) >= self.idle_timeout {
@@ -278,31 +286,23 @@ impl MediaIndex {
         self.map.insert((addr, port + 1), entry);
     }
 
-    /// Learns media sinks from an SDP body carried by a SIP footprint;
-    /// returns `true` if a mapping was added or refreshed.
+    /// Learns correlation state a footprint announces (SDP media sinks,
+    /// gateway-control connections), by dispatching to the protocol
+    /// module owning its body; returns `true` if anything was learned.
     pub fn learn_from(&mut self, fp: &Footprint, session: &SessionKey) -> bool {
-        let FootprintBody::Sip(msg) = &fp.body else {
-            return false;
-        };
-        if msg.content_type() != Some("application/sdp") {
-            return false;
-        }
-        let Ok(text) = std::str::from_utf8(&msg.body) else {
-            return false;
-        };
-        let Ok(sdp) = text.parse::<SessionDescription>() else {
-            return false;
-        };
-        if let Some((addr, port)) = sdp.rtp_target() {
-            self.learn_target(addr, port, session, fp.meta.time);
-            return true;
-        }
-        false
+        let now = fp.meta.time;
+        // Arc refcount bump: lets the module borrow the index mutably
+        // through the context while the registry is iterated.
+        let protocols = self.protocols.clone();
+        protocols
+            .module_for(&fp.body)
+            .learn(fp, session, &mut AttributeCtx { now, index: self })
     }
 
     /// Derives the session a footprint belongs to — the single
     /// canonical keying rule shared by the trail store and the sharded
-    /// dispatcher:
+    /// dispatcher, dispatched to the protocol module owning the
+    /// footprint's body (see [`crate::proto::ProtocolModule::attribute`]):
     ///
     /// * SIP keys by Call-ID (`sip-anon-{src}` when absent);
     /// * unparseable SIP keys by `sip-malformed-{src}`;
@@ -310,7 +310,9 @@ impl MediaIndex {
     /// * RTP/RTCP resolve through this index (RTCP on the companion
     ///   port), falling back to a synthetic `flow-{dst}:{port}` key;
     /// * other UDP/ICMP aimed at a known media sink joins that session,
-    ///   falling back to `other-{dst}`.
+    ///   falling back to `other-{dst}`;
+    /// * bodies of unregistered extension protocols fall back to the
+    ///   module owning `UdpOther`.
     ///
     /// Real and synthetic keys alike are memoized: the first packet of a
     /// session pays one key construction, every later packet gets a
@@ -321,75 +323,40 @@ impl MediaIndex {
     pub fn session_for(&mut self, fp: &Footprint) -> SessionKey {
         let now = fp.meta.time;
         self.maybe_sweep(now);
-        match &fp.body {
-            FootprintBody::Sip(msg) => match msg.call_id() {
-                Ok(id) => self.interner.intern(id, now),
-                Err(_) => {
-                    let src = fp.meta.src;
-                    let e = self
-                        .sip_anon_keys
-                        .entry(src)
-                        .or_insert_with(|| Stamped {
-                            value: SessionKey::new(format!("sip-anon-{src}")),
-                            last_active: now,
-                        });
-                    e.last_active = now;
-                    e.value.clone()
-                }
-            },
-            FootprintBody::SipMalformed { .. } => {
-                let src = fp.meta.src;
-                let e = self
-                    .sip_malformed_keys
-                    .entry(src)
-                    .or_insert_with(|| Stamped {
-                        value: SessionKey::new(format!("sip-malformed-{src}")),
-                        last_active: now,
-                    });
-                e.last_active = now;
-                e.value.clone()
-            }
-            FootprintBody::Acct(acct) => self.interner.intern(&acct.call_id, now),
-            FootprintBody::Rtp { .. } | FootprintBody::Rtcp(_) => {
-                // RTCP rides on port+1; map it onto the RTP sink's port.
-                let port = match &fp.body {
-                    FootprintBody::Rtcp(_) => fp.meta.dst_port.saturating_sub(1),
-                    _ => fp.meta.dst_port,
-                };
-                match self.resolve_fresh(fp.meta.dst, port, now) {
-                    Some(session) => session,
-                    None => {
-                        let (dst, dst_port) = (fp.meta.dst, fp.meta.dst_port);
-                        let e = self.flow_keys.entry((dst, dst_port)).or_insert_with(|| {
-                            Stamped {
-                                value: SessionKey::new(format!("flow-{dst}:{dst_port}")),
-                                last_active: now,
-                            }
-                        });
-                        e.last_active = now;
-                        e.value.clone()
-                    }
-                }
-            }
-            FootprintBody::Icmp { .. }
-            | FootprintBody::UdpOther { .. }
-            | FootprintBody::UdpCorrupt { .. } => {
-                // Garbage aimed at a known media sink belongs to that
-                // session (that is how the RTP attack is correlated).
-                match self.resolve_fresh(fp.meta.dst, fp.meta.dst_port, now) {
-                    Some(session) => session,
-                    None => {
-                        let dst = fp.meta.dst;
-                        let e = self.other_keys.entry(dst).or_insert_with(|| Stamped {
-                            value: SessionKey::new(format!("other-{dst}")),
-                            last_active: now,
-                        });
-                        e.last_active = now;
-                        e.value.clone()
-                    }
-                }
-            }
-        }
+        let protocols = self.protocols.clone();
+        protocols
+            .module_for(&fp.body)
+            .attribute(fp, &mut AttributeCtx { now, index: self })
+    }
+
+    /// Interns a real session identifier, stamping it active at `now`.
+    pub(crate) fn intern_key(&mut self, id: &str, now: SimTime) -> SessionKey {
+        self.interner.intern(id, now)
+    }
+
+    /// The memoized synthetic key for `(prefix, addr, port)`:
+    /// `"{prefix}-{addr}:{port}"`, or `"{prefix}-{addr}"` without a
+    /// port. Construction forces the synthetic flag, so extension
+    /// modules' prefixes route like the built-in ones.
+    pub(crate) fn synthetic_key(
+        &mut self,
+        prefix: &'static str,
+        addr: Ipv4Addr,
+        port: Option<u16>,
+        now: SimTime,
+    ) -> SessionKey {
+        let e = self
+            .synthetic
+            .entry((prefix, addr, port))
+            .or_insert_with(|| Stamped {
+                value: match port {
+                    Some(port) => SessionKey::synthetic(format!("{prefix}-{addr}:{port}")),
+                    None => SessionKey::synthetic(format!("{prefix}-{addr}")),
+                },
+                last_active: now,
+            });
+        e.last_active = now;
+        e.value.clone()
     }
 
     /// Periodic memory reclamation: every `sweep_interval` of capture
@@ -411,12 +378,9 @@ impl MediaIndex {
         self.map.retain(|_, e| alive(e));
         self.stats.media_expired += (before - self.map.len()) as u64;
 
-        let before = self.synthetic_key_count();
-        self.flow_keys.retain(|_, e| alive(e));
-        self.other_keys.retain(|_, e| alive(e));
-        self.sip_anon_keys.retain(|_, e| alive(e));
-        self.sip_malformed_keys.retain(|_, e| alive(e));
-        self.stats.synthetic_expired += (before - self.synthetic_key_count()) as u64;
+        let before = self.synthetic.len();
+        self.synthetic.retain(|_, e| alive(e));
+        self.stats.synthetic_expired += (before - self.synthetic.len()) as u64;
 
         self.stats.interner_expired += self.interner.expire(now, timeout);
     }
@@ -492,9 +456,24 @@ impl SessionRouter {
     ///
     /// Panics if `shards` is zero.
     pub fn with_timeout(shards: usize, idle_timeout: SimDuration) -> SessionRouter {
+        SessionRouter::with_protocols(shards, idle_timeout, ProtocolSet::default())
+    }
+
+    /// Creates a router attributing through the given protocol registry
+    /// — pass the same registry the workers' trail stores use, or the
+    /// two views of the keying rule diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_protocols(
+        shards: usize,
+        idle_timeout: SimDuration,
+        protocols: ProtocolSet,
+    ) -> SessionRouter {
         assert!(shards >= 1, "a sharded pipeline needs at least one shard");
         SessionRouter {
-            index: MediaIndex::with_timeout(idle_timeout),
+            index: MediaIndex::with_protocols(idle_timeout, protocols),
             shards,
         }
     }
@@ -539,8 +518,9 @@ impl SessionRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::footprint::PacketMeta;
+    use crate::footprint::{FootprintBody, PacketMeta};
     use scidive_netsim::time::SimTime;
+    use scidive_sip::sdp::SessionDescription;
     use scidive_rtp::packet::RtpHeader;
     use scidive_sip::header::{CSeq, NameAddr, Via};
     use scidive_sip::method::Method;

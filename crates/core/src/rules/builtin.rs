@@ -151,6 +151,7 @@ fn describe(kind: &EventKind) -> String {
             "billing charges {billed} for call {call_id} initiated by {}",
             observed_caller.as_deref().unwrap_or("<nobody>")
         ),
+        EventKind::Protocol { signal, detail, .. } => format!("{signal}: {detail}"),
         other => format!("{other:?}"),
     }
 }
@@ -176,6 +177,9 @@ pub struct RuleToggles {
     pub sip_format: bool,
     /// RTCP BYE vs. continuing media consistency.
     pub rtcp_bye: bool,
+    /// MGCP gateway teardown evasion (inert unless the MGCP protocol
+    /// module is registered — without it the rule's event never fires).
+    pub mgcp: bool,
 }
 
 impl Default for RuleToggles {
@@ -190,6 +194,7 @@ impl Default for RuleToggles {
             billing_fraud: true,
             sip_format: true,
             rtcp_bye: true,
+            mgcp: true,
         }
     }
 }
@@ -288,6 +293,9 @@ pub fn builtin_ruleset(toggles: &RuleToggles) -> Vec<Box<dyn Rule>> {
             false,
         )));
     }
+    if toggles.mgcp {
+        rules.push(Box::new(crate::proto::mgcp::MgcpTeardownRule::new()));
+    }
     rules
 }
 
@@ -328,6 +336,7 @@ mod tests {
             "password-guess",
             "billing-fraud",
             "sip-format",
+            "mgcp-teardown",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

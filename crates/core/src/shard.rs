@@ -363,8 +363,12 @@ impl ShardedScidive {
         let histograms = config.observe.histograms;
         let trace = DecisionTrace::new(config.observe.trace_depth);
         ShardedScidive {
-            distiller: Distiller::new(config.distiller),
-            router: SessionRouter::with_timeout(shards, config.trails.idle_timeout),
+            distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
+            router: SessionRouter::with_protocols(
+                shards,
+                config.trails.idle_timeout,
+                config.protocols,
+            ),
             identity: IdentityPlane::new(config.events),
             senders,
             workers,

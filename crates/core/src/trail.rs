@@ -48,6 +48,16 @@ impl SessionKey {
         SessionKey::from_arc(Arc::from(id.as_ref()))
     }
 
+    /// Creates a key that is flagged synthetic regardless of its text.
+    /// Protocol modules manufacturing fallback keys outside the
+    /// built-in synthetic prefixes use this so overflow accounting and
+    /// shard routing still recognize the key as unattributed.
+    pub fn synthetic(id: impl AsRef<str>) -> SessionKey {
+        let mut key = SessionKey::new(id);
+        key.synthetic = true;
+        key
+    }
+
     /// Builds a key around an already-shared string (no copy).
     pub fn from_arc(id: Arc<str>) -> SessionKey {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -248,9 +258,18 @@ pub struct TrailStore {
 }
 
 impl TrailStore {
-    /// Creates a store.
+    /// Creates a store with the default protocol registry.
     pub fn new(config: TrailStoreConfig) -> TrailStore {
-        let media_index = MediaIndex::with_timeout(config.idle_timeout);
+        TrailStore::with_protocols(config, crate::proto::ProtocolSet::default())
+    }
+
+    /// Creates a store whose session attribution runs through the given
+    /// protocol registry.
+    pub fn with_protocols(
+        config: TrailStoreConfig,
+        protocols: crate::proto::ProtocolSet,
+    ) -> TrailStore {
+        let media_index = MediaIndex::with_protocols(config.idle_timeout, protocols);
         TrailStore {
             config,
             trails: HashMap::new(),

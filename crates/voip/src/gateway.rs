@@ -1,0 +1,226 @@
+//! Gateway-control (MGCP) scenario generator.
+//!
+//! Synthesizes deterministic captures of a media gateway driven by a
+//! call agent over a toy cut of MGCP (RFC 3435): `CRCX` creates a
+//! connection and announces its RTP sink, `NTFY` reports gateway
+//! events, `DLCX` deletes the connection. The capture format matches
+//! what the `scidive-core` MGCP protocol module decodes, but this crate
+//! deliberately does not depend on core — the wire text is the
+//! contract.
+//!
+//! Two scenarios:
+//!
+//! * [`GatewayScenario::benign`] — connection created, media flows,
+//!   media stops, connection deleted. Nothing anomalous.
+//! * [`GatewayScenario::teardown_evasion`] — the gateway-control twin
+//!   of the paper's §4.2.1 forged-BYE attack: a DLCX tears the
+//!   connection down, yet RTP towards the connection's sink keeps
+//!   flowing inside the monitoring window.
+
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+use scidive_rtp::source::MediaSource;
+use std::net::Ipv4Addr;
+
+/// The gateway-control port (must match the IDS's MGCP module).
+pub const GATEWAY_CONTROL_PORT: u16 = 2727;
+
+/// Addressing and identifiers of a gateway-control capture.
+#[derive(Debug, Clone)]
+pub struct GatewayScenario {
+    /// The call agent driving the gateway.
+    pub call_agent_ip: Ipv4Addr,
+    /// The media gateway being driven.
+    pub gateway_ip: Ipv4Addr,
+    /// The remote peer streaming media at the gateway.
+    pub peer_ip: Ipv4Addr,
+    /// The gateway-side RTP sink the CRCX announces.
+    pub rtp_port: u16,
+    /// The gateway endpoint name used in commands.
+    pub endpoint: String,
+    /// The call identifier joining the commands to a session.
+    pub call_id: String,
+}
+
+impl Default for GatewayScenario {
+    fn default() -> GatewayScenario {
+        GatewayScenario {
+            call_agent_ip: Ipv4Addr::new(10, 0, 0, 20),
+            gateway_ip: Ipv4Addr::new(10, 0, 0, 21),
+            peer_ip: Ipv4Addr::new(10, 0, 0, 22),
+            rtp_port: 9200,
+            endpoint: "aaln/1@gw0".to_string(),
+            call_id: "gw-call-1".to_string(),
+        }
+    }
+}
+
+impl GatewayScenario {
+    /// A scenario with the default lab addressing.
+    pub fn new() -> GatewayScenario {
+        GatewayScenario::default()
+    }
+
+    fn command(&self, verb: &str, txid: u32, rtp_line: bool) -> String {
+        let mut s = format!(
+            "{verb} {txid} {} MGCP 1.0\nC: {}\n",
+            self.endpoint, self.call_id
+        );
+        if rtp_line {
+            s.push_str(&format!("RTP: {}:{}\n", self.gateway_ip, self.rtp_port));
+        }
+        s
+    }
+
+    fn control_frame(&self, t: SimTime, from: Ipv4Addr, text: String) -> (SimTime, IpPacket) {
+        let pkt = IpPacket::udp(
+            from,
+            GATEWAY_CONTROL_PORT,
+            // Commands and notifications both travel on the control
+            // port; the IDS classifies by destination port.
+            if from == self.call_agent_ip {
+                self.gateway_ip
+            } else {
+                self.call_agent_ip
+            },
+            GATEWAY_CONTROL_PORT,
+            text.into_bytes(),
+        );
+        (t, pkt)
+    }
+
+    fn media_frames(
+        &self,
+        src: &mut MediaSource,
+        from_ms: u64,
+        until_ms: u64,
+    ) -> Vec<(SimTime, IpPacket)> {
+        (from_ms..until_ms)
+            .step_by(20)
+            .map(|ms| {
+                let pkt = IpPacket::udp(
+                    self.peer_ip,
+                    6000,
+                    self.gateway_ip,
+                    self.rtp_port,
+                    src.next_packet().encode(),
+                );
+                (SimTime::from_millis(ms), pkt)
+            })
+            .collect()
+    }
+
+    /// A well-behaved gateway call: CRCX at 10 ms, an NTFY report, two
+    /// seconds of 20 ms media towards the announced sink, media stops,
+    /// DLCX at 2.5 s. Strictly no media after the teardown.
+    pub fn benign(&self) -> Vec<(SimTime, IpPacket)> {
+        let mut frames = vec![
+            self.control_frame(
+                SimTime::from_millis(10),
+                self.call_agent_ip,
+                self.command("CRCX", 1001, true),
+            ),
+            self.control_frame(
+                SimTime::from_millis(60),
+                self.gateway_ip,
+                self.command("NTFY", 2001, false),
+            ),
+        ];
+        let mut media = MediaSource::new(0x6077_0001, 4000, 0);
+        frames.extend(self.media_frames(&mut media, 100, 2_100));
+        frames.push(self.control_frame(
+            SimTime::from_millis(2_500),
+            self.call_agent_ip,
+            self.command("DLCX", 1002, false),
+        ));
+        frames.sort_by_key(|(t, _)| *t);
+        frames
+    }
+
+    /// The teardown-evasion attack: identical to [`Self::benign`] until
+    /// the DLCX at 2.5 s — after which the peer keeps streaming to the
+    /// deleted connection's sink for another 100 ms (well inside the
+    /// default 200 ms monitoring window).
+    pub fn teardown_evasion(&self) -> Vec<(SimTime, IpPacket)> {
+        let mut frames = vec![
+            self.control_frame(
+                SimTime::from_millis(10),
+                self.call_agent_ip,
+                self.command("CRCX", 1001, true),
+            ),
+            self.control_frame(
+                SimTime::from_millis(60),
+                self.gateway_ip,
+                self.command("NTFY", 2001, false),
+            ),
+        ];
+        let mut media = MediaSource::new(0x6077_0001, 4000, 0);
+        frames.extend(self.media_frames(&mut media, 100, 2_500));
+        frames.push(self.control_frame(
+            SimTime::from_millis(2_500),
+            self.call_agent_ip,
+            self.command("DLCX", 1002, false),
+        ));
+        // The evasion: media ignores the teardown.
+        frames.extend(self.media_frames(&mut media, 2_520, 2_620));
+        frames.sort_by_key(|(t, _)| *t);
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_capture_is_deterministic_and_ordered() {
+        let a = GatewayScenario::new().benign();
+        let b = GatewayScenario::new().benign();
+        assert_eq!(a.len(), b.len());
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|((ta, pa), (tb, pb))| ta == tb && pa.payload == pb.payload));
+    }
+
+    #[test]
+    fn evasion_streams_media_after_the_dlcx() {
+        let frames = GatewayScenario::new().teardown_evasion();
+        let dlcx_at = frames
+            .iter()
+            .find(|(_, p)| {
+                p.decode_udp()
+                    .ok()
+                    .map(|u| u.payload.starts_with(b"DLCX"))
+                    .unwrap_or(false)
+            })
+            .map(|(t, _)| *t)
+            .expect("DLCX present");
+        let after = frames
+            .iter()
+            .filter(|(t, p)| {
+                *t > dlcx_at
+                    && p.decode_udp()
+                        .ok()
+                        .map(|u| u.dst_port == GatewayScenario::new().rtp_port)
+                        .unwrap_or(false)
+            })
+            .count();
+        assert!(after >= 4, "only {after} media frames after DLCX");
+        // The benign run has none.
+        let benign = GatewayScenario::new().benign();
+        let last_media = benign
+            .iter()
+            .filter(|(_, p)| {
+                p.decode_udp()
+                    .ok()
+                    .map(|u| u.dst_port == GatewayScenario::new().rtp_port)
+                    .unwrap_or(false)
+            })
+            .map(|(t, _)| *t)
+            .max()
+            .expect("media present");
+        assert!(last_media < dlcx_at);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod accounting;
 pub mod events;
+pub mod gateway;
 pub mod proxy;
 pub mod scenario;
 pub mod ua;
@@ -33,6 +34,7 @@ pub mod ua;
 pub mod prelude {
     pub use crate::accounting::{AccountingServer, AcctKind, AcctTxn, CallRecord, ACCT_PORT};
     pub use crate::events::{UaEvent, UaEventKind};
+    pub use crate::gateway::{GatewayScenario, GATEWAY_CONTROL_PORT};
     pub use crate::proxy::{Binding, Proxy, ProxyConfig, ProxyStats};
     pub use crate::scenario::{Endpoints, Testbed, TestbedBuilder};
     pub use crate::ua::{RegState, ScriptStep, UaAction, UaConfig, UserAgent, SIP_PORT};

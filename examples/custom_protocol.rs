@@ -1,0 +1,254 @@
+//! Extending SCIDIVE with a user-defined protocol — entirely from
+//! outside the core crate.
+//!
+//! The paper argues the architecture is "extensible to new protocols";
+//! this example proves it end to end. A toy device-heartbeat protocol
+//! (`BEAT <device> <seq>` on UDP 4790) gets its own [`ProtocolModule`]
+//! — classification, session attribution, and event generation — plus a
+//! detection [`Rule`] for replayed heartbeats, all defined below and
+//! registered through the public [`ProtocolSetBuilder`] / `add_rule`
+//! seams. No core file changes hands.
+//!
+//! ```sh
+//! cargo run --example custom_protocol
+//! ```
+
+use scidive::prelude::*;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The port our toy telemetry protocol lives on.
+const BEAT_PORT: u16 = 4790;
+/// The module/trail tag, and the signal name of the replay event.
+const BEAT_PROTO: &str = "beat";
+const REPLAY_SIGNAL: &str = "beat-replay";
+
+/// A decoded heartbeat: `BEAT <device> <seq>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Heartbeat {
+    device: String,
+    seq: u64,
+}
+
+impl Heartbeat {
+    fn parse(payload: &[u8]) -> Option<Heartbeat> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut parts = text.split_whitespace();
+        if parts.next()? != "BEAT" {
+            return None;
+        }
+        Some(Heartbeat {
+            device: parts.next()?.to_string(),
+            seq: parts.next()?.parse().ok()?,
+        })
+    }
+
+    fn packet(device: &str, seq: u64, src: Ipv4Addr, dst: Ipv4Addr) -> IpPacket {
+        IpPacket::udp(src, 4791, dst, BEAT_PORT, format!("BEAT {device} {seq}"))
+    }
+}
+
+impl ExtData for Heartbeat {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn eq_ext(&self, other: &dyn ExtData) -> bool {
+        other
+            .as_any()
+            .downcast_ref::<Heartbeat>()
+            .is_some_and(|o| o == self)
+    }
+
+    fn label(&self) -> String {
+        format!("BEAT {} #{}", self.device, self.seq)
+    }
+}
+
+/// The heartbeat protocol module. Sequence state lives here, per
+/// engine: `fresh()` hands every event generator its own copy.
+#[derive(Debug, Default)]
+struct BeatModule {
+    last_seq: HashMap<SessionKey, u64>,
+}
+
+impl ProtocolModule for BeatModule {
+    fn name(&self) -> &'static str {
+        BEAT_PROTO
+    }
+
+    fn classify_priority(&self) -> u16 {
+        // Anywhere before the fallback works; a dedicated port means no
+        // contention with the built-ins either way.
+        50
+    }
+
+    fn fresh(&self) -> Box<dyn ProtocolModule> {
+        Box::new(BeatModule::default())
+    }
+
+    fn owns(&self, body: &FootprintBody) -> bool {
+        matches!(body, FootprintBody::Ext(e) if e.proto == BEAT_PROTO)
+    }
+
+    fn classify(
+        &self,
+        payload: &bytes::Bytes,
+        meta: &PacketMeta,
+        _cfg: &DistillerConfig,
+    ) -> Option<FootprintBody> {
+        if meta.dst_port != BEAT_PORT {
+            return None;
+        }
+        let hb = Heartbeat::parse(payload)?;
+        Some(FootprintBody::Ext(ExtBody {
+            proto: BEAT_PROTO,
+            data: Arc::new(hb),
+        }))
+    }
+
+    fn attribute(&self, fp: &Footprint, ctx: &mut AttributeCtx<'_>) -> SessionKey {
+        match hb_of(fp) {
+            Some(hb) => ctx.intern(&format!("beat-{}", hb.device)),
+            None => ctx.synthetic("other", fp.meta.dst, None),
+        }
+    }
+
+    fn generate(&mut self, fp: &Footprint, key: &TrailKey, ctx: &mut GenCtx<'_>) {
+        let Some(hb) = hb_of(fp) else {
+            return;
+        };
+        let last = self.last_seq.entry(key.session.clone()).or_insert(0);
+        if hb.seq > *last {
+            *last = hb.seq;
+            return;
+        }
+        // A sequence number we already saw: a replayed (or spoofed)
+        // heartbeat. Surface it as one of the extension event classes.
+        ctx.emit(
+            fp.meta.time,
+            Some(key.session.clone()),
+            EventKind::Protocol {
+                class: EventClass::Ext2,
+                signal: REPLAY_SIGNAL,
+                detail: format!("{} replayed #{} (last {})", hb.device, hb.seq, last),
+            },
+        );
+    }
+}
+
+fn hb_of(fp: &Footprint) -> Option<&Heartbeat> {
+    let FootprintBody::Ext(e) = &fp.body else {
+        return None;
+    };
+    if e.proto != BEAT_PROTO {
+        return None;
+    }
+    e.data.as_any().downcast_ref::<Heartbeat>()
+}
+
+/// The matching rule: critical alert the first time a device's
+/// heartbeat stream shows a replay.
+#[derive(Debug, Default)]
+struct BeatReplayRule {
+    fired: SessionMap<()>,
+}
+
+impl Rule for BeatReplayRule {
+    fn id(&self) -> &str {
+        "beat-replay"
+    }
+
+    fn description(&self) -> &str {
+        "a device heartbeat was replayed"
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        false
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&[EventClass::Ext2])
+    }
+
+    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
+        let EventKind::Protocol { signal, detail, .. } = &ev.kind else {
+            return;
+        };
+        if *signal != REPLAY_SIGNAL {
+            return;
+        }
+        let Some(session) = &ev.session else {
+            return;
+        };
+        if self.fired.get_mut(session, ctx.now).is_some() {
+            return;
+        }
+        self.fired.insert(session.clone(), (), ctx.now);
+        sink.push(Alert::new(
+            self.id(),
+            Severity::Critical,
+            ev.time,
+            Some(session.clone()),
+            format!("heartbeat replay: {detail}"),
+        ));
+    }
+}
+
+fn engine() -> Scidive {
+    let config = ScidiveConfig {
+        protocols: ProtocolSetBuilder::new()
+            .register(Box::new(BeatModule::default()))
+            .build(),
+        ..ScidiveConfig::default()
+    };
+    let mut ids = Scidive::new(config);
+    ids.add_rule(Box::new(BeatReplayRule::default()));
+    ids
+}
+
+fn main() {
+    let device_ip = Ipv4Addr::new(10, 7, 0, 2);
+    let sink_ip = Ipv4Addr::new(10, 7, 0, 1);
+
+    // A healthy telemetry stream: sequence numbers strictly advance.
+    let mut ids = engine();
+    for seq in 1..=20u64 {
+        let pkt = Heartbeat::packet("sensor-a", seq, device_ip, sink_ip);
+        ids.on_frame(SimTime::from_millis(seq * 100), &pkt);
+    }
+    println!("benign stream:  {} alerts (expected 0)", ids.alerts().len());
+
+    // The same stream with an attacker re-injecting a captured frame.
+    let mut ids = engine();
+    for seq in 1..=20u64 {
+        let pkt = Heartbeat::packet("sensor-a", seq, device_ip, sink_ip);
+        ids.on_frame(SimTime::from_millis(seq * 100), &pkt);
+        if seq == 15 {
+            // Replay of heartbeat #3, captured earlier.
+            let replay = Heartbeat::packet("sensor-a", 3, device_ip, sink_ip);
+            ids.on_frame(SimTime::from_millis(seq * 100 + 50), &replay);
+        }
+    }
+    println!("replay stream:  {} alert(s)", ids.alerts().len());
+    for alert in ids.alerts() {
+        println!("  [{}] {} ({:?}): {}", alert.time, alert.rule, alert.severity, alert.message);
+    }
+
+    // The custom protocol got its own trail type too: the registry maps
+    // extension footprints to `TrailProto::Ext("beat")` with no edits
+    // to the trail store.
+    let stats = ids.stats();
+    println!(
+        "pipeline: {} frames -> {} footprints -> {} events -> {} alerts",
+        stats.frames, stats.footprints, stats.events, stats.alerts
+    );
+    assert!(ids.alerts().iter().any(|a| a.rule == "beat-replay"));
+}

@@ -18,6 +18,13 @@
 # and attack traffic, and the rule_matching bench fails the run unless
 # compiled dispatch beats the full scan by at least 5x at 128 padding
 # rules (artifacts: BENCH_rules.json, results/rule_dispatch.txt).
+# The protocol-module gates (DESIGN SS12) prove the registry seam stays
+# clean: a dedicated clippy pass over scidive-core, a structural check
+# that no module under core/src/proto/ imports a sibling protocol
+# module (modules may only talk through the mod.rs contexts), the
+# registry-order classification property, and the registry differential
+# suite (tests/proto_registry_equivalence.rs) with the MGCP fifth
+# protocol at 1/2/4 shards.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,5 +58,30 @@ cargo test -q --test rule_dispatch_equivalence
 
 echo "== rule dispatch regression gate (>= 5x at 128 rules) =="
 cargo bench -q -p scidive-bench --bench rule_matching -- --gate 5
+
+echo "== clippy: scidive-core standalone (deny warnings) =="
+cargo clippy -p scidive-core -- -D warnings
+
+echo "== protocol-module isolation (no sibling imports) =="
+violations=0
+for f in crates/core/src/proto/*.rs; do
+  base=$(basename "$f" .rs)
+  [ "$base" = mod ] && continue
+  for sib in acct mgcp other rtcp rtp sip; do
+    [ "$sib" = "$base" ] && continue
+    if grep -nE "(proto::|super::|self::)${sib}\b" "$f"; then
+      echo "sibling import: $f reaches into '$sib'" >&2
+      violations=1
+    fi
+  done
+done
+[ "$violations" -eq 0 ] || { echo "protocol modules must not import siblings" >&2; exit 1; }
+
+echo "== registry-order classification property =="
+cargo test -q -p scidive-core --test properties \
+  classification_is_total_deterministic_and_order_independent
+
+echo "== protocol registry equivalence (MGCP fifth protocol, 1/2/4 shards) =="
+cargo test -q --test proto_registry_equivalence
 
 echo "CI green."

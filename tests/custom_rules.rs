@@ -40,6 +40,7 @@ fn spec_rule_catches_hijack_with_builtins_disabled() {
         billing_fraud: false,
         sip_format: false,
         rtcp_bye: false,
+        mgcp: false,
     };
     let mut ids = Scidive::new(config);
     let installed = ids

@@ -1,0 +1,237 @@
+//! Differential tests for the protocol-module registry: the registry is
+//! the single dispatch surface for classify/attribute/generate, so
+//! (a) registering an extra module must not perturb detection of
+//! traffic it doesn't own, (b) registration order must never matter —
+//! classification is decided by each module's explicit priority — and
+//! (c) a module registered from outside the core dispatch code must
+//! carry a full cross-protocol detection on its own: the MGCP module's
+//! "RTP after DLCX" teardown-evasion rule, at 1/2/4 shards,
+//! byte-identical to the single-engine run.
+
+use scidive::ids::proto::{acct::AcctModule, mgcp::MgcpModule, rtcp::RtcpModule};
+use scidive::ids::proto::{rtp::RtpModule, sip::SipModule};
+use scidive::prelude::*;
+use scidive::voip::gateway::GatewayScenario;
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::SimTime;
+
+/// An engine config with the MGCP module registered on top of the
+/// built-in four (plus fallback).
+fn mgcp_config() -> ScidiveConfig {
+    ScidiveConfig {
+        protocols: ProtocolSetBuilder::new()
+            .register(Box::new(MgcpModule::new()))
+            .build(),
+        ..ScidiveConfig::default()
+    }
+}
+
+fn replay(config: ScidiveConfig, frames: &[(SimTime, IpPacket)]) -> Vec<Alert> {
+    let mut ids = Scidive::new(config);
+    for (t, pkt) in frames {
+        ids.on_frame(*t, pkt);
+    }
+    ids.alerts().to_vec()
+}
+
+/// Replays through the single engine and sharded at 1/2/4, asserting
+/// byte-identical alert streams, then returns them.
+fn replay_all_widths(config: &ScidiveConfig, frames: &[(SimTime, IpPacket)]) -> Vec<Alert> {
+    let single = replay(config.clone(), frames);
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedScidive::new(config.clone(), shards, 64);
+        for (t, pkt) in frames {
+            sharded.submit(*t, pkt);
+        }
+        let report = sharded.finish();
+        assert_eq!(
+            report.alerts, single,
+            "sharded registry dispatch diverged at {shards} shards"
+        );
+    }
+    single
+}
+
+#[test]
+fn mgcp_teardown_evasion_is_detected_at_every_shard_width() {
+    let frames = GatewayScenario::new().teardown_evasion();
+    let alerts = replay_all_widths(&mgcp_config(), &frames);
+    assert!(
+        alerts.iter().any(|a| a.rule == "mgcp-teardown"),
+        "teardown evasion missed: {alerts:?}"
+    );
+    assert!(
+        alerts
+            .iter()
+            .filter(|a| a.rule == "mgcp-teardown")
+            .all(|a| a.severity == Severity::Critical),
+        "{alerts:?}"
+    );
+    // Nothing else fired — the gateway capture contains no SIP/RTCP/
+    // accounting anomalies, and the RTP module must not false-alarm on
+    // media attributed to a gateway session.
+    assert!(
+        alerts.iter().all(|a| a.rule == "mgcp-teardown"),
+        "unexpected extra alerts: {alerts:?}"
+    );
+}
+
+#[test]
+fn benign_gateway_call_raises_nothing() {
+    let frames = GatewayScenario::new().benign();
+    let alerts = replay_all_widths(&mgcp_config(), &frames);
+    assert!(alerts.is_empty(), "benign gateway capture alarmed: {alerts:?}");
+}
+
+#[test]
+fn gateway_traffic_without_the_module_is_inert() {
+    // Same attack capture against the stock registry: the control
+    // packets classify as plain UDP, no MGCP trail forms, no alert —
+    // and, critically, no crash and no false alarm either.
+    let frames = GatewayScenario::new().teardown_evasion();
+    let alerts = replay_all_widths(&ScidiveConfig::default(), &frames);
+    assert!(
+        alerts.iter().all(|a| a.rule != "mgcp-teardown"),
+        "{alerts:?}"
+    );
+}
+
+/// Builds the Fig-4 testbed with one scripted call, taps the hub, and
+/// optionally injects an attacker node.
+fn capture_scenario(
+    seed: u64,
+    hangup: Option<SimDuration>,
+    attacker: Option<Box<dyn Node>>,
+) -> (Vec<CapturedFrame>, Endpoints) {
+    let mut tb = TestbedBuilder::new(seed)
+        .standard_call(SimDuration::from_millis(500), hangup)
+        .build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    if let Some(node) = attacker {
+        tb.add_node("attacker", ep.attacker_ip, LinkParams::lan(), node);
+    }
+    tb.run_for(SimDuration::from_secs(5));
+    let frames = tap.borrow().clone();
+    (frames, ep)
+}
+
+fn voip_attack_captures() -> Vec<(&'static str, Vec<CapturedFrame>, Endpoints)> {
+    let default = Endpoints::default();
+    vec![
+        {
+            let (f, ep) = capture_scenario(801, Some(SimDuration::from_secs(3)), None);
+            ("benign", f, ep)
+        },
+        {
+            let (f, ep) = capture_scenario(
+                802,
+                None,
+                Some(Box::new(ByeAttacker::new(ByeAttackConfig::new(
+                    default.attacker_ip,
+                    default.a_ip,
+                    default.b_ip,
+                    SimDuration::from_secs(1),
+                )))),
+            );
+            ("bye", f, ep)
+        },
+        {
+            let (f, ep) = capture_scenario(
+                803,
+                None,
+                Some(Box::new(Hijacker::new(HijackConfig::new(
+                    default.attacker_ip,
+                    default.a_ip,
+                    default.b_ip,
+                    SimDuration::from_secs(1),
+                )))),
+            );
+            ("hijack", f, ep)
+        },
+        {
+            let (f, ep) = capture_scenario(
+                804,
+                Some(SimDuration::from_secs(2)),
+                Some(Box::new(FakeImAttacker::new(FakeImConfig::new(
+                    default.attacker_ip,
+                    default.a_ip,
+                    default.b_ip,
+                    SimDuration::from_millis(2_500),
+                )))),
+            );
+            ("fake-im", f, ep)
+        },
+        {
+            let (f, ep) = capture_scenario(
+                805,
+                None,
+                Some(Box::new(RtpFlooder::new(RtpFloodConfig::new(
+                    default.attacker_ip,
+                    default.b_ip,
+                    SimDuration::from_secs(1),
+                )))),
+            );
+            ("rtp-flood", f, ep)
+        },
+    ]
+}
+
+#[test]
+fn registering_mgcp_never_perturbs_voip_detection() {
+    // Benign + four attack captures, stock registry vs MGCP-extended
+    // registry, single and sharded at 1/2/4: identical alert streams
+    // everywhere. A registered module that owns none of the traffic
+    // must be a byte-exact no-op.
+    for (label, frames, ep) in voip_attack_captures() {
+        let frames: Vec<(SimTime, IpPacket)> =
+            frames.iter().map(|f| (f.time, f.packet.clone())).collect();
+        let mut stock = ScidiveConfig::default();
+        stock.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+        let mut extended = mgcp_config();
+        extended.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+        let baseline = replay_all_widths(&stock, &frames);
+        let with_mgcp = replay_all_widths(&extended, &frames);
+        assert_eq!(
+            with_mgcp, baseline,
+            "MGCP registration changed the {label} alert stream"
+        );
+    }
+}
+
+#[test]
+fn registration_order_never_changes_alerts() {
+    // The same modules registered in two different orders classify and
+    // detect identically: priority, not Vec order, decides.
+    let forward = ProtocolSetBuilder::empty()
+        .register(Box::new(SipModule::new()))
+        .register(Box::new(RtpModule::new()))
+        .register(Box::new(RtcpModule::new()))
+        .register(Box::new(AcctModule::new()))
+        .register(Box::new(MgcpModule::new()))
+        .build();
+    let reverse = ProtocolSetBuilder::empty()
+        .register(Box::new(MgcpModule::new()))
+        .register(Box::new(AcctModule::new()))
+        .register(Box::new(RtcpModule::new()))
+        .register(Box::new(RtpModule::new()))
+        .register(Box::new(SipModule::new()))
+        .build();
+    assert_eq!(forward.names(), reverse.names());
+
+    let frames = GatewayScenario::new().teardown_evasion();
+    let fwd_cfg = ScidiveConfig {
+        protocols: forward,
+        ..ScidiveConfig::default()
+    };
+    let rev_cfg = ScidiveConfig {
+        protocols: reverse,
+        ..ScidiveConfig::default()
+    };
+    let a = replay(fwd_cfg, &frames);
+    let b = replay(rev_cfg, &frames);
+    assert_eq!(a, b, "registration order changed the alert stream");
+    assert!(a.iter().any(|x| x.rule == "mgcp-teardown"));
+}
