@@ -75,6 +75,7 @@ fn match_stage(
 ) -> (f64, u64, u64) {
     let mut rules = ruleset(extra, full_scan);
     let mut alerts = Vec::new();
+    let rates = &scidive_core::rate::RateHub::default();
     let start = Instant::now();
     {
         let mut sink = AlertSink::new(&mut alerts);
@@ -83,6 +84,7 @@ fn match_stage(
                 let ctx = RuleCtx {
                     now: ev.time,
                     trails,
+                    rates,
                 };
                 rules.dispatch(ev, &ctx, &mut sink);
             }

@@ -16,10 +16,17 @@ use scidive_netsim::time::SimTime;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Timed replay iterations per configuration (interleaved, median
-/// taken), plus warmup.
+/// Timed samples per configuration (interleaved, median taken), plus
+/// warmup.
 const ITERS: usize = 31;
 const WARMUP: usize = 3;
+/// Minimum duration of one timed sample. A single replay of these small
+/// captures takes well under a millisecond, where timer quantization
+/// and scheduler noise dwarf the effect being measured — a 5% gate on
+/// sub-ms medians trips on machine noise alone. Each sample therefore
+/// times `reps` back-to-back replays, with `reps` calibrated so the
+/// sample lasts at least this long.
+const SAMPLE_FLOOR_SECS: f64 = 0.01;
 
 fn capture(kind: AttackKind) -> Vec<(SimTime, IpPacket)> {
     let outcome = run_attack(kind, 1, &ScenarioOptions::default());
@@ -46,6 +53,23 @@ fn replay_once(frames: &[(SimTime, IpPacket)], histograms: bool) -> f64 {
     elapsed
 }
 
+/// Replays needed for one timed sample to clear [`SAMPLE_FLOOR_SECS`],
+/// from a rough single-replay measurement taken after warmup.
+fn calibrate_reps(frames: &[(SimTime, IpPacket)]) -> usize {
+    let rough = replay_once(frames, true).max(1e-6);
+    ((SAMPLE_FLOOR_SECS / rough).ceil() as usize).max(1)
+}
+
+/// One sample: the mean of `reps` back-to-back replays, so every number
+/// entering the medians is at least the floor long.
+fn sample(frames: &[(SimTime, IpPacket)], histograms: bool, reps: usize) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..reps {
+        total += replay_once(frames, histograms);
+    }
+    total / reps as f64
+}
+
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2]
@@ -68,12 +92,14 @@ fn main() {
     );
     let _ = writeln!(
         out,
-        "# {ITERS} interleaved replay iterations per config, median reported\n"
+        "# {ITERS} interleaved samples per config, median reported; each sample is \
+         calibrated to >= {:.0} ms of replays\n",
+        SAMPLE_FLOOR_SECS * 1_000.0
     );
 
     let mut worst: f64 = f64::MIN;
     let mut table = scidive_bench::report::Table::new(&[
-        "scenario", "frames", "minimal ms", "observed ms", "overhead %",
+        "scenario", "frames", "reps", "minimal ms", "observed ms", "overhead %",
     ]);
     for kind in [AttackKind::Bye, AttackKind::RtpFlood, AttackKind::BillingFraud] {
         let frames = capture(kind);
@@ -81,13 +107,14 @@ fn main() {
             replay_once(&frames, true);
             replay_once(&frames, false);
         }
+        let reps = calibrate_reps(&frames);
         let mut on = Vec::with_capacity(ITERS);
         let mut off = Vec::with_capacity(ITERS);
         // Interleave so drift (thermal, scheduler) hits both configs
         // equally.
         for _ in 0..ITERS {
-            off.push(replay_once(&frames, false));
-            on.push(replay_once(&frames, true));
+            off.push(sample(&frames, false, reps));
+            on.push(sample(&frames, true, reps));
         }
         let off_med = median(&mut off);
         let on_med = median(&mut on);
@@ -96,6 +123,7 @@ fn main() {
         table.row(&[
             format!("{kind:?}"),
             frames.len().to_string(),
+            reps.to_string(),
             f2(off_med * 1_000.0),
             f2(on_med * 1_000.0),
             f2(overhead),

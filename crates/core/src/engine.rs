@@ -10,6 +10,7 @@ use crate::observe::{
     PipelineObservation, StateGauges,
 };
 use crate::proto::ProtocolSet;
+use crate::rate::{RateConfig, RateHub};
 use crate::rules::{builtin_ruleset, AlertSink, CompiledRuleset, Rule, RuleCtx, RuleToggles};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
@@ -44,6 +45,13 @@ pub struct ScidiveConfig {
     /// via [`crate::proto::ProtocolSetBuilder`]; the default covers
     /// SIP / RTP / RTCP / accounting plus the fallback.
     pub protocols: ProtocolSet,
+    /// Exact per-key rate state (the reference) versus constant-memory
+    /// sketches for the flood-style detections. Copied into
+    /// [`ScidiveConfig::events`] at build time; see [`crate::rate`].
+    pub exact_rate_state: bool,
+    /// Sketch dimensioning for the rate trackers (also copied into the
+    /// event config).
+    pub rate: RateConfig,
 }
 
 impl Default for ScidiveConfig {
@@ -57,7 +65,20 @@ impl Default for ScidiveConfig {
             event_log_cap: 100_000,
             full_scan_rules: false,
             protocols: ProtocolSet::default(),
+            exact_rate_state: true,
+            rate: RateConfig::default(),
         }
+    }
+}
+
+impl ScidiveConfig {
+    /// The event-generator config with the engine-level rate switches
+    /// folded in (both planes must agree on mode and dimensioning).
+    pub(crate) fn event_config(&self) -> EventGenConfig {
+        let mut events = self.events.clone();
+        events.exact_rate_state = self.exact_rate_state;
+        events.rate = self.rate.clone();
+        events
     }
 }
 
@@ -131,6 +152,8 @@ pub struct Scidive {
     /// `event_log_cap`; drained by [`Scidive::drain_events`].
     event_log: Vec<crate::event::Event>,
     event_log_cap: usize,
+    /// Shared rate trackers for the ruleset (see [`crate::rate::RateHub`]).
+    rates: RateHub,
 }
 
 impl Scidive {
@@ -140,16 +163,18 @@ impl Scidive {
     pub fn new(config: ScidiveConfig) -> Scidive {
         let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
         rules.set_state_timeout(config.trails.idle_timeout);
+        let events_cfg = config.event_config();
         Scidive {
             distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
             trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
-            events: EventGenerator::with_protocols(config.events, &config.protocols),
+            events: EventGenerator::with_protocols(events_cfg, &config.protocols),
             rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),
             observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
             event_log_cap: config.event_log_cap,
+            rates: RateHub::new(config.rate, config.exact_rate_state),
         }
     }
 
@@ -160,16 +185,18 @@ impl Scidive {
     pub fn data_plane(config: ScidiveConfig) -> Scidive {
         let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
         rules.set_state_timeout(config.trails.idle_timeout);
+        let events_cfg = config.event_config();
         Scidive {
             distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
             trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
-            events: EventGenerator::data_plane_with_protocols(config.events, &config.protocols),
+            events: EventGenerator::data_plane_with_protocols(events_cfg, &config.protocols),
             rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),
             observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
             event_log_cap: config.event_log_cap,
+            rates: RateHub::new(config.rate, config.exact_rate_state),
         }
     }
 
@@ -252,6 +279,7 @@ impl Scidive {
             let ctx = RuleCtx {
                 now: time,
                 trails: &self.trails,
+                rates: &self.rates,
             };
             let mut sink = AlertSink::new(new_alerts);
             for ev in &events {
@@ -340,6 +368,8 @@ impl Scidive {
         let index = self.trails.media_index();
         let lifecycle = index.lifecycle_stats();
         let rule_state = self.rules.state_stats();
+        let mut rate = self.rates.stats();
+        rate.absorb(self.events.rate_stats());
         StateGauges {
             trails: self.trails.trail_count() as u64,
             retained_footprints: self.trails.footprint_count() as u64,
@@ -355,6 +385,11 @@ impl Scidive {
             router_media_index: 0,
             router_interner: 0,
             router_synthetic_keys: 0,
+            rate_trackers: rate.trackers,
+            rate_bytes: rate.bytes,
+            rate_divergence_samples: rate.divergence_samples,
+            rate_divergence_sum: rate.divergence_sum,
+            rate_divergence_max: rate.divergence_max,
         }
     }
 

@@ -369,6 +369,18 @@ pub struct EventGenConfig {
     /// Cross-protocol detection: correlate SIP/RTP/accounting trails.
     /// When disabled, no orphan-flow or billing-mismatch events exist.
     pub cross_protocol: bool,
+    /// Exact per-key rate state (timestamp queues) versus constant-memory
+    /// sketches ([`crate::rate`]). Exact is the reference; sketch mode
+    /// bounds identity-plane memory independent of the source population.
+    pub exact_rate_state: bool,
+    /// Dimensioning for the sketch structures (used for shadow
+    /// divergence tracking even in exact mode).
+    pub rate: crate::rate::RateConfig,
+    /// Idle expiry for identity-plane bookkeeping (learned AOR→IP
+    /// bindings and drained rate windows). Far above
+    /// `im_mobility_interval`, so expiring an idle binding never turns a
+    /// plausible re-registration into a mismatch.
+    pub identity_timeout: SimDuration,
 }
 
 impl Default for EventGenConfig {
@@ -385,6 +397,9 @@ impl Default for EventGenConfig {
             infrastructure_ips: Vec::new(),
             stateful: true,
             cross_protocol: true,
+            exact_rate_state: true,
+            rate: crate::rate::RateConfig::default(),
+            identity_timeout: SimDuration::from_secs(600),
         }
     }
 }

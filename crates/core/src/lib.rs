@@ -71,6 +71,7 @@ pub mod metrics;
 pub mod observe;
 pub mod online;
 pub mod proto;
+pub mod rate;
 pub mod routing;
 pub mod rules;
 pub mod shard;
@@ -103,6 +104,10 @@ pub mod prelude {
         StateGauges, TraceEntry, TraceStage,
     };
     pub use crate::online::OnlineScidive;
+    pub use crate::rate::{
+        CountMinSketch, LatchSet, RateConfig, RateHub, RateStats, WindowedDistinct,
+        WindowedSketch,
+    };
     pub use crate::routing::{
         stable_session_hash, MediaIndex, RouteDecision, SessionRouter,
     };

@@ -274,6 +274,19 @@ pub struct StateGauges {
     /// The dispatcher router's memoized synthetic keys (0 for a single
     /// engine).
     pub router_synthetic_keys: u64,
+    /// Live rate trackers (sketch rings, distinct estimators, latches)
+    /// across the identity plane and rule hub.
+    pub rate_trackers: u64,
+    /// Bytes pinned by the rate trackers — constant once every tracker
+    /// exists, regardless of key population.
+    pub rate_bytes: u64,
+    /// Exact-mode shadow comparisons taken between sketch estimates and
+    /// the exact windows (monotonic; 0 in sketch mode).
+    pub rate_divergence_samples: u64,
+    /// Sum of |estimate − exact| across those comparisons.
+    pub rate_divergence_sum: u64,
+    /// Worst single |estimate − exact| seen (merged by max).
+    pub rate_divergence_max: u64,
 }
 
 impl std::ops::Add for StateGauges {
@@ -294,6 +307,11 @@ impl std::ops::Add for StateGauges {
             router_media_index: self.router_media_index + rhs.router_media_index,
             router_interner: self.router_interner + rhs.router_interner,
             router_synthetic_keys: self.router_synthetic_keys + rhs.router_synthetic_keys,
+            rate_trackers: self.rate_trackers + rhs.rate_trackers,
+            rate_bytes: self.rate_bytes + rhs.rate_bytes,
+            rate_divergence_samples: self.rate_divergence_samples + rhs.rate_divergence_samples,
+            rate_divergence_sum: self.rate_divergence_sum + rhs.rate_divergence_sum,
+            rate_divergence_max: self.rate_divergence_max.max(rhs.rate_divergence_max),
         }
     }
 }
@@ -703,6 +721,15 @@ impl PipelineObservation {
             self.gauges.synthetic_expired,
             self.gauges.interner_expired,
             self.gauges.rule_state_expired,
+        );
+        let _ = writeln!(
+            out,
+            "rate       trackers={} bytes={} div_samples={} div_sum={} div_max={}",
+            self.gauges.rate_trackers,
+            self.gauges.rate_bytes,
+            self.gauges.rate_divergence_samples,
+            self.gauges.rate_divergence_sum,
+            self.gauges.rate_divergence_max,
         );
         if !self.rule_evals.is_empty() {
             let _ = write!(out, "rule_evals");

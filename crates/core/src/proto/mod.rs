@@ -476,6 +476,15 @@ impl EventGenerator {
         self.plane.sessions.len()
     }
 
+    /// Rate-tracker telemetry from the embedded identity plane (zero in
+    /// data-plane mode, where the dispatcher owns the one plane).
+    pub fn rate_stats(&self) -> crate::rate::RateStats {
+        self.identity
+            .as_ref()
+            .map(IdentityPlane::rate_stats)
+            .unwrap_or_default()
+    }
+
     /// Processes one footprint in the context of its trail: every
     /// module's `generate` hook runs (priority order), then the
     /// identity plane. A footprint's session events always precede its

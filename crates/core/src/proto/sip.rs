@@ -6,6 +6,7 @@ use crate::distill::DistillerConfig;
 use crate::event::{Event, EventGenConfig, EventKind, FlowKey};
 use crate::footprint::{Footprint, FootprintBody, PacketMeta};
 use crate::proto::{parse_sdp, AttributeCtx, GenCtx, ProtocolModule, Redirect, Teardown};
+use crate::rate::{hash_parts, LatchSet, RateStats, WindowedDistinct, WindowedSketch};
 use crate::trail::{SessionKey, TrailKey};
 use bytes::Bytes;
 use scidive_netsim::time::{SimDuration, SimTime};
@@ -347,6 +348,72 @@ struct GuessWindow {
 /// The wildcard source used for stateless (global) flood tracking.
 const GLOBAL_SRC: Ipv4Addr = Ipv4Addr::UNSPECIFIED;
 
+/// The constant-memory sketch side of the identity plane (see
+/// [`crate::rate`]). In sketch mode (`exact_rate_state = false`) these
+/// structures *are* the flood / guess state; in exact mode they shadow
+/// the exact windows so divergence between the two is observable as
+/// telemetry without affecting behaviour. Built lazily on the first
+/// flood- or guess-relevant footprint; from then on the byte footprint
+/// is fixed regardless of how many sources the traffic carries.
+#[derive(Debug)]
+struct IdentityRates {
+    /// REGISTER sightings per flood key.
+    requests: WindowedSketch,
+    /// 4xx sightings per flood key.
+    errors: WindowedSketch,
+    /// Distinct digest responses per (src, username).
+    guesses: WindowedDistinct,
+    /// Flood fired-latch per flood key (cleared on hysteresis).
+    flood_latch: LatchSet,
+    /// Guess fired-latch per (src, username) (never cleared).
+    guess_latch: LatchSet,
+    /// Exact-vs-estimate shadow divergence (exact mode only).
+    divergence: RateStats,
+}
+
+impl IdentityRates {
+    fn new(config: &EventGenConfig) -> IdentityRates {
+        let r = &config.rate;
+        IdentityRates {
+            requests: WindowedSketch::new(
+                config.flood_window,
+                r.window_buckets,
+                r.counter_width,
+                r.counter_depth,
+                r.tracker_seed("identity-requests"),
+            ),
+            errors: WindowedSketch::new(
+                config.flood_window,
+                r.window_buckets,
+                r.counter_width,
+                r.counter_depth,
+                r.tracker_seed("identity-errors"),
+            ),
+            guesses: WindowedDistinct::new(
+                config.guess_window,
+                r.distinct_buckets,
+                r.distinct_slots,
+                r.distinct_registers,
+                r.tracker_seed("identity-guesses"),
+            ),
+            flood_latch: LatchSet::new(r.latch_bits, r.tracker_seed("identity-flood-latch")),
+            guess_latch: LatchSet::new(r.latch_bits, r.tracker_seed("identity-guess-latch")),
+            divergence: RateStats::default(),
+        }
+    }
+
+    fn stats(&self) -> RateStats {
+        let mut s = self.divergence;
+        s.trackers = 5;
+        s.bytes = (self.requests.bytes()
+            + self.errors.bytes()
+            + self.guesses.bytes()
+            + self.flood_latch.bytes()
+            + self.guess_latch.bytes()) as u64;
+        s
+    }
+}
+
 /// The identity plane: the cross-session detection state keyed by IP
 /// address or user identity rather than by session — registration /
 /// 4xx churn windows (§3.3 flood DoS), digest-response windows (§3.3
@@ -367,6 +434,10 @@ pub struct IdentityPlane {
     guess_windows: HashMap<(Ipv4Addr, String), GuessWindow>,
     /// identity AOR → (ip, last_change).
     aor_ips: HashMap<String, (Ipv4Addr, SimTime)>,
+    /// Sketch state: authoritative when `exact_rate_state` is off,
+    /// shadow telemetry when it is on. Lazily built.
+    rates: Option<IdentityRates>,
+    last_sweep: SimTime,
     events_emitted: u64,
 }
 
@@ -378,6 +449,8 @@ impl IdentityPlane {
             reg_windows: HashMap::new(),
             guess_windows: HashMap::new(),
             aor_ips: HashMap::new(),
+            rates: None,
+            last_sweep: SimTime::ZERO,
             events_emitted: 0,
         }
     }
@@ -392,15 +465,68 @@ impl IdentityPlane {
         self.aor_ips.len()
     }
 
+    /// Snapshot of the sketch-side telemetry: tracker count, pinned
+    /// bytes, and (exact mode) the shadow divergence between estimates
+    /// and the exact windows.
+    pub fn rate_stats(&self) -> RateStats {
+        self.rates.as_ref().map(IdentityRates::stats).unwrap_or_default()
+    }
+
+    fn rates_mut(&mut self) -> &mut IdentityRates {
+        if self.rates.is_none() {
+            self.rates = Some(IdentityRates::new(&self.config));
+        }
+        self.rates.as_mut().expect("just initialised")
+    }
+
     /// Processes one footprint; only SIP footprints carry identity-plane
     /// signal (REGISTER churn, digest credentials, MESSAGE sources, 4xx
     /// error responses), everything else returns no events.
     pub fn on_footprint(&mut self, fp: &Footprint) -> Vec<Event> {
         let mut out = Vec::new();
+        self.maybe_sweep(fp.meta.time);
         if let FootprintBody::Sip(msg) = &fp.body {
             self.on_sip(fp, msg, &mut out);
         }
         out
+    }
+
+    /// Drops identity state idle past [`EventGenConfig::identity_timeout`]
+    /// (checked at quarter-timeout cadence, like the session-plane
+    /// sweeps). AOR bindings idle that long would be re-learned as
+    /// plausible mobility anyway (the timeout is far above
+    /// `im_mobility_interval`); rate windows are dropped only when every
+    /// retained entry is older than the timeout *and* the entry's latch
+    /// would release at a zero count, so sweeping never suppresses or
+    /// invents an alert.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        let timeout = self.config.identity_timeout;
+        if now.saturating_since(self.last_sweep) < timeout / 4 {
+            return;
+        }
+        self.last_sweep = now;
+        self.aor_ips
+            .retain(|_, &mut (_, last)| now.saturating_since(last) <= timeout);
+        let flood_clears = self.config.flood_threshold / 2 > 0;
+        self.reg_windows.retain(|_, w| {
+            let idle = w
+                .requests
+                .back()
+                .into_iter()
+                .chain(w.errors.back())
+                .all(|&t| now.saturating_since(t) > timeout);
+            let latch_safe = !w.flood_emitted || flood_clears;
+            !(idle && latch_safe)
+        });
+        self.guess_windows.retain(|_, w| {
+            // Fired guess latches are permanent in the reference
+            // semantics, so their entries are never dropped.
+            let idle = w
+                .responses
+                .back()
+                .is_none_or(|&(t, _)| now.saturating_since(t) > timeout);
+            !idle || w.emitted
+        });
     }
 
     fn emit(&mut self, out: &mut Vec<Event>, time: SimTime, kind: EventKind) {
@@ -535,43 +661,90 @@ impl IdentityPlane {
         }
     }
 
+    fn flood_hash(&self, key: Ipv4Addr) -> u64 {
+        hash_parts(self.config.rate.seed, &[b"flood", &key.octets()])
+    }
+
     fn track_register_request(&mut self, src: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
         let key = self.flood_key(src);
-        let window = self.config.flood_window;
-        let w = self.reg_windows.entry(key).or_default();
-        w.requests.push_back(time);
-        prune(&mut w.requests, time, window);
+        if self.config.exact_rate_state {
+            let window = self.config.flood_window;
+            let w = self.reg_windows.entry(key).or_default();
+            w.requests.push_back(time);
+            prune(&mut w.requests, time, window);
+        }
+        let khash = self.flood_hash(key);
+        self.rates_mut().requests.observe(time, khash);
         self.check_flood(key, time, out);
     }
 
     fn track_error_response(&mut self, dst: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
         let key = self.flood_key(dst);
-        let window = self.config.flood_window;
-        let w = self.reg_windows.entry(key).or_default();
-        w.errors.push_back(time);
-        prune(&mut w.errors, time, window);
+        if self.config.exact_rate_state {
+            let window = self.config.flood_window;
+            let w = self.reg_windows.entry(key).or_default();
+            w.errors.push_back(time);
+            prune(&mut w.errors, time, window);
+        }
+        let khash = self.flood_hash(key);
+        self.rates_mut().errors.observe(time, khash);
         self.check_flood(key, time, out);
     }
 
     fn check_flood(&mut self, key: Ipv4Addr, time: SimTime, out: &mut Vec<Event>) {
         let threshold = self.config.flood_threshold;
-        let Some(w) = self.reg_windows.get_mut(&key) else {
-            return;
-        };
-        // "Continuous, alternating SIP requests and 4XX error messages":
-        // the alternation count is the lesser of the two.
         let stateful = self.config.stateful;
-        let count = if stateful {
-            (w.requests.len().min(w.errors.len())) as u32
-        } else {
-            // A stateless matcher can only count 4xx sightings.
-            w.errors.len() as u32
+        let exact = self.config.exact_rate_state;
+        let khash = self.flood_hash(key);
+        // Sketch-side count: authoritative in sketch mode, shadow
+        // telemetry in exact mode. Never undercounts the true windowed
+        // count (see `crate::rate::window`).
+        let estimated = {
+            let r = self.rates_mut();
+            let requests = r.requests.estimate(time, khash);
+            let errors = r.errors.estimate(time, khash);
+            if stateful {
+                // "Continuous, alternating SIP requests and 4XX error
+                // messages": the alternation count is the lesser of the
+                // two.
+                requests.min(errors)
+            } else {
+                // A stateless matcher can only count 4xx sightings.
+                errors
+            }
         };
-        if count >= threshold && !w.flood_emitted {
-            w.flood_emitted = true;
+        let (count, latched) = if exact {
+            let Some(w) = self.reg_windows.get(&key) else {
+                return;
+            };
+            let count = if stateful {
+                (w.requests.len().min(w.errors.len())) as u32
+            } else {
+                w.errors.len() as u32
+            };
+            let latched = w.flood_emitted;
+            self.rates_mut().divergence.record_divergence(estimated, count);
+            (count, latched)
+        } else {
+            (estimated, self.rates_mut().flood_latch.get(khash))
+        };
+        if count >= threshold && !latched {
+            if exact {
+                if let Some(w) = self.reg_windows.get_mut(&key) {
+                    w.flood_emitted = true;
+                }
+            } else {
+                self.rates_mut().flood_latch.put(khash, true);
+            }
             self.emit(out, time, EventKind::RegisterFlood { src: key, count });
         } else if count < threshold / 2 {
-            w.flood_emitted = false;
+            if exact {
+                if let Some(w) = self.reg_windows.get_mut(&key) {
+                    w.flood_emitted = false;
+                }
+            } else {
+                self.rates_mut().flood_latch.put(khash, false);
+            }
         }
     }
 
@@ -594,22 +767,43 @@ impl IdentityPlane {
         } else {
             (GLOBAL_SRC, String::new())
         };
-        let window = self.config.guess_window;
         let threshold = self.config.guess_threshold;
-        let w = self.guess_windows.entry(key).or_default();
-        w.responses.push_back((time, creds.response.clone()));
-        while let Some(&(t, _)) = w.responses.front() {
-            if time.saturating_since(t) > window {
-                w.responses.pop_front();
-            } else {
-                break;
+        let exact = self.config.exact_rate_state;
+        let seed = self.config.rate.seed;
+        let khash = hash_parts(seed, &[b"guess", &key.0.octets(), key.1.as_bytes()]);
+        let item = hash_parts(seed, &[b"resp", creds.response.as_bytes()]);
+        // Sketch-side distinct estimate (authoritative in sketch mode;
+        // exact at threshold-scale cardinalities via linear counting).
+        let estimated = self.rates_mut().guesses.observe(time, khash, item);
+        let (distinct_responses, emitted) = if exact {
+            let window = self.config.guess_window;
+            let w = self.guess_windows.entry(key).or_default();
+            w.responses.push_back((time, creds.response.clone()));
+            while let Some(&(t, _)) = w.responses.front() {
+                if time.saturating_since(t) > window {
+                    w.responses.pop_front();
+                } else {
+                    break;
+                }
             }
-        }
-        let distinct: std::collections::HashSet<&str> =
-            w.responses.iter().map(|(_, r)| r.as_str()).collect();
-        let distinct_responses = distinct.len() as u32;
-        if distinct_responses >= threshold && !w.emitted {
-            w.emitted = true;
+            let distinct: std::collections::HashSet<&str> =
+                w.responses.iter().map(|(_, r)| r.as_str()).collect();
+            let exact_distinct = distinct.len() as u32;
+            let emitted = w.emitted;
+            if exact_distinct >= threshold && !emitted {
+                w.emitted = true;
+            }
+            self.rates_mut()
+                .divergence
+                .record_divergence(estimated, exact_distinct);
+            (exact_distinct, emitted)
+        } else {
+            (estimated, self.rates_mut().guess_latch.get(khash))
+        };
+        if distinct_responses >= threshold && !emitted {
+            if !exact {
+                self.rates_mut().guess_latch.put(khash, true);
+            }
             let username = creds.username;
             self.emit(
                 out,

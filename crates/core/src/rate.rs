@@ -1,0 +1,499 @@
+//! Constant-memory rate primitives for flood-style detections.
+//!
+//! SCIDIVE's §3.3 detections (REGISTER-flood DoS, password guessing)
+//! and the SPIT-style rapid-connection pattern are fundamentally *rate*
+//! questions: how many events keyed by some identity fell inside a
+//! sliding window, and how many of them were distinct. Answering those
+//! questions exactly needs one timestamp queue per key — memory linear
+//! in the number of active sources, the opposite of what million-dialog
+//! capacity demands. This module provides the sketch counterparts that
+//! answer the same questions in memory **independent of the key
+//! population**:
+//!
+//! * [`CountMinSketch`] — point-frequency estimation with conservative
+//!   update. Never undercounts; overcounts by at most `ε·N` with
+//!   probability `1 − δ` when sized via [`CountMinSketch::with_error`].
+//! * [`WindowedSketch`] — a ring of `B` count-min buckets quantising a
+//!   sliding window. The live buckets always cover at least the full
+//!   window, so it never undercounts the exact windowed count; it may
+//!   overcount by events up to one bucket width (`⌈W/(B−1)⌉`) older
+//!   than the window, plus the sketch collision error.
+//! * [`WindowedDistinct`] — an HLL-style distinct estimator per key
+//!   slot, windowed by the same bucket ring. Small cardinalities use
+//!   linear counting, which is exact while registers stay collision
+//!   free — the regime the guess-threshold crossings live in.
+//! * [`LatchSet`] — a fixed bitset replacing per-key `emitted` flags.
+//!
+//! Everything is deterministic: hashing is seeded ([`RateConfig::seed`]),
+//! time is virtual ([`SimTime`]), and no structure ever consults a wall
+//! clock — so sketch-mode runs replay byte-identically and the
+//! differential suite (`tests/rate_equivalence.rs`) can pin the
+//! exact-vs-sketch alert streams against each other.
+//!
+//! Rules reach these primitives through [`crate::rules::RuleCtx::rates`]
+//! (a [`RateHub`] of named trackers); the identity plane
+//! ([`crate::event::IdentityPlane`]) embeds them directly behind the
+//! [`crate::engine::ScidiveConfig::exact_rate_state`] reference switch.
+
+pub mod cms;
+pub mod distinct;
+pub mod window;
+
+pub use cms::CountMinSketch;
+pub use distinct::WindowedDistinct;
+pub use window::WindowedSketch;
+
+use scidive_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// The default deterministic hash seed for all rate trackers.
+pub const DEFAULT_RATE_SEED: u64 = 0x5c1d_0d1f_f00d_5eed;
+
+/// Finalising mixer (splitmix64): cheap, deterministic, and good enough
+/// avalanche for sketch indexing.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Seeded FNV-1a over byte parts with a part separator (so
+/// `["ab","c"]` and `["a","bc"]` hash differently), finished through
+/// [`splitmix64`]. The one way keys (addresses, AORs, digest responses)
+/// become the `u64`s every sketch in this module consumes.
+pub fn hash_parts(seed: u64, parts: &[&[u8]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// Dimensioning for the sketch structures, part of
+/// [`crate::engine::ScidiveConfig`]. The defaults hold every tracker a
+/// default engine creates under ~1 MiB total — constant, regardless of
+/// how many sources or dialogs the traffic carries.
+#[derive(Debug, Clone)]
+pub struct RateConfig {
+    /// Hash seed shared by every tracker (per-tracker seeds are derived
+    /// from it and the tracker name).
+    pub seed: u64,
+    /// Count-min sketch width (counters per row).
+    pub counter_width: usize,
+    /// Count-min sketch depth (rows).
+    pub counter_depth: usize,
+    /// Ring buckets per sliding window (`B`); the window is quantised
+    /// to `⌈W/(B−1)⌉`-wide epochs so the live ring always covers it.
+    pub window_buckets: usize,
+    /// Key slots per distinct estimator (keys hashing to the same slot
+    /// pool their distinct counts — an overestimate, never an
+    /// undercount).
+    pub distinct_slots: usize,
+    /// HLL registers per distinct slot (rounded up to a power of two).
+    pub distinct_registers: usize,
+    /// Ring buckets per distinct estimator window.
+    pub distinct_buckets: usize,
+    /// Bits per latch set (rounded up to a power of two).
+    pub latch_bits: usize,
+}
+
+impl Default for RateConfig {
+    fn default() -> RateConfig {
+        RateConfig {
+            seed: DEFAULT_RATE_SEED,
+            counter_width: 1024,
+            counter_depth: 4,
+            window_buckets: 8,
+            distinct_slots: 32,
+            distinct_registers: 1024,
+            distinct_buckets: 6,
+            latch_bits: 8192,
+        }
+    }
+}
+
+impl RateConfig {
+    /// The derived seed for a named tracker.
+    pub fn tracker_seed(&self, name: &str) -> u64 {
+        splitmix64(self.seed ^ hash_parts(self.seed, &[name.as_bytes()]))
+    }
+}
+
+/// Telemetry snapshot of the rate trackers: how many exist, how many
+/// bytes they pin, and — in exact mode, where the sketches shadow the
+/// exact state — how far the estimates diverged from the truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateStats {
+    /// Live tracker structures (sketches, estimators, latch sets).
+    pub trackers: u64,
+    /// Total bytes pinned by tracker state.
+    pub bytes: u64,
+    /// Estimate-vs-exact comparisons recorded (shadow mode only).
+    pub divergence_samples: u64,
+    /// Sum of absolute estimate-vs-exact differences.
+    pub divergence_sum: u64,
+    /// Largest single estimate-vs-exact difference.
+    pub divergence_max: u64,
+}
+
+impl RateStats {
+    /// Folds another snapshot into this one (shard merge): sizes and
+    /// sums add, the divergence maximum takes the max.
+    pub fn absorb(&mut self, other: RateStats) {
+        self.trackers += other.trackers;
+        self.bytes += other.bytes;
+        self.divergence_samples += other.divergence_samples;
+        self.divergence_sum += other.divergence_sum;
+        self.divergence_max = self.divergence_max.max(other.divergence_max);
+    }
+
+    /// Records one estimate-vs-exact comparison.
+    pub fn record_divergence(&mut self, estimated: u32, exact: u32) {
+        let d = u64::from(estimated.abs_diff(exact));
+        self.divergence_samples += 1;
+        self.divergence_sum += d;
+        self.divergence_max = self.divergence_max.max(d);
+    }
+}
+
+/// A fixed bitset of sticky per-key flags — the constant-memory stand-in
+/// for per-key `emitted` booleans. Two keys may share a bit (bounded by
+/// `bits`); a collision can only *suppress* a duplicate alert, never
+/// invent one.
+#[derive(Debug, Clone)]
+pub struct LatchSet {
+    words: Vec<u64>,
+    mask: u64,
+    seed: u64,
+}
+
+impl LatchSet {
+    /// Creates a latch set of at least `bits` bits (rounded up to a
+    /// power of two, minimum 64).
+    pub fn new(bits: usize, seed: u64) -> LatchSet {
+        let bits = bits.next_power_of_two().max(64);
+        LatchSet {
+            words: vec![0; bits / 64],
+            mask: bits as u64 - 1,
+            seed,
+        }
+    }
+
+    fn locate(&self, key: u64) -> (usize, u64) {
+        let bit = splitmix64(key ^ self.seed) & self.mask;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Whether the key's latch is set.
+    pub fn get(&self, key: u64) -> bool {
+        let (w, m) = self.locate(key);
+        self.words[w] & m != 0
+    }
+
+    /// Sets or clears the key's latch.
+    pub fn put(&mut self, key: u64, on: bool) {
+        let (w, m) = self.locate(key);
+        if on {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Clears every latch.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Folds another latch set (same size and seed) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions or seed differ.
+    pub fn merge(&mut self, other: &LatchSet) {
+        assert_eq!(self.mask, other.mask, "latch size mismatch");
+        assert_eq!(self.seed, other.seed, "latch seed mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Bytes pinned by the bitset.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Named tracker registry every rule can reach through
+/// [`crate::rules::RuleCtx::rates`]. Trackers are created lazily on
+/// first use and live for the engine's lifetime — their memory is a
+/// function of [`RateConfig`] dimensions alone, never of traffic.
+///
+/// Interior mutability (the engine is single-threaded per worker) lets
+/// rules update trackers through the shared `&RuleCtx` they already
+/// receive, without widening the `Rule::on_event` contract.
+#[derive(Debug)]
+pub struct RateHub {
+    exact: bool,
+    config: RateConfig,
+    inner: RefCell<HubInner>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    counters: Vec<(&'static str, WindowedSketch)>,
+    distincts: Vec<(&'static str, WindowedDistinct)>,
+    latches: Vec<(&'static str, LatchSet)>,
+}
+
+impl Default for RateHub {
+    /// An empty hub with default dimensioning in exact mode — what a
+    /// default engine owns, and the convenient hub for tests and
+    /// benches that construct a [`crate::rules::RuleCtx`] by hand.
+    fn default() -> RateHub {
+        RateHub::new(RateConfig::default(), true)
+    }
+}
+
+impl RateHub {
+    /// Creates an empty hub. `exact` mirrors
+    /// [`crate::engine::ScidiveConfig::exact_rate_state`] so rules can
+    /// pick their backing store at event time.
+    pub fn new(config: RateConfig, exact: bool) -> RateHub {
+        RateHub {
+            exact,
+            config,
+            inner: RefCell::new(HubInner::default()),
+        }
+    }
+
+    /// Whether rules should keep exact per-key state (the reference
+    /// mode) instead of the constant-memory sketches.
+    pub fn exact(&self) -> bool {
+        self.exact
+    }
+
+    /// The dimensioning in force.
+    pub fn config(&self) -> &RateConfig {
+        &self.config
+    }
+
+    /// Hashes identity parts into a tracker key with the hub's seed.
+    pub fn key(&self, parts: &[&[u8]]) -> u64 {
+        hash_parts(self.config.seed, parts)
+    }
+
+    /// Observes `key` in the named sliding-window counter and returns
+    /// the windowed estimate. The tracker is created on first use with
+    /// the given window.
+    pub fn observe_count(
+        &self,
+        name: &'static str,
+        window: SimDuration,
+        now: SimTime,
+        key: u64,
+    ) -> u32 {
+        let mut inner = self.inner.borrow_mut();
+        let seed = self.config.tracker_seed(name);
+        let config = &self.config;
+        if !inner.counters.iter().any(|(n, _)| *n == name) {
+            inner.counters.push((
+                name,
+                WindowedSketch::new(
+                    window,
+                    config.window_buckets,
+                    config.counter_width,
+                    config.counter_depth,
+                    seed,
+                ),
+            ));
+        }
+        let ws = &mut inner
+            .counters
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+            .expect("just inserted")
+            .1;
+        ws.observe(now, key)
+    }
+
+    /// Observes `item` under `key` in the named windowed distinct
+    /// estimator and returns the estimated distinct count for the key.
+    pub fn observe_distinct(
+        &self,
+        name: &'static str,
+        window: SimDuration,
+        now: SimTime,
+        key: u64,
+        item: u64,
+    ) -> u32 {
+        let mut inner = self.inner.borrow_mut();
+        let seed = self.config.tracker_seed(name);
+        let config = &self.config;
+        if !inner.distincts.iter().any(|(n, _)| *n == name) {
+            inner.distincts.push((
+                name,
+                WindowedDistinct::new(
+                    window,
+                    config.distinct_buckets,
+                    config.distinct_slots,
+                    config.distinct_registers,
+                    seed,
+                ),
+            ));
+        }
+        let wd = &mut inner
+            .distincts
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+            .expect("just inserted")
+            .1;
+        wd.observe(now, key, item)
+    }
+
+    /// Whether the key's latch in the named latch set is set.
+    pub fn latched(&self, name: &'static str, key: u64) -> bool {
+        let inner = self.inner.borrow();
+        inner
+            .latches
+            .iter()
+            .find(|(n, _)| *n == name)
+            .is_some_and(|(_, l)| l.get(key))
+    }
+
+    /// Sets or clears the key's latch in the named latch set, creating
+    /// the set on first use.
+    pub fn set_latch(&self, name: &'static str, key: u64, on: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let seed = self.config.tracker_seed(name);
+        let bits = self.config.latch_bits;
+        if !inner.latches.iter().any(|(n, _)| *n == name) {
+            inner.latches.push((name, LatchSet::new(bits, seed)));
+        }
+        let l = &mut inner
+            .latches
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+            .expect("just inserted")
+            .1;
+        l.put(key, on);
+    }
+
+    /// Telemetry snapshot: tracker count and bytes (this hub records no
+    /// divergence — the identity plane's shadow mode owns that).
+    pub fn stats(&self) -> RateStats {
+        let inner = self.inner.borrow();
+        let mut s = RateStats::default();
+        for (_, ws) in &inner.counters {
+            s.trackers += 1;
+            s.bytes += ws.bytes() as u64;
+        }
+        for (_, wd) in &inner.distincts {
+            s.trackers += 1;
+            s.bytes += wd.bytes() as u64;
+        }
+        for (_, l) in &inner.latches {
+            s.trackers += 1;
+            s.bytes += l.bytes() as u64;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_parts_separates_part_boundaries() {
+        let s = DEFAULT_RATE_SEED;
+        assert_ne!(
+            hash_parts(s, &[b"ab", b"c"]),
+            hash_parts(s, &[b"a", b"bc"])
+        );
+        assert_ne!(hash_parts(s, &[b"x"]), hash_parts(s ^ 1, &[b"x"]));
+        assert_eq!(hash_parts(s, &[b"x"]), hash_parts(s, &[b"x"]));
+    }
+
+    #[test]
+    fn latch_set_sets_clears_and_merges() {
+        let mut a = LatchSet::new(128, 7);
+        let mut b = LatchSet::new(128, 7);
+        a.put(1, true);
+        b.put(2, true);
+        assert!(a.get(1) && !a.get(2));
+        a.merge(&b);
+        assert!(a.get(1) && a.get(2));
+        a.put(1, false);
+        assert!(!a.get(1) && a.get(2));
+        a.clear_all();
+        assert!(!a.get(2));
+        assert_eq!(a.bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "latch seed mismatch")]
+    fn latch_merge_checks_seed() {
+        let mut a = LatchSet::new(64, 1);
+        a.merge(&LatchSet::new(64, 2));
+    }
+
+    #[test]
+    fn hub_creates_trackers_lazily_and_reports_bytes() {
+        let hub = RateHub::new(RateConfig::default(), false);
+        assert!(!hub.exact());
+        assert_eq!(hub.stats().trackers, 0);
+        let w = SimDuration::from_secs(10);
+        let k = hub.key(&[b"caller"]);
+        assert_eq!(hub.observe_count("c", w, SimTime::from_secs(1), k), 1);
+        assert_eq!(hub.observe_count("c", w, SimTime::from_secs(2), k), 2);
+        assert_eq!(
+            hub.observe_distinct("d", w, SimTime::from_secs(2), k, hub.key(&[b"x"])),
+            1
+        );
+        assert!(!hub.latched("l", k));
+        hub.set_latch("l", k, true);
+        assert!(hub.latched("l", k));
+        let s = hub.stats();
+        assert_eq!(s.trackers, 3);
+        assert!(s.bytes > 0);
+        // Constant memory: more keys never change the footprint.
+        for i in 0..10_000u64 {
+            hub.observe_count("c", w, SimTime::from_secs(3), i);
+        }
+        assert_eq!(hub.stats().bytes, s.bytes);
+    }
+
+    #[test]
+    fn rate_stats_absorb_sums_and_maxes() {
+        let mut a = RateStats {
+            trackers: 1,
+            bytes: 100,
+            divergence_samples: 2,
+            divergence_sum: 3,
+            divergence_max: 2,
+        };
+        a.record_divergence(7, 4);
+        assert_eq!(a.divergence_max, 3);
+        let b = RateStats {
+            trackers: 2,
+            bytes: 50,
+            divergence_samples: 1,
+            divergence_sum: 9,
+            divergence_max: 9,
+        };
+        a.absorb(b);
+        assert_eq!(a.trackers, 3);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.divergence_samples, 4);
+        assert_eq!(a.divergence_sum, 15);
+        assert_eq!(a.divergence_max, 9);
+    }
+}

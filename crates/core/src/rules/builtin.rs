@@ -8,7 +8,7 @@ use crate::alert::{Alert, Severity};
 use crate::event::{Event, EventClass, EventKind};
 use crate::rules::combo::CombinationRule;
 use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
-use scidive_netsim::time::SimDuration;
+use scidive_netsim::time::{SimDuration, SimTime};
 
 /// A rule that fires on any event of the given classes, once per
 /// session (or globally de-duplicated by message for session-less
@@ -156,6 +156,212 @@ fn describe(kind: &EventKind) -> String {
     }
 }
 
+/// Window for rapid-connection (SPIT / war-dial) detection.
+const RAPID_WINDOW: SimDuration = SimDuration::from_secs(60);
+/// Calls within the window that make a caller suspicious.
+const RAPID_ATTEMPTS: u32 = 12;
+/// Distinct callees within the window that make it a campaign (a hot
+/// legitimate line redials the *same* peer; a SPIT campaign fans out).
+const RAPID_DISTINCT: u32 = 8;
+
+/// Exact per-caller state for [`RapidConnectRule`]: established calls
+/// within the window as (time, callee-hash) pairs — one queue serves
+/// both the attempt count and the distinct-callee check, and hashing
+/// the callee keeps the hot path allocation-free.
+#[derive(Debug, Default)]
+struct RapidState {
+    calls: std::collections::VecDeque<(SimTime, u64)>,
+    emitted: bool,
+}
+
+impl RapidState {
+    /// Whether the window holds at least [`RAPID_DISTINCT`] distinct
+    /// callees. Early-exit linear probe over a fixed array: no
+    /// allocation on the per-event path (the full count for the alert
+    /// message is only taken when this returns true).
+    fn fans_out(&self) -> bool {
+        let mut seen = [0u64; RAPID_DISTINCT as usize];
+        let mut n = 0;
+        for &(_, callee) in &self.calls {
+            if !seen[..n].contains(&callee) {
+                seen[n] = callee;
+                n += 1;
+                if n == seen.len() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn distinct(&self) -> u32 {
+        let set: std::collections::HashSet<u64> = self.calls.iter().map(|&(_, c)| c).collect();
+        set.len() as u32
+    }
+}
+
+/// SPIT / war-dialing detection: one caller establishing many calls to
+/// many *distinct* callees inside a sliding window. The first rule built
+/// directly on the [`crate::rate`] primitives — in sketch mode
+/// ([`crate::rate::RateHub::exact`] false) it keeps **no per-caller
+/// state at all**: a windowed count, a windowed distinct estimate, and a
+/// fired latch, all constant memory. In exact mode it keeps the
+/// reference queues in a caller-hash-keyed map with the same
+/// staleness-at-access lifecycle as [`SessionMap`] (so the state shows
+/// up in the rule-state gauges and expires with idle callers) — hash
+/// keys rather than [`crate::trail::SessionKey`] strings because this
+/// rule sits on the per-call hot path and must not allocate per event.
+///
+/// Sharding caveat: calls are routed to shards by Call-ID, so one
+/// caller's calls spread across shards and each shard sees only its
+/// slice of the campaign — like the RTP-races-announcement caveat, a
+/// sharded deployment may need `shards ×` lower thresholds or an
+/// identity-plane lift (see ROADMAP) for this rule to fire at depth.
+#[derive(Debug)]
+pub struct RapidConnectRule {
+    exact: std::collections::HashMap<u64, (RapidState, SimTime)>,
+    timeout: SimDuration,
+    last_sweep: SimTime,
+    expired: u64,
+}
+
+impl Default for RapidConnectRule {
+    fn default() -> RapidConnectRule {
+        RapidConnectRule {
+            exact: std::collections::HashMap::new(),
+            timeout: crate::rules::DEFAULT_STATE_TIMEOUT,
+            last_sweep: SimTime::ZERO,
+            expired: 0,
+        }
+    }
+}
+
+impl RapidConnectRule {
+    /// Creates the rule.
+    pub fn new() -> RapidConnectRule {
+        RapidConnectRule::default()
+    }
+
+    /// Amortized reclamation of idle callers, mirroring
+    /// [`SessionMap::maybe_sweep`]: at most once per quarter-timeout.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        if now.saturating_since(self.last_sweep) < self.timeout / 4 {
+            return;
+        }
+        self.last_sweep = now;
+        let timeout = self.timeout;
+        let before = self.exact.len();
+        self.exact
+            .retain(|_, (_, touched)| now.saturating_since(*touched) < timeout);
+        self.expired += (before - self.exact.len()) as u64;
+    }
+
+    fn alert(ev: &Event, caller: &str, attempts: u32, distinct: u32) -> Alert {
+        Alert::new(
+            "rapid-connect",
+            Severity::Critical,
+            ev.time,
+            ev.session.clone(),
+            format!(
+                "rapid connections: caller {caller} established {attempts} calls to \
+                 {distinct} distinct callees within {}s",
+                RAPID_WINDOW.as_micros() / 1_000_000
+            ),
+        )
+    }
+}
+
+impl Rule for RapidConnectRule {
+    fn id(&self) -> &str {
+        "rapid-connect"
+    }
+
+    fn description(&self) -> &str {
+        "one caller fanning out calls to many distinct callees (SPIT / war dialing)"
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        false
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&[EventClass::CallEstablished])
+    }
+
+    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
+        let EventKind::CallEstablished { caller, callee } = &ev.kind else {
+            return;
+        };
+        if caller.is_empty() {
+            return;
+        }
+        // Same seeded hash for both modes: the caller key identifies
+        // the window, the callee key is the distinct item. In exact
+        // mode these are just cheap map keys — no string allocation on
+        // the per-call path.
+        let key = ctx.rates.key(&[b"rapid", caller.as_bytes()]);
+        let item = ctx.rates.key(&[b"callee", callee.as_bytes()]);
+        if ctx.rates.exact() {
+            self.maybe_sweep(ev.time);
+            let timeout = self.timeout;
+            let entry = self.exact.entry(key).or_insert_with(|| {
+                (RapidState::default(), ev.time)
+            });
+            // Staleness-at-access, mirroring SessionMap::get_mut: an
+            // entry idle past the timeout reads as absent.
+            if ev.time.saturating_since(entry.1) >= timeout {
+                self.expired += 1;
+                *entry = (RapidState::default(), ev.time);
+            }
+            let (state, touched) = entry;
+            *touched = ev.time;
+            state.calls.push_back((ev.time, item));
+            while let Some(&(t, _)) = state.calls.front() {
+                if ev.time.saturating_since(t) > RAPID_WINDOW {
+                    state.calls.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let attempts = state.calls.len() as u32;
+            if !state.emitted && attempts >= RAPID_ATTEMPTS && state.fans_out() {
+                state.emitted = true;
+                let distinct = state.distinct();
+                sink.push(RapidConnectRule::alert(ev, caller, attempts, distinct));
+            }
+        } else {
+            let attempts = ctx
+                .rates
+                .observe_count("rapid-connect-attempts", RAPID_WINDOW, ev.time, key);
+            let distinct =
+                ctx.rates
+                    .observe_distinct("rapid-connect-callees", RAPID_WINDOW, ev.time, key, item);
+            if attempts >= RAPID_ATTEMPTS
+                && distinct >= RAPID_DISTINCT
+                && !ctx.rates.latched("rapid-connect", key)
+            {
+                ctx.rates.set_latch("rapid-connect", key, true);
+                sink.push(RapidConnectRule::alert(ev, caller, attempts, distinct));
+            }
+        }
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.timeout = timeout;
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        RuleStateStats {
+            sessions: self.exact.len() as u64,
+            expired: self.expired,
+        }
+    }
+}
+
 /// Which built-in rules to install (ablation knobs).
 #[derive(Debug, Clone)]
 pub struct RuleToggles {
@@ -180,6 +386,9 @@ pub struct RuleToggles {
     /// MGCP gateway teardown evasion (inert unless the MGCP protocol
     /// module is registered — without it the rule's event never fires).
     pub mgcp: bool,
+    /// SPIT / war-dialing: one caller fanning out to many distinct
+    /// callees ([`RapidConnectRule`]).
+    pub rapid_connect: bool,
 }
 
 impl Default for RuleToggles {
@@ -195,6 +404,7 @@ impl Default for RuleToggles {
             sip_format: true,
             rtcp_bye: true,
             mgcp: true,
+            rapid_connect: true,
         }
     }
 }
@@ -296,6 +506,11 @@ pub fn builtin_ruleset(toggles: &RuleToggles) -> Vec<Box<dyn Rule>> {
     if toggles.mgcp {
         rules.push(Box::new(crate::proto::mgcp::MgcpTeardownRule::new()));
     }
+    if toggles.rapid_connect {
+        // Appended last so the alert ordering of the pre-existing rules
+        // is untouched.
+        rules.push(Box::new(RapidConnectRule::new()));
+    }
     rules
 }
 
@@ -337,6 +552,7 @@ mod tests {
             "billing-fraud",
             "sip-format",
             "mgcp-teardown",
+            "rapid-connect",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
@@ -361,9 +577,11 @@ mod tests {
     #[test]
     fn event_rule_fires_once_per_session() {
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(10),
             trails: &store,
+            rates: &rates,
         };
         let mut rule = EventRule::new(
             "bye-attack",
@@ -382,9 +600,11 @@ mod tests {
     #[test]
     fn event_rule_fired_marker_expires_with_idle_sessions() {
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(10),
             trails: &store,
+            rates: &rates,
         };
         let mut rule = EventRule::new(
             "bye-attack",
@@ -444,9 +664,11 @@ mod tests {
     #[test]
     fn alert_messages_are_descriptive() {
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(10),
             trails: &store,
+            rates: &rates,
         };
         let mut rule = EventRule::new(
             "bye-attack",
@@ -459,5 +681,91 @@ mod tests {
         let alerts = collect_alerts(&mut rule, &orphan_event("c1"), &ctx);
         assert!(alerts[0].message.contains("10.0.0.3"));
         assert!(alerts[0].message.contains("after the BYE"));
+    }
+
+    fn call_event(n: u32, caller: &str, callee: &str) -> Event {
+        Event {
+            time: SimTime::from_millis(100 * u64::from(n)),
+            session: Some(SessionKey::new(format!("dialog-{n}"))),
+            kind: EventKind::CallEstablished {
+                caller: caller.to_string(),
+                callee: callee.to_string(),
+            },
+        }
+    }
+
+    /// Drives a fan-out campaign (one caller, distinct callees, all
+    /// within the window) through the rule under the given hub and
+    /// returns the alerts.
+    fn rapid_campaign(rates: &crate::rate::RateHub) -> Vec<Alert> {
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let mut rule = RapidConnectRule::new();
+        let mut alerts = Vec::new();
+        for n in 0..RAPID_ATTEMPTS + 3 {
+            let ev = call_event(n, "spitter@lab", &format!("victim-{n}@lab"));
+            let ctx = RuleCtx {
+                now: ev.time,
+                trails: &store,
+                rates,
+            };
+            alerts.extend(collect_alerts(&mut rule, &ev, &ctx));
+        }
+        alerts
+    }
+
+    #[test]
+    fn rapid_connect_fires_once_on_fanout_exact() {
+        let rates = crate::rate::RateHub::default();
+        let alerts = rapid_campaign(&rates);
+        assert_eq!(alerts.len(), 1, "latched: one alert for the campaign");
+        assert_eq!(alerts[0].rule, "rapid-connect");
+        assert!(alerts[0].message.contains("spitter@lab"));
+        assert!(alerts[0].message.contains("12 calls"));
+    }
+
+    #[test]
+    fn rapid_connect_fires_identically_in_sketch_mode() {
+        let exact = rapid_campaign(&crate::rate::RateHub::default());
+        let sketch = rapid_campaign(&crate::rate::RateHub::new(
+            crate::rate::RateConfig::default(),
+            false,
+        ));
+        assert_eq!(exact, sketch, "exact and sketch paths must agree");
+    }
+
+    #[test]
+    fn rapid_connect_ignores_redials_to_one_callee() {
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
+        let mut rule = RapidConnectRule::new();
+        for n in 0..4 * RAPID_ATTEMPTS {
+            // A hot legitimate line: many calls, one peer.
+            let ev = call_event(n, "alice@lab", "bob@lab");
+            let ctx = RuleCtx {
+                now: ev.time,
+                trails: &store,
+                rates: &rates,
+            };
+            assert!(collect_alerts(&mut rule, &ev, &ctx).is_empty());
+        }
+    }
+
+    #[test]
+    fn rapid_connect_window_forgets_slow_fanout() {
+        let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
+        let mut rule = RapidConnectRule::new();
+        for n in 0..4 * RAPID_ATTEMPTS {
+            // One call every two minutes never accumulates in the 60s
+            // window, distinct callees or not.
+            let mut ev = call_event(n, "slow@lab", &format!("peer-{n}@lab"));
+            ev.time = SimTime::from_secs(120 * u64::from(n));
+            let ctx = RuleCtx {
+                now: ev.time,
+                trails: &store,
+                rates: &rates,
+            };
+            assert!(collect_alerts(&mut rule, &ev, &ctx).is_empty());
+        }
     }
 }

@@ -180,9 +180,11 @@ mod tests {
     fn alert_names_the_bye_originator_from_the_trail() {
         let mut store = TrailStore::new(TrailStoreConfig::default());
         store.insert(bye_footprint(Ipv4Addr::new(10, 0, 0, 66), 101));
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(10),
             trails: &store,
+            rates: &rates,
         };
         let mut rule = ByeAttackRule::new();
         let alerts = collect_alerts(&mut rule, &orphan_event(), &ctx);
@@ -198,9 +200,11 @@ mod tests {
         let mut store = TrailStore::new(TrailStoreConfig::default());
         store.insert(bye_footprint(Ipv4Addr::new(10, 0, 0, 3), 2));
         store.insert(bye_footprint(Ipv4Addr::new(10, 0, 0, 66), 102));
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(10),
             trails: &store,
+            rates: &rates,
         };
         let origin = ByeAttackRule::bye_origin(&ctx, &SessionKey::new("c1")).unwrap();
         assert_eq!(origin.src_ip, Ipv4Addr::new(10, 0, 0, 66));
@@ -210,9 +214,11 @@ mod tests {
     #[test]
     fn fires_once_per_session_and_survives_missing_trail() {
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(10),
             trails: &store,
+            rates: &rates,
         };
         let mut rule = ByeAttackRule::new();
         // No SIP trail at all: still alarms (without forensics).

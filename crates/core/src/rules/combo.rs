@@ -316,6 +316,7 @@ mod tests {
         RuleCtx {
             now: SimTime::from_millis(t),
             trails: s,
+            rates: Box::leak(Box::new(crate::rate::RateHub::default())),
         }
     }
 

@@ -38,6 +38,12 @@ pub struct RuleCtx<'a> {
     pub now: SimTime,
     /// The trail store.
     pub trails: &'a TrailStore,
+    /// Constant-memory rate trackers (see [`crate::rate`]): any rule can
+    /// keep windowed counts, distinct estimates, and fired latches here
+    /// without per-key state. [`crate::rate::RateHub::exact`] reports
+    /// the engine's `exact_rate_state` switch so rules that offer both
+    /// paths can pick at event time.
+    pub rates: &'a crate::rate::RateHub,
 }
 
 /// Where a rule emits its alerts. A thin push handle over the engine's
@@ -606,9 +612,11 @@ mod tests {
         };
         let mut compiled = CompiledRuleset::new(vec![Box::new(narrow), Box::new(wide)], false);
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::ZERO,
             trails: &store,
+            rates: &rates,
         };
         let mut out = Vec::new();
         let mut sink = AlertSink::new(&mut out);
@@ -631,9 +639,11 @@ mod tests {
         };
         let mut compiled = CompiledRuleset::new(vec![Box::new(narrow)], true);
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::ZERO,
             trails: &store,
+            rates: &rates,
         };
         let mut out = Vec::new();
         let mut sink = AlertSink::new(&mut out);

@@ -369,9 +369,11 @@ rule demo-any {
     fn parsed_sequence_rule_fires() {
         let mut rules = parse_ruleset(SPEC).unwrap();
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(5),
             trails: &store,
+            rates: &rates,
         };
         let session = Some(SessionKey::new("c1"));
         let torn = Event {
@@ -405,9 +407,11 @@ rule demo-any {
     fn any_of_fires_once_per_session() {
         let mut rules = parse_ruleset(SPEC).unwrap();
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = crate::rate::RateHub::default();
         let ctx = RuleCtx {
             now: SimTime::from_millis(5),
             trails: &store,
+            rates: &rates,
         };
         let ev = Event {
             time: SimTime::from_millis(1),

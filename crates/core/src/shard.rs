@@ -128,6 +128,11 @@ struct ShardTelemetry {
     synthetic_expired: AtomicU64,
     interner_expired: AtomicU64,
     rule_state_expired: AtomicU64,
+    rate_trackers: AtomicU64,
+    rate_bytes: AtomicU64,
+    rate_divergence_samples: AtomicU64,
+    rate_divergence_sum: AtomicU64,
+    rate_divergence_max: AtomicU64,
     /// Batches currently queued *or being processed* by this shard: the
     /// dispatcher increments on send, the worker decrements only after
     /// it has fully processed a batch (so `0` means the shard is truly
@@ -170,6 +175,14 @@ impl ShardTelemetry {
             .store(g.interner_expired, Ordering::Relaxed);
         self.rule_state_expired
             .store(g.rule_state_expired, Ordering::Relaxed);
+        self.rate_trackers.store(g.rate_trackers, Ordering::Relaxed);
+        self.rate_bytes.store(g.rate_bytes, Ordering::Relaxed);
+        self.rate_divergence_samples
+            .store(g.rate_divergence_samples, Ordering::Relaxed);
+        self.rate_divergence_sum
+            .store(g.rate_divergence_sum, Ordering::Relaxed);
+        self.rate_divergence_max
+            .store(g.rate_divergence_max, Ordering::Relaxed);
     }
 
     fn stats(&self) -> PipelineStats {
@@ -205,6 +218,11 @@ impl ShardTelemetry {
             router_media_index: 0,
             router_interner: 0,
             router_synthetic_keys: 0,
+            rate_trackers: self.rate_trackers.load(Ordering::Relaxed),
+            rate_bytes: self.rate_bytes.load(Ordering::Relaxed),
+            rate_divergence_samples: self.rate_divergence_samples.load(Ordering::Relaxed),
+            rate_divergence_sum: self.rate_divergence_sum.load(Ordering::Relaxed),
+            rate_divergence_max: self.rate_divergence_max.load(Ordering::Relaxed),
         }
     }
 }
@@ -323,6 +341,9 @@ impl ShardedScidive {
     /// Panics if `shards` is zero.
     pub fn new(config: ScidiveConfig, shards: usize, queue_depth: usize) -> ShardedScidive {
         assert!(shards >= 1, "a sharded engine needs at least one shard");
+        // The one shared identity plane gets the same rate switches the
+        // shard engines fold into their event configs.
+        let events_cfg = config.event_config();
         let sink: Arc<Mutex<Vec<TaggedAlert>>> = Arc::new(Mutex::new(Vec::new()));
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -369,7 +390,7 @@ impl ShardedScidive {
                 config.trails.idle_timeout,
                 config.protocols,
             ),
-            identity: IdentityPlane::new(config.events),
+            identity: IdentityPlane::new(events_cfg),
             senders,
             workers,
             sink,
@@ -602,10 +623,16 @@ impl ShardedScidive {
     /// the per-shard trail stores, but counted separately).
     fn router_gauges(&self) -> StateGauges {
         let index = self.router.index();
+        let rate = self.identity.rate_stats();
         StateGauges {
             router_media_index: index.len() as u64,
             router_interner: index.interner_len() as u64,
             router_synthetic_keys: index.synthetic_key_count() as u64,
+            rate_trackers: rate.trackers,
+            rate_bytes: rate.bytes,
+            rate_divergence_samples: rate.divergence_samples,
+            rate_divergence_sum: rate.divergence_sum,
+            rate_divergence_max: rate.divergence_max,
             ..StateGauges::default()
         }
     }

@@ -10,6 +10,7 @@ use scidive_core::engine::{Scidive, ScidiveConfig};
 use scidive_core::event::{Event, EventClass, EventKind, FlowKey};
 use scidive_core::footprint::{Footprint, FootprintBody, PacketMeta};
 use scidive_core::metrics::{DetectionReport, InjectedAttack};
+use scidive_core::rate::RateHub;
 use scidive_core::routing::SessionRouter;
 use scidive_core::rules::{AlertSink, CompiledRuleset, Rule, RuleCtx, RuleInterest};
 use scidive_core::shard::ShardedScidive;
@@ -575,10 +576,11 @@ proptest! {
         };
         let mut ruleset = CompiledRuleset::new(vec![Box::new(rule)], false);
         let store = TrailStore::new(TrailStoreConfig::default());
+        let rates = RateHub::default();
         let mut scratch = Vec::new();
         for (step, which) in stream.iter().enumerate() {
             let ev = synthetic_event(*which, step);
-            let ctx = RuleCtx { now: ev.time, trails: &store };
+            let ctx = RuleCtx { now: ev.time, trails: &store, rates: &rates };
             ruleset.dispatch(&ev, &ctx, &mut AlertSink::new(&mut scratch));
         }
         let expected: Vec<(SimTime, EventClass)> = stream
@@ -596,5 +598,108 @@ proptest! {
             ruleset.rule_evals()[0].evals as usize,
             seen.borrow().len()
         );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rate primitives vs exact oracles
+// ----------------------------------------------------------------------
+
+use scidive_core::rate::{CountMinSketch, WindowedSketch};
+use scidive_netsim::time::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Count-min with conservative update against an exact `HashMap`
+    /// oracle over random event streams: estimates never undercount
+    /// (hard, per key), and the classical (ε, δ) bound — an estimate
+    /// exceeds its true count by more than ε·N with probability at most
+    /// δ — holds as a per-case violation budget over the probed keys.
+    #[test]
+    fn count_min_never_undercounts_and_meets_its_error_bound(
+        keys in proptest::collection::vec(0u64..512, 1..800),
+        seed in any::<u64>(),
+    ) {
+        let (epsilon, delta) = (0.01, 0.02);
+        let mut cms = CountMinSketch::with_error(epsilon, delta, seed);
+        let mut exact: HashMap<u64, u32> = HashMap::new();
+        for &k in &keys {
+            let est = cms.observe(k);
+            let e = exact.entry(k).or_insert(0);
+            *e += 1;
+            // observe() returns the post-increment estimate.
+            prop_assert!(est >= *e, "undercount for {}: {} < {}", k, est, *e);
+        }
+        let n = keys.len() as f64;
+        let mut violations = 0usize;
+        for (&k, &count) in &exact {
+            let est = cms.estimate(k);
+            prop_assert!(est >= count, "undercount for {}: {} < {}", k, est, count);
+            if f64::from(est - count) > epsilon * n {
+                violations += 1;
+            }
+        }
+        // Expected violations ≤ δ·keys; budget one extra for small
+        // populations so the test is a gate, not a coin flip.
+        let budget = (delta * exact.len() as f64).ceil() as usize + 1;
+        prop_assert!(
+            violations <= budget,
+            "{} of {} keys broke the ε-bound (budget {})",
+            violations,
+            exact.len(),
+            budget
+        );
+    }
+
+    /// A single-key windowed sketch equals the quantized timestamp-queue
+    /// oracle exactly, for arbitrary interleavings of time advances,
+    /// observations, and read-only estimates. The retention rule under
+    /// test: an event in bucket epoch `e` is still counted at epoch
+    /// `e_now` iff `e_now - e < buckets` (never less than the exact
+    /// window; stale by at most one bucket width).
+    #[test]
+    fn windowed_sketch_matches_quantized_queue_oracle(
+        steps in proptest::collection::vec(
+            // (advance µs, observe?) — advances up to 3 windows.
+            (0u64..300_000, any::<bool>()),
+            1..120,
+        ),
+        seed in any::<u64>(),
+    ) {
+        const KEY: u64 = 0xfeed;
+        const BUCKETS: u64 = 8;
+        let window = SimDuration::from_millis(100);
+        let mut sketch = WindowedSketch::new(window, BUCKETS as usize, 64, 2, seed);
+        let bucket_us = sketch.bucket_width().as_micros();
+        prop_assert_eq!(bucket_us, window.as_micros().div_ceil(BUCKETS - 1));
+
+        let mut t = 0u64;
+        let mut observed: Vec<u64> = Vec::new();
+        for &(advance, observe) in &steps {
+            t += advance;
+            let now = SimTime::from_micros(t);
+            let e_now = t / bucket_us;
+            if observe {
+                observed.push(t);
+                let oracle = observed
+                    .iter()
+                    .filter(|&&at| e_now - at / bucket_us < BUCKETS)
+                    .count() as u32;
+                prop_assert_eq!(sketch.observe(now, KEY), oracle);
+            } else {
+                let oracle = observed
+                    .iter()
+                    .filter(|&&at| e_now - at / bucket_us < BUCKETS)
+                    .count() as u32;
+                prop_assert_eq!(sketch.estimate(now, KEY), oracle);
+            }
+            // Never undercount the exact (unquantized) sliding window.
+            let exact_window = observed
+                .iter()
+                .filter(|&&at| t - at <= window.as_micros())
+                .count() as u32;
+            prop_assert!(sketch.estimate(now, KEY) >= exact_window);
+        }
     }
 }

@@ -28,6 +28,7 @@ pub mod events;
 pub mod gateway;
 pub mod proxy;
 pub mod scenario;
+pub mod synth;
 pub mod ua;
 
 /// Convenient glob import of the common VoIP types.
@@ -37,5 +38,6 @@ pub mod prelude {
     pub use crate::gateway::{GatewayScenario, GATEWAY_CONTROL_PORT};
     pub use crate::proxy::{Binding, Proxy, ProxyConfig, ProxyStats};
     pub use crate::scenario::{Endpoints, Testbed, TestbedBuilder};
+    pub use crate::synth::{SynthConfig, SynthTraffic};
     pub use crate::ua::{RegState, ScriptStep, UaAction, UaConfig, UserAgent, SIP_PORT};
 }

@@ -1,0 +1,402 @@
+//! Mass-dialog traffic synthesizer for capacity testing.
+//!
+//! The [`scenario::TestbedBuilder`](crate::scenario::TestbedBuilder)
+//! testbed is faithful but heavy: every participant is a scheduled
+//! [`UserAgent`](crate::ua::UserAgent) node with retransmission timers
+//! and a media stream. Driving the IDS with hundreds of thousands of
+//! *concurrent* dialogs that way would cost a UA object (and a timer
+//! wheel entry) per dialog. This module instead stamps the wire bytes of
+//! complete, well-formed dialogs straight from templates:
+//!
+//! * per dialog, three frames — `INVITE` → `200 OK` → `BYE` — which is
+//!   exactly what the IDS session plane needs to see a call established
+//!   and torn down;
+//! * interleaved registration churn — `REGISTER` → `401` pairs from a
+//!   rotating pool of distinct source addresses — feeding the identity
+//!   plane's flood windows without ever crossing the flood threshold.
+//!
+//! The whole schedule is an [`Iterator`] with O(1) state: five
+//! internally monotone frame streams (INVITEs, 200s, REGISTERs, 401s,
+//! BYEs) merged on the fly by timestamp, so a million-dialog capture is
+//! produced in time order without ever materializing it. Everything is
+//! derived from dialog indices — no RNG, no wall clock — so a given
+//! [`SynthConfig`] always yields the identical byte stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use scidive_voip::synth::SynthConfig;
+//!
+//! let cfg = SynthConfig::load(1_000, 100);
+//! let frames: Vec<_> = cfg.stream().collect();
+//! assert_eq!(frames.len() as u64, cfg.total_frames());
+//! // Time-ordered, ready for Scidive::on_frame / process_capture.
+//! assert!(frames.windows(2).all(|w| w[0].0 <= w[1].0));
+//! ```
+
+use scidive_netsim::packet::IpPacket;
+use scidive_netsim::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// The proxy/registrar address every synthetic frame converses with.
+pub const SYNTH_PROXY_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// SIP port used on both sides of every synthetic frame.
+pub const SYNTH_SIP_PORT: u16 = 5060;
+
+/// Shape of a synthetic load run.
+///
+/// `hold / spacing` dialogs are concurrently established at any instant
+/// once the ramp-up completes; [`SynthConfig::load`] picks `spacing` and
+/// `hold` from a target concurrency directly.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Total dialogs stamped over the run.
+    pub dialogs: u64,
+    /// Gap between consecutive dialog starts.
+    pub spacing: SimDuration,
+    /// INVITE → 200 answer delay (kept below `spacing` has no benefit;
+    /// streams are merged by timestamp either way).
+    pub answer_delay: SimDuration,
+    /// Dialog duration: the BYE lands this long after the INVITE.
+    pub hold: SimDuration,
+    /// Caller population; dialog `i` is placed by caller `i % callers`,
+    /// and each caller always dials its own dedicated callee (so the
+    /// benign load never looks like a SPIT fan-out).
+    pub callers: u32,
+    /// One REGISTER/401 churn pair per this many dialog starts
+    /// (0 disables churn).
+    pub churn_every: u64,
+    /// Distinct churn source addresses, cycled round-robin. Sized so
+    /// that one source's pairs recur far apart: with the defaults a
+    /// source re-registers every `churn_every * churn_sources` dialog
+    /// starts, far under the identity plane's flood threshold.
+    pub churn_sources: u32,
+    /// Virtual time of the first frame.
+    pub start: SimTime,
+}
+
+impl SynthConfig {
+    /// A load profile targeting roughly `concurrent` simultaneously
+    /// established dialogs: starts spaced 1 ms apart, each held for
+    /// `concurrent` ms.
+    pub fn load(dialogs: u64, concurrent: u64) -> SynthConfig {
+        SynthConfig {
+            dialogs,
+            spacing: SimDuration::from_millis(1),
+            answer_delay: SimDuration::from_micros(200),
+            hold: SimDuration::from_millis(concurrent.max(1)),
+            callers: 4096,
+            churn_every: 8,
+            churn_sources: 1024,
+            start: SimTime::from_secs(1),
+        }
+    }
+
+    /// Dialogs established at once in steady state.
+    pub fn concurrency(&self) -> u64 {
+        let spacing = self.spacing.as_micros().max(1);
+        self.hold.as_micros() / spacing
+    }
+
+    /// Number of REGISTER/401 churn pairs in the run.
+    pub fn churn_pairs(&self) -> u64 {
+        self.dialogs.checked_div(self.churn_every).unwrap_or(0)
+    }
+
+    /// Total frames the stream will yield: three per dialog plus two
+    /// per churn pair.
+    pub fn total_frames(&self) -> u64 {
+        self.dialogs * 3 + self.churn_pairs() * 2
+    }
+
+    /// Virtual time spanned, from the first INVITE to the last BYE.
+    pub fn span(&self) -> SimDuration {
+        if self.dialogs == 0 {
+            return SimDuration::from_micros(0);
+        }
+        SimDuration::from_micros(
+            self.spacing.as_micros() * (self.dialogs - 1) + self.hold.as_micros(),
+        )
+    }
+
+    /// The frame stream, in timestamp order.
+    pub fn stream(&self) -> SynthTraffic {
+        SynthTraffic {
+            cfg: self.clone(),
+            invites: 0,
+            oks: 0,
+            byes: 0,
+            registers: 0,
+            unauthorized: 0,
+        }
+    }
+
+    fn dialog_start(&self, i: u64) -> SimTime {
+        self.start + SimDuration::from_micros(i * self.spacing.as_micros())
+    }
+
+    /// Churn pair `j` fires a third of a spacing after dialog start
+    /// `j * churn_every`, staggered off the dialog frames.
+    fn churn_start(&self, j: u64) -> SimTime {
+        self.dialog_start(j * self.churn_every)
+            + SimDuration::from_micros(self.spacing.as_micros() / 3)
+    }
+}
+
+/// Caller `idx`'s address: a /10-ish pool under `10.64.0.0`, distinct
+/// from the proxy and the churn pool for any `idx < 2^22`.
+fn caller_ip(idx: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 64 | ((idx >> 16) as u8 & 63), (idx >> 8) as u8, idx as u8)
+}
+
+/// Churn source `idx`'s address, pooled under `10.128.0.0`.
+fn churn_ip(idx: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, 128 | ((idx >> 16) as u8 & 63), (idx >> 8) as u8, idx as u8)
+}
+
+/// Stamps dialog `i`'s INVITE bytes.
+fn invite(cfg: &SynthConfig, i: u64) -> Vec<u8> {
+    let c = (i % u64::from(cfg.callers)) as u32;
+    format!(
+        "INVITE sip:d{c}@lab SIP/2.0\r\n\
+         Via: SIP/2.0/UDP {ip}:{port};branch=z9hG4bK-syn-{i}\r\n\
+         From: <sip:c{c}@lab>;tag=syn-{i}\r\n\
+         To: <sip:d{c}@lab>\r\n\
+         Call-ID: syn-{i}@lab\r\n\
+         CSeq: 1 INVITE\r\n\
+         Max-Forwards: 70\r\n\
+         Content-Length: 0\r\n\r\n",
+        ip = caller_ip(c),
+        port = SYNTH_SIP_PORT,
+    )
+    .into_bytes()
+}
+
+/// Stamps the 200 OK answering dialog `i`'s INVITE.
+fn ok(cfg: &SynthConfig, i: u64) -> Vec<u8> {
+    let c = (i % u64::from(cfg.callers)) as u32;
+    format!(
+        "SIP/2.0 200 OK\r\n\
+         Via: SIP/2.0/UDP {ip}:{port};branch=z9hG4bK-syn-{i}\r\n\
+         From: <sip:c{c}@lab>;tag=syn-{i}\r\n\
+         To: <sip:d{c}@lab>;tag=syn-ok-{i}\r\n\
+         Call-ID: syn-{i}@lab\r\n\
+         CSeq: 1 INVITE\r\n\
+         Content-Length: 0\r\n\r\n",
+        ip = caller_ip(c),
+        port = SYNTH_SIP_PORT,
+    )
+    .into_bytes()
+}
+
+/// Stamps dialog `i`'s closing BYE.
+fn bye(cfg: &SynthConfig, i: u64) -> Vec<u8> {
+    let c = (i % u64::from(cfg.callers)) as u32;
+    format!(
+        "BYE sip:d{c}@lab SIP/2.0\r\n\
+         Via: SIP/2.0/UDP {ip}:{port};branch=z9hG4bK-syn-bye-{i}\r\n\
+         From: <sip:c{c}@lab>;tag=syn-{i}\r\n\
+         To: <sip:d{c}@lab>;tag=syn-ok-{i}\r\n\
+         Call-ID: syn-{i}@lab\r\n\
+         CSeq: 2 BYE\r\n\
+         Max-Forwards: 70\r\n\
+         Content-Length: 0\r\n\r\n",
+        ip = caller_ip(c),
+        port = SYNTH_SIP_PORT,
+    )
+    .into_bytes()
+}
+
+/// Stamps churn pair `j`'s REGISTER.
+fn register(cfg: &SynthConfig, j: u64) -> Vec<u8> {
+    let s = (j % u64::from(cfg.churn_sources)) as u32;
+    format!(
+        "REGISTER sip:lab SIP/2.0\r\n\
+         Via: SIP/2.0/UDP {ip}:{port};branch=z9hG4bK-reg-{j}\r\n\
+         From: <sip:r{s}@lab>;tag=reg-{j}\r\n\
+         To: <sip:r{s}@lab>\r\n\
+         Call-ID: reg-{s}@lab\r\n\
+         CSeq: {cseq} REGISTER\r\n\
+         Max-Forwards: 70\r\n\
+         Expires: 3600\r\n\
+         Content-Length: 0\r\n\r\n",
+        ip = churn_ip(s),
+        port = SYNTH_SIP_PORT,
+        cseq = j / u64::from(cfg.churn_sources) + 1,
+    )
+    .into_bytes()
+}
+
+/// Stamps the 401 challenging churn pair `j`'s REGISTER.
+fn unauthorized(cfg: &SynthConfig, j: u64) -> Vec<u8> {
+    let s = (j % u64::from(cfg.churn_sources)) as u32;
+    format!(
+        "SIP/2.0 401 Unauthorized\r\n\
+         Via: SIP/2.0/UDP {ip}:{port};branch=z9hG4bK-reg-{j}\r\n\
+         From: <sip:r{s}@lab>;tag=reg-{j}\r\n\
+         To: <sip:r{s}@lab>;tag=ch-{j}\r\n\
+         Call-ID: reg-{s}@lab\r\n\
+         CSeq: {cseq} REGISTER\r\n\
+         Content-Length: 0\r\n\r\n",
+        ip = churn_ip(s),
+        port = SYNTH_SIP_PORT,
+        cseq = j / u64::from(cfg.churn_sources) + 1,
+    )
+    .into_bytes()
+}
+
+/// The merged frame stream. See the module docs; obtained from
+/// [`SynthConfig::stream`].
+#[derive(Debug, Clone)]
+pub struct SynthTraffic {
+    cfg: SynthConfig,
+    invites: u64,
+    oks: u64,
+    byes: u64,
+    registers: u64,
+    unauthorized: u64,
+}
+
+impl Iterator for SynthTraffic {
+    type Item = (SimTime, IpPacket);
+
+    fn next(&mut self) -> Option<(SimTime, IpPacket)> {
+        let cfg = &self.cfg;
+        let churn = cfg.churn_pairs();
+        // Next pending timestamp of each of the five monotone streams.
+        let mut best: Option<(SimTime, u8)> = None;
+        let mut offer = |t: SimTime, stream: u8| {
+            // Strict `<` keeps ties in stream-priority order (requests
+            // before their responses, starts before teardowns).
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, stream));
+            }
+        };
+        if self.invites < cfg.dialogs {
+            offer(cfg.dialog_start(self.invites), 0);
+        }
+        if self.registers < churn {
+            offer(cfg.churn_start(self.registers), 1);
+        }
+        if self.oks < cfg.dialogs {
+            offer(cfg.dialog_start(self.oks) + cfg.answer_delay, 2);
+        }
+        if self.unauthorized < churn {
+            offer(cfg.churn_start(self.unauthorized) + cfg.answer_delay, 3);
+        }
+        if self.byes < cfg.dialogs {
+            offer(cfg.dialog_start(self.byes) + cfg.hold, 4);
+        }
+        let (time, stream) = best?;
+        let pkt = match stream {
+            0 => {
+                let i = self.invites;
+                self.invites += 1;
+                let c = (i % u64::from(cfg.callers)) as u32;
+                udp_to_proxy(caller_ip(c), invite(cfg, i))
+            }
+            1 => {
+                let j = self.registers;
+                self.registers += 1;
+                let s = (j % u64::from(cfg.churn_sources)) as u32;
+                udp_to_proxy(churn_ip(s), register(cfg, j))
+            }
+            2 => {
+                let i = self.oks;
+                self.oks += 1;
+                let c = (i % u64::from(cfg.callers)) as u32;
+                udp_from_proxy(caller_ip(c), ok(cfg, i))
+            }
+            3 => {
+                let j = self.unauthorized;
+                self.unauthorized += 1;
+                let s = (j % u64::from(cfg.churn_sources)) as u32;
+                udp_from_proxy(churn_ip(s), unauthorized(cfg, j))
+            }
+            _ => {
+                let i = self.byes;
+                self.byes += 1;
+                let c = (i % u64::from(cfg.callers)) as u32;
+                udp_to_proxy(caller_ip(c), bye(cfg, i))
+            }
+        };
+        Some((time, pkt))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let emitted = self.invites + self.oks + self.byes + self.registers + self.unauthorized;
+        let left = (self.cfg.total_frames() - emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+fn udp_to_proxy(src: Ipv4Addr, payload: Vec<u8>) -> IpPacket {
+    IpPacket::udp(src, SYNTH_SIP_PORT, SYNTH_PROXY_IP, SYNTH_SIP_PORT, payload)
+}
+
+fn udp_from_proxy(dst: Ipv4Addr, payload: Vec<u8>) -> IpPacket {
+    IpPacket::udp(SYNTH_PROXY_IP, SYNTH_SIP_PORT, dst, SYNTH_SIP_PORT, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidive_sip::msg::SipMessage;
+
+    #[test]
+    fn frame_count_matches_config() {
+        let cfg = SynthConfig::load(100, 10);
+        assert_eq!(cfg.stream().count() as u64, cfg.total_frames());
+        assert_eq!(cfg.total_frames(), 100 * 3 + (100 / 8) * 2);
+    }
+
+    #[test]
+    fn frames_are_time_ordered() {
+        let cfg = SynthConfig::load(500, 50);
+        let times: Vec<SimTime> = cfg.stream().map(|(t, _)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "stream not sorted");
+    }
+
+    #[test]
+    fn every_frame_is_wellformed_sip() {
+        let cfg = SynthConfig::load(40, 4);
+        for (_, pkt) in cfg.stream() {
+            let udp = pkt.decode_udp().expect("valid UDP");
+            let msg = SipMessage::parse(&udp.payload).expect("parses as SIP");
+            assert!(
+                msg.format_violations().is_empty(),
+                "format violations in {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_is_hold_over_spacing() {
+        let cfg = SynthConfig::load(10_000, 250);
+        assert_eq!(cfg.concurrency(), 250);
+        assert!(cfg.span() >= SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let cfg = SynthConfig::load(64, 8);
+        let a: Vec<_> = cfg.stream().collect();
+        let b: Vec<_> = cfg.stream().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_sources_stay_below_flood_rates() {
+        // One source's consecutive churn pairs must be far enough apart
+        // that the identity plane's 10-in-10s flood window never fills.
+        let cfg = SynthConfig::load(1_000_000, 1_000);
+        let gap = cfg.spacing.as_micros() * cfg.churn_every * u64::from(cfg.churn_sources);
+        // At most `10s / gap + 1` pairs ever cohabit a flood window;
+        // that must sit well under the default threshold of 10.
+        let pairs_per_window = 10_000_000 / gap + 1;
+        assert!(
+            pairs_per_window <= 3,
+            "per-source churn gap {gap}us packs {pairs_per_window} pairs into a flood window"
+        );
+    }
+}

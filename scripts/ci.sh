@@ -25,6 +25,15 @@
 # registry-order classification property, and the registry differential
 # suite (tests/proto_registry_equivalence.rs) with the MGCP fifth
 # protocol at 1/2/4 shards.
+# The rate-primitive gates (DESIGN SS13) prove the constant-memory
+# rewiring of the flood rules is safe and actually constant-memory: the
+# sketch property tests pin count-min's (eps, delta) bound and the
+# sliding window's oracle equality, the differential suite
+# (tests/rate_equivalence.rs) requires byte-identical alerts with
+# exact_rate_state on vs off at 1/2/4 shards, a 100k-dialog release
+# soak (tests/soak.rs) gates the byte-for-byte rate-state plateau, and
+# exp_capacity regenerates BENCH_capacity.json, failing the run unless
+# rate bytes are constant across the full 10k -> 1M dialog ladder.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,5 +92,20 @@ cargo test -q -p scidive-core --test properties \
 
 echo "== protocol registry equivalence (MGCP fifth protocol, 1/2/4 shards) =="
 cargo test -q --test proto_registry_equivalence
+
+echo "== rate primitive properties (count-min, sliding window vs oracles) =="
+cargo test -q -p scidive-core --test properties -- \
+  count_min_never_undercounts_and_meets_its_error_bound \
+  windowed_sketch_matches_quantized_queue_oracle
+
+echo "== rate equivalence (exact vs sketch, 1/2/4 shards) =="
+cargo test -q --test rate_equivalence
+
+echo "== million-session soak, short profile (100k dialogs, release) =="
+SCIDIVE_SOAK_DIALOGS=100000 cargo test --release -q --test soak
+
+echo "== capacity ladder gate (BENCH_capacity.json regeneration) =="
+cargo run --release -q -p scidive-bench --bin exp_capacity -- --gate
+git diff --stat -- BENCH_capacity.json || true
 
 echo "CI green."

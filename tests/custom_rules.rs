@@ -41,6 +41,7 @@ fn spec_rule_catches_hijack_with_builtins_disabled() {
         sip_format: false,
         rtcp_bye: false,
         mgcp: false,
+        rapid_connect: false,
     };
     let mut ids = Scidive::new(config);
     let installed = ids

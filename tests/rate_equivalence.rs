@@ -1,0 +1,229 @@
+//! Differential tests for the rate-primitive rewiring: replay the same
+//! capture through the exact reference (`exact_rate_state = true`, the
+//! default — per-key timestamp windows) and through the sketch mode
+//! (`exact_rate_state = false` — constant-memory count-min /
+//! sliding-window / distinct estimators), single engine and sharded at
+//! 1/2/4, and require **byte-identical** alert streams.
+//!
+//! Swapping the rate representation may only change *how* flood and
+//! fan-out counts are stored — never whether a threshold trips on these
+//! captures — so every scenario that fires in exact mode must fire
+//! identically in sketch mode, and benign traffic must stay silent in
+//! both.
+
+use scidive::prelude::*;
+
+fn config_for(ep: &Endpoints, exact: bool) -> ScidiveConfig {
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    config.exact_rate_state = exact;
+    config
+}
+
+/// Builds a testbed (customized by `shape`), taps the hub, optionally
+/// injects an attacker, and runs for `run`.
+fn capture_scenario(
+    seed: u64,
+    shape: impl FnOnce(TestbedBuilder) -> TestbedBuilder,
+    attacker: Option<Box<dyn Node>>,
+    run: SimDuration,
+) -> (Vec<CapturedFrame>, Endpoints) {
+    let mut tb = shape(TestbedBuilder::new(seed)).build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    if let Some(node) = attacker {
+        tb.add_node("attacker", ep.attacker_ip, LinkParams::lan(), node);
+    }
+    tb.run_for(run);
+    let frames = tap.borrow().clone();
+    (frames, ep)
+}
+
+/// Replays `frames` through the exact reference and the sketch mode —
+/// single engine, then both modes sharded at 1/2/4 — asserting
+/// identical alert streams everywhere. Returns the reference alerts for
+/// scenario assertions.
+fn assert_rate_equivalence(frames: &[CapturedFrame], ep: &Endpoints) -> Vec<Alert> {
+    let mut exact = Scidive::new(config_for(ep, true));
+    for f in frames {
+        exact.on_frame(f.time, &f.packet);
+    }
+
+    let mut sketch = Scidive::new(config_for(ep, false));
+    for f in frames {
+        sketch.on_frame(f.time, &f.packet);
+    }
+    assert_eq!(
+        sketch.alerts(),
+        exact.alerts(),
+        "sketch-mode alerts diverged from the exact reference"
+    );
+    assert_eq!(sketch.stats(), exact.stats());
+    // Mode telemetry: the reference shadow-feeds the sketches and
+    // records divergence samples; sketch mode runs no comparisons.
+    assert_eq!(sketch.gauges().rate_divergence_samples, 0);
+
+    for shards in [1usize, 2, 4] {
+        for mode_exact in [true, false] {
+            let mut sharded = ShardedScidive::new(config_for(ep, mode_exact), shards, 64);
+            for f in frames {
+                sharded.submit(f.time, &f.packet);
+            }
+            let report = sharded.finish();
+            assert_eq!(
+                report.alerts,
+                exact.alerts(),
+                "sharded run (exact={mode_exact}) diverged at {shards} shards"
+            );
+            assert_eq!(
+                report.stats,
+                exact.stats(),
+                "counters (exact={mode_exact}) diverged at {shards} shards"
+            );
+        }
+    }
+    exact.alerts().to_vec()
+}
+
+#[test]
+fn benign_call_is_silent_in_both_modes() {
+    let (frames, ep) = capture_scenario(
+        711,
+        |tb| tb.standard_call(SimDuration::from_millis(500), Some(SimDuration::from_secs(3))),
+        None,
+        SimDuration::from_secs(5),
+    );
+    assert!(frames.len() > 100, "capture too small: {}", frames.len());
+    let alerts = assert_rate_equivalence(&frames, &ep);
+    assert!(alerts.is_empty(), "benign capture alarmed: {alerts:?}");
+}
+
+#[test]
+fn register_flood_fires_identically_in_both_modes() {
+    let ep0 = Endpoints::default();
+    let (frames, ep) = capture_scenario(
+        712,
+        |tb| {
+            tb.with_auth(&[("alice", "pw-a"), ("bob", "pw-b")]).a_script(vec![
+                ScriptStep::new(SimDuration::from_millis(10), UaAction::Register),
+            ])
+        },
+        Some(Box::new(RegisterFlooder::new(RegisterDosConfig::new(
+            ep0.attacker_ip,
+            ep0.proxy_ip,
+            SimDuration::from_millis(500),
+        )))),
+        SimDuration::from_secs(10),
+    );
+    let alerts = assert_rate_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "register-dos"),
+        "REGISTER flood missing: {alerts:?}"
+    );
+    // The benign client's single challenge round-trip stays unflagged.
+    assert!(!alerts.iter().any(|a| a.rule == "password-guess"));
+}
+
+#[test]
+fn password_guess_fires_identically_in_both_modes() {
+    let ep0 = Endpoints::default();
+    let (frames, ep) = capture_scenario(
+        713,
+        |tb| tb.with_auth(&[("alice", "super-secret")]),
+        Some(Box::new(PasswordGuesser::new(PasswordGuessConfig::new(
+            ep0.attacker_ip,
+            ep0.proxy_ip,
+            SimDuration::from_millis(500),
+            10,
+        )))),
+        SimDuration::from_secs(10),
+    );
+    let alerts = assert_rate_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "password-guess"),
+        "password guessing missing: {alerts:?}"
+    );
+}
+
+#[test]
+fn non_rate_rules_are_untouched_by_the_mode_switch() {
+    // A cross-protocol BYE attack exercises rules that never consult
+    // the rate hub; the mode flag must be completely inert for them.
+    let ep0 = Endpoints::default();
+    let (frames, ep) = capture_scenario(
+        714,
+        |tb| tb.standard_call(SimDuration::from_millis(500), None),
+        Some(Box::new(ByeAttacker::new(ByeAttackConfig::new(
+            ep0.attacker_ip,
+            ep0.a_ip,
+            ep0.b_ip,
+            SimDuration::from_secs(1),
+        )))),
+        SimDuration::from_secs(5),
+    );
+    let alerts = assert_rate_equivalence(&frames, &ep);
+    assert!(
+        alerts.iter().any(|a| a.rule == "bye-attack"),
+        "cross-protocol BYE detection missing: {alerts:?}"
+    );
+}
+
+/// One caller fanning out calls to 14 distinct callees inside the
+/// 60-second window: the rapid-connect rule must fire exactly once, and
+/// identically, in both modes. Single engine only — the sharded router
+/// keys on Call-ID, which splits one caller's dialogs across shards and
+/// is a documented per-shard-threshold caveat for this rule.
+#[test]
+fn rapid_connect_fanout_fires_identically_in_both_modes() {
+    let caller_ip = std::net::Ipv4Addr::new(10, 0, 0, 40);
+    let proxy_ip = std::net::Ipv4Addr::new(10, 0, 0, 1);
+    let mut frames = Vec::new();
+    for n in 0..14u64 {
+        let at = SimTime::from_millis(100 * n);
+        let callee = format!("sip:victim-{n}@lab");
+        let mut b = RequestBuilder::new(Method::Invite, callee.parse().unwrap());
+        b.from(NameAddr::new("sip:spammer@lab".parse().unwrap()).with_tag("spam"))
+            .to(NameAddr::new(callee.parse().unwrap()))
+            .call_id(format!("fan-{n}@lab"))
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.40:5060", format!("z9hG4bK-fan-{n}")));
+        let invite = b.build();
+        frames.push((
+            at,
+            IpPacket::udp(caller_ip, 5060, proxy_ip, 5060, invite.to_bytes().as_ref()),
+        ));
+        let ok = response_to(&invite, StatusCode::OK, Some(&format!("vt-{n}")));
+        frames.push((
+            at + SimDuration::from_millis(10),
+            IpPacket::udp(proxy_ip, 5060, caller_ip, 5060, ok.to_bytes().as_ref()),
+        ));
+    }
+
+    let run = |exact: bool| {
+        let config = ScidiveConfig {
+            exact_rate_state: exact,
+            ..ScidiveConfig::default()
+        };
+        let mut ids = Scidive::new(config);
+        for (t, p) in &frames {
+            ids.on_frame(*t, p);
+        }
+        ids.alerts().to_vec()
+    };
+    let exact_alerts = run(true);
+    let sketch_alerts = run(false);
+    assert_eq!(
+        sketch_alerts, exact_alerts,
+        "rapid-connect diverged between modes"
+    );
+    assert_eq!(
+        exact_alerts
+            .iter()
+            .filter(|a| a.rule == "rapid-connect")
+            .count(),
+        1,
+        "fan-out should fire rapid-connect exactly once: {exact_alerts:?}"
+    );
+}
