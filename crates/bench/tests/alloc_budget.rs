@@ -24,11 +24,13 @@ use scidive_netsim::time::SimTime;
 
 /// Heap allocations allowed per frame, end to end (distill → route →
 /// trails → events → rules). Measured ~3.2 after the interning/zero-copy
-/// work and ~2.6 once sink-based rule emission removed the
-/// per-(event, rule) `Vec<Alert>` returns; 4 gives headroom for noise
-/// without letting either the old per-frame copies or per-dispatch
-/// alert vectors back in.
-const ALLOCS_PER_FRAME_BUDGET: f64 = 4.0;
+/// work, ~2.6 once sink-based rule emission removed the per-(event,
+/// rule) `Vec<Alert>` returns, and ~1.8/~1.4 (benign/bye) with pooled
+/// header vectors, recycled footprint slots, and the per-media-frame
+/// endpoint `Vec` gone; 2 gives headroom for noise without letting any
+/// per-frame allocation back into the distiller, router, trail store,
+/// or event generator.
+const ALLOCS_PER_FRAME_BUDGET: f64 = 2.0;
 
 fn assert_within_budget(label: &str, frames: &[(SimTime, IpPacket)]) {
     assert!(frames.len() > 200, "{label} capture too small: {}", frames.len());

@@ -377,11 +377,13 @@ impl Scidive {
             interner: index.interner_len() as u64,
             synthetic_keys: index.synthetic_key_count() as u64,
             rule_state: rule_state.sessions,
+            session_plane: self.events.session_count() as u64,
             expired_trails: self.trails.stats().expired_trails,
             media_expired: lifecycle.media_expired,
             synthetic_expired: lifecycle.synthetic_expired,
             interner_expired: lifecycle.interner_expired,
             rule_state_expired: rule_state.expired,
+            session_plane_expired: self.events.sessions_expired(),
             router_media_index: 0,
             router_interner: 0,
             router_synthetic_keys: 0,

@@ -381,6 +381,14 @@ pub struct EventGenConfig {
     /// `im_mobility_interval`, so expiring an idle binding never turns a
     /// plausible re-registration into a mismatch.
     pub identity_timeout: SimDuration,
+    /// Idle expiry for per-session dialog state in the
+    /// [`crate::proto::SessionPlane`]. A session with no footprint for
+    /// this long reads as absent on its next access (and is reclaimed by
+    /// a quarter-timeout background sweep). Far above `monitor_window`,
+    /// so expiry never races an armed orphan-media watch; a dialog
+    /// genuinely idle this long has long since left every window the
+    /// rules care about.
+    pub session_timeout: SimDuration,
 }
 
 impl Default for EventGenConfig {
@@ -400,6 +408,7 @@ impl Default for EventGenConfig {
             exact_rate_state: true,
             rate: crate::rate::RateConfig::default(),
             identity_timeout: SimDuration::from_secs(600),
+            session_timeout: SimDuration::from_secs(600),
         }
     }
 }

@@ -166,11 +166,141 @@ impl PartialEq for ExtBody {
     }
 }
 
+/// Bound on idle recycled SIP message boxes kept per thread. Sized like
+/// the header-vector pool in the sip crate: enough for every in-flight
+/// footprint of a distill batch, small enough to be irrelevant memory.
+const SIP_POOL_CAP: usize = 32;
+
+thread_local! {
+    // The Box IS the pooled resource — its heap slot is what gets
+    // recycled — so clippy's `Vec<SipMessage>` suggestion would defeat
+    // the pool (every pop would need a fresh `Box::new`).
+    #[allow(clippy::vec_box)]
+    static SIP_BOX_POOL: std::cell::RefCell<Vec<Box<SipMessage>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A boxed [`SipMessage`] whose heap slot is recycled through a
+/// thread-local pool: dropping a SIP footprint returns the box for the
+/// next parsed message to reuse, so the steady-state distill path stops
+/// paying one `Box` allocation per signalling frame.
+///
+/// Dereferences to [`SipMessage`]; equality, `Debug`, and `Clone` all
+/// follow the message, so the wrapper is invisible to rule code. Before
+/// a box enters the pool its contents are replaced with an empty
+/// placeholder, so pooling never pins packet buffers alive.
+pub struct PooledSip {
+    /// `Some` until drop.
+    msg: Option<Box<SipMessage>>,
+    /// `false` opts out of recycling (the reference configuration
+    /// allocates and frees per message, as the pre-pooling code did).
+    pooled: bool,
+}
+
+impl PooledSip {
+    /// Wraps a message in a recycled box (or a fresh one when the pool
+    /// is empty).
+    pub fn new(msg: SipMessage) -> PooledSip {
+        let boxed = match SIP_BOX_POOL.with_borrow_mut(|pool| pool.pop()) {
+            Some(mut b) => {
+                *b = msg;
+                b
+            }
+            None => Box::new(msg),
+        };
+        PooledSip {
+            msg: Some(boxed),
+            pooled: true,
+        }
+    }
+
+    /// Wraps a message in a box that will be freed, not recycled — the
+    /// allocation behavior the reference (pre-pooling) configuration
+    /// measures.
+    pub fn heap(msg: SipMessage) -> PooledSip {
+        PooledSip {
+            msg: Some(Box::new(msg)),
+            pooled: false,
+        }
+    }
+
+    fn get(&self) -> &SipMessage {
+        self.msg.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::Deref for PooledSip {
+    type Target = SipMessage;
+    fn deref(&self) -> &SipMessage {
+        self.get()
+    }
+}
+
+impl Drop for PooledSip {
+    fn drop(&mut self) {
+        let Some(mut boxed) = self.msg.take() else {
+            return;
+        };
+        if !self.pooled {
+            return;
+        }
+        // `try_with`: during thread teardown the pool may already be
+        // gone, in which case the box just frees normally.
+        let _ = SIP_BOX_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < SIP_POOL_CAP {
+                // Drop the message contents now; only the heap slot is
+                // retained. The placeholder is allocation-free and its
+                // empty header vector is below the header pool's
+                // recycling threshold.
+                *boxed = SipMessage {
+                    start: scidive_sip::msg::StartLine::Response {
+                        code: scidive_sip::status::StatusCode::OK,
+                        reason: scidive_sip::bstr::ByteStr::EMPTY,
+                    },
+                    headers: scidive_sip::header::Headers::new(),
+                    body: bytes::Bytes::new(),
+                };
+                pool.push(boxed);
+            }
+        });
+    }
+}
+
+impl Clone for PooledSip {
+    fn clone(&self) -> PooledSip {
+        let msg = self.get().clone();
+        if self.pooled {
+            PooledSip::new(msg)
+        } else {
+            PooledSip::heap(msg)
+        }
+    }
+}
+
+impl PartialEq for PooledSip {
+    fn eq(&self, other: &PooledSip) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl fmt::Debug for PooledSip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.get(), f)
+    }
+}
+
+impl From<SipMessage> for PooledSip {
+    fn from(msg: SipMessage) -> PooledSip {
+        PooledSip::new(msg)
+    }
+}
+
 /// The protocol-dependent payload of a footprint.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FootprintBody {
     /// A parsed SIP message.
-    Sip(Box<SipMessage>),
+    Sip(PooledSip),
     /// Traffic on a SIP port that failed to parse as SIP.
     SipMalformed {
         /// Why parsing failed.

@@ -34,7 +34,8 @@
 //! * [`routing`] resolves any footprint to its session key up front (the
 //!   SDP-derived media-correlation index lives here) and
 //!   [`shard::ShardedScidive`] uses it to fan the pipeline out over `N`
-//!   worker engines whose merged output is byte-identical to one engine.
+//!   worker engines whose merged output is byte-identical to one engine;
+//!   batches travel over per-shard [`spsc`] rings.
 //! * [`observe`] watches the whole pipeline — monotonic counters, state
 //!   gauges, fixed-bucket histograms and an optional decision trace —
 //!   snapshottable as a serializable [`observe::PipelineObservation`].
@@ -75,6 +76,7 @@ pub mod rate;
 pub mod routing;
 pub mod rules;
 pub mod shard;
+pub mod spsc;
 pub mod trail;
 
 /// Convenient glob import of the common IDS types.

@@ -257,6 +257,9 @@ pub struct StateGauges {
     /// Session entries held by rule state maps (partial matches and
     /// fired-once markers) across all rules.
     pub rule_state: u64,
+    /// Per-session dialog states held by the event generators' session
+    /// planes across all engines.
+    pub session_plane: u64,
     /// Trails dropped by the idle timeout (monotonic).
     pub expired_trails: u64,
     /// Media mappings dropped by idle expiry (monotonic).
@@ -267,6 +270,8 @@ pub struct StateGauges {
     pub interner_expired: u64,
     /// Rule state entries dropped by idle expiry (monotonic).
     pub rule_state_expired: u64,
+    /// Session-plane dialog states dropped by idle expiry (monotonic).
+    pub session_plane_expired: u64,
     /// The dispatcher router's media mappings (0 for a single engine).
     pub router_media_index: u64,
     /// The dispatcher router's interned keys (0 for a single engine).
@@ -299,11 +304,13 @@ impl std::ops::Add for StateGauges {
             interner: self.interner + rhs.interner,
             synthetic_keys: self.synthetic_keys + rhs.synthetic_keys,
             rule_state: self.rule_state + rhs.rule_state,
+            session_plane: self.session_plane + rhs.session_plane,
             expired_trails: self.expired_trails + rhs.expired_trails,
             media_expired: self.media_expired + rhs.media_expired,
             synthetic_expired: self.synthetic_expired + rhs.synthetic_expired,
             interner_expired: self.interner_expired + rhs.interner_expired,
             rule_state_expired: self.rule_state_expired + rhs.rule_state_expired,
+            session_plane_expired: self.session_plane_expired + rhs.session_plane_expired,
             router_media_index: self.router_media_index + rhs.router_media_index,
             router_interner: self.router_interner + rhs.router_interner,
             router_synthetic_keys: self.router_synthetic_keys + rhs.router_synthetic_keys,
@@ -702,25 +709,27 @@ impl PipelineObservation {
         );
         let _ = writeln!(
             out,
-            "state      trails={} retained={} media_index={} interner={} synthetic_keys={} rule_state={} router_media={} router_interner={} router_synth={}",
+            "state      trails={} retained={} media_index={} interner={} synthetic_keys={} rule_state={} session_plane={} router_media={} router_interner={} router_synth={}",
             self.gauges.trails,
             self.gauges.retained_footprints,
             self.gauges.media_index,
             self.gauges.interner,
             self.gauges.synthetic_keys,
             self.gauges.rule_state,
+            self.gauges.session_plane,
             self.gauges.router_media_index,
             self.gauges.router_interner,
             self.gauges.router_synthetic_keys,
         );
         let _ = writeln!(
             out,
-            "lifecycle  expired_trails={} media_expired={} synthetic_expired={} interner_expired={} rule_state_expired={}",
+            "lifecycle  expired_trails={} media_expired={} synthetic_expired={} interner_expired={} rule_state_expired={} session_plane_expired={}",
             self.gauges.expired_trails,
             self.gauges.media_expired,
             self.gauges.synthetic_expired,
             self.gauges.interner_expired,
             self.gauges.rule_state_expired,
+            self.gauges.session_plane_expired,
         );
         let _ = writeln!(
             out,

@@ -87,9 +87,7 @@ fn on_acct_start(
     ctx: &mut GenCtx<'_>,
 ) {
     let observed_caller = ctx
-        .plane
-        .sessions
-        .get(&key.session)
+        .session_mut(&key.session, fp.meta.time)
         .and_then(|s| s.caller_aor.clone());
     let mismatch = observed_caller.as_deref() != Some(billed);
     if let Some(state) = ctx.plane.sessions.get_mut(&key.session) {

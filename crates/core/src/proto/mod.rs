@@ -42,7 +42,7 @@ use crate::footprint::{Footprint, FootprintBody, PacketMeta};
 use crate::routing::MediaIndex;
 use crate::trail::{SessionKey, TrailKey, TrailStore};
 use bytes::Bytes;
-use scidive_netsim::time::SimTime;
+use scidive_netsim::time::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -172,6 +172,80 @@ pub struct SessionPlane {
     pub(crate) seq_history: HashMap<(FlowKey, u32), u16>,
     /// flow → ssrcs seen (for redirect snapshots).
     pub(crate) flow_ssrcs: HashMap<FlowKey, HashSet<u32>>,
+    /// Sessions dropped by idle expiry (monotonic).
+    pub(crate) expired: u64,
+    /// When the last background sweep ran.
+    last_sweep: SimTime,
+}
+
+impl SessionPlane {
+    /// Whether a session entry is past its idle timeout at `now`.
+    fn stale(state: &SessionState, now: SimTime, timeout: SimDuration) -> bool {
+        now.saturating_since(state.last_seen) > timeout
+    }
+
+    /// Upserts a session with staleness-at-access semantics: an entry
+    /// idle longer than `timeout` reads as absent, so its stale dialog
+    /// state is discarded (counted in `expired`) and a fresh one starts.
+    /// Stamps `last_seen`. Expiry is decided purely by this session's
+    /// own footprint times, so single-engine and sharded deployments —
+    /// which see different interleavings of *other* sessions — agree.
+    pub(crate) fn session_entry(
+        &mut self,
+        key: &SessionKey,
+        now: SimTime,
+        timeout: SimDuration,
+    ) -> &mut SessionState {
+        let state = match self.sessions.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let state = e.into_mut();
+                if Self::stale(state, now, timeout) {
+                    self.expired += 1;
+                    *state = SessionState::default();
+                }
+                state
+            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(SessionState::default()),
+        };
+        state.last_seen = now;
+        state
+    }
+
+    /// Looks up a session with staleness-at-access semantics: a stale
+    /// entry is dropped (counted in `expired`) and reads as absent.
+    /// Stamps `last_seen` on hit.
+    pub(crate) fn session_mut(
+        &mut self,
+        key: &SessionKey,
+        now: SimTime,
+        timeout: SimDuration,
+    ) -> Option<&mut SessionState> {
+        let is_stale = Self::stale(self.sessions.get(key)?, now, timeout);
+        if is_stale {
+            self.sessions.remove(key);
+            self.expired += 1;
+            return None;
+        }
+        let state = self.sessions.get_mut(key).expect("present above");
+        state.last_seen = now;
+        Some(state)
+    }
+
+    /// Reclaims sessions idle past `timeout`, at quarter-timeout cadence
+    /// (mirroring the identity plane's sweep). Purely a memory bound:
+    /// staleness-at-access already makes expired entries unreadable, so
+    /// the sweep — whose timing depends on which sessions an engine
+    /// happens to observe — cannot change any event.
+    pub(crate) fn maybe_sweep(&mut self, now: SimTime, timeout: SimDuration) {
+        if now.saturating_since(self.last_sweep) < timeout / 4 {
+            return;
+        }
+        self.last_sweep = now;
+        let before = self.sessions.len();
+        self.sessions
+            .retain(|_, state| !Self::stale(state, now, timeout));
+        self.expired += (before - self.sessions.len()) as u64;
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -208,6 +282,9 @@ pub(crate) struct SessionState {
     pub(crate) garbage_emitted: u32,
     /// SSRC → (goodbye time, already alarmed).
     pub(crate) rtcp_byes: HashMap<u32, (SimTime, bool)>,
+    /// Capture time of the last footprint that touched this session;
+    /// drives [`EventGenConfig::session_timeout`] idle expiry.
+    pub(crate) last_seen: SimTime,
 }
 
 /// Context handed to [`ProtocolModule::generate`]: the generator
@@ -231,6 +308,25 @@ impl GenCtx<'_> {
     /// directly from the Trails").
     pub fn trails(&self) -> &TrailStore {
         self.trails
+    }
+
+    /// Upserts per-session dialog state, applying
+    /// [`EventGenConfig::session_timeout`] staleness-at-access (see
+    /// [`SessionPlane::session_entry`]).
+    pub(crate) fn session_entry(&mut self, key: &SessionKey, now: SimTime) -> &mut SessionState {
+        self.plane
+            .session_entry(key, now, self.config.session_timeout)
+    }
+
+    /// Looks up per-session dialog state, applying
+    /// [`EventGenConfig::session_timeout`] staleness-at-access (see
+    /// [`SessionPlane::session_mut`]).
+    pub(crate) fn session_mut(
+        &mut self,
+        key: &SessionKey,
+        now: SimTime,
+    ) -> Option<&mut SessionState> {
+        self.plane.session_mut(key, now, self.config.session_timeout)
     }
 
     /// Emits one event.
@@ -476,6 +572,12 @@ impl EventGenerator {
         self.plane.sessions.len()
     }
 
+    /// Sessions dropped by [`EventGenConfig::session_timeout`] idle
+    /// expiry so far (monotonic).
+    pub fn sessions_expired(&self) -> u64 {
+        self.plane.expired
+    }
+
     /// Rate-tracker telemetry from the embedded identity plane (zero in
     /// data-plane mode, where the dispatcher owns the one plane).
     pub fn rate_stats(&self) -> crate::rate::RateStats {
@@ -497,6 +599,8 @@ impl EventGenerator {
         store: &TrailStore,
     ) -> Vec<Event> {
         let mut out = Vec::new();
+        self.plane
+            .maybe_sweep(fp.meta.time, self.config.session_timeout);
         let mut ctx = GenCtx {
             config: &self.config,
             plane: &mut self.plane,
@@ -575,7 +679,7 @@ mod tests {
                     dst,
                     dst_port: 5060,
                 },
-                body: FootprintBody::Sip(Box::new(msg.clone())),
+                body: FootprintBody::Sip(msg.clone().into()),
             })
         }
 
@@ -675,6 +779,81 @@ mod tests {
     fn default_registry_lists_builtins_in_priority_order() {
         let set = ProtocolSet::default();
         assert_eq!(set.names(), vec!["acct", "sip", "rtcp", "rtp", "other"]);
+    }
+
+    #[test]
+    fn idle_session_expires_and_state_restarts() {
+        let timeout = SimDuration::from_secs(2);
+        let mut h = Harness::new(EventGenConfig {
+            session_timeout: timeout,
+            ..EventGenConfig::default()
+        });
+        h.establish_call();
+        assert_eq!(h.gen.session_count(), 1);
+        assert_eq!(h.gen.sessions_expired(), 0);
+        // The session sits idle past the timeout; the next footprint on
+        // an unrelated session sweeps it out.
+        h.now += 3_000;
+        h.feed_sip(A_IP, B_IP, &invite("c2"));
+        assert_eq!(
+            h.gen.session_count(),
+            1,
+            "only the fresh session remains"
+        );
+        assert_eq!(h.gen.sessions_expired(), 1);
+        // The expired dialog's state is gone: a 200 OK for the dead
+        // call now lands on a blank session and establishes nothing.
+        let evs = h.feed_sip(B_IP, A_IP, &ok_with_sdp(&invite("c1")));
+        assert!(!evs.iter().any(|e| e.class() == EventClass::CallEstablished));
+    }
+
+    #[test]
+    fn staleness_at_access_resets_before_any_sweep() {
+        // Access-time expiry fires even when the sweep cadence has not
+        // come up: a re-INVITE on a long-dead session starts a fresh
+        // dialog instead of reading stale endpoints.
+        let timeout = SimDuration::from_secs(2);
+        let mut h = Harness::new(EventGenConfig {
+            session_timeout: timeout,
+            ..EventGenConfig::default()
+        });
+        h.establish_call();
+        h.now += 10_000;
+        // Same Call-ID, after the dialog expired: treated as a brand-new
+        // INVITE (caller learned afresh), not a re-INVITE redirect.
+        let sdp = SessionDescription::audio_offer("bob", ATTACKER, 7000);
+        let mut b =
+            RequestBuilder::new(Method::Invite, "sip:alice@10.0.0.2:5060".parse().unwrap());
+        b.from(NameAddr::new("sip:bob@lab".parse().unwrap()).with_tag("tb"))
+            .to(NameAddr::new("sip:alice@lab".parse().unwrap()).with_tag("ta"))
+            .call_id("c1")
+            .cseq(CSeq::new(101, Method::Invite))
+            .via(Via::udp("10.0.0.3:5060", "z9hG4bK-late"))
+            .body("application/sdp", sdp.to_string());
+        let evs = h.feed_sip(B_IP, A_IP, &b.build());
+        assert!(
+            !evs.iter().any(|e| e.class() == EventClass::CallRedirected),
+            "{evs:?}"
+        );
+        assert!(h.gen.sessions_expired() >= 1);
+    }
+
+    #[test]
+    fn active_session_survives_sweeps() {
+        let timeout = SimDuration::from_secs(2);
+        let mut h = Harness::new(EventGenConfig {
+            session_timeout: timeout,
+            ..EventGenConfig::default()
+        });
+        h.establish_call();
+        // Keep the call alive with media at sub-timeout intervals across
+        // many sweep periods.
+        for i in 0..20u16 {
+            h.now += 1_000;
+            h.feed_rtp(B_IP, A_IP, 8000, 7, 100 + i);
+        }
+        assert_eq!(h.gen.session_count(), 1);
+        assert_eq!(h.gen.sessions_expired(), 0);
     }
 
     #[test]

@@ -75,13 +75,14 @@ impl ProtocolModule for OtherModule {
             FootprintBody::UdpCorrupt { reason } => reason.as_str().to_string(),
             _ => "undecodable media".to_string(),
         };
+        let session_timeout = ctx.config.session_timeout;
         let GenCtx {
             plane,
             out,
             emitted,
             ..
         } = ctx;
-        let state = plane.sessions.entry(key.session.clone()).or_default();
+        let state = plane.session_entry(&key.session, fp.meta.time, session_timeout);
         // Rate-limit to one event per 10 packets to bound event volume.
         if state.garbage_emitted.is_multiple_of(10) {
             state.garbage_emitted += 1;

@@ -74,7 +74,7 @@ impl ProtocolModule for RtcpModule {
         }
         if let RtcpPacket::Bye { ssrcs } = rtcp {
             let time = fp.meta.time;
-            let state = ctx.plane.sessions.entry(key.session.clone()).or_default();
+            let state = ctx.session_entry(&key.session, time);
             for ssrc in ssrcs {
                 state.rtcp_byes.entry(*ssrc).or_insert((time, false));
             }

@@ -102,13 +102,14 @@ fn on_rtp(fp: &Footprint, key: &TrailKey, ssrc: u32, seq: u16, ctx: &mut GenCtx<
     }
     let monitor_window = ctx.config.monitor_window;
     let grace = ctx.config.rtcp_bye_grace;
+    let session_timeout = ctx.config.session_timeout;
     let GenCtx {
         plane,
         out,
         emitted,
         ..
     } = ctx;
-    let Some(state) = plane.sessions.get_mut(&key.session) else {
+    let Some(state) = plane.session_mut(&key.session, time, session_timeout) else {
         return;
     };
     // First sighting of this flow in the session.
@@ -122,18 +123,24 @@ fn on_rtp(fp: &Footprint, key: &TrailKey, ssrc: u32, seq: u16, ctx: &mut GenCtx<
     }
     let state = plane.sessions.get_mut(&key.session).expect("present");
     // Source legitimacy: media for this session should come from the
-    // negotiated endpoints.
-    let legit_ips: Vec<std::net::Ipv4Addr> = state
+    // negotiated endpoints. One pass over the (tiny) endpoint lists —
+    // no collected Vec, this runs for every media frame.
+    let mut any_legit = false;
+    let mut src_legit = false;
+    for ip in state
         .caller_media
         .iter()
         .chain(state.callee_media.iter())
         .map(|(ip, _)| *ip)
         .chain(state.redirected.iter().map(|r| r.old_target.0))
-        .collect();
-    if !legit_ips.is_empty()
-        && !legit_ips.contains(&flow.src)
-        && state.unknown_src_flows.insert(flow)
     {
+        any_legit = true;
+        if ip == flow.src {
+            src_legit = true;
+            break;
+        }
+    }
+    if any_legit && !src_legit && state.unknown_src_flows.insert(flow) {
         *emitted += 1;
         out.push(Event {
             time,

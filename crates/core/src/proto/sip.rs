@@ -4,7 +4,7 @@
 
 use crate::distill::DistillerConfig;
 use crate::event::{Event, EventGenConfig, EventKind, FlowKey};
-use crate::footprint::{Footprint, FootprintBody, PacketMeta};
+use crate::footprint::{Footprint, FootprintBody, PacketMeta, PooledSip};
 use crate::proto::{parse_sdp, AttributeCtx, GenCtx, ProtocolModule, Redirect, Teardown};
 use crate::rate::{hash_parts, LatchSet, RateStats, WindowedDistinct, WindowedSketch};
 use crate::trail::{SessionKey, TrailKey};
@@ -59,13 +59,33 @@ impl ProtocolModule for SipModule {
         meta: &PacketMeta,
         cfg: &DistillerConfig,
     ) -> Option<FootprintBody> {
+        // Reference mode runs the retained naive tokenizer/sniffer so
+        // the pipeline bench can measure the pre-optimization baseline;
+        // results are byte-identical (property-tested).
+        let parse = if cfg.reference_impl {
+            SipMessage::parse_bytes_reference
+        } else {
+            SipMessage::parse_bytes
+        };
+        let sniff = if cfg.reference_impl {
+            scidive_sip::parse::looks_like_sip_reference
+        } else {
+            looks_like_sip
+        };
+        // The production path recycles message boxes through the pool;
+        // the reference pays one allocation per message, as it used to.
+        let wrap = if cfg.reference_impl {
+            PooledSip::heap
+        } else {
+            PooledSip::new
+        };
         let on_sip_port = cfg.sip_ports.contains(&meta.dst_port)
             || cfg.sip_ports.contains(&meta.src_port);
         if on_sip_port {
             // A signalling port consumes its traffic: what does not
             // parse is a malformed-SIP footprint, not someone else's.
-            return Some(match SipMessage::parse_bytes(payload.clone()) {
-                Ok(msg) => FootprintBody::Sip(Box::new(msg)),
+            return Some(match parse(payload.clone()) {
+                Ok(msg) => FootprintBody::Sip(wrap(msg)),
                 Err(e) => FootprintBody::SipMalformed {
                     reason: e.to_string(),
                     prefix: payload.iter().take(32).copied().collect(),
@@ -73,9 +93,9 @@ impl ProtocolModule for SipModule {
             });
         }
         // Off-port SIP (attackers do not respect port conventions).
-        if looks_like_sip(payload) {
-            if let Ok(msg) = SipMessage::parse_bytes(payload.clone()) {
-                return Some(FootprintBody::Sip(Box::new(msg)));
+        if sniff(payload) {
+            if let Ok(msg) = parse(payload.clone()) {
+                return Some(FootprintBody::Sip(wrap(msg)));
             }
         }
         None
@@ -172,7 +192,7 @@ fn on_sip_invite(
         return;
     };
     let sdp = parse_sdp(msg);
-    let state = ctx.plane.sessions.entry(session.clone()).or_default();
+    let state = ctx.session_entry(session, time);
     if state.caller_aor.is_none() {
         // New session: the INVITE defines the caller.
         state.caller_aor = Some(from.uri.aor());
@@ -252,7 +272,7 @@ fn on_sip_bye(
         return;
     };
     let by_aor = from.uri.aor();
-    let Some(state) = ctx.plane.sessions.get_mut(session) else {
+    let Some(state) = ctx.session_mut(session, time) else {
         return;
     };
     if state.torn_down.is_some() {
@@ -295,18 +315,13 @@ fn on_sip_response(
     // 2xx to an INVITE: learn the answering side's media and mark
     // established.
     let sdp = parse_sdp(msg);
-    let answerer_is_callee = msg
-        .from_()
-        .map(|f| {
-            let state = ctx.plane.sessions.get(session);
-            state
-                .and_then(|s| s.caller_aor.as_ref().map(|c| *c == f.uri.aor()))
-                .unwrap_or(true)
-        })
-        .unwrap_or(true);
-    let Some(state) = ctx.plane.sessions.get_mut(session) else {
+    let from_aor = msg.from_().ok().map(|f| f.uri.aor());
+    let Some(state) = ctx.session_mut(session, time) else {
         return;
     };
+    let answerer_is_callee = from_aor
+        .and_then(|aor| state.caller_aor.as_ref().map(|c| *c == aor))
+        .unwrap_or(true);
     if let Some(target) = sdp.as_ref().and_then(SessionDescription::rtp_target) {
         if answerer_is_callee {
             if state.callee_media.is_none() || !state.established {

@@ -551,7 +551,7 @@ mod tests {
             .body("application/sdp", sdp.to_string());
         Footprint {
             meta: meta_at(t, [10, 0, 0, 1], 5060),
-            body: FootprintBody::Sip(Box::new(b.build())),
+            body: FootprintBody::Sip(b.build().into()),
         }
     }
 

@@ -157,7 +157,7 @@ mod tests {
                 dst: Ipv4Addr::new(10, 0, 0, 2),
                 dst_port: 5060,
             },
-            body: FootprintBody::Sip(Box::new(b.build())),
+            body: FootprintBody::Sip(b.build().into()),
         }
     }
 

@@ -30,10 +30,13 @@
 //! chaos/garbage traffic cannot hotspot one worker (each synthetic flow
 //! is its own session and sticks to its hashed shard). Only session-less
 //! frames (fragments still reassembling) fall to the designated
-//! [`crate::routing::SessionRouter::overflow_shard`]. Queues are
-//! bounded: a full shard queue blocks the dispatcher (backpressure,
-//! recorded in [`ShardStats::enqueue_blocked`]) instead of shedding
-//! frames, so [`DispatchStats::dropped`] is structurally zero.
+//! [`crate::routing::SessionRouter::overflow_shard`]. Each shard queue
+//! is a bounded [`crate::spsc`] ring — the dispatcher is the only
+//! producer and the shard worker the only consumer, so the channel
+//! never pays multi-producer coordination. A full ring blocks the
+//! dispatcher (backpressure, recorded in
+//! [`ShardStats::enqueue_blocked`]) instead of shedding frames, so
+//! [`DispatchStats::dropped`] is structurally zero.
 //!
 //! The dispatcher and every worker feed the [`crate::observe`] layer:
 //! queue-depth gauges and batch histograms on the dispatch side,
@@ -69,7 +72,7 @@ use crate::observe::{
     ObservedHistograms, PipelineObservation, SeverityCounts, StateGauges, TraceEntry, TraceStage,
 };
 use crate::routing::SessionRouter;
-use crossbeam_channel::{bounded, Sender, TrySendError};
+use crate::spsc::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::{SimDuration, SimTime};
@@ -123,11 +126,13 @@ struct ShardTelemetry {
     interner: AtomicU64,
     synthetic_keys: AtomicU64,
     rule_state: AtomicU64,
+    session_plane: AtomicU64,
     expired_trails: AtomicU64,
     media_expired: AtomicU64,
     synthetic_expired: AtomicU64,
     interner_expired: AtomicU64,
     rule_state_expired: AtomicU64,
+    session_plane_expired: AtomicU64,
     rate_trackers: AtomicU64,
     rate_bytes: AtomicU64,
     rate_divergence_samples: AtomicU64,
@@ -136,8 +141,8 @@ struct ShardTelemetry {
     /// Batches currently queued *or being processed* by this shard: the
     /// dispatcher increments on send, the worker decrements only after
     /// it has fully processed a batch (so `0` means the shard is truly
-    /// idle, not merely mid-batch). The vendored channel exposes no
-    /// `len()`, so depth is tracked here.
+    /// idle, not merely mid-batch). A ring-side `len()` would count only
+    /// undelivered batches, so depth is tracked here instead.
     queue_batches: AtomicU64,
     /// One past the dispatch sequence number of the last frame this
     /// shard has fully processed; `0` until its first batch completes.
@@ -167,6 +172,7 @@ impl ShardTelemetry {
         self.interner.store(g.interner, Ordering::Relaxed);
         self.synthetic_keys.store(g.synthetic_keys, Ordering::Relaxed);
         self.rule_state.store(g.rule_state, Ordering::Relaxed);
+        self.session_plane.store(g.session_plane, Ordering::Relaxed);
         self.expired_trails.store(g.expired_trails, Ordering::Relaxed);
         self.media_expired.store(g.media_expired, Ordering::Relaxed);
         self.synthetic_expired
@@ -175,6 +181,8 @@ impl ShardTelemetry {
             .store(g.interner_expired, Ordering::Relaxed);
         self.rule_state_expired
             .store(g.rule_state_expired, Ordering::Relaxed);
+        self.session_plane_expired
+            .store(g.session_plane_expired, Ordering::Relaxed);
         self.rate_trackers.store(g.rate_trackers, Ordering::Relaxed);
         self.rate_bytes.store(g.rate_bytes, Ordering::Relaxed);
         self.rate_divergence_samples
@@ -210,11 +218,13 @@ impl ShardTelemetry {
             interner: self.interner.load(Ordering::Relaxed),
             synthetic_keys: self.synthetic_keys.load(Ordering::Relaxed),
             rule_state: self.rule_state.load(Ordering::Relaxed),
+            session_plane: self.session_plane.load(Ordering::Relaxed),
             expired_trails: self.expired_trails.load(Ordering::Relaxed),
             media_expired: self.media_expired.load(Ordering::Relaxed),
             synthetic_expired: self.synthetic_expired.load(Ordering::Relaxed),
             interner_expired: self.interner_expired.load(Ordering::Relaxed),
             rule_state_expired: self.rule_state_expired.load(Ordering::Relaxed),
+            session_plane_expired: self.session_plane_expired.load(Ordering::Relaxed),
             router_media_index: 0,
             router_interner: 0,
             router_synthetic_keys: 0,
@@ -333,8 +343,8 @@ pub struct ShardedScidive {
 }
 
 impl ShardedScidive {
-    /// Spawns `shards` worker engines, each with a bounded input queue
-    /// of `queue_depth` frames.
+    /// Spawns `shards` worker engines, each behind a single-producer
+    /// [`crate::spsc`] ring holding up to `queue_depth` batches.
     ///
     /// # Panics
     ///

@@ -255,7 +255,18 @@ pub struct TrailStore {
     /// (media sink addr, port) → owning session, learned from SDP.
     media_index: MediaIndex,
     stats: TrailStats,
+    /// Recycled footprint slots: `Arc`s whose footprint left its trail
+    /// with no other holder. [`TrailStore::insert`] overwrites a slot in
+    /// place instead of allocating a fresh `Arc` — the steady-state
+    /// retain/evict cycle then runs with zero allocator traffic per
+    /// frame. Bounded by [`FOOTPRINT_POOL_CAP`].
+    free: Vec<Arc<Footprint>>,
 }
+
+/// Upper bound on pooled footprint slots. Enough to keep the
+/// evict-one-insert-one steady state allocation-free; beyond it, retired
+/// slots go back to the allocator so a burst can't pin memory.
+const FOOTPRINT_POOL_CAP: usize = 256;
 
 impl TrailStore {
     /// Creates a store with the default protocol registry.
@@ -275,6 +286,7 @@ impl TrailStore {
             trails: HashMap::new(),
             media_index,
             stats: TrailStats::default(),
+            free: Vec::new(),
         }
     }
 
@@ -331,7 +343,16 @@ impl TrailStore {
             proto: fp.proto(),
         };
         let now = fp.meta.time;
-        let fp = Arc::new(fp);
+        // Reuse a recycled slot when one is available: overwriting the
+        // unique `Arc` in place drops the old footprint without touching
+        // the allocator.
+        let fp = match self.free.pop() {
+            Some(mut slot) => {
+                *Arc::get_mut(&mut slot).expect("pooled slots are unique") = fp;
+                slot
+            }
+            None => Arc::new(fp),
+        };
         let trail = self
             .trails
             .entry(key.clone())
@@ -340,11 +361,26 @@ impl TrailStore {
         trail.last_active = now;
         self.stats.inserted += 1;
         if trail.footprints.len() > self.config.max_footprints_per_trail {
-            trail.footprints.pop_front();
+            let evicted = trail.footprints.pop_front();
             trail.evicted += 1;
             self.stats.evicted += 1;
+            if let Some(old) = evicted {
+                self.recycle(old);
+            }
         }
         (fp, key)
+    }
+
+    /// Returns a footprint slot to the pool if nothing else still holds
+    /// it (rules and alerts may retain `Arc` clones — those slots are
+    /// simply dropped) and the pool has room.
+    fn recycle(&mut self, slot: Arc<Footprint>) {
+        if self.free.len() < FOOTPRINT_POOL_CAP
+            && Arc::strong_count(&slot) == 1
+            && Arc::weak_count(&slot) == 0
+        {
+            self.free.push(slot);
+        }
     }
 
     /// Derives the session a footprint belongs to (the canonical rule
@@ -360,10 +396,26 @@ impl TrailStore {
 
     fn expire(&mut self, now: SimTime) {
         let timeout = self.config.idle_timeout;
-        let before = self.trails.len();
-        self.trails
-            .retain(|_, t| now.saturating_since(t.last_active) < timeout);
-        self.stats.expired_trails += (before - self.trails.len()) as u64;
+        let mut expired = 0u64;
+        let free = &mut self.free;
+        self.trails.retain(|_, t| {
+            if now.saturating_since(t.last_active) < timeout {
+                return true;
+            }
+            expired += 1;
+            // Recycle the dying trail's unique footprint slots (same
+            // policy as `recycle`, inlined for the disjoint borrow).
+            while let Some(slot) = t.footprints.pop_front() {
+                if free.len() < FOOTPRINT_POOL_CAP
+                    && Arc::strong_count(&slot) == 1
+                    && Arc::weak_count(&slot) == 0
+                {
+                    free.push(slot);
+                }
+            }
+            false
+        });
+        self.stats.expired_trails += expired;
     }
 }
 
@@ -398,7 +450,7 @@ mod tests {
             .body("application/sdp", sdp.to_string());
         Footprint {
             meta: meta(0, [10, 0, 0, 2], 5060, [10, 0, 0, 1], 5060),
-            body: FootprintBody::Sip(Box::new(b.build())),
+            body: FootprintBody::Sip(b.build().into()),
         }
     }
 

@@ -703,3 +703,149 @@ proptest! {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Differential parsing: the SWAR fast path vs the retained reference
+// ----------------------------------------------------------------------
+
+/// Header names mixing the interned well-knowns, compact forms, unknown
+/// extensions, and near-miss spellings that must all take the same
+/// interning decisions on both parser paths.
+fn header_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("Via".to_string()),
+        Just("v".to_string()),
+        Just("From".to_string()),
+        Just("TO".to_string()),
+        Just("Call-ID".to_string()),
+        Just("CSeq".to_string()),
+        Just("Content-Length".to_string()),
+        Just("X-Custom-Header".to_string()),
+        Just("Vial".to_string()),
+        "[A-Za-z][A-Za-z0-9-]{0,24}",
+    ]
+}
+
+/// Header values spanning every `ByteStr` representation boundary: the
+/// empty value, short inlined values, values straddling both the
+/// reference's 38-byte and the fast path's current inline capacity, and
+/// oversized ones that must slice the shared wire buffer. Interior
+/// whitespace and non-ASCII exercise the trim paths.
+fn header_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[ -~]{1,20}",
+        "[ -~]{30,45}",
+        "[ -~]{55,70}",
+        "[ -~]{90,140}",
+        "[a-z]{3} {1,3}[a-z]{3}",
+        Just("café \u{2603} value".to_string()),
+    ]
+}
+
+/// One header line with adversarial framing: CRLF or bare-LF
+/// termination, optional whitespace padding around the colon, optional
+/// folded continuation line, or a torn line with no colon at all.
+fn header_line() -> impl Strategy<Value = String> {
+    (
+        header_name(),
+        header_value(),
+        any::<bool>(), // bare LF instead of CRLF
+        any::<bool>(), // pad around the colon
+        0u8..4,              // 1-3: append a folded continuation
+    )
+        .prop_map(|(name, value, bare_lf, pad, fold)| {
+            let eol = if bare_lf { "\n" } else { "\r\n" };
+            let colon = if pad { " : " } else { ":" };
+            let mut line = format!("{name}{colon}{value}{eol}");
+            match fold {
+                1 => line.push_str(&format!(" folded continuation{eol}")),
+                2 => line.push_str(&format!("\tfolded\ttab{eol}")),
+                3 => line.push_str(&format!("   {eol}")), // fold to nothing
+                _ => {}
+            }
+            line
+        })
+}
+
+fn start_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("INVITE sip:bob@lab SIP/2.0\r\n".to_string()),
+        Just("REGISTER sip:lab;transport=udp SIP/2.0\r\n".to_string()),
+        Just("OPTIONS sip:a@b:5060 SIP/2.0\n".to_string()),
+        Just("SIP/2.0 200 OK\r\n".to_string()),
+        Just("SIP/2.0 401 Unauthorized Here\r\n".to_string()),
+        Just("SIP/2.0 180\r\n".to_string()),
+        Just("BANANA sip:x SIP/2.0\r\n".to_string()),
+        Just("INVITE\r\n".to_string()),
+        "[ -~]{0,30}\r\n",
+    ]
+}
+
+/// Assembles a SIP-shaped byte string, then optionally tears it: an
+/// arbitrary truncation offset and an arbitrary single-byte stomp.
+fn sip_like_input() -> impl Strategy<Value = Vec<u8>> {
+    (
+        start_line(),
+        proptest::collection::vec(header_line(), 0..12),
+        any::<bool>(), // terminate with bare LF-LF
+        proptest::collection::vec(any::<u8>(), 0..40), // body
+        any::<u16>(), // truncation selector
+        proptest::option::of((any::<u16>(), any::<u8>())), // byte stomp
+    )
+        .prop_map(|(start, headers, bare_end, body, cut, stomp)| {
+            let mut text = start;
+            for h in headers {
+                text.push_str(&h);
+            }
+            text.push_str(if bare_end { "\n" } else { "\r\n" });
+            let mut bytes = text.into_bytes();
+            bytes.extend_from_slice(&body);
+            if let Some((at, val)) = stomp {
+                if !bytes.is_empty() {
+                    let at = at as usize % bytes.len();
+                    bytes[at] = val;
+                }
+            }
+            // cut == u16::MAX keeps the full message more often than a
+            // uniform cut would.
+            let cut = cut as usize;
+            if cut < bytes.len() {
+                bytes.truncate(cut);
+            }
+            bytes
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The zero-copy fast parser and the retained reference parser are
+    /// observationally identical over adversarial SIP-shaped inputs:
+    /// same accept/reject decision, same error, and — via `SipMessage`'s
+    /// content-based equality — the same parsed message, independent of
+    /// inline/shared `ByteStr` representation choices.
+    #[test]
+    fn fast_sip_parser_matches_reference(input in sip_like_input()) {
+        let bytes = bytes::Bytes::from(input);
+        let fast = SipMessage::parse_bytes(bytes.clone());
+        let reference = SipMessage::parse_bytes_reference(bytes.clone());
+        prop_assert_eq!(&fast, &reference, "diverged on {:?}", bytes);
+        // And both survive the sniffer disagreeing-free.
+        prop_assert_eq!(
+            scidive_sip::parse::looks_like_sip(&bytes),
+            scidive_sip::parse::looks_like_sip_reference(&bytes)
+        );
+    }
+
+    /// Pure byte soup (no SIP shape at all) must also never split the
+    /// two parsers — most of it is rejected, and rejection reasons
+    /// must match.
+    #[test]
+    fn parser_paths_agree_on_byte_soup(soup in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bytes = bytes::Bytes::from(soup);
+        let fast = SipMessage::parse_bytes(bytes.clone());
+        let reference = SipMessage::parse_bytes_reference(bytes.clone());
+        prop_assert_eq!(&fast, &reference, "diverged on {:?}", bytes);
+    }
+}

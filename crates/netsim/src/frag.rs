@@ -172,7 +172,14 @@ impl Reassembler {
         self.partials.len()
     }
 
-    fn expire(&mut self, now: SimTime) {
+    /// Drops partial datagrams whose reassembly has timed out. `offer`
+    /// runs this itself; callers that bypass `offer` for unfragmented
+    /// traffic call it directly so drop timing stays identical.
+    pub fn expire(&mut self, now: SimTime) {
+        // Steady state is an empty table; skip the `retain` setup cost.
+        if self.partials.is_empty() {
+            return;
+        }
         let timeout = self.timeout;
         let before = self.partials.len();
         self.partials

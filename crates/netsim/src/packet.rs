@@ -172,6 +172,24 @@ impl IpPacket {
         UdpDatagram::decode_shared(self.src, self.dst, &self.payload)
     }
 
+    /// Like [`IpPacket::decode_udp`], but checksum verification runs
+    /// through the retained scalar [`udp_checksum_reference`]. The
+    /// distiller's reference mode uses this so a pre-optimization
+    /// baseline can be measured on the same harness.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`IpPacket::decode_udp`].
+    pub fn decode_udp_reference(&self) -> Result<UdpDatagram, PacketError> {
+        if self.frag.is_fragment() {
+            return Err(PacketError::Fragmented);
+        }
+        if self.proto != IpProto::Udp {
+            return Err(PacketError::NotUdp(self.proto));
+        }
+        UdpDatagram::decode_shared_reference(self.src, self.dst, &self.payload)
+    }
+
     /// Decodes the payload as an ICMP message.
     ///
     /// # Errors
@@ -318,9 +336,40 @@ impl UdpDatagram {
         })
     }
 
+    /// [`UdpDatagram::decode_shared`] with the retained scalar checksum
+    /// ([`udp_checksum_reference`]) — the distiller's reference mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketError`].
+    pub fn decode_shared_reference(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        bytes: &Bytes,
+    ) -> Result<UdpDatagram, PacketError> {
+        let (src_port, dst_port) =
+            Self::validate_with(src, dst, bytes, udp_checksum_reference)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: bytes.slice(Self::HEADER_LEN..),
+        })
+    }
+
     /// Header validation shared by both decode paths: length fields and
     /// checksum, without touching the payload.
     fn validate(src: Ipv4Addr, dst: Ipv4Addr, bytes: &[u8]) -> Result<(u16, u16), PacketError> {
+        Self::validate_with(src, dst, bytes, udp_checksum)
+    }
+
+    /// The validation logic, parameterized over the checksum
+    /// implementation (fast SWAR vs retained scalar reference).
+    fn validate_with(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        bytes: &[u8],
+        checksum: fn(Ipv4Addr, Ipv4Addr, &[u8]) -> u16,
+    ) -> Result<(u16, u16), PacketError> {
         if bytes.len() < Self::HEADER_LEN {
             return Err(PacketError::Truncated {
                 need: Self::HEADER_LEN,
@@ -338,7 +387,7 @@ impl UdpDatagram {
         }
         let got = u16::from_be_bytes([bytes[6], bytes[7]]);
         if got != 0 {
-            let expected = udp_checksum(src, dst, bytes);
+            let expected = checksum(src, dst, bytes);
             if expected != got {
                 return Err(PacketError::BadChecksum {
                     expected,
@@ -350,10 +399,53 @@ impl UdpDatagram {
     }
 }
 
-/// Internet checksum over the IPv4 pseudo-header plus UDP datagram. The
-/// checksum field itself (word 3) is skipped — equivalent to computing
-/// over a copy with the field zeroed, so verification needs no copy.
+/// Internet checksum over the IPv4 pseudo-header plus UDP datagram, the
+/// production implementation: four bytes per step into a 64-bit
+/// accumulator (the compiler vectorizes the straight-line loop), with
+/// the checksum field's word subtracted once at the end instead of a
+/// branch per word. Byte-exact with [`udp_checksum_reference`] — the
+/// one's-complement sum is commutative, a folded non-zero sum has a
+/// unique representative in `1..=0xffff`, and the pseudo-header term
+/// (protocol 17) keeps the total non-zero.
 fn udp_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
+    debug_assert!(datagram.len() >= UdpDatagram::HEADER_LEN);
+    let mut sum: u64 = 0;
+    let s = src.octets();
+    let d = dst.octets();
+    sum += u64::from(u32::from_be_bytes(s));
+    sum += u64::from(u32::from_be_bytes(d));
+    sum += 17; // zero byte + protocol
+    sum += u64::from(datagram.len() as u16);
+    let mut chunks = datagram.chunks_exact(4);
+    for chunk in &mut chunks {
+        sum += u64::from(u32::from_be_bytes(chunk.try_into().expect("4-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if rem.len() >= 2 {
+        sum += u64::from(u16::from_be_bytes([rem[0], rem[1]]));
+    }
+    if rem.len() % 2 == 1 {
+        sum += u64::from(u16::from_be_bytes([rem[rem.len() - 1], 0]));
+    }
+    // Remove the checksum field (bytes 6..8, the low half of the second
+    // chunk) — summed above, skipped by the reference.
+    sum -= u64::from(u16::from_be_bytes([datagram[6], datagram[7]]));
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    let folded = !(sum as u16);
+    // Per RFC 768, a computed checksum of zero is transmitted as all-ones.
+    if folded == 0 {
+        0xffff
+    } else {
+        folded
+    }
+}
+
+/// The retained per-16-bit-word checksum (a branch per word to skip the
+/// checksum field): the behavioral specification for [`udp_checksum`]
+/// and the distiller's reference-mode baseline.
+pub fn udp_checksum_reference(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
     let mut sum: u32 = 0;
     let s = src.octets();
     let d = dst.octets();
@@ -479,6 +571,52 @@ mod tests {
         assert_eq!(udp.src_port, 1234);
         assert_eq!(udp.dst_port, 5060);
         assert_eq!(&udp.payload[..], b"hello sip");
+    }
+
+    /// The SWAR checksum must agree with the retained scalar reference
+    /// on every length (covering all chunk remainders), pseudo-random
+    /// content, and adversarial all-ones/all-zeros payloads.
+    #[test]
+    fn fast_checksum_matches_reference() {
+        let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        };
+        for len in UdpDatagram::HEADER_LEN..80 {
+            for variant in 0..4 {
+                let datagram: Vec<u8> = match variant {
+                    0 => (0..len).map(|_| next()).collect(),
+                    1 => vec![0x00; len],
+                    2 => vec![0xff; len],
+                    _ => (0..len).map(|i| (i % 251) as u8).collect(),
+                };
+                let (src, dst) = (a(), Ipv4Addr::new(next(), next(), next(), next()));
+                assert_eq!(
+                    udp_checksum(src, dst, &datagram),
+                    udp_checksum_reference(src, dst, &datagram),
+                    "diverged at len {len} variant {variant}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_decode_agrees_with_fast() {
+        let pkt = IpPacket::udp(a(), 1234, b(), 5060, b"hello sip".as_ref());
+        assert_eq!(pkt.decode_udp().unwrap(), pkt.decode_udp_reference().unwrap());
+        let mut raw = pkt.payload.to_vec();
+        raw[9] ^= 0xff;
+        let corrupted = IpPacket {
+            payload: Bytes::from(raw),
+            ..pkt
+        };
+        assert_eq!(
+            corrupted.decode_udp().unwrap_err(),
+            corrupted.decode_udp_reference().unwrap_err()
+        );
     }
 
     #[test]

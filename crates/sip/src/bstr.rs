@@ -58,10 +58,13 @@ enum Repr {
 }
 
 impl ByteStr {
-    /// Maximum length stored inline without touching the heap. Chosen so
-    /// the inline buffer rides in the space the `Shared` variant already
-    /// needs — growing it further would grow every header.
-    pub const INLINE_CAP: usize = 38;
+    /// Maximum length stored inline without touching the heap. 62 bytes
+    /// rounds `ByteStr` to a 64-byte half cache line and covers the
+    /// header values that just miss a tighter cap — `From`/`Contact`
+    /// with display name and instance params, single-hop `Via`, `Allow`
+    /// lists — each of which would otherwise pay an atomic refcount
+    /// bump to slice the shared wire buffer.
+    pub const INLINE_CAP: usize = 62;
 
     /// The empty string (no allocation).
     pub const EMPTY: ByteStr = ByteStr(Repr::Static(""));
@@ -83,6 +86,47 @@ impl ByteStr {
             Ok(ByteStr::inline(&bytes))
         } else {
             Ok(ByteStr(Repr::Shared(bytes)))
+        }
+    }
+
+    /// Builds an inline value from a fixed-size window whose first
+    /// `len` bytes are the value; the window's tail rides along as
+    /// padding that no accessor observes (equality, ordering, hashing,
+    /// display, and serialization all go through [`ByteStr::as_str`],
+    /// which slices to `len`). This lets the SIP parser inline a header
+    /// value with one fixed-size copy instead of a zero fill plus a
+    /// length-dispatched `memcpy`.
+    ///
+    /// The first `len` bytes must be valid UTF-8 — `as_str` re-validates
+    /// on access and panics otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert `len <= INLINE_CAP` and UTF-8 validity.
+    #[inline]
+    pub fn inline_padded(window: &[u8; ByteStr::INLINE_CAP], len: usize) -> ByteStr {
+        debug_assert!(len <= ByteStr::INLINE_CAP);
+        debug_assert!(std::str::from_utf8(&window[..len]).is_ok());
+        ByteStr(Repr::Inline {
+            len: len as u8,
+            buf: *window,
+        })
+    }
+
+    /// Wraps a slice of a shared buffer whose bytes are already known
+    /// to be valid UTF-8 — e.g. a subslice (on `char` boundaries) of a
+    /// validated header section — skipping the linear re-validation
+    /// that [`ByteStr::from_utf8`] performs. Like
+    /// [`ByteStr::inline_padded`], the invariant is debug-asserted at
+    /// construction and enforced at access: `as_str` re-validates and
+    /// panics (never UB) on misuse.
+    #[inline]
+    pub(crate) fn shared_validated(bytes: Bytes) -> ByteStr {
+        debug_assert!(std::str::from_utf8(&bytes).is_ok());
+        if bytes.len() <= ByteStr::INLINE_CAP {
+            ByteStr::inline(&bytes)
+        } else {
+            ByteStr(Repr::Shared(bytes))
         }
     }
 
@@ -280,7 +324,7 @@ mod tests {
 
     #[test]
     fn representations_compare_equal_by_content() {
-        let long = "a-value-longer-than-the-inline-capacity-of-bytestr";
+        let long = "a-value-longer-than-the-inline-capacity-of-bytestr-whatever-that-capacity-is";
         assert!(long.len() > ByteStr::INLINE_CAP);
         let shared = ByteStr::from_utf8(Bytes::copy_from_slice(long.as_bytes())).unwrap();
         let owned = ByteStr::from(long.to_string());

@@ -84,7 +84,72 @@ impl HeaderName {
     /// names (and compact forms) match case-insensitively without
     /// allocating; only genuinely unknown extension headers build an
     /// owned name.
+    ///
+    /// This is the branch-lean dispatch: `(length, lowercased first
+    /// byte)` selects at most two candidates (only `Call-ID`/`Contact`
+    /// collide), each confirmed by one case-insensitive compare. Exactly
+    /// equivalent to the linear table scan retained as
+    /// [`HeaderName::parse_reference`] — full-name confirmation makes
+    /// table order irrelevant.
     pub fn parse(s: &str) -> HeaderName {
+        let Some(first) = s.as_bytes().first().map(u8::to_ascii_lowercase) else {
+            return HeaderName::Extension(ByteStr::from(s));
+        };
+        // Single-letter compact forms need no confirm: length 1 plus a
+        // matching lowercased byte pins the string down completely.
+        // Confirms a dispatch candidate: an exact compare against the
+        // canonical capitalization first (a straight `memcmp` the
+        // compiler vectorizes, and what well-formed traffic sends),
+        // falling back to the per-byte case-folding compare.
+        #[inline]
+        fn confirm(s: &str, canonical: &str, lower: &str) -> bool {
+            s == canonical || s.eq_ignore_ascii_case(lower)
+        }
+        let known = match (s.len(), first) {
+            (1, b'v') => Some(HeaderName::Via),
+            (3, b'v') if confirm(s, "Via", "via") => Some(HeaderName::Via),
+            (1, b'f') => Some(HeaderName::From),
+            (4, b'f') if confirm(s, "From", "from") => Some(HeaderName::From),
+            (1, b't') => Some(HeaderName::To),
+            (2, b't') if confirm(s, "To", "to") => Some(HeaderName::To),
+            (1, b'i') => Some(HeaderName::CallId),
+            (7, b'c') if confirm(s, "Call-ID", "call-id") => Some(HeaderName::CallId),
+            (7, b'c') if confirm(s, "Contact", "contact") => Some(HeaderName::Contact),
+            (1, b'm') => Some(HeaderName::Contact),
+            (4, b'c') if confirm(s, "CSeq", "cseq") => Some(HeaderName::CSeq),
+            (12, b'm') if confirm(s, "Max-Forwards", "max-forwards") => {
+                Some(HeaderName::MaxForwards)
+            }
+            (7, b'e') if confirm(s, "Expires", "expires") => Some(HeaderName::Expires),
+            (1, b'c') => Some(HeaderName::ContentType),
+            (12, b'c') if confirm(s, "Content-Type", "content-type") => {
+                Some(HeaderName::ContentType)
+            }
+            (1, b'l') => Some(HeaderName::ContentLength),
+            (14, b'c') if confirm(s, "Content-Length", "content-length") => {
+                Some(HeaderName::ContentLength)
+            }
+            (13, b'a') if confirm(s, "Authorization", "authorization") => {
+                Some(HeaderName::Authorization)
+            }
+            (16, b'w') if confirm(s, "WWW-Authenticate", "www-authenticate") => {
+                Some(HeaderName::WwwAuthenticate)
+            }
+            (10, b'u') if confirm(s, "User-Agent", "user-agent") => Some(HeaderName::UserAgent),
+            (1, b's') => Some(HeaderName::Subject),
+            (7, b's') if confirm(s, "Subject", "subject") => Some(HeaderName::Subject),
+            (5, b'r') if confirm(s, "Route", "route") => Some(HeaderName::Route),
+            (12, b'r') if confirm(s, "Record-Route", "record-route") => {
+                Some(HeaderName::RecordRoute)
+            }
+            _ => None,
+        };
+        known.unwrap_or_else(|| HeaderName::Extension(ByteStr::from(s)))
+    }
+
+    /// The retained linear-scan name matcher, for differential testing
+    /// against [`HeaderName::parse`].
+    pub fn parse_reference(s: &str) -> HeaderName {
         const KNOWN: &[(&str, HeaderName)] = &[
             ("via", HeaderName::Via),
             ("v", HeaderName::Via),
@@ -156,10 +221,32 @@ pub struct Headers {
     fields: Vec<Header>,
 }
 
+/// Thread-local freelist of header vectors. A parsed message's `Vec`
+/// backing is returned here when the [`Headers`] drop, so the
+/// steady-state parse path reuses capacity instead of allocating per
+/// message. Bounded: beyond [`POOL_CAP`] retired vectors (or for
+/// trivially small ones) the memory goes back to the allocator.
+const POOL_CAP: usize = 64;
+
+thread_local! {
+    static HEADER_POOL: std::cell::RefCell<Vec<Vec<Header>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 impl Headers {
     /// Creates an empty collection.
     pub fn new() -> Headers {
         Headers::default()
+    }
+
+    /// Creates an empty collection backed by a recycled vector from the
+    /// thread-local pool when one is available. Behaviorally identical
+    /// to [`Headers::new`]; only the allocator traffic differs.
+    pub fn for_parse() -> Headers {
+        let fields = HEADER_POOL
+            .with_borrow_mut(|pool| pool.pop())
+            .unwrap_or_default();
+        Headers { fields }
     }
 
     /// Appends a header.
@@ -223,6 +310,25 @@ impl Headers {
     /// Whether the collection is empty.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
+    }
+}
+
+impl Drop for Headers {
+    fn drop(&mut self) {
+        // Recycle the backing vector. Clearing first drops the header
+        // values now (they'd be dropped here regardless); only the raw
+        // capacity is retained.
+        if self.fields.capacity() >= 4 {
+            // `try_with`: during thread teardown the pool may already be
+            // gone, in which case the vector just frees normally.
+            let _ = HEADER_POOL.try_with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < POOL_CAP {
+                    self.fields.clear();
+                    pool.push(std::mem::take(&mut self.fields));
+                }
+            });
+        }
     }
 }
 
@@ -558,6 +664,65 @@ impl FromStr for Via {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The dispatch matcher must agree with the retained linear scan on
+    /// every canonical name, compact form, case mutation, and a pile of
+    /// near-misses.
+    #[test]
+    fn header_name_dispatch_matches_reference() {
+        let mut corpus: Vec<String> = Vec::new();
+        for name in [
+            "Via", "From", "To", "Call-ID", "CSeq", "Contact", "Max-Forwards", "Expires",
+            "Content-Type", "Content-Length", "Authorization", "WWW-Authenticate", "User-Agent",
+            "Subject", "Route", "Record-Route", "v", "f", "t", "i", "m", "c", "l", "s",
+        ] {
+            corpus.push(name.to_string());
+            corpus.push(name.to_lowercase());
+            corpus.push(name.to_uppercase());
+            // Swap-case mutation.
+            corpus.push(
+                name.chars()
+                    .map(|ch| {
+                        if ch.is_ascii_uppercase() {
+                            ch.to_ascii_lowercase()
+                        } else {
+                            ch.to_ascii_uppercase()
+                        }
+                    })
+                    .collect(),
+            );
+            // Near-misses: truncated, extended, first-byte collision.
+            corpus.push(name[..name.len() - 1].to_string());
+            corpus.push(format!("{name}x"));
+            corpus.push(format!("C{}", &name[1..]));
+        }
+        corpus.extend(
+            ["", "x", "e", "r", "u", "w", "a", "Callxid", "Contacx", "\u{e9}ia", "I\u{e9}"]
+                .map(String::from),
+        );
+        for s in &corpus {
+            assert_eq!(
+                HeaderName::parse(s),
+                HeaderName::parse_reference(s),
+                "diverged on {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_headers_behave_like_fresh() {
+        // Retire a populated collection, then reuse the pool: the
+        // recycled vector must present as empty and equal to new().
+        for _ in 0..3 {
+            let mut h = Headers::for_parse();
+            h.push(HeaderName::CallId, "x");
+            h.push(HeaderName::Via, "SIP/2.0/UDP h;branch=z9");
+            drop(h);
+            let reused = Headers::for_parse();
+            assert!(reused.is_empty());
+            assert_eq!(reused, Headers::new());
+        }
+    }
 
     #[test]
     fn header_name_folding() {

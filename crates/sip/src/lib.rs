@@ -42,6 +42,7 @@ pub mod md5;
 pub mod method;
 pub mod msg;
 pub mod parse;
+pub mod scan;
 pub mod sdp;
 pub mod status;
 pub mod txn;

@@ -69,6 +69,52 @@ impl Method {
     pub fn is_invite(self) -> bool {
         self == Method::Invite
     }
+
+    /// Branch-lean token match: dispatch on `(length, first byte)` —
+    /// unique for every method except INVITE/INFO, which lengths
+    /// disambiguate — then one exact compare (methods are
+    /// case-sensitive tokens). Behavior is identical to the linear
+    /// [`FromStr`] scan, which is retained as the reference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scidive_sip::method::Method;
+    ///
+    /// assert_eq!(Method::parse_token("CANCEL"), Some(Method::Cancel));
+    /// assert_eq!(Method::parse_token("cancel"), None);
+    /// ```
+    #[inline]
+    pub fn parse_token(s: &str) -> Option<Method> {
+        let candidate = match (s.len(), s.as_bytes().first()?) {
+            (6, b'I') => Method::Invite,
+            (3, b'A') => Method::Ack,
+            (3, b'B') => Method::Bye,
+            (6, b'C') => Method::Cancel,
+            (8, b'R') => Method::Register,
+            (7, b'O') => Method::Options,
+            (7, b'M') => Method::Message,
+            (4, b'I') => Method::Info,
+            _ => return None,
+        };
+        (candidate.as_str() == s).then_some(candidate)
+    }
+
+    /// The methods whose token starts with `b`, for sniffing a payload
+    /// without trying all eight (`I` yields both INVITE and INFO).
+    #[inline]
+    pub fn by_first_byte(b: u8) -> &'static [Method] {
+        match b {
+            b'I' => &[Method::Invite, Method::Info],
+            b'A' => &[Method::Ack],
+            b'B' => &[Method::Bye],
+            b'C' => &[Method::Cancel],
+            b'R' => &[Method::Register],
+            b'O' => &[Method::Options],
+            b'M' => &[Method::Message],
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for Method {
@@ -145,5 +191,29 @@ mod tests {
     #[test]
     fn display_matches_as_str() {
         assert_eq!(Method::Register.to_string(), "REGISTER");
+    }
+
+    #[test]
+    fn parse_token_matches_from_str() {
+        let tokens = [
+            "INVITE", "ACK", "BYE", "CANCEL", "REGISTER", "OPTIONS", "MESSAGE", "INFO", "invite",
+            "Info", "INVIT", "INVITEE", "I", "", "SUBSCRIBE", "ACKX", "AC", "\u{e9}CK",
+        ];
+        for tok in tokens {
+            assert_eq!(
+                Method::parse_token(tok),
+                tok.parse::<Method>().ok(),
+                "token {tok:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn by_first_byte_covers_all() {
+        for m in Method::ALL {
+            let first = m.as_str().as_bytes()[0];
+            assert!(Method::by_first_byte(first).contains(&m));
+        }
+        assert!(Method::by_first_byte(b'X').is_empty());
     }
 }

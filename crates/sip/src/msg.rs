@@ -1,5 +1,6 @@
 //! SIP messages: start lines, the message type, builders and serialization.
 
+use crate::bstr::ByteStr;
 use crate::header::{CSeq, HeaderName, Headers, NameAddr, ParseHeaderError, Via};
 use crate::method::Method;
 use crate::status::StatusCode;
@@ -22,8 +23,11 @@ pub enum StartLine {
     Response {
         /// The status code.
         code: StatusCode,
-        /// The reason phrase as transmitted.
-        reason: String,
+        /// The reason phrase as transmitted. A [`ByteStr`]: building a
+        /// response from a [`crate::status::StatusCode`] uses the static
+        /// default phrase and parsing inlines short phrases, so neither
+        /// allocates.
+        reason: ByteStr,
     },
 }
 
@@ -410,7 +414,7 @@ pub fn response_to(req: &SipMessage, code: StatusCode, to_tag: Option<&str>) -> 
     SipMessage {
         start: StartLine::Response {
             code,
-            reason: code.default_reason().to_string(),
+            reason: ByteStr::from_static(code.default_reason()),
         },
         headers,
         body: Bytes::new(),

@@ -6,11 +6,22 @@
 //! mirrors how the paper's Distiller distinguishes "not SIP at all" from
 //! "SIP with a bad format" — the latter is a footprint the billing-fraud
 //! rule wants to see, not a parse failure.
+//!
+//! Two implementations share the contract:
+//!
+//! * [`SipMessage::parse_bytes`] — the production path: SWAR
+//!   terminator scanning (see [`crate::scan`]), length + first-byte
+//!   dispatch for method and header-name matching.
+//! * [`SipMessage::parse_bytes_reference`] — the retained naive
+//!   per-byte tokenizer. It is the *specification*: the fast path must
+//!   agree with it byte-for-byte on every input, which the differential
+//!   property tests (and the pipeline bench's speedup gate) enforce.
 
 use crate::bstr::ByteStr;
 use crate::header::{HeaderName, Headers};
 use crate::method::Method;
 use crate::msg::{SipMessage, StartLine};
+use crate::scan;
 use crate::status::StatusCode;
 use crate::uri::SipUri;
 use bytes::Bytes;
@@ -89,6 +100,11 @@ impl SipMessage {
     /// are inlined), so the steady-state parse path performs no
     /// per-header heap allocation.
     ///
+    /// This is the fast implementation: the header/body separator is
+    /// found by a SWAR scan and method/header names match by length +
+    /// first-byte dispatch. Its observable behavior is byte-identical
+    /// to [`SipMessage::parse_bytes_reference`].
+    ///
     /// # Errors
     ///
     /// Same contract as [`SipMessage::parse`].
@@ -96,16 +112,118 @@ impl SipMessage {
         if input.is_empty() {
             return Err(SipParseError::Empty);
         }
-        // Find the header/body separator.
+        // Find the header/body separator: SWAR scan for `\r\n\r\n`
+        // first, over the whole input, then the bare-LF fallback —
+        // exactly the reference's search order.
         let sep = find_header_end(&input).ok_or(SipParseError::MissingHeaderTerminator)?;
         let head =
             std::str::from_utf8(&input[..sep.header_end]).map_err(|_| SipParseError::NotText)?;
 
         // Re-anchors a `&str` derived from `head` as a slice of the
         // shared buffer (or inlines it), without copying long values.
+        // Short values inline via one fixed-size window copy when a
+        // full window of `input` follows the value (the tail bytes are
+        // unobservable padding); only values butting up against the end
+        // of the buffer fall back to the length-dispatched copy.
         let base = head.as_ptr() as usize;
         let anchor = |s: &str| -> ByteStr {
+            let off = s.as_ptr() as usize - base;
             if s.len() <= ByteStr::INLINE_CAP {
+                match input.get(off..off + ByteStr::INLINE_CAP) {
+                    Some(window) => {
+                        ByteStr::inline_padded(window.try_into().expect("sized slice"), s.len())
+                    }
+                    None => ByteStr::from(s),
+                }
+            } else {
+                // `s` is a subslice of the UTF-8-validated `head`, so
+                // the slice needs no re-validation.
+                ByteStr::shared_validated(input.slice(off..off + s.len()))
+            }
+        };
+
+        // Tolerate bare-LF line endings alongside canonical CRLF: a
+        // cursor walks LF-delimited lines, trimming a trailing CR and
+        // skipping empties — the same view the reference's
+        // split/strip/filter chain produces, but the line breaks are
+        // located by one SWAR pass over the whole head up front
+        // (per-line scanning pays loop setup on every ~40-byte line).
+        let mut cursor = LineCursor::new(head);
+        let start = parse_start_line(cursor.next().ok_or(SipParseError::Empty)?)?;
+
+        let mut headers = Headers::for_parse();
+        let mut pending = cursor.next();
+        while let Some(line) = pending.take() {
+            // Header folding: continuation lines start with SP/HT. Only
+            // a folded header pays for an owned joined line. The
+            // lookahead line is either consumed as a continuation or
+            // carried into the next loop turn as `pending`.
+            let mut folded: Option<String> = None;
+            loop {
+                match cursor.next() {
+                    Some(cont) if matches!(cont.as_bytes().first(), Some(b' ' | b'\t')) => {
+                        let joined = folded.get_or_insert_with(|| line.to_string());
+                        joined.push(' ');
+                        joined.push_str(cont.trim_start());
+                    }
+                    other => {
+                        pending = other;
+                        break;
+                    }
+                }
+            }
+            match folded {
+                None => {
+                    let colon = scan::memchr(b':', line.as_bytes())
+                        .ok_or_else(|| SipParseError::BadHeaderLine(line.to_string()))?;
+                    headers.push(
+                        HeaderName::parse(trim_ws(&line[..colon])),
+                        anchor(trim_ws(&line[colon + 1..])),
+                    );
+                }
+                Some(joined) => {
+                    let (name, value) = joined
+                        .split_once(':')
+                        .ok_or_else(|| SipParseError::BadHeaderLine(joined.clone()))?;
+                    headers.push(HeaderName::parse(name.trim()), ByteStr::from(value.trim()));
+                }
+            }
+        }
+
+        let body = slice_body(&input, sep.body_start, &headers)?;
+        Ok(SipMessage {
+            start,
+            headers,
+            body,
+        })
+    }
+
+    /// The retained naive tokenizer: per-byte window search for the
+    /// header terminator, linear scans for method and header-name
+    /// matching. Kept as the behavioral specification the fast path is
+    /// differentially tested against, and as the `reference_impl`
+    /// baseline the pipeline bench's speedup gate measures.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SipMessage::parse`].
+    pub fn parse_bytes_reference(input: Bytes) -> Result<SipMessage, SipParseError> {
+        if input.is_empty() {
+            return Err(SipParseError::Empty);
+        }
+        let sep = find_header_end_reference(&input).ok_or(SipParseError::MissingHeaderTerminator)?;
+        let head =
+            std::str::from_utf8(&input[..sep.header_end]).map_err(|_| SipParseError::NotText)?;
+
+        // The pre-optimization `ByteStr` inlined at most 38 bytes; the
+        // reference keeps that threshold (independent of the current
+        // `ByteStr::INLINE_CAP`) so it pays the shared-slice refcount
+        // and re-validation costs the old parser paid. Representation
+        // differs, content (and thus equality) does not.
+        const REFERENCE_INLINE_CAP: usize = 38;
+        let base = head.as_ptr() as usize;
+        let anchor = |s: &str| -> ByteStr {
+            if s.len() <= REFERENCE_INLINE_CAP {
                 ByteStr::from(s)
             } else {
                 let off = s.as_ptr() as usize - base;
@@ -114,20 +232,15 @@ impl SipMessage {
             }
         };
 
-        // Tolerate bare-LF line endings alongside canonical CRLF:
-        // splitting on LF and trimming a trailing CR handles both (and
-        // mixtures) identically, one line at a time — no line vector.
         let mut lines = head
             .split('\n')
             .map(|l| l.strip_suffix('\r').unwrap_or(l))
             .filter(|l| !l.is_empty())
             .peekable();
-        let start = parse_start_line(lines.next().ok_or(SipParseError::Empty)?)?;
+        let start = parse_start_line_reference(lines.next().ok_or(SipParseError::Empty)?)?;
 
         let mut headers = Headers::new();
         while let Some(line) = lines.next() {
-            // Header folding: continuation lines start with SP/HT. Only
-            // a folded header pays for an owned joined line.
             let mut folded: Option<String> = None;
             while lines
                 .peek()
@@ -143,39 +256,21 @@ impl SipMessage {
                     let (name, value) = line
                         .split_once(':')
                         .ok_or_else(|| SipParseError::BadHeaderLine(line.to_string()))?;
-                    headers.push(HeaderName::parse(name.trim()), anchor(value.trim()));
+                    headers.push(HeaderName::parse_reference(name.trim()), anchor(value.trim()));
                 }
                 Some(joined) => {
                     let (name, value) = joined
                         .split_once(':')
                         .ok_or_else(|| SipParseError::BadHeaderLine(joined.clone()))?;
-                    headers.push(HeaderName::parse(name.trim()), ByteStr::from(value.trim()));
+                    headers.push(
+                        HeaderName::parse_reference(name.trim()),
+                        ByteStr::from(value.trim()),
+                    );
                 }
             }
         }
 
-        // Content-Length check when declared. The body shares `input`.
-        let body_len = input.len() - sep.body_start;
-        let body = if let Some(decl) = headers.get(&HeaderName::ContentLength) {
-            match decl.trim().parse::<usize>() {
-                Ok(declared) if declared == body_len => input.slice(sep.body_start..),
-                Ok(declared) if declared < body_len => {
-                    // Extra trailing bytes beyond the declared body are
-                    // truncated, as a UDP stack would.
-                    input.slice(sep.body_start..sep.body_start + declared)
-                }
-                Ok(declared) => {
-                    return Err(SipParseError::BodyLengthMismatch {
-                        declared,
-                        actual: body_len,
-                    })
-                }
-                Err(_) => input.slice(sep.body_start..),
-            }
-        } else {
-            input.slice(sep.body_start..)
-        };
-
+        let body = slice_body(&input, sep.body_start, &headers)?;
         Ok(SipMessage {
             start,
             headers,
@@ -184,9 +279,48 @@ impl SipMessage {
     }
 }
 
+/// `Content-Length` check when declared; the body shares `input`.
+/// Common to both implementations — the rule is framing policy, not
+/// scanning.
+fn slice_body(input: &Bytes, body_start: usize, headers: &Headers) -> Result<Bytes, SipParseError> {
+    let body_len = input.len() - body_start;
+    if let Some(decl) = headers.get(&HeaderName::ContentLength) {
+        match decl.trim().parse::<usize>() {
+            Ok(declared) if declared == body_len => Ok(input.slice(body_start..)),
+            Ok(declared) if declared < body_len => {
+                // Extra trailing bytes beyond the declared body are
+                // truncated, as a UDP stack would.
+                Ok(input.slice(body_start..body_start + declared))
+            }
+            Ok(declared) => Err(SipParseError::BodyLengthMismatch {
+                declared,
+                actual: body_len,
+            }),
+            Err(_) => Ok(input.slice(body_start..)),
+        }
+    } else {
+        Ok(input.slice(body_start..))
+    }
+}
+
 /// Quick sniff: does this payload look like SIP at all? Used by the
-/// Distiller's classifier before committing to a full parse.
+/// Distiller's classifier before committing to a full parse. Dispatches
+/// on the first byte instead of trying every method token.
 pub fn looks_like_sip(payload: &[u8]) -> bool {
+    if payload.starts_with(b"SIP/2.0 ") {
+        return true;
+    }
+    let Some(&first) = payload.first() else {
+        return false;
+    };
+    Method::by_first_byte(first).iter().any(|m| {
+        let token = m.as_str().as_bytes();
+        payload.starts_with(token) && payload.get(token.len()) == Some(&b' ')
+    })
+}
+
+/// The retained linear-scan sniff, for differential testing.
+pub fn looks_like_sip_reference(payload: &[u8]) -> bool {
     if payload.starts_with(b"SIP/2.0 ") {
         return true;
     }
@@ -198,12 +332,169 @@ pub fn looks_like_sip(payload: &[u8]) -> bool {
         })
 }
 
+/// Cursor over the non-empty, CR-stripped lines of a header section —
+/// the same view the reference's
+/// `split('\n') → strip_suffix('\r') → filter(non-empty)` chain
+/// produces.
+///
+/// Construction locates every LF in one SWAR pass
+/// ([`scan::memchr_all`]) so iteration is just table lookups; a head
+/// with more line breaks than the table holds (hostile input — no real
+/// message has 96+ lines) falls back to per-line [`next_line`]
+/// scanning.
+// The LF table makes `Indexed` large, but the cursor lives on the
+// stack for the duration of one parse; boxing the table (clippy's
+// suggestion) would put an allocation back on the per-message path.
+#[allow(clippy::large_enum_variant)]
+enum LineCursor<'a> {
+    /// Line breaks pre-located; `i` indexes the next LF, `pos` is the
+    /// current line start.
+    Indexed {
+        /// The header section.
+        head: &'a str,
+        /// LF positions within `head`, ascending.
+        lf: [u32; scan::HIT_CAP],
+        /// Number of valid entries in `lf`.
+        n: usize,
+        /// Index of the next unconsumed LF.
+        i: usize,
+        /// Byte offset of the next line start.
+        pos: usize,
+    },
+    /// Fallback: scan for each LF as lines are consumed.
+    Scan {
+        /// The header section.
+        head: &'a str,
+        /// Byte offset of the next line start.
+        pos: usize,
+    },
+}
+
+impl<'a> LineCursor<'a> {
+    fn new(head: &'a str) -> LineCursor<'a> {
+        let mut lf = [0u32; scan::HIT_CAP];
+        match scan::memchr_all(b'\n', head.as_bytes(), &mut lf) {
+            Some(n) => LineCursor::Indexed {
+                head,
+                lf,
+                n,
+                i: 0,
+                pos: 0,
+            },
+            None => LineCursor::Scan { head, pos: 0 },
+        }
+    }
+
+    /// Next non-empty line, stripped of its trailing CR. LF and CR are
+    /// ASCII, so the byte positions are `char` boundaries.
+    #[inline]
+    fn next(&mut self) -> Option<&'a str> {
+        match self {
+            LineCursor::Indexed {
+                head,
+                lf,
+                n,
+                i,
+                pos,
+                ..
+            } => {
+                let bytes = head.as_bytes();
+                while *pos < bytes.len() {
+                    let start = *pos;
+                    let end_of_line = if *i < *n {
+                        let p = lf[*i] as usize;
+                        *i += 1;
+                        p
+                    } else {
+                        bytes.len()
+                    };
+                    *pos = end_of_line + 1;
+                    let mut end = end_of_line;
+                    if end > start && bytes[end - 1] == b'\r' {
+                        end -= 1;
+                    }
+                    if end > start {
+                        return Some(&head[start..end]);
+                    }
+                }
+                None
+            }
+            LineCursor::Scan { head, pos } => next_line(head, pos),
+        }
+    }
+}
+
+/// Next non-empty line of `head` starting at `*pos`, stripped of its
+/// trailing CR; advances `*pos` past the line's terminating LF. Yields
+/// exactly the lines of the reference's
+/// `split('\n') → strip_suffix('\r') → filter(non-empty)` chain. LF and
+/// CR are ASCII, so the byte positions are `char` boundaries.
+#[inline]
+fn next_line<'a>(head: &'a str, pos: &mut usize) -> Option<&'a str> {
+    let bytes = head.as_bytes();
+    while *pos < bytes.len() {
+        let start = *pos;
+        let end_of_line = match scan::memchr(b'\n', &bytes[start..]) {
+            Some(i) => start + i,
+            None => bytes.len(),
+        };
+        *pos = end_of_line + 1;
+        let mut end = end_of_line;
+        if end > start && bytes[end - 1] == b'\r' {
+            end -= 1;
+        }
+        if end > start {
+            return Some(&head[start..end]);
+        }
+    }
+    None
+}
+
+/// Byte-level `str::trim`: strips ASCII whitespace with two byte scans,
+/// deferring to the unicode-aware `trim` only when a trimmed boundary
+/// byte is `>= 0x80` (every multibyte whitespace char — NBSP, NEL, the
+/// U+2000 block — both starts and ends with such a byte, so the fallback
+/// triggers whenever unicode whitespace could remain). The stripped
+/// bytes are all ASCII, so `i` and `j` stay on `char` boundaries.
+#[inline]
+fn trim_ws(s: &str) -> &str {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() && matches!(b[i], b'\t' | b'\n' | b'\x0B' | b'\x0C' | b'\r' | b' ') {
+        i += 1;
+    }
+    let mut j = b.len();
+    while j > i && matches!(b[j - 1], b'\t' | b'\n' | b'\x0B' | b'\x0C' | b'\r' | b' ') {
+        j -= 1;
+    }
+    if i < j && (b[i] >= 0x80 || b[j - 1] >= 0x80) {
+        return s[i..j].trim();
+    }
+    &s[i..j]
+}
+
 struct HeaderEnd {
     header_end: usize,
     body_start: usize,
 }
 
 fn find_header_end(input: &[u8]) -> Option<HeaderEnd> {
+    if let Some(pos) = scan::find_crlf_crlf(input) {
+        return Some(HeaderEnd {
+            header_end: pos,
+            body_start: pos + 4,
+        });
+    }
+    if let Some(pos) = scan::find_lf_lf(input) {
+        return Some(HeaderEnd {
+            header_end: pos,
+            body_start: pos + 2,
+        });
+    }
+    None
+}
+
+fn find_header_end_reference(input: &[u8]) -> Option<HeaderEnd> {
     if let Some(pos) = window_find(input, b"\r\n\r\n") {
         return Some(HeaderEnd {
             header_end: pos,
@@ -234,13 +525,42 @@ fn parse_start_line(line: &str) -> Result<StartLine, SipParseError> {
         let code = StatusCode::try_from(code_num).map_err(|_| bad())?;
         return Ok(StartLine::Response {
             code,
-            reason: reason.to_string(),
+            reason: ByteStr::from(reason),
         });
     }
-    // Request line: METHOD SP uri SP SIP/2.0
+    // Request line: METHOD SP uri SP SIP/2.0, split at the first two
+    // spaces. Equivalent to the reference's `split(' ')` walk: a
+    // doubled separator yields an empty URI (parse error), and any
+    // trailing fields leave the tail != "SIP/2.0".
+    let sp1 = scan::memchr(b' ', line.as_bytes()).ok_or_else(bad)?;
+    let method = Method::parse_token(&line[..sp1]).ok_or_else(bad)?;
+    let rest = &line[sp1 + 1..];
+    let sp2 = scan::memchr(b' ', rest.as_bytes()).ok_or_else(bad)?;
+    let uri: SipUri = rest[..sp2].parse().map_err(|_| bad())?;
+    if &rest[sp2 + 1..] != "SIP/2.0" {
+        return Err(bad());
+    }
+    Ok(StartLine::Request { method, uri })
+}
+
+/// The retained start-line parser: linear method scan, and the
+/// allocating URI/reason construction the pre-optimization parser used
+/// (`String` per reason and per URI part before wrapping) — so the
+/// reference pays the same steady-state allocation costs it used to.
+fn parse_start_line_reference(line: &str) -> Result<StartLine, SipParseError> {
+    let bad = || SipParseError::BadStartLine(line.to_string());
+    if let Some(rest) = line.strip_prefix("SIP/2.0 ") {
+        let (code_str, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+        let code_num: u16 = code_str.parse().map_err(|_| bad())?;
+        let code = StatusCode::try_from(code_num).map_err(|_| bad())?;
+        return Ok(StartLine::Response {
+            code,
+            reason: ByteStr::from(reason.to_string()),
+        });
+    }
     let mut parts = line.split(' ');
     let method: Method = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-    let uri: SipUri = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let uri = SipUri::parse_reference(parts.next().ok_or_else(bad)?).map_err(|_| bad())?;
     let version = parts.next().ok_or_else(bad)?;
     if version != "SIP/2.0" || parts.next().is_some() {
         return Err(bad());
@@ -368,16 +688,80 @@ mod tests {
 
     #[test]
     fn sniffer_accepts_sip_rejects_rtp() {
-        assert!(looks_like_sip(b"INVITE sip:b@h SIP/2.0\r\n"));
-        assert!(looks_like_sip(b"SIP/2.0 200 OK\r\n"));
-        assert!(!looks_like_sip(b"INVITEX sip:b@h"));
-        assert!(!looks_like_sip(&[0x80, 0x00, 0x01, 0x02]));
-        assert!(!looks_like_sip(b"GET / HTTP/1.1\r\n"));
+        for sniff in [looks_like_sip, looks_like_sip_reference] {
+            assert!(sniff(b"INVITE sip:b@h SIP/2.0\r\n"));
+            assert!(sniff(b"SIP/2.0 200 OK\r\n"));
+            assert!(!sniff(b"INVITEX sip:b@h"));
+            assert!(!sniff(&[0x80, 0x00, 0x01, 0x02]));
+            assert!(!sniff(b"GET / HTTP/1.1\r\n"));
+        }
+    }
+
+    #[test]
+    fn trim_ws_matches_str_trim() {
+        for s in [
+            "",
+            "   ",
+            "x",
+            "  spaced out  ",
+            "\t\r\nmixed\x0B\x0C ",
+            "\u{00A0}nbsp-led",
+            "nbsp-trailed\u{00A0}",
+            " \u{2003}em-space sandwich\u{2003} ",
+            "inner \u{00A0} stays",
+            "\u{85}",
+        ] {
+            assert_eq!(trim_ws(s), s.trim(), "diverged on {s:?}");
+        }
     }
 
     #[test]
     fn binary_garbage_rejected() {
         let garbage: Vec<u8> = (0..64).map(|i| (i * 37 % 251) as u8).collect();
         assert!(SipMessage::parse(&garbage).is_err());
+    }
+
+    /// The fast parser and the retained reference must agree — result
+    /// or error — on a corpus of well-formed, hostile, and truncated
+    /// inputs. (The randomized version lives in the core crate's
+    /// property tests.)
+    #[test]
+    fn fast_parser_matches_reference_on_corpus() {
+        let mut corpus: Vec<Vec<u8>> = vec![
+            sample_request_bytes().to_vec(),
+            b"SIP/2.0 200 OK\r\nCall-ID: x\r\n\r\n".to_vec(),
+            b"SIP/2.0 180\r\n\r\n".to_vec(),
+            b"BYE sip:b@h SIP/2.0\nCall-ID: x\nCSeq: 2 BYE\n\n".to_vec(),
+            b"INVITE sip:b@h SIP/2.0\r\nSubject: a\r\n b\r\n\tc\r\nCall-ID: x\r\n\r\n".to_vec(),
+            b"INVITE sip:b@h SIP/2.0\r\nContent-Length: 99\r\n\r\nshort".to_vec(),
+            b"INVITE sip:b@h SIP/2.0\r\nContent-Length: bogus\r\n\r\nrest".to_vec(),
+            b"OPTIONS sip:b@h SIP/2.0\r\nX-Long: ".to_vec(),
+            vec![0xff, 0x00, b'\r', b'\n', b'\r', b'\n'],
+            b"\r\n\r\n".to_vec(),
+            b"INVITE  sip:b@h  SIP/2.0\r\n\r\n".to_vec(),
+        ];
+        // Oversized value that cannot inline.
+        let mut long = b"REGISTER sip:h SIP/2.0\r\nX-Pad: ".to_vec();
+        long.extend(std::iter::repeat_n(b'y', 200));
+        long.extend(b"\r\n\r\ntrailing");
+        corpus.push(long);
+        // Hostile line count: overflows the one-pass line table, so the
+        // fast path takes the incremental-scan fallback.
+        let mut many = b"OPTIONS sip:h SIP/2.0\r\n".to_vec();
+        for k in 0..120 {
+            many.extend(format!("X-{k}: v\r\n").into_bytes());
+        }
+        many.extend(b"\r\n");
+        corpus.push(many);
+        for raw in &corpus {
+            // Truncation at every offset: framing decisions must agree
+            // even on torn CRLFs.
+            for cut in 0..=raw.len() {
+                let input = Bytes::copy_from_slice(&raw[..cut]);
+                let fast = SipMessage::parse_bytes(input.clone());
+                let reference = SipMessage::parse_bytes_reference(input);
+                assert_eq!(fast, reference, "diverged at cut {cut} of {raw:?}");
+            }
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! SIP URIs.
 
+use crate::bstr::ByteStr;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -17,27 +18,29 @@ use std::str::FromStr;
 /// use scidive_sip::uri::SipUri;
 ///
 /// let uri: SipUri = "sip:alice@10.0.0.1:5060".parse()?;
-/// assert_eq!(uri.user.as_deref(), Some("alice"));
+/// assert_eq!(uri.user.as_ref().map(|u| u.as_str()), Some("alice"));
 /// assert_eq!(uri.port, Some(5060));
 /// assert_eq!(uri.to_string(), "sip:alice@10.0.0.1:5060");
 /// # Ok::<(), scidive_sip::uri::ParseUriError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SipUri {
-    /// The user part, if present.
-    pub user: Option<String>,
+    /// The user part, if present. A [`ByteStr`]: real user parts fit
+    /// the inline representation, so parsing a request line does not
+    /// allocate for them.
+    pub user: Option<ByteStr>,
     /// The host part (domain or IPv4 literal).
-    pub host: String,
+    pub host: ByteStr,
     /// Explicit port, if present.
     pub port: Option<u16>,
     /// URI parameters as `(name, value)` pairs; valueless params have an
     /// empty value.
-    pub params: Vec<(String, String)>,
+    pub params: Vec<(ByteStr, ByteStr)>,
 }
 
 impl SipUri {
     /// Builds `sip:user@host`.
-    pub fn new(user: impl Into<String>, host: impl Into<String>) -> SipUri {
+    pub fn new(user: impl Into<ByteStr>, host: impl Into<ByteStr>) -> SipUri {
         SipUri {
             user: Some(user.into()),
             host: host.into(),
@@ -47,7 +50,7 @@ impl SipUri {
     }
 
     /// Builds a host-only URI `sip:host`.
-    pub fn host_only(host: impl Into<String>) -> SipUri {
+    pub fn host_only(host: impl Into<ByteStr>) -> SipUri {
         SipUri {
             user: None,
             host: host.into(),
@@ -63,14 +66,14 @@ impl SipUri {
     }
 
     /// Adds a URI parameter (builder-style).
-    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<String>) -> SipUri {
+    pub fn with_param(mut self, name: impl Into<ByteStr>, value: impl Into<ByteStr>) -> SipUri {
         self.params.push((name.into(), value.into()));
         self
     }
 
     /// The host parsed as an IPv4 address, if it is a literal.
     pub fn host_ip(&self) -> Option<Ipv4Addr> {
-        self.host.parse().ok()
+        self.host.as_str().parse().ok()
     }
 
     /// The port, defaulting to 5060.
@@ -83,8 +86,55 @@ impl SipUri {
     pub fn aor(&self) -> String {
         match &self.user {
             Some(u) => format!("{u}@{}", self.host),
-            None => self.host.clone(),
+            None => self.host.as_str().to_string(),
         }
+    }
+
+    /// The retained allocating parser: materializes the user, host, and
+    /// parameter parts as owned `String`s before wrapping them, exactly
+    /// as the pre-optimization `FromStr` did. Kept so the reference
+    /// start-line parser pays the same per-URI allocation costs the
+    /// production path used to, and as a differential oracle for
+    /// [`SipUri::from_str`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as `from_str`.
+    pub fn parse_reference(s: &str) -> Result<SipUri, ParseUriError> {
+        let rest = s.strip_prefix("sip:").ok_or(ParseUriError::BadScheme)?;
+        let mut parts = rest.split(';');
+        let core = parts.next().unwrap_or("");
+        let params: Vec<(String, String)> = parts
+            .map(|p| match p.split_once('=') {
+                Some((n, v)) => (n.to_string(), v.to_string()),
+                None => (p.to_string(), String::new()),
+            })
+            .collect();
+        let (user, hostport) = match core.split_once('@') {
+            Some((u, hp)) => (Some(u.to_string()), hp),
+            None => (None, core),
+        };
+        let (host, port) = match hostport.split_once(':') {
+            Some((h, p)) => {
+                let port = p
+                    .parse::<u16>()
+                    .map_err(|_| ParseUriError::BadPort(p.to_string()))?;
+                (h.to_string(), Some(port))
+            }
+            None => (hostport.to_string(), None),
+        };
+        if host.is_empty() {
+            return Err(ParseUriError::EmptyHost);
+        }
+        Ok(SipUri {
+            user: user.filter(|u| !u.is_empty()).map(ByteStr::from),
+            host: ByteStr::from(host),
+            port,
+            params: params
+                .into_iter()
+                .map(|(n, v)| (ByteStr::from(n), ByteStr::from(v)))
+                .collect(),
+        })
     }
 }
 
@@ -94,7 +144,7 @@ impl fmt::Display for SipUri {
         if let Some(user) = &self.user {
             write!(f, "{user}@")?;
         }
-        f.write_str(&self.host)?;
+        f.write_str(self.host.as_str())?;
         if let Some(port) = self.port {
             write!(f, ":{port}")?;
         }
@@ -137,17 +187,23 @@ impl FromStr for SipUri {
 
     fn from_str(s: &str) -> Result<SipUri, ParseUriError> {
         let rest = s.strip_prefix("sip:").ok_or(ParseUriError::BadScheme)?;
-        // Split off URI parameters.
-        let mut parts = rest.split(';');
-        let core = parts.next().unwrap_or("");
-        let params = parts
-            .map(|p| match p.split_once('=') {
-                Some((n, v)) => (n.to_string(), v.to_string()),
-                None => (p.to_string(), String::new()),
-            })
-            .collect();
+        // Split off URI parameters. Most request URIs carry none, so the
+        // split iterator is only set up when a `;` is actually present.
+        let (core, params) = match crate::scan::memchr(b';', rest.as_bytes()) {
+            None => (rest, Vec::new()),
+            Some(i) => (
+                &rest[..i],
+                rest[i + 1..]
+                    .split(';')
+                    .map(|p| match p.split_once('=') {
+                        Some((n, v)) => (ByteStr::from(n), ByteStr::from(v)),
+                        None => (ByteStr::from(p), ByteStr::EMPTY),
+                    })
+                    .collect(),
+            ),
+        };
         let (user, hostport) = match core.split_once('@') {
-            Some((u, hp)) => (Some(u.to_string()), hp),
+            Some((u, hp)) => (Some(u), hp),
             None => (None, core),
         };
         let (host, port) = match hostport.split_once(':') {
@@ -163,8 +219,8 @@ impl FromStr for SipUri {
             return Err(ParseUriError::EmptyHost);
         }
         Ok(SipUri {
-            user: user.filter(|u| !u.is_empty()),
-            host: host.to_string(),
+            user: user.filter(|u| !u.is_empty()).map(ByteStr::from),
+            host: ByteStr::from(host),
             port,
             params,
         })
@@ -178,14 +234,14 @@ mod tests {
     #[test]
     fn parse_full_uri() {
         let uri: SipUri = "sip:bob@example.com:5070;transport=udp;lr".parse().unwrap();
-        assert_eq!(uri.user.as_deref(), Some("bob"));
+        assert_eq!(uri.user.as_ref().map(|u| u.as_str()), Some("bob"));
         assert_eq!(uri.host, "example.com");
         assert_eq!(uri.port, Some(5070));
         assert_eq!(
             uri.params,
             vec![
-                ("transport".to_string(), "udp".to_string()),
-                ("lr".to_string(), String::new())
+                (ByteStr::from("transport"), ByteStr::from("udp")),
+                (ByteStr::from("lr"), ByteStr::EMPTY)
             ]
         );
     }
@@ -252,5 +308,30 @@ mod tests {
     fn empty_user_is_none() {
         let uri: SipUri = "sip:@h.com".parse().unwrap();
         assert_eq!(uri.user, None);
+    }
+
+    /// `from_str` (production) and `parse_reference` (retained
+    /// allocating parser) must agree — result or error — on every input.
+    #[test]
+    fn reference_parser_matches_from_str() {
+        for s in [
+            "sip:bob@example.com:5070;transport=udp;lr",
+            "sip:example.com",
+            "sip:alice@10.0.0.1",
+            "sip:@h.com",
+            "sip:a@h:99999",
+            "sip:",
+            "sip:a@",
+            "http://x",
+            "sip:h;=;a=;=b;;x",
+            "sip:u@h:5060;p",
+            "",
+        ] {
+            assert_eq!(
+                s.parse::<SipUri>(),
+                SipUri::parse_reference(s),
+                "diverged on `{s}`"
+            );
+        }
     }
 }

@@ -288,7 +288,7 @@ impl UserAgent {
     }
 
     fn username(&self) -> String {
-        self.config.aor.user.clone().unwrap_or_else(|| "anon".into())
+        self.config.aor.user.as_ref().map_or_else(|| "anon".to_string(), |u| u.as_str().to_string())
     }
 
     fn next_id(&mut self) -> u64 {

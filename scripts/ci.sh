@@ -34,6 +34,13 @@
 # soak (tests/soak.rs) gates the byte-for-byte rate-state plateau, and
 # exp_capacity regenerates BENCH_capacity.json, failing the run unless
 # rate bytes are constant across the full 10k -> 1M dialog ladder.
+# The distiller gates (DESIGN SS14) keep the zero-alloc fast path
+# honest: differential proptests (crates/core/tests/properties.rs) hold
+# the SWAR parser byte-identical to the byte-at-a-time reference, the
+# leak-plateau and soak runs above cover the session-plane idle expiry,
+# and exp_pipeline regenerates BENCH_pipeline.json, failing the run
+# unless the fast distiller beats the reference parser by at least 2x
+# (artifact: results/pipeline_stages.txt).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -107,5 +114,9 @@ SCIDIVE_SOAK_DIALOGS=100000 cargo test --release -q --test soak
 echo "== capacity ladder gate (BENCH_capacity.json regeneration) =="
 cargo run --release -q -p scidive-bench --bin exp_capacity -- --gate
 git diff --stat -- BENCH_capacity.json || true
+
+echo "== distiller speedup gate (fast parse >= 2x reference) =="
+cargo run --release -q -p scidive-bench --bin exp_pipeline -- --gate 2.0
+git diff --stat -- BENCH_pipeline.json || true
 
 echo "CI green."

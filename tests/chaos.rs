@@ -88,6 +88,7 @@ fn state_gauges_plateau_across_idle_expiry() {
 
     let mut config = ScidiveConfig::default();
     config.trails.idle_timeout = SimDuration::from_secs(2);
+    config.events.session_timeout = SimDuration::from_secs(2);
     let mut ids = Scidive::new(config);
 
     burst(&mut ids, 0); // ends ~0.6s
@@ -95,6 +96,7 @@ fn state_gauges_plateau_across_idle_expiry() {
     assert!(first.trails > 0 && first.media_index > 0 && first.interner > 0);
     assert!(first.synthetic_keys > 0);
     assert!(first.rule_state > 0, "rules hold per-session state");
+    assert!(first.session_plane > 0, "dialog machines hold session state");
 
     // Cross the idle timeout several times over, then repeat the same
     // shape of traffic twice more.
@@ -134,12 +136,22 @@ fn state_gauges_plateau_across_idle_expiry() {
         first.rule_state,
         later.rule_state
     );
+    assert!(
+        later.session_plane <= first.session_plane,
+        "session-plane dialog state grew: {} -> {}",
+        first.session_plane,
+        later.session_plane
+    );
     // And the lifecycle counters prove expiry actually ran.
     assert!(later.expired_trails > 0);
     assert!(later.media_expired > 0);
     assert!(later.synthetic_expired > 0);
     assert!(later.interner_expired > 0);
     assert!(later.rule_state_expired > 0, "rule state never expired");
+    assert!(
+        later.session_plane_expired > 0,
+        "session-plane state never expired"
+    );
 }
 
 #[test]

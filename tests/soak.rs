@@ -54,6 +54,7 @@ fn soak_rate_state_constant_and_gauges_plateau() {
     };
     config.trails.idle_timeout = window;
     config.events.identity_timeout = window;
+    config.events.session_timeout = window;
 
     let mut ids = Scidive::new(config);
     let total = synth.total_frames();
@@ -111,12 +112,13 @@ fn soak_rate_state_constant_and_gauges_plateau() {
         let peak = mid.iter().map(f).max().unwrap_or(0);
         peak + peak / 10 + 64
     };
-    let checks: [(&str, Gauge); 5] = [
+    let checks: [(&str, Gauge); 6] = [
         ("trails", |g| g.trails),
         ("retained_footprints", |g| g.retained_footprints),
         ("media_index", |g| g.media_index),
         ("interner", |g| g.interner),
         ("synthetic_keys", |g| g.synthetic_keys),
+        ("session_plane", |g| g.session_plane),
     ];
     for (name, f) in checks {
         assert!(
@@ -135,6 +137,10 @@ fn soak_rate_state_constant_and_gauges_plateau() {
     // being too small to matter.
     assert!(last.expired_trails > 0, "no trail ever expired");
     assert!(last.interner_expired > 0, "no interned key ever expired");
+    assert!(
+        last.session_plane_expired > 0,
+        "no session-plane dialog ever expired"
+    );
 }
 
 /// The same soak shape in exact mode at a fixed small scale: the
