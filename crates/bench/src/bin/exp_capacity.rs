@@ -1,20 +1,28 @@
 //! **Experiment C1** — capacity: engine state vs session scale.
 //!
 //! Drives the template-stamped mass-dialog synthesizer
-//! ([`scidive_voip::synth`]) through a single sketch-mode engine
+//! ([`scidive_voip::synth`]) through a sketch-mode pipeline
 //! (`exact_rate_state = false`) at a ladder of scales — 10 k, 100 k and
 //! 1 M dialogs — and records, per rung, throughput (frames/s, events/s)
 //! and the state gauges: bytes pinned by the constant-memory rate
 //! trackers, rule-map session entries, and the peak trail count.
 //!
+//! With `--shards N` (what `scripts/ci.sh` passes, at 4) each rung runs
+//! the sharded deployment with the global rate fold plane on, and the
+//! report carries the **global-hub bytes alongside the summed per-shard
+//! bytes**: both must be constant across the ladder, the fold plane
+//! under the same hard cap `tests/soak.rs` enforces and the per-shard
+//! sum under `shards x` that cap. Without the flag a single engine runs
+//! and the fold column reads zero.
+//!
 //! The headline claim the artifact documents: **rate-tracker bytes are
 //! identical on every rung** — two orders of magnitude more dialogs and
-//! registration churn leave the flood/guess detection state untouched —
-//! while throughput stays flat. Writes `BENCH_capacity.json` at the
-//! workspace root and `results/capacity.txt`. With `--gate` (what
-//! `scripts/ci.sh` passes) exits nonzero unless rate bytes are constant
-//! across rungs and under the same hard cap `tests/soak.rs` enforces.
-//! `--test` runs a two-rung miniature and writes nothing.
+//! registration churn leave the flood/guess/rapid-connect detection
+//! state untouched — while throughput stays flat. Writes
+//! `BENCH_capacity.json` at the workspace root and
+//! `results/capacity.txt`. With `--gate` exits nonzero unless the
+//! constancy and cap checks hold. `--test` runs a two-rung miniature
+//! and writes nothing.
 
 use scidive_bench::report::{f2, Table};
 use scidive_core::prelude::*;
@@ -24,13 +32,15 @@ use serde::Serialize;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Must match `RATE_BYTES_CAP` in `tests/soak.rs`.
+/// Must match `RATE_BYTES_CAP` in `tests/soak.rs`. Applies per engine
+/// (so `shards x` it for the per-shard sum) and to the global fold hub.
 const RATE_BYTES_CAP: u64 = 2 * 1024 * 1024;
 
 #[derive(Serialize)]
 struct Rung {
     dialogs: u64,
     concurrent: u64,
+    shards: u64,
     frames: u64,
     events: u64,
     wall_secs: f64,
@@ -38,6 +48,7 @@ struct Rung {
     events_per_sec: f64,
     rate_trackers: u64,
     rate_bytes: u64,
+    fold_rate_bytes: u64,
     rule_state: u64,
     peak_trails: u64,
     peak_retained_footprints: u64,
@@ -47,12 +58,28 @@ struct Rung {
 #[derive(Serialize)]
 struct BenchReport {
     mode: String,
+    shards: u64,
     rungs: Vec<Rung>,
     rate_bytes_constant: bool,
+    fold_rate_bytes_constant: bool,
     rate_bytes_cap: u64,
 }
 
-fn run_rung(dialogs: u64) -> Rung {
+fn rung_config(synth: &SynthConfig) -> ScidiveConfig {
+    // Keep retention windows inside the run so steady-state (not
+    // everything-since-start) is what the gauges measure.
+    let span = synth.span();
+    let window = SimDuration::from_micros((span.as_micros() / 16).clamp(2_000_000, 60_000_000));
+    let mut config = ScidiveConfig {
+        exact_rate_state: false,
+        ..ScidiveConfig::default()
+    };
+    config.trails.idle_timeout = window;
+    config.events.identity_timeout = window;
+    config
+}
+
+fn run_rung(dialogs: u64, shards: usize) -> Rung {
     let concurrent = (dialogs / 4).max(64);
     let mut synth = SynthConfig::load(dialogs, concurrent);
     // Stretch the schedule like tests/soak.rs does: the caller pool is
@@ -64,38 +91,48 @@ fn run_rung(dialogs: u64) -> Rung {
     // Virtual time is free; wall-clock throughput is unaffected.
     synth.spacing = SimDuration::from_millis(10);
     synth.hold = SimDuration::from_millis(10 * concurrent);
-    let span = synth.span();
+    let config = rung_config(&synth);
 
-    // Keep retention windows inside the run so steady-state (not
-    // everything-since-start) is what the gauges measure.
-    let window = SimDuration::from_micros((span.as_micros() / 16).clamp(2_000_000, 60_000_000));
-    let mut config = ScidiveConfig {
-        exact_rate_state: false,
-        ..ScidiveConfig::default()
-    };
-    config.trails.idle_timeout = window;
-    config.events.identity_timeout = window;
-
-    let mut ids = Scidive::new(config);
     let total = synth.total_frames();
     let sample_every = (total / 16).max(1);
     let mut peak_trails = 0u64;
     let mut peak_retained = 0u64;
-    let start = Instant::now();
-    for (n, (time, pkt)) in synth.stream().enumerate() {
-        ids.on_frame(time, &pkt);
-        if (n as u64 + 1).is_multiple_of(sample_every) {
-            let g = ids.gauges();
-            peak_trails = peak_trails.max(g.trails);
-            peak_retained = peak_retained.max(g.retained_footprints);
+
+    let (wall, stats, gauges) = if shards == 0 {
+        let mut ids = Scidive::new(config);
+        let start = Instant::now();
+        for (n, (time, pkt)) in synth.stream().enumerate() {
+            ids.on_frame(time, &pkt);
+            if (n as u64 + 1).is_multiple_of(sample_every) {
+                let g = ids.gauges();
+                peak_trails = peak_trails.max(g.trails);
+                peak_retained = peak_retained.max(g.retained_footprints);
+            }
         }
-    }
-    let wall = start.elapsed().as_secs_f64();
-    let stats = ids.stats();
-    let gauges = ids.gauges();
+        let wall = start.elapsed().as_secs_f64();
+        (wall, ids.stats(), ids.gauges())
+    } else {
+        // Sharded deployment with the global fold plane on (the
+        // default): the gauges sum the per-shard trackers and report
+        // the dispatcher's global hub separately.
+        let mut ids = ShardedScidive::new(config, shards, 64);
+        let start = Instant::now();
+        for (n, (time, pkt)) in synth.stream().enumerate() {
+            ids.submit(time, &pkt);
+            if (n as u64 + 1).is_multiple_of(sample_every) {
+                let g = ids.observation().gauges;
+                peak_trails = peak_trails.max(g.trails);
+                peak_retained = peak_retained.max(g.retained_footprints);
+            }
+        }
+        let report = ids.finish();
+        let wall = start.elapsed().as_secs_f64();
+        (wall, report.stats, report.observation.gauges)
+    };
     Rung {
         dialogs,
         concurrent,
+        shards: shards as u64,
         frames: stats.frames,
         events: stats.events,
         wall_secs: wall,
@@ -103,6 +140,7 @@ fn run_rung(dialogs: u64) -> Rung {
         events_per_sec: stats.events as f64 / wall,
         rate_trackers: gauges.rate_trackers,
         rate_bytes: gauges.rate_bytes,
+        fold_rate_bytes: gauges.fold_rate_bytes,
         rule_state: gauges.rule_state,
         peak_trails,
         peak_retained_footprints: peak_retained,
@@ -114,6 +152,12 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let test_mode = args.iter().any(|a| a == "--test");
     let gate = args.iter().any(|a| a == "--gate");
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     let ladder: &[u64] = if test_mode {
         &[500, 2_000]
@@ -123,9 +167,14 @@ fn main() {
 
     let mut out = String::new();
     let _ = writeln!(out, "# Capacity ladder: state vs session scale (exp_capacity)");
+    let deployment = if shards == 0 {
+        "single engine".to_string()
+    } else {
+        format!("{shards}-shard pipeline + global rate fold plane")
+    };
     let _ = writeln!(
         out,
-        "# sketch mode (exact_rate_state = false), synthetic dialogs + registration churn\n"
+        "# sketch mode (exact_rate_state = false), {deployment}, synthetic dialogs + registration churn\n"
     );
     let mut table = Table::new(&[
         "dialogs",
@@ -134,12 +183,13 @@ fn main() {
         "frames/s",
         "events/s",
         "rate bytes",
+        "fold bytes",
         "rule state",
         "peak trails",
     ]);
     let mut rungs = Vec::new();
     for &dialogs in ladder {
-        let rung = run_rung(dialogs);
+        let rung = run_rung(dialogs, shards);
         table.row(&[
             rung.dialogs.to_string(),
             rung.concurrent.to_string(),
@@ -147,6 +197,7 @@ fn main() {
             format!("{:.0}", rung.frames_per_sec),
             format!("{:.0}", rung.events_per_sec),
             rung.rate_bytes.to_string(),
+            rung.fold_rate_bytes.to_string(),
             rung.rule_state.to_string(),
             rung.peak_trails.to_string(),
         ]);
@@ -155,25 +206,47 @@ fn main() {
     let _ = writeln!(out, "{}", table.render());
 
     let rate_bytes_constant = rungs.windows(2).all(|w| w[0].rate_bytes == w[1].rate_bytes);
+    let fold_bytes_constant = rungs
+        .windows(2)
+        .all(|w| w[0].fold_rate_bytes == w[1].fold_rate_bytes);
     let spread = rungs.last().map(|r| r.dialogs).unwrap_or(0) as f64
         / rungs.first().map(|r| r.dialogs.max(1)).unwrap_or(1) as f64;
     let _ = writeln!(
         out,
-        "rate-tracker bytes {} across a {}x session spread (cap {})",
+        "rate-tracker bytes {} across a {}x session spread (cap {} per engine)",
         if rate_bytes_constant { "constant" } else { "NOT CONSTANT" },
         f2(spread),
         RATE_BYTES_CAP
     );
+    if shards > 0 {
+        let _ = writeln!(
+            out,
+            "global fold-hub bytes {} across the ladder (cap {})",
+            if fold_bytes_constant { "constant" } else { "NOT CONSTANT" },
+            RATE_BYTES_CAP
+        );
+    }
 
     print!("{out}");
 
-    let under_cap = rungs.iter().all(|r| r.rate_bytes < RATE_BYTES_CAP);
+    // The per-engine cap scales with the shard count (each worker holds
+    // its own trackers); the global fold hub gets the single-engine cap.
+    let shard_cap = RATE_BYTES_CAP * shards.max(1) as u64;
+    let under_cap = rungs.iter().all(|r| r.rate_bytes < shard_cap);
+    let fold_under_cap = rungs.iter().all(|r| r.fold_rate_bytes < RATE_BYTES_CAP);
+    let fold_materialized = shards == 0 || rungs.iter().all(|r| r.fold_rate_bytes > 0);
     let benign = rungs.iter().all(|r| r.alerts == 0);
 
     let report = BenchReport {
-        mode: "sketch".to_string(),
+        mode: if shards == 0 {
+            "sketch".to_string()
+        } else {
+            format!("sketch+fold x{shards}")
+        },
+        shards: shards as u64,
         rungs,
         rate_bytes_constant,
+        fold_rate_bytes_constant: fold_bytes_constant,
         rate_bytes_cap: RATE_BYTES_CAP,
     };
     if test_mode {
@@ -197,14 +270,28 @@ fn main() {
             eprintln!("FAIL: rate-tracker bytes varied across the ladder");
             std::process::exit(1);
         }
+        if !fold_bytes_constant {
+            eprintln!("FAIL: fold-hub bytes varied across the ladder");
+            std::process::exit(1);
+        }
         if !under_cap {
-            eprintln!("FAIL: rate-tracker bytes broke the {RATE_BYTES_CAP}-byte cap");
+            eprintln!("FAIL: rate-tracker bytes broke the {shard_cap}-byte cap");
+            std::process::exit(1);
+        }
+        if !fold_under_cap {
+            eprintln!("FAIL: fold-hub bytes broke the {RATE_BYTES_CAP}-byte cap");
+            std::process::exit(1);
+        }
+        if !fold_materialized {
+            eprintln!("FAIL: sharded run never materialized the global fold hub");
             std::process::exit(1);
         }
         if !benign {
             eprintln!("FAIL: benign synthetic load raised alerts");
             std::process::exit(1);
         }
-        println!("gate ok: rate bytes constant and under {RATE_BYTES_CAP} across the ladder");
+        println!(
+            "gate ok: rate bytes constant and under {shard_cap}, fold hub under {RATE_BYTES_CAP}, across the ladder"
+        );
     }
 }

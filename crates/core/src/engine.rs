@@ -10,7 +10,7 @@ use crate::observe::{
     PipelineObservation, StateGauges,
 };
 use crate::proto::ProtocolSet;
-use crate::rate::{RateConfig, RateHub};
+use crate::rate::{FoldConfig, RateConfig, RateDelta, RateHub};
 use crate::rules::{builtin_ruleset, AlertSink, CompiledRuleset, Rule, RuleCtx, RuleToggles};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
@@ -52,6 +52,10 @@ pub struct ScidiveConfig {
     /// Sketch dimensioning for the rate trackers (also copied into the
     /// event config).
     pub rate: RateConfig,
+    /// Cross-shard rate aggregation (the fold plane). Consulted only by
+    /// [`crate::shard::ShardedScidive`]; a single engine evaluates rate
+    /// clauses locally either way.
+    pub fold: FoldConfig,
 }
 
 impl Default for ScidiveConfig {
@@ -67,6 +71,7 @@ impl Default for ScidiveConfig {
             protocols: ProtocolSet::default(),
             exact_rate_state: true,
             rate: RateConfig::default(),
+            fold: FoldConfig::default(),
         }
     }
 }
@@ -183,9 +188,23 @@ impl Scidive {
     /// sharded dispatcher owns the one shared plane and injects its
     /// events via [`Scidive::on_distilled`].
     pub fn data_plane(config: ScidiveConfig) -> Scidive {
+        Scidive::data_plane_with_shards(config, 1)
+    }
+
+    /// [`Scidive::data_plane`] for one shard of a `shards`-way pipeline.
+    /// When the fold plane is enabled the rate hub runs in aggregated
+    /// mode ([`crate::rate::RateHub::new_aggregated`]): rate rules
+    /// observe and forward candidates, and the dispatcher's
+    /// [`crate::rate::GlobalRatePlane`] owns threshold evaluation.
+    pub fn data_plane_with_shards(config: ScidiveConfig, shards: usize) -> Scidive {
         let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
         rules.set_state_timeout(config.trails.idle_timeout);
         let events_cfg = config.event_config();
+        let rates = if config.fold.enabled {
+            RateHub::new_aggregated(config.rate.clone(), config.exact_rate_state, shards)
+        } else {
+            RateHub::new(config.rate.clone(), config.exact_rate_state)
+        };
         Scidive {
             distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
             trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
@@ -196,8 +215,15 @@ impl Scidive {
             observer: EngineObserver::new(&config.observe),
             event_log: Vec::new(),
             event_log_cap: config.event_log_cap,
-            rates: RateHub::new(config.rate, config.exact_rate_state),
+            rates,
         }
+    }
+
+    /// Swaps out this engine's accumulated fold-plane delta
+    /// ([`crate::rate::RateHub::take_delta`]) — the shard side of a fold
+    /// barrier. Empty unless the hub runs in aggregated mode.
+    pub fn take_rate_delta(&mut self) -> RateDelta {
+        self.rates.take_delta()
     }
 
     /// Adds a custom rule alongside the built-ins. The rule is indexed
@@ -392,6 +418,13 @@ impl Scidive {
             rate_divergence_samples: rate.divergence_samples,
             rate_divergence_sum: rate.divergence_sum,
             rate_divergence_max: rate.divergence_max,
+            // The fold plane is dispatcher state; a lone engine (or one
+            // shard worker) reports none.
+            fold_rate_trackers: 0,
+            fold_rate_bytes: 0,
+            fold_divergence_samples: 0,
+            fold_divergence_sum: 0,
+            fold_divergence_max: 0,
         }
     }
 

@@ -107,8 +107,8 @@ pub mod prelude {
     };
     pub use crate::online::OnlineScidive;
     pub use crate::rate::{
-        CountMinSketch, LatchSet, RateConfig, RateHub, RateStats, WindowedDistinct,
-        WindowedSketch,
+        CountMinSketch, FoldConfig, FoldStats, GlobalRatePlane, LatchSet, RateConfig, RateDelta,
+        RateHub, RateMergeError, RateStats, WindowedDistinct, WindowedSketch,
     };
     pub use crate::routing::{
         stable_session_hash, MediaIndex, RouteDecision, SessionRouter,

@@ -292,6 +292,19 @@ pub struct StateGauges {
     pub rate_divergence_sum: u64,
     /// Worst single |estimate − exact| seen (merged by max).
     pub rate_divergence_max: u64,
+    /// Trackers held by the dispatcher's cross-shard fold plane (0
+    /// unless the sharded pipeline runs with aggregation on).
+    pub fold_rate_trackers: u64,
+    /// Bytes pinned by the fold plane's merged trackers and latches —
+    /// the global-hub footprint the capacity cap must also cover.
+    pub fold_rate_bytes: u64,
+    /// Global-vs-best-local-slice comparisons taken at fold alerts.
+    pub fold_divergence_samples: u64,
+    /// Sum of (global estimate − best local slice) across those alerts.
+    pub fold_divergence_sum: u64,
+    /// Worst single global-vs-local gap seen (merged by max) — how far
+    /// a per-shard evaluation would have undercounted.
+    pub fold_divergence_max: u64,
 }
 
 impl std::ops::Add for StateGauges {
@@ -319,6 +332,11 @@ impl std::ops::Add for StateGauges {
             rate_divergence_samples: self.rate_divergence_samples + rhs.rate_divergence_samples,
             rate_divergence_sum: self.rate_divergence_sum + rhs.rate_divergence_sum,
             rate_divergence_max: self.rate_divergence_max.max(rhs.rate_divergence_max),
+            fold_rate_trackers: self.fold_rate_trackers + rhs.fold_rate_trackers,
+            fold_rate_bytes: self.fold_rate_bytes + rhs.fold_rate_bytes,
+            fold_divergence_samples: self.fold_divergence_samples + rhs.fold_divergence_samples,
+            fold_divergence_sum: self.fold_divergence_sum + rhs.fold_divergence_sum,
+            fold_divergence_max: self.fold_divergence_max.max(rhs.fold_divergence_max),
         }
     }
 }
@@ -343,6 +361,18 @@ pub struct DispatchCounters {
     pub max_queue_depth: u64,
     /// Per-shard queue depth (in batches) at snapshot time.
     pub queue_depths: Vec<u64>,
+    /// Fold barriers executed by the cross-shard rate plane (periodic +
+    /// the finish fold; 0 with aggregation off).
+    pub folds: u64,
+    /// Per-shard rate deltas absorbed across all folds.
+    pub fold_deltas: u64,
+    /// Candidate keys shards forwarded for global evaluation.
+    pub fold_candidates: u64,
+    /// Alerts the global rate evaluation emitted.
+    pub fold_alerts: u64,
+    /// Delta tracker merges refused for shape/seed mismatch (a
+    /// misconfigured shard; skipped, never wedging the fold).
+    pub rate_merge_rejected: u64,
 }
 
 /// The fixed histogram set recorded across the pipeline.
@@ -739,6 +769,20 @@ impl PipelineObservation {
             self.gauges.rate_divergence_samples,
             self.gauges.rate_divergence_sum,
             self.gauges.rate_divergence_max,
+        );
+        let _ = writeln!(
+            out,
+            "fold       folds={} deltas={} candidates={} alerts={} rejected={} trackers={} bytes={} gap_samples={} gap_sum={} gap_max={}",
+            self.dispatch.folds,
+            self.dispatch.fold_deltas,
+            self.dispatch.fold_candidates,
+            self.dispatch.fold_alerts,
+            self.dispatch.rate_merge_rejected,
+            self.gauges.fold_rate_trackers,
+            self.gauges.fold_rate_bytes,
+            self.gauges.fold_divergence_samples,
+            self.gauges.fold_divergence_sum,
+            self.gauges.fold_divergence_max,
         );
         if !self.rule_evals.is_empty() {
             let _ = write!(out, "rule_evals");

@@ -666,6 +666,15 @@ impl IdentityPlane {
 
     // ------------------------------------------------------------------
     // Registration flood / password guessing (§3.3)
+    //
+    // Two-plane note: unlike rapid-connect (keyed by caller while the
+    // shard router keys by Call-ID, so its threshold clause is evaluated
+    // on the dispatcher's global fold plane — see `crate::rate::fold`),
+    // REGISTER-flood and password-guess events are produced by the
+    // dispatcher-resident `IdentityPlane` in sharded mode. Every
+    // REGISTER/4xx for a given source reaches the *same* tracker there,
+    // so the local evaluation below is already global; no fold-plane
+    // candidate path is needed for these clauses.
     // ------------------------------------------------------------------
 
     fn flood_key(&self, src: Ipv4Addr) -> Ipv4Addr {
@@ -718,25 +727,17 @@ impl IdentityPlane {
             let r = self.rates_mut();
             let requests = r.requests.estimate(time, khash);
             let errors = r.errors.estimate(time, khash);
-            if stateful {
-                // "Continuous, alternating SIP requests and 4XX error
-                // messages": the alternation count is the lesser of the
-                // two.
-                requests.min(errors)
-            } else {
-                // A stateless matcher can only count 4xx sightings.
-                errors
-            }
+            flood_alternations(requests, errors, stateful)
         };
         let (count, latched) = if exact {
             let Some(w) = self.reg_windows.get(&key) else {
                 return;
             };
-            let count = if stateful {
-                (w.requests.len().min(w.errors.len())) as u32
-            } else {
-                w.errors.len() as u32
-            };
+            let count = flood_alternations(
+                w.requests.len() as u32,
+                w.errors.len() as u32,
+                stateful,
+            );
             let latched = w.flood_emitted;
             self.rates_mut().divergence.record_divergence(estimated, count);
             (count, latched)
@@ -830,6 +831,21 @@ impl IdentityPlane {
                 },
             );
         }
+    }
+}
+
+/// The flood-clause count from windowed request / 4xx-error tallies.
+///
+/// Stateful mode implements the paper's "continuous, alternating SIP
+/// requests and 4XX error messages": the alternation count is the lesser
+/// of the two tallies. A stateless matcher can only count 4xx sightings.
+/// Shared by the exact (per-key deque) and sketch evaluation arms of
+/// `check_flood` so both planes apply the identical clause.
+pub(crate) fn flood_alternations(requests: u32, errors: u32, stateful: bool) -> u32 {
+    if stateful {
+        requests.min(errors)
+    } else {
+        errors
     }
 }
 

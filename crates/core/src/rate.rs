@@ -37,15 +37,46 @@
 
 pub mod cms;
 pub mod distinct;
+pub mod fold;
 pub mod window;
 
 pub use cms::CountMinSketch;
 pub use distinct::WindowedDistinct;
+pub use fold::{FoldConfig, FoldStats, GlobalRatePlane};
 pub use window::WindowedSketch;
 
 use scidive_netsim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+
+/// Why a cross-tracker merge was refused. Surfaced (rather than
+/// panicking or debug-asserting) so the cross-shard fold can skip a
+/// misconfigured shard's delta — bumping the `rate_merge_rejected`
+/// counter — instead of wedging the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateMergeError {
+    /// Structural dimensions differ (grid, ring size, window, bits).
+    ShapeMismatch {
+        /// Which tracker kind refused.
+        tracker: &'static str,
+    },
+    /// Same shape, but the hash seeds differ — the cells don't line up.
+    SeedMismatch {
+        /// Which tracker kind refused.
+        tracker: &'static str,
+    },
+}
+
+impl std::fmt::Display for RateMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RateMergeError::ShapeMismatch { tracker } => write!(f, "{tracker} shape mismatch"),
+            RateMergeError::SeedMismatch { tracker } => write!(f, "{tracker} seed mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RateMergeError {}
 
 /// The default deterministic hash seed for all rate trackers.
 pub const DEFAULT_RATE_SEED: u64 = 0x5c1d_0d1f_f00d_5eed;
@@ -212,17 +243,36 @@ impl LatchSet {
         self.words.fill(0);
     }
 
-    /// Folds another latch set (same size and seed) into this one.
+    /// Folds another latch set (same size and seed) into this one by
+    /// bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Refuses (mutating nothing) if the dimensions or seed differ.
+    pub fn try_merge(&mut self, other: &LatchSet) -> Result<(), RateMergeError> {
+        if self.mask != other.mask {
+            return Err(RateMergeError::ShapeMismatch {
+                tracker: "latch set",
+            });
+        }
+        if self.seed != other.seed {
+            return Err(RateMergeError::SeedMismatch {
+                tracker: "latch set",
+            });
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        Ok(())
+    }
+
+    /// [`LatchSet::try_merge`], panicking on mismatch.
     ///
     /// # Panics
     ///
     /// Panics if the dimensions or seed differ.
     pub fn merge(&mut self, other: &LatchSet) {
-        assert_eq!(self.mask, other.mask, "latch size mismatch");
-        assert_eq!(self.seed, other.seed, "latch seed mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        self.try_merge(other).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Bytes pinned by the bitset.
@@ -231,10 +281,60 @@ impl LatchSet {
     }
 }
 
+/// One rule-clause candidate a shard forwards to the fold plane with
+/// its delta: a key whose *local* slice crossed the admission bar, so
+/// the global plane should evaluate it against the merged trackers.
+/// Carries the display string the global alert needs (sketches cannot
+/// enumerate keys) and the local estimate for divergence telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateCandidate {
+    /// The clause (and latch) name, e.g. `"rapid-connect"`.
+    pub clause: &'static str,
+    /// The tracker key under evaluation.
+    pub key: u64,
+    /// Capture time this shard first saw the key in the current period
+    /// (merged by min across shards; telemetry — evaluation order uses
+    /// `(clause, display, key)`, which is shard-count invariant, and
+    /// first admission times are not).
+    pub first_time: SimTime,
+    /// The shard-local windowed estimate at admission (merged by max;
+    /// telemetry only — alerts use the global estimate).
+    pub local_estimate: u32,
+    /// Human-readable identity for the alert message (e.g. the caller
+    /// AOR).
+    pub display: String,
+}
+
+/// One shard's contribution to a fold: plain-update twin trackers
+/// covering the observations since the last fold, plus the candidate
+/// keys whose local slices look worth a global evaluation. Summing
+/// deltas from any partition of the stream rebuilds the exact trackers
+/// one engine fed everything would hold (see
+/// [`CountMinSketch::observe_plain`]), which is what makes the global
+/// evaluation independent of the shard count.
+#[derive(Debug, Default)]
+pub struct RateDelta {
+    /// Windowed counters, plain-update twins of the hub's counters.
+    pub counters: Vec<(&'static str, WindowedSketch)>,
+    /// Windowed distinct estimators (register unions are naturally
+    /// partition-independent).
+    pub distincts: Vec<(&'static str, WindowedDistinct)>,
+    /// Candidate keys for the global threshold pass.
+    pub candidates: Vec<RateCandidate>,
+}
+
 /// Named tracker registry every rule can reach through
 /// [`crate::rules::RuleCtx::rates`]. Trackers are created lazily on
 /// first use and live for the engine's lifetime — their memory is a
 /// function of [`RateConfig`] dimensions alone, never of traffic.
+///
+/// In **aggregated** mode ([`RateHub::new_aggregated`], the sharded
+/// pipeline with the fold plane on) the hub additionally maintains a
+/// [`RateDelta`]: plain-update twins of every counter/distinct tracker
+/// plus the candidate registry, swapped out by [`RateHub::take_delta`]
+/// at each fold barrier. Rules built on the hub check
+/// [`RateHub::aggregated`] to split local-latch evaluation (single
+/// engine) from observe-and-forward (shard worker under a fold plane).
 ///
 /// Interior mutability (the engine is single-threaded per worker) lets
 /// rules update trackers through the shared `&RuleCtx` they already
@@ -242,6 +342,13 @@ impl LatchSet {
 #[derive(Debug)]
 pub struct RateHub {
     exact: bool,
+    /// Fold-plane mode: feed delta twins and forward candidates instead
+    /// of latching locally.
+    aggregated: bool,
+    /// Shard count of the owning pipeline (1 when unsharded); scales
+    /// the candidate admission bar so a threshold sliced `shards` ways
+    /// still admits every globally-crossing key.
+    fold_shards: usize,
     config: RateConfig,
     inner: RefCell<HubInner>,
 }
@@ -251,6 +358,7 @@ struct HubInner {
     counters: Vec<(&'static str, WindowedSketch)>,
     distincts: Vec<(&'static str, WindowedDistinct)>,
     latches: Vec<(&'static str, LatchSet)>,
+    delta: RateDelta,
 }
 
 impl Default for RateHub {
@@ -269,9 +377,39 @@ impl RateHub {
     pub fn new(config: RateConfig, exact: bool) -> RateHub {
         RateHub {
             exact,
+            aggregated: false,
+            fold_shards: 1,
             config,
             inner: RefCell::new(HubInner::default()),
         }
+    }
+
+    /// Creates a hub in aggregated (fold-plane) mode for one shard of a
+    /// `shards`-way pipeline: every counter/distinct observation also
+    /// feeds a plain-update delta twin, and threshold rules forward
+    /// candidates instead of latching locally. The sketch path is used
+    /// regardless of `exact` — global evaluation must see identical
+    /// deltas in both modes so the merged alert stream is a pure
+    /// function of the capture.
+    pub fn new_aggregated(config: RateConfig, exact: bool, shards: usize) -> RateHub {
+        RateHub {
+            exact,
+            aggregated: true,
+            fold_shards: shards.max(1),
+            config,
+            inner: RefCell::new(HubInner::default()),
+        }
+    }
+
+    /// Whether this hub feeds a fold plane (observe-and-forward mode).
+    pub fn aggregated(&self) -> bool {
+        self.aggregated
+    }
+
+    /// Shard count of the owning pipeline (1 when unsharded) — the
+    /// divisor for candidate admission bars in aggregated mode.
+    pub fn fold_shards(&self) -> usize {
+        self.fold_shards
     }
 
     /// Whether rules should keep exact per-key state (the reference
@@ -321,7 +459,30 @@ impl RateHub {
             .find(|(n, _)| *n == name)
             .expect("just inserted")
             .1;
-        ws.observe(now, key)
+        let estimate = ws.observe(now, key);
+        if self.aggregated {
+            if !inner.delta.counters.iter().any(|(n, _)| *n == name) {
+                inner.delta.counters.push((
+                    name,
+                    WindowedSketch::new(
+                        window,
+                        self.config.window_buckets,
+                        self.config.counter_width,
+                        self.config.counter_depth,
+                        seed,
+                    ),
+                ));
+            }
+            inner
+                .delta
+                .counters
+                .iter_mut()
+                .find(|(n, _)| *n == name)
+                .expect("just inserted")
+                .1
+                .observe_plain(now, key);
+        }
+        estimate
     }
 
     /// Observes `item` under `key` in the named windowed distinct
@@ -355,7 +516,99 @@ impl RateHub {
             .find(|(n, _)| *n == name)
             .expect("just inserted")
             .1;
-        wd.observe(now, key, item)
+        let estimate = wd.observe(now, key, item);
+        if self.aggregated {
+            if !inner.delta.distincts.iter().any(|(n, _)| *n == name) {
+                inner.delta.distincts.push((
+                    name,
+                    WindowedDistinct::new(
+                        window,
+                        self.config.distinct_buckets,
+                        self.config.distinct_slots,
+                        self.config.distinct_registers,
+                        seed,
+                    ),
+                ));
+            }
+            inner
+                .delta
+                .distincts
+                .iter_mut()
+                .find(|(n, _)| *n == name)
+                .expect("just inserted")
+                .1
+                .observe(now, key, item);
+        }
+        estimate
+    }
+
+    /// Registers a fold-plane candidate (aggregated mode): the key's
+    /// local slice crossed its admission bar, so the next fold should
+    /// evaluate it globally. Deduplicated by `(clause, key)` within the
+    /// period, keeping the earliest sighting and the largest local
+    /// estimate.
+    pub fn push_candidate(
+        &self,
+        clause: &'static str,
+        key: u64,
+        first_time: SimTime,
+        local_estimate: u32,
+        display: &str,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(c) = inner
+            .delta
+            .candidates
+            .iter_mut()
+            .find(|c| c.clause == clause && c.key == key)
+        {
+            c.first_time = c.first_time.min(first_time);
+            c.local_estimate = c.local_estimate.max(local_estimate);
+            return;
+        }
+        inner.delta.candidates.push(RateCandidate {
+            clause,
+            key,
+            first_time,
+            local_estimate,
+            display: display.to_string(),
+        });
+    }
+
+    /// Swaps out the accumulated [`RateDelta`] at a fold barrier,
+    /// leaving structurally identical *empty* twin trackers behind (so
+    /// the hub's byte footprint stays constant across folds, which the
+    /// capacity gates assert).
+    pub fn take_delta(&self) -> RateDelta {
+        let mut inner = self.inner.borrow_mut();
+        let taken = std::mem::take(&mut inner.delta);
+        for (name, ws) in &taken.counters {
+            let seed = self.config.tracker_seed(name);
+            inner.delta.counters.push((
+                name,
+                WindowedSketch::new(
+                    ws.window(),
+                    self.config.window_buckets,
+                    self.config.counter_width,
+                    self.config.counter_depth,
+                    seed,
+                ),
+            ));
+        }
+        for (name, wd) in &taken.distincts {
+            let seed = self.config.tracker_seed(name);
+            inner.delta.distincts.push((
+                name,
+                WindowedDistinct::new(
+                    wd.window(),
+                    self.config.distinct_buckets,
+                    self.config.distinct_slots,
+                    self.config.distinct_registers,
+                    seed,
+                ),
+            ));
+        }
+        taken
     }
 
     /// Whether the key's latch in the named latch set is set.
@@ -386,8 +639,9 @@ impl RateHub {
         l.put(key, on);
     }
 
-    /// Telemetry snapshot: tracker count and bytes (this hub records no
-    /// divergence — the identity plane's shadow mode owns that).
+    /// Telemetry snapshot: tracker count and bytes, including the
+    /// delta twins in aggregated mode (this hub records no divergence —
+    /// the identity plane's shadow mode owns that).
     pub fn stats(&self) -> RateStats {
         let inner = self.inner.borrow();
         let mut s = RateStats::default();
@@ -402,6 +656,14 @@ impl RateHub {
         for (_, l) in &inner.latches {
             s.trackers += 1;
             s.bytes += l.bytes() as u64;
+        }
+        for (_, ws) in &inner.delta.counters {
+            s.trackers += 1;
+            s.bytes += ws.bytes() as u64;
+        }
+        for (_, wd) in &inner.delta.distincts {
+            s.trackers += 1;
+            s.bytes += wd.bytes() as u64;
         }
         s
     }
@@ -439,10 +701,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "latch seed mismatch")]
+    #[should_panic(expected = "latch set seed mismatch")]
     fn latch_merge_checks_seed() {
         let mut a = LatchSet::new(64, 1);
         a.merge(&LatchSet::new(64, 2));
+    }
+
+    #[test]
+    fn latch_try_merge_returns_typed_errors_without_mutating() {
+        let mut a = LatchSet::new(64, 1);
+        a.put(3, true);
+        assert_eq!(
+            a.try_merge(&LatchSet::new(128, 1)),
+            Err(RateMergeError::ShapeMismatch {
+                tracker: "latch set"
+            })
+        );
+        assert_eq!(
+            a.try_merge(&LatchSet::new(64, 2)),
+            Err(RateMergeError::SeedMismatch {
+                tracker: "latch set"
+            })
+        );
+        assert!(a.get(3));
     }
 
     #[test]

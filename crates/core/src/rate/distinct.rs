@@ -18,7 +18,7 @@
 //!   window; both push the estimate up, never down — so a threshold
 //!   crossing is never missed, matching the count-min direction.
 
-use crate::rate::splitmix64;
+use crate::rate::{splitmix64, RateMergeError};
 use scidive_netsim::time::{SimDuration, SimTime};
 
 const EMPTY_EPOCH: u64 = u64::MAX;
@@ -181,55 +181,72 @@ impl WindowedDistinct {
     }
 
     /// Folds another estimator (same shape and seed) into this one.
-    /// Ring buckets align by epoch; matching live buckets union by
-    /// register max — HLL unions are lossless, so the merged estimate
-    /// equals the estimate of the combined streams.
+    /// Ring buckets align **by epoch**, not position: each of the other
+    /// side's live buckets unions (by register max — HLL unions are
+    /// lossless, so the merged estimate equals the estimate of the
+    /// combined streams) into the slot its epoch owns under the merged
+    /// clock; buckets behind the merged high-water mark are zeroed, and
+    /// a slot claimed by two different epochs keeps only the newer one.
+    ///
+    /// # Errors
+    ///
+    /// Refuses (mutating nothing) if the window, shape, or seed differ.
+    pub fn try_merge(&mut self, other: &WindowedDistinct) -> Result<(), RateMergeError> {
+        if (self.window, self.slots, self.registers, self.epochs.len())
+            != (other.window, other.slots, other.registers, other.epochs.len())
+        {
+            return Err(RateMergeError::ShapeMismatch {
+                tracker: "distinct estimator",
+            });
+        }
+        if self.seed != other.seed {
+            return Err(RateMergeError::SeedMismatch {
+                tracker: "distinct estimator",
+            });
+        }
+        let high = self.high_epoch.max(other.high_epoch);
+        let len = self.epochs.len() as u64;
+        let span = self.slots * self.registers;
+        // Zero every bucket the merged clock has left behind.
+        for b in 0..self.epochs.len() {
+            let epoch = self.epochs[b];
+            if epoch != EMPTY_EPOCH && !(epoch <= high && high - epoch < len) {
+                self.regs[b * span..(b + 1) * span].fill(0);
+                self.epochs[b] = EMPTY_EPOCH;
+            }
+        }
+        for ob in 0..other.epochs.len() {
+            let epoch = other.epochs[ob];
+            if !(epoch != EMPTY_EPOCH && epoch <= high && high - epoch < len) {
+                continue;
+            }
+            let b = (epoch % len) as usize;
+            let src = &other.regs[ob * span..(ob + 1) * span];
+            let dst = &mut self.regs[b * span..(b + 1) * span];
+            if self.epochs[b] == epoch {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    if *d < s {
+                        *d = s;
+                    }
+                }
+            } else if self.epochs[b] == EMPTY_EPOCH || self.epochs[b] < epoch {
+                dst.copy_from_slice(src);
+                self.epochs[b] = epoch;
+            }
+            // self.epochs[b] > epoch: theirs is the staler claim on this
+            // slot; dropping it keeps dead registers out of the window.
+        }
+        self.high_epoch = high;
+        Ok(())
+    }
+
+    /// [`WindowedDistinct::try_merge`], panicking on mismatch.
     ///
     /// # Panics
     ///
     /// Panics if the window, shape, or seed differ.
     pub fn merge(&mut self, other: &WindowedDistinct) {
-        assert_eq!(
-            (self.window, self.slots, self.registers, self.epochs.len(), self.seed),
-            (
-                other.window,
-                other.slots,
-                other.registers,
-                other.epochs.len(),
-                other.seed
-            ),
-            "distinct estimator shape mismatch"
-        );
-        let high = self.high_epoch.max(other.high_epoch);
-        let span = self.slots * self.registers;
-        for b in 0..self.epochs.len() {
-            let mine_live = self.live(self.epochs[b], high);
-            let theirs_live = self.live(other.epochs[b], high);
-            let start = b * span;
-            match (mine_live, theirs_live) {
-                (true, true) => {
-                    debug_assert_eq!(self.epochs[b], other.epochs[b], "live epochs must align");
-                    for j in 0..span {
-                        let v = other.regs[start + j];
-                        if self.regs[start + j] < v {
-                            self.regs[start + j] = v;
-                        }
-                    }
-                }
-                (false, true) => {
-                    self.regs[start..start + span].copy_from_slice(&other.regs[start..start + span]);
-                    self.epochs[b] = other.epochs[b];
-                }
-                (true, false) => {}
-                (false, false) => {
-                    if self.epochs[b] != EMPTY_EPOCH {
-                        self.regs[start..start + span].fill(0);
-                        self.epochs[b] = EMPTY_EPOCH;
-                    }
-                }
-            }
-        }
-        self.high_epoch = high;
+        self.try_merge(other).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Bytes pinned by the register file and ring bookkeeping.
@@ -314,6 +331,50 @@ mod tests {
             512,
             3,
         ));
+    }
+
+    /// Two estimators advanced asymmetrically by well over `B` buckets,
+    /// merged both directions: the stale side's registers must be
+    /// zeroed, never unioned into the fresh window.
+    #[test]
+    fn asymmetric_clocks_merge_without_stale_registers() {
+        let mut old = estimator();
+        let t0 = SimTime::from_secs(1);
+        for item in 0..5u64 {
+            old.observe(t0, 7, item);
+        }
+        let mut fresh = estimator();
+        // 6 buckets of 6s: 600s is ~100 buckets ahead of t0.
+        let later = SimTime::from_secs(600);
+        fresh.observe(later, 7, 99);
+
+        let mut m = old.clone();
+        m.merge(&fresh);
+        assert_eq!(m.estimate(later, 7), 1, "stale registers leaked");
+
+        let mut m = fresh.clone();
+        m.merge(&old);
+        assert_eq!(m.estimate(later, 7), 1, "stale registers leaked");
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatches_with_typed_errors() {
+        use crate::rate::RateMergeError;
+        let mut a = estimator();
+        a.observe(SimTime::from_secs(1), 7, 1);
+        assert_eq!(
+            a.try_merge(&WindowedDistinct::new(SimDuration::from_secs(30), 6, 32, 512, 3)),
+            Err(RateMergeError::ShapeMismatch {
+                tracker: "distinct estimator"
+            })
+        );
+        assert_eq!(
+            a.try_merge(&WindowedDistinct::new(SimDuration::from_secs(30), 6, 32, 1024, 4)),
+            Err(RateMergeError::SeedMismatch {
+                tracker: "distinct estimator"
+            })
+        );
+        assert_eq!(a.estimate(SimTime::from_secs(1), 7), 1);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! The cross-shard fold plane: global rate evaluation above the shards.
+//!
+//! The sharded pipeline routes frames by session hash, so a flood whose
+//! sources (or a caller whose Call-IDs) hash across `N` shards is seen
+//! only in `1/N` slices by any per-shard `RateHub` — per-shard threshold
+//! evaluation undercounts it by up to `N×` and can miss it entirely.
+//! The fold plane restores the single-vantage-point semantics SCIDIVE's
+//! stateful rules assume: on a fixed capture-time cadence the dispatcher
+//! collects each shard's [`RateDelta`] (plain-update twin trackers plus
+//! candidate keys), folds the deltas into one [`GlobalRatePlane`] with
+//! the cell-wise / epoch-aligned / register-max / OR merges, and
+//! evaluates the threshold clauses against the **merged** trackers.
+//!
+//! Determinism is the design constraint everything here serves — the
+//! merged alert stream must be a pure function of the capture,
+//! independent of the shard count:
+//!
+//! * **Plain updates.** Delta twins use the non-conservative count-min
+//!   update ([`crate::rate::CountMinSketch::observe_plain`]), which is
+//!   partition-independent: summing per-shard grids cell-for-cell
+//!   equals one grid fed the whole stream. HLL register unions and
+//!   latch ORs are partition-independent by construction.
+//! * **Commutative absorbs.** Saturating add, register max, and OR are
+//!   commutative and associative, so the order shard deltas arrive in
+//!   cannot change the merged state.
+//! * **Canonical candidate order.** Candidates are evaluated sorted by
+//!   `(clause, display, key)` — quantities identical at every shard
+//!   count — never by arrival or admission order, which are not.
+//! * **Capture-time cadence.** Folds happen at fixed capture-time
+//!   boundaries (see `shard.rs`), so alert timestamps are boundary
+//!   times, not functions of batch sizes or thread scheduling.
+
+use crate::alert::Alert;
+use crate::rate::{
+    LatchSet, RateCandidate, RateConfig, RateDelta, RateStats, WindowedDistinct, WindowedSketch,
+};
+use crate::rules::builtin::{
+    rapid_alert_at, rapid_clause, RAPID_ATTEMPTS_TRACKER, RAPID_CALLEES_TRACKER, RAPID_CLAUSE,
+};
+use scidive_netsim::time::{SimDuration, SimTime};
+
+/// Fold-plane knobs, part of [`crate::engine::ScidiveConfig`]. Only the
+/// sharded pipeline consults them; a single engine evaluates rate
+/// clauses locally regardless.
+#[derive(Debug, Clone)]
+pub struct FoldConfig {
+    /// Whether the sharded pipeline runs the fold plane at all. Off
+    /// restores the pre-fold per-shard-slice evaluation — kept as a
+    /// switch so the detection-miss regression stays testable.
+    pub enabled: bool,
+    /// Capture-time fold cadence: shards are folded at every multiple
+    /// of this interval (quantised from time zero), plus once at
+    /// finish. Smaller intervals tighten detection latency; the merged
+    /// alert stream stays identical either way, only its timestamps
+    /// quantise differently.
+    pub interval: SimDuration,
+}
+
+impl Default for FoldConfig {
+    fn default() -> FoldConfig {
+        FoldConfig {
+            enabled: true,
+            interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Fold-plane telemetry counters, surfaced through
+/// [`crate::observe::DispatchCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Fold barriers executed (including the finish fold).
+    pub folds: u64,
+    /// Shard deltas absorbed across all folds.
+    pub deltas_absorbed: u64,
+    /// Candidate keys received (pre-dedup) across all folds.
+    pub candidates: u64,
+    /// Tracker merges refused for shape/seed mismatch (a misconfigured
+    /// shard; its delta is skipped, the fold proceeds).
+    pub merge_rejected: u64,
+    /// Alerts the global evaluation emitted.
+    pub alerts: u64,
+}
+
+/// The dispatcher-resident global hub: merged trackers, the candidate
+/// registry, and the global fired latches (see module docs).
+#[derive(Debug)]
+pub struct GlobalRatePlane {
+    config: RateConfig,
+    counters: Vec<(&'static str, WindowedSketch)>,
+    distincts: Vec<(&'static str, WindowedDistinct)>,
+    latches: Vec<(&'static str, LatchSet)>,
+    candidates: Vec<RateCandidate>,
+    stats: FoldStats,
+    /// Global-estimate-vs-best-local-slice divergence, recorded per
+    /// alert — the direct measure of how much a per-shard evaluation
+    /// would have undercounted.
+    divergence: RateStats,
+}
+
+impl GlobalRatePlane {
+    /// Creates an empty plane; trackers arrive with the first absorbed
+    /// deltas (and inherit their shapes), latches are created lazily
+    /// from `config` dimensions.
+    pub fn new(config: RateConfig) -> GlobalRatePlane {
+        GlobalRatePlane {
+            config,
+            counters: Vec::new(),
+            distincts: Vec::new(),
+            latches: Vec::new(),
+            candidates: Vec::new(),
+            stats: FoldStats::default(),
+            divergence: RateStats::default(),
+        }
+    }
+
+    /// Folds one shard's delta into the plane. The first delta to carry
+    /// a tracker name donates the tracker wholesale; later deltas merge
+    /// into it. A tracker refusing to merge (shape or seed mismatch —
+    /// a misconfigured shard) bumps `merge_rejected` and is skipped;
+    /// the fold never wedges. Candidates dedup by `(clause, key)`,
+    /// keeping the earliest first-sighting and the largest local
+    /// estimate.
+    pub fn absorb(&mut self, delta: RateDelta) {
+        self.stats.deltas_absorbed += 1;
+        for (name, theirs) in delta.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => {
+                    if mine.try_merge(&theirs).is_err() {
+                        self.stats.merge_rejected += 1;
+                    }
+                }
+                None => self.counters.push((name, theirs)),
+            }
+        }
+        for (name, theirs) in delta.distincts {
+            match self.distincts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => {
+                    if mine.try_merge(&theirs).is_err() {
+                        self.stats.merge_rejected += 1;
+                    }
+                }
+                None => self.distincts.push((name, theirs)),
+            }
+        }
+        for c in delta.candidates {
+            self.stats.candidates += 1;
+            match self
+                .candidates
+                .iter_mut()
+                .find(|e| e.clause == c.clause && e.key == c.key)
+            {
+                Some(e) => {
+                    e.first_time = e.first_time.min(c.first_time);
+                    e.local_estimate = e.local_estimate.max(c.local_estimate);
+                }
+                None => self.candidates.push(c),
+            }
+        }
+    }
+
+    fn latched(&self, name: &'static str, key: u64) -> bool {
+        self.latches
+            .iter()
+            .find(|(n, _)| *n == name)
+            .is_some_and(|(_, l)| l.get(key))
+    }
+
+    fn set_latch(&mut self, name: &'static str, key: u64) {
+        if !self.latches.iter().any(|(n, _)| *n == name) {
+            let seed = self.config.tracker_seed(name);
+            self.latches
+                .push((name, LatchSet::new(self.config.latch_bits, seed)));
+        }
+        self.latches
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+            .expect("just inserted")
+            .1
+            .put(key, true);
+    }
+
+    /// Runs the global threshold pass at a fold boundary: advances every
+    /// tracker to `now`, evaluates each candidate's clause against the
+    /// merged estimates in canonical `(clause, display, key)` order, and
+    /// returns the alerts (timestamped `now`). A candidate that crosses
+    /// latches globally — one alert per campaign, like the local latch —
+    /// and candidates whose merged window has fully decayed are evicted.
+    pub fn evaluate(&mut self, now: SimTime) -> Vec<Alert> {
+        self.stats.folds += 1;
+        for (_, ws) in &mut self.counters {
+            ws.advance(now);
+        }
+        for (_, wd) in &mut self.distincts {
+            wd.advance(now);
+        }
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.sort_by(|a, b| {
+            (a.clause, &a.display, a.key).cmp(&(b.clause, &b.display, b.key))
+        });
+        let mut alerts = Vec::new();
+        for c in candidates {
+            if c.clause != RAPID_CLAUSE {
+                // Unknown clause (a future rule's candidate reaching an
+                // older plane): drop rather than guess at semantics.
+                continue;
+            }
+            let attempts = self
+                .counters
+                .iter()
+                .find(|(n, _)| *n == RAPID_ATTEMPTS_TRACKER)
+                .map_or(0, |(_, ws)| ws.estimate(now, c.key));
+            let distinct = self
+                .distincts
+                .iter()
+                .find(|(n, _)| *n == RAPID_CALLEES_TRACKER)
+                .map_or(0, |(_, wd)| wd.estimate(now, c.key));
+            if rapid_clause(attempts, distinct) && !self.latched(RAPID_CLAUSE, c.key) {
+                self.set_latch(RAPID_CLAUSE, c.key);
+                self.divergence.record_divergence(attempts, c.local_estimate);
+                self.stats.alerts += 1;
+                alerts.push(rapid_alert_at(now, None, &c.display, attempts, distinct));
+            }
+            if attempts > 0 {
+                // Still live in the merged window: keep the candidate so
+                // a key admitted before its global crossing is
+                // re-evaluated at later folds without re-admission.
+                self.candidates.push(c);
+            }
+        }
+        alerts
+    }
+
+    /// Fold-plane telemetry counters.
+    pub fn fold_stats(&self) -> FoldStats {
+        self.stats
+    }
+
+    /// Tracker footprint plus the per-alert global-vs-local divergence
+    /// samples, in the same shape the per-shard hubs report.
+    pub fn rate_stats(&self) -> RateStats {
+        let mut s = self.divergence;
+        for (_, ws) in &self.counters {
+            s.trackers += 1;
+            s.bytes += ws.bytes() as u64;
+        }
+        for (_, wd) in &self.distincts {
+            s.trackers += 1;
+            s.bytes += wd.bytes() as u64;
+        }
+        for (_, l) in &self.latches {
+            s.trackers += 1;
+            s.bytes += l.bytes() as u64;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::RateHub;
+    use crate::rules::builtin::{RAPID_ATTEMPTS, RAPID_WINDOW};
+
+    /// Drives `calls` fan-out calls from one caller through `shards`
+    /// aggregated hubs (round-robin, as a Call-ID router would) and
+    /// folds their deltas into a fresh plane.
+    fn folded_plane(shards: usize, calls: u32) -> (GlobalRatePlane, SimTime) {
+        let config = RateConfig::default();
+        let hubs: Vec<RateHub> = (0..shards)
+            .map(|_| RateHub::new_aggregated(config.clone(), false, shards))
+            .collect();
+        let caller_key = hubs[0].key(&[b"rapid", b"sip:spammer@lab"]);
+        let mut now = SimTime::ZERO;
+        for i in 0..calls {
+            now = SimTime::from_millis(u64::from(i) * 100);
+            let hub = &hubs[i as usize % shards];
+            let attempts =
+                hub.observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, now, caller_key);
+            let callee = hub.key(&[b"callee", format!("sip:v{i}@lab").as_bytes()]);
+            hub.observe_distinct(RAPID_CALLEES_TRACKER, RAPID_WINDOW, now, caller_key, callee);
+            let bar = RAPID_ATTEMPTS.div_ceil(shards as u32);
+            if attempts >= bar {
+                hub.push_candidate(RAPID_CLAUSE, caller_key, now, attempts, "sip:spammer@lab");
+            }
+        }
+        let mut plane = GlobalRatePlane::new(config);
+        for hub in &hubs {
+            plane.absorb(hub.take_delta());
+        }
+        (plane, now)
+    }
+
+    /// The fold-plane invariant end to end: a campaign split over 1, 2,
+    /// or 4 hubs produces the identical global alert.
+    #[test]
+    fn global_evaluation_is_shard_count_invariant() {
+        let boundary = SimTime::from_secs(2);
+        let mut streams = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let (mut plane, _) = folded_plane(shards, 14);
+            let alerts = plane.evaluate(boundary);
+            assert_eq!(alerts.len(), 1, "{shards} shards");
+            streams.push(format!("{:?}", alerts));
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[0], streams[2]);
+    }
+
+    /// Pre-fix behavior, pinned: 14 calls over 4 shards leave every
+    /// per-shard slice under the threshold — no shard could have fired
+    /// locally — yet the folded plane crosses.
+    #[test]
+    fn per_shard_slices_stay_sub_threshold_but_fold_crosses() {
+        let (mut plane, _) = folded_plane(4, 14);
+        // 14 calls round-robin over 4 shards: at most 4 per shard, well
+        // under RAPID_ATTEMPTS = 12.
+        assert!(14u32.div_ceil(4) < RAPID_ATTEMPTS);
+        let alerts = plane.evaluate(SimTime::from_secs(2));
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].message.contains("sip:spammer@lab"));
+        let d = plane.rate_stats();
+        assert_eq!(d.divergence_samples, 1);
+        assert!(d.divergence_max > 0, "local slice equalled the global count");
+    }
+
+    /// The latch fires a campaign once across folds, and candidates are
+    /// evicted once the merged window decays to nothing.
+    #[test]
+    fn latch_once_then_evict_on_decay() {
+        let (mut plane, _) = folded_plane(2, 14);
+        assert_eq!(plane.evaluate(SimTime::from_secs(2)).len(), 1);
+        assert_eq!(plane.evaluate(SimTime::from_secs(3)).len(), 0, "re-alerted");
+        assert!(!plane.candidates.is_empty());
+        // Far past the window: trackers decay, the candidate evicts.
+        assert_eq!(plane.evaluate(SimTime::from_secs(500)).len(), 0);
+        assert!(plane.candidates.is_empty());
+        let s = plane.fold_stats();
+        assert_eq!((s.folds, s.alerts, s.merge_rejected), (3, 1, 0));
+    }
+
+    /// A misconfigured shard's delta is skipped, counted, and the fold
+    /// proceeds with everyone else's.
+    #[test]
+    fn mismatched_delta_is_rejected_not_fatal() {
+        let (mut plane, _) = folded_plane(1, 14);
+        let rogue = RateHub::new_aggregated(
+            RateConfig {
+                seed: 0xbad_5eed,
+                ..RateConfig::default()
+            },
+            false,
+            1,
+        );
+        let k = rogue.key(&[b"rapid", b"sip:spammer@lab"]);
+        rogue.observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, SimTime::ZERO, k);
+        rogue.observe_distinct(RAPID_CALLEES_TRACKER, RAPID_WINDOW, SimTime::ZERO, k, 9);
+        plane.absorb(rogue.take_delta());
+        assert_eq!(plane.fold_stats().merge_rejected, 2);
+        // The healthy shard's campaign still crosses.
+        assert_eq!(plane.evaluate(SimTime::from_secs(2)).len(), 1);
+    }
+}

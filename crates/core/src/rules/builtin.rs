@@ -157,12 +157,50 @@ fn describe(kind: &EventKind) -> String {
 }
 
 /// Window for rapid-connection (SPIT / war-dial) detection.
-const RAPID_WINDOW: SimDuration = SimDuration::from_secs(60);
+pub(crate) const RAPID_WINDOW: SimDuration = SimDuration::from_secs(60);
 /// Calls within the window that make a caller suspicious.
-const RAPID_ATTEMPTS: u32 = 12;
+pub(crate) const RAPID_ATTEMPTS: u32 = 12;
 /// Distinct callees within the window that make it a campaign (a hot
 /// legitimate line redials the *same* peer; a SPIT campaign fans out).
-const RAPID_DISTINCT: u32 = 8;
+pub(crate) const RAPID_DISTINCT: u32 = 8;
+
+/// Clause / latch name shared by the local rule and the fold plane.
+pub(crate) const RAPID_CLAUSE: &str = "rapid-connect";
+/// Windowed attempt counter fed in sketch and aggregated modes.
+pub(crate) const RAPID_ATTEMPTS_TRACKER: &str = "rapid-connect-attempts";
+/// Windowed distinct-callee estimator fed in sketch and aggregated modes.
+pub(crate) const RAPID_CALLEES_TRACKER: &str = "rapid-connect-callees";
+
+/// The rapid-connect threshold clause — one definition evaluated by both
+/// planes: the local sketch path (single engine) and the fold plane's
+/// global pass (sharded pipeline), so a campaign crosses at exactly the
+/// same counts regardless of where the evaluation runs.
+pub(crate) fn rapid_clause(attempts: u32, distinct: u32) -> bool {
+    attempts >= RAPID_ATTEMPTS && distinct >= RAPID_DISTINCT
+}
+
+/// Builds the rapid-connect alert — shared by the local rule (alert at
+/// the crossing call, with its session) and the fold plane (alert at the
+/// fold boundary, session-less: the campaign spans many calls).
+pub(crate) fn rapid_alert_at(
+    time: SimTime,
+    session: Option<crate::trail::SessionKey>,
+    caller: &str,
+    attempts: u32,
+    distinct: u32,
+) -> Alert {
+    Alert::new(
+        RAPID_CLAUSE,
+        Severity::Critical,
+        time,
+        session,
+        format!(
+            "rapid connections: caller {caller} established {attempts} calls to \
+             {distinct} distinct callees within {}s",
+            RAPID_WINDOW.as_micros() / 1_000_000
+        ),
+    )
+}
 
 /// Exact per-caller state for [`RapidConnectRule`]: established calls
 /// within the window as (time, callee-hash) pairs — one queue serves
@@ -212,11 +250,15 @@ impl RapidState {
 /// keys rather than [`crate::trail::SessionKey`] strings because this
 /// rule sits on the per-call hot path and must not allocate per event.
 ///
-/// Sharding caveat: calls are routed to shards by Call-ID, so one
-/// caller's calls spread across shards and each shard sees only its
-/// slice of the campaign — like the RTP-races-announcement caveat, a
-/// sharded deployment may need `shards ×` lower thresholds or an
-/// identity-plane lift (see ROADMAP) for this rule to fire at depth.
+/// Under the sharded pipeline (where calls are routed by Call-ID, so one
+/// caller's campaign spreads across shards) the rule runs in
+/// **aggregated** mode ([`crate::rate::RateHub::aggregated`]): it only
+/// observes the trackers (feeding the fold-plane delta twins) and
+/// forwards candidate callers whose local slice crosses
+/// `⌈threshold/shards⌉`; the threshold clause and the fired latch are
+/// evaluated by the dispatcher's [`crate::rate::GlobalRatePlane`]
+/// against the merged trackers, so the campaign trips at the global
+/// threshold no matter how its calls hash.
 #[derive(Debug)]
 pub struct RapidConnectRule {
     exact: std::collections::HashMap<u64, (RapidState, SimTime)>,
@@ -257,17 +299,7 @@ impl RapidConnectRule {
     }
 
     fn alert(ev: &Event, caller: &str, attempts: u32, distinct: u32) -> Alert {
-        Alert::new(
-            "rapid-connect",
-            Severity::Critical,
-            ev.time,
-            ev.session.clone(),
-            format!(
-                "rapid connections: caller {caller} established {attempts} calls to \
-                 {distinct} distinct callees within {}s",
-                RAPID_WINDOW.as_micros() / 1_000_000
-            ),
-        )
+        rapid_alert_at(ev.time, ev.session.clone(), caller, attempts, distinct)
     }
 }
 
@@ -305,6 +337,30 @@ impl Rule for RapidConnectRule {
         // the per-call path.
         let key = ctx.rates.key(&[b"rapid", caller.as_bytes()]);
         let item = ctx.rates.key(&[b"callee", callee.as_bytes()]);
+        if ctx.rates.aggregated() {
+            // Fold-plane mode (sharded pipeline, exact or sketch):
+            // observe — feeding the plain-update delta twins — and admit
+            // the caller as a fold candidate once the local slice could
+            // be a 1/shards share of a global crossing. The conservative
+            // local estimate never undercounts this shard's true slice,
+            // and a global crossing forces *some* shard's slice to at
+            // least ⌈threshold/shards⌉, so every globally crossing
+            // caller is admitted at every shard count; sub-threshold
+            // admissions just fail the identical global clause. The
+            // threshold itself and the fired latch belong to the global
+            // plane.
+            let attempts =
+                ctx.rates
+                    .observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, ev.time, key);
+            ctx.rates
+                .observe_distinct(RAPID_CALLEES_TRACKER, RAPID_WINDOW, ev.time, key, item);
+            let bar = RAPID_ATTEMPTS.div_ceil(ctx.rates.fold_shards() as u32);
+            if attempts >= bar {
+                ctx.rates
+                    .push_candidate(RAPID_CLAUSE, key, ev.time, attempts, caller);
+            }
+            return;
+        }
         if ctx.rates.exact() {
             self.maybe_sweep(ev.time);
             let timeout = self.timeout;
@@ -334,17 +390,18 @@ impl Rule for RapidConnectRule {
                 sink.push(RapidConnectRule::alert(ev, caller, attempts, distinct));
             }
         } else {
-            let attempts = ctx
-                .rates
-                .observe_count("rapid-connect-attempts", RAPID_WINDOW, ev.time, key);
-            let distinct =
+            let attempts =
                 ctx.rates
-                    .observe_distinct("rapid-connect-callees", RAPID_WINDOW, ev.time, key, item);
-            if attempts >= RAPID_ATTEMPTS
-                && distinct >= RAPID_DISTINCT
-                && !ctx.rates.latched("rapid-connect", key)
-            {
-                ctx.rates.set_latch("rapid-connect", key, true);
+                    .observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, ev.time, key);
+            let distinct = ctx.rates.observe_distinct(
+                RAPID_CALLEES_TRACKER,
+                RAPID_WINDOW,
+                ev.time,
+                key,
+                item,
+            );
+            if rapid_clause(attempts, distinct) && !ctx.rates.latched(RAPID_CLAUSE, key) {
+                ctx.rates.set_latch(RAPID_CLAUSE, key, true);
                 sink.push(RapidConnectRule::alert(ev, caller, attempts, distinct));
             }
         }

@@ -14,7 +14,7 @@
 //! touches zero or one rule regardless of how many rules are installed;
 //! matching cost scales with *interested* rules, not total rules.
 
-mod builtin;
+pub(crate) mod builtin;
 mod bye_rule;
 mod combo;
 mod spec;

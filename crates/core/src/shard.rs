@@ -21,7 +21,18 @@
 //! * workers tag each alert with the dispatch sequence number of the
 //!   frame that raised it and its index within that frame's batch; the
 //!   merge stage sorts by that tag, which is exactly single-engine alert
-//!   order.
+//!   order;
+//! * rate-threshold rules whose key is *not* the routing key (SPIT /
+//!   rapid-connect: keyed by caller, routed by Call-ID) run in **two
+//!   planes**: workers observe into per-shard trackers and forward
+//!   candidates, and the dispatcher folds per-shard deltas into a
+//!   [`crate::rate::GlobalRatePlane`] on a capture-time cadence
+//!   ([`crate::rate::FoldConfig`]), evaluating the thresholds against
+//!   the merged — global — estimates. Fold alerts are injected into the
+//!   merge stream with a stable tag, so the sharded pipeline's full
+//!   alert stream is a pure function of the capture, independent of the
+//!   shard count. (Identity-plane floods and guessing were always
+//!   global: that plane lives in the dispatcher.)
 //!
 //! Frames whose session cannot be attributed (media to unannounced
 //! sinks, undecodable SIP) resolve to synthetic per-flow sessions —
@@ -63,7 +74,7 @@
 //! where media follows signalling — every testbed scenario, and any
 //! well-formed call — are unaffected.
 
-use crate::alert::Alert;
+use crate::alert::{Alert, Severity};
 use crate::distill::{DistillStats, Distiller};
 use crate::engine::{DistilledFootprint, PipelineStats, Scidive, ScidiveConfig};
 use crate::event::IdentityPlane;
@@ -71,6 +82,7 @@ use crate::observe::{
     merge_rule_evals, DecisionTrace, DispatchCounters, EngineObservation, Histogram,
     ObservedHistograms, PipelineObservation, SeverityCounts, StateGauges, TraceEntry, TraceStage,
 };
+use crate::rate::{GlobalRatePlane, RateDelta};
 use crate::routing::SessionRouter;
 use crate::spsc::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -102,9 +114,51 @@ struct ShardFrame {
     fp: Option<DistilledFootprint>,
 }
 
+/// What rides a shard channel: a frame batch, or a fold barrier. The
+/// ring is FIFO, so by the time a worker answers `Fold` it has fully
+/// processed every batch the dispatcher sent before the barrier —
+/// exactly the frames the fold is meant to cover.
+#[derive(Debug)]
+enum ShardMsg {
+    /// Frames to process.
+    Batch(Vec<ShardFrame>),
+    /// Take the engine's rate delta ([`Scidive::take_rate_delta`]) and
+    /// reply on the fold channel.
+    Fold,
+}
+
 /// An alert tagged with its merge position: dispatch sequence number of
 /// the raising frame, then index within that frame's alert batch.
 type TaggedAlert = (u64, u32, Alert);
+
+/// Index base for fold-plane alerts within their merge slot. A fold at
+/// capture-time boundary `b` covers every frame dispatched before it and
+/// tags its alerts `(last_covered_seq, GLOBAL_IDX_BASE + i)` — sharing
+/// the last covered frame's sequence number but sorting after all of
+/// that frame's own alerts (worker indices count up from 0 and a frame
+/// raises far fewer than 2^16 alerts). The tag depends only on capture
+/// content, never on shard count, so the merged stream stays
+/// byte-identical across 1/2/4 shards.
+const GLOBAL_IDX_BASE: u32 = 1 << 16;
+
+/// Dispatcher-resident fold state: the global rate plane plus the
+/// capture-time cadence bookkeeping (see [`ShardedScidive::maybe_fold`]).
+#[derive(Debug)]
+struct FoldState {
+    plane: GlobalRatePlane,
+    /// Fold cadence in capture time.
+    interval: SimDuration,
+    /// Next capture-time boundary (a multiple of `interval`) at which to
+    /// fold.
+    next_boundary: SimTime,
+    /// Where workers reply with their deltas. Plain `mpsc` (not spsc):
+    /// all shards answer one barrier, arrival order is irrelevant
+    /// because delta merges are commutative.
+    replies: std::sync::mpsc::Receiver<RateDelta>,
+    /// Severity tally of the alerts injected by folds, added to the
+    /// merged report alongside the worker severities.
+    severity: SeverityCounts,
+}
 
 /// Lock-free telemetry one worker publishes after every batch, read by
 /// the dispatcher for mid-run [`ShardedScidive::observation`] snapshots.
@@ -233,6 +287,13 @@ impl ShardTelemetry {
             rate_divergence_samples: self.rate_divergence_samples.load(Ordering::Relaxed),
             rate_divergence_sum: self.rate_divergence_sum.load(Ordering::Relaxed),
             rate_divergence_max: self.rate_divergence_max.load(Ordering::Relaxed),
+            // Fold gauges are dispatcher-side (router_gauges), not
+            // per-worker telemetry.
+            fold_rate_trackers: 0,
+            fold_rate_bytes: 0,
+            fold_divergence_samples: 0,
+            fold_divergence_sum: 0,
+            fold_divergence_max: 0,
         }
     }
 }
@@ -312,7 +373,7 @@ pub struct ShardedScidive {
     distiller: Distiller,
     router: SessionRouter,
     identity: IdentityPlane,
-    senders: Vec<Sender<Vec<ShardFrame>>>,
+    senders: Vec<Sender<ShardMsg>>,
     workers: Vec<JoinHandle<(PipelineStats, EngineObservation)>>,
     sink: Arc<Mutex<Vec<TaggedAlert>>>,
     seq: u64,
@@ -340,6 +401,10 @@ pub struct ShardedScidive {
     /// Capture time of the most recent submit, used to measure linger at
     /// flush time.
     last_time: SimTime,
+    /// The cross-shard rate fold plane (`None` with
+    /// [`crate::rate::FoldConfig::enabled`] off — per-shard slice
+    /// evaluation, the pre-fold behavior).
+    fold: Option<FoldState>,
 }
 
 impl ShardedScidive {
@@ -355,18 +420,31 @@ impl ShardedScidive {
         // shard engines fold into their event configs.
         let events_cfg = config.event_config();
         let sink: Arc<Mutex<Vec<TaggedAlert>>> = Arc::new(Mutex::new(Vec::new()));
+        let (fold_tx, fold_rx) = std::sync::mpsc::channel::<RateDelta>();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         let mut telemetry = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = bounded::<Vec<ShardFrame>>(queue_depth);
+            let (tx, rx) = bounded::<ShardMsg>(queue_depth);
             let cfg = config.clone();
             let shard_sink = sink.clone();
             let tel = Arc::new(ShardTelemetry::default());
             let shard_tel = tel.clone();
+            let shard_fold_tx = fold_tx.clone();
             workers.push(std::thread::spawn(move || {
-                let mut ids = Scidive::data_plane(cfg);
-                while let Ok(batch) = rx.recv() {
+                let mut ids = Scidive::data_plane_with_shards(cfg, shards);
+                while let Ok(msg) = rx.recv() {
+                    let batch = match msg {
+                        ShardMsg::Batch(batch) => batch,
+                        ShardMsg::Fold => {
+                            // FIFO ring: every batch sent before this
+                            // barrier is already processed. A dead
+                            // dispatcher is fine — the reply just goes
+                            // unread.
+                            let _ = shard_fold_tx.send(ids.take_rate_delta());
+                            continue;
+                        }
+                    };
                     let last_seq = batch.last().map(|f| f.seq);
                     for frame in batch {
                         let new = ids.on_distilled(frame.time, frame.fp);
@@ -391,6 +469,13 @@ impl ShardedScidive {
             senders.push(tx);
             telemetry.push(tel);
         }
+        let fold = config.fold.enabled.then(|| FoldState {
+            plane: GlobalRatePlane::new(config.rate.clone()),
+            interval: config.fold.interval,
+            next_boundary: SimTime::ZERO + config.fold.interval,
+            replies: fold_rx,
+            severity: SeverityCounts::default(),
+        });
         let histograms = config.observe.histograms;
         let trace = DecisionTrace::new(config.observe.trace_depth);
         ShardedScidive {
@@ -419,6 +504,7 @@ impl ShardedScidive {
             batch_linger_ms: Histogram::new(&crate::observe::BATCH_LINGER_BUCKETS_MS),
             trace,
             last_time: SimTime::ZERO,
+            fold,
         }
     }
 
@@ -465,6 +551,10 @@ impl ShardedScidive {
     /// its shard's batch buffer. Blocks while that shard's queue is full
     /// at a batch flush.
     pub fn submit(&mut self, time: SimTime, pkt: &IpPacket) {
+        // Fold barrier first: a crossed capture-time boundary is
+        // evaluated over the frames dispatched *before* this one (this
+        // frame's observations belong to the next fold period).
+        self.maybe_fold(time);
         self.dispatch.frames += 1;
         self.last_time = time;
         let seq = self.seq;
@@ -554,16 +644,80 @@ impl ShardedScidive {
         // processed the batch, so in-flight work counts as depth.
         let depth = self.telemetry[shard].queue_batches.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_queue_depth = self.max_queue_depth.max(depth);
-        match self.senders[shard].try_send(batch) {
+        match self.senders[shard].try_send(ShardMsg::Batch(batch)) {
             Ok(()) => {}
-            Err(TrySendError::Full(batch)) => {
+            Err(TrySendError::Full(msg)) => {
                 // Backpressure: block until the shard drains. Frames are
                 // never shed, so `dispatch.dropped` stays zero.
                 self.blocked[shard] += 1;
-                let _ = self.senders[shard].send(batch);
+                let _ = self.senders[shard].send(msg);
             }
             Err(TrySendError::Disconnected(_)) => {
                 // Worker died (panicked); surfaced by finish().
+            }
+        }
+    }
+
+    /// Runs a fold if the capture clock has crossed the next boundary.
+    /// Boundaries are multiples of the fold interval in capture time —
+    /// a pure function of the frame timestamps, identical at every shard
+    /// count and batch size, which is what keeps fold-alert timestamps
+    /// (and hence the merged stream) deterministic. Skipped until the
+    /// first frame is dispatched: there is nothing to fold.
+    fn maybe_fold(&mut self, time: SimTime) {
+        let Some(fold) = &self.fold else { return };
+        if self.seq == 0 || time < fold.next_boundary {
+            return;
+        }
+        let us = fold.interval.as_micros().max(1);
+        // The largest boundary at or before `time`; intermediate
+        // boundaries an idle gap skipped over carry no new deltas, so
+        // evaluating once at the latest is equivalent.
+        let boundary = SimTime::from_micros((time.as_micros() / us) * us);
+        self.run_fold(boundary);
+        if let Some(fold) = &mut self.fold {
+            fold.next_boundary = boundary + fold.interval;
+        }
+    }
+
+    /// The fold barrier: flushes every dispatch buffer (so each worker's
+    /// ring holds all frames dispatched so far — buffer occupancy varies
+    /// with shard count and must not leak into what a fold sees), asks
+    /// every shard for its rate delta, absorbs the replies into the
+    /// global plane, evaluates the threshold clauses at `at`, and
+    /// injects the resulting alerts into the merge stream (tagged; see
+    /// [`GLOBAL_IDX_BASE`]).
+    fn run_fold(&mut self, at: SimTime) {
+        for shard in 0..self.buffers.len() {
+            self.flush(shard);
+        }
+        let Some(fold) = &mut self.fold else { return };
+        let mut expected = 0usize;
+        for tx in &self.senders {
+            // A blocking send keeps the barrier lossless under a full
+            // ring; a dead worker is skipped and, crucially, not waited
+            // for below.
+            if tx.send(ShardMsg::Fold).is_ok() {
+                expected += 1;
+            }
+        }
+        for _ in 0..expected {
+            match fold.replies.recv() {
+                Ok(delta) => fold.plane.absorb(delta),
+                Err(_) => break,
+            }
+        }
+        let alerts = fold.plane.evaluate(at);
+        if !alerts.is_empty() {
+            let last_covered = self.seq - 1;
+            let mut sink = self.sink.lock();
+            for (i, alert) in alerts.into_iter().enumerate() {
+                match alert.severity {
+                    Severity::Info => fold.severity.info += 1,
+                    Severity::Warning => fold.severity.warning += 1,
+                    Severity::Critical => fold.severity.critical += 1,
+                }
+                sink.push((last_covered, GLOBAL_IDX_BASE + i as u32, alert));
             }
         }
     }
@@ -616,6 +770,11 @@ impl ShardedScidive {
     /// Builds the dispatch-counter slice of an observation from the
     /// dispatcher's own state plus a queue-depth snapshot.
     fn dispatch_counters(&self, queue_depths: Vec<u64>) -> DispatchCounters {
+        let fold = self
+            .fold
+            .as_ref()
+            .map(|f| f.plane.fold_stats())
+            .unwrap_or_default();
         DispatchCounters {
             frames: self.dispatch.frames,
             empty_frames: self.dispatch.empty_frames,
@@ -625,6 +784,11 @@ impl ShardedScidive {
             enqueue_blocked: self.blocked.iter().sum(),
             max_queue_depth: self.max_queue_depth,
             queue_depths,
+            folds: fold.folds,
+            fold_deltas: fold.deltas_absorbed,
+            fold_candidates: fold.candidates,
+            fold_alerts: fold.alerts,
+            rate_merge_rejected: fold.merge_rejected,
         }
     }
 
@@ -634,6 +798,11 @@ impl ShardedScidive {
     fn router_gauges(&self) -> StateGauges {
         let index = self.router.index();
         let rate = self.identity.rate_stats();
+        let fold = self
+            .fold
+            .as_ref()
+            .map(|f| f.plane.rate_stats())
+            .unwrap_or_default();
         StateGauges {
             router_media_index: index.len() as u64,
             router_interner: index.interner_len() as u64,
@@ -643,6 +812,11 @@ impl ShardedScidive {
             rate_divergence_samples: rate.divergence_samples,
             rate_divergence_sum: rate.divergence_sum,
             rate_divergence_max: rate.divergence_max,
+            fold_rate_trackers: fold.trackers,
+            fold_rate_bytes: fold.bytes,
+            fold_divergence_samples: fold.divergence_samples,
+            fold_divergence_sum: fold.divergence_sum,
+            fold_divergence_max: fold.divergence_max,
             ..StateGauges::default()
         }
     }
@@ -693,6 +867,13 @@ impl ShardedScidive {
         for shard in 0..self.buffers.len() {
             self.flush(shard);
         }
+        // Final fold at the last capture timestamp: a campaign whose
+        // crossing falls after the last periodic boundary still gets its
+        // global evaluation. `last_time` is a property of the capture,
+        // so the extra fold is as deterministic as the periodic ones.
+        if self.seq > 0 && self.fold.is_some() {
+            self.run_fold(self.last_time);
+        }
         let dispatch_counters = self.dispatch_counters(Vec::new());
         let router_gauges = self.router_gauges();
         let base_hist = ObservedHistograms {
@@ -710,6 +891,7 @@ impl ShardedScidive {
             blocked,
             distiller,
             telemetry,
+            fold,
             ..
         } = self;
         drop(senders);
@@ -751,9 +933,16 @@ impl ShardedScidive {
             .iter()
             .map(|t| t.queue_batches.load(Ordering::Relaxed))
             .collect();
-        let stats = shards
+        let mut stats = shards
             .iter()
             .fold(PipelineStats::default(), |acc, s| acc + s.pipeline);
+        // Fold-plane alerts were raised dispatcher-side; fold them into
+        // the merged counters so the report's totals match its alert
+        // stream (and a 1-shard report matches a 4-shard one exactly).
+        if let Some(f) = &fold {
+            stats.alerts += f.plane.fold_stats().alerts;
+            observation.severity = observation.severity + f.severity;
+        }
         observation.pipeline = stats;
         // Interleave dispatcher route entries with worker match entries
         // by capture time (each component's entries are already ordered).

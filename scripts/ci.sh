@@ -34,6 +34,13 @@
 # soak (tests/soak.rs) gates the byte-for-byte rate-state plateau, and
 # exp_capacity regenerates BENCH_capacity.json, failing the run unless
 # rate bytes are constant across the full 10k -> 1M dialog ladder.
+# The cross-shard fold gates (DESIGN SS15) prove threshold clauses see
+# the global stream: the rate_equivalence cross-shard suite requires a
+# flood that hashes across every shard to raise byte-identical alerts
+# at 1/2/4 shards (and pins the pre-fold per-shard miss with the fold
+# disabled), and exp_capacity runs the ladder through the 4-shard
+# deployment so the gate also covers the global fold hub's footprint
+# (constant across rungs, under the same 2 MiB cap).
 # The distiller gates (DESIGN SS14) keep the zero-alloc fast path
 # honest: differential proptests (crates/core/tests/properties.rs) hold
 # the SWAR parser byte-identical to the byte-at-a-time reference, the
@@ -108,11 +115,16 @@ cargo test -q -p scidive-core --test properties -- \
 echo "== rate equivalence (exact vs sketch, 1/2/4 shards) =="
 cargo test -q --test rate_equivalence
 
+echo "== cross-shard flood gate (global fold plane, 1/2/4 shards) =="
+cargo test --release -q --test rate_equivalence -- \
+  rapid_connect_fanout_is_shard_count_invariant \
+  per_shard_slices_miss_the_flood_without_the_fold
+
 echo "== million-session soak, short profile (100k dialogs, release) =="
 SCIDIVE_SOAK_DIALOGS=100000 cargo test --release -q --test soak
 
-echo "== capacity ladder gate (BENCH_capacity.json regeneration) =="
-cargo run --release -q -p scidive-bench --bin exp_capacity -- --gate
+echo "== capacity ladder gate (BENCH_capacity.json regeneration, 4-shard fold plane) =="
+cargo run --release -q -p scidive-bench --bin exp_capacity -- --gate --shards 4
 git diff --stat -- BENCH_capacity.json || true
 
 echo "== distiller speedup gate (fast parse >= 2x reference) =="

@@ -170,17 +170,14 @@ fn non_rate_rules_are_untouched_by_the_mode_switch() {
     );
 }
 
-/// One caller fanning out calls to 14 distinct callees inside the
-/// 60-second window: the rapid-connect rule must fire exactly once, and
-/// identically, in both modes. Single engine only — the sharded router
-/// keys on Call-ID, which splits one caller's dialogs across shards and
-/// is a documented per-shard-threshold caveat for this rule.
-#[test]
-fn rapid_connect_fanout_fires_identically_in_both_modes() {
+/// Builds the synthetic fan-out capture: one caller establishing
+/// `calls` calls to distinct callees, 100ms apart, each with its own
+/// Call-ID so the shard router spreads the dialogs across every shard.
+fn fanout_capture(calls: u64) -> Vec<(SimTime, IpPacket)> {
     let caller_ip = std::net::Ipv4Addr::new(10, 0, 0, 40);
     let proxy_ip = std::net::Ipv4Addr::new(10, 0, 0, 1);
     let mut frames = Vec::new();
-    for n in 0..14u64 {
+    for n in 0..calls {
         let at = SimTime::from_millis(100 * n);
         let callee = format!("sip:victim-{n}@lab");
         let mut b = RequestBuilder::new(Method::Invite, callee.parse().unwrap());
@@ -200,6 +197,35 @@ fn rapid_connect_fanout_fires_identically_in_both_modes() {
             IpPacket::udp(proxy_ip, 5060, caller_ip, 5060, ok.to_bytes().as_ref()),
         ));
     }
+    frames
+}
+
+fn run_sharded_fanout(
+    frames: &[(SimTime, IpPacket)],
+    exact: bool,
+    shards: usize,
+    fold: bool,
+) -> ShardedReport {
+    let mut config = ScidiveConfig {
+        exact_rate_state: exact,
+        ..ScidiveConfig::default()
+    };
+    config.fold.enabled = fold;
+    let mut ids = ShardedScidive::new(config, shards, 64);
+    for (t, p) in frames {
+        ids.submit(*t, p);
+    }
+    ids.finish()
+}
+
+/// One caller fanning out calls to 14 distinct callees inside the
+/// 60-second window: the rapid-connect rule must fire exactly once, and
+/// identically, in both modes. Single engine here; the sharded pipeline
+/// evaluates this clause on the dispatcher's global fold plane — see
+/// `rapid_connect_fanout_is_shard_count_invariant` below.
+#[test]
+fn rapid_connect_fanout_fires_identically_in_both_modes() {
+    let frames = fanout_capture(14);
 
     let run = |exact: bool| {
         let config = ScidiveConfig {
@@ -226,4 +252,67 @@ fn rapid_connect_fanout_fires_identically_in_both_modes() {
         1,
         "fan-out should fire rapid-connect exactly once: {exact_alerts:?}"
     );
+}
+
+/// The tentpole invariant: a flood whose dialogs hash across every
+/// shard produces a byte-identical alert stream at 1, 2 and 4 shards,
+/// in exact and sketch modes alike. The rapid-connect clause is
+/// evaluated against the dispatcher's *global* fold plane, so per-shard
+/// slices of the caller's fan-out (3–4 calls each at 4 shards, far
+/// below the 12-attempt threshold) cannot suppress the alert.
+#[test]
+fn rapid_connect_fanout_is_shard_count_invariant() {
+    let frames = fanout_capture(14);
+    let reference = run_sharded_fanout(&frames, true, 1, true);
+    assert_eq!(
+        reference
+            .alerts
+            .iter()
+            .filter(|a| a.rule == "rapid-connect")
+            .count(),
+        1,
+        "fold plane should fire rapid-connect exactly once: {:?}",
+        reference.alerts
+    );
+    for shards in [1usize, 2, 4] {
+        for exact in [true, false] {
+            let report = run_sharded_fanout(&frames, exact, shards, true);
+            assert_eq!(
+                report.alerts, reference.alerts,
+                "fold-plane alerts diverged at {shards} shards (exact={exact})"
+            );
+            assert_eq!(
+                report.stats, reference.stats,
+                "pipeline stats diverged at {shards} shards (exact={exact})"
+            );
+        }
+    }
+}
+
+/// Pins the pre-fold failure mode: with the fold plane disabled, each
+/// worker evaluates rapid-connect against only its own slice of the
+/// caller's dialogs. One shard sees everything and fires; four shards
+/// each stay sub-threshold and the flood sails through silently. This
+/// is the regression the global fold exists to close — the test fails
+/// (4 shards would alert) only if per-shard evaluation were global.
+#[test]
+fn per_shard_slices_miss_the_flood_without_the_fold() {
+    let frames = fanout_capture(14);
+    for exact in [true, false] {
+        let one = run_sharded_fanout(&frames, exact, 1, false);
+        assert_eq!(
+            one.alerts
+                .iter()
+                .filter(|a| a.rule == "rapid-connect")
+                .count(),
+            1,
+            "1-shard run without the fold still sees the whole stream (exact={exact})"
+        );
+        let four = run_sharded_fanout(&frames, exact, 4, false);
+        assert!(
+            !four.alerts.iter().any(|a| a.rule == "rapid-connect"),
+            "per-shard slices crossed the threshold unexpectedly (exact={exact}): {:?}",
+            four.alerts
+        );
+    }
 }

@@ -143,6 +143,63 @@ fn soak_rate_state_constant_and_gauges_plateau() {
     );
 }
 
+/// The sharded pipeline's global fold plane under sustained benign
+/// load: the dispatcher-side hub materializes once the first fold
+/// absorbs per-shard deltas, then its footprint is byte-for-byte
+/// constant and inside the same hard cap as the per-shard trackers —
+/// and the periodic folds raise no alerts on benign traffic.
+#[test]
+fn soak_sharded_fold_plane_bytes_stay_constant() {
+    let mut synth = SynthConfig::load(2_000, 256);
+    // Stretch the schedule so the ~20s virtual span crosses the 1s fold
+    // cadence dozens of times before the first checkpoint samples it.
+    synth.spacing = SimDuration::from_millis(10);
+    synth.hold = SimDuration::from_millis(10 * 256);
+    let config = ScidiveConfig {
+        exact_rate_state: false,
+        ..ScidiveConfig::default()
+    };
+    let mut ids = ShardedScidive::new(config, 4, 64);
+    let total = synth.total_frames();
+    let checkpoint_every = (total / 8).max(1);
+    let mut fold_bytes = Vec::new();
+    for (n, (time, pkt)) in synth.stream().enumerate() {
+        ids.submit(time, &pkt);
+        if (n as u64 + 1).is_multiple_of(checkpoint_every) {
+            fold_bytes.push(ids.observation().gauges.fold_rate_bytes);
+        }
+    }
+    let report = ids.finish();
+    assert!(
+        report.alerts.is_empty(),
+        "benign sharded load raised fold-plane alerts: {:?}",
+        report.alerts.first()
+    );
+    assert!(
+        report.observation.dispatch.folds > 0,
+        "the periodic fold cadence never ran"
+    );
+    assert_eq!(report.observation.dispatch.rate_merge_rejected, 0);
+
+    let first = *fold_bytes.first().expect("at least one checkpoint");
+    assert!(first > 0, "global fold hub never materialized");
+    for (i, b) in fold_bytes.iter().enumerate() {
+        assert_eq!(
+            *b, first,
+            "fold-plane bytes moved at checkpoint {i}: {first} -> {b}"
+        );
+        assert!(
+            *b < RATE_BYTES_CAP,
+            "fold-plane bytes {b} broke the {RATE_BYTES_CAP} cap"
+        );
+    }
+    // The per-shard tracker constancy gate still holds under sharding:
+    // worker hubs re-create their delta twins on every fold, so the
+    // summed per-shard footprint must not drift either.
+    assert!(report.observation.gauges.rate_bytes > 0);
+    assert!(report.observation.gauges.rate_bytes < 4 * RATE_BYTES_CAP);
+}
+
 /// The same soak shape in exact mode at a fixed small scale: the
 /// reference keeps per-key windows, so its state is *not* constant —
 /// but the shadow sketches must track it (divergence telemetry runs)
