@@ -6,18 +6,63 @@ use crate::distill::{Distiller, DistillerConfig, DistillStats};
 use crate::event::{Event, EventGenConfig, EventGenerator};
 use crate::footprint::Footprint;
 use crate::observe::{
-    DispatchCounters, EngineObservation, EngineObserver, ObserveConfig, ObservedHistograms,
-    PipelineObservation, StateGauges,
+    merge_rule_evals, DispatchCounters, EngineObservation, EngineObserver, ObserveConfig,
+    ObservedHistograms, PipelineObservation, RuleEval, StateGauges,
 };
 use crate::proto::ProtocolSet;
 use crate::rate::{FoldConfig, RateConfig, RateDelta, RateHub};
-use crate::rules::{builtin_ruleset, AlertSink, CompiledRuleset, Rule, RuleCtx, RuleToggles};
+use crate::rules::{
+    AlertSink, CompiledRuleset, Program, Rule, RuleCtx, RuleToggles, RulesetBlueprint, SpecError,
+};
 use crate::trail::{TrailStats, TrailStore, TrailStoreConfig};
 use scidive_netsim::node::{Node, NodeCtx};
 use scidive_netsim::packet::IpPacket;
 use scidive_netsim::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
+use std::path::PathBuf;
+
+/// Where an engine's ruleset comes from.
+///
+/// The built-in rules are always governed by [`ScidiveConfig::rules`];
+/// the DSL variants *append* an operator program (see
+/// [`crate::rules::dsl`]) behind them, exactly like
+/// [`Scidive::add_rules_from_spec`] would, but resolved at build time so
+/// the sharded pipeline can compile the same program on every worker.
+#[derive(Debug, Clone, Default)]
+pub enum RulesetSource {
+    /// Only the toggled built-in rules.
+    #[default]
+    Builtin,
+    /// Built-ins plus an operator DSL program given inline.
+    Dsl(String),
+    /// Built-ins plus an operator DSL program loaded from a file
+    /// (conventionally `*.scid`).
+    DslFile(PathBuf),
+}
+
+impl RulesetSource {
+    /// Resolves the source into a validated [`Program`] (`None` for
+    /// [`RulesetSource::Builtin`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the file cannot be read or the
+    /// program does not compile.
+    pub fn program(&self) -> Result<Option<Program>, SpecError> {
+        match self {
+            RulesetSource::Builtin => Ok(None),
+            RulesetSource::Dsl(text) => Ok(Some(Program::parse(text)?)),
+            RulesetSource::DslFile(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| SpecError {
+                    line: 0,
+                    message: format!("cannot read {}: {e}", path.display()),
+                })?;
+                Ok(Some(Program::parse(&text)?))
+            }
+        }
+    }
+}
 
 /// Full engine configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +101,9 @@ pub struct ScidiveConfig {
     /// [`crate::shard::ShardedScidive`]; a single engine evaluates rate
     /// clauses locally either way.
     pub fold: FoldConfig,
+    /// Where the ruleset comes from: the toggled built-ins alone, or
+    /// built-ins plus an operator DSL program (inline or from a file).
+    pub ruleset: RulesetSource,
 }
 
 impl Default for ScidiveConfig {
@@ -72,6 +120,7 @@ impl Default for ScidiveConfig {
             exact_rate_state: true,
             rate: RateConfig::default(),
             fold: FoldConfig::default(),
+            ruleset: RulesetSource::default(),
         }
     }
 }
@@ -84,6 +133,22 @@ impl ScidiveConfig {
         events.exact_rate_state = self.exact_rate_state;
         events.rate = self.rate.clone();
         events
+    }
+
+    /// Resolves [`ScidiveConfig::ruleset`] into a generation-0
+    /// [`RulesetBlueprint`] — the sharded pipeline ships this to every
+    /// worker so they all lower the identical ruleset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the configured DSL program does not
+    /// compile (or its file cannot be read).
+    pub fn blueprint(&self) -> Result<RulesetBlueprint, SpecError> {
+        Ok(RulesetBlueprint {
+            toggles: self.rules.clone(),
+            program: self.ruleset.program()?,
+            generation: 0,
+        })
     }
 }
 
@@ -159,28 +224,36 @@ pub struct Scidive {
     event_log_cap: usize,
     /// Shared rate trackers for the ruleset (see [`crate::rate::RateHub`]).
     rates: RateHub,
+    /// Generation of the installed ruleset (bumped by hot swaps).
+    ruleset_generation: u64,
+    /// Final eval counters of rulesets retired by hot swaps, folded
+    /// into every observation so invocation totals stay monotonic.
+    retired_evals: Vec<RuleEval>,
 }
 
 impl Scidive {
-    /// Builds the engine with the built-in ruleset, compiled into the
+    /// Builds the engine with its configured ruleset, compiled into the
     /// event-class dispatch table (or full-scan when
     /// [`ScidiveConfig::full_scan_rules`] is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ScidiveConfig::ruleset`] names a DSL program that
+    /// does not compile; use [`Scidive::try_new`] to handle that case.
     pub fn new(config: ScidiveConfig) -> Scidive {
-        let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
-        rules.set_state_timeout(config.trails.idle_timeout);
-        let events_cfg = config.event_config();
-        Scidive {
-            distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
-            trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
-            events: EventGenerator::with_protocols(events_cfg, &config.protocols),
-            rules,
-            alerts: Vec::new(),
-            stats: PipelineStats::default(),
-            observer: EngineObserver::new(&config.observe),
-            event_log: Vec::new(),
-            event_log_cap: config.event_log_cap,
-            rates: RateHub::new(config.rate, config.exact_rate_state),
-        }
+        Scidive::try_new(config).expect("configured ruleset compiles")
+    }
+
+    /// [`Scidive::new`], surfacing ruleset compile errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpecError`] if the configured DSL program does not
+    /// compile (or its file cannot be read).
+    pub fn try_new(config: ScidiveConfig) -> Result<Scidive, SpecError> {
+        let blueprint = config.blueprint()?;
+        Ok(Scidive::assemble(config, &blueprint, false, 1))
     }
 
     /// Builds a shard engine: identical to [`Scidive::new`] except the
@@ -196,19 +269,50 @@ impl Scidive {
     /// mode ([`crate::rate::RateHub::new_aggregated`]): rate rules
     /// observe and forward candidates, and the dispatcher's
     /// [`crate::rate::GlobalRatePlane`] owns threshold evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured DSL program does not compile.
     pub fn data_plane_with_shards(config: ScidiveConfig, shards: usize) -> Scidive {
-        let mut rules = CompiledRuleset::new(builtin_ruleset(&config.rules), config.full_scan_rules);
-        rules.set_state_timeout(config.trails.idle_timeout);
+        let blueprint = config.blueprint().expect("configured ruleset compiles");
+        Scidive::assemble(config, &blueprint, true, shards)
+    }
+
+    /// A shard engine lowering an explicit blueprint — the entry point
+    /// the sharded workers use, both at boot and (indirectly, via
+    /// [`Scidive::swap_ruleset`]) at swap barriers, so a swapped-in
+    /// ruleset and a boot ruleset built from the same blueprint are the
+    /// same object graph.
+    pub fn data_plane_from_blueprint(
+        config: ScidiveConfig,
+        blueprint: &RulesetBlueprint,
+        shards: usize,
+    ) -> Scidive {
+        Scidive::assemble(config, blueprint, true, shards)
+    }
+
+    fn assemble(
+        config: ScidiveConfig,
+        blueprint: &RulesetBlueprint,
+        data_plane: bool,
+        shards: usize,
+    ) -> Scidive {
+        let rules = blueprint.build(config.full_scan_rules, config.trails.idle_timeout);
         let events_cfg = config.event_config();
-        let rates = if config.fold.enabled {
+        let rates = if data_plane && config.fold.enabled {
             RateHub::new_aggregated(config.rate.clone(), config.exact_rate_state, shards)
         } else {
             RateHub::new(config.rate.clone(), config.exact_rate_state)
         };
+        let events = if data_plane {
+            EventGenerator::data_plane_with_protocols(events_cfg, &config.protocols)
+        } else {
+            EventGenerator::with_protocols(events_cfg, &config.protocols)
+        };
         Scidive {
             distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
             trails: TrailStore::with_protocols(config.trails, config.protocols.clone()),
-            events: EventGenerator::data_plane_with_protocols(events_cfg, &config.protocols),
+            events,
             rules,
             alerts: Vec::new(),
             stats: PipelineStats::default(),
@@ -216,7 +320,33 @@ impl Scidive {
             event_log: Vec::new(),
             event_log_cap: config.event_log_cap,
             rates,
+            ruleset_generation: blueprint.generation,
+            retired_evals: Vec::new(),
         }
+    }
+
+    /// Atomically replaces the installed ruleset with the blueprint's,
+    /// adopting the per-session state of every rule that survived the
+    /// swap unchanged ([`CompiledRuleset::adopt_state`]): partial
+    /// sequences, fired-once latches and exact threshold windows carry
+    /// over; changed or new rules start fresh. The old ruleset's eval
+    /// counters are retired into this engine's observation so per-rule
+    /// invocation totals stay monotonic across swaps.
+    ///
+    /// For a single engine the "barrier" is trivial — the swap happens
+    /// between two frames. The sharded pipeline reaches this through a
+    /// FIFO barrier token so every shard swaps at the same frame
+    /// boundary; see [`crate::shard::ShardedScidive::swap_ruleset`].
+    ///
+    /// Returns the number of rules whose state carried over.
+    pub fn swap_ruleset(&mut self, blueprint: &RulesetBlueprint) -> usize {
+        let mut fresh = blueprint.build(self.rules.is_full_scan(), self.rules.state_timeout());
+        let old = std::mem::replace(&mut self.rules, CompiledRuleset::new(Vec::new(), false));
+        let (adopted, retired) = fresh.adopt_state(old);
+        self.rules = fresh;
+        merge_rule_evals(&mut self.retired_evals, &retired);
+        self.ruleset_generation = blueprint.generation;
+        adopted
     }
 
     /// Swaps out this engine's accumulated fold-plane delta
@@ -425,14 +555,23 @@ impl Scidive {
             fold_divergence_samples: 0,
             fold_divergence_sum: 0,
             fold_divergence_max: 0,
+            ruleset_generation: self.ruleset_generation,
         }
+    }
+
+    /// Generation of the installed ruleset (0 until the first hot swap).
+    pub fn ruleset_generation(&self) -> u64 {
+        self.ruleset_generation
     }
 
     /// This engine's contribution to an observation: counters, gauges,
     /// histograms and trace. One shard's slice in a sharded deployment.
     pub fn engine_observation(&self) -> EngineObservation {
-        self.observer
-            .observation(self.stats, self.gauges(), self.rules.rule_evals())
+        // Evals retired by ruleset swaps are folded back in so a rule
+        // that survived N swaps reports its lifetime invocation count.
+        let mut evals = self.retired_evals.clone();
+        merge_rule_evals(&mut evals, &self.rules.rule_evals());
+        self.observer.observation(self.stats, self.gauges(), evals)
     }
 
     /// A full pipeline observation for this standalone engine. The

@@ -307,7 +307,141 @@ pub enum EventKind {
     },
 }
 
+/// A field value extracted from an [`EventKind`] payload by name, for
+/// operator-rule predicates ([`crate::rules::dsl`]). Borrowed where the
+/// payload owns a string so extraction never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Numeric payload (counts, deltas, ports, millisecond gaps).
+    Int(i64),
+    /// Text payload (AORs, usernames, call IDs, detail strings).
+    Str(&'a str),
+    /// Address payload.
+    Ip(Ipv4Addr),
+}
+
 impl EventKind {
+    /// The matchable field names of a class, for spec validation. Every
+    /// name here is extractable via [`EventKind::field`] on a payload of
+    /// the class (optional payloads may still yield `None` at runtime).
+    pub fn field_names(class: EventClass) -> &'static [&'static str] {
+        const FLOW: [&str; 3] = ["flow.src", "flow.dst", "flow.dst_port"];
+        match class {
+            EventClass::CallEstablished => &["caller", "callee"],
+            EventClass::CallTornDown => &["by_aor", "by_media_ip"],
+            EventClass::CallRedirected => &["claimed_aor"],
+            EventClass::OrphanRtpAfterBye | EventClass::OrphanRtpAfterRedirect => {
+                &["flow.src", "flow.dst", "flow.dst_port", "gap_ms"]
+            }
+            EventClass::RtpSeqViolation => &["flow.src", "flow.dst", "flow.dst_port", "delta"],
+            EventClass::RtpUnknownSource | EventClass::RtpFlowActive => &FLOW,
+            EventClass::MediaPortGarbage => &["reason"],
+            EventClass::SipMalformed => &["src", "violations"],
+            EventClass::ImSourceMismatch => &["claimed_aor", "src_ip", "expected_ip"],
+            EventClass::ImObserved => &["claimed_aor", "src_ip", "dst_ip", "call_id"],
+            EventClass::RegisterFlood => &["src", "count"],
+            EventClass::PasswordGuessing => &["src", "username", "distinct_responses"],
+            EventClass::AcctMismatch => &["billed", "observed_caller", "call_id"],
+            EventClass::RtpAfterRtcpBye => {
+                &["flow.src", "flow.dst", "flow.dst_port", "ssrc", "gap_ms"]
+            }
+            EventClass::Ext0 | EventClass::Ext1 | EventClass::Ext2 | EventClass::Ext3 => {
+                &["signal", "detail"]
+            }
+        }
+    }
+
+    /// Extracts a named field from this payload. Returns `None` when the
+    /// name does not belong to this class, or when an optional payload
+    /// (e.g. `CallTornDown.by_media_ip`) is absent — a predicate on an
+    /// absent field simply does not match.
+    pub fn field(&self, name: &str) -> Option<FieldValue<'_>> {
+        fn flow(f: &FlowKey, name: &str) -> Option<FieldValue<'static>> {
+            match name {
+                "flow.src" => Some(FieldValue::Ip(f.src)),
+                "flow.dst" => Some(FieldValue::Ip(f.dst)),
+                "flow.dst_port" => Some(FieldValue::Int(i64::from(f.dst_port))),
+                _ => None,
+            }
+        }
+        fn gap_ms(g: &SimDuration) -> FieldValue<'static> {
+            FieldValue::Int(g.as_micros() as i64 / 1000)
+        }
+        match (self, name) {
+            (EventKind::CallEstablished { caller, .. }, "caller") => {
+                Some(FieldValue::Str(caller))
+            }
+            (EventKind::CallEstablished { callee, .. }, "callee") => {
+                Some(FieldValue::Str(callee))
+            }
+            (EventKind::CallTornDown { by_aor, .. }, "by_aor") => Some(FieldValue::Str(by_aor)),
+            (EventKind::CallTornDown { by_media_ip, .. }, "by_media_ip") => {
+                by_media_ip.map(FieldValue::Ip)
+            }
+            (EventKind::CallRedirected { claimed_aor, .. }, "claimed_aor") => {
+                Some(FieldValue::Str(claimed_aor))
+            }
+            (EventKind::OrphanRtpAfterBye { gap, .. }, "gap_ms")
+            | (EventKind::OrphanRtpAfterRedirect { gap, .. }, "gap_ms")
+            | (EventKind::RtpAfterRtcpBye { gap, .. }, "gap_ms") => Some(gap_ms(gap)),
+            (EventKind::OrphanRtpAfterBye { flow: f, .. }, _)
+            | (EventKind::OrphanRtpAfterRedirect { flow: f, .. }, _)
+            | (EventKind::RtpSeqViolation { flow: f, .. }, _)
+            | (EventKind::RtpUnknownSource { flow: f }, _)
+            | (EventKind::RtpFlowActive { flow: f }, _)
+            | (EventKind::RtpAfterRtcpBye { flow: f, .. }, _)
+                if name.starts_with("flow.") =>
+            {
+                flow(f, name)
+            }
+            (EventKind::RtpSeqViolation { delta, .. }, "delta") => {
+                Some(FieldValue::Int(i64::from(*delta)))
+            }
+            (EventKind::MediaPortGarbage { reason, .. }, "reason") => {
+                Some(FieldValue::Str(reason))
+            }
+            (EventKind::SipMalformed { src, .. }, "src") => Some(FieldValue::Ip(*src)),
+            (EventKind::SipMalformed { violations, .. }, "violations") => {
+                Some(FieldValue::Int(violations.len() as i64))
+            }
+            (EventKind::ImSourceMismatch { claimed_aor, .. }, "claimed_aor")
+            | (EventKind::ImObserved { claimed_aor, .. }, "claimed_aor") => {
+                Some(FieldValue::Str(claimed_aor))
+            }
+            (EventKind::ImSourceMismatch { src_ip, .. }, "src_ip")
+            | (EventKind::ImObserved { src_ip, .. }, "src_ip") => Some(FieldValue::Ip(*src_ip)),
+            (EventKind::ImSourceMismatch { expected_ip, .. }, "expected_ip") => {
+                Some(FieldValue::Ip(*expected_ip))
+            }
+            (EventKind::ImObserved { dst_ip, .. }, "dst_ip") => Some(FieldValue::Ip(*dst_ip)),
+            (EventKind::ImObserved { call_id, .. }, "call_id")
+            | (EventKind::AcctMismatch { call_id, .. }, "call_id") => {
+                Some(FieldValue::Str(call_id))
+            }
+            (EventKind::RegisterFlood { src, .. }, "src")
+            | (EventKind::PasswordGuessing { src, .. }, "src") => Some(FieldValue::Ip(*src)),
+            (EventKind::RegisterFlood { count, .. }, "count") => {
+                Some(FieldValue::Int(i64::from(*count)))
+            }
+            (EventKind::PasswordGuessing { username, .. }, "username") => {
+                Some(FieldValue::Str(username))
+            }
+            (EventKind::PasswordGuessing { distinct_responses, .. }, "distinct_responses") => {
+                Some(FieldValue::Int(i64::from(*distinct_responses)))
+            }
+            (EventKind::AcctMismatch { billed, .. }, "billed") => Some(FieldValue::Str(billed)),
+            (EventKind::AcctMismatch { observed_caller, .. }, "observed_caller") => {
+                observed_caller.as_deref().map(FieldValue::Str)
+            }
+            (EventKind::RtpAfterRtcpBye { ssrc, .. }, "ssrc") => {
+                Some(FieldValue::Int(i64::from(*ssrc)))
+            }
+            (EventKind::Protocol { signal, .. }, "signal") => Some(FieldValue::Str(signal)),
+            (EventKind::Protocol { detail, .. }, "detail") => Some(FieldValue::Str(detail)),
+            _ => None,
+        }
+    }
+
     /// The class of this payload.
     pub fn class(&self) -> EventClass {
         match self {
@@ -424,6 +558,106 @@ mod tests {
             assert_eq!(EventClass::parse_name(class.name()), Some(class));
         }
         assert_eq!(EventClass::ALL.len(), EventClass::COUNT);
+    }
+
+    #[test]
+    fn every_declared_field_extracts_from_a_sample_payload() {
+        let samples: Vec<EventKind> = vec![
+            EventKind::CallEstablished {
+                caller: "a@x".into(),
+                callee: "b@x".into(),
+            },
+            EventKind::CallTornDown {
+                by_aor: "a@x".into(),
+                by_media_ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            },
+            EventKind::CallRedirected {
+                claimed_aor: "a@x".into(),
+                old_target: (Ipv4Addr::new(10, 0, 0, 1), 1),
+                new_target: (Ipv4Addr::new(10, 0, 0, 2), 2),
+            },
+            EventKind::OrphanRtpAfterBye {
+                flow: sample_flow(),
+                gap: SimDuration::from_millis(7),
+            },
+            EventKind::OrphanRtpAfterRedirect {
+                flow: sample_flow(),
+                gap: SimDuration::from_millis(7),
+            },
+            EventKind::RtpSeqViolation {
+                flow: sample_flow(),
+                delta: 200,
+            },
+            EventKind::RtpUnknownSource { flow: sample_flow() },
+            EventKind::MediaPortGarbage {
+                sink: (Ipv4Addr::new(10, 0, 0, 2), 9000),
+                reason: "short".into(),
+            },
+            EventKind::SipMalformed {
+                violations: vec!["x".into()],
+                src: Ipv4Addr::new(10, 0, 0, 9),
+            },
+            EventKind::ImSourceMismatch {
+                claimed_aor: "a@x".into(),
+                src_ip: Ipv4Addr::new(10, 0, 0, 9),
+                expected_ip: Ipv4Addr::new(10, 0, 0, 1),
+            },
+            EventKind::ImObserved {
+                claimed_aor: "a@x".into(),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+                call_id: "c1".into(),
+            },
+            EventKind::RegisterFlood {
+                src: Ipv4Addr::new(10, 0, 0, 9),
+                count: 11,
+            },
+            EventKind::PasswordGuessing {
+                src: Ipv4Addr::new(10, 0, 0, 9),
+                username: "bob".into(),
+                distinct_responses: 4,
+            },
+            EventKind::AcctMismatch {
+                billed: "a@x".into(),
+                observed_caller: Some("b@x".into()),
+                call_id: "c1".into(),
+            },
+            EventKind::RtpFlowActive { flow: sample_flow() },
+            EventKind::RtpAfterRtcpBye {
+                flow: sample_flow(),
+                ssrc: 42,
+                gap: SimDuration::from_millis(3),
+            },
+            EventKind::Protocol {
+                class: EventClass::Ext0,
+                signal: "sig",
+                detail: "d".into(),
+            },
+        ];
+        for kind in &samples {
+            for name in EventKind::field_names(kind.class()) {
+                assert!(
+                    kind.field(name).is_some(),
+                    "{:?} field {name} did not extract",
+                    kind.class()
+                );
+            }
+            assert_eq!(kind.field("no_such_field"), None);
+        }
+        // Absent optional payloads yield None rather than a dummy value.
+        let torn = EventKind::CallTornDown {
+            by_aor: "a@x".into(),
+            by_media_ip: None,
+        };
+        assert_eq!(torn.field("by_media_ip"), None);
+    }
+
+    fn sample_flow() -> FlowKey {
+        FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: 9000,
+        }
     }
 
     #[test]

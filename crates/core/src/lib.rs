@@ -88,7 +88,7 @@ pub mod prelude {
     };
     pub use crate::distill::{Distiller, DistillerConfig};
     pub use crate::engine::{
-        DistilledFootprint, IdsNode, PipelineStats, Scidive, ScidiveConfig,
+        DistilledFootprint, IdsNode, PipelineStats, RulesetSource, Scidive, ScidiveConfig,
     };
     pub use crate::event::{
         Event, EventClass, EventGenConfig, EventGenerator, EventKind, FlowKey, IdentityPlane,
@@ -115,9 +115,10 @@ pub mod prelude {
     };
     pub use crate::shard::{DispatchStats, ShardStats, ShardedReport, ShardedScidive};
     pub use crate::rules::{
-        builtin_ruleset, collect_alerts, parse_ruleset, AlertSink, CombinationRule,
-        CompiledRuleset, Rule, RuleCtx, RuleInterest, RuleStateStats, RuleToggles, SequenceRule,
-        SessionMap, SpecError,
+        builtin_ruleset, collect_alerts, parse_ruleset, rapid_spec, AlertSink, CombinationRule,
+        CompiledRuleset, Diagnostic, PredicateRule, Program, Rule, RuleCtx, RuleInterest,
+        RuleStateStats, RuleToggles, RulesetBlueprint, SequenceRule, SessionMap, SpecError,
+        ThresholdRule, ThresholdSpec,
     };
     pub use crate::trail::{SessionKey, Trail, TrailKey, TrailStore, TrailStoreConfig};
 }

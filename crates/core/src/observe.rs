@@ -305,6 +305,11 @@ pub struct StateGauges {
     /// Worst single global-vs-local gap seen (merged by max) — how far
     /// a per-shard evaluation would have undercounted.
     pub fold_divergence_max: u64,
+    /// Generation of the installed ruleset (0 for the boot ruleset,
+    /// bumped by every [`crate::shard::ShardedScidive::swap_ruleset`] /
+    /// [`crate::engine::Scidive::swap_ruleset`]; merged by max, since
+    /// every engine installs the same blueprint at a swap barrier).
+    pub ruleset_generation: u64,
 }
 
 impl std::ops::Add for StateGauges {
@@ -337,6 +342,7 @@ impl std::ops::Add for StateGauges {
             fold_divergence_samples: self.fold_divergence_samples + rhs.fold_divergence_samples,
             fold_divergence_sum: self.fold_divergence_sum + rhs.fold_divergence_sum,
             fold_divergence_max: self.fold_divergence_max.max(rhs.fold_divergence_max),
+            ruleset_generation: self.ruleset_generation.max(rhs.ruleset_generation),
         }
     }
 }
@@ -373,6 +379,12 @@ pub struct DispatchCounters {
     /// Delta tracker merges refused for shape/seed mismatch (a
     /// misconfigured shard; skipped, never wedging the fold).
     pub rate_merge_rejected: u64,
+    /// Ruleset hot swaps executed (each one a full swap barrier across
+    /// every shard).
+    pub ruleset_swaps: u64,
+    /// Ruleset swap attempts rejected because the replacement program
+    /// failed to compile (the running ruleset stays installed).
+    pub ruleset_compile_errors: u64,
 }
 
 /// The fixed histogram set recorded across the pipeline.
@@ -783,6 +795,13 @@ impl PipelineObservation {
             self.gauges.fold_divergence_samples,
             self.gauges.fold_divergence_sum,
             self.gauges.fold_divergence_max,
+        );
+        let _ = writeln!(
+            out,
+            "ruleset    generation={} swaps={} compile_errors={}",
+            self.gauges.ruleset_generation,
+            self.dispatch.ruleset_swaps,
+            self.dispatch.ruleset_compile_errors,
         );
         if !self.rule_evals.is_empty() {
             let _ = write!(out, "rule_evals");

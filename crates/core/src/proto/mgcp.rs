@@ -358,6 +358,12 @@ impl Rule for MgcpTeardownRule {
     fn state_stats(&self) -> RuleStateStats {
         self.fired.state_stats()
     }
+
+    fn state_signature(&self) -> u64 {
+        // No tunable parameters: any instance can adopt any other's
+        // fired-once markers.
+        crate::rate::hash_parts(0x6d67_6370_5f73_6967, &[b"mgcp-teardown"])
+    }
 }
 
 #[cfg(test)]

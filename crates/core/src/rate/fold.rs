@@ -34,9 +34,7 @@ use crate::alert::Alert;
 use crate::rate::{
     LatchSet, RateCandidate, RateConfig, RateDelta, RateStats, WindowedDistinct, WindowedSketch,
 };
-use crate::rules::builtin::{
-    rapid_alert_at, rapid_clause, RAPID_ATTEMPTS_TRACKER, RAPID_CALLEES_TRACKER, RAPID_CLAUSE,
-};
+use crate::rules::threshold::ThresholdSpec;
 use scidive_netsim::time::{SimDuration, SimTime};
 
 /// Fold-plane knobs, part of [`crate::engine::ScidiveConfig`]. Only the
@@ -87,6 +85,12 @@ pub struct FoldStats {
 #[derive(Debug)]
 pub struct GlobalRatePlane {
     config: RateConfig,
+    /// The threshold clauses this plane knows how to evaluate. Installed
+    /// at construction from the ruleset's [`ThresholdSpec`]s and
+    /// replaced on hot reload ([`GlobalRatePlane::set_clauses`]); a
+    /// candidate whose clause has no spec here is dropped rather than
+    /// guessed at.
+    clauses: Vec<ThresholdSpec>,
     counters: Vec<(&'static str, WindowedSketch)>,
     distincts: Vec<(&'static str, WindowedDistinct)>,
     latches: Vec<(&'static str, LatchSet)>,
@@ -99,12 +103,14 @@ pub struct GlobalRatePlane {
 }
 
 impl GlobalRatePlane {
-    /// Creates an empty plane; trackers arrive with the first absorbed
-    /// deltas (and inherit their shapes), latches are created lazily
-    /// from `config` dimensions.
+    /// Creates an empty plane knowing no clauses; trackers arrive with
+    /// the first absorbed deltas (and inherit their shapes), latches are
+    /// created lazily from `config` dimensions, and clauses are
+    /// installed via [`GlobalRatePlane::set_clauses`].
     pub fn new(config: RateConfig) -> GlobalRatePlane {
         GlobalRatePlane {
             config,
+            clauses: Vec::new(),
             counters: Vec::new(),
             distincts: Vec::new(),
             latches: Vec::new(),
@@ -112,6 +118,16 @@ impl GlobalRatePlane {
             stats: FoldStats::default(),
             divergence: RateStats::default(),
         }
+    }
+
+    /// Installs (or, on hot reload, replaces) the threshold clauses the
+    /// global pass evaluates. Merged trackers, fired latches, and
+    /// pending candidates are all preserved: a clause that survives the
+    /// swap keeps its window history and its once-per-campaign latch; a
+    /// removed clause's candidates simply stop matching any spec and
+    /// evict on the next pass.
+    pub fn set_clauses(&mut self, clauses: Vec<ThresholdSpec>) {
+        self.clauses = clauses;
     }
 
     /// Folds one shard's delta into the plane. The first delta to carry
@@ -200,26 +216,28 @@ impl GlobalRatePlane {
         });
         let mut alerts = Vec::new();
         for c in candidates {
-            if c.clause != RAPID_CLAUSE {
-                // Unknown clause (a future rule's candidate reaching an
-                // older plane): drop rather than guess at semantics.
+            let Some(spec) = self.clauses.iter().find(|s| s.clause == c.clause).copied()
+            else {
+                // Unknown clause (a retired rule's candidate, or a
+                // future rule's reaching an older plane): drop rather
+                // than guess at semantics.
                 continue;
-            }
+            };
             let attempts = self
                 .counters
                 .iter()
-                .find(|(n, _)| *n == RAPID_ATTEMPTS_TRACKER)
+                .find(|(n, _)| *n == spec.count_tracker)
                 .map_or(0, |(_, ws)| ws.estimate(now, c.key));
             let distinct = self
                 .distincts
                 .iter()
-                .find(|(n, _)| *n == RAPID_CALLEES_TRACKER)
+                .find(|(n, _)| *n == spec.distinct_tracker)
                 .map_or(0, |(_, wd)| wd.estimate(now, c.key));
-            if rapid_clause(attempts, distinct) && !self.latched(RAPID_CLAUSE, c.key) {
-                self.set_latch(RAPID_CLAUSE, c.key);
+            if spec.clause_met(attempts, distinct) && !self.latched(spec.clause, c.key) {
+                self.set_latch(spec.clause, c.key);
                 self.divergence.record_divergence(attempts, c.local_estimate);
                 self.stats.alerts += 1;
-                alerts.push(rapid_alert_at(now, None, &c.display, attempts, distinct));
+                alerts.push(spec.alert_at(now, None, &c.display, attempts, distinct));
             }
             if attempts > 0 {
                 // Still live in the merged window: keep the candidate so
@@ -260,31 +278,35 @@ impl GlobalRatePlane {
 mod tests {
     use super::*;
     use crate::rate::RateHub;
-    use crate::rules::builtin::{RAPID_ATTEMPTS, RAPID_WINDOW};
+    use crate::rules::builtin::{rapid_spec, RAPID_ATTEMPTS, RAPID_WINDOW};
 
     /// Drives `calls` fan-out calls from one caller through `shards`
     /// aggregated hubs (round-robin, as a Call-ID router would) and
-    /// folds their deltas into a fresh plane.
+    /// folds their deltas into a fresh plane, mirroring exactly what
+    /// [`crate::rules::threshold::ThresholdRule`] does in aggregated
+    /// mode (clause-prefixed caller key, `{clause}-count` /
+    /// `{clause}-distinct` trackers).
     fn folded_plane(shards: usize, calls: u32) -> (GlobalRatePlane, SimTime) {
+        let spec = rapid_spec();
         let config = RateConfig::default();
         let hubs: Vec<RateHub> = (0..shards)
             .map(|_| RateHub::new_aggregated(config.clone(), false, shards))
             .collect();
-        let caller_key = hubs[0].key(&[b"rapid", b"sip:spammer@lab"]);
+        let caller_key = hubs[0].key(&[spec.clause.as_bytes(), b"sip:spammer@lab"]);
         let mut now = SimTime::ZERO;
         for i in 0..calls {
             now = SimTime::from_millis(u64::from(i) * 100);
             let hub = &hubs[i as usize % shards];
-            let attempts =
-                hub.observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, now, caller_key);
+            let attempts = hub.observe_count(spec.count_tracker, RAPID_WINDOW, now, caller_key);
             let callee = hub.key(&[b"callee", format!("sip:v{i}@lab").as_bytes()]);
-            hub.observe_distinct(RAPID_CALLEES_TRACKER, RAPID_WINDOW, now, caller_key, callee);
+            hub.observe_distinct(spec.distinct_tracker, RAPID_WINDOW, now, caller_key, callee);
             let bar = RAPID_ATTEMPTS.div_ceil(shards as u32);
             if attempts >= bar {
-                hub.push_candidate(RAPID_CLAUSE, caller_key, now, attempts, "sip:spammer@lab");
+                hub.push_candidate(spec.clause, caller_key, now, attempts, "sip:spammer@lab");
             }
         }
         let mut plane = GlobalRatePlane::new(config);
+        plane.set_clauses(vec![spec]);
         for hub in &hubs {
             plane.absorb(hub.take_delta());
         }
@@ -352,9 +374,10 @@ mod tests {
             false,
             1,
         );
-        let k = rogue.key(&[b"rapid", b"sip:spammer@lab"]);
-        rogue.observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, SimTime::ZERO, k);
-        rogue.observe_distinct(RAPID_CALLEES_TRACKER, RAPID_WINDOW, SimTime::ZERO, k, 9);
+        let spec = rapid_spec();
+        let k = rogue.key(&[spec.clause.as_bytes(), b"sip:spammer@lab"]);
+        rogue.observe_count(spec.count_tracker, RAPID_WINDOW, SimTime::ZERO, k);
+        rogue.observe_distinct(spec.distinct_tracker, RAPID_WINDOW, SimTime::ZERO, k, 9);
         plane.absorb(rogue.take_delta());
         assert_eq!(plane.fold_stats().merge_rejected, 2);
         // The healthy shard's campaign still crosses.

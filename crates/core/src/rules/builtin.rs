@@ -7,8 +7,9 @@
 use crate::alert::{Alert, Severity};
 use crate::event::{Event, EventClass, EventKind};
 use crate::rules::combo::CombinationRule;
+use crate::rules::threshold::{ThresholdRule, ThresholdSpec};
 use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
-use scidive_netsim::time::{SimDuration, SimTime};
+use scidive_netsim::time::SimDuration;
 
 /// A rule that fires on any event of the given classes, once per
 /// session (or globally de-duplicated by message for session-less
@@ -105,6 +106,22 @@ impl Rule for EventRule {
     fn state_stats(&self) -> RuleStateStats {
         self.fired_sessions.state_stats()
     }
+
+    fn state_signature(&self) -> u64 {
+        let mut parts: Vec<&[u8]> = vec![
+            b"event",
+            self.id.as_bytes(),
+            match self.severity {
+                Severity::Info => b"i",
+                Severity::Warning => b"w",
+                Severity::Critical => b"c",
+            },
+            if self.cross_protocol { b"x" } else { b"-" },
+            if self.stateful { b"s" } else { b"-" },
+        ];
+        parts.extend(self.classes.iter().map(|c| c.name().as_bytes()));
+        crate::rate::hash_parts(0x6576_656e_745f_7369, &parts)
+    }
 }
 
 fn describe(kind: &EventKind) -> String {
@@ -166,256 +183,29 @@ pub(crate) const RAPID_DISTINCT: u32 = 8;
 
 /// Clause / latch name shared by the local rule and the fold plane.
 pub(crate) const RAPID_CLAUSE: &str = "rapid-connect";
-/// Windowed attempt counter fed in sketch and aggregated modes.
-pub(crate) const RAPID_ATTEMPTS_TRACKER: &str = "rapid-connect-attempts";
-/// Windowed distinct-callee estimator fed in sketch and aggregated modes.
-pub(crate) const RAPID_CALLEES_TRACKER: &str = "rapid-connect-callees";
 
-/// The rapid-connect threshold clause — one definition evaluated by both
-/// planes: the local sketch path (single engine) and the fold plane's
-/// global pass (sharded pipeline), so a campaign crosses at exactly the
-/// same counts regardless of where the evaluation runs.
-pub(crate) fn rapid_clause(attempts: u32, distinct: u32) -> bool {
-    attempts >= RAPID_ATTEMPTS && distinct >= RAPID_DISTINCT
-}
-
-/// Builds the rapid-connect alert — shared by the local rule (alert at
-/// the crossing call, with its session) and the fold plane (alert at the
-/// fold boundary, session-less: the campaign spans many calls).
-pub(crate) fn rapid_alert_at(
-    time: SimTime,
-    session: Option<crate::trail::SessionKey>,
-    caller: &str,
-    attempts: u32,
-    distinct: u32,
-) -> Alert {
-    Alert::new(
-        RAPID_CLAUSE,
-        Severity::Critical,
-        time,
-        session,
-        format!(
-            "rapid connections: caller {caller} established {attempts} calls to \
-             {distinct} distinct callees within {}s",
-            RAPID_WINDOW.as_micros() / 1_000_000
-        ),
-    )
-}
-
-/// Exact per-caller state for [`RapidConnectRule`]: established calls
-/// within the window as (time, callee-hash) pairs — one queue serves
-/// both the attempt count and the distinct-callee check, and hashing
-/// the callee keeps the hot path allocation-free.
-#[derive(Debug, Default)]
-struct RapidState {
-    calls: std::collections::VecDeque<(SimTime, u64)>,
-    emitted: bool,
-}
-
-impl RapidState {
-    /// Whether the window holds at least [`RAPID_DISTINCT`] distinct
-    /// callees. Early-exit linear probe over a fixed array: no
-    /// allocation on the per-event path (the full count for the alert
-    /// message is only taken when this returns true).
-    fn fans_out(&self) -> bool {
-        let mut seen = [0u64; RAPID_DISTINCT as usize];
-        let mut n = 0;
-        for &(_, callee) in &self.calls {
-            if !seen[..n].contains(&callee) {
-                seen[n] = callee;
-                n += 1;
-                if n == seen.len() {
-                    return true;
-                }
-            }
-        }
-        false
-    }
-
-    fn distinct(&self) -> u32 {
-        let set: std::collections::HashSet<u64> = self.calls.iter().map(|&(_, c)| c).collect();
-        set.len() as u32
-    }
-}
-
-/// SPIT / war-dialing detection: one caller establishing many calls to
-/// many *distinct* callees inside a sliding window. The first rule built
-/// directly on the [`crate::rate`] primitives — in sketch mode
-/// ([`crate::rate::RateHub::exact`] false) it keeps **no per-caller
-/// state at all**: a windowed count, a windowed distinct estimate, and a
-/// fired latch, all constant memory. In exact mode it keeps the
-/// reference queues in a caller-hash-keyed map with the same
-/// staleness-at-access lifecycle as [`SessionMap`] (so the state shows
-/// up in the rule-state gauges and expires with idle callers) — hash
-/// keys rather than [`crate::trail::SessionKey`] strings because this
-/// rule sits on the per-call hot path and must not allocate per event.
-///
-/// Under the sharded pipeline (where calls are routed by Call-ID, so one
-/// caller's campaign spreads across shards) the rule runs in
-/// **aggregated** mode ([`crate::rate::RateHub::aggregated`]): it only
-/// observes the trackers (feeding the fold-plane delta twins) and
-/// forwards candidate callers whose local slice crosses
-/// `⌈threshold/shards⌉`; the threshold clause and the fired latch are
-/// evaluated by the dispatcher's [`crate::rate::GlobalRatePlane`]
-/// against the merged trackers, so the campaign trips at the global
-/// threshold no matter how its calls hash.
-#[derive(Debug)]
-pub struct RapidConnectRule {
-    exact: std::collections::HashMap<u64, (RapidState, SimTime)>,
-    timeout: SimDuration,
-    last_sweep: SimTime,
-    expired: u64,
-}
-
-impl Default for RapidConnectRule {
-    fn default() -> RapidConnectRule {
-        RapidConnectRule {
-            exact: std::collections::HashMap::new(),
-            timeout: crate::rules::DEFAULT_STATE_TIMEOUT,
-            last_sweep: SimTime::ZERO,
-            expired: 0,
-        }
-    }
-}
-
-impl RapidConnectRule {
-    /// Creates the rule.
-    pub fn new() -> RapidConnectRule {
-        RapidConnectRule::default()
-    }
-
-    /// Amortized reclamation of idle callers, mirroring
-    /// [`SessionMap::maybe_sweep`]: at most once per quarter-timeout.
-    fn maybe_sweep(&mut self, now: SimTime) {
-        if now.saturating_since(self.last_sweep) < self.timeout / 4 {
-            return;
-        }
-        self.last_sweep = now;
-        let timeout = self.timeout;
-        let before = self.exact.len();
-        self.exact
-            .retain(|_, (_, touched)| now.saturating_since(*touched) < timeout);
-        self.expired += (before - self.exact.len()) as u64;
-    }
-
-    fn alert(ev: &Event, caller: &str, attempts: u32, distinct: u32) -> Alert {
-        rapid_alert_at(ev.time, ev.session.clone(), caller, attempts, distinct)
-    }
-}
-
-impl Rule for RapidConnectRule {
-    fn id(&self) -> &str {
-        "rapid-connect"
-    }
-
-    fn description(&self) -> &str {
-        "one caller fanning out calls to many distinct callees (SPIT / war dialing)"
-    }
-
-    fn is_cross_protocol(&self) -> bool {
-        false
-    }
-
-    fn is_stateful(&self) -> bool {
-        true
-    }
-
-    fn interests(&self) -> RuleInterest {
-        RuleInterest::of(&[EventClass::CallEstablished])
-    }
-
-    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
-        let EventKind::CallEstablished { caller, callee } = &ev.kind else {
-            return;
-        };
-        if caller.is_empty() {
-            return;
-        }
-        // Same seeded hash for both modes: the caller key identifies
-        // the window, the callee key is the distinct item. In exact
-        // mode these are just cheap map keys — no string allocation on
-        // the per-call path.
-        let key = ctx.rates.key(&[b"rapid", caller.as_bytes()]);
-        let item = ctx.rates.key(&[b"callee", callee.as_bytes()]);
-        if ctx.rates.aggregated() {
-            // Fold-plane mode (sharded pipeline, exact or sketch):
-            // observe — feeding the plain-update delta twins — and admit
-            // the caller as a fold candidate once the local slice could
-            // be a 1/shards share of a global crossing. The conservative
-            // local estimate never undercounts this shard's true slice,
-            // and a global crossing forces *some* shard's slice to at
-            // least ⌈threshold/shards⌉, so every globally crossing
-            // caller is admitted at every shard count; sub-threshold
-            // admissions just fail the identical global clause. The
-            // threshold itself and the fired latch belong to the global
-            // plane.
-            let attempts =
-                ctx.rates
-                    .observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, ev.time, key);
-            ctx.rates
-                .observe_distinct(RAPID_CALLEES_TRACKER, RAPID_WINDOW, ev.time, key, item);
-            let bar = RAPID_ATTEMPTS.div_ceil(ctx.rates.fold_shards() as u32);
-            if attempts >= bar {
-                ctx.rates
-                    .push_candidate(RAPID_CLAUSE, key, ev.time, attempts, caller);
-            }
-            return;
-        }
-        if ctx.rates.exact() {
-            self.maybe_sweep(ev.time);
-            let timeout = self.timeout;
-            let entry = self.exact.entry(key).or_insert_with(|| {
-                (RapidState::default(), ev.time)
-            });
-            // Staleness-at-access, mirroring SessionMap::get_mut: an
-            // entry idle past the timeout reads as absent.
-            if ev.time.saturating_since(entry.1) >= timeout {
-                self.expired += 1;
-                *entry = (RapidState::default(), ev.time);
-            }
-            let (state, touched) = entry;
-            *touched = ev.time;
-            state.calls.push_back((ev.time, item));
-            while let Some(&(t, _)) = state.calls.front() {
-                if ev.time.saturating_since(t) > RAPID_WINDOW {
-                    state.calls.pop_front();
-                } else {
-                    break;
-                }
-            }
-            let attempts = state.calls.len() as u32;
-            if !state.emitted && attempts >= RAPID_ATTEMPTS && state.fans_out() {
-                state.emitted = true;
-                let distinct = state.distinct();
-                sink.push(RapidConnectRule::alert(ev, caller, attempts, distinct));
-            }
-        } else {
-            let attempts =
-                ctx.rates
-                    .observe_count(RAPID_ATTEMPTS_TRACKER, RAPID_WINDOW, ev.time, key);
-            let distinct = ctx.rates.observe_distinct(
-                RAPID_CALLEES_TRACKER,
-                RAPID_WINDOW,
-                ev.time,
-                key,
-                item,
-            );
-            if rapid_clause(attempts, distinct) && !ctx.rates.latched(RAPID_CLAUSE, key) {
-                ctx.rates.set_latch(RAPID_CLAUSE, key, true);
-                sink.push(RapidConnectRule::alert(ev, caller, attempts, distinct));
-            }
-        }
-    }
-
-    fn set_state_timeout(&mut self, timeout: SimDuration) {
-        self.timeout = timeout;
-    }
-
-    fn state_stats(&self) -> RuleStateStats {
-        RuleStateStats {
-            sessions: self.exact.len() as u64,
-            expired: self.expired,
-        }
+/// The built-in SPIT / war-dialing clause as a compiled
+/// [`ThresholdSpec`] — the single definition evaluated by the local
+/// [`ThresholdRule`] (exact or sketch) and by the dispatcher's
+/// [`crate::rate::GlobalRatePlane`] under sharding, so a campaign
+/// crosses at exactly the same counts regardless of where the
+/// evaluation runs. A DSL program declaring the same clause compiles to
+/// a spec `==` to this one (tracker names, hash prefixes, template and
+/// all), which is what makes the DSL twin byte-identical.
+pub fn rapid_spec() -> ThresholdSpec {
+    ThresholdSpec {
+        clause: RAPID_CLAUSE,
+        count_tracker: "rapid-connect-count",
+        distinct_tracker: "rapid-connect-distinct",
+        class: EventClass::CallEstablished,
+        key_field: "caller",
+        distinct_field: Some("callee"),
+        window: RAPID_WINDOW,
+        count_threshold: RAPID_ATTEMPTS,
+        distinct_threshold: RAPID_DISTINCT,
+        severity: Severity::Critical,
+        template: "rapid connections: caller {key} established {count} calls to \
+                   {distinct} distinct callees within {window}s",
     }
 }
 
@@ -444,7 +234,7 @@ pub struct RuleToggles {
     /// module is registered — without it the rule's event never fires).
     pub mgcp: bool,
     /// SPIT / war-dialing: one caller fanning out to many distinct
-    /// callees ([`RapidConnectRule`]).
+    /// callees (a [`ThresholdRule`] over [`rapid_spec`]).
     pub rapid_connect: bool,
 }
 
@@ -566,7 +356,7 @@ pub fn builtin_ruleset(toggles: &RuleToggles) -> Vec<Box<dyn Rule>> {
     if toggles.rapid_connect {
         // Appended last so the alert ordering of the pre-existing rules
         // is untouched.
-        rules.push(Box::new(RapidConnectRule::new()));
+        rules.push(Box::new(ThresholdRule::new(rapid_spec())));
     }
     rules
 }
@@ -756,7 +546,7 @@ mod tests {
     /// returns the alerts.
     fn rapid_campaign(rates: &crate::rate::RateHub) -> Vec<Alert> {
         let store = TrailStore::new(TrailStoreConfig::default());
-        let mut rule = RapidConnectRule::new();
+        let mut rule = ThresholdRule::new(rapid_spec());
         let mut alerts = Vec::new();
         for n in 0..RAPID_ATTEMPTS + 3 {
             let ev = call_event(n, "spitter@lab", &format!("victim-{n}@lab"));
@@ -794,7 +584,7 @@ mod tests {
     fn rapid_connect_ignores_redials_to_one_callee() {
         let store = TrailStore::new(TrailStoreConfig::default());
         let rates = crate::rate::RateHub::default();
-        let mut rule = RapidConnectRule::new();
+        let mut rule = ThresholdRule::new(rapid_spec());
         for n in 0..4 * RAPID_ATTEMPTS {
             // A hot legitimate line: many calls, one peer.
             let ev = call_event(n, "alice@lab", "bob@lab");
@@ -811,7 +601,7 @@ mod tests {
     fn rapid_connect_window_forgets_slow_fanout() {
         let store = TrailStore::new(TrailStoreConfig::default());
         let rates = crate::rate::RateHub::default();
-        let mut rule = RapidConnectRule::new();
+        let mut rule = ThresholdRule::new(rapid_spec());
         for n in 0..4 * RAPID_ATTEMPTS {
             // One call every two minutes never accumulates in the 60s
             // window, distinct callees or not.

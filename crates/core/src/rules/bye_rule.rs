@@ -129,6 +129,12 @@ impl Rule for ByeAttackRule {
     fn state_stats(&self) -> RuleStateStats {
         self.fired.state_stats()
     }
+
+    fn state_signature(&self) -> u64 {
+        // No tunable parameters: any instance can adopt any other's
+        // fired-once markers.
+        crate::rate::hash_parts(0x6279_655f_7369_6721, &[b"bye-attack"])
+    }
 }
 
 #[cfg(test)]

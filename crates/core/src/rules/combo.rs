@@ -10,6 +10,36 @@ use crate::event::{Event, EventClass};
 use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
 use scidive_netsim::time::{SimDuration, SimTime};
 
+/// Construction-parameter hash shared by both rule kinds, for
+/// [`Rule::state_signature`]: two instances agree exactly when every
+/// behavior-determining parameter agrees, which is the hot-reload
+/// state-adoption criterion.
+fn signature(
+    kind: &'static [u8],
+    id: &str,
+    description: &str,
+    classes: &[EventClass],
+    window: SimDuration,
+    severity: Severity,
+) -> u64 {
+    let window_bytes = window.as_micros().to_le_bytes();
+    let mut parts: Vec<&[u8]> = vec![
+        kind,
+        id.as_bytes(),
+        description.as_bytes(),
+        &window_bytes,
+        match severity {
+            Severity::Info => b"i",
+            Severity::Warning => b"w",
+            Severity::Critical => b"c",
+        },
+    ];
+    for c in classes {
+        parts.push(c.name().as_bytes());
+    }
+    crate::rate::hash_parts(0x636f_6d62_6f5f_7369, &parts)
+}
+
 /// A rule requiring events of given classes in order, per session,
 /// within a window.
 ///
@@ -95,6 +125,10 @@ impl Rule for SequenceRule {
 
     fn interests(&self) -> RuleInterest {
         RuleInterest::of(&self.steps)
+    }
+
+    fn state_signature(&self) -> u64 {
+        signature(b"sequence", &self.id, &self.description, &self.steps, self.window, self.severity)
     }
 
     fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
@@ -221,6 +255,10 @@ impl Rule for CombinationRule {
 
     fn interests(&self) -> RuleInterest {
         RuleInterest::of(&self.required)
+    }
+
+    fn state_signature(&self) -> u64 {
+        signature(b"all-of", &self.id, &self.description, &self.required, self.window, self.severity)
     }
 
     fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {

@@ -1,0 +1,241 @@
+//! Tokenizer for the rule DSL.
+//!
+//! Newline-insensitive: layout never carries meaning, only tokens do
+//! (which is what lets the same grammar accept both the historical
+//! line-oriented spec format and freer layouts). Every token carries a
+//! [`Span`] so later stages report errors against the operator's
+//! source, not against a token index.
+
+use super::ast::Span;
+use super::Diagnostic;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifiers, keywords, class names, numbers, durations — any run
+    /// of word characters (`[A-Za-z0-9_.@-]`).
+    Word(String),
+    /// A double-quoted string literal (no escape sequences).
+    Str(String),
+    /// `==` `!=` `>=` `<=` `>` `<` — comparison operators. The textual
+    /// `contains` operator lexes as a [`Tok::Word`].
+    Op(&'static str),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Its source location.
+    pub span: Span,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '@' | '-')
+}
+
+/// Tokenizes `src`. `#` starts a comment running to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c == '\n' {
+            chars.next();
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            chars.next();
+            col += 1;
+            continue;
+        }
+        if c == '#' {
+            while let Some(&c) = chars.peek() {
+                if c == '\n' {
+                    break;
+                }
+                chars.next();
+                col += 1;
+            }
+            continue;
+        }
+        let start_col = col;
+        if c == '"' {
+            chars.next();
+            col += 1;
+            let mut s = String::new();
+            loop {
+                match chars.peek() {
+                    Some('"') => {
+                        chars.next();
+                        col += 1;
+                        break;
+                    }
+                    Some('\n') | None => {
+                        return Err(Diagnostic {
+                            line,
+                            col: start_col,
+                            len: col - start_col,
+                            message: "string literal is not closed".to_string(),
+                            hint: Some("close it with `\"` on the same line".to_string()),
+                        });
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        chars.next();
+                        col += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Str(s),
+                span: Span {
+                    line,
+                    col: start_col,
+                    len: col - start_col,
+                },
+            });
+            continue;
+        }
+        if let Some(tok) = match c {
+            '{' => Some(Tok::LBrace),
+            '}' => Some(Tok::RBrace),
+            '(' => Some(Tok::LParen),
+            ')' => Some(Tok::RParen),
+            ',' => Some(Tok::Comma),
+            _ => None,
+        } {
+            chars.next();
+            col += 1;
+            out.push(Token {
+                tok,
+                span: Span {
+                    line,
+                    col: start_col,
+                    len: 1,
+                },
+            });
+            continue;
+        }
+        if matches!(c, '=' | '!' | '>' | '<') {
+            chars.next();
+            col += 1;
+            let two = chars.peek() == Some(&'=');
+            let op = match (c, two) {
+                ('=', true) => Some("=="),
+                ('!', true) => Some("!="),
+                ('>', true) => Some(">="),
+                ('<', true) => Some("<="),
+                ('>', false) => Some(">"),
+                ('<', false) => Some("<"),
+                _ => None,
+            };
+            let Some(op) = op else {
+                return Err(Diagnostic {
+                    line,
+                    col: start_col,
+                    len: 1,
+                    message: format!("unexpected character `{c}`"),
+                    hint: Some("comparison operators are == != >= <= > <".to_string()),
+                });
+            };
+            if op.len() == 2 {
+                chars.next();
+                col += 1;
+            }
+            out.push(Token {
+                tok: Tok::Op(op),
+                span: Span {
+                    line,
+                    col: start_col,
+                    len: op.len(),
+                },
+            });
+            continue;
+        }
+        if is_word_char(c) {
+            let mut w = String::new();
+            while let Some(&c) = chars.peek() {
+                if !is_word_char(c) {
+                    break;
+                }
+                w.push(c);
+                chars.next();
+                col += 1;
+            }
+            out.push(Token {
+                tok: Tok::Word(w),
+                span: Span {
+                    line,
+                    col: start_col,
+                    len: col - start_col,
+                },
+            });
+            continue;
+        }
+        return Err(Diagnostic {
+            line,
+            col: start_col,
+            len: 1,
+            message: format!("unexpected character `{c}`"),
+            hint: None,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_ops_and_punctuation() {
+        let toks = lex("rule a-b { delta >= -10, x == \"hi\" }").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Word("rule".into()),
+                Tok::Word("a-b".into()),
+                Tok::LBrace,
+                Tok::Word("delta".into()),
+                Tok::Op(">="),
+                Tok::Word("-10".into()),
+                Tok::Comma,
+                Tok::Word("x".into()),
+                Tok::Op("=="),
+                Tok::Str("hi".into()),
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_and_comments_skip() {
+        let toks = lex("# comment\nrule x\n").unwrap();
+        assert_eq!(toks[0].span, Span { line: 2, col: 1, len: 4 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 6, len: 1 });
+    }
+
+    #[test]
+    fn unterminated_string_is_diagnosed() {
+        let err = lex("emit \"oops\n").unwrap_err();
+        assert!(err.message.contains("not closed"));
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 6);
+    }
+}

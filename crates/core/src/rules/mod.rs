@@ -17,12 +17,18 @@
 pub(crate) mod builtin;
 mod bye_rule;
 mod combo;
+pub mod dsl;
+mod predicate;
 mod spec;
+pub(crate) mod threshold;
 
-pub use builtin::{builtin_ruleset, RuleToggles};
+pub use builtin::{builtin_ruleset, rapid_spec, RuleToggles};
 pub use bye_rule::{ByeAttackRule, ByeOrigin};
 pub use combo::{CombinationRule, SequenceRule};
+pub use dsl::{Diagnostic, Program};
+pub use predicate::{ClassMatcher, CmpOp, FieldPredicate, PredValue, PredicateRule};
 pub use spec::{parse_ruleset, SpecError};
+pub use threshold::{ThresholdRule, ThresholdSpec, MAX_DISTINCT_THRESHOLD};
 
 use crate::alert::Alert;
 use crate::event::{Event, EventClass};
@@ -325,6 +331,19 @@ pub trait Rule {
         RuleInterest::all()
     }
 
+    /// Hot-reload state-adoption key. Two instances returning the same
+    /// non-zero value promise to be **behaviorally interchangeable** —
+    /// built from identical parameters, with identical [`Rule::interests`]
+    /// — so [`CompiledRuleset::adopt_state`] may move one's accumulated
+    /// session state wholesale into the other's slot across a ruleset
+    /// swap. Implementations must fold *every* behavior-determining
+    /// construction parameter into the hash. The default `0` means "not
+    /// adoptable": the rule restarts stateless after a swap, which is
+    /// always sound, merely forgetful.
+    fn state_signature(&self) -> u64 {
+        0
+    }
+
     /// Feeds one event; alerts are pushed into `sink`.
     fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>);
 
@@ -388,6 +407,65 @@ impl CompiledRuleset {
         compiled
     }
 
+    /// Alias of [`CompiledRuleset::new`], named for symmetry with
+    /// [`CompiledRuleset::from_program`].
+    pub fn from_rules(rules: Vec<Box<dyn Rule>>, full_scan: bool) -> CompiledRuleset {
+        CompiledRuleset::new(rules, full_scan)
+    }
+
+    /// Compiles a validated DSL [`Program`] (see [`crate::rules::dsl`])
+    /// into a ruleset — each clause lowers onto the same runtime struct
+    /// its hand-written twin uses.
+    pub fn from_program(program: &Program, full_scan: bool) -> CompiledRuleset {
+        CompiledRuleset::new(dsl::compile_program(program), full_scan)
+    }
+
+    /// Moves accumulated per-rule session state from `old` (the ruleset
+    /// being replaced in a hot reload) into this one, wherever a rule
+    /// survived the swap.
+    ///
+    /// A rule survives when some old rule has the same id **and** the
+    /// same non-zero [`Rule::state_signature`] — i.e. it was built from
+    /// identical parameters. The old instance is then moved wholesale
+    /// into the new ruleset's slot (same signature ⇒ same interests, so
+    /// the dispatch index stays valid) and keeps its `SessionMap`s,
+    /// partial sequences, fired latches, and exact threshold windows.
+    /// Rules that changed, are new, or report signature 0 start fresh —
+    /// exactly the "new ruleset from the boundary onward" semantics.
+    ///
+    /// Returns the number of adopted rules and the old ruleset's final
+    /// eval counters (for the engine to retire into its observation so
+    /// invocation totals stay monotonic across swaps).
+    pub fn adopt_state(&mut self, old: CompiledRuleset) -> (usize, Vec<RuleEval>) {
+        let retired = old.rule_evals();
+        let timeout = self.state_timeout;
+        let mut pool: Vec<Option<(u64, Box<dyn Rule>)>> = old
+            .rules
+            .into_iter()
+            .map(|r| Some((r.state_signature(), r)))
+            .collect();
+        let mut adopted = 0;
+        for slot in &mut self.rules {
+            let sig = slot.state_signature();
+            if sig == 0 {
+                continue;
+            }
+            let hit = pool.iter().position(|e| {
+                e.as_ref()
+                    .is_some_and(|(s, r)| *s == sig && r.id() == slot.id())
+            });
+            if let Some(i) = hit {
+                let (_, mut old_rule) = pool[i].take().expect("position matched Some");
+                // The new ruleset's timeout wins (it may differ if the
+                // config changed between installs).
+                old_rule.set_state_timeout(timeout);
+                *slot = old_rule;
+                adopted += 1;
+            }
+        }
+        (adopted, retired)
+    }
+
     /// Installs one rule: indexes its interest set and applies the
     /// state timeout.
     pub fn push(&mut self, mut rule: Box<dyn Rule>) {
@@ -445,6 +523,11 @@ impl CompiledRuleset {
         self.full_scan
     }
 
+    /// The idle timeout applied to per-rule session state.
+    pub fn state_timeout(&self) -> SimDuration {
+        self.state_timeout
+    }
+
     /// Read access to the installed rules, install order.
     pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
         self.rules.iter().map(|r| r.as_ref())
@@ -476,6 +559,56 @@ impl std::fmt::Debug for CompiledRuleset {
             .field("rules", &self.rules.len())
             .field("full_scan", &self.full_scan)
             .finish()
+    }
+}
+
+/// Everything needed to build a [`CompiledRuleset`] — the form a
+/// ruleset takes while crossing threads during a hot reload.
+///
+/// `Box<dyn Rule>` is not `Send`, so the sharded pipeline cannot ship
+/// compiled rules to its workers. It ships this instead: the builtin
+/// toggles plus the **validated** DSL program (plain `Send + Sync`
+/// data), and every worker lowers it locally at the swap barrier. The
+/// lowering is deterministic, so all workers (and the single-engine
+/// reference) build behaviorally identical rulesets from one blueprint.
+#[derive(Debug, Clone)]
+pub struct RulesetBlueprint {
+    /// Which built-in rules to install.
+    pub toggles: RuleToggles,
+    /// Operator rules appended after the builtins, if any. Must be
+    /// validated ([`Program::parse`] / [`Program::check`]) — lowering
+    /// assumes it.
+    pub program: Option<Program>,
+    /// Monotonic ruleset generation, stamped by the engine that created
+    /// the blueprint and surfaced as a gauge after installs.
+    pub generation: u64,
+}
+
+impl RulesetBlueprint {
+    /// Lowers the blueprint: toggled builtins first (their relative
+    /// order is fixed), then the program's rules in declaration order.
+    pub fn build(&self, full_scan: bool, state_timeout: SimDuration) -> CompiledRuleset {
+        let mut rules = builtin_ruleset(&self.toggles);
+        if let Some(program) = &self.program {
+            rules.extend(dsl::compile_program(program));
+        }
+        let mut compiled = CompiledRuleset::new(rules, full_scan);
+        compiled.set_state_timeout(state_timeout);
+        compiled
+    }
+
+    /// The threshold clauses the fold plane must evaluate for this
+    /// blueprint: the builtin rapid-connect spec (when toggled on)
+    /// followed by the program's threshold clauses.
+    pub fn threshold_specs(&self) -> Vec<threshold::ThresholdSpec> {
+        let mut specs = Vec::new();
+        if self.toggles.rapid_connect {
+            specs.push(builtin::rapid_spec());
+        }
+        if let Some(program) = &self.program {
+            specs.extend(dsl::threshold_specs(program));
+        }
+        specs
     }
 }
 

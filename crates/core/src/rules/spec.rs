@@ -23,15 +23,18 @@
 //! }
 //! ```
 //!
-//! Bodies name [`EventClass`]es; `sequence` requires order, `all-of`
-//! any order within the window, `any-of` fires on the first match.
+//! Bodies name [`crate::event::EventClass`]es; `sequence` requires
+//! order, `all-of` any order within the window, `any-of` fires on the
+//! first match.
+//!
+//! This module is now a thin compatibility façade over the full rule
+//! DSL ([`crate::rules::dsl`]) — the grammar above is a strict subset
+//! of the DSL's (which adds field predicates, `threshold` clauses, and
+//! free layout), and [`parse_ruleset`] simply compiles a program and
+//! flattens the DSL's spanned diagnostics into [`SpecError`]s.
 
-use crate::alert::{Alert, Severity};
-use crate::event::{Event, EventClass};
-use crate::rules::combo::{CombinationRule, SequenceRule};
-use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats, SessionMap};
-use scidive_netsim::time::SimDuration;
-use std::collections::HashSet;
+use crate::rules::dsl::{self, Diagnostic, Program};
+use crate::rules::Rule;
 use std::fmt;
 
 /// Error parsing a rule specification.
@@ -50,74 +53,6 @@ impl fmt::Display for SpecError {
 }
 
 impl std::error::Error for SpecError {}
-
-/// A single-shot rule matching any of its classes (used for `any-of`
-/// bodies; fires once per session per rule).
-#[derive(Debug)]
-struct AnyOfRule {
-    id: String,
-    classes: Vec<EventClass>,
-    severity: Severity,
-    fired: SessionMap<()>,
-    global_fired: bool,
-}
-
-impl Rule for AnyOfRule {
-    fn id(&self) -> &str {
-        &self.id
-    }
-
-    fn description(&self) -> &str {
-        "operator-defined any-of rule"
-    }
-
-    fn is_cross_protocol(&self) -> bool {
-        true
-    }
-
-    fn is_stateful(&self) -> bool {
-        false
-    }
-
-    fn interests(&self) -> RuleInterest {
-        RuleInterest::of(&self.classes)
-    }
-
-    fn on_event(&mut self, ev: &Event, _ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
-        if !self.classes.contains(&ev.class()) {
-            return;
-        }
-        match &ev.session {
-            Some(session) => {
-                if self.fired.get_mut(session, ev.time).is_some() {
-                    return;
-                }
-                self.fired.insert(session.clone(), (), ev.time);
-            }
-            None => {
-                if self.global_fired {
-                    return;
-                }
-                self.global_fired = true;
-            }
-        }
-        sink.push(Alert::new(
-            self.id.clone(),
-            self.severity,
-            ev.time,
-            ev.session.clone(),
-            format!("operator rule matched event {}", ev.class().name()),
-        ));
-    }
-
-    fn set_state_timeout(&mut self, timeout: SimDuration) {
-        self.fired.set_timeout(timeout);
-    }
-
-    fn state_stats(&self) -> RuleStateStats {
-        self.fired.state_stats()
-    }
-}
 
 /// Parses a rule specification into ready-to-install rules.
 ///
@@ -141,204 +76,33 @@ impl Rule for AnyOfRule {
 /// # Ok::<(), scidive_core::rules::SpecError>(())
 /// ```
 pub fn parse_ruleset(input: &str) -> Result<Vec<Box<dyn Rule>>, SpecError> {
-    let mut rules: Vec<Box<dyn Rule>> = Vec::new();
-    let mut seen_ids: HashSet<String> = HashSet::new();
-    let mut header: Option<(usize, RuleHeader)> = None;
-    let mut body: Option<(usize, String)> = None;
-
-    for (idx, raw) in input.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        match (&mut header, &mut body) {
-            (None, _) => {
-                // Expect `rule <id> ... {`
-                let without_brace = line.strip_suffix('{').ok_or_else(|| SpecError {
-                    line: line_no,
-                    message: "expected `rule <id> [severity <s>] [window <dur>] {`".to_string(),
-                })?;
-                let h = parse_header(without_brace.trim(), line_no)?;
-                if !seen_ids.insert(h.id.clone()) {
-                    return Err(SpecError {
-                        line: line_no,
-                        message: format!("duplicate rule id `{}`", h.id),
-                    });
-                }
-                header = Some((line_no, h));
-            }
-            (Some(_), None) if line == "}" => {
-                return Err(SpecError {
-                    line: line_no,
-                    message: "rule body is empty".to_string(),
-                });
-            }
-            (Some(_), None) => {
-                body = Some((line_no, line.to_string()));
-            }
-            (Some((_, h)), Some((body_line, b))) => {
-                if line != "}" {
-                    return Err(SpecError {
-                        line: line_no,
-                        message: "expected `}` (one body line per rule)".to_string(),
-                    });
-                }
-                rules.push(build_rule(h.clone(), b, *body_line)?);
-                header = None;
-                body = None;
-            }
-        }
-    }
-    if let Some((line, h)) = header {
-        return Err(SpecError {
-            line,
-            message: format!("rule `{}` is not closed with `}}`", h.id),
-        });
-    }
-    Ok(rules)
+    let program = Program::parse(input)?;
+    Ok(dsl::compile_program(&program))
 }
 
-#[derive(Debug, Clone)]
-struct RuleHeader {
-    id: String,
-    severity: Severity,
-    window: SimDuration,
-}
-
-fn parse_header(text: &str, line: usize) -> Result<RuleHeader, SpecError> {
-    let mut tokens = text.split_whitespace();
-    if tokens.next() != Some("rule") {
-        return Err(SpecError {
-            line,
-            message: "rule block must start with `rule`".to_string(),
-        });
-    }
-    let id = tokens
-        .next()
-        .ok_or_else(|| SpecError {
-            line,
-            message: "missing rule id".to_string(),
-        })?
-        .to_string();
-    let mut severity = Severity::Critical;
-    let mut window = SimDuration::from_secs(60);
-    while let Some(key) = tokens.next() {
-        let value = tokens.next().ok_or_else(|| SpecError {
-            line,
-            message: format!("`{key}` needs a value"),
-        })?;
-        match key {
-            "severity" => {
-                severity = match value.to_ascii_lowercase().as_str() {
-                    "info" => Severity::Info,
-                    "warning" | "warn" => Severity::Warning,
-                    "critical" | "crit" => Severity::Critical,
-                    other => {
-                        return Err(SpecError {
-                            line,
-                            message: format!("unknown severity `{other}`"),
-                        })
-                    }
-                };
-            }
-            "window" => {
-                window = parse_duration(value).ok_or_else(|| SpecError {
-                    line,
-                    message: format!("bad duration `{value}` (use e.g. 500ms, 2s)"),
-                })?;
-            }
-            other => {
-                return Err(SpecError {
-                    line,
-                    message: format!("unknown header key `{other}`"),
-                })
-            }
+impl From<Diagnostic> for SpecError {
+    /// Flattens a spanned DSL diagnostic into the historical
+    /// line-plus-message shape, folding the hint into the message so no
+    /// guidance is lost.
+    fn from(d: Diagnostic) -> SpecError {
+        SpecError {
+            line: d.line,
+            message: match d.hint {
+                Some(hint) => format!("{} ({hint})", d.message),
+                None => d.message,
+            },
         }
     }
-    Ok(RuleHeader {
-        id,
-        severity,
-        window,
-    })
-}
-
-fn parse_duration(text: &str) -> Option<SimDuration> {
-    if let Some(ms) = text.strip_suffix("ms") {
-        return ms.parse::<u64>().ok().map(SimDuration::from_millis);
-    }
-    if let Some(s) = text.strip_suffix('s') {
-        return s.parse::<u64>().ok().map(SimDuration::from_secs);
-    }
-    None
-}
-
-fn build_rule(
-    header: RuleHeader,
-    body: &str,
-    line: usize,
-) -> Result<Box<dyn Rule>, SpecError> {
-    let (kind, rest) = body.split_once(' ').ok_or_else(|| SpecError {
-        line,
-        message: "body must be `<sequence|all-of|any-of> Class[, Class...]`".to_string(),
-    })?;
-    let classes: Vec<EventClass> = rest
-        .split(',')
-        .map(str::trim)
-        .filter(|t| !t.is_empty())
-        .map(|name| {
-            EventClass::parse_name(name).ok_or_else(|| SpecError {
-                line,
-                message: format!(
-                    "unknown event class `{name}` (one of: {})",
-                    EventClass::ALL
-                        .iter()
-                        .map(|c| c.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
-            })
-        })
-        .collect::<Result<_, _>>()?;
-    if classes.is_empty() {
-        return Err(SpecError {
-            line,
-            message: "no event classes listed".to_string(),
-        });
-    }
-    let description = format!("operator-defined rule `{}`", header.id);
-    Ok(match kind {
-        "sequence" => Box::new(
-            SequenceRule::new(header.id, description, classes, header.window)
-                .with_severity(header.severity),
-        ),
-        "all-of" => Box::new(
-            CombinationRule::new(header.id, description, classes, header.window)
-                .with_severity(header.severity),
-        ),
-        "any-of" => Box::new(AnyOfRule {
-            id: header.id,
-            classes,
-            severity: header.severity,
-            fired: SessionMap::new(),
-            global_fired: false,
-        }),
-        other => {
-            return Err(SpecError {
-                line,
-                message: format!("unknown body kind `{other}` (sequence | all-of | any-of)"),
-            })
-        }
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{EventKind, FlowKey};
-    use crate::rules::collect_alerts;
+    use crate::alert::Severity;
+    use crate::event::{Event, EventClass, EventKind, FlowKey};
+    use crate::rules::{collect_alerts, RuleCtx};
     use crate::trail::{SessionKey, TrailStore, TrailStoreConfig};
-    use scidive_netsim::time::SimTime;
+    use scidive_netsim::time::{SimDuration, SimTime};
     use std::net::Ipv4Addr;
 
     const SPEC: &str = "\

@@ -1,0 +1,505 @@
+//! Generic threshold-clause rules over the [`crate::rate`] primitives.
+//!
+//! A [`ThresholdSpec`] is the *compiled artifact* of a threshold clause:
+//! "events of class C, keyed by field K, crossing `count >= N` (and
+//! optionally `distinct(D) >= M`) within a window". The spec is plain
+//! data shared by the two evaluation planes —
+//!
+//! * [`ThresholdRule`] evaluates it locally (exact queues or
+//!   constant-memory sketches, mirroring the original hand-written
+//!   rapid-connect rule), and under the sharded pipeline feeds the
+//!   fold-plane delta twins and nominates candidates;
+//! * [`crate::rate::GlobalRatePlane`] evaluates the same spec against
+//!   the merged cross-shard trackers.
+//!
+//! The built-in rapid-connect (SPIT) rule is now just
+//! `ThresholdRule::new(rapid_spec())` — and a DSL program declaring the
+//! same clause compiles to a spec that is `==` to it, which is what
+//! makes the DSL-vs-hand-written byte-identity pin structural rather
+//! than coincidental.
+
+use crate::alert::{Alert, Severity};
+use crate::event::{Event, EventClass, FieldValue};
+use crate::rules::{AlertSink, Rule, RuleCtx, RuleInterest, RuleStateStats};
+use scidive_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Interns a string into a process-lifetime `&'static str`, deduplicated
+/// so repeated ruleset compiles (and hot-reload loops) never grow the
+/// table beyond the set of distinct names. The [`crate::rate::RateHub`]
+/// and fold-plane APIs key trackers by `&'static str`; DSL-compiled
+/// specs go through here to obtain those names.
+pub(crate) fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern table poisoned");
+    if let Some(existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+/// A compiled threshold clause. All names are `&'static str` (interned
+/// for DSL programs, literal for builtins) so equality is cheap and the
+/// spec can cross threads inside a [`crate::rules::RulesetBlueprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdSpec {
+    /// Rule id, alert rule name, candidate clause name, and latch name —
+    /// one identity for the whole clause.
+    pub clause: &'static str,
+    /// Windowed count tracker name (`{clause}-count`).
+    pub count_tracker: &'static str,
+    /// Windowed distinct tracker name (`{clause}-distinct`).
+    pub distinct_tracker: &'static str,
+    /// The triggering event class.
+    pub class: EventClass,
+    /// Field of `class` whose value keys the window (e.g. `caller`).
+    pub key_field: &'static str,
+    /// Field whose values are counted distinctly (e.g. `callee`);
+    /// `None` for a pure count threshold.
+    pub distinct_field: Option<&'static str>,
+    /// The sliding window.
+    pub window: SimDuration,
+    /// Events within the window that cross the clause.
+    pub count_threshold: u32,
+    /// Distinct values within the window that cross the clause
+    /// (ignored when `distinct_field` is `None`).
+    pub distinct_threshold: u32,
+    /// Alert severity.
+    pub severity: Severity,
+    /// Alert message template; `{key}`, `{count}`, `{distinct}` and
+    /// `{window}` (whole seconds) are substituted.
+    pub template: &'static str,
+}
+
+impl ThresholdSpec {
+    /// Whether the merged/observed estimates cross the clause.
+    pub fn clause_met(&self, count: u32, distinct: u32) -> bool {
+        count >= self.count_threshold
+            && (self.distinct_field.is_none() || distinct >= self.distinct_threshold)
+    }
+
+    /// Renders the alert message from the template.
+    pub fn render(&self, key: &str, count: u32, distinct: u32) -> String {
+        let mut out = String::with_capacity(self.template.len() + key.len() + 8);
+        let mut rest = self.template;
+        while let Some(open) = rest.find('{') {
+            out.push_str(&rest[..open]);
+            rest = &rest[open..];
+            let close = match rest.find('}') {
+                Some(c) => c,
+                None => break,
+            };
+            match &rest[..=close] {
+                "{key}" => out.push_str(key),
+                "{count}" => {
+                    let _ = write!(out, "{count}");
+                }
+                "{distinct}" => {
+                    let _ = write!(out, "{distinct}");
+                }
+                "{window}" => {
+                    let _ = write!(out, "{}", self.window.as_micros() / 1_000_000);
+                }
+                other => out.push_str(other),
+            }
+            rest = &rest[close + 1..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    /// Builds the clause's alert — used by both evaluation planes so a
+    /// local crossing and a fold-boundary crossing differ only in time
+    /// and session, never in shape.
+    pub fn alert_at(
+        &self,
+        time: SimTime,
+        session: Option<crate::trail::SessionKey>,
+        key: &str,
+        count: u32,
+        distinct: u32,
+    ) -> Alert {
+        Alert::new(
+            self.clause,
+            self.severity,
+            time,
+            session,
+            self.render(key, count, distinct),
+        )
+    }
+}
+
+/// Fixed-capacity stack string for rendering non-string key fields
+/// (addresses, integers) without touching the allocator on the
+/// per-event path.
+struct KeyBuf {
+    buf: [u8; 48],
+    len: usize,
+}
+
+impl KeyBuf {
+    fn new() -> KeyBuf {
+        KeyBuf {
+            buf: [0; 48],
+            len: 0,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Write for KeyBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let take = s.len().min(self.buf.len() - self.len);
+        self.buf[self.len..self.len + take].copy_from_slice(&s.as_bytes()[..take]);
+        self.len += take;
+        Ok(())
+    }
+}
+
+/// Renders a field value into `buf` (for Ip/Int) or borrows it directly
+/// (for Str), returning the canonical text used for both hashing and
+/// candidate display — the two must agree or the fold plane's canonical
+/// candidate order would depend on which shard rendered the display.
+fn field_text<'a>(value: &FieldValue<'a>, buf: &'a mut KeyBuf) -> &'a str {
+    match value {
+        FieldValue::Str(s) => s,
+        FieldValue::Ip(ip) => {
+            let _ = write!(buf, "{ip}");
+            buf.as_str()
+        }
+        FieldValue::Int(i) => {
+            let _ = write!(buf, "{i}");
+            buf.as_str()
+        }
+    }
+}
+
+/// Exact per-key state: events within the window as (time, item-hash)
+/// pairs — one queue serves both the count and the distinct check, and
+/// hashing the item keeps the hot path allocation-free.
+#[derive(Debug, Default)]
+struct ThresholdState {
+    events: std::collections::VecDeque<(SimTime, u64)>,
+    emitted: bool,
+}
+
+/// Validator-enforced ceiling on `distinct_threshold`: the exact-mode
+/// distinct probe is a fixed stack array of this many slots, so the
+/// per-event path stays allocation-free.
+pub const MAX_DISTINCT_THRESHOLD: u32 = 64;
+
+impl ThresholdState {
+    /// Whether the window holds at least `threshold` distinct items.
+    /// Early-exit linear probe over a fixed array: no allocation on the
+    /// per-event path (the full count for the alert message is only
+    /// taken when the clause fires).
+    fn fans_out(&self, threshold: u32) -> bool {
+        if threshold == 0 {
+            return true;
+        }
+        let want = threshold.min(MAX_DISTINCT_THRESHOLD) as usize;
+        let mut seen = [0u64; MAX_DISTINCT_THRESHOLD as usize];
+        let mut n = 0;
+        for &(_, item) in &self.events {
+            if !seen[..n].contains(&item) {
+                seen[n] = item;
+                n += 1;
+                if n == want {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn distinct(&self) -> u32 {
+        let set: std::collections::HashSet<u64> = self.events.iter().map(|&(_, i)| i).collect();
+        set.len() as u32
+    }
+}
+
+/// A threshold clause evaluated per event: one key fanning out `count`
+/// events (to `distinct` items) inside a sliding window. Generalizes the
+/// original hand-written rapid-connect rule — the same three modes:
+///
+/// * **exact** — reference queues in a key-hash-keyed map with the
+///   [`crate::rules::SessionMap`] staleness-at-access lifecycle;
+/// * **sketch** — no per-key state at all: a windowed count, a windowed
+///   distinct estimate, and a fired latch, all constant memory;
+/// * **aggregated** (sharded pipeline) — observes the fold-plane delta
+///   twins and nominates candidate keys whose local slice crosses
+///   `⌈threshold/shards⌉`; the clause and latch are evaluated globally
+///   by the dispatcher's [`crate::rate::GlobalRatePlane`] against this
+///   same [`ThresholdSpec`].
+#[derive(Debug)]
+pub struct ThresholdRule {
+    spec: ThresholdSpec,
+    exact: HashMap<u64, (ThresholdState, SimTime)>,
+    timeout: SimDuration,
+    last_sweep: SimTime,
+    expired: u64,
+}
+
+impl ThresholdRule {
+    /// Creates the rule from its compiled clause.
+    pub fn new(spec: ThresholdSpec) -> ThresholdRule {
+        ThresholdRule {
+            spec,
+            exact: HashMap::new(),
+            timeout: crate::rules::DEFAULT_STATE_TIMEOUT,
+            last_sweep: SimTime::ZERO,
+            expired: 0,
+        }
+    }
+
+    /// The compiled clause, for fold-plane registration.
+    pub fn spec(&self) -> &ThresholdSpec {
+        &self.spec
+    }
+
+    /// Amortized reclamation of idle keys, mirroring
+    /// [`crate::rules::SessionMap`]: at most once per quarter-timeout.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        if now.saturating_since(self.last_sweep) < self.timeout / 4 {
+            return;
+        }
+        self.last_sweep = now;
+        let timeout = self.timeout;
+        let before = self.exact.len();
+        self.exact
+            .retain(|_, (_, touched)| now.saturating_since(*touched) < timeout);
+        self.expired += (before - self.exact.len()) as u64;
+    }
+}
+
+impl Rule for ThresholdRule {
+    fn id(&self) -> &str {
+        self.spec.clause
+    }
+
+    fn description(&self) -> &str {
+        "threshold clause over a sliding window"
+    }
+
+    fn is_cross_protocol(&self) -> bool {
+        false
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn interests(&self) -> RuleInterest {
+        RuleInterest::of(&[self.spec.class])
+    }
+
+    fn state_signature(&self) -> u64 {
+        let spec = &self.spec;
+        crate::rate::hash_parts(
+            0x7472_6573_686f_6c64, // "treshold" tag: distinguishes rule kinds
+            &[
+                spec.clause.as_bytes(),
+                spec.count_tracker.as_bytes(),
+                spec.distinct_tracker.as_bytes(),
+                spec.class.name().as_bytes(),
+                spec.key_field.as_bytes(),
+                spec.distinct_field.unwrap_or("").as_bytes(),
+                &spec.window.as_micros().to_le_bytes(),
+                &spec.count_threshold.to_le_bytes(),
+                &spec.distinct_threshold.to_le_bytes(),
+                &[spec.severity as u8],
+                spec.template.as_bytes(),
+            ],
+        )
+    }
+
+    fn on_event(&mut self, ev: &Event, ctx: &RuleCtx<'_>, sink: &mut AlertSink<'_>) {
+        if ev.class() != self.spec.class {
+            return;
+        }
+        let Some(key_value) = ev.kind.field(self.spec.key_field) else {
+            return;
+        };
+        let mut key_buf = KeyBuf::new();
+        let key_text = field_text(&key_value, &mut key_buf);
+        if key_text.is_empty() {
+            return;
+        }
+        // Same seeded hash for every mode: the key field's text
+        // identifies the window, the distinct field's text is the
+        // distinct item. Cheap map keys in exact mode — no string
+        // allocation on the per-event path.
+        let key = ctx.rates.key(&[self.spec.clause.as_bytes(), key_text.as_bytes()]);
+        let item = match self.spec.distinct_field {
+            Some(field) => {
+                let Some(item_value) = ev.kind.field(field) else {
+                    return;
+                };
+                let mut item_buf = KeyBuf::new();
+                let item_text = field_text(&item_value, &mut item_buf);
+                ctx.rates.key(&[field.as_bytes(), item_text.as_bytes()])
+            }
+            None => 0,
+        };
+        let spec = self.spec;
+        if ctx.rates.aggregated() {
+            // Fold-plane mode (sharded pipeline, exact or sketch):
+            // observe — feeding the plain-update delta twins — and admit
+            // the key as a fold candidate once the local slice could be
+            // a 1/shards share of a global crossing. The conservative
+            // local estimate never undercounts this shard's true slice,
+            // and a global crossing forces *some* shard's slice to at
+            // least ⌈threshold/shards⌉, so every globally crossing key
+            // is admitted at every shard count; sub-threshold admissions
+            // just fail the identical global clause. The threshold
+            // itself and the fired latch belong to the global plane.
+            let count = ctx
+                .rates
+                .observe_count(spec.count_tracker, spec.window, ev.time, key);
+            if spec.distinct_field.is_some() {
+                ctx.rates
+                    .observe_distinct(spec.distinct_tracker, spec.window, ev.time, key, item);
+            }
+            let bar = spec.count_threshold.div_ceil(ctx.rates.fold_shards() as u32);
+            if count >= bar {
+                ctx.rates
+                    .push_candidate(spec.clause, key, ev.time, count, key_text);
+            }
+            return;
+        }
+        if ctx.rates.exact() {
+            self.maybe_sweep(ev.time);
+            let timeout = self.timeout;
+            let entry = self
+                .exact
+                .entry(key)
+                .or_insert_with(|| (ThresholdState::default(), ev.time));
+            // Staleness-at-access, mirroring SessionMap::get_mut: an
+            // entry idle past the timeout reads as absent.
+            if ev.time.saturating_since(entry.1) >= timeout {
+                self.expired += 1;
+                *entry = (ThresholdState::default(), ev.time);
+            }
+            let (state, touched) = entry;
+            *touched = ev.time;
+            state.events.push_back((ev.time, item));
+            while let Some(&(t, _)) = state.events.front() {
+                if ev.time.saturating_since(t) > spec.window {
+                    state.events.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let count = state.events.len() as u32;
+            if !state.emitted
+                && count >= spec.count_threshold
+                && state.fans_out(if spec.distinct_field.is_some() {
+                    spec.distinct_threshold
+                } else {
+                    0
+                })
+            {
+                state.emitted = true;
+                let distinct = state.distinct();
+                sink.push(spec.alert_at(ev.time, ev.session.clone(), key_text, count, distinct));
+            }
+        } else {
+            let count = ctx
+                .rates
+                .observe_count(spec.count_tracker, spec.window, ev.time, key);
+            let distinct = if spec.distinct_field.is_some() {
+                ctx.rates
+                    .observe_distinct(spec.distinct_tracker, spec.window, ev.time, key, item)
+            } else {
+                0
+            };
+            if spec.clause_met(count, distinct) && !ctx.rates.latched(spec.clause, key) {
+                ctx.rates.set_latch(spec.clause, key, true);
+                sink.push(spec.alert_at(ev.time, ev.session.clone(), key_text, count, distinct));
+            }
+        }
+    }
+
+    fn set_state_timeout(&mut self, timeout: SimDuration) {
+        self.timeout = timeout;
+    }
+
+    fn state_stats(&self) -> RuleStateStats {
+        RuleStateStats {
+            sessions: self.exact.len() as u64,
+            expired: self.expired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_deduplicates() {
+        let a = intern("swap-test-tracker-a");
+        let b = intern(&String::from("swap-test-tracker-a"));
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "swap-test-tracker-a");
+    }
+
+    #[test]
+    fn template_rendering_substitutes_all_placeholders() {
+        let spec = ThresholdSpec {
+            clause: "t",
+            count_tracker: "t-count",
+            distinct_tracker: "t-distinct",
+            class: EventClass::CallEstablished,
+            key_field: "caller",
+            distinct_field: Some("callee"),
+            window: SimDuration::from_secs(60),
+            count_threshold: 12,
+            distinct_threshold: 8,
+            severity: Severity::Critical,
+            template: "{key} hit {count}/{distinct} in {window}s ({unknown} {open",
+        };
+        assert_eq!(
+            spec.render("alice", 12, 9),
+            "alice hit 12/9 in 60s ({unknown} {open"
+        );
+    }
+
+    #[test]
+    fn clause_met_ignores_distinct_without_a_distinct_field() {
+        let spec = ThresholdSpec {
+            clause: "t",
+            count_tracker: "t-count",
+            distinct_tracker: "t-distinct",
+            class: EventClass::RegisterFlood,
+            key_field: "src",
+            distinct_field: None,
+            window: SimDuration::from_secs(10),
+            count_threshold: 3,
+            distinct_threshold: 0,
+            severity: Severity::Warning,
+            template: "{key}",
+        };
+        assert!(spec.clause_met(3, 0));
+        assert!(!spec.clause_met(2, 99));
+    }
+
+    #[test]
+    fn key_buf_truncates_not_panics() {
+        let mut buf = KeyBuf::new();
+        let long = "x".repeat(100);
+        let _ = write!(buf, "{long}");
+        assert_eq!(buf.as_str().len(), 48);
+    }
+}

@@ -76,7 +76,7 @@
 
 use crate::alert::{Alert, Severity};
 use crate::distill::{DistillStats, Distiller};
-use crate::engine::{DistilledFootprint, PipelineStats, Scidive, ScidiveConfig};
+use crate::engine::{DistilledFootprint, PipelineStats, RulesetSource, Scidive, ScidiveConfig};
 use crate::event::IdentityPlane;
 use crate::observe::{
     merge_rule_evals, DecisionTrace, DispatchCounters, EngineObservation, Histogram,
@@ -84,6 +84,7 @@ use crate::observe::{
 };
 use crate::rate::{GlobalRatePlane, RateDelta};
 use crate::routing::SessionRouter;
+use crate::rules::{RuleToggles, RulesetBlueprint, SpecError};
 use crate::spsc::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use scidive_netsim::packet::IpPacket;
@@ -114,10 +115,11 @@ struct ShardFrame {
     fp: Option<DistilledFootprint>,
 }
 
-/// What rides a shard channel: a frame batch, or a fold barrier. The
-/// ring is FIFO, so by the time a worker answers `Fold` it has fully
-/// processed every batch the dispatcher sent before the barrier —
-/// exactly the frames the fold is meant to cover.
+/// What rides a shard channel: a frame batch, a fold barrier, or a
+/// ruleset-swap barrier. The ring is FIFO, so by the time a worker
+/// handles `Fold` or `Swap` it has fully processed every batch the
+/// dispatcher sent before the token — exactly the frames the barrier is
+/// meant to cover, giving every shard the same deterministic boundary.
 #[derive(Debug)]
 enum ShardMsg {
     /// Frames to process.
@@ -125,6 +127,11 @@ enum ShardMsg {
     /// Take the engine's rate delta ([`Scidive::take_rate_delta`]) and
     /// reply on the fold channel.
     Fold,
+    /// Install the blueprint's ruleset ([`Scidive::swap_ruleset`]),
+    /// adopting surviving rule state. No reply: FIFO ordering already
+    /// guarantees every frame dispatched after the token is evaluated
+    /// by the new ruleset.
+    Swap(Arc<RulesetBlueprint>),
 }
 
 /// An alert tagged with its merge position: dispatch sequence number of
@@ -192,6 +199,7 @@ struct ShardTelemetry {
     rate_divergence_samples: AtomicU64,
     rate_divergence_sum: AtomicU64,
     rate_divergence_max: AtomicU64,
+    ruleset_generation: AtomicU64,
     /// Batches currently queued *or being processed* by this shard: the
     /// dispatcher increments on send, the worker decrements only after
     /// it has fully processed a batch (so `0` means the shard is truly
@@ -245,6 +253,8 @@ impl ShardTelemetry {
             .store(g.rate_divergence_sum, Ordering::Relaxed);
         self.rate_divergence_max
             .store(g.rate_divergence_max, Ordering::Relaxed);
+        self.ruleset_generation
+            .store(g.ruleset_generation, Ordering::Relaxed);
     }
 
     fn stats(&self) -> PipelineStats {
@@ -294,6 +304,7 @@ impl ShardTelemetry {
             fold_divergence_samples: 0,
             fold_divergence_sum: 0,
             fold_divergence_max: 0,
+            ruleset_generation: self.ruleset_generation.load(Ordering::Relaxed),
         }
     }
 }
@@ -405,6 +416,15 @@ pub struct ShardedScidive {
     /// [`crate::rate::FoldConfig::enabled`] off — per-shard slice
     /// evaluation, the pre-fold behavior).
     fold: Option<FoldState>,
+    /// The builtin toggles of the installed ruleset (carried forward by
+    /// [`ShardedScidive::swap_ruleset`] unless a swap overrides them).
+    toggles: RuleToggles,
+    /// Generation of the installed ruleset (0 at boot).
+    ruleset_generation: u64,
+    /// Swap barriers executed.
+    ruleset_swaps: u64,
+    /// Swap attempts rejected at dispatcher-side compile.
+    ruleset_compile_errors: u64,
 }
 
 impl ShardedScidive {
@@ -413,9 +433,13 @@ impl ShardedScidive {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero.
+    /// Panics if `shards` is zero, or if the configured
+    /// [`ScidiveConfig::ruleset`] DSL program does not compile (the
+    /// program is resolved once, dispatcher-side, and shipped to every
+    /// worker as a [`RulesetBlueprint`]).
     pub fn new(config: ScidiveConfig, shards: usize, queue_depth: usize) -> ShardedScidive {
         assert!(shards >= 1, "a sharded engine needs at least one shard");
+        let blueprint = Arc::new(config.blueprint().expect("configured ruleset compiles"));
         // The one shared identity plane gets the same rate switches the
         // shard engines fold into their event configs.
         let events_cfg = config.event_config();
@@ -427,12 +451,13 @@ impl ShardedScidive {
         for _ in 0..shards {
             let (tx, rx) = bounded::<ShardMsg>(queue_depth);
             let cfg = config.clone();
+            let boot = blueprint.clone();
             let shard_sink = sink.clone();
             let tel = Arc::new(ShardTelemetry::default());
             let shard_tel = tel.clone();
             let shard_fold_tx = fold_tx.clone();
             workers.push(std::thread::spawn(move || {
-                let mut ids = Scidive::data_plane_with_shards(cfg, shards);
+                let mut ids = Scidive::data_plane_from_blueprint(cfg, &boot, shards);
                 while let Ok(msg) = rx.recv() {
                     let batch = match msg {
                         ShardMsg::Batch(batch) => batch,
@@ -442,6 +467,15 @@ impl ShardedScidive {
                             // dispatcher is fine — the reply just goes
                             // unread.
                             let _ = shard_fold_tx.send(ids.take_rate_delta());
+                            continue;
+                        }
+                        ShardMsg::Swap(blueprint) => {
+                            // Same FIFO discipline: every pre-swap frame
+                            // is done, so the install point is the same
+                            // frame boundary on every shard. Surviving
+                            // rules adopt their session state wholesale.
+                            ids.swap_ruleset(&blueprint);
+                            shard_tel.publish(&ids);
                             continue;
                         }
                     };
@@ -469,15 +503,22 @@ impl ShardedScidive {
             senders.push(tx);
             telemetry.push(tel);
         }
-        let fold = config.fold.enabled.then(|| FoldState {
-            plane: GlobalRatePlane::new(config.rate.clone()),
-            interval: config.fold.interval,
-            next_boundary: SimTime::ZERO + config.fold.interval,
-            replies: fold_rx,
-            severity: SeverityCounts::default(),
+        let fold = config.fold.enabled.then(|| {
+            let mut plane = GlobalRatePlane::new(config.rate.clone());
+            // The evaluation plane follows the ruleset: it knows exactly
+            // the threshold clauses the blueprint's rules observe into.
+            plane.set_clauses(blueprint.threshold_specs());
+            FoldState {
+                plane,
+                interval: config.fold.interval,
+                next_boundary: SimTime::ZERO + config.fold.interval,
+                replies: fold_rx,
+                severity: SeverityCounts::default(),
+            }
         });
         let histograms = config.observe.histograms;
         let trace = DecisionTrace::new(config.observe.trace_depth);
+        let toggles = config.rules.clone();
         ShardedScidive {
             distiller: Distiller::with_protocols(config.distiller, config.protocols.clone()),
             router: SessionRouter::with_protocols(
@@ -505,7 +546,92 @@ impl ShardedScidive {
             trace,
             last_time: SimTime::ZERO,
             fold,
+            toggles,
+            ruleset_generation: 0,
+            ruleset_swaps: 0,
+            ruleset_compile_errors: 0,
         }
+    }
+
+    /// Atomically hot-reloads the ruleset across every shard, keeping
+    /// the builtin toggles the pipeline booted with (or last swapped
+    /// to). See [`ShardedScidive::swap_ruleset_with_toggles`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpecError`] (and leaves the running ruleset
+    /// installed, counting one compile error) if the program does not
+    /// compile or its file cannot be read.
+    pub fn swap_ruleset(&mut self, source: &RulesetSource) -> Result<u64, SpecError> {
+        let toggles = self.toggles.clone();
+        self.swap_ruleset_with_toggles(toggles, source)
+    }
+
+    /// Atomically hot-reloads the ruleset across every shard: validates
+    /// and lowers `source` once dispatcher-side, flushes every dispatch
+    /// buffer, and sends a `Swap` barrier token down each shard ring —
+    /// the same FIFO-barrier pattern as a rate fold. Each worker
+    /// installs the new ruleset after the last pre-swap frame and
+    /// before the first post-swap one, so the boundary is the same
+    /// dispatch sequence number on every shard at every shard count,
+    /// and the merged alert stream stays deterministic. Rules that
+    /// survive the swap unchanged (same id and
+    /// [`crate::rules::Rule::state_signature`]) adopt their session
+    /// state — partial sequences, fired latches, threshold windows —
+    /// so no session is dropped; changed or new rules start fresh from
+    /// the boundary. The dispatcher's fold plane swaps its threshold
+    /// clauses from the same blueprint, preserving merged trackers and
+    /// campaign latches.
+    ///
+    /// Returns the new ruleset generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpecError`] (and leaves the running ruleset
+    /// installed, counting one compile error) if the program does not
+    /// compile or its file cannot be read.
+    pub fn swap_ruleset_with_toggles(
+        &mut self,
+        toggles: RuleToggles,
+        source: &RulesetSource,
+    ) -> Result<u64, SpecError> {
+        // Validate once, dispatcher-side: a broken program never
+        // reaches a worker and the running ruleset stays installed.
+        let program = match source.program() {
+            Ok(program) => program,
+            Err(e) => {
+                self.ruleset_compile_errors += 1;
+                return Err(e);
+            }
+        };
+        let blueprint = Arc::new(RulesetBlueprint {
+            toggles,
+            program,
+            generation: self.ruleset_generation + 1,
+        });
+        // Barrier: flush every dispatch buffer first so each ring holds
+        // exactly the frames dispatched so far — buffer occupancy varies
+        // with shard count and must not leak into where the swap lands.
+        for shard in 0..self.buffers.len() {
+            self.flush(shard);
+        }
+        for tx in &self.senders {
+            // Blocking send keeps the barrier lossless under a full
+            // ring; a dead worker is skipped (surfaced at finish()).
+            let _ = tx.send(ShardMsg::Swap(blueprint.clone()));
+        }
+        if let Some(fold) = &mut self.fold {
+            fold.plane.set_clauses(blueprint.threshold_specs());
+        }
+        self.toggles = blueprint.toggles.clone();
+        self.ruleset_generation = blueprint.generation;
+        self.ruleset_swaps += 1;
+        Ok(self.ruleset_generation)
+    }
+
+    /// Generation of the installed ruleset (0 until the first swap).
+    pub fn ruleset_generation(&self) -> u64 {
+        self.ruleset_generation
     }
 
     /// Overrides the dispatch batching parameters: `batch` frames per
@@ -789,6 +915,8 @@ impl ShardedScidive {
             fold_candidates: fold.candidates,
             fold_alerts: fold.alerts,
             rate_merge_rejected: fold.merge_rejected,
+            ruleset_swaps: self.ruleset_swaps,
+            ruleset_compile_errors: self.ruleset_compile_errors,
         }
     }
 

@@ -849,3 +849,172 @@ proptest! {
         prop_assert_eq!(&fast, &reference, "diverged on {:?}", bytes);
     }
 }
+
+// ----------------------------------------------------------------------
+// The rule DSL: derived interests are sound, printing is a fixed point
+// ----------------------------------------------------------------------
+
+use scidive_core::rules::dsl::ast::Clause;
+use scidive_core::rules::dsl::{compile_program, print_program, threshold_specs};
+use scidive_core::rules::Program;
+use std::collections::HashSet;
+
+fn dsl_class() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(
+        EventClass::ALL.iter().map(|c| c.name()).collect::<Vec<_>>(),
+    )
+}
+
+/// An `any-of` class spec, sometimes narrowed by well-typed predicates.
+fn any_of_spec() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => dsl_class().prop_map(str::to_string),
+        1 => Just("RtpSeqViolation(delta >= 5000)".to_string()),
+        1 => Just("CallEstablished(caller == \"alice@lab\")".to_string()),
+        1 => Just("CallEstablished(caller contains \"@lab\", callee != \"x\")".to_string()),
+        1 => Just("CallTornDown(by_media_ip == \"10.0.0.1\")".to_string()),
+    ]
+}
+
+/// A `threshold` clause drawn from text-keyed classes, with optional
+/// distinct term and emit template.
+fn threshold_body() -> impl Strategy<Value = String> {
+    (
+        proptest::sample::select(vec![
+            ("CallEstablished", "caller", "callee"),
+            ("ImObserved", "claimed_aor", "call_id"),
+            ("AcctMismatch", "billed", "call_id"),
+            ("PasswordGuessing", "username", "src"),
+        ]),
+        1u32..=30,
+        proptest::option::of(1u32..=64),
+        proptest::sample::select(vec!["500ms", "2s", "60s"]),
+        proptest::option::of(proptest::sample::select(vec![
+            "caller {key} hit {count} in {window}s",
+            "{key}: {count}/{distinct}",
+            "plain text",
+        ])),
+    )
+        .prop_map(|((class, key, dfield), count, distinct, within, emit)| {
+            let mut s = format!("threshold {class} by {key} count >= {count}");
+            if let Some(d) = distinct {
+                s += &format!(" distinct {dfield} >= {d}");
+            }
+            s += &format!(" within {within}");
+            if let Some(e) = emit {
+                s += &format!(" emit \"{e}\"");
+            }
+            s
+        })
+}
+
+fn rule_clause() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::collection::vec(dsl_class(), 1..4)
+            .prop_map(|cs| format!("sequence {}", cs.join(", "))),
+        proptest::collection::vec(dsl_class(), 1..4)
+            .prop_map(|cs| format!("all-of {}", cs.join(", "))),
+        proptest::collection::vec(any_of_spec(), 1..3)
+            .prop_map(|cs| format!("any-of {}", cs.join(", "))),
+        threshold_body(),
+    ]
+}
+
+/// A random well-formed program: unique rule ids, valid classes and
+/// fields, windows only on the clause kinds that read them.
+fn program_src() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (
+            rule_clause(),
+            proptest::option::of(proptest::sample::select(vec![
+                "info", "warning", "critical",
+            ])),
+            proptest::option::of(proptest::sample::select(vec!["500ms", "2s", "90s"])),
+        ),
+        1..5,
+    )
+    .prop_map(|rules| {
+        let mut src = String::new();
+        for (i, (clause, severity, window)) in rules.iter().enumerate() {
+            src += &format!("rule r{i}");
+            if let Some(s) = severity {
+                src += &format!(" severity {s}");
+            }
+            // `window` only matters (and prints) on sequence / all-of;
+            // elsewhere it would draw a --deny-warnings diagnostic.
+            if window.is_some()
+                && (clause.starts_with("sequence") || clause.starts_with("all-of"))
+            {
+                src += &format!(" window {}", window.unwrap());
+            }
+            src += &format!(" {{ {clause} }}\n");
+        }
+        src
+    })
+}
+
+/// The classes a clause names on its surface — the spec the derived
+/// `RuleInterest` must match exactly.
+fn named_classes(clause: &Clause) -> HashSet<EventClass> {
+    match clause {
+        Clause::Sequence(specs) | Clause::AllOf(specs) | Clause::AnyOf(specs) => specs
+            .iter()
+            .map(|s| EventClass::parse_name(&s.class.node).expect("validated class"))
+            .collect(),
+        Clause::Threshold(t) => {
+            std::iter::once(EventClass::parse_name(&t.class.node).expect("validated class"))
+                .collect()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Derived-interest soundness: for every rule of every fuzzed
+    /// program, the compiled `RuleInterest` admits exactly the event
+    /// classes the clause names — nothing leaks in (wasted dispatch),
+    /// nothing is dropped (missed events).
+    #[test]
+    fn dsl_interests_are_exactly_the_named_classes(src in program_src()) {
+        let program = Program::parse(&src).expect("generated program is valid");
+        let rules = compile_program(&program);
+        prop_assert_eq!(rules.len(), program.rules.len());
+        for (decl, rule) in program.rules.iter().zip(&rules) {
+            prop_assert_eq!(rule.id(), decl.id.node.as_str());
+            let named = named_classes(&decl.clause);
+            let interests = rule.interests();
+            for class in EventClass::ALL {
+                prop_assert_eq!(
+                    interests.contains(class),
+                    named.contains(&class),
+                    "rule `{}`: interest for {:?} diverges from the clause ({})",
+                    decl.id.node, class, src
+                );
+            }
+        }
+    }
+
+    /// `parse → print → parse → print` is a fixed point, and printing
+    /// preserves semantics: the reprinted program compiles to rules with
+    /// the same ids and interests and to identical threshold specs.
+    #[test]
+    fn dsl_print_is_a_semantic_fixed_point(src in program_src()) {
+        let p1 = Program::parse(&src).expect("generated program is valid");
+        let s1 = print_program(&p1);
+        let p2 = Program::parse(&s1).expect("printed program re-parses");
+        let s2 = print_program(&p2);
+        prop_assert_eq!(&s1, &s2, "printer is not a fixed point over reparse");
+
+        let r1 = compile_program(&p1);
+        let r2 = compile_program(&p2);
+        prop_assert_eq!(r1.len(), r2.len());
+        for (a, b) in r1.iter().zip(&r2) {
+            prop_assert_eq!(a.id(), b.id());
+            for class in EventClass::ALL {
+                prop_assert_eq!(a.interests().contains(class), b.interests().contains(class));
+            }
+        }
+        prop_assert_eq!(threshold_specs(&p1), threshold_specs(&p2));
+    }
+}

@@ -48,6 +48,17 @@
 # and exp_pipeline regenerates BENCH_pipeline.json, failing the run
 # unless the fast distiller beats the reference parser by at least 2x
 # (artifact: results/pipeline_stages.txt).
+# The operator-DSL gates (DESIGN SS16) keep the declarative rule layer
+# and its hot-reload path honest: the golden suite
+# (crates/core/tests/dsl_golden.rs) pins the span, message, and hint of
+# every lexer/parser/validator diagnostic, the DSL property tests prove
+# derived RuleInterest soundness and the parse -> print -> parse fixed
+# point, rule_dispatch_equivalence pins DSL rules byte-identical to
+# their hand-written Rust twins, the swap suite (tests/ruleset_swap.rs)
+# gates the deterministic barrier boundary / state adoption /
+# failed-compile isolation at 1/2/4 shards, the soak swap loop churns
+# the live ruleset through a 100k-dialog stream, and the .scid compile
+# gate (dsl_rules --check) denies warnings on every shipped rule file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -119,6 +130,20 @@ echo "== cross-shard flood gate (global fold plane, 1/2/4 shards) =="
 cargo test --release -q --test rate_equivalence -- \
   rapid_connect_fanout_is_shard_count_invariant \
   per_shard_slices_miss_the_flood_without_the_fold
+
+echo "== DSL diagnostics golden suite (span/message/hint) =="
+cargo test -q -p scidive-core --test dsl_golden
+
+echo "== DSL properties (derived interests, print fixed point) =="
+cargo test -q -p scidive-core --test properties -- \
+  dsl_interests_are_exactly_the_named_classes \
+  dsl_print_is_a_semantic_fixed_point
+
+echo "== ruleset hot-reload gates (barrier, adoption, 1/2/4 shards) =="
+cargo test -q --test ruleset_swap
+
+echo "== operator .scid compile gate (deny warnings) =="
+cargo run -q --example dsl_rules -- --check
 
 echo "== million-session soak, short profile (100k dialogs, release) =="
 SCIDIVE_SOAK_DIALOGS=100000 cargo test --release -q --test soak

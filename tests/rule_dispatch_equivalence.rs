@@ -222,3 +222,227 @@ fn operator_spec_rules_ride_the_dispatch_table() {
         reference.alerts()
     );
 }
+
+// ---------------------------------------------------------------------------
+// DSL twins: the same three scenarios expressed as `.scid` programs via
+// `RulesetSource::Dsl` must be byte-identical to their hand-written
+// Rust twin rules — single engine and sharded at 1/2/4.
+// ---------------------------------------------------------------------------
+
+fn bye_attack_capture(seed: u64) -> (Vec<CapturedFrame>, Endpoints) {
+    capture_scenario(
+        seed,
+        None,
+        Some(Box::new(ByeAttacker::new(ByeAttackConfig::new(
+            Endpoints::default().attacker_ip,
+            Endpoints::default().a_ip,
+            Endpoints::default().b_ip,
+            SimDuration::from_secs(1),
+        )))),
+    )
+}
+
+fn replay(mut ids: Scidive, frames: &[CapturedFrame]) -> Scidive {
+    for f in frames {
+        ids.on_frame(f.time, &f.packet);
+    }
+    ids
+}
+
+/// Asserts that a DSL-configured pipeline matches a hand-built twin
+/// engine byte-for-byte: single engine, then sharded at 1/2/4.
+fn assert_dsl_matches_twin(frames: &[CapturedFrame], twin: &Scidive, config: &ScidiveConfig) {
+    let dsl = replay(Scidive::new(config.clone()), frames);
+    assert_eq!(
+        dsl.alerts(),
+        twin.alerts(),
+        "DSL engine diverged from the hand-written twin"
+    );
+    assert_eq!(dsl.stats(), twin.stats());
+
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedScidive::new(config.clone(), shards, 64);
+        for f in frames {
+            sharded.submit(f.time, &f.packet);
+        }
+        let report = sharded.finish();
+        assert_eq!(
+            report.alerts,
+            twin.alerts(),
+            "sharded DSL run diverged from the twin at {shards} shards"
+        );
+        assert_eq!(report.stats, twin.stats(), "stats diverged at {shards} shards");
+    }
+}
+
+/// Scenario 1: the operator teardown rule — the `.scid` program and the
+/// `SequenceRule` the compiler lowers it to are indistinguishable.
+#[test]
+fn dsl_operator_rule_is_byte_identical_to_its_rust_twin() {
+    const DSL: &str = "rule op-teardown severity critical window 2s {\n\
+                       \tsequence CallTornDown, OrphanRtpAfterBye\n\
+                       }\n";
+    let (frames, ep) = bye_attack_capture(707);
+
+    let mut twin = Scidive::new(config_for(&ep, false));
+    twin.add_rule(Box::new(
+        SequenceRule::new(
+            "op-teardown",
+            "operator-defined rule `op-teardown`",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(2),
+        )
+        .with_severity(Severity::Critical),
+    ));
+    let twin = replay(twin, &frames);
+    assert!(
+        twin.alerts().iter().any(|a| a.rule == "op-teardown"),
+        "twin rule never fired: {:?}",
+        twin.alerts()
+    );
+
+    let mut config = config_for(&ep, false);
+    config.ruleset = RulesetSource::Dsl(DSL.to_string());
+    assert_dsl_matches_twin(&frames, &twin, &config);
+}
+
+/// Scenario 2: the RTP-after-BYE sequence (the built-in bye-attack's
+/// observable shape) re-expressed in DSL, pinned against its twin.
+#[test]
+fn dsl_rtp_after_bye_sequence_matches_its_rust_twin() {
+    const DSL: &str = "# media keeps flowing after the dialog tore down\n\
+                       rule media-after-bye severity warning {\n\
+                       \tsequence CallTornDown, OrphanRtpAfterBye\n\
+                       }\n";
+    let (frames, ep) = bye_attack_capture(708);
+
+    let mut twin = Scidive::new(config_for(&ep, false));
+    twin.add_rule(Box::new(
+        SequenceRule::new(
+            "media-after-bye",
+            "operator-defined rule `media-after-bye`",
+            vec![EventClass::CallTornDown, EventClass::OrphanRtpAfterBye],
+            SimDuration::from_secs(60),
+        )
+        .with_severity(Severity::Warning),
+    ));
+    let twin = replay(twin, &frames);
+    assert!(
+        twin.alerts().iter().any(|a| a.rule == "media-after-bye"),
+        "twin sequence never fired: {:?}",
+        twin.alerts()
+    );
+
+    let mut config = config_for(&ep, false);
+    config.ruleset = RulesetSource::Dsl(DSL.to_string());
+    assert_dsl_matches_twin(&frames, &twin, &config);
+}
+
+/// One caller fanning out to `calls` distinct callees, 100ms apart —
+/// the rapid-connect shape, with per-dialog Call-IDs so the dialogs
+/// spread across every shard.
+fn fanout_capture(calls: u64) -> Vec<(SimTime, IpPacket)> {
+    let caller_ip = std::net::Ipv4Addr::new(10, 0, 0, 40);
+    let proxy_ip = std::net::Ipv4Addr::new(10, 0, 0, 1);
+    let mut frames = Vec::new();
+    for n in 0..calls {
+        let at = SimTime::from_millis(100 * n);
+        let callee = format!("sip:victim-{n}@lab");
+        let mut b = RequestBuilder::new(Method::Invite, callee.parse().unwrap());
+        b.from(NameAddr::new("sip:spammer@lab".parse().unwrap()).with_tag("spam"))
+            .to(NameAddr::new(callee.parse().unwrap()))
+            .call_id(format!("fan-{n}@lab"))
+            .cseq(CSeq::new(1, Method::Invite))
+            .via(Via::udp("10.0.0.40:5060", format!("z9hG4bK-fan-{n}")));
+        let invite = b.build();
+        frames.push((
+            at,
+            IpPacket::udp(caller_ip, 5060, proxy_ip, 5060, invite.to_bytes().as_ref()),
+        ));
+        let ok = response_to(&invite, StatusCode::OK, Some(&format!("vt-{n}")));
+        frames.push((
+            at + SimDuration::from_millis(10),
+            IpPacket::udp(proxy_ip, 5060, caller_ip, 5060, ok.to_bytes().as_ref()),
+        ));
+    }
+    frames
+}
+
+/// Scenario 3: the rapid-connect threshold re-expressed in DSL. With
+/// the built-in toggle off and a `.scid` program declaring the same
+/// clause (same id, same bounds, same emit template), every run — exact
+/// and sketch, single and sharded with the global fold — is
+/// byte-identical to the built-in rule.
+#[test]
+fn dsl_rapid_connect_twin_matches_the_builtin() {
+    const DSL: &str = "rule rapid-connect severity critical {\n\
+        threshold CallEstablished by caller count >= 12 distinct callee >= 8 within 60s\n\
+        emit \"rapid connections: caller {key} established {count} calls to {distinct} distinct callees within {window}s\"\n\
+        }\n";
+    let frames = fanout_capture(14);
+
+    for exact in [true, false] {
+        let builtin_config = ScidiveConfig {
+            exact_rate_state: exact,
+            ..ScidiveConfig::default()
+        };
+        let mut dsl_config = builtin_config.clone();
+        dsl_config.rules.rapid_connect = false;
+        dsl_config.ruleset = RulesetSource::Dsl(DSL.to_string());
+
+        let mut builtin = Scidive::new(builtin_config.clone());
+        let mut dsl = Scidive::new(dsl_config.clone());
+        for (t, p) in &frames {
+            builtin.on_frame(*t, p);
+            dsl.on_frame(*t, p);
+        }
+        assert_eq!(
+            builtin
+                .alerts()
+                .iter()
+                .filter(|a| a.rule == "rapid-connect")
+                .count(),
+            1,
+            "builtin rapid-connect should fire exactly once (exact={exact})"
+        );
+        assert_eq!(
+            dsl.alerts(),
+            builtin.alerts(),
+            "DSL rapid-connect diverged from the builtin (exact={exact})"
+        );
+
+        // Sharded, the clause evaluates on the dispatcher's global fold
+        // plane (alert shape differs from the single engine's inline
+        // evaluation, but is itself shard-count invariant): the DSL twin
+        // must match the builtin venue-for-venue.
+        let run = |config: &ScidiveConfig, shards: usize| {
+            let mut ids = ShardedScidive::new(config.clone(), shards, 64);
+            for (t, p) in &frames {
+                ids.submit(*t, p);
+            }
+            ids.finish()
+        };
+        let reference = run(&builtin_config, 1);
+        assert_eq!(
+            reference
+                .alerts
+                .iter()
+                .filter(|a| a.rule == "rapid-connect")
+                .count(),
+            1,
+            "fold plane should fire rapid-connect exactly once (exact={exact})"
+        );
+        for shards in [1usize, 2, 4] {
+            let builtin_report = run(&builtin_config, shards);
+            let dsl_report = run(&dsl_config, shards);
+            assert_eq!(
+                dsl_report.alerts, builtin_report.alerts,
+                "sharded DSL rapid-connect diverged from the builtin at {shards} shards (exact={exact})"
+            );
+            assert_eq!(
+                builtin_report.alerts, reference.alerts,
+                "sharded builtin is not shard-count invariant at {shards} shards (exact={exact})"
+            );
+        }
+    }
+}

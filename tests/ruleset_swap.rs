@@ -1,0 +1,258 @@
+//! Hot-reload gates for `swap_ruleset`: the swap barrier lands at a
+//! deterministic frame boundary on every shard, identity swaps are
+//! invisible (all rule state is adopted across the install), new rules
+//! see only post-boundary events, and a failed compile leaves the
+//! running ruleset untouched.
+
+use scidive::prelude::*;
+
+/// The operator rule used as the "new" ruleset in swap scenarios.
+const OP_DSL: &str = "rule op-teardown severity critical window 2s {\n\
+                      \tsequence CallTornDown, OrphanRtpAfterBye\n\
+                      }\n";
+
+fn config_for(ep: &Endpoints, exact: bool) -> ScidiveConfig {
+    let mut config = ScidiveConfig::default();
+    config.events.infrastructure_ips = vec![ep.proxy_ip, ep.acct_ip];
+    config.exact_rate_state = exact;
+    config
+}
+
+/// Fig-4 testbed with one standard call and a forged-BYE attacker: the
+/// BYE lands at ~1s, orphan media follows from ~1.5s — a capture whose
+/// cross-protocol sequence straddles any mid-run swap boundary.
+fn bye_capture(seed: u64) -> (Vec<CapturedFrame>, Endpoints) {
+    let mut tb = TestbedBuilder::new(seed)
+        .standard_call(SimDuration::from_millis(500), None)
+        .build();
+    let ep = tb.endpoints.clone();
+    let collector = Collector::new();
+    let tap = collector.handle();
+    tb.add_node("capture", ep.tap_ip, LinkParams::lan(), Box::new(collector));
+    tb.add_node(
+        "attacker",
+        ep.attacker_ip,
+        LinkParams::lan(),
+        Box::new(ByeAttacker::new(ByeAttackConfig::new(
+            ep.attacker_ip,
+            ep.a_ip,
+            ep.b_ip,
+            SimDuration::from_secs(1),
+        ))),
+    );
+    tb.run_for(SimDuration::from_secs(5));
+    let frames = tap.borrow().clone();
+    (frames, ep)
+}
+
+/// First frame index at or past `at` — the swap lands before it.
+fn boundary_at(frames: &[CapturedFrame], at: SimDuration) -> usize {
+    frames
+        .iter()
+        .position(|f| f.time >= SimTime::ZERO + at)
+        .unwrap_or(frames.len())
+}
+
+/// Runs the sharded pipeline, optionally swapping to `swap_to` right
+/// before frame index `boundary`.
+fn run_sharded(
+    config: &ScidiveConfig,
+    shards: usize,
+    frames: &[CapturedFrame],
+    swap: Option<(usize, &RulesetSource)>,
+) -> ShardedReport {
+    let mut ids = ShardedScidive::new(config.clone(), shards, 64);
+    for (i, f) in frames.iter().enumerate() {
+        if let Some((boundary, source)) = swap {
+            if i == boundary {
+                ids.swap_ruleset(source).expect("swap source compiles");
+            }
+        }
+        ids.submit(f.time, &f.packet);
+    }
+    ids.finish()
+}
+
+/// Swapping to the ruleset that is already installed must be invisible:
+/// every rule instance is adopted (id + state signature match), so the
+/// alert stream, counters, and session state are byte-identical to a
+/// run that never swapped — at every shard count, in both rate modes.
+#[test]
+fn identity_swap_is_invisible() {
+    let (frames, ep) = bye_capture(901);
+    let mid = frames.len() / 2;
+    for exact in [true, false] {
+        let config = config_for(&ep, exact);
+        for shards in [1usize, 2, 4] {
+            let baseline = run_sharded(&config, shards, &frames, None);
+            let swapped = run_sharded(
+                &config,
+                shards,
+                &frames,
+                Some((mid, &RulesetSource::Builtin)),
+            );
+            assert_eq!(
+                swapped.alerts, baseline.alerts,
+                "identity swap changed alerts at {shards} shards (exact={exact})"
+            );
+            assert_eq!(
+                swapped.stats, baseline.stats,
+                "identity swap changed counters at {shards} shards (exact={exact})"
+            );
+            assert!(
+                baseline.alerts.iter().any(|a| a.rule == "bye-attack"),
+                "capture lost its attack (exact={exact})"
+            );
+            // Swap telemetry: generation bumped once, no compile errors.
+            assert_eq!(swapped.observation.gauges.ruleset_generation, 1);
+            assert_eq!(swapped.observation.dispatch.ruleset_swaps, 1);
+            assert_eq!(swapped.observation.dispatch.ruleset_compile_errors, 0);
+            assert_eq!(baseline.observation.gauges.ruleset_generation, 0);
+            assert_eq!(baseline.observation.dispatch.ruleset_swaps, 0);
+        }
+    }
+}
+
+/// The swap barrier is a deterministic frame boundary: swapping to a
+/// new ruleset mid-run yields the same alert stream at 1, 2, and 4
+/// shards — and matches a single engine swapped at the same frame
+/// index, so the boundary semantics are venue-independent.
+#[test]
+fn swap_boundary_is_deterministic_across_shard_counts() {
+    let (frames, ep) = bye_capture(902);
+    // Before the attack begins: the whole op-teardown sequence plays
+    // out under the new ruleset.
+    let boundary = boundary_at(&frames, SimDuration::from_millis(500));
+    let source = RulesetSource::Dsl(OP_DSL.to_string());
+    let config = config_for(&ep, true);
+
+    // Single-engine reference: same config, swapped at the same index.
+    let mut single = Scidive::new(config.clone());
+    let mut swap_config = config.clone();
+    swap_config.ruleset = source.clone();
+    let blueprint = swap_config.blueprint().expect("swap source compiles");
+    for (i, f) in frames.iter().enumerate() {
+        if i == boundary {
+            single.swap_ruleset(&blueprint);
+        }
+        single.on_frame(f.time, &f.packet);
+    }
+    assert!(
+        single.alerts().iter().any(|a| a.rule == "op-teardown"),
+        "swapped-in rule never fired: {:?}",
+        single.alerts()
+    );
+
+    for shards in [1usize, 2, 4] {
+        let report = run_sharded(&config, shards, &frames, Some((boundary, &source)));
+        assert_eq!(
+            report.alerts,
+            single.alerts(),
+            "swap boundary drifted at {shards} shards"
+        );
+        assert_eq!(report.stats, single.stats());
+        assert_eq!(report.observation.gauges.ruleset_generation, 1);
+        assert_eq!(report.observation.dispatch.ruleset_swaps, 1);
+    }
+}
+
+/// A swapped-in rule starts from empty state at the boundary: if the
+/// first step of its sequence fired before the swap, the rule must NOT
+/// fire afterwards — no retroactive matching against pre-swap events.
+#[test]
+fn swapped_in_rule_sees_only_post_boundary_events() {
+    let (frames, ep) = bye_capture(903);
+    let source = RulesetSource::Dsl(OP_DSL.to_string());
+    let config = config_for(&ep, true);
+
+    // From-start reference proves the capture does fire the rule.
+    let mut from_start = config.clone();
+    from_start.ruleset = source.clone();
+    let reference = run_sharded(&from_start, 2, &frames, None);
+    assert!(
+        reference.alerts.iter().any(|a| a.rule == "op-teardown"),
+        "capture cannot fire the operator rule at all"
+    );
+
+    // Swap after the teardown AND the orphan media already happened:
+    // the fresh rule instance never sees step 1, so it stays silent.
+    let late = boundary_at(&frames, SimDuration::from_millis(2_500));
+    for shards in [1usize, 2, 4] {
+        let report = run_sharded(&config, shards, &frames, Some((late, &source)));
+        assert!(
+            !report.alerts.iter().any(|a| a.rule == "op-teardown"),
+            "swapped-in rule matched pre-swap state at {shards} shards: {:?}",
+            report.alerts
+        );
+        // The builtins it adopted keep their pre-swap detections.
+        assert!(report.alerts.iter().any(|a| a.rule == "bye-attack"));
+    }
+}
+
+/// Mid-sequence state survives an identity swap: step 1 of the operator
+/// sequence (the teardown, ~1s) lands before the swap, step 2 (orphan
+/// media, ~1.5s) after — the adopted instance must still fire, and the
+/// whole stream must equal the never-swapped run.
+#[test]
+fn sequence_state_is_adopted_across_an_identity_swap() {
+    let (frames, ep) = bye_capture(904);
+    let source = RulesetSource::Dsl(OP_DSL.to_string());
+    let mut config = config_for(&ep, true);
+    config.ruleset = source.clone();
+    // Between the forged BYE (1s) and the orphan media (~1.5s).
+    let mid = boundary_at(&frames, SimDuration::from_millis(1_250));
+
+    for shards in [1usize, 2, 4] {
+        let baseline = run_sharded(&config, shards, &frames, None);
+        assert!(
+            baseline.alerts.iter().any(|a| a.rule == "op-teardown"),
+            "sequence never fires even without a swap"
+        );
+        let swapped = run_sharded(&config, shards, &frames, Some((mid, &source)));
+        assert_eq!(
+            swapped.alerts, baseline.alerts,
+            "identity swap dropped mid-sequence state at {shards} shards"
+        );
+        assert_eq!(swapped.stats, baseline.stats);
+    }
+
+    // Single engine: the adoption is total — every rule instance moves.
+    let mut single = Scidive::new(config.clone());
+    let blueprint = config.blueprint().expect("source compiles");
+    let total_rules = blueprint
+        .build(false, config.trails.idle_timeout)
+        .rule_evals()
+        .len();
+    let adopted = single.swap_ruleset(&blueprint);
+    assert_eq!(
+        adopted, total_rules,
+        "every builtin and DSL rule should be adoptable"
+    );
+}
+
+/// A swap whose program does not compile must leave the running
+/// ruleset untouched: the error surfaces to the caller, the
+/// compile-error counter ticks, and detection continues unchanged.
+#[test]
+fn failed_swap_leaves_the_pipeline_untouched() {
+    let (frames, ep) = bye_capture(905);
+    let config = config_for(&ep, true);
+    let mid = frames.len() / 2;
+    let baseline = run_sharded(&config, 2, &frames, None);
+
+    let mut ids = ShardedScidive::new(config, 2, 64);
+    for (i, f) in frames.iter().enumerate() {
+        if i == mid {
+            let bad = RulesetSource::Dsl("rule broken { sequence NotAClass }".to_string());
+            let err = ids.swap_ruleset(&bad).expect_err("bogus program compiled");
+            assert!(err.message.contains("unknown event class"), "{err:?}");
+        }
+        ids.submit(f.time, &f.packet);
+    }
+    let report = ids.finish();
+    assert_eq!(report.alerts, baseline.alerts);
+    assert_eq!(report.stats, baseline.stats);
+    assert_eq!(report.observation.dispatch.ruleset_compile_errors, 1);
+    assert_eq!(report.observation.dispatch.ruleset_swaps, 0);
+    assert_eq!(report.observation.gauges.ruleset_generation, 0);
+}

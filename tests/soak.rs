@@ -229,3 +229,101 @@ fn soak_exact_mode_shadow_divergence_stays_zero() {
         g.rate_divergence_sum
     );
 }
+
+/// Hot reload under sustained load: swap the ruleset every ~6% of the
+/// stream (alternating built-in ↔ built-in + an operator sequence rule)
+/// and require that nothing observable changes — alerts, pipeline
+/// counters, and session-state gauges all match the never-swapped
+/// baseline, the per-session gauges still plateau (adopted state keeps
+/// expiring), and the generation gauge climbs one step per swap.
+#[test]
+fn soak_swap_every_n_dialogs_preserves_state() {
+    const OP_DSL: &str = "rule op-teardown severity critical window 2s {\n\
+                          \tsequence CallTornDown, OrphanRtpAfterBye\n\
+                          }\n";
+    let mut synth = SynthConfig::load(2_000, 256);
+    synth.spacing = SimDuration::from_millis(10);
+    synth.hold = SimDuration::from_millis(10 * 256);
+    let span = synth.span();
+    let window = SimDuration::from_micros((span.as_micros() / 16).max(2_000_000));
+    let mut config = ScidiveConfig {
+        exact_rate_state: false,
+        ..ScidiveConfig::default()
+    };
+    config.trails.idle_timeout = window;
+    config.events.identity_timeout = window;
+    config.events.session_timeout = window;
+
+    let mut base = ShardedScidive::new(config.clone(), 4, 64);
+    for (time, pkt) in synth.stream() {
+        base.submit(time, &pkt);
+    }
+    let baseline = base.finish();
+    assert!(baseline.alerts.is_empty(), "baseline load is not benign");
+
+    let sources = [
+        RulesetSource::Dsl(OP_DSL.to_string()),
+        RulesetSource::Builtin,
+    ];
+    let mut ids = ShardedScidive::new(config, 4, 64);
+    let total = synth.total_frames();
+    let swap_every = (total / 16).max(1);
+    let checkpoint_every = (total / 8).max(1);
+    let mut swaps = 0u64;
+    let mut generations = Vec::new();
+    let mut gauges = Vec::new();
+    for (n, (time, pkt)) in synth.stream().enumerate() {
+        if n > 0 && (n as u64).is_multiple_of(swap_every) {
+            let gen = ids
+                .swap_ruleset(&sources[swaps as usize % 2])
+                .expect("swap source compiles");
+            swaps += 1;
+            assert_eq!(gen, swaps, "generation must climb one step per swap");
+            generations.push(gen);
+        }
+        ids.submit(time, &pkt);
+        if (n as u64 + 1).is_multiple_of(checkpoint_every) {
+            gauges.push(ids.observation().gauges);
+        }
+    }
+    let report = ids.finish();
+
+    assert!(swaps >= 8, "load too small to exercise repeated swaps");
+    assert!(generations.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(report.observation.dispatch.ruleset_swaps, swaps);
+    assert_eq!(report.observation.dispatch.ruleset_compile_errors, 0);
+    assert_eq!(report.observation.gauges.ruleset_generation, swaps);
+
+    // Nothing observable may change: same (empty) alert stream, same
+    // counters, same retained session state as the never-swapped run.
+    assert_eq!(report.alerts, baseline.alerts);
+    assert_eq!(report.stats, baseline.stats);
+    assert_eq!(report.observation.gauges.trails, baseline.observation.gauges.trails);
+    assert_eq!(
+        report.observation.gauges.session_plane,
+        baseline.observation.gauges.session_plane
+    );
+    assert_eq!(
+        report.observation.gauges.expired_trails,
+        baseline.observation.gauges.expired_trails
+    );
+
+    // The per-session gauges still plateau with swaps in the loop: the
+    // second half of the run leaves no more state behind than its
+    // middle, so adopted rule state keeps flowing through expiry.
+    let last = gauges.last().expect("checkpoints");
+    let mid = &gauges[gauges.len() / 2..gauges.len() - 1];
+    for (name, f) in [
+        ("trails", (|g| g.trails) as fn(&StateGauges) -> u64),
+        ("session_plane", |g| g.session_plane),
+        ("rule_state", |g| g.rule_state),
+    ] {
+        let peak = mid.iter().map(f).max().unwrap_or(0);
+        let cap = peak + peak / 10 + 64;
+        assert!(
+            f(last) <= cap,
+            "{name} kept growing across swaps: final {} vs mid-run cap {cap}",
+            f(last)
+        );
+    }
+}
